@@ -1,0 +1,74 @@
+//! Criterion benches for the design-choice ablations of DESIGN.md:
+//! shared-memory vs global window buffers (E8), match-finder strategy
+//! (the paper's "better search structures" future-work item), and the
+//! BWT backend of the bzip2 baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use culzss::{Culzss, CulzssParams};
+use culzss_bzip2::bwt::Backend;
+use culzss_datasets::Dataset;
+use culzss_gpusim::DeviceSpec;
+use culzss_lzss::matchfind::FinderKind;
+use culzss_lzss::LzssConfig;
+
+const SIZE: usize = 256 << 10;
+const SEED: u64 = 404;
+
+fn bench_shared_vs_global(c: &mut Criterion) {
+    let mut group = c.benchmark_group("v1-window-placement");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(SIZE as u64));
+    let data = Dataset::CFiles.generate(SIZE, SEED);
+
+    for (name, use_shared) in [("shared", true), ("global-cached", false)] {
+        let mut params = CulzssParams::v1();
+        params.use_shared_memory = use_shared;
+        let culzss = Culzss::with_device(DeviceSpec::gtx480(), params);
+        group.bench_with_input(BenchmarkId::new(name, "c-files"), &data, |b, data| {
+            b.iter(|| culzss.compress(data).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_match_finders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match-finder");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(SIZE as u64));
+    let data = Dataset::KernelTarball.generate(SIZE, SEED);
+    let config = LzssConfig::dipperstein();
+
+    for finder in FinderKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(finder.name(), "kernel-tarball"),
+            &data,
+            |b, data| {
+                b.iter(|| culzss_lzss::serial::compress_with(data, &config, finder).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bwt_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bwt-backend");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(SIZE as u64));
+    let data = Dataset::Dictionary.generate(SIZE, SEED);
+
+    for (name, backend) in [("sa-is", Backend::SaIs), ("doubling", Backend::Doubling)] {
+        group.bench_with_input(BenchmarkId::new(name, "dictionary"), &data, |b, data| {
+            b.iter(|| culzss_bzip2::compress_with(data, 256 * 1024, backend).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared_vs_global, bench_match_finders, bench_bwt_backends);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches behind Table I / Figure 4: compression throughput of
+//! every implementation on every dataset.
+//!
+//! These measure host wall-clock of the real implementations (for the GPU
+//! versions that is the *simulation* cost, useful for tracking harness
+//! regressions); the paper-scale table numbers come from the `repro`
+//! binary, which uses the cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use culzss::{Culzss, Version};
+use culzss_datasets::Dataset;
+use culzss_lzss::LzssConfig;
+
+const SIZE: usize = 256 << 10; // 256 KiB per dataset keeps cargo bench brisk
+const SEED: u64 = 2011;
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(SIZE as u64));
+
+    for dataset in Dataset::ALL {
+        let data = dataset.generate(SIZE, SEED);
+        let serial_cfg = LzssConfig::dipperstein();
+
+        group.bench_with_input(
+            BenchmarkId::new("serial-lzss", dataset.slug()),
+            &data,
+            |b, data| {
+                b.iter(|| culzss_lzss::serial::compress(data, &serial_cfg).unwrap())
+            },
+        );
+
+        let threads = culzss_pthread::default_threads();
+        group.bench_with_input(
+            BenchmarkId::new("pthread-lzss", dataset.slug()),
+            &data,
+            |b, data| {
+                b.iter(|| culzss_pthread::compress(data, &serial_cfg, threads).unwrap())
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("bzip2", dataset.slug()),
+            &data,
+            |b, data| b.iter(|| culzss_bzip2::compress(data).unwrap()),
+        );
+
+        let v1 = Culzss::new(Version::V1);
+        group.bench_with_input(
+            BenchmarkId::new("culzss-v1-sim", dataset.slug()),
+            &data,
+            |b, data| b.iter(|| v1.compress(data).unwrap()),
+        );
+
+        let v2 = Culzss::new(Version::V2);
+        group.bench_with_input(
+            BenchmarkId::new("culzss-v2-sim", dataset.slug()),
+            &data,
+            |b, data| b.iter(|| v2.compress(data).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches behind Table III: decompression throughput of the
+//! serial decoder and the simulated GPU decoder on every dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use culzss::{Culzss, Version};
+use culzss_datasets::Dataset;
+use culzss_lzss::LzssConfig;
+
+const SIZE: usize = 256 << 10;
+const SEED: u64 = 2011;
+
+fn bench_decompression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(SIZE as u64));
+
+    for dataset in Dataset::ALL {
+        let data = dataset.generate(SIZE, SEED);
+        let serial_cfg = LzssConfig::dipperstein();
+        let serial_stream = culzss_lzss::serial::compress(&data, &serial_cfg).unwrap();
+
+        group.bench_with_input(
+            BenchmarkId::new("serial-lzss", dataset.slug()),
+            &serial_stream,
+            |b, stream| {
+                b.iter(|| culzss_lzss::serial::decompress(stream, &serial_cfg).unwrap())
+            },
+        );
+
+        let threads = culzss_pthread::default_threads();
+        let pthread_stream =
+            culzss_pthread::compress(&data, &serial_cfg, threads).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("pthread-lzss", dataset.slug()),
+            &pthread_stream,
+            |b, stream| {
+                b.iter(|| culzss_pthread::decompress(stream, &serial_cfg, threads).unwrap())
+            },
+        );
+
+        let bz_stream = culzss_bzip2::compress(&data).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("bzip2", dataset.slug()),
+            &bz_stream,
+            |b, stream| b.iter(|| culzss_bzip2::decompress(stream).unwrap()),
+        );
+
+        let culzss = Culzss::new(Version::V1);
+        let (gpu_stream, _) = culzss.compress(&data).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("culzss-sim", dataset.slug()),
+            &gpu_stream,
+            |b, stream| b.iter(|| culzss.decompress(stream).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompression);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for the parsing-layer extensions: match-finder
+//! family throughput, greedy vs. lazy parsing, and the incremental
+//! encoder/decoder against their batch counterparts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use culzss_datasets::Dataset;
+use culzss_lzss::incremental::{IncrementalDecoder, IncrementalEncoder};
+use culzss_lzss::matchfind::FinderKind;
+use culzss_lzss::parse::{tokenize, ParseStrategy};
+use culzss_lzss::{serial, LzssConfig};
+
+const SIZE: usize = 256 << 10;
+const SEED: u64 = 777;
+
+fn bench_parse_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse-strategy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(SIZE as u64));
+    let config = LzssConfig::dipperstein();
+    let data = Dataset::CFiles.generate(SIZE, SEED);
+
+    for (name, strategy) in
+        [("greedy", ParseStrategy::Greedy), ("lazy", ParseStrategy::Lazy)]
+    {
+        group.bench_with_input(BenchmarkId::new(name, "c-files"), &data, |b, data| {
+            b.iter(|| tokenize(data, &config, FinderKind::HashChain, strategy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_vs_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(SIZE as u64));
+    let config = LzssConfig::dipperstein();
+    let data = Dataset::DeMap.generate(SIZE, SEED);
+
+    group.bench_with_input(BenchmarkId::new("batch-encode", "de-map"), &data, |b, data| {
+        b.iter(|| serial::compress(data, &config).unwrap())
+    });
+    group.bench_with_input(
+        BenchmarkId::new("incremental-encode-1500B", "de-map"),
+        &data,
+        |b, data| {
+            b.iter(|| {
+                let mut enc = IncrementalEncoder::new(config.clone()).unwrap();
+                for packet in data.chunks(1500) {
+                    enc.push(packet);
+                }
+                enc.finish().unwrap()
+            })
+        },
+    );
+
+    let compressed = serial::compress(&data, &config).unwrap();
+    group.bench_with_input(
+        BenchmarkId::new("batch-decode", "de-map"),
+        &compressed,
+        |b, stream| b.iter(|| serial::decompress(stream, &config).unwrap()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("incremental-decode-1500B", "de-map"),
+        &compressed,
+        |b, stream| {
+            b.iter(|| {
+                let mut dec = IncrementalDecoder::new_standalone(config.clone()).unwrap();
+                let mut out = Vec::new();
+                for packet in stream.chunks(1500) {
+                    dec.push(packet, &mut out).unwrap();
+                }
+                out
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_strategies, bench_incremental_vs_batch);
+criterion_main!(benches);

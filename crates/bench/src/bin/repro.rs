@@ -1,0 +1,340 @@
+//! `repro` — regenerates every table and figure of the CULZSS paper.
+//!
+//! ```text
+//! cargo run --release -p culzss-bench --bin repro -- all --size-mb 4
+//! cargo run --release -p culzss-bench --bin repro -- table1
+//! cargo run --release -p culzss-bench --bin repro -- figure4 --size-mb 8 --reps 3
+//! cargo run --release -p culzss-bench --bin repro -- sweep-threads
+//! ```
+//!
+//! Each command prints the paper's numbers next to ours. Time columns
+//! are scaled to the paper's 128 MB inputs (see `culzss-bench` docs for
+//! the methodology); ratio columns are exact.
+
+use culzss::{pipeline, tuning, Culzss, CulzssParams, Version};
+use culzss_bench::*;
+use culzss_datasets::{paper, Dataset};
+use culzss_gpusim::DeviceSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = MeasureCfg::default();
+    let mut command = String::from("all");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size-mb" => {
+                i += 1;
+                cfg.bytes = args[i].parse::<usize>().expect("--size-mb N") << 20;
+            }
+            "--reps" => {
+                i += 1;
+                cfg.reps = args[i].parse().expect("--reps N");
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args[i].parse().expect("--seed N");
+            }
+            other if !other.starts_with("--") => command = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!(
+        "# CULZSS reproduction — {} MiB per dataset, {} rep(s), seed {:#x}",
+        cfg.bytes >> 20,
+        cfg.reps,
+        cfg.seed
+    );
+    println!("# times scaled to the paper's 128 MB inputs\n");
+
+    match command.as_str() {
+        "table1" => table1(&measure_rows(cfg)),
+        "table2" => table2(cfg),
+        "table3" => table3(cfg),
+        "figure4" => figure4(&measure_rows(cfg)),
+        "ablation-shared" => ablation_shared(cfg),
+        "sweep-threads" => sweep_threads(cfg),
+        "sweep-window" => sweep_window(cfg),
+        "overlap" => overlap(cfg),
+        "selfcheck" => selfcheck(cfg),
+        "hetero-sweep" => hetero_sweep(cfg),
+        "all" => {
+            let rows = measure_rows(cfg);
+            table1(&rows);
+            table2(cfg);
+            table3(cfg);
+            figure4(&rows);
+            ablation_shared(cfg);
+            sweep_threads(cfg);
+            sweep_window(cfg);
+            overlap(cfg);
+            selfcheck(cfg);
+            hetero_sweep(cfg);
+        }
+        other => {
+            eprintln!(
+                "unknown command {other}; expected one of: table1 table2 table3 \
+                 figure4 ablation-shared sweep-threads sweep-window overlap selfcheck \
+                 hetero-sweep all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn measure_rows(cfg: MeasureCfg) -> Vec<Table1Measured> {
+    Dataset::ALL.iter().map(|&d| measure_table1_row(d, cfg)).collect()
+}
+
+fn table1(rows: &[Table1Measured]) {
+    println!("## Table I — compression times (seconds; paper → measured)\n");
+    println!(
+        "{:<16}{:>18}{:>18}{:>18}{:>18}{:>18}",
+        "dataset", "Serial LZSS", "Pthread LZSS", "BZIP2", "CULZSS V1", "CULZSS V2"
+    );
+    for m in rows {
+        let dataset = m.dataset;
+        let p = paper::table1(dataset);
+        let cell = |paper: f64, ours: f64| format!("{paper:>7.2} → {ours:>7.2}");
+        println!(
+            "{:<16}{:>18}{:>18}{:>18}{:>18}{:>18}",
+            dataset.paper_label(),
+            cell(p.serial, m.serial),
+            cell(p.pthread, m.pthread),
+            cell(p.bzip2, m.bzip2),
+            cell(p.v1, m.v1),
+            cell(p.v2, m.v2),
+        );
+    }
+    println!();
+}
+
+fn table2(cfg: MeasureCfg) {
+    println!("## Table II — compression ratios (smaller is better; paper → measured)\n");
+    println!(
+        "{:<16}{:>18}{:>18}{:>18}{:>18}",
+        "dataset", "Serial", "BZIP2", "V1", "V2"
+    );
+    for dataset in Dataset::ALL {
+        let m = measure_table2_row(dataset, cfg);
+        let p = paper::table2(dataset);
+        let cell = |paper: f64, ours: f64| {
+            format!("{:>6.1}% → {:>5.1}%", paper * 100.0, ours * 100.0)
+        };
+        println!(
+            "{:<16}{:>18}{:>18}{:>18}{:>18}",
+            dataset.paper_label(),
+            cell(p.serial, m.serial),
+            cell(p.bzip2, m.bzip2),
+            cell(p.v1, m.v1),
+            cell(p.v2, m.v2),
+        );
+    }
+    println!();
+}
+
+fn table3(cfg: MeasureCfg) {
+    println!("## Table III — decompression times (seconds; paper → measured)\n");
+    println!("{:<16}{:>18}{:>18}{:>12}", "dataset", "Serial LZSS", "CULZSS", "speedup");
+    for dataset in Dataset::ALL {
+        let m = measure_table3_row(dataset, cfg);
+        let p = paper::table3(dataset);
+        println!(
+            "{:<16}{:>8.2} → {:>6.3}{:>8.2} → {:>6.3}{:>11.2}x",
+            dataset.paper_label(),
+            p.serial,
+            m.serial,
+            p.culzss,
+            m.culzss,
+            m.serial / m.culzss,
+        );
+    }
+    println!();
+}
+
+fn bar(x: f64, per_char: f64) -> String {
+    let n = (x / per_char).round().clamp(0.0, 60.0) as usize;
+    "█".repeat(n.max(usize::from(x > 0.0)))
+}
+
+fn figure4(rows: &[Table1Measured]) {
+    println!("## Figure 4 — speedup over serial LZSS (paper → measured)\n");
+    println!(
+        "{:<16}{:>16}{:>16}{:>16}{:>16}",
+        "dataset", "Pthread", "BZIP2", "CULZSS V1", "CULZSS V2"
+    );
+    for m in rows {
+        let dataset = m.dataset;
+        let fig = Figure4Row::from_table1(m);
+        let p = paper::table1(dataset);
+        let cell =
+            |paper: f64, ours: f64| format!("{paper:>5.1}x → {ours:>5.1}x");
+        println!(
+            "{:<16}{:>16}{:>16}{:>16}{:>16}",
+            dataset.paper_label(),
+            cell(p.serial / p.pthread, fig.pthread),
+            cell(p.serial / p.bzip2, fig.bzip2),
+            cell(p.serial / p.v1, fig.v1),
+            cell(p.serial / p.v2, fig.v2),
+        );
+    }
+    // The figure itself, as ASCII bars (log-ish scale: 1 char ≈ 1×,
+    // GPU bars capped at 60 chars).
+    println!("\nmeasured speedup bars (1 char ≈ 1×; capped at 60):");
+    for m in rows {
+        let fig = Figure4Row::from_table1(m);
+        println!("  {:<16}", m.dataset.paper_label());
+        for (name, v) in [
+            ("pthread", fig.pthread),
+            ("bzip2", fig.bzip2),
+            ("v1", fig.v1),
+            ("v2", fig.v2),
+        ] {
+            println!("    {name:<8}{:>8.1}x |{}", v, bar(v, 1.0));
+        }
+    }
+    println!();
+}
+
+fn ablation_shared(cfg: MeasureCfg) {
+    println!("## §III-D ablation — V1 shared-memory buffers vs (cached) global\n");
+    println!("paper: \"allowed us a 30% speed up over the global memory implementation\"\n");
+    let data = Dataset::CFiles.generate(cfg.bytes, cfg.seed);
+    let device = DeviceSpec::gtx480();
+    let mut global = CulzssParams::v1();
+    global.use_shared_memory = false;
+
+    let run = |params: CulzssParams| {
+        let culzss = Culzss::with_device(device.clone(), params);
+        let (_, stats) = culzss.compress(&data).unwrap();
+        stats.launch.unwrap().cost.work_cycles / device.sm_count as f64 / device.clock_hz
+            * cfg.scale()
+    };
+    let shared_s = run(CulzssParams::v1());
+    let global_s = run(global);
+    println!("shared-memory windows : {shared_s:>8.3} s (kernel, scaled)");
+    println!("global-memory windows : {global_s:>8.3} s (kernel, scaled)");
+    println!("speedup from shared   : {:>8.1} %\n", (global_s / shared_s - 1.0) * 100.0);
+}
+
+fn sweep_threads(cfg: MeasureCfg) {
+    println!("## §III-D sweep — threads per block (paper: 128 is best)\n");
+    let data = Dataset::CFiles.generate(cfg.bytes.min(4 << 20), cfg.seed);
+    let device = DeviceSpec::gtx480();
+    for version in [Version::V1, Version::V2] {
+        println!("{}:", version.name());
+        let points =
+            tuning::sweep_threads(&device, version, &data, &[32, 64, 128, 256, 512]);
+        for p in points {
+            match p.gpu_seconds {
+                Some(s) => println!("  {:>4} threads/block: {:>9.4} s (gpu, unscaled)", p.value, s),
+                None => println!(
+                    "  {:>4} threads/block: infeasible (shared memory / device limits)",
+                    p.value
+                ),
+            }
+        }
+    }
+    println!();
+}
+
+fn sweep_window(cfg: MeasureCfg) {
+    println!("## §III-D sweep — window size (paper: 128 B best point)\n");
+    let data = Dataset::CFiles.generate(cfg.bytes.min(4 << 20), cfg.seed);
+    let device = DeviceSpec::gtx480();
+    let points = tuning::sweep_window(&device, Version::V2, &data, &[32, 64, 128, 256, 512]);
+    for p in points {
+        match (p.gpu_seconds, p.ratio) {
+            (Some(s), Some(r)) => println!(
+                "  window {:>4} B: {:>9.4} s (gpu, unscaled), ratio {:>5.1}%",
+                p.value,
+                s,
+                r * 100.0
+            ),
+            _ => println!("  window {:>4} B: infeasible (16-bit code limit)", p.value),
+        }
+    }
+    println!();
+}
+
+fn hetero_sweep(cfg: MeasureCfg) {
+    use culzss::hetero::HeteroCompressor;
+    println!("## §VII extension — heterogeneous CPU+GPU split (V1, C files)\n");
+    let data = Dataset::CFiles.generate(cfg.bytes.min(2 << 20), cfg.seed);
+    let make = || Culzss::new(Version::V1);
+    for fraction in [0.0f64, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let hetero = HeteroCompressor::new(make(), fraction, 8);
+        let (_, stats) = hetero.compress(&data).unwrap();
+        println!(
+            "  cpu share {:>4.0}%: cpu {:>8.2} ms | gpu {:>8.2} ms | total {:>8.2} ms",
+            fraction * 100.0,
+            stats.cpu_seconds * 1e3,
+            stats.gpu_seconds * 1e3,
+            stats.total_seconds() * 1e3,
+        );
+    }
+    let auto = HeteroCompressor::new(make(), 0.5, 8)
+        .auto_balance(&data[..data.len().min(256 * 1024)])
+        .unwrap();
+    let share = auto.cpu_fraction();
+    let (_, stats) = auto.compress(&data).unwrap();
+    println!(
+        "  auto-balanced {:>4.0}%: cpu {:>8.2} ms | gpu {:>8.2} ms | total {:>8.2} ms\n",
+        share * 100.0,
+        stats.cpu_seconds * 1e3,
+        stats.gpu_seconds * 1e3,
+        stats.total_seconds() * 1e3,
+    );
+}
+
+fn selfcheck(cfg: MeasureCfg) {
+    println!("## corpus self-check — generator statistics vs. paper expectations\n");
+    println!(
+        "{:<22}{:>9}{:>10}{:>12}{:>18}{:>8}",
+        "dataset", "entropy", "alphabet", "period", "serial ratio", "band"
+    );
+    let config = culzss_lzss::LzssConfig::dipperstein();
+    for dataset in Dataset::ALL {
+        let data = dataset.generate(cfg.bytes.min(1 << 20), cfg.seed);
+        let profile = culzss_datasets::stats::profile(&data);
+        let ratio = culzss_lzss::serial::compress(&data, &config).unwrap().len() as f64
+            / data.len() as f64;
+        let paper = paper::table2(dataset).serial;
+        // Generous band: within 0.15 absolute of the paper's serial ratio.
+        let ok = (ratio - paper).abs() < 0.15;
+        println!(
+            "{:<22}{:>9.2}{:>10}{:>12}{:>9.1}% ({:>4.1}%){:>8}",
+            dataset.slug(),
+            profile.entropy,
+            profile.alphabet,
+            profile
+                .period
+                .map(|(lag, s)| format!("{lag}@{s:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            ratio * 100.0,
+            paper * 100.0,
+            if ok { "PASS" } else { "DRIFT" },
+        );
+    }
+    println!();
+}
+
+fn overlap(cfg: MeasureCfg) {
+    println!("## §V extension — CPU/GPU overlap (pipelined V2)\n");
+    let data = Dataset::CFiles.generate(cfg.bytes, cfg.seed);
+    let culzss = Culzss::new(Version::V2);
+    let (_, stats) = culzss.compress(&data).unwrap();
+    for slices in [1usize, 4, 16, 64] {
+        let report = pipeline::overlap(&stats, slices);
+        println!(
+            "  {:>3} slices: {:>9.4} s → {:>9.4} s  ({:.2}x)",
+            slices, report.sequential_seconds, report.pipelined_seconds, report.speedup
+        );
+    }
+    println!();
+}

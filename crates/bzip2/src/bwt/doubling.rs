@@ -1,0 +1,76 @@
+//! Prefix-doubling suffix-array construction (Manber–Myers style).
+//!
+//! O(n log² n): rank suffixes by their first 2^k symbols, doubling k each
+//! round. Slower than SA-IS but independent — the two implementations
+//! cross-check each other in tests, and the doubling backend is closer in
+//! spirit to comparison-based sorters like the one in bzip2 itself.
+
+/// Suffix array of `data` plus a virtual sentinel, identical contract to
+/// [`super::sais::suffix_array`].
+pub fn suffix_array(data: &[u8]) -> Vec<u32> {
+    let n = data.len() + 1;
+    // rank[i]: current rank of suffix i; sentinel gets rank 0.
+    let mut rank: Vec<i64> = data.iter().map(|&b| i64::from(b) + 1).collect();
+    rank.push(0);
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut tmp = vec![0i64; n];
+
+    let mut k = 1usize;
+    loop {
+        let key = |i: u32| {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] } else { -1 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur as usize] =
+                tmp[prev as usize] + i64::from(key(prev) != key(cur));
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1] as usize] == (n - 1) as i64 {
+            break;
+        }
+        k *= 2;
+    }
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::sais;
+    use super::*;
+
+    #[test]
+    fn agrees_with_sais_on_fixtures() {
+        for data in [
+            b"".as_slice(),
+            b"a",
+            b"banana",
+            b"mississippi",
+            b"abababab",
+            b"aaaaaaaaaaaa",
+            b"the quick brown fox",
+        ] {
+            assert_eq!(suffix_array(data), sais::suffix_array(data));
+        }
+    }
+
+    #[test]
+    fn agrees_with_sais_on_random_data() {
+        let mut state = 0xDEADBEEFu64;
+        for len in [10usize, 100, 257, 2000] {
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    ((state >> 40) % 7) as u8 + b'a'
+                })
+                .collect();
+            assert_eq!(suffix_array(&data), sais::suffix_array(&data), "len={len}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The Burrows–Wheeler transform and its inverse.
+//!
+//! The forward transform is derived from a suffix array of `data +
+//! sentinel`: row `j` of the (virtual) sorted matrix contributes the
+//! symbol preceding suffix `SA[j]`. The sentinel itself is not emitted;
+//! its row index is recorded as the *primary index* instead, so the output
+//! is exactly `data.len()` bytes plus one integer — the same bookkeeping
+//! real bzip2 uses.
+
+pub mod doubling;
+pub mod sais;
+
+/// Which suffix-array construction to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Linear-time induced sorting (default).
+    #[default]
+    SaIs,
+    /// O(n log² n) prefix doubling (reference/cross-check).
+    Doubling,
+}
+
+/// A transformed block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bwt {
+    /// The last-column bytes (sentinel omitted), length = input length.
+    pub data: Vec<u8>,
+    /// Row index where the sentinel would appear in the last column.
+    pub primary: u32,
+}
+
+/// Forward transform.
+pub fn forward(data: &[u8], backend: Backend) -> Bwt {
+    let sa = match backend {
+        Backend::SaIs => sais::suffix_array(data),
+        Backend::Doubling => doubling::suffix_array(data),
+    };
+    let mut out = Vec::with_capacity(data.len());
+    let mut primary = 0u32;
+    for (row, &suffix) in sa.iter().enumerate() {
+        if suffix == 0 {
+            // The symbol before suffix 0 is the sentinel: record the row.
+            primary = row as u32;
+        } else {
+            out.push(data[suffix as usize - 1]);
+        }
+    }
+    Bwt { data: out, primary }
+}
+
+/// Inverse transform. Returns `None` when `primary` is out of range
+/// (corrupt stream).
+pub fn inverse(bwt: &Bwt) -> Option<Vec<u8>> {
+    let n = bwt.data.len();
+    if bwt.primary as usize > n {
+        return None;
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Conceptual last column `L` = bwt.data with the sentinel inserted at
+    // row `primary`. We compute LF over that (n+1)-row column without
+    // materializing it: the sentinel is the unique smallest symbol.
+    //
+    // First-column layout: row 0 is the sentinel; rows 1.. hold the data
+    // symbols in sorted order. cumulative[c] = first row of symbol c.
+    let mut counts = [0u32; 256];
+    for &b in &bwt.data {
+        counts[b as usize] += 1;
+    }
+    let mut cumulative = [0u32; 256];
+    let mut sum = 1u32; // row 0 is the sentinel
+    for c in 0..256 {
+        cumulative[c] = sum;
+        sum += counts[c];
+    }
+
+    // LF mapping for the virtual rows 0..=n.
+    let mut lf = vec![0u32; n + 1];
+    let mut seen = [0u32; 256];
+    for (row, slot) in lf.iter_mut().enumerate() {
+        if row == bwt.primary as usize {
+            *slot = 0; // the sentinel maps to first-column row 0
+        } else {
+            // Data index: rows after the sentinel row shift down by one.
+            let idx = if row < bwt.primary as usize { row } else { row - 1 };
+            let c = bwt.data[idx] as usize;
+            *slot = cumulative[c] + seen[c];
+            seen[c] += 1;
+        }
+    }
+
+    // Walking LF from row 0 (the rotation that starts with the sentinel)
+    // yields the original string's symbols in reverse order: L[0] is the
+    // last character of the text, L[LF⁻¹…] precedes it, and so on.
+    let mut out = vec![0u8; n];
+    let mut row = 0u32;
+    for i in (0..n).rev() {
+        // L at `row`: in a well-formed stream the sentinel row is only
+        // reached after n steps; hitting it early means corruption.
+        if row == bwt.primary {
+            return None;
+        }
+        let idx = if (row as usize) < bwt.primary as usize {
+            row as usize
+        } else {
+            row as usize - 1
+        };
+        out[i] = bwt.data[idx];
+        row = lf[row as usize];
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banana_forward() {
+        // Classic result: BWT("banana") with sentinel = "annb$aa" →
+        // data "annbaa", primary at the '$' row (index 4).
+        let t = forward(b"banana", Backend::SaIs);
+        assert_eq!(t.data, b"annbaa");
+        assert_eq!(t.primary, 4);
+    }
+
+    #[test]
+    fn roundtrip_fixtures() {
+        for data in [
+            b"".as_slice(),
+            b"a",
+            b"ab",
+            b"aa",
+            b"banana",
+            b"mississippi",
+            b"the theory of the burrows wheeler transform",
+            b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+        ] {
+            for backend in [Backend::SaIs, Backend::Doubling] {
+                let t = forward(data, backend);
+                assert_eq!(
+                    inverse(&t).unwrap(),
+                    data,
+                    "{:?} {:?}",
+                    backend,
+                    String::from_utf8_lossy(data)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let mut state = 0xABCDEFu64;
+        for len in [1usize, 7, 64, 513, 5000] {
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 56) as u8
+                })
+                .collect();
+            let t = forward(&data, Backend::SaIs);
+            assert_eq!(inverse(&t).unwrap(), data, "len={len}");
+        }
+    }
+
+    #[test]
+    fn bwt_groups_symbols() {
+        // The transform of structured text should have longer same-byte
+        // runs than the input — the property MTF+RLE exploit.
+        let data = b"she sells sea shells by the sea shore ".repeat(50);
+        let t = forward(&data, Backend::SaIs);
+        let runs = |xs: &[u8]| xs.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(runs(&t.data) > runs(&data) * 2);
+    }
+
+    #[test]
+    fn corrupt_primary_rejected() {
+        let t = Bwt { data: b"annbaa".to_vec(), primary: 99 };
+        assert!(inverse(&t).is_none());
+    }
+}

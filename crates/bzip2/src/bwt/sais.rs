@@ -1,0 +1,295 @@
+//! Linear-time suffix-array construction (SA-IS).
+//!
+//! Nong, Zhang & Chan's induced-sorting algorithm: classify positions as
+//! L/S-type, locate the LMS positions, induce-sort the LMS substrings,
+//! name them, recurse if names collide, then induce the full order from
+//! the sorted LMS suffixes. The implementation works over `u32` texts so
+//! the recursion reuses the same code path; byte input is promoted once.
+//!
+//! The returned array is the suffix array of `text + sentinel`, where the
+//! virtual sentinel is strictly smaller than every symbol; index 0 always
+//! holds the sentinel suffix (= `text.len()`).
+
+/// Suffix array of `data` plus a virtual terminating sentinel.
+///
+/// `result.len() == data.len() + 1` and `result[0] == data.len()`.
+pub fn suffix_array(data: &[u8]) -> Vec<u32> {
+    // Promote to u32 with symbols shifted by 1 so 0 is free for the
+    // sentinel, then run the generic core.
+    let mut text: Vec<u32> = Vec::with_capacity(data.len() + 1);
+    text.extend(data.iter().map(|&b| u32::from(b) + 1));
+    text.push(0);
+    let mut sa = vec![0u32; text.len()];
+    sais(&text, 257, &mut sa);
+    sa
+}
+
+/// Core SA-IS over a `u32` text whose last element is the unique smallest
+/// symbol (the sentinel, value 0).
+fn sais(text: &[u32], alphabet: usize, sa: &mut [u32]) {
+    let n = text.len();
+    debug_assert_eq!(sa.len(), n);
+    if n == 1 {
+        sa[0] = 0;
+        return;
+    }
+    if n == 2 {
+        // text = [x, 0]: suffixes "x0" and "0" → sentinel first.
+        sa[0] = 1;
+        sa[1] = 0;
+        return;
+    }
+
+    // 1. L/S classification. stype[i] == true ⇔ suffix i is S-type.
+    let mut stype = vec![false; n];
+    stype[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        stype[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && stype[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && stype[i] && !stype[i - 1];
+
+    // Bucket sizes per symbol.
+    let mut bucket = vec![0u32; alphabet];
+    for &c in text {
+        bucket[c as usize] += 1;
+    }
+
+    let bucket_heads = |bucket: &[u32]| {
+        let mut heads = vec![0u32; alphabet];
+        let mut sum = 0u32;
+        for (c, &cnt) in bucket.iter().enumerate() {
+            heads[c] = sum;
+            sum += cnt;
+        }
+        heads
+    };
+    let bucket_tails = |bucket: &[u32]| {
+        let mut tails = vec![0u32; alphabet];
+        let mut sum = 0u32;
+        for (c, &cnt) in bucket.iter().enumerate() {
+            sum += cnt;
+            tails[c] = sum;
+        }
+        tails
+    };
+
+    const EMPTY: u32 = u32::MAX;
+
+    // Induced sort: given LMS positions seeded at bucket tails, derive
+    // the order of all suffixes.
+    let induce = |sa: &mut [u32], stype: &[bool]| {
+        // L-type: scan left-to-right from bucket heads.
+        let mut heads = bucket_heads(&bucket);
+        for i in 0..n {
+            let j = sa[i];
+            if j != EMPTY && j > 0 {
+                let k = (j - 1) as usize;
+                if !stype[k] {
+                    let c = text[k] as usize;
+                    sa[heads[c] as usize] = k as u32;
+                    heads[c] += 1;
+                }
+            }
+        }
+        // S-type: scan right-to-left from bucket tails.
+        let mut tails = bucket_tails(&bucket);
+        for i in (0..n).rev() {
+            let j = sa[i];
+            if j != EMPTY && j > 0 {
+                let k = (j - 1) as usize;
+                if stype[k] {
+                    let c = text[k] as usize;
+                    tails[c] -= 1;
+                    sa[tails[c] as usize] = k as u32;
+                }
+            }
+        }
+    };
+
+    // 2. First pass: place LMS positions at bucket tails in text order,
+    //    then induce to sort the LMS *substrings*.
+    sa.fill(EMPTY);
+    {
+        let mut tails = bucket_tails(&bucket);
+        for i in (1..n).rev() {
+            if is_lms(i) {
+                let c = text[i] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = i as u32;
+            }
+        }
+    }
+    induce(sa, &stype);
+
+    // 3. Compact the sorted LMS positions and name their substrings. The
+    //    sentinel position n-1 always classifies as LMS (its predecessor
+    //    is L because the sentinel is the unique minimum).
+    let lms_count = (1..n).filter(|&i| is_lms(i)).count();
+    let mut sorted_lms = Vec::with_capacity(lms_count);
+    for &j in sa.iter() {
+        let j = j as usize;
+        if is_lms(j) {
+            sorted_lms.push(j as u32);
+        }
+    }
+    debug_assert_eq!(sorted_lms.len(), lms_count);
+
+    // Name LMS substrings by comparing adjacent ones.
+    let mut names = vec![EMPTY; n];
+    let mut current = 0u32;
+    names[sorted_lms[0] as usize] = 0;
+    for w in sorted_lms.windows(2) {
+        let (a, b) = (w[0] as usize, w[1] as usize);
+        if !lms_substring_eq(text, &stype, a, b) {
+            current += 1;
+        }
+        names[b] = current;
+    }
+    let unique = (current as usize + 1) == lms_count;
+
+    // LMS positions in text order, and their names.
+    let lms_in_order: Vec<u32> =
+        (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
+
+    // 4. Order the LMS suffixes: directly if names are unique, otherwise
+    //    recurse on the reduced text.
+    let lms_sorted_final: Vec<u32> = if unique {
+        sorted_lms
+    } else {
+        let reduced: Vec<u32> =
+            lms_in_order.iter().map(|&p| names[p as usize]).collect();
+        let mut sub_sa = vec![0u32; reduced.len()];
+        sais(&reduced, current as usize + 1, &mut sub_sa);
+        sub_sa.iter().map(|&r| lms_in_order[r as usize]).collect()
+    };
+
+    // 5. Second pass: seed the *sorted* LMS suffixes at bucket tails
+    //    (in reverse sorted order) and induce the final array.
+    sa.fill(EMPTY);
+    {
+        let mut tails = bucket_tails(&bucket);
+        for &p in lms_sorted_final.iter().rev() {
+            let c = text[p as usize] as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = p;
+        }
+    }
+    induce(sa, &stype);
+}
+
+/// Compares the LMS substrings starting at `a` and `b` for equality
+/// (symbols and types, up to and including the next LMS position).
+fn lms_substring_eq(text: &[u32], stype: &[bool], a: usize, b: usize) -> bool {
+    let n = text.len();
+    if a == n - 1 || b == n - 1 {
+        return a == b;
+    }
+    let is_lms = |i: usize| i > 0 && stype[i] && !stype[i - 1];
+    let mut i = 0usize;
+    loop {
+        let (pa, pb) = (a + i, b + i);
+        if pa >= n || pb >= n {
+            return false;
+        }
+        if text[pa] != text[pb] || stype[pa] != stype[pb] {
+            return false;
+        }
+        if i > 0 && (is_lms(pa) || is_lms(pb)) {
+            return is_lms(pa) && is_lms(pb);
+        }
+        i += 1;
+    }
+}
+
+/// Reference implementation: naive suffix sort (test oracle only).
+pub fn naive_suffix_array(data: &[u8]) -> Vec<u32> {
+    let n = data.len();
+    let mut sa: Vec<u32> = (0..=n as u32).collect();
+    sa.sort_by(|&a, &b| {
+        let sa_suffix = &data[a as usize..];
+        let sb_suffix = &data[b as usize..];
+        // Sentinel: shorter suffix (ending at the sentinel) sorts first on
+        // equal prefixes, which `slice::cmp` already provides.
+        sa_suffix.cmp(sb_suffix)
+    });
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_inputs() {
+        assert_eq!(suffix_array(b""), vec![0]);
+        assert_eq!(suffix_array(b"a"), vec![1, 0]);
+        assert_eq!(suffix_array(b"ba"), vec![2, 1, 0]);
+        assert_eq!(suffix_array(b"ab"), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn banana() {
+        // suffixes of "banana$": $, a$, ana$, anana$, banana$, na$, nana$
+        assert_eq!(suffix_array(b"banana"), vec![6, 5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn mississippi() {
+        assert_eq!(suffix_array(b"mississippi"), naive_suffix_array(b"mississippi"));
+    }
+
+    #[test]
+    fn repetitive_inputs_match_naive() {
+        for data in [
+            b"aaaaaaaaaaaaaaaa".as_slice(),
+            b"abababababababab",
+            b"abcabcabcabcabc",
+            b"aabbaabbaabb",
+            b"zzzzyzzzzyzzzzy",
+        ] {
+            assert_eq!(
+                suffix_array(data),
+                naive_suffix_array(data),
+                "{:?}",
+                String::from_utf8_lossy(data)
+            );
+        }
+    }
+
+    #[test]
+    fn random_inputs_match_naive() {
+        let mut state = 0x12345678u64;
+        for len in [1usize, 2, 3, 5, 17, 100, 1000] {
+            for trial in 0..8 {
+                let data: Vec<u8> = (0..len)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        // Small alphabet stresses ties and recursion.
+                        ((state >> 33) % 4) as u8 + b'a'
+                    })
+                    .collect();
+                assert_eq!(
+                    suffix_array(&data),
+                    naive_suffix_array(&data),
+                    "len={len} trial={trial}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_byte_alphabet() {
+        let data: Vec<u8> = (0..=255u8).rev().cycle().take(600).collect();
+        assert_eq!(suffix_array(&data), naive_suffix_array(&data));
+    }
+
+    #[test]
+    fn result_is_a_permutation() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let sa = suffix_array(data);
+        let mut sorted = sa.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..=data.len() as u32).collect::<Vec<_>>());
+        assert_eq!(sa[0], data.len() as u32);
+    }
+}

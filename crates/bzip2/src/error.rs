@@ -1,0 +1,37 @@
+//! Error type for the block-sorting codec.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type BzResult<T> = std::result::Result<T, BzError>;
+
+/// Decoding errors (compression is infallible apart from configuration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BzError {
+    /// Stream ended inside the named element.
+    Truncated(&'static str),
+    /// Structurally invalid content.
+    Corrupt(String),
+}
+
+impl fmt::Display for BzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BzError::Truncated(what) => write!(f, "stream truncated while reading {what}"),
+            BzError::Corrupt(reason) => write!(f, "corrupt stream: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for BzError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(BzError::Truncated("huffman table").to_string().contains("huffman"));
+        assert!(BzError::Corrupt("oops".into()).to_string().contains("oops"));
+    }
+}

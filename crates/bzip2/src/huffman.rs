@@ -1,0 +1,632 @@
+//! Canonical Huffman coding over the RUNA/RUNB symbol alphabet.
+//!
+//! One table per block (bzip2 proper switches among six; the single-table
+//! simplification costs a few percent of ratio and is noted in
+//! EXPERIMENTS.md). Code lengths are derived from a standard heap-built
+//! Huffman tree; codes are assigned canonically so only the length array
+//! (6 bits per symbol) needs to be serialized.
+
+use std::collections::BinaryHeap;
+
+use culzss_lzss::bitio::{BitReader, BitWriter};
+
+use crate::error::{BzError, BzResult};
+use crate::zrle::ALPHABET;
+
+/// Maximum representable code length (6-bit field).
+pub const MAX_LEN: u8 = 63;
+
+/// A canonical codebook: per-symbol code lengths plus assigned codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeBook {
+    /// Code length per symbol; 0 = symbol unused.
+    pub lengths: Vec<u8>,
+    codes: Vec<u64>,
+}
+
+impl CodeBook {
+    /// Builds a codebook from symbol frequencies.
+    pub fn from_frequencies(freqs: &[u64]) -> CodeBook {
+        let lengths = build_lengths(freqs);
+        let codes = canonical_codes(&lengths);
+        CodeBook { lengths, codes }
+    }
+
+    /// Rebuilds a codebook from a deserialized length array.
+    pub fn from_lengths(lengths: Vec<u8>) -> BzResult<CodeBook> {
+        // Kraft check: Σ 2^-len ≤ 1, so corrupt tables fail fast.
+        let mut kraft = 0u128;
+        for &l in &lengths {
+            if l > MAX_LEN {
+                return Err(BzError::Corrupt(format!("code length {l} too large")));
+            }
+            if l > 0 {
+                kraft += 1u128 << (MAX_LEN - l);
+            }
+        }
+        if kraft > 1u128 << MAX_LEN {
+            return Err(BzError::Corrupt("Kraft inequality violated".into()));
+        }
+        let codes = canonical_codes(&lengths);
+        Ok(CodeBook { lengths, codes })
+    }
+
+    /// Writes one symbol's code.
+    pub fn write_symbol(&self, w: &mut BitWriter, symbol: u16) {
+        let len = self.lengths[symbol as usize];
+        debug_assert!(len > 0, "writing a symbol with no code: {symbol}");
+        let code = self.codes[symbol as usize];
+        // Codes can exceed 32 bits in pathological tables; write in halves.
+        if len <= 32 {
+            w.write_bits(code as u32, len);
+        } else {
+            w.write_bits((code >> 32) as u32, len - 32);
+            w.write_bits((code & 0xFFFF_FFFF) as u32, 32);
+        }
+    }
+
+    /// Serializes the length table (6 bits per symbol).
+    pub fn write_table(&self, w: &mut BitWriter) {
+        for &l in &self.lengths {
+            w.write_bits(u32::from(l), 6);
+        }
+    }
+
+    /// Deserializes a length table of `alphabet` symbols.
+    pub fn read_table(r: &mut BitReader<'_>, alphabet: usize) -> BzResult<CodeBook> {
+        let mut lengths = Vec::with_capacity(alphabet);
+        for _ in 0..alphabet {
+            let l = r
+                .read_bits(6, "huffman table")
+                .map_err(|_| BzError::Truncated("huffman table"))? as u8;
+            lengths.push(l);
+        }
+        CodeBook::from_lengths(lengths)
+    }
+}
+
+/// Builds Huffman code lengths from frequencies (heap algorithm).
+/// Symbols with zero frequency get length 0 (no code).
+pub fn build_lengths(freqs: &[u64]) -> Vec<u8> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        freq: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap by frequency, ties by id for determinism.
+            other.freq.cmp(&self.freq).then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let used: Vec<usize> =
+        freqs.iter().enumerate().filter(|(_, &f)| f > 0).map(|(i, _)| i).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Internal tree: parent pointers over leaves + merged nodes.
+    let mut parent: Vec<usize> = vec![usize::MAX; used.len()];
+    let mut heap: BinaryHeap<Node> = used
+        .iter()
+        .enumerate()
+        .map(|(leaf_id, &sym)| Node { freq: freqs[sym], id: leaf_id })
+        .collect();
+    let mut next_id = used.len();
+    while heap.len() > 1 {
+        let a = heap.pop().expect("heap has two");
+        let b = heap.pop().expect("heap has two");
+        parent.push(usize::MAX);
+        parent[a.id] = next_id;
+        parent[b.id] = next_id;
+        heap.push(Node { freq: a.freq.saturating_add(b.freq), id: next_id });
+        next_id += 1;
+    }
+    for (leaf_id, &sym) in used.iter().enumerate() {
+        let mut depth = 0u8;
+        let mut node = leaf_id;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[sym] = depth.max(1);
+    }
+    lengths
+}
+
+/// Assigns canonical codes: symbols sorted by (length, index) receive
+/// consecutive codes, shifted when the length increases.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u64> {
+    let mut order: Vec<usize> =
+        (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+    order.sort_by_key(|&i| (lengths[i], i));
+    let mut codes = vec![0u64; lengths.len()];
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for &sym in &order {
+        code <<= lengths[sym] - prev_len;
+        prev_len = lengths[sym];
+        codes[sym] = code;
+        code += 1;
+    }
+    codes
+}
+
+/// Canonical decoder: per-length first-code/first-index tables.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// Symbols in canonical order.
+    symbols: Vec<u16>,
+    /// For each length 1..=MAX_LEN: (first code, first canonical index,
+    /// count).
+    levels: Vec<(u64, usize, usize)>,
+}
+
+impl Decoder {
+    /// Builds a decoder from the codebook's lengths.
+    pub fn new(book: &CodeBook) -> Decoder {
+        let lengths = &book.lengths;
+        let mut order: Vec<usize> =
+            (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+        order.sort_by_key(|&i| (lengths[i], i));
+        let symbols: Vec<u16> = order.iter().map(|&i| i as u16).collect();
+
+        let mut levels = Vec::with_capacity(usize::from(MAX_LEN) + 1);
+        let mut code = 0u64;
+        let mut idx = 0usize;
+        for len in 1..=MAX_LEN {
+            code <<= 1;
+            let count = order.iter().filter(|&&s| lengths[s] == len).count();
+            levels.push((code, idx, count));
+            code += count as u64;
+            idx += count;
+        }
+        Decoder { symbols, levels }
+    }
+
+    /// Reads one symbol from the bit stream.
+    pub fn read_symbol(&self, r: &mut BitReader<'_>) -> BzResult<u16> {
+        let mut code = 0u64;
+        for level in &self.levels {
+            let bit = r.read_bit("huffman code").map_err(|_| BzError::Truncated("huffman code"))?;
+            code = (code << 1) | u64::from(bit);
+            let (first_code, first_idx, count) = *level;
+            if code >= first_code && code < first_code + count as u64 {
+                return Ok(self.symbols[first_idx + (code - first_code) as usize]);
+            }
+        }
+        Err(BzError::Corrupt("huffman code exceeds maximum length".into()))
+    }
+}
+
+/// Convenience: encodes `symbols` (appending to `w`) with `book`.
+pub fn encode_stream(book: &CodeBook, symbols: &[u16], w: &mut BitWriter) {
+    for &s in symbols {
+        book.write_symbol(w, s);
+    }
+}
+
+/// Convenience: decodes until the given terminator symbol (inclusive).
+pub fn decode_until(
+    decoder: &Decoder,
+    r: &mut BitReader<'_>,
+    terminator: u16,
+    limit: usize,
+) -> BzResult<Vec<u16>> {
+    let mut out = Vec::new();
+    loop {
+        let s = decoder.read_symbol(r)?;
+        out.push(s);
+        if s == terminator {
+            return Ok(out);
+        }
+        if out.len() > limit {
+            return Err(BzError::Corrupt("block exceeds declared size".into()));
+        }
+    }
+}
+
+/// Alphabet-sized frequency count for a symbol stream.
+pub fn frequencies(symbols: &[u16]) -> Vec<u64> {
+    let mut freqs = vec![0u64; ALPHABET];
+    for &s in symbols {
+        freqs[s as usize] += 1;
+    }
+    freqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_follow_frequencies() {
+        let mut freqs = vec![0u64; 8];
+        freqs[0] = 100;
+        freqs[1] = 50;
+        freqs[2] = 10;
+        freqs[3] = 1;
+        let lengths = build_lengths(&freqs);
+        assert!(lengths[0] <= lengths[1]);
+        assert!(lengths[1] <= lengths[2]);
+        assert!(lengths[2] <= lengths[3]);
+        assert_eq!(lengths[4], 0);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let mut freqs = vec![0u64; 10];
+        freqs[7] = 42;
+        let lengths = build_lengths(&freqs);
+        assert_eq!(lengths[7], 1);
+        assert_eq!(lengths.iter().map(|&l| usize::from(l)).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn kraft_equality_for_full_trees() {
+        let freqs: Vec<u64> = (1..=17u64).collect();
+        let lengths = build_lengths(&freqs);
+        let kraft: f64 =
+            lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-i32::from(l))).sum();
+        assert!((kraft - 1.0).abs() < 1e-12, "{kraft}");
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs: Vec<u64> = vec![50, 30, 10, 5, 3, 1, 1];
+        let lengths = build_lengths(&freqs);
+        let codes = canonical_codes(&lengths);
+        for i in 0..freqs.len() {
+            for j in 0..freqs.len() {
+                if i == j || lengths[i] == 0 || lengths[j] == 0 {
+                    continue;
+                }
+                if lengths[i] <= lengths[j] {
+                    let prefix = codes[j] >> (lengths[j] - lengths[i]);
+                    assert!(
+                        prefix != codes[i] || i == j,
+                        "code {i} is a prefix of {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let symbols: Vec<u16> =
+            (0..5000u32).map(|i| ((i * i + i / 3) % 97) as u16).collect();
+        let mut with_eob = symbols.clone();
+        with_eob.push(crate::zrle::EOB);
+        let freqs = frequencies(&with_eob);
+        let book = CodeBook::from_frequencies(&freqs);
+
+        let mut w = BitWriter::new();
+        book.write_table(&mut w);
+        encode_stream(&book, &with_eob, &mut w);
+        let bytes = w.finish();
+
+        let mut r = BitReader::new(&bytes);
+        let book2 = CodeBook::read_table(&mut r, ALPHABET).unwrap();
+        assert_eq!(book2.lengths, book.lengths);
+        let decoder = Decoder::new(&book2);
+        let decoded =
+            decode_until(&decoder, &mut r, crate::zrle::EOB, with_eob.len()).unwrap();
+        assert_eq!(decoded, with_eob);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 99 % one symbol → far fewer bits than 8 per symbol.
+        let mut symbols = vec![3u16; 9900];
+        symbols.extend(vec![7u16; 100]);
+        let freqs = frequencies(&symbols);
+        let book = CodeBook::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        encode_stream(&book, &symbols, &mut w);
+        assert!(w.bit_len() < symbols.len() * 2);
+    }
+
+    #[test]
+    fn corrupt_tables_rejected() {
+        // All symbols length 1: Kraft violation.
+        let lengths = vec![1u8; 10];
+        assert!(CodeBook::from_lengths(lengths).is_err());
+    }
+
+    #[test]
+    fn truncated_code_detected() {
+        let freqs = vec![5u64, 5, 5, 5];
+        let book = CodeBook::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        book.write_symbol(&mut w, 0);
+        let bytes = w.finish();
+        let decoder = Decoder::new(&book);
+        let mut r = BitReader::new(&bytes);
+        decoder.read_symbol(&mut r).unwrap();
+        // Bit budget exhausted (only padding left, which decodes or errors
+        // but must not panic).
+        let _ = decoder.read_symbol(&mut r);
+        let mut r2 = BitReader::new(&[]);
+        assert!(decoder.read_symbol(&mut r2).is_err());
+    }
+}
+
+/// Symbols per selector group (bzip2's `BZ_G_SIZE`).
+pub const GROUP_SIZE: usize = 50;
+/// Maximum number of switchable tables (bzip2's `BZ_N_GROUPS`).
+pub const MAX_TABLES: usize = 6;
+/// Refinement passes over the group assignment (bzip2 uses 4).
+pub const REFINE_ITERS: usize = 4;
+
+/// bzip2-style multi-table coder: the symbol stream is cut into
+/// [`GROUP_SIZE`]-symbol groups, each group picks whichever of up to
+/// [`MAX_TABLES`] Huffman tables prices it cheapest, and the chosen
+/// table indices ("selectors") ride along in the stream. Tables are
+/// refined by alternating assignment and recounting, exactly like
+/// `sendMTFValues` in the original.
+#[derive(Debug, Clone)]
+pub struct MultiTable {
+    /// The codebooks, at most [`MAX_TABLES`].
+    pub tables: Vec<CodeBook>,
+    /// Table index per group.
+    pub selectors: Vec<u8>,
+}
+
+impl MultiTable {
+    /// Chooses a table count for a stream length, mirroring bzip2's
+    /// thresholds.
+    pub fn table_count_for(n_symbols: usize) -> usize {
+        match n_symbols {
+            0..=199 => 1,
+            200..=599 => 2,
+            600..=1199 => 3,
+            1200..=2399 => 4,
+            2400..=4799 => 5,
+            _ => MAX_TABLES,
+        }
+    }
+
+    /// Builds tables and selectors for `symbols`.
+    pub fn build(symbols: &[u16]) -> MultiTable {
+        let n_tables = Self::table_count_for(symbols.len());
+        if n_tables == 1 {
+            let book = CodeBook::from_frequencies(&frequencies(symbols));
+            let selectors = vec![0u8; symbols.len().div_ceil(GROUP_SIZE).max(1)];
+            return MultiTable { tables: vec![book], selectors };
+        }
+
+        // Initial partition: split groups round-robin so every table
+        // starts with a spread of content.
+        let groups: Vec<&[u16]> = symbols.chunks(GROUP_SIZE).collect();
+        let mut selectors: Vec<u8> =
+            (0..groups.len()).map(|g| (g % n_tables) as u8).collect();
+        let mut tables: Vec<CodeBook> = Vec::new();
+
+        for _ in 0..REFINE_ITERS {
+            // Recount per-table frequencies under the current assignment.
+            let mut freqs = vec![vec![0u64; ALPHABET]; n_tables];
+            for (g, group) in groups.iter().enumerate() {
+                let t = selectors[g] as usize;
+                for &s in *group {
+                    freqs[t][s as usize] += 1;
+                }
+            }
+            // Every symbol needs a code in every table it might price, so
+            // smooth zero counts (bzip2 adds 1 to all).
+            for f in &mut freqs {
+                for c in f.iter_mut() {
+                    *c += 1;
+                }
+            }
+            tables = freqs.iter().map(|f| CodeBook::from_frequencies(f)).collect();
+
+            // Reassign each group to its cheapest table.
+            for (g, group) in groups.iter().enumerate() {
+                let mut best = (u64::MAX, 0usize);
+                for (t, table) in tables.iter().enumerate() {
+                    let bits: u64 =
+                        group.iter().map(|&s| u64::from(table.lengths[s as usize])).sum();
+                    if bits < best.0 {
+                        best = (bits, t);
+                    }
+                }
+                selectors[g] = best.1 as u8;
+            }
+        }
+        if selectors.is_empty() {
+            selectors.push(0);
+        }
+        MultiTable { tables, selectors }
+    }
+
+    /// Serializes table count, selectors (3 bits each) and the length
+    /// tables.
+    pub fn write(&self, w: &mut BitWriter) {
+        w.write_bits(self.tables.len() as u32, 3);
+        w.write_bits(self.selectors.len() as u32, 32);
+        for &s in &self.selectors {
+            w.write_bits(u32::from(s), 3);
+        }
+        for table in &self.tables {
+            table.write_table(w);
+        }
+    }
+
+    /// Deserializes what [`MultiTable::write`] produced.
+    pub fn read(r: &mut BitReader<'_>) -> BzResult<MultiTable> {
+        let n_tables = r
+            .read_bits(3, "table count")
+            .map_err(|_| BzError::Truncated("table count"))? as usize;
+        if n_tables == 0 || n_tables > MAX_TABLES {
+            return Err(BzError::Corrupt(format!("table count {n_tables} out of range")));
+        }
+        let n_selectors = r
+            .read_bits(32, "selector count")
+            .map_err(|_| BzError::Truncated("selector count"))? as usize;
+        // A selector covers 50 symbols; a sane block cannot exceed ~40 M
+        // selectors even at the largest block sizes.
+        if n_selectors > (1 << 26) {
+            return Err(BzError::Corrupt("selector count implausible".into()));
+        }
+        let mut selectors = Vec::with_capacity(n_selectors);
+        for _ in 0..n_selectors {
+            let s = r
+                .read_bits(3, "selector")
+                .map_err(|_| BzError::Truncated("selector"))? as u8;
+            if usize::from(s) >= n_tables {
+                return Err(BzError::Corrupt(format!("selector {s} out of range")));
+            }
+            selectors.push(s);
+        }
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            tables.push(CodeBook::read_table(r, ALPHABET)?);
+        }
+        Ok(MultiTable { tables, selectors })
+    }
+
+    /// Encodes `symbols` group by group.
+    pub fn encode_stream(&self, symbols: &[u16], w: &mut BitWriter) {
+        for (g, group) in symbols.chunks(GROUP_SIZE).enumerate() {
+            let table = &self.tables[self.selectors[g] as usize];
+            for &s in group {
+                table.write_symbol(w, s);
+            }
+        }
+    }
+
+    /// Decodes until `terminator`, switching tables every
+    /// [`GROUP_SIZE`] symbols per the selectors.
+    pub fn decode_until(
+        &self,
+        r: &mut BitReader<'_>,
+        terminator: u16,
+        limit: usize,
+    ) -> BzResult<Vec<u16>> {
+        let decoders: Vec<Decoder> = self.tables.iter().map(Decoder::new).collect();
+        let mut out = Vec::new();
+        'outer: for &sel in &self.selectors {
+            let decoder = &decoders[sel as usize];
+            for _ in 0..GROUP_SIZE {
+                let s = decoder.read_symbol(r)?;
+                out.push(s);
+                if s == terminator {
+                    break 'outer;
+                }
+                if out.len() > limit {
+                    return Err(BzError::Corrupt("block exceeds declared size".into()));
+                }
+            }
+        }
+        match out.last() {
+            Some(&s) if s == terminator => Ok(out),
+            _ => Err(BzError::Corrupt("selectors exhausted before EOB".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod multitable_tests {
+    use super::*;
+
+    fn bimodal_symbols() -> Vec<u16> {
+        // Alternating regimes: groups of small symbols and groups of
+        // large symbols — the case multiple tables exist for.
+        let mut symbols = Vec::new();
+        for block in 0..40 {
+            let base: u16 = if block % 2 == 0 { 2 } else { 150 };
+            for i in 0..GROUP_SIZE {
+                symbols.push(base + (i % 8) as u16);
+            }
+        }
+        symbols.push(crate::zrle::EOB);
+        symbols
+    }
+
+    #[test]
+    fn table_count_thresholds() {
+        assert_eq!(MultiTable::table_count_for(0), 1);
+        assert_eq!(MultiTable::table_count_for(199), 1);
+        assert_eq!(MultiTable::table_count_for(200), 2);
+        assert_eq!(MultiTable::table_count_for(10_000), MAX_TABLES);
+    }
+
+    #[test]
+    fn roundtrip_multitable() {
+        let symbols = bimodal_symbols();
+        let mt = MultiTable::build(&symbols);
+        assert!(mt.tables.len() >= 2);
+
+        let mut w = BitWriter::new();
+        mt.write(&mut w);
+        mt.encode_stream(&symbols, &mut w);
+        let bytes = w.finish();
+
+        let mut r = BitReader::new(&bytes);
+        let mt2 = MultiTable::read(&mut r).unwrap();
+        let decoded = mt2.decode_until(&mut r, crate::zrle::EOB, symbols.len()).unwrap();
+        assert_eq!(decoded, symbols);
+    }
+
+    #[test]
+    fn multitable_beats_single_table_on_bimodal_data() {
+        let symbols = bimodal_symbols();
+        let mt = MultiTable::build(&symbols);
+        let single = CodeBook::from_frequencies(&frequencies(&symbols));
+
+        let mut wm = BitWriter::new();
+        mt.encode_stream(&symbols, &mut wm);
+        let mut ws = BitWriter::new();
+        encode_stream(&single, &symbols, &mut ws);
+        // Payload only (table overhead excluded): regime switching wins.
+        assert!(
+            wm.bit_len() < ws.bit_len(),
+            "multi {} vs single {}",
+            wm.bit_len(),
+            ws.bit_len()
+        );
+    }
+
+    #[test]
+    fn selectors_adapt_to_regimes() {
+        let symbols = bimodal_symbols();
+        let mt = MultiTable::build(&symbols);
+        // Adjacent groups alternate regimes, so selectors should not be
+        // constant.
+        let distinct: std::collections::BTreeSet<u8> =
+            mt.selectors.iter().copied().collect();
+        assert!(distinct.len() >= 2, "{:?}", mt.selectors);
+    }
+
+    #[test]
+    fn corrupt_selector_rejected() {
+        let mut w = BitWriter::new();
+        w.write_bits(2, 3); // two tables
+        w.write_bits(1, 32); // one selector
+        w.write_bits(5, 3); // selector 5 out of range
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(MultiTable::read(&mut r).is_err());
+    }
+
+    #[test]
+    fn short_streams_use_one_table() {
+        let symbols: Vec<u16> = (0..100u16).map(|i| i % 9).collect();
+        let mt = MultiTable::build(&symbols);
+        assert_eq!(mt.tables.len(), 1);
+        assert!(mt.selectors.iter().all(|&s| s == 0));
+    }
+}

@@ -1,0 +1,157 @@
+//! `std::io` adapters for the block-sorting codec — the `bzip2`/`bunzip2`
+//! command-line shape of the library.
+//!
+//! Compression is naturally streaming: blocks are read, compressed and
+//! written one at a time, so memory stays at O(block size) regardless of
+//! input length.
+
+use std::io::{Read, Write};
+
+use crate::block::BlockCodec;
+use crate::bwt::Backend;
+use crate::crc;
+use crate::error::{BzError, BzResult};
+use crate::MAGIC;
+#[cfg(test)]
+use crate::BZ_BLOCK_SIZE;
+
+/// Streaming compressor: reads `input` to EOF in block-sized pieces,
+/// writing the container incrementally. Returns `(bytes_in, bytes_out)`.
+pub fn compress_stream<R: Read, W: Write>(
+    input: &mut R,
+    output: &mut W,
+    block_size: usize,
+    backend: Backend,
+) -> BzResult<(u64, u64)> {
+    if block_size == 0 {
+        return Err(BzError::Corrupt("block size must be positive".into()));
+    }
+    let codec = BlockCodec::new(backend);
+
+    // The header needs the total length up front; buffer blocks' compressed
+    // bodies while counting (bodies are small; the raw input is not kept).
+    let mut bodies: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut total_in = 0u64;
+    let mut stream_crc = 0u32;
+    let mut block = vec![0u8; block_size];
+    loop {
+        let filled = read_full(input, &mut block).map_err(io_err)?;
+        if filled == 0 {
+            break;
+        }
+        total_in += filled as u64;
+        let body = codec.compress_block(&block[..filled]);
+        let block_crc = crc::crc32(&block[..filled]);
+        stream_crc = crc::combine(stream_crc, block_crc);
+        bodies.push((block_crc, body));
+        if filled < block.len() {
+            break;
+        }
+    }
+
+    let mut total_out = 0u64;
+    let mut write = |bytes: &[u8]| -> BzResult<()> {
+        output.write_all(bytes).map_err(io_err)?;
+        total_out += bytes.len() as u64;
+        Ok(())
+    };
+    write(&MAGIC)?;
+    write(&total_in.to_le_bytes())?;
+    write(&(block_size as u32).to_le_bytes())?;
+    for (block_crc, body) in &bodies {
+        write(&block_crc.to_le_bytes())?;
+        write(&(body.len() as u32).to_le_bytes())?;
+        write(body)?;
+    }
+    write(&stream_crc.to_le_bytes())?;
+    Ok((total_in, total_out))
+}
+
+/// Streaming decompressor; returns decompressed byte count.
+pub fn decompress_stream<R: Read, W: Write>(input: &mut R, output: &mut W) -> BzResult<u64> {
+    let mut data = Vec::new();
+    input.read_to_end(&mut data).map_err(io_err)?;
+    let plain = crate::decompress(&data)?;
+    output.write_all(&plain).map_err(io_err)?;
+    Ok(plain.len() as u64)
+}
+
+fn io_err(e: std::io::Error) -> BzError {
+    BzError::Corrupt(format!("I/O error: {e}"))
+}
+
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn stream_roundtrip_matches_in_memory() {
+        let data = b"streaming io adapters for the block sorter ".repeat(400);
+        let mut compressed = Vec::new();
+        let (bytes_in, bytes_out) = compress_stream(
+            &mut Cursor::new(&data),
+            &mut compressed,
+            8 * 1024,
+            Backend::SaIs,
+        )
+        .unwrap();
+        assert_eq!(bytes_in, data.len() as u64);
+        assert_eq!(bytes_out, compressed.len() as u64);
+        // Identical to the in-memory API.
+        assert_eq!(
+            compressed,
+            crate::compress_with(&data, 8 * 1024, Backend::SaIs).unwrap()
+        );
+
+        let mut restored = Vec::new();
+        let n = decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap();
+        assert_eq!(n, data.len() as u64);
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut compressed = Vec::new();
+        compress_stream(&mut Cursor::new(b""), &mut compressed, 1024, Backend::SaIs).unwrap();
+        let mut restored = Vec::new();
+        assert_eq!(
+            decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn zero_block_size_rejected() {
+        let mut out = Vec::new();
+        assert!(compress_stream(&mut Cursor::new(b"x"), &mut out, 0, Backend::SaIs).is_err());
+    }
+
+    #[test]
+    fn exact_multiple_of_block_size() {
+        let data = vec![42u8; 4 * 1024];
+        let mut compressed = Vec::new();
+        compress_stream(&mut Cursor::new(&data), &mut compressed, 1024, Backend::SaIs)
+            .unwrap();
+        let mut restored = Vec::new();
+        decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap();
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn default_block_size_constant_is_bzip2_dash_nine() {
+        assert_eq!(BZ_BLOCK_SIZE, 900 * 1000);
+    }
+}

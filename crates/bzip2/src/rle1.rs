@@ -1,0 +1,109 @@
+//! bzip2's initial run-length encoding (RLE1).
+//!
+//! Runs of 4–255 identical bytes become the 4 bytes followed by a count
+//! byte holding `run_length - 4`. A run of exactly 4 is followed by count
+//! 0. This stage exists in bzip2 to protect the block sorter from
+//! degenerate repetitive input; we keep it for fidelity (and it slightly
+//! helps ratio on run-heavy data like the raster corpus).
+
+/// Encodes `input` under RLE1.
+pub fn encode(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() + 8);
+    let mut i = 0usize;
+    while i < input.len() {
+        let b = input[i];
+        let mut run = 1usize;
+        // Runs encode as 4 literal bytes + a count of up to 255 extras.
+        while run < 259 && i + run < input.len() && input[i + run] == b {
+            run += 1;
+        }
+        if run >= 4 {
+            out.extend_from_slice(&[b, b, b, b, (run - 4) as u8]);
+        } else {
+            out.extend(std::iter::repeat_n(b, run));
+        }
+        i += run;
+    }
+    out
+}
+
+/// Decodes an RLE1 stream. Returns `None` on truncation (4-byte run with
+/// no count byte).
+pub fn decode(input: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut i = 0usize;
+    while i < input.len() {
+        let b = input[i];
+        let mut run = 1usize;
+        while run < 4 && i + run < input.len() && input[i + run] == b {
+            run += 1;
+        }
+        if run == 4 {
+            let count = *input.get(i + 4)? as usize;
+            out.extend(std::iter::repeat_n(b, 4 + count));
+            i += 5;
+        } else {
+            out.extend(std::iter::repeat_n(b, run));
+            i += run;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let encoded = encode(data);
+        assert_eq!(decode(&encoded).unwrap(), data, "{data:?}");
+    }
+
+    #[test]
+    fn short_runs_pass_through() {
+        assert_eq!(encode(b"abc"), b"abc");
+        assert_eq!(encode(b"aabbcc"), b"aabbcc");
+        assert_eq!(encode(b"aaa"), b"aaa");
+    }
+
+    #[test]
+    fn run_of_four_gets_zero_count() {
+        assert_eq!(encode(b"aaaa"), vec![b'a', b'a', b'a', b'a', 0]);
+    }
+
+    #[test]
+    fn long_runs_collapse() {
+        assert_eq!(encode(&[7u8; 100]), vec![7, 7, 7, 7, 96]);
+        assert_eq!(encode(&[7u8; 259]), vec![7, 7, 7, 7, 255]);
+        // 260 = 259 + 1: the leftover byte stands alone.
+        assert_eq!(encode(&[7u8; 260]), vec![7, 7, 7, 7, 255, 7]);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(b"aaaa");
+        roundtrip(b"aaaaa");
+        roundtrip(&[9u8; 1000]);
+        roundtrip(b"mixed aaaa bbbbbbb c dddddddddddddddddddddddddd end");
+        let mut data = Vec::new();
+        for i in 0..50u8 {
+            data.extend(std::iter::repeat(i).take(usize::from(i) * 7 % 300 + 1));
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_count_detected() {
+        assert_eq!(decode(b"aaaa"), None);
+    }
+
+    #[test]
+    fn worst_case_expansion_is_bounded() {
+        // Exactly-4 runs expand by 25 %: 4 bytes → 5.
+        let data: Vec<u8> = (0..100u8).flat_map(|i| [i, i, i, i]).collect();
+        let encoded = encode(&data);
+        assert_eq!(encoded.len(), data.len() + 100);
+    }
+}

@@ -1,0 +1,123 @@
+//! Zero-run-length encoding over the MTF output (bzip2's RUNA/RUNB).
+//!
+//! MTF output is dominated by zeros; encoding zero-run lengths in
+//! bijective base 2 with two dedicated symbols (`RUNA`, `RUNB`) lets the
+//! Huffman stage price them by frequency. Non-zero bytes shift up by one,
+//! and a dedicated end-of-block symbol terminates the stream (the Huffman
+//! decoder relies on it).
+
+/// Symbol alphabet: RUNA, RUNB, 255 shifted byte values, EOB.
+pub const ALPHABET: usize = 258;
+/// Zero-run digit worth 1·2^i.
+pub const RUNA: u16 = 0;
+/// Zero-run digit worth 2·2^i.
+pub const RUNB: u16 = 1;
+/// End-of-block marker.
+pub const EOB: u16 = 257;
+
+/// Encodes MTF bytes into the RUNA/RUNB symbol stream, EOB-terminated.
+pub fn encode(input: &[u8]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 8);
+    let mut zero_run = 0u64;
+    for &b in input {
+        if b == 0 {
+            zero_run += 1;
+        } else {
+            flush_run(&mut out, zero_run);
+            zero_run = 0;
+            out.push(u16::from(b) + 1);
+        }
+    }
+    flush_run(&mut out, zero_run);
+    out.push(EOB);
+    out
+}
+
+/// Emits the bijective base-2 digits of `n` (low digit first).
+fn flush_run(out: &mut Vec<u16>, mut n: u64) {
+    while n > 0 {
+        let digit = (n - 1) % 2 + 1; // 1 → RUNA, 2 → RUNB
+        out.push(if digit == 1 { RUNA } else { RUNB });
+        n = (n - digit) / 2;
+    }
+}
+
+/// Decodes a symbol stream back to MTF bytes. The EOB must be the final
+/// symbol; anything after it is an error. Returns `None` on malformed
+/// input (missing EOB, out-of-range symbol).
+pub fn decode(symbols: &[u16]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(symbols.len() * 2);
+    let mut run_value = 0u64;
+    let mut run_power = 1u64;
+    let mut iter = symbols.iter().peekable();
+    loop {
+        let &sym = iter.next()?;
+        match sym {
+            RUNA | RUNB => {
+                let digit = u64::from(sym) + 1;
+                run_value += digit * run_power;
+                run_power *= 2;
+            }
+            _ => {
+                out.extend(std::iter::repeat_n(0u8, run_value as usize));
+                run_value = 0;
+                run_power = 1;
+                if sym == EOB {
+                    return if iter.next().is_none() { Some(out) } else { None };
+                }
+                if sym > 256 {
+                    return None;
+                }
+                out.push((sym - 1) as u8);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_runs_use_bijective_base_two() {
+        assert_eq!(encode(&[0]), vec![RUNA, EOB]);
+        assert_eq!(encode(&[0, 0]), vec![RUNB, EOB]);
+        assert_eq!(encode(&[0, 0, 0]), vec![RUNA, RUNA, EOB]);
+        assert_eq!(encode(&[0, 0, 0, 0]), vec![RUNB, RUNA, EOB]);
+        assert_eq!(encode(&[0; 7]), vec![RUNA, RUNA, RUNA, EOB]);
+    }
+
+    #[test]
+    fn nonzero_bytes_shift_up() {
+        assert_eq!(encode(&[5]), vec![6, EOB]);
+        assert_eq!(encode(&[255]), vec![256, EOB]);
+    }
+
+    #[test]
+    fn roundtrip_mixed() {
+        for data in [
+            vec![],
+            vec![0u8; 1000],
+            vec![1, 2, 3],
+            vec![0, 0, 7, 0, 0, 0, 9, 0],
+            (0..=255u8).collect::<Vec<_>>(),
+        ] {
+            let symbols = encode(&data);
+            assert_eq!(decode(&symbols).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn long_runs_are_logarithmic() {
+        let symbols = encode(&vec![0u8; 1_000_000]);
+        assert!(symbols.len() <= 21, "{} symbols", symbols.len()); // log2(1e6) + EOB
+    }
+
+    #[test]
+    fn malformed_streams_rejected() {
+        assert_eq!(decode(&[]), None); // no EOB
+        assert_eq!(decode(&[5]), None); // no EOB
+        assert_eq!(decode(&[EOB, 5]), None); // trailing symbol
+        assert_eq!(decode(&[300]), None); // out of range
+    }
+}

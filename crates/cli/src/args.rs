@@ -1,0 +1,239 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+/// Usage text printed on parse errors.
+pub const USAGE: &str = "\
+usage:
+  culzss compress   <input> <output> [--codec v1|v2|lzss|pthread|bzip2] [--report]
+  culzss decompress <input> <output> [--codec auto|v1|v2|lzss|pthread|bzip2]
+  culzss info       <file>
+  culzss gen        <dataset> <bytes> <output> [--seed N]
+  culzss selftest
+
+codecs: v1/v2 = CULZSS on the simulated GTX 480 (default v2);
+        lzss = serial CPU; pthread = threaded CPU; bzip2 = block sorting;
+        auto (decompress) = detect from the stream header.
+datasets: c-files de-map dictionary kernel-tarball highly-compressible mixed";
+
+/// Which compressor/decompressor to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// CULZSS V1 on the simulated device.
+    V1,
+    /// CULZSS V2 on the simulated device.
+    V2,
+    /// Serial CPU LZSS (Dipperstein configuration).
+    Lzss,
+    /// Threaded CPU LZSS.
+    Pthread,
+    /// Block-sorting baseline.
+    Bzip2,
+    /// Detect from the stream magic (decompress only).
+    Auto,
+}
+
+impl Codec {
+    fn parse(s: &str) -> Result<Codec, String> {
+        match s {
+            "v1" => Ok(Codec::V1),
+            "v2" => Ok(Codec::V2),
+            "lzss" => Ok(Codec::Lzss),
+            "pthread" => Ok(Codec::Pthread),
+            "bzip2" => Ok(Codec::Bzip2),
+            "auto" => Ok(Codec::Auto),
+            other => Err(format!("unknown codec `{other}`")),
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Compress `input` into `output`.
+    Compress {
+        /// Input path.
+        input: String,
+        /// Output path.
+        output: String,
+        /// Codec choice.
+        codec: Codec,
+        /// Print the launch report (GPU codecs).
+        report: bool,
+    },
+    /// Decompress `input` into `output`.
+    Decompress {
+        /// Input path.
+        input: String,
+        /// Output path.
+        output: String,
+        /// Codec choice (or Auto).
+        codec: Codec,
+    },
+    /// Describe a compressed file.
+    Info {
+        /// Path to inspect.
+        path: String,
+    },
+    /// Generate a corpus.
+    Gen {
+        /// Dataset slug (or "mixed").
+        dataset: String,
+        /// Bytes to generate.
+        bytes: usize,
+        /// Output path.
+        output: String,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Round-trip every codec on generated data.
+    Selftest,
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&String> = it.collect();
+
+    let positional = |n: usize| -> Result<Vec<&String>, String> {
+        let pos: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).copied().collect();
+        if pos.len() < n {
+            Err(format!("`{sub}` needs {n} positional argument(s)"))
+        } else {
+            Ok(pos)
+        }
+    };
+    let flag_value = |name: &str| -> Result<Option<&String>, String> {
+        let mut out = None;
+        let mut iter = rest.iter();
+        while let Some(a) = iter.next() {
+            if a.as_str() == name {
+                out = Some(*iter.next().ok_or(format!("{name} needs a value"))?);
+            }
+        }
+        Ok(out)
+    };
+    let has_flag = |name: &str| rest.iter().any(|a| a.as_str() == name);
+
+    match sub.as_str() {
+        "compress" => {
+            let pos = positional(2)?;
+            let codec = match flag_value("--codec")? {
+                Some(v) => Codec::parse(v)?,
+                None => Codec::V2,
+            };
+            if codec == Codec::Auto {
+                return Err("`auto` is only valid for decompress".into());
+            }
+            Ok(Command::Compress {
+                input: pos[0].clone(),
+                output: pos[1].clone(),
+                codec,
+                report: has_flag("--report"),
+            })
+        }
+        "decompress" => {
+            let pos = positional(2)?;
+            let codec = match flag_value("--codec")? {
+                Some(v) => Codec::parse(v)?,
+                None => Codec::Auto,
+            };
+            Ok(Command::Decompress {
+                input: pos[0].clone(),
+                output: pos[1].clone(),
+                codec,
+            })
+        }
+        "info" => {
+            let pos = positional(1)?;
+            Ok(Command::Info { path: pos[0].clone() })
+        }
+        "gen" => {
+            let pos = positional(3)?;
+            let bytes: usize =
+                pos[1].parse().map_err(|_| format!("bad byte count `{}`", pos[1]))?;
+            let seed: u64 = match flag_value("--seed")? {
+                Some(v) => v.parse().map_err(|_| format!("bad seed `{v}`"))?,
+                None => 2011,
+            };
+            Ok(Command::Gen {
+                dataset: pos[0].clone(),
+                bytes,
+                output: pos[2].clone(),
+                seed,
+            })
+        }
+        "selftest" => Ok(Command::Selftest),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn compress_defaults() {
+        let cmd = parse(&argv("compress a.bin b.clz")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compress {
+                input: "a.bin".into(),
+                output: "b.clz".into(),
+                codec: Codec::V2,
+                report: false
+            }
+        );
+    }
+
+    #[test]
+    fn compress_with_flags() {
+        let cmd = parse(&argv("compress a b --codec bzip2 --report")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compress {
+                input: "a".into(),
+                output: "b".into(),
+                codec: Codec::Bzip2,
+                report: true
+            }
+        );
+    }
+
+    #[test]
+    fn decompress_defaults_to_auto() {
+        let cmd = parse(&argv("decompress x y")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Decompress { input: "x".into(), output: "y".into(), codec: Codec::Auto }
+        );
+    }
+
+    #[test]
+    fn gen_parses_seed() {
+        let cmd = parse(&argv("gen de-map 1024 out.bin --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Gen { dataset: "de-map".into(), bytes: 1024, output: "out.bin".into(), seed: 7 }
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("compress onlyone")).is_err());
+        assert!(parse(&argv("compress a b --codec nope")).is_err());
+        assert!(parse(&argv("compress a b --codec auto")).is_err());
+        assert!(parse(&argv("gen de-map notanumber out")).is_err());
+        assert!(parse(&argv("compress a b --codec")).is_err());
+    }
+
+    #[test]
+    fn selftest_parses() {
+        assert_eq!(parse(&argv("selftest")).unwrap(), Command::Selftest);
+    }
+}

@@ -1,0 +1,270 @@
+//! Command implementations.
+
+use std::time::Instant;
+
+use culzss::{Culzss, Version};
+use culzss_gpusim::report::format_launch;
+use culzss_lzss::LzssConfig;
+
+use crate::args::{Codec, Command};
+
+/// Executes a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Compress { input, output, codec, report } => {
+            compress(&input, &output, codec, report)
+        }
+        Command::Decompress { input, output, codec } => decompress(&input, &output, codec),
+        Command::Info { path } => info(&path),
+        Command::Gen { dataset, bytes, output, seed } => gen(&dataset, bytes, &output, seed),
+        Command::Selftest => selftest(),
+    }
+}
+
+fn read(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn write(path: &str, bytes: &[u8]) -> Result<(), String> {
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn compress(input: &str, output: &str, codec: Codec, report: bool) -> Result<(), String> {
+    let data = read(input)?;
+    let started = Instant::now();
+    let bytes = match codec {
+        Codec::V1 | Codec::V2 => {
+            let version = if codec == Codec::V1 { Version::V1 } else { Version::V2 };
+            let culzss = Culzss::new(version);
+            let (bytes, stats) = culzss.compress(&data).map_err(|e| e.to_string())?;
+            println!(
+                "{}: modelled GPU pipeline {:.3} ms (kernel {:.3} ms)",
+                version.name(),
+                stats.modeled_total_seconds() * 1e3,
+                stats.kernel_seconds * 1e3
+            );
+            if report {
+                if let Some(launch) = &stats.launch {
+                    println!("{}", format_launch("culzss", culzss.device(), launch));
+                }
+            }
+            bytes
+        }
+        Codec::Lzss => culzss_lzss::serial::compress(&data, &LzssConfig::dipperstein())
+            .map_err(|e| e.to_string())?,
+        Codec::Pthread => culzss_pthread::compress(
+            &data,
+            &LzssConfig::dipperstein(),
+            culzss_pthread::default_threads(),
+        )
+        .map_err(|e| e.to_string())?,
+        Codec::Bzip2 => culzss_bzip2::compress(&data).map_err(|e| e.to_string())?,
+        Codec::Auto => unreachable!("rejected at parse time"),
+    };
+    write(output, &bytes)?;
+    println!(
+        "{} -> {} bytes ({:.1}%) in {:.1} ms host wall",
+        data.len(),
+        bytes.len(),
+        100.0 * bytes.len() as f64 / data.len().max(1) as f64,
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn decompress(input: &str, output: &str, codec: Codec) -> Result<(), String> {
+    let data = read(input)?;
+    let codec = if codec == Codec::Auto { detect(&data)? } else { codec };
+    let bytes = match codec {
+        Codec::V1 | Codec::V2 => {
+            let culzss = Culzss::new(Version::V1);
+            culzss.decompress_auto(&data).map_err(|e| e.to_string())?.0
+        }
+        Codec::Lzss => culzss_lzss::serial::decompress(&data, &LzssConfig::dipperstein())
+            .map_err(|e| e.to_string())?,
+        Codec::Pthread => culzss_pthread::decompress(
+            &data,
+            &LzssConfig::dipperstein(),
+            culzss_pthread::default_threads(),
+        )
+        .map_err(|e| e.to_string())?,
+        Codec::Bzip2 => culzss_bzip2::decompress(&data).map_err(|e| e.to_string())?,
+        Codec::Auto => unreachable!("resolved above"),
+    };
+    write(output, &bytes)?;
+    println!("{} -> {} bytes", data.len(), bytes.len());
+    Ok(())
+}
+
+/// Magic-based stream detection.
+fn detect(data: &[u8]) -> Result<Codec, String> {
+    if data.len() < 4 {
+        return Err("file too short to identify".into());
+    }
+    match &data[..4] {
+        b"CLZC" => {
+            // Distinguish the CULZSS (Fixed16) container from the Pthread
+            // (FlagBit) one via the format id byte.
+            let (container, _) = culzss_lzss::container::Container::parse(data)
+                .map_err(|e| e.to_string())?;
+            if container.format_id == culzss_lzss::format::TokenFormat::Fixed16.id() {
+                Ok(Codec::V2)
+            } else {
+                Ok(Codec::Pthread)
+            }
+        }
+        b"LZSS" => Ok(Codec::Lzss),
+        b"BZR1" => Ok(Codec::Bzip2),
+        other => Err(format!("unknown magic {other:02x?}")),
+    }
+}
+
+fn info(path: &str) -> Result<(), String> {
+    let data = read(path)?;
+    if data.len() < 4 {
+        return Err("file too short".into());
+    }
+    match &data[..4] {
+        b"CLZC" => {
+            let (c, payload) = culzss_lzss::container::Container::parse(&data)
+                .map_err(|e| e.to_string())?;
+            println!("chunked LZSS container (CLZC)");
+            println!("  format        : {}", if c.format_id == 2 { "Fixed16 (CULZSS)" } else { "FlagBit (CPU)" });
+            println!("  window        : {} B", c.window_size);
+            println!("  match lengths : {}..={}", c.min_match, c.max_match);
+            println!("  chunk size    : {} B", c.chunk_size);
+            println!("  chunks        : {}", c.chunk_comp_sizes.len());
+            println!("  uncompressed  : {} B", c.total_len);
+            println!("  compressed    : {} B ({} payload)", data.len(), data.len() - payload);
+            if c.total_len > 0 {
+                println!(
+                    "  ratio         : {:.1}%",
+                    100.0 * data.len() as f64 / c.total_len as f64
+                );
+            }
+        }
+        b"LZSS" => {
+            let len = u32::from_le_bytes(data[4..8].try_into().map_err(|_| "short header")?);
+            println!("standalone serial LZSS stream");
+            println!("  uncompressed  : {len} B");
+            println!("  compressed    : {} B", data.len());
+        }
+        b"BZR1" => {
+            let len = u64::from_le_bytes(data[4..12].try_into().map_err(|_| "short header")?);
+            let block = u32::from_le_bytes(data[12..16].try_into().map_err(|_| "short header")?);
+            println!("block-sorting stream (BZR1)");
+            println!("  uncompressed  : {len} B");
+            println!("  block size    : {block} B");
+            println!("  compressed    : {} B", data.len());
+        }
+        other => {
+            println!("unrecognized magic {other:02x?} ({} bytes)", data.len());
+        }
+    }
+    Ok(())
+}
+
+fn gen(dataset: &str, bytes: usize, output: &str, seed: u64) -> Result<(), String> {
+    let data = if dataset == "mixed" {
+        culzss_datasets::mixer::Mixer::datacenter().generate(bytes, seed)
+    } else {
+        culzss_datasets::Dataset::from_slug(dataset)
+            .ok_or(format!("unknown dataset `{dataset}`"))?
+            .generate(bytes, seed)
+    };
+    write(output, &data)?;
+    println!(
+        "{dataset}: {bytes} bytes (entropy {:.2} bits/byte) -> {output}",
+        culzss_datasets::stats::entropy_bits_per_byte(&data)
+    );
+    Ok(())
+}
+
+fn selftest() -> Result<(), String> {
+    let dir = std::env::temp_dir().join("culzss_cli_selftest");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let original = dir.join("in.bin");
+    let packed = dir.join("out.clz");
+    let restored = dir.join("back.bin");
+    let as_str = |p: &std::path::Path| p.to_str().expect("utf8 temp path").to_string();
+
+    let data = culzss_datasets::Dataset::KernelTarball.generate(256 * 1024, 4242);
+    std::fs::write(&original, &data).map_err(|e| e.to_string())?;
+
+    for codec in [Codec::V1, Codec::V2, Codec::Lzss, Codec::Pthread, Codec::Bzip2] {
+        compress(&as_str(&original), &as_str(&packed), codec, false)?;
+        // Exercise magic detection on the way back.
+        decompress(&as_str(&packed), &as_str(&restored), Codec::Auto)?;
+        let back = std::fs::read(&restored).map_err(|e| e.to_string())?;
+        if back != data {
+            return Err(format!("{codec:?} roundtrip mismatch"));
+        }
+        println!("{codec:?}: OK");
+    }
+    println!("selftest passed");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("culzss_cli_unit");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_str().expect("utf8").to_string()
+    }
+
+    #[test]
+    fn detect_identifies_all_magics() {
+        let data = culzss_datasets::Dataset::CFiles.generate(32 * 1024, 1);
+        let serial =
+            culzss_lzss::serial::compress(&data, &LzssConfig::dipperstein()).unwrap();
+        assert_eq!(detect(&serial).unwrap(), Codec::Lzss);
+
+        let bz = culzss_bzip2::compress(&data).unwrap();
+        assert_eq!(detect(&bz).unwrap(), Codec::Bzip2);
+
+        let gpu = Culzss::new(Version::V2).with_workers(1).compress(&data).unwrap().0;
+        assert_eq!(detect(&gpu).unwrap(), Codec::V2);
+
+        let pthread =
+            culzss_pthread::compress(&data, &LzssConfig::dipperstein(), 2).unwrap();
+        assert_eq!(detect(&pthread).unwrap(), Codec::Pthread);
+
+        assert!(detect(b"??").is_err());
+        assert!(detect(b"ABCDEF").is_err());
+    }
+
+    #[test]
+    fn compress_decompress_via_files() {
+        let input = temp("unit_in.bin");
+        let packed = temp("unit_out.clz");
+        let back = temp("unit_back.bin");
+        let data = culzss_datasets::Dataset::DeMap.generate(64 * 1024, 2);
+        std::fs::write(&input, &data).unwrap();
+
+        compress(&input, &packed, Codec::Lzss, false).unwrap();
+        decompress(&packed, &back, Codec::Auto).unwrap();
+        assert_eq!(std::fs::read(&back).unwrap(), data);
+
+        // Info prints without error on each stream type.
+        info(&packed).unwrap();
+    }
+
+    #[test]
+    fn gen_writes_requested_bytes() {
+        let out = temp("unit_gen.bin");
+        gen("highly-compressible", 10_000, &out, 5).unwrap();
+        assert_eq!(std::fs::read(&out).unwrap().len(), 10_000);
+        gen("mixed", 5_000, &out, 5).unwrap();
+        assert_eq!(std::fs::read(&out).unwrap().len(), 5_000);
+        assert!(gen("nonsense", 10, &out, 5).is_err());
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        assert!(compress("/definitely/missing", &temp("x"), Codec::Lzss, false).is_err());
+        assert!(info("/definitely/missing").is_err());
+    }
+}

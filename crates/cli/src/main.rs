@@ -1,0 +1,35 @@
+//! `culzss` — the standalone compression program of the paper
+//! ("a standalone program which is accepting files as input and writing
+//! the compressed file back to the output file"), extended with every
+//! codec in the workspace.
+//!
+//! ```text
+//! culzss compress   <input> <output> [--codec v1|v2|lzss|pthread|bzip2] [--report]
+//! culzss decompress <input> <output> [--codec auto|v1|v2|lzss|pthread|bzip2]
+//! culzss info       <file>
+//! culzss gen        <dataset> <bytes> <output> [--seed N]
+//! culzss selftest
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! The in-memory compression API (the paper's Figure 2).
+//!
+//! "The library gets initialized when loaded, detects GPUs, and
+//! determines capabilities on the system. Then, when `Gpu_compress()` is
+//! called, it takes the given buffer pointer and copies it to the GPU,
+//! compresses it into the given memory region, and returns the calling
+//! process a pointer to the compressed data and its length. The last
+//! parameters for the functions are compression parameters."
+//!
+//! [`Culzss`] is that library object; [`gpu_compress`] / [`gpu_decompress`]
+//! are the one-shot conveniences. Every call returns [`PipelineStats`]
+//! breaking the modelled time into H2D copy, kernel, D2H copy and the
+//! measured CPU post-processing (bucket compaction for V1; match
+//! selection + encoding for V2) — the quantities Table I and Table III
+//! are built from.
+
+use std::time::Instant;
+
+use culzss_gpusim::transfer::{Direction, TransferLedger};
+use culzss_gpusim::{DeviceSpec, GpuSim};
+use culzss_lzss::container::{assemble, Container};
+use culzss_lzss::format;
+
+use crate::error::CulzssResult;
+use crate::metered::{select_tokens, PosMatch};
+use crate::params::{CulzssParams, Version};
+use crate::{decompress, kernel_v1, kernel_v2};
+
+/// Timing breakdown of one compression or decompression call.
+#[derive(Debug, Clone)]
+pub struct PipelineStats {
+    /// Modelled host→device copy time (input or compressed payload).
+    pub h2d_seconds: f64,
+    /// Modelled kernel execution time.
+    pub kernel_seconds: f64,
+    /// Modelled device→host copy time (buckets / match arrays / output).
+    pub d2h_seconds: f64,
+    /// *Measured* CPU post-processing time (compaction, selection,
+    /// container assembly) on the host running the simulation.
+    pub cpu_seconds: f64,
+    /// Launch statistics of the kernel (occupancy, transactions, …).
+    pub launch: Option<culzss_gpusim::exec::LaunchStats>,
+    /// Input bytes processed.
+    pub input_bytes: usize,
+    /// Output bytes produced.
+    pub output_bytes: usize,
+}
+
+impl PipelineStats {
+    /// Total modelled pipeline time: transfers + kernel + CPU steps, run
+    /// back-to-back (the paper's non-overlapped configuration).
+    pub fn modeled_total_seconds(&self) -> f64 {
+        self.h2d_seconds + self.kernel_seconds + self.d2h_seconds + self.cpu_seconds
+    }
+
+    /// Compression ratio of this call (output/input; only meaningful for
+    /// compression).
+    pub fn ratio(&self) -> f64 {
+        if self.input_bytes == 0 {
+            1.0
+        } else {
+            self.output_bytes as f64 / self.input_bytes as f64
+        }
+    }
+}
+
+/// The CULZSS library object: a simulated device plus run parameters.
+#[derive(Debug, Clone)]
+pub struct Culzss {
+    sim: GpuSim,
+    params: CulzssParams,
+}
+
+impl Culzss {
+    /// Initializes the library on the default device (GTX 480) with the
+    /// paper's parameters for `version`.
+    pub fn new(version: Version) -> Self {
+        Self::with_device(DeviceSpec::gtx480(), CulzssParams::for_version(version))
+    }
+
+    /// Initializes on an explicit device with explicit parameters.
+    pub fn with_device(device: DeviceSpec, params: CulzssParams) -> Self {
+        Self { sim: GpuSim::new(device), params }
+    }
+
+    /// Overrides the host worker pool used to execute simulated blocks.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.sim = self.sim.with_workers(workers);
+        self
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &CulzssParams {
+        &self.params
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &DeviceSpec {
+        self.sim.device()
+    }
+
+    /// Compresses `input`, returning the container stream and the timing
+    /// breakdown.
+    pub fn compress(&self, input: &[u8]) -> CulzssResult<(Vec<u8>, PipelineStats)> {
+        self.params.validate(self.sim.device())?;
+        let device = self.sim.device();
+        let mut ledger = TransferLedger::default();
+        let h2d = ledger.copy(device, Direction::HostToDevice, input.len());
+        let config = self.params.lzss_config();
+
+        let (bodies, launch, d2h, cpu_seconds) = match self.params.version {
+            Version::V1 => {
+                let (bodies, launch) = kernel_v1::run(&self.sim, input, &self.params)?;
+                // D2H: the partially-filled buckets come back whole; the
+                // CPU then compacts them ("a final separate process to
+                // concatenate only the compressed data").
+                let bucket_bytes: usize = bodies.iter().map(|b| b.len()).sum();
+                let d2h = ledger.copy(device, Direction::DeviceToHost, bucket_bytes);
+                let started = Instant::now();
+                // Compaction = container assembly from the bodies.
+                (bodies, launch, d2h, started.elapsed().as_secs_f64())
+            }
+            Version::V2 => {
+                let (records, launch) = kernel_v2::run(&self.sim, input, &self.params)?;
+                // D2H: two u16 arrays covering every input position.
+                let d2h = ledger.copy(device, Direction::DeviceToHost, input.len() * 4);
+                // CPU steps: selection + flag generation + encoding.
+                let started = Instant::now();
+                let mut bodies = Vec::with_capacity(records.len());
+                for (chunk, recs) in input.chunks(self.params.chunk_size).zip(&records) {
+                    let matches: Vec<PosMatch> = recs
+                        .iter()
+                        .map(|&(distance, length)| PosMatch {
+                            distance,
+                            length,
+                            work: Default::default(),
+                        })
+                        .collect();
+                    let tokens = select_tokens(chunk, &matches, &config);
+                    bodies.push(format::encode(&tokens, &config));
+                }
+                (bodies, launch, d2h, started.elapsed().as_secs_f64())
+            }
+        };
+
+        let cpu_started = Instant::now();
+        let stream =
+            assemble(&config, self.params.chunk_size as u32, input.len() as u64, &bodies)?;
+        let cpu_seconds = cpu_seconds + cpu_started.elapsed().as_secs_f64();
+
+        let stats = PipelineStats {
+            h2d_seconds: h2d,
+            kernel_seconds: launch.kernel_seconds,
+            d2h_seconds: d2h,
+            cpu_seconds,
+            launch: Some(launch),
+            input_bytes: input.len(),
+            output_bytes: stream.len(),
+        };
+        Ok((stream, stats))
+    }
+
+    /// Decompresses a container stream produced by [`Culzss::compress`]
+    /// with *this* instance's parameters (strict configuration check).
+    pub fn decompress(&self, bytes: &[u8]) -> CulzssResult<(Vec<u8>, PipelineStats)> {
+        let config = self.params.lzss_config();
+        let (container, payload_offset) = Container::parse(bytes)?;
+        container.check_config(&config)?;
+        self.decompress_parsed(bytes, container, payload_offset, config)
+    }
+
+    /// Decompresses any CULZSS container regardless of which version (or
+    /// window/match tuning) produced it, by reading the token
+    /// configuration from the header — the paper's "the decompression
+    /// process is identical in both versions".
+    pub fn decompress_auto(&self, bytes: &[u8]) -> CulzssResult<(Vec<u8>, PipelineStats)> {
+        let (container, payload_offset) = Container::parse(bytes)?;
+        if container.format_id != culzss_lzss::format::TokenFormat::Fixed16.id() {
+            return Err(culzss_lzss::Error::InvalidContainer {
+                reason: "not a CULZSS (Fixed16) stream".into(),
+            }
+            .into());
+        }
+        let config = culzss_lzss::LzssConfig {
+            window_size: container.window_size as usize,
+            min_match: usize::from(container.min_match),
+            max_match: container.max_match as usize,
+            format: culzss_lzss::format::TokenFormat::Fixed16,
+        };
+        config.validate()?;
+        self.decompress_parsed(bytes, container, payload_offset, config)
+    }
+
+    fn decompress_parsed(
+        &self,
+        bytes: &[u8],
+        container: Container,
+        payload_offset: usize,
+        config: culzss_lzss::LzssConfig,
+    ) -> CulzssResult<(Vec<u8>, PipelineStats)> {
+        let payload = &bytes[payload_offset..];
+        let layout = container.chunk_layout();
+
+        let device = self.sim.device();
+        let mut ledger = TransferLedger::default();
+        let h2d = ledger.copy(device, Direction::HostToDevice, bytes.len());
+
+        let (chunks, launch) = decompress::run(
+            &self.sim,
+            payload,
+            &layout,
+            &config,
+            self.params.threads_per_block,
+        )?;
+        let d2h = ledger.copy(device, Direction::DeviceToHost, container.total_len as usize);
+
+        let started = Instant::now();
+        let mut out = Vec::with_capacity(container.total_len as usize);
+        for chunk in chunks {
+            out.extend_from_slice(&chunk);
+        }
+        let cpu_seconds = started.elapsed().as_secs_f64();
+        if out.len() as u64 != container.total_len {
+            return Err(culzss_lzss::Error::SizeMismatch {
+                expected: container.total_len as usize,
+                actual: out.len(),
+            }
+            .into());
+        }
+
+        let stats = PipelineStats {
+            h2d_seconds: h2d,
+            kernel_seconds: launch.kernel_seconds,
+            d2h_seconds: d2h,
+            cpu_seconds,
+            launch: Some(launch),
+            input_bytes: bytes.len(),
+            output_bytes: out.len(),
+        };
+        Ok((out, stats))
+    }
+}
+
+/// One-shot in-memory compression — `Gpu_compress()` from Figure 2, with
+/// the version selection as the compression parameter.
+pub fn gpu_compress(input: &[u8], version: Version) -> CulzssResult<(Vec<u8>, PipelineStats)> {
+    Culzss::new(version).compress(input)
+}
+
+/// One-shot in-memory decompression — `Gpu_decompress()` from Figure 2.
+pub fn gpu_decompress(bytes: &[u8], version: Version) -> CulzssResult<(Vec<u8>, PipelineStats)> {
+    Culzss::new(version).decompress(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culzss_datasets::Dataset;
+
+    #[test]
+    fn v1_roundtrip() {
+        let input = Dataset::CFiles.generate(96 * 1024, 1);
+        let culzss = Culzss::new(Version::V1).with_workers(4);
+        let (compressed, cstats) = culzss.compress(&input).unwrap();
+        assert!(compressed.len() < input.len());
+        assert!(cstats.ratio() < 1.0);
+        let (restored, dstats) = culzss.decompress(&compressed).unwrap();
+        assert_eq!(restored, input);
+        assert!(dstats.modeled_total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn v2_roundtrip() {
+        let input = Dataset::KernelTarball.generate(96 * 1024, 2);
+        let culzss = Culzss::new(Version::V2).with_workers(4);
+        let (compressed, _) = culzss.compress(&input).unwrap();
+        let (restored, _) = culzss.decompress(&compressed).unwrap();
+        assert_eq!(restored, input);
+    }
+
+    #[test]
+    fn versions_are_wire_compatible_in_decompression() {
+        // "Both of the CULZSS versions use the same decompression
+        // implementation" — but V1 and V2 use different max_match, so a
+        // V2 decoder must be configured for V2 streams. Same-version
+        // roundtrips always work; the container rejects mismatches.
+        let input = Dataset::DeMap.generate(64 * 1024, 3);
+        let v1 = Culzss::new(Version::V1).with_workers(2);
+        let v2 = Culzss::new(Version::V2).with_workers(2);
+        let (c1, _) = v1.compress(&input).unwrap();
+        assert!(v2.decompress(&c1).is_err());
+        assert_eq!(v1.decompress(&c1).unwrap().0, input);
+    }
+
+    #[test]
+    fn one_shot_helpers() {
+        let input = b"one shot in-memory api ".repeat(700);
+        let (compressed, _) = gpu_compress(&input, Version::V2).unwrap();
+        let (restored, _) = gpu_decompress(&compressed, Version::V2).unwrap();
+        assert_eq!(restored, input);
+    }
+
+    #[test]
+    fn empty_input() {
+        for version in [Version::V1, Version::V2] {
+            let (compressed, stats) = gpu_compress(b"", version).unwrap();
+            assert_eq!(stats.input_bytes, 0);
+            let (restored, _) = gpu_decompress(&compressed, version).unwrap();
+            assert!(restored.is_empty());
+        }
+    }
+
+    #[test]
+    fn v2_ratio_beats_v1_on_highly_compressible() {
+        // Table II: 6.34 % (V2) vs 13.90 % (V1).
+        let input = Dataset::HighlyCompressible.generate(128 * 1024, 4);
+        let (c1, _) = gpu_compress(&input, Version::V1).unwrap();
+        let (c2, _) = gpu_compress(&input, Version::V2).unwrap();
+        assert!(
+            (c2.len() as f64) < c1.len() as f64 * 0.7,
+            "V2 {} vs V1 {}",
+            c2.len(),
+            c1.len()
+        );
+    }
+
+    #[test]
+    fn v1_ratio_tracks_serial_within_the_window_penalty() {
+        // Table II reports V1 ≈ serial (55.7 % vs 54.8 % on C files). Our
+        // faithful 128-byte window costs more than that on C-like data —
+        // a measured property of LZSS on real C too (see EXPERIMENTS.md
+        // "Deviations") — so the reproduction asserts the same direction
+        // with the honestly measured magnitude.
+        let input = Dataset::CFiles.generate(192 * 1024, 5);
+        let serial = culzss_lzss::serial::compress(
+            &input,
+            &culzss_lzss::LzssConfig::dipperstein(),
+        )
+        .unwrap();
+        let (v1, _) = gpu_compress(&input, Version::V1).unwrap();
+        let ratio = v1.len() as f64 / serial.len() as f64;
+        assert!((1.0..2.0).contains(&ratio), "V1/serial size ratio {ratio}");
+        // Both stay firmly on the "compresses" side.
+        assert!(v1.len() < input.len());
+    }
+
+    #[test]
+    fn stats_accounting_is_consistent() {
+        let input = Dataset::Dictionary.generate(64 * 1024, 6);
+        let (_, stats) = gpu_compress(&input, Version::V2).unwrap();
+        assert!(stats.h2d_seconds > 0.0);
+        assert!(stats.kernel_seconds > 0.0);
+        assert!(stats.d2h_seconds > 0.0);
+        assert!(stats.cpu_seconds > 0.0);
+        let total = stats.modeled_total_seconds();
+        assert!(
+            total
+                >= stats.h2d_seconds
+                    + stats.kernel_seconds
+                    + stats.d2h_seconds
+                    + stats.cpu_seconds
+                    - 1e-12
+        );
+        assert_eq!(stats.input_bytes, input.len());
+    }
+}
+
+#[cfg(test)]
+mod auto_tests {
+    use super::*;
+    use culzss_datasets::Dataset;
+
+    #[test]
+    fn decompress_auto_handles_both_versions() {
+        let input = Dataset::CFiles.generate(64 * 1024, 11);
+        let v1 = Culzss::new(Version::V1).with_workers(2);
+        let v2 = Culzss::new(Version::V2).with_workers(2);
+        let (c1, _) = v1.compress(&input).unwrap();
+        let (c2, _) = v2.compress(&input).unwrap();
+        // One decompressor instance handles both streams.
+        assert_eq!(v1.decompress_auto(&c2).unwrap().0, input);
+        assert_eq!(v2.decompress_auto(&c1).unwrap().0, input);
+    }
+
+    #[test]
+    fn decompress_auto_rejects_non_fixed16_streams() {
+        let input = b"flagbit container is not a CULZSS stream".repeat(50);
+        let config = culzss_lzss::LzssConfig::dipperstein();
+        let stream = culzss_pthread_free::compress(&input, &config);
+        let v1 = Culzss::new(Version::V1).with_workers(1);
+        assert!(v1.decompress_auto(&stream).is_err());
+    }
+
+    /// Local chunked FlagBit container builder (avoids a dev-dependency
+    /// cycle with culzss-pthread).
+    mod culzss_pthread_free {
+        pub fn compress(input: &[u8], config: &culzss_lzss::LzssConfig) -> Vec<u8> {
+            let bodies: Vec<Vec<u8>> = input
+                .chunks(4096)
+                .map(|c| {
+                    culzss_lzss::format::encode(
+                        &culzss_lzss::serial::tokenize(c, config),
+                        config,
+                    )
+                })
+                .collect();
+            culzss_lzss::container::assemble(config, 4096, input.len() as u64, &bodies)
+                .unwrap()
+        }
+    }
+
+    #[test]
+    fn decompress_auto_handles_custom_windows() {
+        let mut params = CulzssParams::v2();
+        params.window_size = 64;
+        params.max_match = 24;
+        let custom = Culzss::with_device(DeviceSpec::gtx480(), params).with_workers(1);
+        let input = Dataset::DeMap.generate(32 * 1024, 13);
+        let (stream, _) = custom.compress(&input).unwrap();
+        // A defaults-configured instance still decodes it.
+        let stock = Culzss::new(Version::V1).with_workers(1);
+        assert_eq!(stock.decompress_auto(&stream).unwrap().0, input);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type unifying LZSS codec and GPU launch failures.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type CulzssResult<T> = std::result::Result<T, CulzssError>;
+
+/// Anything that can go wrong in the CULZSS pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CulzssError {
+    /// LZSS encoding/decoding or container failure.
+    Codec(culzss_lzss::Error),
+    /// Kernel launch rejected by the simulated device.
+    Launch(culzss_gpusim::exec::LaunchError),
+    /// Parameter validation failure.
+    InvalidParams(String),
+}
+
+impl fmt::Display for CulzssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CulzssError::Codec(e) => write!(f, "codec error: {e}"),
+            CulzssError::Launch(e) => write!(f, "launch error: {e}"),
+            CulzssError::InvalidParams(reason) => write!(f, "invalid parameters: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CulzssError {}
+
+impl From<culzss_lzss::Error> for CulzssError {
+    fn from(e: culzss_lzss::Error) -> Self {
+        CulzssError::Codec(e)
+    }
+}
+
+impl From<culzss_gpusim::exec::LaunchError> for CulzssError {
+    fn from(e: culzss_gpusim::exec::LaunchError) -> Self {
+        CulzssError::Launch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CulzssError =
+            culzss_lzss::Error::UnexpectedEof { context: "x" }.into();
+        assert!(e.to_string().contains("codec"));
+
+        let e: CulzssError = culzss_gpusim::exec::LaunchError::BadBlockDim {
+            requested: 0,
+            max: 1024,
+        }
+        .into();
+        assert!(e.to_string().contains("launch"));
+
+        let e = CulzssError::InvalidParams("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Heterogeneous CPU+GPU compression — the paper's §VII item: "a
+//! combined CPU and GPU heterogeneous implementation can give benefits
+//! for the execution time. Since the chip designers are already looking
+//! into putting both in a die …".
+//!
+//! The chunk grid is split at a chunk boundary: the leading fraction goes
+//! to CPU worker threads (running the identical per-chunk algorithm with
+//! the identical Fixed16 token configuration), the rest to the simulated
+//! GPU; both proceed concurrently and the bodies merge into one standard
+//! container — byte-identical to a pure-GPU run, which the tests pin
+//! down. The two engines' times combine as `max(cpu, gpu)` plus the
+//! serial merge.
+
+use std::time::Instant;
+
+use culzss_lzss::container::assemble;
+use culzss_lzss::format;
+use culzss_lzss::serial;
+
+use crate::api::Culzss;
+use crate::error::CulzssResult;
+use crate::kernel_v1;
+
+/// Timing summary of a heterogeneous run.
+#[derive(Debug, Clone, Copy)]
+pub struct HeteroStats {
+    /// Chunks processed on the CPU.
+    pub cpu_chunks: usize,
+    /// Chunks processed on the (simulated) GPU.
+    pub gpu_chunks: usize,
+    /// Measured CPU-side compression seconds.
+    pub cpu_seconds: f64,
+    /// Modelled GPU-side seconds (transfers + kernel).
+    pub gpu_seconds: f64,
+    /// Measured merge/assembly seconds.
+    pub merge_seconds: f64,
+}
+
+impl HeteroStats {
+    /// Combined wall time with both engines running concurrently.
+    pub fn total_seconds(&self) -> f64 {
+        self.cpu_seconds.max(self.gpu_seconds) + self.merge_seconds
+    }
+}
+
+/// Heterogeneous compressor: a [`Culzss`] device plus CPU workers.
+#[derive(Debug, Clone)]
+pub struct HeteroCompressor {
+    culzss: Culzss,
+    /// Fraction of chunks handled by the CPU (0.0..=1.0).
+    cpu_fraction: f64,
+    /// CPU worker threads.
+    cpu_threads: usize,
+}
+
+impl HeteroCompressor {
+    /// Wraps `culzss` with a CPU share of `cpu_fraction`.
+    pub fn new(culzss: Culzss, cpu_fraction: f64, cpu_threads: usize) -> Self {
+        Self { culzss, cpu_fraction: cpu_fraction.clamp(0.0, 1.0), cpu_threads: cpu_threads.max(1) }
+    }
+
+    /// The configured CPU share.
+    pub fn cpu_fraction(&self) -> f64 {
+        self.cpu_fraction
+    }
+
+    /// Calibrates the CPU share from a probe run over `sample`: measures
+    /// CPU throughput and models GPU throughput on the same bytes, then
+    /// sets the share so both engines finish together
+    /// (`cpu/(cpu+gpu) = tput_cpu/(tput_cpu+tput_gpu)`).
+    pub fn auto_balance(mut self, sample: &[u8]) -> CulzssResult<Self> {
+        if sample.is_empty() {
+            return Ok(self);
+        }
+        // Probe CPU throughput.
+        let started = Instant::now();
+        let config = self.culzss.params().lzss_config();
+        for chunk in sample.chunks(self.culzss.params().chunk_size) {
+            std::hint::black_box(serial::tokenize(chunk, &config));
+        }
+        let cpu_seconds = started.elapsed().as_secs_f64().max(1e-9);
+        // Probe GPU throughput (modelled, same bytes).
+        let sim = culzss_gpusim::GpuSim::new(self.culzss.device().clone());
+        let (_, launch) = kernel_v1::run(&sim, sample, self.culzss.params())?;
+        let device = self.culzss.device();
+        let gpu_seconds = (launch.cost.work_cycles
+            / device.sm_count as f64
+            / device.clock_hz)
+            .max(1e-9);
+        let cpu_tput = 1.0 / cpu_seconds;
+        let gpu_tput = 1.0 / gpu_seconds;
+        self.cpu_fraction = (cpu_tput / (cpu_tput + gpu_tput)).clamp(0.0, 1.0);
+        Ok(self)
+    }
+
+    /// Compresses `input`, splitting chunks between CPU and GPU.
+    ///
+    /// Only V1 parameters are supported (the GPU side runs the per-chunk
+    /// kernel; V2's match arrays would come back to the CPU anyway, which
+    /// makes heterogeneous splitting pointless there).
+    pub fn compress(&self, input: &[u8]) -> CulzssResult<(Vec<u8>, HeteroStats)> {
+        let params = self.culzss.params().clone();
+        let config = params.lzss_config();
+        params.validate(self.culzss.device())?;
+
+        let total_chunks = params.chunk_count(input.len());
+        let cpu_chunks = ((total_chunks as f64 * self.cpu_fraction).round() as usize)
+            .min(total_chunks);
+        let split = cpu_chunks * params.chunk_size;
+        let split = split.min(input.len());
+        let (cpu_part, gpu_part) = input.split_at(split);
+
+        // CPU side: identical per-chunk algorithm, measured, threaded
+        // over static ranges like the Pthread baseline.
+        let cpu_started = Instant::now();
+        let mut cpu_bodies: Vec<Vec<u8>> =
+            vec![Vec::new(); cpu_part.chunks(params.chunk_size).count()];
+        if !cpu_bodies.is_empty() {
+            let chunks: Vec<&[u8]> = cpu_part.chunks(params.chunk_size).collect();
+            let per_worker = chunks.len().div_ceil(self.cpu_threads);
+            crossbeam::thread::scope(|scope| {
+                for (chunk_range, body_range) in
+                    chunks.chunks(per_worker).zip(cpu_bodies.chunks_mut(per_worker))
+                {
+                    let config = &config;
+                    scope.spawn(move |_| {
+                        for (chunk, body) in chunk_range.iter().zip(body_range.iter_mut()) {
+                            let tokens = serial::tokenize(chunk, config);
+                            *body = format::encode(&tokens, config);
+                        }
+                    });
+                }
+            })
+            .expect("CPU compression worker panicked");
+        }
+        let cpu_seconds = cpu_started.elapsed().as_secs_f64();
+
+        // GPU side: the V1 kernel over the remaining chunks.
+        let (gpu_bodies, gpu_seconds) = if gpu_part.is_empty() {
+            (Vec::new(), 0.0)
+        } else {
+            let sim = culzss_gpusim::GpuSim::new(self.culzss.device().clone());
+            let (bodies, launch) = kernel_v1::run(&sim, gpu_part, &params)?;
+            let device = self.culzss.device();
+            let transfers = culzss_gpusim::transfer::transfer_seconds(device, gpu_part.len())
+                + culzss_gpusim::transfer::transfer_seconds(
+                    device,
+                    bodies.iter().map(|b| b.len()).sum(),
+                );
+            (bodies, launch.kernel_seconds + transfers)
+        };
+
+        // Merge into one container, in chunk order.
+        let merge_started = Instant::now();
+        let mut bodies = cpu_bodies;
+        let gpu_count = gpu_bodies.len();
+        bodies.extend(gpu_bodies);
+        let stream = assemble(&config, params.chunk_size as u32, input.len() as u64, &bodies)?;
+        let merge_seconds = merge_started.elapsed().as_secs_f64();
+
+        Ok((
+            stream,
+            HeteroStats {
+                cpu_chunks: bodies.len() - gpu_count,
+                gpu_chunks: gpu_count,
+                cpu_seconds,
+                gpu_seconds,
+                merge_seconds,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Version;
+    use culzss_datasets::Dataset;
+
+    fn gpu() -> Culzss {
+        Culzss::new(Version::V1).with_workers(2)
+    }
+
+    #[test]
+    fn output_is_byte_identical_to_pure_gpu() {
+        let input = Dataset::CFiles.generate(160 * 1024, 21);
+        let (reference, _) = gpu().compress(&input).unwrap();
+        for fraction in [0.0, 0.25, 0.5, 1.0] {
+            let hetero = HeteroCompressor::new(gpu(), fraction, 2);
+            let (stream, stats) = hetero.compress(&input).unwrap();
+            assert_eq!(stream, reference, "fraction {fraction}");
+            assert_eq!(
+                stats.cpu_chunks + stats.gpu_chunks,
+                gpu().params().chunk_count(input.len())
+            );
+        }
+    }
+
+    #[test]
+    fn decompresses_via_the_standard_path() {
+        let input = Dataset::HighlyCompressible.generate(96 * 1024, 23);
+        let hetero = HeteroCompressor::new(gpu(), 0.5, 2);
+        let (stream, _) = hetero.compress(&input).unwrap();
+        let (restored, _) = gpu().decompress(&stream).unwrap();
+        assert_eq!(restored, input);
+    }
+
+    #[test]
+    fn stats_partition_matches_fraction() {
+        let input = Dataset::DeMap.generate(128 * 1024, 25); // 32 chunks
+        let hetero = HeteroCompressor::new(gpu(), 0.25, 2);
+        let (_, stats) = hetero.compress(&input).unwrap();
+        assert_eq!(stats.cpu_chunks, 8);
+        assert_eq!(stats.gpu_chunks, 24);
+        assert!(stats.total_seconds() >= stats.merge_seconds);
+    }
+
+    #[test]
+    fn all_cpu_and_all_gpu_edges() {
+        let input = Dataset::Dictionary.generate(64 * 1024, 27);
+        let all_cpu = HeteroCompressor::new(gpu(), 1.0, 3);
+        let (_, s) = all_cpu.compress(&input).unwrap();
+        assert_eq!(s.gpu_chunks, 0);
+        assert_eq!(s.gpu_seconds, 0.0);
+
+        let all_gpu = HeteroCompressor::new(gpu(), 0.0, 3);
+        let (_, s) = all_gpu.compress(&input).unwrap();
+        assert_eq!(s.cpu_chunks, 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let hetero = HeteroCompressor::new(gpu(), 0.5, 2);
+        let (stream, stats) = hetero.compress(b"").unwrap();
+        assert_eq!(stats.cpu_chunks + stats.gpu_chunks, 0);
+        let (restored, _) = gpu().decompress(&stream).unwrap();
+        assert!(restored.is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Work-counted LZSS search routines shared by the V1 and V2 kernels.
+//!
+//! The kernels must (a) produce exactly the tokens the algorithm
+//! specifies and (b) report how much machine work producing them took, so
+//! the simulator's cost model can price the launch. This module provides
+//! search routines that return both: the match result and a [`Work`]
+//! record counting compared bytes and visited candidates.
+//!
+//! The op-cost constants translate algorithmic counts into issued
+//! instructions. They are the calibration surface of the reproduction
+//! (DESIGN.md §6): one compared byte costs two loads, a comparison and a
+//! branch plus index arithmetic; every candidate visit costs loop
+//! overhead. They are deliberately coarse — the paper's comparisons span
+//! datasets and implementations, so only relative magnitudes matter.
+
+use culzss_lzss::config::LzssConfig;
+use culzss_lzss::matchfind::FoundMatch;
+use culzss_lzss::token::Token;
+
+/// Issued instructions per compared byte pair (2 loads + cmp + branch +
+/// addressing on a machine without fused compare-branch).
+pub const OPS_PER_COMPARED_BYTE: u64 = 6;
+/// Issued instructions of per-candidate loop overhead.
+pub const OPS_PER_CANDIDATE: u64 = 4;
+/// Issued instructions per emitted token (flag bookkeeping + stores).
+pub const OPS_PER_TOKEN: u64 = 12;
+
+/// Algorithmic work performed by a search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Work {
+    /// Byte pairs compared.
+    pub compared_bytes: u64,
+    /// Window candidates visited.
+    pub candidates: u64,
+}
+
+impl Work {
+    /// Adds another work record.
+    pub fn add(&mut self, other: Work) {
+        self.compared_bytes += other.compared_bytes;
+        self.candidates += other.candidates;
+    }
+
+    /// Issued-instruction estimate.
+    pub fn ops(&self) -> u64 {
+        self.compared_bytes * OPS_PER_COMPARED_BYTE + self.candidates * OPS_PER_CANDIDATE
+    }
+
+    /// Buffer (shared-memory) accesses: each compared pair touches the
+    /// window byte and the lookahead byte.
+    pub fn accesses(&self) -> u64 {
+        self.compared_bytes * 2
+    }
+}
+
+/// Brute-force longest-match search at `pos`, identical in result to
+/// [`culzss_lzss::matchfind::BruteForce`], but also counting work.
+/// Matches never cross the chunk boundary (the slice *is* the chunk).
+pub fn search_position(
+    chunk: &[u8],
+    pos: usize,
+    config: &LzssConfig,
+) -> (Option<FoundMatch>, Work) {
+    let window_start = pos.saturating_sub(config.window_size);
+    let mut work = Work::default();
+    let mut best: Option<FoundMatch> = None;
+    let limit = config.max_match.min(chunk.len() - pos);
+    let mut candidate = pos;
+    while candidate > window_start {
+        candidate -= 1;
+        work.candidates += 1;
+        let mut len = 0usize;
+        while len < limit && chunk[candidate + len] == chunk[pos + len] {
+            len += 1;
+        }
+        // Compared bytes: every matched byte plus the mismatching pair
+        // (when the loop stopped on a mismatch rather than the limit).
+        work.compared_bytes += (len + usize::from(len < limit)) as u64;
+        if len >= config.min_match && best.is_none_or(|b| len > b.length) {
+            best = Some(FoundMatch { distance: pos - candidate, length: len });
+            if len == config.max_match {
+                break;
+            }
+        }
+    }
+    (best, work)
+}
+
+/// Greedy parse with skipping — the serial/V1 processing order: matched
+/// positions are not searched again.
+pub fn greedy_parse(chunk: &[u8], config: &LzssConfig) -> (Vec<Token>, Work) {
+    let mut tokens = Vec::with_capacity(chunk.len() / 4);
+    let mut work = Work::default();
+    let mut pos = 0usize;
+    while pos < chunk.len() {
+        let (found, w) = search_position(chunk, pos, config);
+        work.add(w);
+        match found {
+            Some(m) => {
+                tokens.push(Token::Match { distance: m.distance as u16, length: m.length as u16 });
+                pos += m.length;
+            }
+            None => {
+                tokens.push(Token::Literal(chunk[pos]));
+                pos += 1;
+            }
+        }
+    }
+    (tokens, work)
+}
+
+/// Per-position match record produced by the V2 matching kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PosMatch {
+    /// Match distance (0 = no match of at least `min_match`).
+    pub distance: u16,
+    /// Match length (0 = no match).
+    pub length: u16,
+    /// Work spent on this position (per-thread metering).
+    pub work: Work,
+}
+
+/// Searches one position unconditionally — V2's redundant all-positions
+/// matching ("we need to search for all characters and record the
+/// encoding information").
+pub fn search_position_v2(chunk: &[u8], pos: usize, config: &LzssConfig) -> PosMatch {
+    let (found, work) = search_position(chunk, pos, config);
+    match found {
+        Some(m) => PosMatch { distance: m.distance as u16, length: m.length as u16, work },
+        None => PosMatch { distance: 0, length: 0, work },
+    }
+}
+
+/// The CPU-side selection pass of V2: walk the positions greedily, taking
+/// recorded matches and skipping the positions they cover. Produces the
+/// same tokens as [`greedy_parse`] would.
+pub fn select_tokens(chunk: &[u8], matches: &[PosMatch], config: &LzssConfig) -> Vec<Token> {
+    debug_assert_eq!(chunk.len(), matches.len());
+    let mut tokens = Vec::with_capacity(chunk.len() / 4);
+    let mut pos = 0usize;
+    while pos < chunk.len() {
+        let m = matches[pos];
+        if m.length as usize >= config.min_match {
+            tokens.push(Token::Match { distance: m.distance, length: m.length });
+            pos += m.length as usize;
+        } else {
+            tokens.push(Token::Literal(chunk[pos]));
+            pos += 1;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culzss_lzss::matchfind::{BruteForce, MatchFinder};
+    use culzss_lzss::serial;
+
+    fn cfg() -> LzssConfig {
+        CulzssParamsLike::v2()
+    }
+
+    /// Local alias so tests read naturally.
+    struct CulzssParamsLike;
+    impl CulzssParamsLike {
+        fn v2() -> LzssConfig {
+            crate::params::CulzssParams::v2().lzss_config()
+        }
+        fn v1() -> LzssConfig {
+            crate::params::CulzssParams::v1().lzss_config()
+        }
+    }
+
+    #[test]
+    fn search_matches_brute_force_reference() {
+        let config = cfg();
+        let data = b"abcabcabc xyz xyz abcabc zzzzzzzzzzzzzz abc".repeat(3);
+        let mut reference = BruteForce::new();
+        for pos in 0..data.len() {
+            let (found, work) = search_position(&data, pos, &config);
+            assert_eq!(found, reference.find(&data, pos, &config), "pos {pos}");
+            if pos > 0 {
+                assert!(work.candidates > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_parse_equals_serial_tokenize() {
+        for config in [CulzssParamsLike::v1(), CulzssParamsLike::v2()] {
+            let data = b"the cat sat on the mat, the cat sat on the hat".repeat(4);
+            let (tokens, _) = greedy_parse(&data, &config);
+            assert_eq!(tokens, serial::tokenize(&data, &config));
+        }
+    }
+
+    #[test]
+    fn selection_reproduces_greedy_parse() {
+        let config = cfg();
+        let data = b"select me, select me again, and again and again".repeat(5);
+        let matches: Vec<PosMatch> =
+            (0..data.len()).map(|p| search_position_v2(&data, p, &config)).collect();
+        let selected = select_tokens(&data, &matches, &config);
+        let (greedy, _) = greedy_parse(&data, &config);
+        assert_eq!(selected, greedy);
+    }
+
+    #[test]
+    fn skipping_saves_work_on_compressible_data() {
+        // The paper's §V argument: serial/V1 skip matched positions, V2
+        // cannot — on highly repetitive data the difference is large.
+        let config = cfg();
+        let data: Vec<u8> = b"ABCDEFGHIJKLMNOPQRST".repeat(200); // period 20
+        let (_, greedy_work) = greedy_parse(&data, &config);
+        let full_work: u64 = (0..data.len())
+            .map(|p| search_position_v2(&data, p, &config).work.ops())
+            .sum();
+        assert!(
+            full_work > greedy_work.ops() * 5,
+            "full {} vs greedy {}",
+            full_work,
+            greedy_work.ops()
+        );
+    }
+
+    #[test]
+    fn work_scales_with_window_occupancy() {
+        let config = cfg();
+        let data = vec![7u8; 600];
+        // Early positions have small windows, later ones full windows,
+        // but max-match early termination bounds the work per position.
+        let (_, w_early) = search_position(&data, 1, &config);
+        let (full, w_late) = search_position(&data, 500, &config);
+        assert_eq!(full.unwrap().length, config.max_match);
+        assert!(w_late.ops() >= w_early.ops());
+    }
+
+    #[test]
+    fn v2_search_reports_no_match_as_zero() {
+        let config = cfg();
+        let data = b"abcdefgh";
+        let m = search_position_v2(data, 4, &config);
+        assert_eq!((m.distance, m.length), (0, 0));
+    }
+
+    #[test]
+    fn work_accessors() {
+        let w = Work { compared_bytes: 10, candidates: 4 };
+        assert_eq!(w.ops(), 10 * OPS_PER_COMPARED_BYTE + 4 * OPS_PER_CANDIDATE);
+        assert_eq!(w.accesses(), 20);
+        let mut acc = Work::default();
+        acc.add(w);
+        acc.add(w);
+        assert_eq!(acc.compared_bytes, 20);
+    }
+}

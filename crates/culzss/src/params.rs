@@ -1,0 +1,234 @@
+//! Tuning parameters for the CULZSS pipeline.
+//!
+//! The paper's optimization section settles on: 4 KB data chunks ("a
+//! reasonable choice for an average size of a network packet"), 128
+//! threads per block ("128 threads per block configuration is giving the
+//! best performance"), and a 128-byte window ("we get the best performance
+//! with the window buffer size of 128 bytes ... just enough number of bits
+//! to encode in a 16 bit encoding space"). All of them are sweepable here
+//! (the future-work "more detailed tuning configuration API").
+
+use culzss_gpusim::device::DeviceSpec;
+use culzss_lzss::config::LzssConfig;
+use culzss_lzss::format::TokenFormat;
+
+use crate::error::{CulzssError, CulzssResult};
+
+/// Which CULZSS design to run (the paper's API exposes this choice as a
+/// compression parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Version {
+    /// Coarse-grained: one chunk per *thread* (PBZIP2-style).
+    V1,
+    /// Fine-grained SIMD: one chunk per *block*, one position per thread.
+    V2,
+}
+
+impl Version {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Version::V1 => "CULZSS V1",
+            Version::V2 => "CULZSS V2",
+        }
+    }
+}
+
+/// Full parameter set of a CULZSS run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CulzssParams {
+    /// Algorithm variant.
+    pub version: Version,
+    /// Uncompressed bytes per chunk (paper: 4096).
+    pub chunk_size: usize,
+    /// CUDA threads per block (paper: 128).
+    pub threads_per_block: usize,
+    /// Sliding-window bytes (paper: 128).
+    pub window_size: usize,
+    /// Minimum encodable match (paper: 3).
+    pub min_match: usize,
+    /// Maximum encodable match (18 for V1, 32 for V2 — the extended
+    /// lookahead).
+    pub max_match: usize,
+    /// Keep the search buffers in shared memory (`false` reproduces the
+    /// pre-optimization global-memory variant; the paper reports ~30 %
+    /// V1 speedup from turning this on).
+    pub use_shared_memory: bool,
+}
+
+impl CulzssParams {
+    /// The paper's Version 1 configuration.
+    pub fn v1() -> Self {
+        Self {
+            version: Version::V1,
+            chunk_size: 4096,
+            threads_per_block: 128,
+            window_size: 128,
+            min_match: 3,
+            max_match: 18,
+            use_shared_memory: true,
+        }
+    }
+
+    /// The paper's Version 2 configuration.
+    pub fn v2() -> Self {
+        Self {
+            version: Version::V2,
+            chunk_size: 4096,
+            threads_per_block: 128,
+            window_size: 128,
+            min_match: 3,
+            max_match: 32,
+            use_shared_memory: true,
+        }
+    }
+
+    /// Parameters for `version` with paper defaults.
+    pub fn for_version(version: Version) -> Self {
+        match version {
+            Version::V1 => Self::v1(),
+            Version::V2 => Self::v2(),
+        }
+    }
+
+    /// The LZSS token configuration implied by these parameters (GPU
+    /// versions always use the byte-aligned 16-bit code format).
+    pub fn lzss_config(&self) -> LzssConfig {
+        LzssConfig {
+            window_size: self.window_size,
+            min_match: self.min_match,
+            max_match: self.max_match,
+            format: TokenFormat::Fixed16,
+        }
+    }
+
+    /// Shared-memory bytes one block requests under these parameters.
+    ///
+    /// * V1: every thread keeps its private window in shared memory —
+    ///   `threads × window` (exactly 16 KB at the paper's 128 × 128).
+    /// * V2: the block shares one window plus the cooperative lookahead
+    ///   (window + threads + max_match, rounded up to the bank width).
+    pub fn shared_bytes(&self) -> usize {
+        if !self.use_shared_memory {
+            return 0;
+        }
+        match self.version {
+            Version::V1 => self.threads_per_block * self.window_size,
+            Version::V2 => {
+                let raw = self.window_size + self.threads_per_block + self.max_match;
+                raw.div_ceil(4) * 4
+            }
+        }
+    }
+
+    /// Number of chunks for an input length.
+    pub fn chunk_count(&self, input_len: usize) -> usize {
+        input_len.div_ceil(self.chunk_size)
+    }
+
+    /// Grid size for the compression kernel over `input_len` bytes.
+    pub fn grid_dim(&self, input_len: usize) -> usize {
+        match self.version {
+            Version::V1 => self.chunk_count(input_len).div_ceil(self.threads_per_block),
+            Version::V2 => self.chunk_count(input_len),
+        }
+    }
+
+    /// Validates against a device and the 16-bit code format.
+    pub fn validate(&self, device: &DeviceSpec) -> CulzssResult<()> {
+        let fail = |m: String| Err(CulzssError::InvalidParams(m));
+        if self.chunk_size == 0 || self.chunk_size > u32::MAX as usize {
+            return fail("chunk_size must be in 1..=u32::MAX".into());
+        }
+        if self.threads_per_block == 0
+            || self.threads_per_block > device.max_threads_per_block
+        {
+            return fail(format!(
+                "threads_per_block {} outside 1..={}",
+                self.threads_per_block, device.max_threads_per_block
+            ));
+        }
+        if self.window_size > self.chunk_size {
+            return fail("window larger than a chunk is never used".into());
+        }
+        self.lzss_config().validate()?;
+        if self.shared_bytes() > device.shared_mem_per_block {
+            return fail(format!(
+                "shared memory request {} B exceeds the device's {} B — the \
+                 limitation the paper describes for 256-512 thread blocks",
+                self.shared_bytes(),
+                device.shared_mem_per_block
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let v1 = CulzssParams::v1();
+        assert_eq!(v1.chunk_size, 4096);
+        assert_eq!(v1.threads_per_block, 128);
+        assert_eq!(v1.window_size, 128);
+        assert_eq!(v1.max_match, 18);
+        // 128 threads × 128 B = exactly the GTX 480's 16 KB shared arena.
+        assert_eq!(v1.shared_bytes(), 16 * 1024);
+
+        let v2 = CulzssParams::v2();
+        assert_eq!(v2.max_match, 32);
+        assert!(v2.shared_bytes() < 1024);
+    }
+
+    #[test]
+    fn validation_against_gtx480() {
+        let d = DeviceSpec::gtx480();
+        CulzssParams::v1().validate(&d).unwrap();
+        CulzssParams::v2().validate(&d).unwrap();
+
+        // The paper's own limitation: V1 with 256 threads needs 32 KB of
+        // shared memory and no longer fits.
+        let mut big = CulzssParams::v1();
+        big.threads_per_block = 256;
+        let err = big.validate(&d).unwrap_err();
+        assert!(matches!(err, CulzssError::InvalidParams(_)));
+
+        let mut zero = CulzssParams::v1();
+        zero.chunk_size = 0;
+        assert!(zero.validate(&d).is_err());
+
+        let mut wide = CulzssParams::v2();
+        wide.window_size = 512; // breaks the 8-bit offset encoding
+        assert!(wide.validate(&d).is_err());
+    }
+
+    #[test]
+    fn grid_math() {
+        let v1 = CulzssParams::v1();
+        // 1 MiB = 256 chunks = 2 blocks of 128 threads.
+        assert_eq!(v1.chunk_count(1 << 20), 256);
+        assert_eq!(v1.grid_dim(1 << 20), 2);
+        assert_eq!(v1.grid_dim(1), 1);
+        assert_eq!(v1.grid_dim(0), 0);
+
+        let v2 = CulzssParams::v2();
+        assert_eq!(v2.grid_dim(1 << 20), 256);
+    }
+
+    #[test]
+    fn lzss_config_is_fixed16() {
+        let config = CulzssParams::v2().lzss_config();
+        config.validate().unwrap();
+        assert_eq!(config.format.id(), 2);
+    }
+
+    #[test]
+    fn disabling_shared_memory_zeroes_the_request() {
+        let mut p = CulzssParams::v1();
+        p.use_shared_memory = false;
+        assert_eq!(p.shared_bytes(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Configuration sweeps — threads per block and window size.
+//!
+//! "In the tests, we see that 128 threads per block configuration is
+//! giving the best performance" and "we get the best performance with the
+//! window buffer size of 128 bytes". These sweeps regenerate those
+//! in-text results (experiments E9 and E10 in DESIGN.md) and implement
+//! the future-work "detailed tuning configuration API".
+
+use culzss_gpusim::DeviceSpec;
+
+use crate::api::Culzss;
+use crate::params::{CulzssParams, Version};
+
+/// One point of a sweep.
+#[derive(Debug, Clone)]
+pub struct TuningPoint {
+    /// The swept value (threads per block, or window bytes).
+    pub value: usize,
+    /// Modelled pipeline total, `None` when the configuration is
+    /// infeasible on the device (e.g. V1 @ 256 threads overflows shared
+    /// memory — the limitation the paper describes).
+    pub modeled_seconds: Option<f64>,
+    /// Modelled GPU-side time (transfers + kernel) at full device
+    /// occupancy: the kernel term uses total work cycles over all SMs, so
+    /// sweep comparisons are meaningful even when the test input is too
+    /// small for a configuration to fill the device. Free of host
+    /// measurement noise.
+    pub gpu_seconds: Option<f64>,
+    /// Compression ratio achieved (None when infeasible).
+    pub ratio: Option<f64>,
+}
+
+fn run_point(device: &DeviceSpec, params: CulzssParams, input: &[u8]) -> TuningPoint {
+    let value = params.threads_per_block;
+    if params.validate(device).is_err() {
+        return TuningPoint { value, modeled_seconds: None, gpu_seconds: None, ratio: None };
+    }
+    let culzss = Culzss::with_device(device.clone(), params);
+    match culzss.compress(input) {
+        Ok((_, stats)) => {
+            let launch = stats.launch.as_ref().expect("compression launches");
+            let kernel = launch.cost.work_cycles / device.sm_count as f64 / device.clock_hz;
+            TuningPoint {
+                value,
+                modeled_seconds: Some(stats.modeled_total_seconds()),
+                gpu_seconds: Some(stats.h2d_seconds + kernel + stats.d2h_seconds),
+                ratio: Some(stats.ratio()),
+            }
+        }
+        Err(_) => {
+            TuningPoint { value, modeled_seconds: None, gpu_seconds: None, ratio: None }
+        }
+    }
+}
+
+/// Sweeps threads-per-block for `version` over `input`.
+pub fn sweep_threads(
+    device: &DeviceSpec,
+    version: Version,
+    input: &[u8],
+    candidates: &[usize],
+) -> Vec<TuningPoint> {
+    candidates
+        .iter()
+        .map(|&threads| {
+            let mut params = CulzssParams::for_version(version);
+            params.threads_per_block = threads;
+            run_point(device, params, input)
+        })
+        .collect()
+}
+
+/// Sweeps the window size for `version` over `input`. Window sizes above
+/// 256 are infeasible under the 16-bit code (the paper's "a bigger buffer
+/// requires more bits to encode").
+pub fn sweep_window(
+    device: &DeviceSpec,
+    version: Version,
+    input: &[u8],
+    candidates: &[usize],
+) -> Vec<TuningPoint> {
+    candidates
+        .iter()
+        .map(|&window| {
+            let mut params = CulzssParams::for_version(version);
+            params.window_size = window;
+            let mut point = run_point(device, params, input);
+            point.value = window;
+            point
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culzss_datasets::Dataset;
+
+    #[test]
+    fn v1_256_threads_is_infeasible_on_gtx480() {
+        let device = DeviceSpec::gtx480();
+        let input = Dataset::CFiles.generate(64 * 1024, 1);
+        let points = sweep_threads(&device, Version::V1, &input, &[64, 128, 256, 512]);
+        assert!(points[0].modeled_seconds.is_some());
+        assert!(points[1].modeled_seconds.is_some());
+        // 256 × 128 B = 32 KB > 16 KB shared arena.
+        assert!(points[2].modeled_seconds.is_none());
+        assert!(points[3].modeled_seconds.is_none());
+    }
+
+    #[test]
+    fn window_sweep_trades_time_for_ratio() {
+        let device = DeviceSpec::gtx480();
+        let input = Dataset::CFiles.generate(128 * 1024, 2);
+        let points = sweep_window(&device, Version::V2, &input, &[32, 64, 128, 256]);
+        for p in &points {
+            assert!(p.modeled_seconds.is_some(), "window {}", p.value);
+        }
+        // Wider windows: slower ("takes longer to search") …
+        assert!(points[3].gpu_seconds.unwrap() > points[0].gpu_seconds.unwrap());
+        // … but better ratio ("increases the chance of having a better
+        // substring match").
+        assert!(points[3].ratio.unwrap() < points[0].ratio.unwrap());
+    }
+
+    #[test]
+    fn oversized_windows_are_rejected_by_the_encoding() {
+        let device = DeviceSpec::gtx480();
+        let input = Dataset::CFiles.generate(32 * 1024, 3);
+        let points = sweep_window(&device, Version::V2, &input, &[512]);
+        assert!(points[0].modeled_seconds.is_none());
+    }
+
+    #[test]
+    fn very_small_blocks_lose_occupancy() {
+        let device = DeviceSpec::gtx480();
+        let input = Dataset::KernelTarball.generate(256 * 1024, 4);
+        let points = sweep_threads(&device, Version::V2, &input, &[32, 128]);
+        let t32 = points[0].gpu_seconds.unwrap();
+        let t128 = points[1].gpu_seconds.unwrap();
+        // "choosing a smaller number of threads leads into a loss of
+        // performance".
+        assert!(t32 > t128, "t32 {t32} vs t128 {t128}");
+    }
+}

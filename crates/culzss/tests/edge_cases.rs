@@ -1,0 +1,142 @@
+//! Edge-case matrix for the CULZSS pipeline: boundary input sizes,
+//! pathological contents, and the custom-parameter space of the tuning
+//! API.
+
+use culzss::{Culzss, CulzssParams, Version};
+use culzss_gpusim::DeviceSpec;
+
+fn roundtrip(culzss: &Culzss, input: &[u8]) {
+    let (stream, stats) = culzss.compress(input).expect("compress");
+    assert_eq!(stats.input_bytes, input.len());
+    let (restored, _) = culzss.decompress(&stream).expect("decompress");
+    assert_eq!(restored, input);
+}
+
+#[test]
+fn boundary_input_sizes() {
+    let chunk = CulzssParams::v1().chunk_size;
+    for version in [Version::V1, Version::V2] {
+        let culzss = Culzss::new(version).with_workers(2);
+        for size in [
+            0usize,
+            1,
+            2,
+            3,
+            chunk - 1,
+            chunk,
+            chunk + 1,
+            2 * chunk - 1,
+            2 * chunk,
+            2 * chunk + 1,
+        ] {
+            let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            roundtrip(&culzss, &input);
+        }
+    }
+}
+
+#[test]
+fn pathological_contents() {
+    let patterns: Vec<Vec<u8>> = vec![
+        vec![0u8; 10_000],
+        vec![0xFFu8; 10_000],
+        (0..10_000).map(|i| (i % 2) as u8 * 255).collect(),
+        (0..10_000).map(|i| (i % 256) as u8).collect(),
+        // Exactly min_match-length repeats separated by unique bytes.
+        (0..2000)
+            .flat_map(|i: u32| {
+                vec![b'a', b'b', b'c', (i % 251) as u8]
+            })
+            .collect(),
+        // A single repeated max-match-length pattern (32 for V2).
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZ012345".repeat(300),
+    ];
+    for version in [Version::V1, Version::V2] {
+        let culzss = Culzss::new(version).with_workers(2);
+        for (i, input) in patterns.iter().enumerate() {
+            let (stream, _) = culzss.compress(input).expect("compress");
+            let (restored, _) = culzss.decompress(&stream).expect("decompress");
+            assert_eq!(&restored, input, "{version:?} pattern {i}");
+        }
+    }
+}
+
+#[test]
+fn custom_parameter_matrix() {
+    let device = DeviceSpec::gtx480();
+    let input = culzss_datasets::Dataset::KernelTarball.generate(48 * 1024, 55);
+    let mut tried = 0usize;
+    for version in [Version::V1, Version::V2] {
+        for window in [32usize, 64, 128, 256] {
+            for max_match in [4usize, 18, 32, 130] {
+                for chunk_size in [512usize, 4096] {
+                    let mut params = CulzssParams::for_version(version);
+                    params.window_size = window.min(chunk_size);
+                    params.max_match = max_match;
+                    params.chunk_size = chunk_size;
+                    // Skip configurations the device/encoding reject —
+                    // validation itself is under test elsewhere.
+                    if params.validate(&device).is_err() {
+                        continue;
+                    }
+                    tried += 1;
+                    let culzss =
+                        Culzss::with_device(device.clone(), params).with_workers(2);
+                    roundtrip(&culzss, &input);
+                }
+            }
+        }
+    }
+    assert!(tried >= 20, "only {tried} feasible configurations exercised");
+}
+
+#[test]
+fn cross_device_roundtrips() {
+    let input = culzss_datasets::Dataset::CFiles.generate(64 * 1024, 57);
+    for device in [DeviceSpec::gtx280(), DeviceSpec::gtx480(), DeviceSpec::c2050()] {
+        for version in [Version::V1, Version::V2] {
+            let params = CulzssParams::for_version(version);
+            if params.validate(&device).is_err() {
+                continue;
+            }
+            let culzss = Culzss::with_device(device.clone(), params).with_workers(2);
+            roundtrip(&culzss, &input);
+        }
+    }
+}
+
+#[test]
+fn streams_from_different_devices_are_identical() {
+    // The device affects timing, never bytes.
+    let input = culzss_datasets::Dataset::DeMap.generate(64 * 1024, 59);
+    let make = |device: DeviceSpec| {
+        Culzss::with_device(device, CulzssParams::v2())
+            .with_workers(2)
+            .compress(&input)
+            .expect("compress")
+            .0
+    };
+    let a = make(DeviceSpec::gtx480());
+    let b = make(DeviceSpec::c2050());
+    let c = make(DeviceSpec::gtx280());
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+#[test]
+fn corrupted_streams_are_rejected_across_the_surface() {
+    let input = culzss_datasets::Dataset::Dictionary.generate(32 * 1024, 61);
+    let culzss = Culzss::new(Version::V1).with_workers(2);
+    let (stream, _) = culzss.compress(&input).expect("compress");
+
+    // Truncations at structurally interesting offsets.
+    for cut in [0usize, 3, 8, 31, 32, stream.len() / 2, stream.len() - 1] {
+        assert!(culzss.decompress(&stream[..cut]).is_err(), "cut {cut}");
+    }
+    // Header field corruptions: every byte of the header area flipped.
+    for at in 0..32.min(stream.len()) {
+        let mut bad = stream.clone();
+        bad[at] ^= 0x5A;
+        let _ = culzss.decompress(&bad); // must not panic; Err or (rarely) Ok
+    }
+}

@@ -1,0 +1,15 @@
+//! Compares BWT backend throughput per dataset — used to pick the
+//! era-faithful comparison sorter for the Table I bzip2 baseline.
+fn main() {
+    for d in culzss_datasets::Dataset::ALL {
+        let data = d.generate(2 << 20, 1);
+        for (n, b) in [
+            ("sais", culzss_bzip2::bwt::Backend::SaIs),
+            ("doubling", culzss_bzip2::bwt::Backend::Doubling),
+        ] {
+            let t = std::time::Instant::now();
+            let c = culzss_bzip2::compress_with(&data, 900_000, b).unwrap();
+            println!("{:<22}{n:<10}{:>10.3}s -> {} bytes", d.slug(), t.elapsed().as_secs_f64(), c.len());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Prints the serial-LZSS compression ratio of every generated corpus at a
+//! few sizes and seeds — the tool used to calibrate the generators against
+//! Table II of the paper.
+//!
+//! ```text
+//! cargo run --release -p culzss-datasets --example calibrate
+//! ```
+
+use culzss_datasets::Dataset;
+use culzss_lzss::{serial, LzssConfig};
+
+fn main() {
+    let serial_cfg = LzssConfig::dipperstein();
+    let v1_cfg = LzssConfig::culzss_v1();
+    let v2_cfg = LzssConfig::culzss_v2();
+    println!(
+        "{:<22}{:>10}{:>8}{:>9}{:>9}{:>9}   paper(serial,v1,v2)",
+        "dataset", "bytes", "seed", "serial", "v1cfg", "v2cfg"
+    );
+    for dataset in Dataset::ALL {
+        let paper = culzss_datasets::paper::table2(dataset);
+        for &(len, seed) in &[(192 * 1024, 1234u64), (256 * 1024, 25), (512 * 1024, 777)] {
+            let data = dataset.generate(len, seed);
+            let ratio = |cfg: &LzssConfig| {
+                serial::compress(&data, cfg).expect("compress").len() as f64 / data.len() as f64
+            };
+            println!(
+                "{:<22}{:>10}{:>8}{:>9.4}{:>9.4}{:>9.4}   ({:.3}, {:.3}, {:.3})",
+                dataset.slug(),
+                len,
+                seed,
+                ratio(&serial_cfg),
+                ratio(&v1_cfg),
+                ratio(&v2_cfg),
+                paper.serial,
+                paper.v1,
+                paper.v2,
+            );
+        }
+    }
+}

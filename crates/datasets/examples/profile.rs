@@ -1,0 +1,31 @@
+//! Prints the match-distance histogram of each corpus under the serial
+//! LZSS configuration — the diagnostic behind the generator calibration
+//! (how much of the redundancy is reachable by a 128-byte window).
+
+use culzss_datasets::Dataset;
+use culzss_lzss::{analyze, LzssConfig};
+
+fn main() {
+    let config = LzssConfig::dipperstein();
+    println!(
+        "{:<22}{:>7}{:>7}{:>7}{:>7}{:>8}{:>8}{:>8}{:>8}",
+        "dataset", "<=16", "<=32", "<=64", "<=128", "<=1024", "<=4096", "cover", "shortcov"
+    );
+    for dataset in Dataset::ALL {
+        let data = dataset.generate(256 * 1024, 1234);
+        let p = analyze::profile(&data, &config);
+        let h = p.distance_histogram;
+        println!(
+            "{:<22}{:>7}{:>7}{:>7}{:>7}{:>8}{:>8}{:>8.3}{:>8.3}",
+            dataset.slug(),
+            h[0],
+            h[1],
+            h[2],
+            h[3],
+            h[4],
+            h[5],
+            p.match_cover(),
+            p.short_range_cover,
+        );
+    }
+}

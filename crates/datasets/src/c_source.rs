@@ -1,0 +1,248 @@
+//! Synthetic C source — stand-in for the paper's "collection of C files".
+//!
+//! Real C code compresses to ~55 % under serial LZSS (Table II): keywords,
+//! reused identifiers and structural idioms repeat within the window, but
+//! they are embedded in a high-diversity stream of fresh identifiers,
+//! numeric literals, comments and string messages. The generator mixes
+//! both kinds of content and is calibrated (see the ratio test) to land in
+//! the paper's band.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::words::WordGen;
+
+/// C type spellings sprinkled through the output.
+const TYPES: &[&str] = &["int", "char", "unsigned long", "size_t", "u32", "void *", "struct page *", "bool", "s64"];
+const BINOPS: &[&str] = &["+", "-", "*", "&", "|", "^", "<<", ">>", "%"];
+const CMPOPS: &[&str] = &["==", "!=", "<", ">", "<=", ">="];
+/// Short identifiers, the bread and butter of real C: matches built from
+/// them stay 3-7 bytes long, which is why a 128-byte window compresses C
+/// almost as well as a 4096-byte one (Table II).
+const SHORT_IDENTS: &[&str] = &[
+    "i", "j", "k", "n", "ret", "err", "len", "buf", "idx", "ptr", "val", "tmp", "cnt",
+    "off", "pos", "sz", "dst", "src", "dev", "ctx", "req", "res", "p", "q", "s", "d",
+];
+
+/// Generates exactly `len` bytes of C-like source code.
+pub fn generate(len: usize, seed: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 256);
+    let mut words = WordGen::new(seed ^ 0xC0DE);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut file_no = 0;
+    while out.len() < len {
+        let budget = len - out.len();
+        emit_file(&mut out, &mut words, &mut rng, file_no, budget);
+        file_no += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Emits one synthetic translation unit of roughly 4–12 KB.
+fn emit_file(
+    out: &mut Vec<u8>,
+    words: &mut WordGen,
+    rng: &mut SmallRng,
+    file_no: usize,
+    budget: usize,
+) {
+    let target = rng.gen_range(4096..12288).min(budget + 512);
+    let start = out.len();
+
+    // A small rotating pool of *recently introduced* identifiers: real C
+    // reuses the same handful of locals within a few adjacent lines, so
+    // most identifier matches sit well inside even a 128-byte window
+    // (which is why Table II's V1 ratio tracks the serial one so closely).
+    let mut recent: std::collections::VecDeque<String> = (0..3)
+        .map(|_| words.natural_word())
+        .collect();
+    let funcs: Vec<String> = (0..rng.gen_range(6..14))
+        .map(|_| format!("{}_{}", words.natural_word(), words.natural_word()))
+        .collect();
+
+    let header = words.natural_word();
+    push_line(out, 0, &format!("/* {} {} {} — unit {file_no} */", words.natural_word(), words.natural_word(), words.natural_word()));
+    push_line(out, 0, &format!("#include <linux/{header}.h>"));
+    push_line(out, 0, "#include <linux/kernel.h>");
+    push_line(out, 0, "");
+
+    while out.len() - start < target {
+        let func = &funcs[rng.gen_range(0..funcs.len())];
+        let ret = TYPES[rng.gen_range(0..TYPES.len())];
+        let arg = recent[rng.gen_range(0..recent.len())].clone();
+        let arg = &arg;
+        if rng.gen_bool(0.3) {
+            push_line(
+                out,
+                0,
+                &format!("/* {} the {} {} before {} */", words.natural_word(), words.natural_word(), words.natural_word(), words.natural_word()),
+            );
+        }
+        let sig = match rng.gen_range(0..4) {
+            0 => format!("static {ret} {func}(struct {} *{}, int {arg})", words.natural_word(), words.natural_word()),
+            1 => format!("static {ret} {func}(void)"),
+            2 => format!("static {ret} {func}(u32 {arg}, const char *{})", words.natural_word()),
+            _ => format!("{ret} {func}({} {arg})", TYPES[rng.gen_range(0..TYPES.len())]),
+        };
+        push_line(out, 0, &sig);
+        push_line(out, 0, "{");
+        let body_lines = rng.gen_range(4..18);
+        let mut emitted = 0usize;
+        while emitted < body_lines {
+            if rng.gen_bool(0.20) {
+                emit_idiom_block(out, rng, words);
+                emitted += 3;
+                continue;
+            }
+            // Real code clusters: several statements of the same shape in
+            // a row (assignment blocks, call sequences), so the template
+            // skeleton repeats within a line or two.
+            let template = rng.gen_range(0..12);
+            let cluster = rng.gen_range(2..6);
+            let depth = rng.gen_range(1..4);
+            for _ in 0..cluster {
+                emit_statement(out, rng, words, &mut recent, &funcs, depth, template);
+                emitted += 1;
+            }
+        }
+        let result = &recent[rng.gen_range(0..recent.len())];
+        push_line(out, 1, &format!("return {result};"));
+        push_line(out, 0, "}");
+        push_line(out, 0, "");
+    }
+}
+
+/// Emits a run of 2–5 near-identical lines (field-assignment blocks,
+/// register writes, etc.) — the hyper-local redundancy real C is full of.
+fn emit_idiom_block(out: &mut Vec<u8>, rng: &mut SmallRng, words: &mut WordGen) {
+    let base = SHORT_IDENTS[rng.gen_range(0..SHORT_IDENTS.len())];
+    let target = words.natural_word();
+    let lines = rng.gen_range(2..4);
+    for _ in 0..lines {
+        let field = words.natural_word();
+        match rng.gen_range(0..3) {
+            0 => push_line(out, 1, &format!("{base}->{field} = {target}.{field};")),
+            1 => push_line(
+                out,
+                1,
+                &format!("writel({base}->{field}, {target}_base + REG_{});", rng.gen_range(0..64)),
+            ),
+            _ => push_line(out, 1, &format!("{base}.{field} = le32_to_cpu(raw->{field});")),
+        }
+    }
+}
+
+fn emit_statement(
+    out: &mut Vec<u8>,
+    rng: &mut SmallRng,
+    words: &mut WordGen,
+    recent: &mut std::collections::VecDeque<String>,
+    funcs: &[String],
+    depth: usize,
+    template: usize,
+) {
+    // Mostly short C identifiers (short matches, any window), sometimes a
+    // recently introduced longer name, rarely a fresh one that displaces
+    // the oldest.
+    let mut pick = |rng: &mut SmallRng, words: &mut WordGen| {
+        let roll = rng.gen_range(0..10);
+        if roll < 6 {
+            SHORT_IDENTS[rng.gen_range(0..SHORT_IDENTS.len())].to_string()
+        } else if roll < 8 {
+            recent[rng.gen_range(0..recent.len())].clone()
+        } else {
+            let fresh = words.natural_word();
+            recent.pop_front();
+            recent.push_back(fresh.clone());
+            fresh
+        }
+    };
+    let a = pick(rng, words);
+    let b = pick(rng, words);
+    let c = pick(rng, words);
+    let (a, b, c) = (&a, &b, &c);
+    let f = &funcs[rng.gen_range(0..funcs.len())];
+    let op = BINOPS[rng.gen_range(0..BINOPS.len())];
+    let cmp = CMPOPS[rng.gen_range(0..CMPOPS.len())];
+    match template {
+        0 => push_line(out, depth, &format!("if ({a} {cmp} {b})")),
+        1 => push_line(out, depth, &format!("{a} = {f}(dev, {b} {op} {c});")),
+        2 => push_line(
+            out,
+            depth,
+            &format!("for ({a} = {}; {a} < {b}; {a} += {}) {{", rng.gen_range(0..8), rng.gen_range(1..5)),
+        ),
+        3 => push_line(out, depth, &format!("{a}->{b} = {c}->{} {op} {};", words.natural_word(), rng.gen_range(0..100_000u32))),
+        4 => push_line(out, depth, &format!("{a} = ({b} {op} 0x{:x}) {op} {c};", rng.gen::<u32>())),
+        5 => push_line(
+            out,
+            depth,
+            &format!(
+                "{}(\"{}: {} {} %d (%lx)\\n\", __func__, {b}, 0x{:x});",
+                ["pr_debug", "pr_warn", "dev_err", "trace_printk"][rng.gen_range(0..4)],
+                words.natural_word(),
+                words.natural_word(),
+                words.natural_word(),
+                rng.gen::<u32>()
+            ),
+        ),
+        6 => push_line(
+            out,
+            depth,
+            &format!("{}(&{a}->{});", ["spin_lock", "mutex_lock", "spin_unlock", "up_read"][rng.gen_range(0..4)], words.natural_word()),
+        ),
+        7 => push_line(out, depth, &format!("{a} = {b} & 0x{:04x};", rng.gen_range(0..0xFFFFu32))),
+        8 => push_line(out, depth, &format!("WARN_ON({a} {cmp} {});", rng.gen_range(0..4096u32))),
+        9 => push_line(
+            out,
+            depth,
+            &format!("memcpy({a}, {b} + {}, sizeof(*{c}) * {});", rng.gen_range(0..64u32), rng.gen_range(1..32u32)),
+        ),
+        10 => push_line(out, depth, &format!("}} /* {} */", words.natural_word())),
+        _ => push_line(out, depth, &format!("{a} = {b} {op} {c};")),
+    }
+}
+
+fn push_line(out: &mut Vec<u8>, depth: usize, line: &str) {
+    for _ in 0..depth {
+        out.push(b'\t');
+    }
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_length_and_deterministic() {
+        let a = generate(10_000, 1);
+        let b = generate(10_000, 1);
+        assert_eq!(a.len(), 10_000);
+        assert_eq!(a, b);
+        assert_ne!(a, generate(10_000, 2));
+    }
+
+    #[test]
+    fn looks_like_c() {
+        let data = generate(20_000, 3);
+        let text = String::from_utf8_lossy(&data);
+        assert!(text.contains("#include"));
+        assert!(text.contains("static"));
+        assert!(text.contains("return"));
+        assert!(text.lines().count() > 100);
+    }
+
+    #[test]
+    fn compresses_like_the_paper_band() {
+        // Table II: serial LZSS ratio 54.8 % on C files; our synthetic
+        // analogue should land in a generous band around it.
+        let data = generate(256 * 1024, 5);
+        let config = culzss_lzss::LzssConfig::dipperstein();
+        let c = culzss_lzss::serial::compress(&data, &config).unwrap();
+        let ratio = c.len() as f64 / data.len() as f64;
+        assert!((0.42..=0.68).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # culzss-datasets — the five CULZSS evaluation corpora, synthesized
+//!
+//! The paper evaluates on five 128 MB datasets: a collection of C files,
+//! USGS Delaware raster map data, an English dictionary, part of a Linux
+//! kernel tarball, and a custom highly compressible file of repeating
+//! 20-character substrings. The real corpora are not redistributable /
+//! fetchable here, so this crate generates statistically analogous data
+//! deterministically from a seed:
+//!
+//! | Paper dataset | Generator | What is imitated |
+//! |---|---|---|
+//! | C files | [`c_source`] | keyword/identifier mix, indentation, repeated idioms |
+//! | DE map (DRG/DLG) | [`raster`] | large uniform regions, dithering, scanline repeats |
+//! | Dictionary | [`dictionary`] | sorted unique words ⇒ shared prefixes only |
+//! | Kernel tarball | [`tar`] + [`c_source`] | ustar framing, source + binary mix |
+//! | Highly compr. | [`highly`] | exact 20-byte period repeats |
+//!
+//! Each generator produces *exactly* the requested number of bytes and is
+//! reproducible: same `(seed, len)` ⇒ same bytes. The [`registry`] module
+//! exposes all five behind one enum, and [`paper`] records the numbers the
+//! paper reports for each, so benches can print paper-vs-measured tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c_source;
+pub mod dictionary;
+pub mod highly;
+pub mod mixer;
+pub mod paper;
+pub mod raster;
+pub mod registry;
+pub mod stats;
+pub mod tar;
+pub mod words;
+
+pub use registry::Dataset;

@@ -1,0 +1,138 @@
+//! Weighted corpus mixing — realistic heterogeneous traffic.
+//!
+//! Real gateway or checkpoint traffic is rarely a single data class; the
+//! mixer interleaves segments drawn from the five corpora under a
+//! weighted distribution, producing streams whose compressibility varies
+//! along their length — exactly the situation the paper's per-call
+//! version-selection API exists for.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::registry::Dataset;
+
+/// One component of a mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Component {
+    /// Which corpus to draw from.
+    pub dataset: Dataset,
+    /// Relative weight (any positive scale).
+    pub weight: f64,
+}
+
+/// A weighted mixture of corpora.
+#[derive(Debug, Clone)]
+pub struct Mixer {
+    components: Vec<Component>,
+    /// Mean segment length in bytes.
+    segment_bytes: usize,
+}
+
+impl Mixer {
+    /// Builds a mixer; weights must be positive and non-empty.
+    pub fn new(components: Vec<Component>) -> Self {
+        assert!(!components.is_empty(), "a mix needs at least one component");
+        assert!(components.iter().all(|c| c.weight > 0.0), "weights must be positive");
+        Self { components, segment_bytes: 16 * 1024 }
+    }
+
+    /// A mix resembling mixed datacenter traffic: mostly source/text,
+    /// some imagery, a slice of highly repetitive telemetry.
+    pub fn datacenter() -> Self {
+        Self::new(vec![
+            Component { dataset: Dataset::CFiles, weight: 3.0 },
+            Component { dataset: Dataset::KernelTarball, weight: 2.0 },
+            Component { dataset: Dataset::DeMap, weight: 2.0 },
+            Component { dataset: Dataset::Dictionary, weight: 1.0 },
+            Component { dataset: Dataset::HighlyCompressible, weight: 2.0 },
+        ])
+    }
+
+    /// Overrides the mean segment length.
+    pub fn with_segment_bytes(mut self, bytes: usize) -> Self {
+        self.segment_bytes = bytes.max(64);
+        self
+    }
+
+    /// Generates exactly `len` bytes of mixed traffic.
+    pub fn generate(&self, len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x313E5);
+        let total: f64 = self.components.iter().map(|c| c.weight).sum();
+        let mut out = Vec::with_capacity(len + self.segment_bytes);
+        let mut draw_no = 0u64;
+        while out.len() < len {
+            // Weighted component pick.
+            let mut ticket = rng.gen::<f64>() * total;
+            let mut chosen = self.components[0].dataset;
+            for c in &self.components {
+                if ticket < c.weight {
+                    chosen = c.dataset;
+                    break;
+                }
+                ticket -= c.weight;
+            }
+            // Variable segment size around the mean.
+            let seg = rng.gen_range(self.segment_bytes / 2..self.segment_bytes * 3 / 2);
+            let seg = seg.min(len + self.segment_bytes - out.len());
+            out.extend_from_slice(&chosen.generate(seg, seed.wrapping_add(draw_no)));
+            draw_no += 1;
+        }
+        out.truncate(len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_exact_length() {
+        let m = Mixer::datacenter();
+        let a = m.generate(100_000, 5);
+        assert_eq!(a.len(), 100_000);
+        assert_eq!(a, m.generate(100_000, 5));
+        assert_ne!(a, m.generate(100_000, 6));
+    }
+
+    #[test]
+    fn single_component_mix_is_segmented_corpus() {
+        let m = Mixer::new(vec![Component {
+            dataset: Dataset::HighlyCompressible,
+            weight: 1.0,
+        }]);
+        let data = m.generate(50_000, 7);
+        // Still highly compressible overall.
+        let config = culzss_lzss::LzssConfig::dipperstein();
+        let c = culzss_lzss::serial::compress(&data, &config).unwrap();
+        assert!(c.len() * 4 < data.len());
+    }
+
+    #[test]
+    fn mixed_traffic_sits_between_its_extremes() {
+        let config = culzss_lzss::LzssConfig::dipperstein();
+        let ratio = |data: &[u8]| {
+            culzss_lzss::serial::compress(data, &config).unwrap().len() as f64
+                / data.len() as f64
+        };
+        let n = 256 * 1024;
+        let mixed = ratio(&Mixer::datacenter().generate(n, 9));
+        let easy = ratio(&Dataset::HighlyCompressible.generate(n, 9));
+        let hard = ratio(&Dataset::Dictionary.generate(n, 9));
+        assert!(mixed > easy, "{mixed} vs {easy}");
+        assert!(mixed < hard, "{mixed} vs {hard}");
+    }
+
+    #[test]
+    fn segment_size_is_respected_roughly() {
+        let m = Mixer::datacenter().with_segment_bytes(1024);
+        let data = m.generate(64 * 1024, 11);
+        assert_eq!(data.len(), 64 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mix_panics() {
+        Mixer::new(vec![]);
+    }
+}

@@ -1,0 +1,153 @@
+//! The paper's reported numbers, transcribed for side-by-side reports.
+//!
+//! Tables I–III of Ozsoy & Swany, CLUSTER 2011, for 128 MB inputs on an
+//! Intel Core i7 920 + GeForce GTX 480. The repro harness prints these next
+//! to measured/simulated values so deviations are visible per cell.
+
+use crate::registry::Dataset;
+
+/// One row of Table I (compression times, seconds, 128 MB).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Serial LZSS.
+    pub serial: f64,
+    /// Pthread LZSS.
+    pub pthread: f64,
+    /// BZIP2 program.
+    pub bzip2: f64,
+    /// CULZSS Version 1.
+    pub v1: f64,
+    /// CULZSS Version 2.
+    pub v2: f64,
+}
+
+/// Table I — compression benchmark average running times (seconds).
+pub const TABLE1: [Table1Row; 5] = [
+    Table1Row { dataset: Dataset::CFiles, serial: 50.58, pthread: 9.12, bzip2: 20.97, v1: 7.28, v2: 4.26 },
+    Table1Row { dataset: Dataset::DeMap, serial: 30.75, pthread: 6.25, bzip2: 9.14, v1: 4.69, v2: 15.00 },
+    Table1Row { dataset: Dataset::Dictionary, serial: 56.91, pthread: 9.35, bzip2: 20.18, v1: 7.13, v2: 3.22 },
+    Table1Row { dataset: Dataset::KernelTarball, serial: 50.49, pthread: 9.16, bzip2: 20.45, v1: 7.08, v2: 4.79 },
+    Table1Row { dataset: Dataset::HighlyCompressible, serial: 4.23, pthread: 1.2, bzip2: 77.82, v1: 0.49, v2: 3.40 },
+];
+
+/// One row of Table II (compression ratios, smaller is better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Serial LZSS ratio (compressed/uncompressed).
+    pub serial: f64,
+    /// BZIP2 ratio.
+    pub bzip2: f64,
+    /// CULZSS V1 ratio.
+    pub v1: f64,
+    /// CULZSS V2 ratio.
+    pub v2: f64,
+}
+
+/// Table II — compression ratios (fractions of the input size).
+pub const TABLE2: [Table2Row; 5] = [
+    Table2Row { dataset: Dataset::CFiles, serial: 0.5480, bzip2: 0.1560, v1: 0.5570, v2: 0.6349 },
+    Table2Row { dataset: Dataset::DeMap, serial: 0.3390, bzip2: 0.1180, v1: 0.3420, v2: 0.3335 },
+    Table2Row { dataset: Dataset::Dictionary, serial: 0.6140, bzip2: 0.3450, v1: 0.6180, v2: 0.6509 },
+    Table2Row { dataset: Dataset::KernelTarball, serial: 0.5510, bzip2: 0.1690, v1: 0.5650, v2: 0.6259 },
+    Table2Row { dataset: Dataset::HighlyCompressible, serial: 0.1350, bzip2: 0.0040, v1: 0.1390, v2: 0.0634 },
+];
+
+/// One row of Table III (decompression times, seconds, 128 MB).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Serial LZSS decompression.
+    pub serial: f64,
+    /// CULZSS (GPU) decompression.
+    pub culzss: f64,
+}
+
+/// Table III — decompression benchmark average running times (seconds).
+pub const TABLE3: [Table3Row; 5] = [
+    Table3Row { dataset: Dataset::CFiles, serial: 1.79, culzss: 0.53 },
+    Table3Row { dataset: Dataset::DeMap, serial: 1.21, culzss: 0.49 },
+    Table3Row { dataset: Dataset::Dictionary, serial: 2.02, culzss: 0.55 },
+    Table3Row { dataset: Dataset::KernelTarball, serial: 1.77, culzss: 0.56 },
+    Table3Row { dataset: Dataset::HighlyCompressible, serial: 0.71, culzss: 0.27 },
+];
+
+/// Input size the paper's absolute numbers refer to.
+pub const PAPER_INPUT_BYTES: usize = 128 << 20;
+
+/// Looks up the Table I row for `dataset`.
+pub fn table1(dataset: Dataset) -> &'static Table1Row {
+    TABLE1.iter().find(|r| r.dataset == dataset).expect("all datasets present")
+}
+
+/// Looks up the Table II row for `dataset`.
+pub fn table2(dataset: Dataset) -> &'static Table2Row {
+    TABLE2.iter().find(|r| r.dataset == dataset).expect("all datasets present")
+}
+
+/// Looks up the Table III row for `dataset`.
+pub fn table3(dataset: Dataset) -> &'static Table3Row {
+    TABLE3.iter().find(|r| r.dataset == dataset).expect("all datasets present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_all_datasets() {
+        for d in Dataset::ALL {
+            assert_eq!(table1(d).dataset, d);
+            assert_eq!(table2(d).dataset, d);
+            assert_eq!(table3(d).dataset, d);
+        }
+    }
+
+    #[test]
+    fn headline_speedups_match_the_abstract() {
+        // "outperforms the serial CPU LZSS implementation by up to 18x".
+        let best_serial_speedup = TABLE1
+            .iter()
+            .map(|r| r.serial / r.v2.min(r.v1))
+            .fold(0.0f64, f64::max);
+        assert!(best_serial_speedup > 15.0, "{best_serial_speedup}");
+
+        // "the parallel threaded version up to 3x".
+        let best_pthread_speedup =
+            TABLE1.iter().map(|r| r.pthread / r.v2).fold(0.0f64, f64::max);
+        assert!((2.0..3.5).contains(&best_pthread_speedup), "{best_pthread_speedup}");
+
+        // "the BZIP2 program by up to 6x ... on the general data sets".
+        let c = table1(Dataset::CFiles);
+        assert!((4.0..6.5).contains(&(c.bzip2 / c.v2)));
+    }
+
+    #[test]
+    fn v2_loses_exactly_where_the_paper_says() {
+        // §V: V2 beats Pthread everywhere except DE map & highly compr.
+        for r in &TABLE1 {
+            let v2_wins = r.v2 < r.pthread;
+            let expected = !matches!(
+                r.dataset,
+                Dataset::DeMap | Dataset::HighlyCompressible
+            );
+            assert_eq!(v2_wins, expected, "{:?}", r.dataset);
+        }
+    }
+
+    #[test]
+    fn table2_signature_inversions() {
+        // V1 ≈ serial everywhere; V2 worse on text but better on DE map
+        // and highly compressible.
+        for r in &TABLE2 {
+            assert!((r.v1 - r.serial).abs() < 0.02, "{:?}", r.dataset);
+        }
+        assert!(table2(Dataset::CFiles).v2 > table2(Dataset::CFiles).serial);
+        assert!(table2(Dataset::HighlyCompressible).v2 < table2(Dataset::HighlyCompressible).serial);
+        assert!(table2(Dataset::DeMap).v2 < table2(Dataset::DeMap).serial);
+    }
+}

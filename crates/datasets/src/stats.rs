@@ -1,0 +1,135 @@
+//! Corpus statistics: entropy, byte histograms, periodicity.
+//!
+//! Used to validate that the synthetic corpora imitate their real
+//! counterparts (the repro harness prints these next to the ratio
+//! tables), and generally handy when deciding which CULZSS version fits
+//! a traffic class.
+
+/// Order-0 (byte) Shannon entropy in bits per byte.
+pub fn entropy_bits_per_byte(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Number of distinct byte values present.
+pub fn alphabet_size(data: &[u8]) -> usize {
+    let mut seen = [false; 256];
+    for &b in data {
+        seen[b as usize] = true;
+    }
+    seen.iter().filter(|&&s| s).count()
+}
+
+/// Fraction of positions where `data[i] == data[i - lag]`.
+pub fn self_similarity(data: &[u8], lag: usize) -> f64 {
+    if lag == 0 || data.len() <= lag {
+        return 0.0;
+    }
+    let matches = (lag..data.len()).filter(|&i| data[i] == data[i - lag]).count();
+    matches as f64 / (data.len() - lag) as f64
+}
+
+/// Detects the strongest repetition period in `1..=max_lag` (the lag with
+/// the highest self-similarity), returning `(lag, similarity)`. Returns
+/// `None` for empty/tiny inputs.
+pub fn dominant_period(data: &[u8], max_lag: usize) -> Option<(usize, f64)> {
+    if data.len() < 4 {
+        return None;
+    }
+    (1..=max_lag.min(data.len() - 1))
+        .map(|lag| (lag, self_similarity(data, lag)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// Summary used by the harness's corpus self-check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusProfile {
+    /// Bits per byte (order-0).
+    pub entropy: f64,
+    /// Distinct byte values.
+    pub alphabet: usize,
+    /// Strongest short-range period and its strength.
+    pub period: Option<(usize, f64)>,
+}
+
+/// Profiles a corpus sample.
+pub fn profile(data: &[u8]) -> CorpusProfile {
+    CorpusProfile {
+        entropy: entropy_bits_per_byte(data),
+        alphabet: alphabet_size(data),
+        period: dominant_period(data, 64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dataset;
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(entropy_bits_per_byte(b""), 0.0);
+        assert_eq!(entropy_bits_per_byte(&[7u8; 1000]), 0.0);
+        let uniform: Vec<u8> = (0..=255u8).cycle().take(256 * 64).collect();
+        assert!((entropy_bits_per_byte(&uniform) - 8.0).abs() < 1e-9);
+        // Two equiprobable symbols: exactly 1 bit.
+        let coin: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        assert!((entropy_bits_per_byte(&coin) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alphabet_counts() {
+        assert_eq!(alphabet_size(b""), 0);
+        assert_eq!(alphabet_size(b"aaaa"), 1);
+        assert_eq!(alphabet_size(b"abcabc"), 3);
+    }
+
+    #[test]
+    fn period_detection_finds_the_papers_twenty() {
+        let data = Dataset::HighlyCompressible.generate(64 * 1024, 3);
+        let (lag, strength) = dominant_period(&data, 64).unwrap();
+        assert_eq!(lag, crate::highly::PERIOD, "strength {strength}");
+        assert!(strength > 0.95);
+    }
+
+    #[test]
+    fn self_similarity_edges() {
+        assert_eq!(self_similarity(b"abc", 0), 0.0);
+        assert_eq!(self_similarity(b"ab", 5), 0.0);
+        assert_eq!(self_similarity(b"aaaa", 1), 1.0);
+    }
+
+    #[test]
+    fn corpus_entropies_are_ordered_sensibly() {
+        let n = 128 * 1024;
+        let e = |d: Dataset| entropy_bits_per_byte(&d.generate(n, 9));
+        // Raster map: small palette → low entropy; text: mid; tarball
+        // includes binary blobs → higher than plain C.
+        assert!(e(Dataset::DeMap) < e(Dataset::CFiles), "map vs c");
+        assert!(e(Dataset::CFiles) < 6.0);
+        assert!(e(Dataset::HighlyCompressible) < 5.0);
+        assert!(e(Dataset::KernelTarball) > e(Dataset::CFiles));
+    }
+
+    #[test]
+    fn profile_is_complete() {
+        let p = profile(&Dataset::Dictionary.generate(32 * 1024, 5));
+        assert!(p.entropy > 2.0 && p.entropy < 6.0);
+        assert!(p.alphabet > 10);
+        assert!(p.period.is_some());
+    }
+}

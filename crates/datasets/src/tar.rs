@@ -1,0 +1,149 @@
+//! Minimal POSIX ustar archive writer — substrate for the kernel-tarball
+//! corpus.
+//!
+//! The paper's fourth dataset is "part of the linux kernel tarball": C
+//! source interleaved with 512-byte tar framing and some binary content.
+//! Rather than approximating, this module writes real ustar entries
+//! (magic, octal fields, header checksum, 512-byte padding) so the
+//! generated corpus has the exact structural skeleton of a tarball.
+
+/// Size of a tar block.
+pub const BLOCK: usize = 512;
+
+/// One archive member.
+#[derive(Debug, Clone)]
+pub struct Entry<'a> {
+    /// Path inside the archive (≤ 100 bytes for this minimal writer).
+    pub name: &'a str,
+    /// File contents.
+    pub data: &'a [u8],
+}
+
+/// Serializes `entries` into a ustar archive, including the two
+/// terminating zero blocks.
+pub fn write_archive(entries: &[Entry<'_>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for e in entries {
+        append_entry(&mut out, e);
+    }
+    out.extend_from_slice(&[0u8; 2 * BLOCK]);
+    out
+}
+
+/// Appends one member (header block + padded data blocks).
+pub fn append_entry(out: &mut Vec<u8>, entry: &Entry<'_>) {
+    assert!(entry.name.len() < 100, "name too long for minimal ustar writer");
+    let mut header = [0u8; BLOCK];
+    header[..entry.name.len()].copy_from_slice(entry.name.as_bytes());
+    write_octal(&mut header[100..108], 0o644); // mode
+    write_octal(&mut header[108..116], 0); // uid
+    write_octal(&mut header[116..124], 0); // gid
+    write_octal12(&mut header[124..136], entry.data.len() as u64); // size
+    write_octal12(&mut header[136..148], 1_300_000_000); // mtime (fixed)
+    header[156] = b'0'; // typeflag: regular file
+    header[257..263].copy_from_slice(b"ustar\0");
+    header[263..265].copy_from_slice(b"00");
+    // Checksum: sum of header bytes with the checksum field as spaces.
+    header[148..156].fill(b' ');
+    let sum: u32 = header.iter().map(|&b| u32::from(b)).sum();
+    let chk = format!("{sum:06o}\0 ");
+    header[148..156].copy_from_slice(chk.as_bytes());
+
+    out.extend_from_slice(&header);
+    out.extend_from_slice(entry.data);
+    let pad = (BLOCK - entry.data.len() % BLOCK) % BLOCK;
+    out.extend(std::iter::repeat_n(0u8, pad));
+}
+
+fn write_octal(field: &mut [u8], value: u32) {
+    let s = format!("{value:0width$o}\0", width = field.len() - 1);
+    field.copy_from_slice(s.as_bytes());
+}
+
+fn write_octal12(field: &mut [u8], value: u64) {
+    let s = format!("{value:011o}\0");
+    field.copy_from_slice(s.as_bytes());
+}
+
+/// Parses the size field of the header at `offset` (used by tests and the
+/// corpus self-check). Returns `(name, data_len)`.
+pub fn parse_header(archive: &[u8], offset: usize) -> Option<(String, usize)> {
+    let header = archive.get(offset..offset + BLOCK)?;
+    if header.iter().all(|&b| b == 0) {
+        return None; // terminator
+    }
+    let name_end = header[..100].iter().position(|&b| b == 0).unwrap_or(100);
+    let name = String::from_utf8_lossy(&header[..name_end]).into_owned();
+    let size_field = &header[124..135];
+    let text = std::str::from_utf8(size_field).ok()?;
+    let size = usize::from_str_radix(text.trim_matches(['\0', ' ']), 8).ok()?;
+    Some((name, size))
+}
+
+/// Verifies the header checksum at `offset`.
+pub fn verify_checksum(archive: &[u8], offset: usize) -> bool {
+    let Some(header) = archive.get(offset..offset + BLOCK) else {
+        return false;
+    };
+    let stored = std::str::from_utf8(&header[148..154])
+        .ok()
+        .and_then(|s| u32::from_str_radix(s.trim_matches(['\0', ' ']), 8).ok());
+    let Some(stored) = stored else { return false };
+    let mut sum = 0u32;
+    for (i, &b) in header.iter().enumerate() {
+        sum += if (148..156).contains(&i) { u32::from(b' ') } else { u32::from(b) };
+    }
+    stored == sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_entry() {
+        let data = b"hello tar world";
+        let archive = write_archive(&[Entry { name: "dir/file.c", data }]);
+        // header + 1 data block + 2 terminator blocks.
+        assert_eq!(archive.len(), BLOCK * 4);
+        let (name, size) = parse_header(&archive, 0).unwrap();
+        assert_eq!(name, "dir/file.c");
+        assert_eq!(size, data.len());
+        assert_eq!(&archive[BLOCK..BLOCK + data.len()], data);
+        assert!(verify_checksum(&archive, 0));
+    }
+
+    #[test]
+    fn multiple_entries_walk() {
+        let archive = write_archive(&[
+            Entry { name: "a.c", data: &[1u8; 600] },
+            Entry { name: "b.c", data: &[2u8; 10] },
+        ]);
+        let (name, size) = parse_header(&archive, 0).unwrap();
+        assert_eq!((name.as_str(), size), ("a.c", 600));
+        let next = BLOCK + 600usize.div_ceil(BLOCK) * BLOCK;
+        let (name, size) = parse_header(&archive, next).unwrap();
+        assert_eq!((name.as_str(), size), ("b.c", 10));
+        assert!(verify_checksum(&archive, next));
+    }
+
+    #[test]
+    fn terminator_detected() {
+        let archive = write_archive(&[]);
+        assert_eq!(archive.len(), 2 * BLOCK);
+        assert!(parse_header(&archive, 0).is_none());
+    }
+
+    #[test]
+    fn empty_file_has_no_data_blocks() {
+        let archive = write_archive(&[Entry { name: "empty", data: b"" }]);
+        assert_eq!(archive.len(), 3 * BLOCK);
+    }
+
+    #[test]
+    fn corrupt_checksum_detected() {
+        let mut archive = write_archive(&[Entry { name: "x", data: b"abc" }]);
+        archive[0] ^= 0xFF;
+        assert!(!verify_checksum(&archive, 0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Pseudo-English word generation shared by the text-like corpora.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Consonant-ish onsets used to assemble syllables.
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n",
+    "p", "pl", "pr", "qu", "r", "s", "sc", "sh", "sl", "sp", "st", "str", "t", "th", "tr", "v",
+    "w", "wh", "z",
+];
+
+/// Vowel nuclei.
+const NUCLEI: &[&str] =
+    &["a", "ai", "au", "e", "ea", "ee", "i", "ie", "o", "oa", "oo", "ou", "u"];
+
+/// Codas.
+const CODAS: &[&str] = &[
+    "", "b", "ck", "d", "ft", "g", "l", "ll", "m", "mp", "n", "nd", "ng", "nt", "p", "r", "rd",
+    "rk", "rn", "s", "ss", "st", "t", "tch", "x",
+];
+
+/// Common English suffixes used to pad longer words.
+const SUFFIXES: &[&str] =
+    &["", "s", "ed", "ing", "er", "est", "ly", "ness", "ment", "tion", "able", "ish"];
+
+/// Deterministic word source.
+#[derive(Debug, Clone)]
+pub struct WordGen {
+    rng: SmallRng,
+}
+
+impl WordGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Emits one pseudo-word of roughly `syllables` syllables.
+    pub fn word(&mut self, syllables: usize) -> String {
+        let mut w = String::new();
+        for _ in 0..syllables.max(1) {
+            w.push_str(ONSETS[self.rng.gen_range(0..ONSETS.len())]);
+            w.push_str(NUCLEI[self.rng.gen_range(0..NUCLEI.len())]);
+            if self.rng.gen_bool(0.6) {
+                w.push_str(CODAS[self.rng.gen_range(0..CODAS.len())]);
+            }
+        }
+        if self.rng.gen_bool(0.3) {
+            w.push_str(SUFFIXES[self.rng.gen_range(0..SUFFIXES.len())]);
+        }
+        w
+    }
+
+    /// Emits a word with a naturally distributed syllable count (1–4).
+    pub fn natural_word(&mut self) -> String {
+        let syllables = match self.rng.gen_range(0..10) {
+            0..=3 => 1,
+            4..=7 => 2,
+            8 => 3,
+            _ => 4,
+        };
+        self.word(syllables)
+    }
+
+    /// Underlying RNG access for callers mixing words with other draws.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = WordGen::new(42);
+        let mut b = WordGen::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.natural_word(), b.natural_word());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = WordGen::new(1);
+        let mut b = WordGen::new(2);
+        let wa: Vec<String> = (0..20).map(|_| a.natural_word()).collect();
+        let wb: Vec<String> = (0..20).map(|_| b.natural_word()).collect();
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        let mut g = WordGen::new(7);
+        for _ in 0..500 {
+            let w = g.natural_word();
+            assert!(!w.is_empty());
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "{w}");
+        }
+    }
+
+    #[test]
+    fn syllable_count_controls_length() {
+        let mut g = WordGen::new(9);
+        let short: usize = (0..100).map(|_| g.word(1).len()).sum();
+        let long: usize = (0..100).map(|_| g.word(4).len()).sum();
+        assert!(long > short * 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! The analytic cost model: block metrics → cycles → seconds.
+//!
+//! The model is first-order and fully documented so every reproduced
+//! number can be traced to a term:
+//!
+//! ```text
+//! block_compute = warp_issue_ops × CPI / issue_width
+//!               + shared_cycles
+//!               + cached_accesses × l1_hit_cycles / warp_size
+//!               + barriers × barrier_cycles
+//! block_memory  = global_transactions × cost_per_transaction
+//! cost_per_transaction = transaction_bytes / bw_per_sm_per_cycle        (bandwidth term)
+//!                      + mem_latency × max(0, 1 − occupancy/hide_at)    (exposed latency)
+//! block_cycles  = max(block_compute, block_memory)      (compute/memory overlap)
+//! kernel_cycles = max over SMs of Σ resident-block cycles (round-robin schedule)
+//! kernel_time   = kernel_cycles / clock + launch_overhead
+//! ```
+//!
+//! The latency-hiding term is the standard "enough warps ⇒ latency
+//! disappears" approximation: with occupancy at or above `HIDE_AT`
+//! (50 %), transactions cost only their bandwidth share.
+
+use crate::device::DeviceSpec;
+use crate::meter::BlockMetrics;
+use crate::occupancy::{occupancy, Occupancy};
+
+/// Average cycles per issued warp instruction. Fermi SMs dual-issue from
+/// two warp schedulers onto 32 cores, retiring roughly one warp
+/// instruction per cycle for simple integer/byte code.
+pub const CPI: f64 = 1.0;
+/// Cycles charged per `__syncthreads()`.
+pub const BARRIER_CYCLES: f64 = 40.0;
+/// Occupancy fraction at which memory latency is considered fully hidden.
+pub const HIDE_AT: f64 = 0.5;
+
+/// Cycle/time breakdown for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Simulated kernel execution time in seconds (including launch
+    /// overhead, excluding transfers).
+    pub seconds: f64,
+    /// Total cycles on the critical-path SM.
+    pub cycles: f64,
+    /// Compute-side cycles summed over all blocks.
+    pub compute_cycles: f64,
+    /// Memory-side cycles summed over all blocks.
+    pub memory_cycles: f64,
+    /// Σ over blocks of `max(compute, memory)` — the total machine work
+    /// independent of how many SMs the grid fills. Large-grid kernel time
+    /// approaches `work_cycles / sm_count / clock`; benches use this to
+    /// extrapolate small calibration runs to paper-scale inputs.
+    pub work_cycles: f64,
+    /// Occupancy used for the latency-hiding term.
+    pub occupancy: Occupancy,
+    /// Whether the aggregate was memory-bound (`memory > compute`).
+    pub memory_bound: bool,
+}
+
+/// Costs a launch whose blocks produced `per_block` metrics.
+///
+/// Blocks are assigned to SMs round-robin in index order, mirroring the
+/// hardware's greedy block scheduler; each SM's time is the sum of its
+/// blocks' times (residency overlap is already folded into the
+/// latency-hiding term), and the kernel ends when the slowest SM ends.
+pub fn cost_launch(
+    device: &DeviceSpec,
+    grid_dim: usize,
+    block_dim: usize,
+    shared_bytes: usize,
+    per_block: &[BlockMetrics],
+) -> KernelCost {
+    assert_eq!(per_block.len(), grid_dim, "one metric set per block");
+    let occ = occupancy(device, grid_dim, block_dim, shared_bytes);
+
+    let bw_cost = device.transaction_bytes as f64 / device.mem_bytes_per_cycle_per_sm();
+    let exposed = device.mem_latency_cycles * (1.0 - (occ.fraction / HIDE_AT).min(1.0));
+    let per_transaction = bw_cost + exposed;
+
+    let mut sm_cycles = vec![0.0f64; device.sm_count];
+    let mut compute_total = 0.0;
+    let mut memory_total = 0.0;
+    let mut work_total = 0.0;
+    for (i, m) in per_block.iter().enumerate() {
+        let compute = m.warp_issue_ops * CPI
+            + m.shared_cycles
+            + m.cached_accesses as f64 * device.l1_hit_cycles / device.warp_size as f64
+            + m.barriers as f64 * BARRIER_CYCLES;
+        let memory = m.global_transactions * per_transaction;
+        compute_total += compute;
+        memory_total += memory;
+        work_total += compute.max(memory);
+        sm_cycles[i % device.sm_count] += compute.max(memory);
+    }
+    let cycles = sm_cycles.iter().cloned().fold(0.0, f64::max);
+    KernelCost {
+        seconds: cycles / device.clock_hz + device.launch_overhead,
+        cycles,
+        compute_cycles: compute_total,
+        memory_cycles: memory_total,
+        work_cycles: work_total,
+        occupancy: occ,
+        memory_bound: memory_total > compute_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(ops: f64, txns: f64) -> BlockMetrics {
+        BlockMetrics {
+            warp_issue_ops: ops,
+            global_transactions: txns,
+            blocks: 1,
+            block_dim: 128,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let d = DeviceSpec::gtx480();
+        let c = cost_launch(&d, 1, 128, 0, &[block(0.0, 0.0)]);
+        assert!((c.seconds - d.launch_overhead).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_scales_linearly_within_one_wave() {
+        let d = DeviceSpec::gtx480();
+        let one = cost_launch(&d, d.sm_count, 128, 0, &vec![block(1e6, 0.0); d.sm_count]);
+        let two = cost_launch(
+            &d,
+            d.sm_count * 2,
+            128,
+            0,
+            &vec![block(1e6, 0.0); d.sm_count * 2],
+        );
+        // Twice the blocks on the same SMs ≈ twice the cycles.
+        assert!((two.cycles / one.cycles - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_sms_means_faster() {
+        let gtx = DeviceSpec::gtx480();
+        let mut half = gtx.clone();
+        half.sm_count = 7;
+        let blocks = vec![block(1e6, 0.0); 210];
+        let full_t = cost_launch(&gtx, 210, 128, 0, &blocks).seconds;
+        let half_t = cost_launch(&half, 210, 128, 0, &blocks).seconds;
+        assert!(half_t > full_t * 1.8, "{half_t} vs {full_t}");
+    }
+
+    #[test]
+    fn memory_bound_kernels_pay_bandwidth() {
+        let d = DeviceSpec::gtx480();
+        let c = cost_launch(&d, 120, 128, 0, &vec![block(10.0, 1e5); 120]);
+        assert!(c.memory_bound);
+        // 120 blocks × 1e5 txns × 128 B = 1.536 GB at 177 GB/s ≈ 8.7 ms.
+        assert!(c.seconds > 5e-3 && c.seconds < 20e-3, "{}", c.seconds);
+    }
+
+    #[test]
+    fn low_occupancy_exposes_latency() {
+        let d = DeviceSpec::gtx480();
+        let grid = 10 * d.sm_count;
+        // 32-thread blocks: 8 blocks/SM = 256 threads = 1/6 occupancy.
+        let small = cost_launch(&d, grid, 32, 0, &vec![block(0.0, 1000.0); grid]);
+        // 192-thread blocks: full occupancy.
+        let big = cost_launch(&d, grid, 192, 0, &vec![block(0.0, 1000.0); grid]);
+        assert!(small.cycles > big.cycles * 2.0, "{} vs {}", small.cycles, big.cycles);
+    }
+
+    #[test]
+    fn compute_and_memory_overlap_takes_max() {
+        let d = DeviceSpec::gtx480();
+        let balanced = cost_launch(&d, 15, 192, 0, &vec![block(1e6, 0.0); 15]);
+        let with_mem = cost_launch(&d, 15, 192, 0, &vec![block(1e6, 10.0); 15]);
+        // Tiny memory traffic hides under compute entirely.
+        assert!((balanced.cycles - with_mem.cycles).abs() / balanced.cycles < 1e-3);
+    }
+
+    #[test]
+    fn imbalanced_blocks_set_the_critical_path() {
+        let d = DeviceSpec::gtx480();
+        let mut blocks = vec![block(1.0, 0.0); d.sm_count];
+        blocks[3] = block(1e7, 0.0);
+        let c = cost_launch(&d, d.sm_count, 128, 0, &blocks);
+        assert!((c.cycles - 1e7).abs() / 1e7 < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "one metric set per block")]
+    fn grid_metric_mismatch_panics() {
+        let d = DeviceSpec::gtx480();
+        cost_launch(&d, 2, 128, 0, &[block(1.0, 0.0)]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Device descriptions and model constants.
+//!
+//! [`DeviceSpec::gtx480`] is the card the paper evaluates on; the numbers
+//! come from the NVIDIA Fermi whitepaper and the GTX 480 datasheet. Two
+//! more presets exist so tests and the multi-device extension can exercise
+//! heterogeneous configurations.
+
+/// Static description of a simulated GPU plus its cost-model constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"GeForce GTX 480"`.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// CUDA cores (SPs) per SM.
+    pub cores_per_sm: usize,
+    /// Threads per warp (32 on every NVIDIA architecture to date).
+    pub warp_size: usize,
+    /// Shader clock in Hz (instructions issue at this rate on Fermi).
+    pub clock_hz: f64,
+    /// Shared memory available to one block, in bytes. The paper describes
+    /// the 16 KB configuration ("there is a 16KB shared memory space for
+    /// all the threads in a block"), so that is the GTX 480 preset default
+    /// even though Fermi can be switched to 48 KB.
+    pub shared_mem_per_block: usize,
+    /// Shared-memory banks (32 on Fermi, 4-byte wide).
+    pub shared_banks: usize,
+    /// Hardware limit on threads per block.
+    pub max_threads_per_block: usize,
+    /// Hardware limit on resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Hardware limit on resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Size of one global-memory transaction in bytes (128 on Fermi).
+    pub transaction_bytes: usize,
+    /// Aggregate global-memory bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+    /// Global-memory latency in shader cycles.
+    pub mem_latency_cycles: f64,
+    /// L1-cached global access cost in cycles per warp-wide access slot
+    /// (used by the `global_cached_bulk` metering path). The L1 serves one
+    /// line per cycle, so a warp whose 32 lanes hit 32 different lines
+    /// serializes, plus tag/pipeline overhead — noticeably worse than
+    /// conflict-managed shared memory, which is the paper's rationale for
+    /// moving the buffers ("30% speed up over the global memory
+    /// implementation").
+    pub l1_hit_cycles: f64,
+    /// Host↔device bandwidth in bytes/second (PCIe 2.0 x16 effective).
+    pub pcie_bandwidth: f64,
+    /// Fixed per-transfer host↔device latency in seconds.
+    pub pcie_latency: f64,
+    /// Fixed kernel-launch overhead in seconds.
+    pub launch_overhead: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's card: GeForce GTX 480 (Fermi GF100), CUDA 3.2 era.
+    pub fn gtx480() -> Self {
+        Self {
+            name: "GeForce GTX 480",
+            sm_count: 15,
+            cores_per_sm: 32,
+            warp_size: 32,
+            clock_hz: 1.401e9,
+            shared_mem_per_block: 16 * 1024,
+            shared_banks: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            transaction_bytes: 128,
+            mem_bandwidth: 177.4e9,
+            mem_latency_cycles: 400.0,
+            l1_hit_cycles: 42.0,
+            pcie_bandwidth: 5.0e9,
+            pcie_latency: 10e-6,
+            launch_overhead: 8e-6,
+        }
+    }
+
+    /// A pre-Fermi card (GT200) for cross-device experiments: no L1 cache
+    /// (modelled as a much higher cached-access cost), 16 KB shared memory,
+    /// smaller SM fleet.
+    pub fn gtx280() -> Self {
+        Self {
+            name: "GeForce GTX 280",
+            sm_count: 30,
+            cores_per_sm: 8,
+            warp_size: 32,
+            clock_hz: 1.296e9,
+            shared_mem_per_block: 16 * 1024,
+            shared_banks: 16,
+            max_threads_per_block: 512,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            transaction_bytes: 64,
+            mem_bandwidth: 141.7e9,
+            mem_latency_cycles: 550.0,
+            l1_hit_cycles: 300.0,
+            pcie_bandwidth: 5.0e9,
+            pcie_latency: 10e-6,
+            launch_overhead: 10e-6,
+        }
+    }
+
+    /// Tesla C2050: the compute-oriented Fermi part.
+    pub fn c2050() -> Self {
+        Self {
+            name: "Tesla C2050",
+            sm_count: 14,
+            cores_per_sm: 32,
+            warp_size: 32,
+            clock_hz: 1.15e9,
+            shared_mem_per_block: 48 * 1024,
+            shared_banks: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            transaction_bytes: 128,
+            mem_bandwidth: 144.0e9,
+            mem_latency_cycles: 400.0,
+            l1_hit_cycles: 18.0,
+            pcie_bandwidth: 5.0e9,
+            pcie_latency: 10e-6,
+            launch_overhead: 8e-6,
+        }
+    }
+
+    /// Warps per block for a given block size (rounded up).
+    pub fn warps_per_block(&self, block_dim: usize) -> usize {
+        block_dim.div_ceil(self.warp_size)
+    }
+
+    /// Peak global-memory bytes per shader cycle, per SM.
+    pub fn mem_bytes_per_cycle_per_sm(&self) -> f64 {
+        self.mem_bandwidth / self.clock_hz / self.sm_count as f64
+    }
+
+    /// Sanity-checks the spec (used by tests and custom configurations).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sm_count == 0 || self.cores_per_sm == 0 {
+            return Err("SM/core counts must be positive".into());
+        }
+        if self.warp_size == 0 || !self.warp_size.is_power_of_two() {
+            return Err("warp size must be a positive power of two".into());
+        }
+        if self.clock_hz <= 0.0 || self.mem_bandwidth <= 0.0 || self.pcie_bandwidth <= 0.0 {
+            return Err("clocks and bandwidths must be positive".into());
+        }
+        if self.max_threads_per_block == 0
+            || self.max_threads_per_sm < self.max_threads_per_block
+        {
+            return Err("thread limits are inconsistent".into());
+        }
+        if self.transaction_bytes == 0 || !self.transaction_bytes.is_power_of_two() {
+            return Err("transaction size must be a positive power of two".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::gtx480()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        DeviceSpec::gtx480().validate().unwrap();
+        DeviceSpec::gtx280().validate().unwrap();
+        DeviceSpec::c2050().validate().unwrap();
+    }
+
+    #[test]
+    fn gtx480_matches_the_paper_and_whitepaper() {
+        let d = DeviceSpec::gtx480();
+        // "up to 512 CUDA cores ... 16 SMs of 32 cores" — GTX 480 ships 15.
+        assert_eq!(d.sm_count * d.cores_per_sm, 480);
+        assert_eq!(d.warp_size, 32);
+        // Paper: "a 16KB shared memory space for all the threads in a block".
+        assert_eq!(d.shared_mem_per_block, 16 * 1024);
+        assert_eq!(d.shared_banks, 32);
+    }
+
+    #[test]
+    fn warp_math() {
+        let d = DeviceSpec::gtx480();
+        assert_eq!(d.warps_per_block(128), 4);
+        assert_eq!(d.warps_per_block(1), 1);
+        assert_eq!(d.warps_per_block(33), 2);
+    }
+
+    #[test]
+    fn bandwidth_per_sm_is_plausible() {
+        let d = DeviceSpec::gtx480();
+        let b = d.mem_bytes_per_cycle_per_sm();
+        // 177.4 GB/s over 15 SMs at 1.4 GHz ≈ 8.4 B/cycle/SM.
+        assert!((b - 8.44).abs() < 0.2, "{b}");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut d = DeviceSpec::gtx480();
+        d.sm_count = 0;
+        assert!(d.validate().is_err());
+
+        let mut d = DeviceSpec::gtx480();
+        d.warp_size = 31;
+        assert!(d.validate().is_err());
+
+        let mut d = DeviceSpec::gtx480();
+        d.transaction_bytes = 100;
+        assert!(d.validate().is_err());
+
+        let mut d = DeviceSpec::gtx480();
+        d.max_threads_per_sm = 100;
+        assert!(d.validate().is_err());
+    }
+}

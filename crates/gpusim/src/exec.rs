@@ -1,0 +1,487 @@
+//! The kernel executor: CUDA grid/block/thread semantics on host threads.
+//!
+//! A kernel implements [`BlockKernel::run_block`], which is handed a
+//! [`BlockCtx`]. Inside, [`BlockCtx::par_threads`] runs a closure once per
+//! thread of the block — one *phase*, equivalent to the code between two
+//! `__syncthreads()` barriers in CUDA. Threads execute in `tid` order
+//! deterministically; for race-free kernels (the only well-defined kind in
+//! CUDA too) this is observationally equivalent to SIMT execution, while
+//! the performance meter separately accounts warp-level lockstep timing.
+//!
+//! Blocks are independent (CUDA guarantees nothing about inter-block
+//! ordering) and are executed concurrently on a pool of host worker
+//! threads. Each block returns a typed output; the launcher collects them
+//! in block order, merges the per-block metrics, and prices the launch
+//! with the [`crate::cost`] model.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::cost::{cost_launch, KernelCost};
+use crate::device::DeviceSpec;
+use crate::meter::{BlockMeter, BlockMetrics};
+
+/// Launch geometry, the CUDA `<<<grid, block, shared>>>` triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks.
+    pub grid_dim: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    /// Static shared-memory allocation per block, in bytes.
+    pub shared_bytes: usize,
+}
+
+impl LaunchConfig {
+    /// A launch with no shared memory.
+    pub fn new(grid_dim: usize, block_dim: usize) -> Self {
+        Self { grid_dim, block_dim, shared_bytes: 0 }
+    }
+
+    /// Sets the per-block shared-memory allocation.
+    pub fn with_shared(mut self, bytes: usize) -> Self {
+        self.shared_bytes = bytes;
+        self
+    }
+}
+
+/// Errors detected at launch time (CUDA would return them from
+/// `cudaLaunchKernel`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// `block_dim` exceeds the device limit or is zero.
+    BadBlockDim {
+        /// Requested threads per block.
+        requested: usize,
+        /// Device maximum.
+        max: usize,
+    },
+    /// The static shared allocation exceeds the device's per-block limit.
+    SharedMemOverflow {
+        /// Requested bytes.
+        requested: usize,
+        /// Device maximum.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::BadBlockDim { requested, max } => {
+                write!(f, "block dimension {requested} outside 1..={max}")
+            }
+            LaunchError::SharedMemOverflow { requested, max } => {
+                write!(f, "shared memory request {requested} B exceeds {max} B per block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// A kernel: one type per `__global__` function.
+pub trait BlockKernel: Sync {
+    /// What each block hands back to the host (its "global memory
+    /// writes"); collected in block order by the launcher.
+    type Output: Send;
+
+    /// Executes one block. Shared memory is modelled by ordinary local
+    /// buffers; their *performance* footprint is declared through the
+    /// [`LaunchConfig::shared_bytes`] and the [`ThreadCtx`] metering calls.
+    fn run_block(&self, block: &mut BlockCtx) -> Self::Output;
+}
+
+/// Per-block execution context.
+pub struct BlockCtx {
+    /// This block's index in the grid.
+    pub block_idx: usize,
+    /// Total number of blocks in the launch.
+    pub grid_dim: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    meter: BlockMeter,
+}
+
+impl BlockCtx {
+    /// Runs `f` once per thread (tid `0..block_dim`) and ends the phase
+    /// with a barrier — the analogue of a code region between
+    /// `__syncthreads()` calls.
+    pub fn par_threads<F: FnMut(&mut ThreadCtx)>(&mut self, mut f: F) {
+        for tid in 0..self.block_dim {
+            let mut ctx = ThreadCtx {
+                tid,
+                block_idx: self.block_idx,
+                block_dim: self.block_dim,
+                grid_dim: self.grid_dim,
+                meter: &mut self.meter,
+            };
+            f(&mut ctx);
+        }
+        self.meter.end_phase();
+    }
+
+    /// Runs `f` on thread 0 only (the common "if (threadIdx.x == 0)"
+    /// pattern), still ending with a barrier.
+    pub fn single_thread<F: FnOnce(&mut ThreadCtx)>(&mut self, f: F) {
+        let mut ctx = ThreadCtx {
+            tid: 0,
+            block_idx: self.block_idx,
+            block_dim: self.block_dim,
+            grid_dim: self.grid_dim,
+            meter: &mut self.meter,
+        };
+        f(&mut ctx);
+        self.meter.end_phase();
+    }
+}
+
+/// Per-thread execution context: indices plus the metering interface.
+pub struct ThreadCtx<'a> {
+    /// Thread index within the block (`threadIdx.x`).
+    pub tid: usize,
+    /// Block index (`blockIdx.x`).
+    pub block_idx: usize,
+    /// Threads per block (`blockDim.x`).
+    pub block_dim: usize,
+    /// Blocks in the grid (`gridDim.x`).
+    pub grid_dim: usize,
+    meter: &'a mut BlockMeter,
+}
+
+impl ThreadCtx<'_> {
+    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    pub fn global_tid(&self) -> usize {
+        self.block_idx * self.block_dim + self.tid
+    }
+
+    /// Charges `n` arithmetic/control operations.
+    pub fn charge_ops(&mut self, n: u64) {
+        self.meter.charge_ops(self.tid, n);
+    }
+
+    /// Logs an exact global-memory read of `bytes` at `addr`.
+    pub fn global_read(&mut self, addr: u64, bytes: u32) {
+        self.meter.log_global(self.tid, addr, bytes);
+    }
+
+    /// Logs an exact global-memory write of `bytes` at `addr`.
+    pub fn global_write(&mut self, addr: u64, bytes: u32) {
+        self.meter.log_global(self.tid, addr, bytes);
+    }
+
+    /// Logs an exact shared-memory read of `bytes` at `addr` (addresses
+    /// are relative to the block's shared arena).
+    pub fn shared_read(&mut self, addr: u64, bytes: u32) {
+        self.meter.log_shared(self.tid, addr, bytes);
+    }
+
+    /// Logs an exact shared-memory write.
+    pub fn shared_write(&mut self, addr: u64, bytes: u32) {
+        self.meter.log_shared(self.tid, addr, bytes);
+    }
+
+    /// Bulk shared-memory accounting for hot loops: this thread performed
+    /// `accesses` accesses in a pattern with warp-wide conflict degree
+    /// `conflict_ways` (see [`crate::coalesce::strided_conflict_ways`]).
+    pub fn shared_bulk(&mut self, accesses: u64, conflict_ways: u64) {
+        self.meter.shared_bulk(self.tid, accesses, conflict_ways);
+    }
+
+    /// Bulk global-memory accounting: this thread moved `bytes` bytes in
+    /// accesses of `access_width` bytes, warp-`coalesced` or not.
+    pub fn global_bulk(&mut self, bytes: u64, access_width: u64, coalesced: bool) {
+        self.meter.global_bulk(self.tid, bytes, access_width, coalesced);
+    }
+
+    /// Bulk accounting for L1-cached global accesses.
+    pub fn global_cached_bulk(&mut self, accesses: u64) {
+        self.meter.global_cached_bulk(self.tid, accesses);
+    }
+}
+
+/// Result of [`GpuSim::launch`].
+#[derive(Debug)]
+pub struct LaunchResult<R> {
+    /// Per-block outputs in block order.
+    pub outputs: Vec<R>,
+    /// Aggregated launch statistics.
+    pub stats: LaunchStats,
+}
+
+/// Aggregated statistics for one launch.
+#[derive(Debug, Clone)]
+pub struct LaunchStats {
+    /// Merged metrics over all blocks.
+    pub metrics: BlockMetrics,
+    /// Per-block metrics in block order (feeds [`crate::trace`]).
+    pub per_block: Vec<BlockMetrics>,
+    /// Cost-model breakdown.
+    pub cost: KernelCost,
+    /// Simulated kernel time in seconds (== `cost.seconds`).
+    pub kernel_seconds: f64,
+    /// Host wall-clock time spent simulating (diagnostics only — this is
+    /// *not* the modelled GPU time).
+    pub wall_seconds: f64,
+    /// Launch geometry, for reports.
+    pub grid_dim: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+}
+
+/// A simulated GPU: a device description plus a host worker pool size.
+#[derive(Debug, Clone)]
+pub struct GpuSim {
+    device: DeviceSpec,
+    workers: usize,
+}
+
+impl GpuSim {
+    /// Creates a simulator for `device` using all available host cores.
+    pub fn new(device: DeviceSpec) -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Self { device, workers }
+    }
+
+    /// Overrides the host worker-pool size (useful in tests).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Launches `kernel` over `cfg.grid_dim` blocks and waits for
+    /// completion, returning per-block outputs and launch statistics.
+    pub fn launch<K: BlockKernel>(
+        &self,
+        cfg: LaunchConfig,
+        kernel: &K,
+    ) -> Result<LaunchResult<K::Output>, LaunchError> {
+        if cfg.block_dim == 0 || cfg.block_dim > self.device.max_threads_per_block {
+            return Err(LaunchError::BadBlockDim {
+                requested: cfg.block_dim,
+                max: self.device.max_threads_per_block,
+            });
+        }
+        if cfg.shared_bytes > self.device.shared_mem_per_block {
+            return Err(LaunchError::SharedMemOverflow {
+                requested: cfg.shared_bytes,
+                max: self.device.shared_mem_per_block,
+            });
+        }
+
+        /// One finished block: its output plus its metrics.
+        type BlockSlot<R> = Option<(R, BlockMetrics)>;
+        let started = std::time::Instant::now();
+        let slots: Mutex<Vec<BlockSlot<K::Output>>> =
+            Mutex::new((0..cfg.grid_dim).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = self.workers.min(cfg.grid_dim.max(1));
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= cfg.grid_dim {
+                        break;
+                    }
+                    let mut block = BlockCtx {
+                        block_idx: idx,
+                        grid_dim: cfg.grid_dim,
+                        block_dim: cfg.block_dim,
+                        meter: BlockMeter::new(
+                            cfg.block_dim,
+                            self.device.warp_size,
+                            self.device.transaction_bytes,
+                            self.device.shared_banks,
+                        ),
+                    };
+                    block.meter.note_shared_alloc(cfg.shared_bytes);
+                    let output = kernel.run_block(&mut block);
+                    let metrics = block.meter.finish();
+                    slots.lock()[idx] = Some((output, metrics));
+                });
+            }
+        })
+        .expect("a simulated block panicked");
+
+        let mut outputs = Vec::with_capacity(cfg.grid_dim);
+        let mut per_block = Vec::with_capacity(cfg.grid_dim);
+        let mut merged = BlockMetrics::default();
+        for slot in slots.into_inner() {
+            let (output, metrics) = slot.expect("every block ran");
+            merged.merge(&metrics);
+            outputs.push(output);
+            per_block.push(metrics);
+        }
+        let cost =
+            cost_launch(&self.device, cfg.grid_dim, cfg.block_dim, cfg.shared_bytes, &per_block);
+        // (per_block is moved into the stats below for trace reconstruction)
+        Ok(LaunchResult {
+            outputs,
+            stats: LaunchStats {
+                metrics: merged,
+                per_block,
+                kernel_seconds: cost.seconds,
+                cost,
+                wall_seconds: started.elapsed().as_secs_f64(),
+                grid_dim: cfg.grid_dim,
+                block_dim: cfg.block_dim,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Doubles each element; checks indexing and output ordering.
+    struct Doubler<'a> {
+        data: &'a [u32],
+    }
+
+    impl BlockKernel for Doubler<'_> {
+        type Output = Vec<u32>;
+        fn run_block(&self, block: &mut BlockCtx) -> Vec<u32> {
+            let base = block.block_idx * block.block_dim;
+            let mut out = vec![0u32; block.block_dim];
+            block.par_threads(|t| {
+                let i = base + t.tid;
+                if i < self.data.len() {
+                    t.charge_ops(1);
+                    out[t.tid] = self.data[i] * 2;
+                }
+            });
+            out
+        }
+    }
+
+    #[test]
+    fn outputs_are_in_block_order() {
+        let data: Vec<u32> = (0..1024).collect();
+        let sim = GpuSim::new(DeviceSpec::gtx480()).with_workers(3);
+        let result = sim.launch(LaunchConfig::new(8, 128), &Doubler { data: &data }).unwrap();
+        assert_eq!(result.outputs.len(), 8);
+        for (b, out) in result.outputs.iter().enumerate() {
+            for (t, v) in out.iter().enumerate() {
+                assert_eq!(*v, ((b * 128 + t) * 2) as u32);
+            }
+        }
+        assert_eq!(result.stats.metrics.blocks, 8);
+        assert!(result.stats.kernel_seconds > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let data: Vec<u32> = (0..4096).map(|i| i * 7).collect();
+        let run = |workers| {
+            let sim = GpuSim::new(DeviceSpec::gtx480()).with_workers(workers);
+            let r = sim.launch(LaunchConfig::new(32, 128), &Doubler { data: &data }).unwrap();
+            (r.outputs, r.stats.metrics, r.stats.kernel_seconds)
+        };
+        let (o1, m1, t1) = run(1);
+        let (o8, m8, t8) = run(8);
+        assert_eq!(o1, o8);
+        assert_eq!(m1, m8);
+        assert_eq!(t1, t8);
+    }
+
+    /// A two-phase kernel exercising barrier semantics: phase 1 writes a
+    /// shared buffer, phase 2 reads what *other* threads wrote.
+    struct Reverser;
+
+    impl BlockKernel for Reverser {
+        type Output = Vec<u8>;
+        fn run_block(&self, block: &mut BlockCtx) -> Vec<u8> {
+            let n = block.block_dim;
+            let mut shared = vec![0u8; n];
+            block.par_threads(|t| {
+                shared[t.tid] = t.tid as u8;
+                t.shared_write((t.tid * 1) as u64, 1);
+            });
+            let mut out = vec![0u8; n];
+            block.par_threads(|t| {
+                t.shared_read(((n - 1 - t.tid) * 1) as u64, 1);
+                out[t.tid] = shared[n - 1 - t.tid];
+            });
+            out
+        }
+    }
+
+    #[test]
+    fn barrier_phases_see_prior_writes() {
+        let sim = GpuSim::new(DeviceSpec::gtx480()).with_workers(2);
+        let result = sim.launch(LaunchConfig::new(2, 64), &Reverser).unwrap();
+        for out in &result.outputs {
+            assert_eq!(out[0], 63);
+            assert_eq!(out[63], 0);
+        }
+        // Two phases per block → two barriers each.
+        assert_eq!(result.stats.metrics.barriers, 4);
+    }
+
+    #[test]
+    fn launch_validation() {
+        let sim = GpuSim::new(DeviceSpec::gtx480());
+        let err = sim.launch(LaunchConfig::new(1, 0), &Reverser).unwrap_err();
+        assert!(matches!(err, LaunchError::BadBlockDim { .. }));
+
+        let err = sim.launch(LaunchConfig::new(1, 4096), &Reverser).unwrap_err();
+        assert!(matches!(err, LaunchError::BadBlockDim { .. }));
+
+        let err = sim
+            .launch(LaunchConfig::new(1, 64).with_shared(1 << 20), &Reverser)
+            .unwrap_err();
+        assert!(matches!(err, LaunchError::SharedMemOverflow { .. }));
+        assert!(err.to_string().contains("shared memory"));
+    }
+
+    #[test]
+    fn empty_grid_is_legal() {
+        let sim = GpuSim::new(DeviceSpec::gtx480());
+        let result = sim.launch(LaunchConfig::new(0, 64), &Reverser).unwrap();
+        assert!(result.outputs.is_empty());
+    }
+
+    #[test]
+    fn single_thread_helper_runs_once() {
+        struct Once;
+        impl BlockKernel for Once {
+            type Output = usize;
+            fn run_block(&self, block: &mut BlockCtx) -> usize {
+                let mut count = 0;
+                block.single_thread(|t| {
+                    assert_eq!(t.tid, 0);
+                    t.charge_ops(5);
+                    count += 1;
+                });
+                count
+            }
+        }
+        let sim = GpuSim::new(DeviceSpec::gtx480());
+        let result = sim.launch(LaunchConfig::new(3, 256), &Once).unwrap();
+        assert_eq!(result.outputs, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn global_tid_is_cuda_style() {
+        struct Ids;
+        impl BlockKernel for Ids {
+            type Output = Vec<usize>;
+            fn run_block(&self, block: &mut BlockCtx) -> Vec<usize> {
+                let mut ids = Vec::new();
+                block.par_threads(|t| ids.push(t.global_tid()));
+                ids
+            }
+        }
+        let sim = GpuSim::new(DeviceSpec::gtx480());
+        let result = sim.launch(LaunchConfig::new(3, 4), &Ids).unwrap();
+        assert_eq!(result.outputs[2], vec![8, 9, 10, 11]);
+    }
+}

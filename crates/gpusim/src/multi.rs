@@ -1,0 +1,181 @@
+//! Multi-device dispatch — the paper's future-work item ("a multi GPU
+//! implementation can also increase the performance").
+//!
+//! Work is split across several simulated devices proportionally to their
+//! raw compute throughput; each device runs its share, and the ensemble
+//! finishes when the slowest device finishes (devices operate truly in
+//! parallel on the host).
+
+use crate::device::DeviceSpec;
+use crate::exec::{BlockKernel, GpuSim, LaunchConfig, LaunchError, LaunchResult};
+
+/// A set of simulated devices acting as one.
+#[derive(Debug, Clone)]
+pub struct MultiGpu {
+    sims: Vec<GpuSim>,
+}
+
+/// Result of a multi-device launch.
+#[derive(Debug)]
+pub struct MultiLaunchResult<R> {
+    /// Per-device launch results, in device order.
+    pub per_device: Vec<LaunchResult<R>>,
+    /// Ensemble kernel time: the slowest device.
+    pub kernel_seconds: f64,
+    /// Block ranges assigned to each device (over the virtual grid).
+    pub assignments: Vec<std::ops::Range<usize>>,
+}
+
+impl MultiGpu {
+    /// Builds an ensemble; at least one device is required.
+    pub fn new(devices: Vec<DeviceSpec>) -> Self {
+        assert!(!devices.is_empty(), "need at least one device");
+        Self { sims: devices.into_iter().map(GpuSim::new).collect() }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// True when the ensemble holds no devices (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty()
+    }
+
+    /// Splits `total_blocks` proportionally to device throughput
+    /// (`sm_count × cores_per_sm × clock`).
+    pub fn partition(&self, total_blocks: usize) -> Vec<std::ops::Range<usize>> {
+        let throughput: Vec<f64> = self
+            .sims
+            .iter()
+            .map(|s| {
+                let d = s.device();
+                d.sm_count as f64 * d.cores_per_sm as f64 * d.clock_hz
+            })
+            .collect();
+        let total: f64 = throughput.iter().sum();
+        let mut ranges = Vec::with_capacity(self.sims.len());
+        let mut start = 0usize;
+        for (i, t) in throughput.iter().enumerate() {
+            let share = if i + 1 == throughput.len() {
+                total_blocks - start
+            } else {
+                ((total_blocks as f64 * t / total).round() as usize)
+                    .min(total_blocks - start)
+            };
+            ranges.push(start..start + share);
+            start += share;
+        }
+        ranges
+    }
+
+    /// Launches `kernel` over a virtual grid of `total_blocks`, giving each
+    /// device a contiguous block range. The kernel sees *global* block
+    /// indices via the offset closure parameter, so data partitioning is
+    /// unchanged from the single-device case.
+    pub fn launch_partitioned<K>(
+        &self,
+        total_blocks: usize,
+        block_dim: usize,
+        shared_bytes: usize,
+        make_kernel: impl Fn(std::ops::Range<usize>) -> K + Sync,
+    ) -> Result<MultiLaunchResult<K::Output>, LaunchError>
+    where
+        K: BlockKernel,
+    {
+        let assignments = self.partition(total_blocks);
+        let mut per_device = Vec::with_capacity(self.sims.len());
+        for (sim, range) in self.sims.iter().zip(&assignments) {
+            let kernel = make_kernel(range.clone());
+            let cfg = LaunchConfig {
+                grid_dim: range.len(),
+                block_dim,
+                shared_bytes,
+            };
+            per_device.push(sim.launch(cfg, &kernel)?);
+        }
+        let kernel_seconds = per_device
+            .iter()
+            .map(|r| r.stats.kernel_seconds)
+            .fold(0.0, f64::max);
+        Ok(MultiLaunchResult { per_device, kernel_seconds, assignments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::BlockCtx;
+
+    struct BlockIdKernel {
+        offset: usize,
+    }
+
+    impl BlockKernel for BlockIdKernel {
+        type Output = usize;
+        fn run_block(&self, block: &mut BlockCtx) -> usize {
+            block.par_threads(|t| t.charge_ops(100));
+            self.offset + block.block_idx
+        }
+    }
+
+    #[test]
+    fn partition_covers_everything_disjointly() {
+        let multi = MultiGpu::new(vec![DeviceSpec::gtx480(), DeviceSpec::gtx280()]);
+        let parts = multi.partition(100);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].start, 0);
+        assert_eq!(parts[1].end, 100);
+        assert_eq!(parts[0].end, parts[1].start);
+        // GTX 480 is faster than GTX 280 → bigger share.
+        assert!(parts[0].len() > parts[1].len());
+    }
+
+    #[test]
+    fn identical_devices_split_evenly() {
+        let multi = MultiGpu::new(vec![DeviceSpec::gtx480(), DeviceSpec::gtx480()]);
+        let parts = multi.partition(100);
+        assert_eq!(parts[0].len(), 50);
+        assert_eq!(parts[1].len(), 50);
+    }
+
+    #[test]
+    fn partitioned_launch_covers_global_indices() {
+        let multi = MultiGpu::new(vec![DeviceSpec::gtx480(), DeviceSpec::c2050()]);
+        let result = multi
+            .launch_partitioned(64, 32, 0, |range| BlockIdKernel { offset: range.start })
+            .unwrap();
+        let mut seen: Vec<usize> =
+            result.per_device.iter().flat_map(|r| r.outputs.iter().copied()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+        assert!(result.kernel_seconds > 0.0);
+        // Ensemble time is the max of the devices.
+        for r in &result.per_device {
+            assert!(r.stats.kernel_seconds <= result.kernel_seconds + 1e-15);
+        }
+    }
+
+    #[test]
+    fn two_devices_beat_one_on_wide_grids() {
+        let one = MultiGpu::new(vec![DeviceSpec::gtx480()]);
+        let two = MultiGpu::new(vec![DeviceSpec::gtx480(), DeviceSpec::gtx480()]);
+        let grid = 3000;
+        let t1 = one
+            .launch_partitioned(grid, 128, 0, |range| BlockIdKernel { offset: range.start })
+            .unwrap()
+            .kernel_seconds;
+        let t2 = two
+            .launch_partitioned(grid, 128, 0, |range| BlockIdKernel { offset: range.start })
+            .unwrap()
+            .kernel_seconds;
+        assert!(t2 < t1 * 0.6, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_ensemble_panics() {
+        MultiGpu::new(vec![]);
+    }
+}

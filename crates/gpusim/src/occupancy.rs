@@ -1,0 +1,145 @@
+//! SM occupancy calculation.
+//!
+//! Occupancy — resident warps per SM relative to the hardware maximum —
+//! controls how well memory latency is hidden, which is why the paper
+//! observes that "choosing a smaller number of threads leads into a loss of
+//! performance because of having not enough working elements". The
+//! calculator mirrors NVIDIA's occupancy spreadsheet for the resources we
+//! model (threads and shared memory; the kernels here are not
+//! register-limited).
+
+use crate::device::DeviceSpec;
+
+/// Result of an occupancy query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident on one SM simultaneously.
+    pub blocks_per_sm: usize,
+    /// Warps resident on one SM simultaneously.
+    pub warps_per_sm: usize,
+    /// `warps_per_sm` over the hardware maximum, in `0.0..=1.0`.
+    pub fraction: f64,
+    /// Which resource limited residency.
+    pub limiter: Limiter,
+}
+
+/// The resource that capped occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// The per-SM block-count limit.
+    BlockSlots,
+    /// The per-SM thread-count limit.
+    Threads,
+    /// Shared memory.
+    SharedMemory,
+    /// The launch used fewer blocks than one full wave.
+    GridTooSmall,
+}
+
+/// Computes occupancy for a launch of `grid_dim` blocks of `block_dim`
+/// threads using `shared_bytes` of shared memory per block.
+pub fn occupancy(
+    device: &DeviceSpec,
+    grid_dim: usize,
+    block_dim: usize,
+    shared_bytes: usize,
+) -> Occupancy {
+    assert!(block_dim >= 1, "empty blocks are not a launch");
+    let by_slots = device.max_blocks_per_sm;
+    let by_threads = device.max_threads_per_sm / block_dim;
+    let by_shared =
+        device.shared_mem_per_block.checked_div(shared_bytes).unwrap_or(usize::MAX);
+    // Shared memory per *block* is the paper-era resource unit; an SM can
+    // host as many blocks as fit in its shared memory arena. On Fermi the
+    // arena equals the per-block maximum, so `by_shared` counts how many
+    // blocks' allocations fit.
+    let hw_blocks = by_slots.min(by_threads).min(by_shared);
+
+    let mut limiter = if hw_blocks == by_shared && by_shared < by_slots.min(by_threads) {
+        Limiter::SharedMemory
+    } else if hw_blocks == by_threads && by_threads < by_slots {
+        Limiter::Threads
+    } else {
+        Limiter::BlockSlots
+    };
+
+    // A launch smaller than one full wave can't fill the machine.
+    let blocks_available = grid_dim.div_ceil(device.sm_count);
+    let blocks = hw_blocks.min(blocks_available);
+    if blocks < hw_blocks {
+        limiter = Limiter::GridTooSmall;
+    }
+
+    let warps = blocks * device.warps_per_block(block_dim);
+    let max_warps = device.max_threads_per_sm / device.warp_size;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        fraction: (warps as f64 / max_warps as f64).min(1.0),
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gtx480() -> DeviceSpec {
+        DeviceSpec::gtx480()
+    }
+
+    #[test]
+    fn full_occupancy_with_many_small_blocks() {
+        // 192 threads × 8 blocks = 1536 threads = the SM maximum.
+        let o = occupancy(&gtx480(), 10_000, 192, 0);
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.warps_per_sm, 48);
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_configuration_128_threads() {
+        // 128 threads/block: block-slot limited at 8 blocks = 1024 threads
+        // of 1536 → 2/3 occupancy.
+        let o = occupancy(&gtx480(), 10_000, 128, 0);
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.limiter, Limiter::BlockSlots);
+        assert!((o.fraction - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_limited_occupancy() {
+        let o = occupancy(&gtx480(), 10_000, 1024, 0);
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::Threads);
+        assert!((o.fraction - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_memory_limited_occupancy() {
+        // 8 KB per block in a 16 KB arena → 2 blocks.
+        let o = occupancy(&gtx480(), 10_000, 128, 8 * 1024);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn small_grids_underfill() {
+        let d = gtx480();
+        let o = occupancy(&d, d.sm_count, 128, 0); // one block per SM
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::GridTooSmall);
+        assert!(o.fraction < 0.1);
+    }
+
+    #[test]
+    fn occupancy_monotone_in_grid() {
+        let d = gtx480();
+        let mut last = 0.0;
+        for grid in [1, 15, 30, 60, 120, 100_000] {
+            let o = occupancy(&d, grid, 128, 0);
+            assert!(o.fraction >= last);
+            last = o.fraction;
+        }
+    }
+}

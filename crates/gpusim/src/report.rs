@@ -1,0 +1,152 @@
+//! Human-readable launch reports — the simulator's answer to
+//! `nvprof`/`cuda-memcheck` style summaries.
+//!
+//! [`format_launch`] renders a [`crate::exec::LaunchStats`] into the kind
+//! of table a performance engineer reads after a run: geometry,
+//! occupancy and its limiter, instruction/memory mix, coalescing and
+//! bank-conflict health, and where the time went.
+
+use crate::device::DeviceSpec;
+use crate::exec::LaunchStats;
+use crate::occupancy::Limiter;
+
+/// Renders a multi-line report for one launch on `device`.
+pub fn format_launch(name: &str, device: &DeviceSpec, stats: &LaunchStats) -> String {
+    let m = &stats.metrics;
+    let cost = &stats.cost;
+    let occ = &cost.occupancy;
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+
+    line(format!("=== kernel `{name}` on {} ===", device.name));
+    line(format!(
+        "geometry    : {} blocks x {} threads ({} warps/block), {} B shared/block",
+        stats.grid_dim,
+        stats.block_dim,
+        device.warps_per_block(stats.block_dim),
+        m.shared_mem_used
+    ));
+    line(format!(
+        "occupancy   : {:.0}% ({} blocks, {} warps per SM; limited by {})",
+        occ.fraction * 100.0,
+        occ.blocks_per_sm,
+        occ.warps_per_sm,
+        limiter_name(occ.limiter)
+    ));
+    line(format!(
+        "issue       : {:.2e} warp-instructions ({:.2e} thread ops, divergence x{:.2})",
+        m.warp_issue_ops,
+        m.thread_ops as f64,
+        m.divergence_factor(device.warp_size)
+    ));
+    let bytes_per_txn = if m.global_transactions > 0.0 {
+        m.global_bytes as f64 / m.global_transactions
+    } else {
+        0.0
+    };
+    line(format!(
+        "global mem  : {:.2e} transactions for {:.2e} B requested ({:.1} useful B/txn of {})",
+        m.global_transactions, m.global_bytes as f64, bytes_per_txn, device.transaction_bytes
+    ));
+    let conflict_rate = if m.shared_accesses > 0 {
+        m.shared_cycles * device.warp_size as f64 / m.shared_accesses as f64
+    } else {
+        0.0
+    };
+    line(format!(
+        "shared mem  : {:.2e} accesses, {:.2e} serialized cycles (avg {:.1}-way conflicts)",
+        m.shared_accesses as f64, m.shared_cycles, conflict_rate
+    ));
+    line(format!(
+        "L1 path     : {:.2e} cached accesses; barriers: {}",
+        m.cached_accesses as f64, m.barriers
+    ));
+    line(format!(
+        "time        : {:.3} ms ({} bound; compute {:.2e} / memory {:.2e} cycles)",
+        stats.kernel_seconds * 1e3,
+        if cost.memory_bound { "memory" } else { "compute" },
+        cost.compute_cycles,
+        cost.memory_cycles
+    ));
+    out
+}
+
+fn limiter_name(limiter: Limiter) -> &'static str {
+    match limiter {
+        Limiter::BlockSlots => "block slots",
+        Limiter::Threads => "thread capacity",
+        Limiter::SharedMemory => "shared memory",
+        Limiter::GridTooSmall => "grid size (underfilled device)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{BlockCtx, BlockKernel, GpuSim, LaunchConfig};
+
+    struct Toy;
+    impl BlockKernel for Toy {
+        type Output = ();
+        fn run_block(&self, block: &mut BlockCtx) {
+            block.par_threads(|t| {
+                t.charge_ops(100);
+                t.global_read((t.global_tid() * 4) as u64, 4);
+                t.shared_bulk(16, 2);
+            });
+        }
+    }
+
+    #[test]
+    fn report_contains_the_essentials() {
+        let device = DeviceSpec::gtx480();
+        let sim = GpuSim::new(device.clone()).with_workers(2);
+        let result = sim.launch(LaunchConfig::new(64, 128).with_shared(4096), &Toy).unwrap();
+        let report = format_launch("toy", &device, &result.stats);
+        for needle in [
+            "kernel `toy`",
+            "GeForce GTX 480",
+            "64 blocks x 128 threads",
+            "occupancy",
+            "transactions",
+            "serialized cycles",
+            "barriers: 64",
+            "time",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+    }
+
+    #[test]
+    fn limiter_names_are_distinct() {
+        let names: std::collections::BTreeSet<&str> = [
+            Limiter::BlockSlots,
+            Limiter::Threads,
+            Limiter::SharedMemory,
+            Limiter::GridTooSmall,
+        ]
+        .into_iter()
+        .map(limiter_name)
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn zero_traffic_kernel_reports_cleanly() {
+        struct Idle;
+        impl BlockKernel for Idle {
+            type Output = ();
+            fn run_block(&self, block: &mut BlockCtx) {
+                block.par_threads(|_| {});
+            }
+        }
+        let device = DeviceSpec::gtx480();
+        let sim = GpuSim::new(device.clone()).with_workers(1);
+        let result = sim.launch(LaunchConfig::new(1, 32), &Idle).unwrap();
+        let report = format_launch("idle", &device, &result.stats);
+        assert!(report.contains("0.0 useful B/txn") || report.contains("transactions"));
+    }
+}

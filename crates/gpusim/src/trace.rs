@@ -1,0 +1,189 @@
+//! Modelled execution timelines and Chrome-trace export.
+//!
+//! [`Timeline::from_launch`] reconstructs the cost model's view of a
+//! launch — which block ran on which SM, when — and serializes it in the
+//! Chrome tracing JSON format (`chrome://tracing`, Perfetto), giving the
+//! simulated GPU the observability a real one gets from profilers.
+
+use crate::cost::{BARRIER_CYCLES, CPI, HIDE_AT};
+use crate::device::DeviceSpec;
+use crate::meter::BlockMetrics;
+use crate::occupancy::occupancy;
+
+/// One block's modelled execution interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSpan {
+    /// Block index in the grid.
+    pub block_idx: usize,
+    /// SM the scheduler placed it on.
+    pub sm: usize,
+    /// Start offset in seconds from launch.
+    pub start: f64,
+    /// Duration in seconds.
+    pub duration: f64,
+    /// Whether this block was memory-bound.
+    pub memory_bound: bool,
+}
+
+/// A modelled launch timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// Per-block spans, in block order.
+    pub spans: Vec<BlockSpan>,
+    /// Total modelled duration (seconds).
+    pub total_seconds: f64,
+    /// SM count of the device (rows in the visualization).
+    pub sm_count: usize,
+}
+
+impl Timeline {
+    /// Reconstructs the cost model's schedule: blocks round-robin over
+    /// SMs, executing back-to-back per SM. Must mirror
+    /// [`crate::cost::cost_launch`]'s arithmetic.
+    pub fn from_launch(
+        device: &DeviceSpec,
+        block_dim: usize,
+        shared_bytes: usize,
+        per_block: &[BlockMetrics],
+    ) -> Timeline {
+        let occ = occupancy(device, per_block.len(), block_dim, shared_bytes);
+        let bw_cost = device.transaction_bytes as f64 / device.mem_bytes_per_cycle_per_sm();
+        let exposed = device.mem_latency_cycles * (1.0 - (occ.fraction / HIDE_AT).min(1.0));
+        let per_transaction = bw_cost + exposed;
+
+        let mut sm_clock = vec![0.0f64; device.sm_count];
+        let mut spans = Vec::with_capacity(per_block.len());
+        for (i, m) in per_block.iter().enumerate() {
+            let compute = m.warp_issue_ops * CPI
+                + m.shared_cycles
+                + m.cached_accesses as f64 * device.l1_hit_cycles / device.warp_size as f64
+                + m.barriers as f64 * BARRIER_CYCLES;
+            let memory = m.global_transactions * per_transaction;
+            let cycles = compute.max(memory);
+            let sm = i % device.sm_count;
+            let start = sm_clock[sm] / device.clock_hz;
+            let duration = cycles / device.clock_hz;
+            sm_clock[sm] += cycles;
+            spans.push(BlockSpan {
+                block_idx: i,
+                sm,
+                start,
+                duration,
+                memory_bound: memory > compute,
+            });
+        }
+        let total_seconds =
+            sm_clock.iter().cloned().fold(0.0, f64::max) / device.clock_hz;
+        Timeline { spans, total_seconds, sm_count: device.sm_count }
+    }
+
+    /// Serializes the timeline as Chrome tracing JSON (array form).
+    /// Timestamps are microseconds, one "thread" per SM.
+    pub fn to_chrome_trace(&self, kernel_name: &str) -> String {
+        let mut out = String::from("[");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                concat!(
+                    "{{\"name\":\"{}#b{}\",\"cat\":\"{}\",\"ph\":\"X\",",
+                    "\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}}}"
+                ),
+                kernel_name,
+                span.block_idx,
+                if span.memory_bound { "memory" } else { "compute" },
+                span.start * 1e6,
+                span.duration * 1e6,
+                span.sm,
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// SM utilization: busy time over `sm_count × makespan`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_seconds <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.spans.iter().map(|s| s.duration).sum();
+        busy / (self.total_seconds * self.sm_count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(ops: f64) -> BlockMetrics {
+        BlockMetrics { warp_issue_ops: ops, blocks: 1, block_dim: 128, ..Default::default() }
+    }
+
+    #[test]
+    fn spans_are_contiguous_per_sm() {
+        let device = DeviceSpec::gtx480();
+        let blocks: Vec<BlockMetrics> = (0..45).map(|i| metrics(1000.0 + i as f64)).collect();
+        let timeline = Timeline::from_launch(&device, 128, 0, &blocks);
+        assert_eq!(timeline.spans.len(), 45);
+        // Per SM, spans must tile without overlap.
+        for sm in 0..device.sm_count {
+            let mut cursor = 0.0f64;
+            for span in timeline.spans.iter().filter(|s| s.sm == sm) {
+                assert!((span.start - cursor).abs() < 1e-12, "gap on SM {sm}");
+                cursor = span.start + span.duration;
+            }
+        }
+    }
+
+    #[test]
+    fn total_matches_cost_model() {
+        use crate::cost::cost_launch;
+        let device = DeviceSpec::gtx480();
+        let blocks: Vec<BlockMetrics> =
+            (0..64).map(|i| metrics(500.0 * (1 + i % 5) as f64)).collect();
+        let timeline = Timeline::from_launch(&device, 128, 0, &blocks);
+        let cost = cost_launch(&device, blocks.len(), 128, 0, &blocks);
+        // cost adds launch overhead on top of the cycle makespan.
+        assert!(
+            (timeline.total_seconds - (cost.seconds - device.launch_overhead)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_json() {
+        let device = DeviceSpec::gtx480();
+        let blocks: Vec<BlockMetrics> = (0..4).map(|_| metrics(100.0)).collect();
+        let timeline = Timeline::from_launch(&device, 64, 0, &blocks);
+        let json = timeline.to_chrome_trace("lzss_v2");
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert!(json.contains("lzss_v2#b0"));
+        // Balanced braces (crude JSON sanity).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn utilization_reflects_imbalance() {
+        let device = DeviceSpec::gtx480();
+        // One giant block: 1/sm_count utilization.
+        let blocks = vec![metrics(1e6)];
+        let t = Timeline::from_launch(&device, 128, 0, &blocks);
+        assert!((t.utilization() - 1.0 / device.sm_count as f64).abs() < 1e-9);
+
+        // Perfectly balanced full wave: ~1.0.
+        let blocks: Vec<BlockMetrics> =
+            (0..device.sm_count).map(|_| metrics(1e6)).collect();
+        let t = Timeline::from_launch(&device, 128, 0, &blocks);
+        assert!((t.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_launch_yields_empty_timeline() {
+        let device = DeviceSpec::gtx480();
+        let t = Timeline::from_launch(&device, 128, 0, &[]);
+        assert!(t.spans.is_empty());
+        assert_eq!(t.total_seconds, 0.0);
+        assert_eq!(t.utilization(), 0.0);
+    }
+}

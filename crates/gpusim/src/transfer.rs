@@ -1,0 +1,102 @@
+//! Host↔device transfer model.
+//!
+//! "Before and after the kernel execution, the memory needs to be
+//! explicitly copied to the GPU memory" — transfers are part of every
+//! CULZSS timing, so they get their own model: a fixed per-call latency
+//! plus a bandwidth term at PCIe 2.0 ×16 effective rates.
+
+use crate::device::DeviceSpec;
+
+/// Direction of a modelled copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `cudaMemcpyHostToDevice`.
+    HostToDevice,
+    /// `cudaMemcpyDeviceToHost`.
+    DeviceToHost,
+}
+
+/// Modelled duration of one copy of `bytes` bytes.
+pub fn transfer_seconds(device: &DeviceSpec, bytes: usize) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    device.pcie_latency + bytes as f64 / device.pcie_bandwidth
+}
+
+/// Running account of the transfers in a pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferLedger {
+    /// Bytes copied host→device.
+    pub h2d_bytes: u64,
+    /// Bytes copied device→host.
+    pub d2h_bytes: u64,
+    /// Modelled seconds spent host→device.
+    pub h2d_seconds: f64,
+    /// Modelled seconds spent device→host.
+    pub d2h_seconds: f64,
+    /// Number of copies issued.
+    pub copies: u64,
+}
+
+impl TransferLedger {
+    /// Records one copy and returns its modelled duration.
+    pub fn copy(&mut self, device: &DeviceSpec, direction: Direction, bytes: usize) -> f64 {
+        let seconds = transfer_seconds(device, bytes);
+        self.copies += 1;
+        match direction {
+            Direction::HostToDevice => {
+                self.h2d_bytes += bytes as u64;
+                self.h2d_seconds += seconds;
+            }
+            Direction::DeviceToHost => {
+                self.d2h_bytes += bytes as u64;
+                self.d2h_seconds += seconds;
+            }
+        }
+        seconds
+    }
+
+    /// Total modelled transfer time.
+    pub fn total_seconds(&self) -> f64 {
+        self.h2d_seconds + self.d2h_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(transfer_seconds(&DeviceSpec::gtx480(), 0), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_copies() {
+        let d = DeviceSpec::gtx480();
+        let t = transfer_seconds(&d, 128 << 20); // 128 MiB at 5 GB/s ≈ 26.8 ms
+        assert!(t > 0.02 && t < 0.04, "{t}");
+    }
+
+    #[test]
+    fn latency_dominates_small_copies() {
+        let d = DeviceSpec::gtx480();
+        let t = transfer_seconds(&d, 4);
+        assert!(t >= d.pcie_latency);
+        assert!(t < d.pcie_latency * 1.01);
+    }
+
+    #[test]
+    fn ledger_accumulates_by_direction() {
+        let d = DeviceSpec::gtx480();
+        let mut ledger = TransferLedger::default();
+        let a = ledger.copy(&d, Direction::HostToDevice, 1 << 20);
+        let b = ledger.copy(&d, Direction::DeviceToHost, 1 << 10);
+        assert_eq!(ledger.copies, 2);
+        assert_eq!(ledger.h2d_bytes, 1 << 20);
+        assert_eq!(ledger.d2h_bytes, 1 << 10);
+        assert!((ledger.total_seconds() - (a + b)).abs() < 1e-15);
+        assert!(ledger.h2d_seconds > ledger.d2h_seconds);
+    }
+}

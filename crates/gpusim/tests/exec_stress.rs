@@ -1,0 +1,132 @@
+//! Executor stress tests: irregular geometries, many phases, metric
+//! invariants, and determinism under different host worker counts.
+
+use culzss_gpusim::exec::{BlockCtx, BlockKernel, GpuSim, LaunchConfig};
+use culzss_gpusim::DeviceSpec;
+
+/// A kernel with a data-dependent number of phases per block.
+struct PhaseStorm;
+
+impl BlockKernel for PhaseStorm {
+    type Output = (usize, u64);
+    fn run_block(&self, block: &mut BlockCtx) -> (usize, u64) {
+        let phases = 1 + block.block_idx % 7;
+        let mut checksum = 0u64;
+        for p in 0..phases {
+            block.par_threads(|t| {
+                t.charge_ops((t.tid + p + 1) as u64);
+                if t.tid % 3 == 0 {
+                    t.shared_read((t.tid * 4) as u64, 4);
+                }
+                checksum = checksum.wrapping_add((t.tid * (p + 1)) as u64);
+            });
+        }
+        (phases, checksum)
+    }
+}
+
+#[test]
+fn barrier_count_equals_total_phases() {
+    let sim = GpuSim::new(DeviceSpec::gtx480()).with_workers(3);
+    let grid = 29usize;
+    let result = sim.launch(LaunchConfig::new(grid, 33), &PhaseStorm).unwrap();
+    let expected: u64 = (0..grid).map(|b| (1 + b % 7) as u64).collect::<Vec<_>>().iter().sum();
+    assert_eq!(result.stats.metrics.barriers, expected);
+    for (b, (phases, _)) in result.outputs.iter().enumerate() {
+        assert_eq!(*phases, 1 + b % 7);
+    }
+}
+
+#[test]
+fn deterministic_for_every_worker_count() {
+    let run = |workers| {
+        let sim = GpuSim::new(DeviceSpec::gtx480()).with_workers(workers);
+        let r = sim.launch(LaunchConfig::new(31, 65), &PhaseStorm).unwrap();
+        (r.outputs, r.stats.metrics, r.stats.cost.cycles)
+    };
+    let baseline = run(1);
+    for workers in [2, 3, 5, 16] {
+        let other = run(workers);
+        assert_eq!(other.0, baseline.0, "{workers} workers changed outputs");
+        assert_eq!(other.1, baseline.1, "{workers} workers changed metrics");
+        assert_eq!(other.2, baseline.2, "{workers} workers changed cycles");
+    }
+}
+
+#[test]
+fn odd_block_dims_partition_warps_correctly() {
+    // 33 threads = 2 warps (32 + 1); the lone lane forms its own warp.
+    struct OneHot;
+    impl BlockKernel for OneHot {
+        type Output = ();
+        fn run_block(&self, block: &mut BlockCtx) {
+            block.par_threads(|t| {
+                if t.tid == 32 {
+                    t.charge_ops(1000);
+                } else {
+                    t.charge_ops(1);
+                }
+            });
+        }
+    }
+    let sim = GpuSim::new(DeviceSpec::gtx480()).with_workers(2);
+    let result = sim.launch(LaunchConfig::new(1, 33), &OneHot).unwrap();
+    // warp 0 max = 1, warp 1 max = 1000.
+    assert_eq!(result.stats.metrics.warp_issue_ops, 1001.0);
+    assert_eq!(result.stats.metrics.thread_ops, 32 + 1000);
+}
+
+#[test]
+fn per_block_metrics_align_with_outputs() {
+    let sim = GpuSim::new(DeviceSpec::gtx480()).with_workers(4);
+    let grid = 17usize;
+    let result = sim.launch(LaunchConfig::new(grid, 32), &PhaseStorm).unwrap();
+    assert_eq!(result.stats.per_block.len(), grid);
+    for (b, m) in result.stats.per_block.iter().enumerate() {
+        assert_eq!(m.barriers as usize, 1 + b % 7, "block {b}");
+        assert_eq!(m.blocks, 1);
+    }
+}
+
+#[test]
+fn thousands_of_tiny_blocks() {
+    struct Tiny;
+    impl BlockKernel for Tiny {
+        type Output = usize;
+        fn run_block(&self, block: &mut BlockCtx) -> usize {
+            let mut n = 0;
+            block.par_threads(|t| {
+                t.charge_ops(1);
+                n += 1;
+            });
+            block.block_idx + n
+        }
+    }
+    let sim = GpuSim::new(DeviceSpec::gtx480()).with_workers(8);
+    let grid = 5000usize;
+    let result = sim.launch(LaunchConfig::new(grid, 1), &Tiny).unwrap();
+    assert_eq!(result.outputs.len(), grid);
+    for (b, v) in result.outputs.iter().enumerate() {
+        assert_eq!(*v, b + 1);
+    }
+    assert_eq!(result.stats.metrics.thread_ops, grid as u64);
+    // 1-thread blocks: warp max == thread ops.
+    assert_eq!(result.stats.metrics.warp_issue_ops, grid as f64);
+}
+
+#[test]
+fn max_block_dim_is_accepted_and_beyond_rejected() {
+    struct Nop;
+    impl BlockKernel for Nop {
+        type Output = ();
+        fn run_block(&self, block: &mut BlockCtx) {
+            block.par_threads(|_| {});
+        }
+    }
+    let device = DeviceSpec::gtx480();
+    let sim = GpuSim::new(device.clone()).with_workers(1);
+    sim.launch(LaunchConfig::new(1, device.max_threads_per_block), &Nop).unwrap();
+    assert!(sim
+        .launch(LaunchConfig::new(1, device.max_threads_per_block + 1), &Nop)
+        .is_err());
+}

@@ -1,0 +1,157 @@
+//! Match-statistics instrumentation.
+//!
+//! The paper's discussion section reasons about *why* each implementation
+//! wins on each dataset: V2 loses on highly compressible data because it
+//! cannot skip over matched positions, and the 128-byte window barely hurts
+//! text because most matches are short-range. This module computes the
+//! distributions those arguments rest on, and the repro harness prints them
+//! alongside Table II.
+
+use crate::config::LzssConfig;
+use crate::serial;
+use crate::token::Token;
+
+/// Histogram bucket boundaries for match distances.
+const DISTANCE_BUCKETS: [usize; 6] = [16, 32, 64, 128, 1024, 4096];
+
+/// Aggregate compressibility profile of a buffer under a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Input size in bytes.
+    pub input_len: usize,
+    /// Number of literal tokens emitted by greedy parsing.
+    pub literals: usize,
+    /// Number of match tokens.
+    pub matches: usize,
+    /// Bytes covered by matches.
+    pub matched_bytes: usize,
+    /// Mean match length (0 when there are no matches).
+    pub mean_match_len: f64,
+    /// Match count per distance bucket: `<=16, <=32, <=64, <=128, <=1024, <=4096`.
+    pub distance_histogram: [usize; 6],
+    /// Fraction of input bytes covered by matches within a 128-byte window.
+    pub short_range_cover: f64,
+}
+
+impl Profile {
+    /// Fraction of input bytes covered by matches.
+    pub fn match_cover(&self) -> f64 {
+        if self.input_len == 0 {
+            0.0
+        } else {
+            self.matched_bytes as f64 / self.input_len as f64
+        }
+    }
+
+    /// Predicted compressed-to-uncompressed ratio under the configuration's
+    /// token costs (flag bits included), ignoring container overhead.
+    pub fn predicted_ratio(&self, config: &LzssConfig) -> f64 {
+        if self.input_len == 0 {
+            return 1.0;
+        }
+        let bits = self.literals * config.literal_cost_bits()
+            + self.matches * config.match_cost_bits();
+        bits as f64 / 8.0 / self.input_len as f64
+    }
+}
+
+/// Profiles `input` by greedy-parsing it under `config`.
+pub fn profile(input: &[u8], config: &LzssConfig) -> Profile {
+    profile_tokens(&serial::tokenize(input, config), input.len())
+}
+
+/// Profiles an existing token sequence.
+pub fn profile_tokens(tokens: &[Token], input_len: usize) -> Profile {
+    let mut p = Profile {
+        input_len,
+        literals: 0,
+        matches: 0,
+        matched_bytes: 0,
+        mean_match_len: 0.0,
+        distance_histogram: [0; 6],
+        short_range_cover: 0.0,
+    };
+    let mut short_range_bytes = 0usize;
+    for token in tokens {
+        match *token {
+            Token::Literal(_) => p.literals += 1,
+            Token::Match { distance, length } => {
+                p.matches += 1;
+                p.matched_bytes += length as usize;
+                if usize::from(distance) <= 128 {
+                    short_range_bytes += length as usize;
+                }
+                for (i, bound) in DISTANCE_BUCKETS.iter().enumerate() {
+                    if usize::from(distance) <= *bound {
+                        p.distance_histogram[i] += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if p.matches > 0 {
+        p.mean_match_len = p.matched_bytes as f64 / p.matches as f64;
+    }
+    if input_len > 0 {
+        p.short_range_cover = short_range_bytes as f64 / input_len as f64;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_of_repetitive_data() {
+        let config = LzssConfig::dipperstein();
+        let input = b"abcdefghijklmnopqrst".repeat(100); // period 20
+        let p = profile(&input, &config);
+        assert!(p.match_cover() > 0.9, "cover {}", p.match_cover());
+        assert!(p.mean_match_len > 10.0);
+        // All matches are at distance 20 -> bucket `<=32`.
+        assert_eq!(p.distance_histogram[0], 0);
+        assert!(p.distance_histogram[1] > 0);
+        assert!(p.short_range_cover > 0.9);
+    }
+
+    #[test]
+    fn profile_of_incompressible_data() {
+        let config = LzssConfig::dipperstein();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let input: Vec<u8> = (0..3000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect();
+        let p = profile(&input, &config);
+        assert!(p.match_cover() < 0.7, "cover {}", p.match_cover());
+        assert_eq!(p.input_len, 3000);
+    }
+
+    #[test]
+    fn predicted_ratio_tracks_actual() {
+        let config = LzssConfig::dipperstein();
+        let input = b"the rain in spain stays mainly in the plain ".repeat(60);
+        let p = profile(&input, &config);
+        let actual = serial::compress(&input, &config).unwrap().len() as f64
+            / input.len() as f64;
+        let predicted = p.predicted_ratio(&config);
+        assert!(
+            (actual - predicted).abs() < 0.02,
+            "actual {actual:.4} vs predicted {predicted:.4}"
+        );
+    }
+
+    #[test]
+    fn empty_input_profile() {
+        let config = LzssConfig::dipperstein();
+        let p = profile(b"", &config);
+        assert_eq!(p.match_cover(), 0.0);
+        assert_eq!(p.predicted_ratio(&config), 1.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! LZSS tuning parameters and the presets used in the paper.
+//!
+//! The paper evaluates three distinct parameter points:
+//!
+//! * the **serial / Pthread CPU codec** follows Dipperstein's reference
+//!   implementation: a 4096-byte sliding window, matches of 3..=18 bytes,
+//!   encoded as a 1-bit flag plus a 12-bit offset / 4-bit length code;
+//! * **CULZSS V1** keeps each thread's window in CUDA shared memory, which
+//!   at 128 threads per block leaves room for a 128-byte window; codes are a
+//!   fixed 16 bits (8-bit offset, 8-bit length field) with matches capped at
+//!   18 bytes like the serial codec;
+//! * **CULZSS V2** additionally extends the cooperative lookahead buffer to
+//!   32 bytes, so matches may reach 32 bytes — which is why V2 *beats* the
+//!   serial ratio on highly repetitive data (Table II) while losing on text.
+
+use crate::error::{Error, Result};
+use crate::format::TokenFormat;
+
+/// Tunable LZSS parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LzssConfig {
+    /// Sliding-window size in bytes; match distances are `1..=window_size`.
+    pub window_size: usize,
+    /// Smallest match worth encoding (shorter runs are cheaper as literals).
+    pub min_match: usize,
+    /// Largest encodable match.
+    pub max_match: usize,
+    /// Byte-level encoding of the token stream.
+    pub format: TokenFormat,
+}
+
+impl LzssConfig {
+    /// Dipperstein's reference parameters, used by the serial and Pthread
+    /// CPU implementations in the paper: 4 KiB window, 18-byte max match,
+    /// flag-bit layout with 12-bit offsets and 4-bit lengths.
+    pub fn dipperstein() -> Self {
+        Self {
+            window_size: 4096,
+            min_match: 3,
+            max_match: 18,
+            format: TokenFormat::FlagBit { offset_bits: 12, length_bits: 4 },
+        }
+    }
+
+    /// CULZSS Version 1 parameters: 128-byte shared-memory window per
+    /// thread, serial-style 18-byte match cap, fixed 16-bit codes.
+    pub fn culzss_v1() -> Self {
+        Self {
+            window_size: 128,
+            min_match: 3,
+            max_match: 18,
+            format: TokenFormat::Fixed16,
+        }
+    }
+
+    /// CULZSS Version 2 parameters: 128-byte window, 32-byte cooperative
+    /// lookahead (so matches reach 32 bytes), fixed 16-bit codes.
+    pub fn culzss_v2() -> Self {
+        Self {
+            window_size: 128,
+            min_match: 3,
+            max_match: 32,
+            format: TokenFormat::Fixed16,
+        }
+    }
+
+    /// A custom configuration; validated before use.
+    pub fn custom(
+        window_size: usize,
+        min_match: usize,
+        max_match: usize,
+        format: TokenFormat,
+    ) -> Result<Self> {
+        let config = Self { window_size, min_match, max_match, format };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks internal consistency and the representability of every legal
+    /// `(distance, length)` pair in the chosen format.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |reason: String| Err(Error::InvalidConfig { reason });
+        if self.window_size == 0 {
+            return fail("window_size must be positive".into());
+        }
+        if self.min_match < 2 {
+            return fail("min_match below 2 can never be profitable".into());
+        }
+        if self.max_match < self.min_match {
+            return fail(format!(
+                "max_match {} is below min_match {}",
+                self.max_match, self.min_match
+            ));
+        }
+        if self.window_size > u16::MAX as usize || self.max_match > u16::MAX as usize {
+            return fail("window/match sizes must fit in u16 tokens".into());
+        }
+        match self.format {
+            TokenFormat::FlagBit { offset_bits, length_bits } => {
+                if offset_bits == 0 || offset_bits > 16 || length_bits == 0 || length_bits > 16 {
+                    return fail("flag-bit fields must be 1..=16 bits".into());
+                }
+                if self.window_size > (1usize << offset_bits) {
+                    return fail(format!(
+                        "window {} does not fit in {} offset bits",
+                        self.window_size, offset_bits
+                    ));
+                }
+                let max_len = self.min_match + (1usize << length_bits) - 1;
+                if self.max_match > max_len {
+                    return fail(format!(
+                        "max_match {} does not fit in {} length bits (limit {})",
+                        self.max_match, length_bits, max_len
+                    ));
+                }
+            }
+            TokenFormat::Fixed16 => {
+                if self.window_size > 256 {
+                    return fail(format!(
+                        "Fixed16 encodes 8-bit offsets; window {} exceeds 256",
+                        self.window_size
+                    ));
+                }
+                if self.max_match > self.min_match + 255 {
+                    return fail("Fixed16 encodes 8-bit biased lengths".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Size in bits of an encoded match token (including its flag bit/slot).
+    pub fn match_cost_bits(&self) -> usize {
+        match self.format {
+            TokenFormat::FlagBit { offset_bits, length_bits } => {
+                1 + usize::from(offset_bits) + usize::from(length_bits)
+            }
+            TokenFormat::Fixed16 => 1 + 16,
+        }
+    }
+
+    /// Size in bits of an encoded literal token (including its flag).
+    pub fn literal_cost_bits(&self) -> usize {
+        9
+    }
+
+    /// Worst-case compressed size for `input_len` bytes (all literals plus
+    /// flag overhead and rounding).
+    pub fn worst_case_compressed_len(&self, input_len: usize) -> usize {
+        (input_len * self.literal_cost_bits()).div_ceil(8) + 8
+    }
+}
+
+impl Default for LzssConfig {
+    fn default() -> Self {
+        Self::dipperstein()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        LzssConfig::dipperstein().validate().unwrap();
+        LzssConfig::culzss_v1().validate().unwrap();
+        LzssConfig::culzss_v2().validate().unwrap();
+    }
+
+    #[test]
+    fn preset_parameters_match_the_paper() {
+        let serial = LzssConfig::dipperstein();
+        assert_eq!(serial.window_size, 4096);
+        assert_eq!((serial.min_match, serial.max_match), (3, 18));
+
+        let v1 = LzssConfig::culzss_v1();
+        assert_eq!(v1.window_size, 128);
+        assert_eq!(v1.max_match, 18);
+
+        let v2 = LzssConfig::culzss_v2();
+        assert_eq!(v2.window_size, 128);
+        assert_eq!(v2.max_match, 32);
+    }
+
+    #[test]
+    fn oversized_window_rejected_for_flagbit() {
+        let err = LzssConfig::custom(
+            8192,
+            3,
+            18,
+            TokenFormat::FlagBit { offset_bits: 12, length_bits: 4 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn oversized_window_rejected_for_fixed16() {
+        assert!(LzssConfig::custom(512, 3, 18, TokenFormat::Fixed16).is_err());
+        assert!(LzssConfig::custom(256, 3, 18, TokenFormat::Fixed16).is_ok());
+    }
+
+    #[test]
+    fn max_match_must_fit_length_field() {
+        // 4 length bits encode min_match ..= min_match + 15.
+        assert!(LzssConfig::custom(
+            4096,
+            3,
+            19,
+            TokenFormat::FlagBit { offset_bits: 12, length_bits: 4 }
+        )
+        .is_err());
+        assert!(LzssConfig::custom(
+            4096,
+            3,
+            18,
+            TokenFormat::FlagBit { offset_bits: 12, length_bits: 4 }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn degenerate_bounds_rejected() {
+        assert!(LzssConfig::custom(0, 3, 18, TokenFormat::Fixed16).is_err());
+        assert!(LzssConfig::custom(128, 1, 18, TokenFormat::Fixed16).is_err());
+        assert!(LzssConfig::custom(128, 5, 4, TokenFormat::Fixed16).is_err());
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let serial = LzssConfig::dipperstein();
+        assert_eq!(serial.match_cost_bits(), 17);
+        assert_eq!(serial.literal_cost_bits(), 9);
+        // min_match = 3 is exactly the break-even point: a 2-byte match
+        // would cost 17 bits versus 18 bits as literals — the paper keeps 3.
+        assert!(serial.match_cost_bits() < 2 * serial.literal_cost_bits());
+
+        let v2 = LzssConfig::culzss_v2();
+        assert_eq!(v2.match_cost_bits(), 17);
+    }
+
+    #[test]
+    fn worst_case_bound_is_generous() {
+        let config = LzssConfig::dipperstein();
+        assert!(config.worst_case_compressed_len(1000) >= 1125);
+    }
+}

@@ -1,0 +1,356 @@
+//! Chunked container format shared by every parallel implementation.
+//!
+//! The paper's decompression section explains that CULZSS keeps "a list of
+//! block compression sizes that are recorded during compression" so the GPU
+//! can hand each compressed block to a different CUDA block. This module is
+//! that list, plus enough header information to make the stream
+//! self-describing. The same container is used by the Pthread baseline so
+//! that all parallel codecs interoperate.
+//!
+//! Like the paper's format, the container carries **no payload checksum**:
+//! a corrupted token that still decodes structurally yields wrong bytes
+//! silently (truncations and most structural corruptions are caught).
+//! Wrap the stream in an integrity layer — or use the `culzss-bzip2`
+//! codec, whose format includes bzip2-style CRC-32s — where flips matter.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      4 B   "CLZC"
+//! version    1 B   currently 1
+//! format_id  1 B   TokenFormat::id()
+//! min_match  1 B
+//! reserved   1 B   zero
+//! window     4 B
+//! max_match  4 B
+//! chunk_size 4 B   nominal uncompressed bytes per chunk
+//! total_len  8 B   uncompressed bytes overall
+//! n_chunks   4 B
+//! table      4 B × n_chunks   compressed size of each chunk
+//! payload    concatenated chunk bodies, in order
+//! ```
+
+use crate::config::LzssConfig;
+use crate::error::{Error, Result};
+
+/// Container magic: `"CLZC"`.
+pub const MAGIC: [u8; 4] = *b"CLZC";
+/// Current container version.
+pub const VERSION: u8 = 1;
+
+/// Parsed container header plus the chunk size table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Container {
+    /// Token format identifier (see [`crate::format::TokenFormat::id`]).
+    pub format_id: u8,
+    /// Window size the chunks were compressed with.
+    pub window_size: u32,
+    /// Minimum encodable match.
+    pub min_match: u8,
+    /// Maximum encodable match.
+    pub max_match: u32,
+    /// Nominal uncompressed chunk size; every chunk except the last covers
+    /// exactly this many bytes.
+    pub chunk_size: u32,
+    /// Total uncompressed length.
+    pub total_len: u64,
+    /// Compressed size of each chunk, in order.
+    pub chunk_comp_sizes: Vec<u32>,
+}
+
+impl Container {
+    /// Fixed header size before the chunk table.
+    pub const HEADER_LEN: usize = 32;
+
+    /// Builds a container descriptor from a configuration.
+    pub fn new(config: &LzssConfig, chunk_size: u32, total_len: u64) -> Self {
+        Self {
+            format_id: config.format.id(),
+            window_size: config.window_size as u32,
+            min_match: config.min_match as u8,
+            max_match: config.max_match as u32,
+            chunk_size,
+            total_len,
+            chunk_comp_sizes: Vec::new(),
+        }
+    }
+
+    /// Number of chunks implied by `total_len` and `chunk_size`.
+    pub fn expected_chunks(&self) -> usize {
+        if self.total_len == 0 {
+            0
+        } else {
+            (self.total_len as usize).div_ceil(self.chunk_size as usize)
+        }
+    }
+
+    /// Uncompressed length of chunk `index`.
+    pub fn chunk_uncompressed_len(&self, index: usize) -> usize {
+        let n = self.expected_chunks();
+        debug_assert!(index < n);
+        if index + 1 < n {
+            self.chunk_size as usize
+        } else {
+            let rem = (self.total_len % u64::from(self.chunk_size)) as usize;
+            if rem == 0 {
+                self.chunk_size as usize
+            } else {
+                rem
+            }
+        }
+    }
+
+    /// Serializes the header + table, followed by nothing; callers append
+    /// the payload chunks in order.
+    pub fn serialize_header(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::HEADER_LEN + 4 * self.chunk_comp_sizes.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.format_id);
+        out.push(self.min_match);
+        out.push(0);
+        out.extend_from_slice(&self.window_size.to_le_bytes());
+        out.extend_from_slice(&self.max_match.to_le_bytes());
+        out.extend_from_slice(&self.chunk_size.to_le_bytes());
+        out.extend_from_slice(&self.total_len.to_le_bytes());
+        out.extend_from_slice(&(self.chunk_comp_sizes.len() as u32).to_le_bytes());
+        for size in &self.chunk_comp_sizes {
+            out.extend_from_slice(&size.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a container, returning the header and the payload offset.
+    pub fn parse(bytes: &[u8]) -> Result<(Self, usize)> {
+        let need = |n: usize, what: &'static str| {
+            if bytes.len() < n {
+                Err(Error::UnexpectedEof { context: what })
+            } else {
+                Ok(())
+            }
+        };
+        need(Self::HEADER_LEN, "container header")?;
+        if bytes[..4] != MAGIC {
+            return Err(Error::InvalidContainer { reason: "bad magic".into() });
+        }
+        if bytes[4] != VERSION {
+            return Err(Error::InvalidContainer {
+                reason: format!("unsupported version {}", bytes[4]),
+            });
+        }
+        let le32 = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let header = Self {
+            format_id: bytes[5],
+            min_match: bytes[6],
+            window_size: le32(8),
+            max_match: le32(12),
+            chunk_size: le32(16),
+            total_len: u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes")),
+            chunk_comp_sizes: Vec::new(),
+        };
+        if header.chunk_size == 0 {
+            return Err(Error::InvalidContainer { reason: "chunk_size is zero".into() });
+        }
+        let n_chunks = le32(28) as usize;
+        let table_end = Self::HEADER_LEN + 4 * n_chunks;
+        need(table_end, "chunk table")?;
+        if n_chunks != header.expected_chunks() {
+            return Err(Error::InvalidContainer {
+                reason: format!(
+                    "table has {} chunks but total_len/chunk_size implies {}",
+                    n_chunks,
+                    header.expected_chunks()
+                ),
+            });
+        }
+        let mut header = header;
+        header.chunk_comp_sizes = (0..n_chunks)
+            .map(|i| le32(Self::HEADER_LEN + 4 * i))
+            .collect();
+        let payload: u64 = header.chunk_comp_sizes.iter().map(|&s| u64::from(s)).sum();
+        if (bytes.len() - table_end) as u64 != payload {
+            return Err(Error::InvalidContainer {
+                reason: format!(
+                    "payload is {} bytes but the table sums to {}",
+                    bytes.len() - table_end,
+                    payload
+                ),
+            });
+        }
+        Ok((header, table_end))
+    }
+
+    /// Checks that a decoding configuration matches this container.
+    pub fn check_config(&self, config: &LzssConfig) -> Result<()> {
+        let ok = config.format.id() == self.format_id
+            && config.window_size == self.window_size as usize
+            && config.min_match == usize::from(self.min_match)
+            && config.max_match == self.max_match as usize;
+        if ok {
+            Ok(())
+        } else {
+            Err(Error::InvalidContainer {
+                reason: format!(
+                    "configuration mismatch: stream is (fmt {}, win {}, match {}..={}) \
+                     but decoder is (fmt {}, win {}, match {}..={})",
+                    self.format_id,
+                    self.window_size,
+                    self.min_match,
+                    self.max_match,
+                    config.format.id(),
+                    config.window_size,
+                    config.min_match,
+                    config.max_match
+                ),
+            })
+        }
+    }
+
+    /// Iterates `(compressed_range, uncompressed_len)` for each chunk, with
+    /// ranges relative to the payload start.
+    pub fn chunk_layout(&self) -> Vec<(std::ops::Range<usize>, usize)> {
+        let mut offset = 0usize;
+        (0..self.chunk_comp_sizes.len())
+            .map(|i| {
+                let comp = self.chunk_comp_sizes[i] as usize;
+                let range = offset..offset + comp;
+                offset += comp;
+                (range, self.chunk_uncompressed_len(i))
+            })
+            .collect()
+    }
+}
+
+/// Assembles a full container stream from per-chunk compressed bodies.
+pub fn assemble(
+    config: &LzssConfig,
+    chunk_size: u32,
+    total_len: u64,
+    chunk_bodies: &[Vec<u8>],
+) -> Result<Vec<u8>> {
+    let mut container = Container::new(config, chunk_size, total_len);
+    if chunk_bodies.len() != container.expected_chunks() {
+        return Err(Error::InvalidContainer {
+            reason: format!(
+                "assemble got {} bodies for {} chunks",
+                chunk_bodies.len(),
+                container.expected_chunks()
+            ),
+        });
+    }
+    for body in chunk_bodies {
+        if body.len() > u32::MAX as usize {
+            return Err(Error::InvalidContainer { reason: "chunk body over 4 GiB".into() });
+        }
+        container.chunk_comp_sizes.push(body.len() as u32);
+    }
+    let mut out = container.serialize_header();
+    for body in chunk_bodies {
+        out.extend_from_slice(body);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LzssConfig {
+        LzssConfig::culzss_v1()
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let mut c = Container::new(&cfg(), 4096, 10_000);
+        c.chunk_comp_sizes = vec![100, 200, 50];
+        let mut bytes = c.serialize_header();
+        bytes.extend_from_slice(&vec![0u8; 350]);
+        let (parsed, offset) = Container::parse(&bytes).unwrap();
+        assert_eq!(parsed, c);
+        assert_eq!(offset, Container::HEADER_LEN + 12);
+    }
+
+    #[test]
+    fn chunk_math() {
+        let c = Container::new(&cfg(), 4096, 10_000);
+        assert_eq!(c.expected_chunks(), 3);
+        assert_eq!(c.chunk_uncompressed_len(0), 4096);
+        assert_eq!(c.chunk_uncompressed_len(1), 4096);
+        assert_eq!(c.chunk_uncompressed_len(2), 10_000 - 8192);
+
+        let exact = Container::new(&cfg(), 4096, 8192);
+        assert_eq!(exact.expected_chunks(), 2);
+        assert_eq!(exact.chunk_uncompressed_len(1), 4096);
+
+        let empty = Container::new(&cfg(), 4096, 0);
+        assert_eq!(empty.expected_chunks(), 0);
+    }
+
+    #[test]
+    fn assemble_and_layout() {
+        let bodies = vec![vec![1u8; 10], vec![2u8; 20], vec![3u8; 5]];
+        let stream = assemble(&cfg(), 4096, 10_000, &bodies).unwrap();
+        let (parsed, offset) = Container::parse(&stream).unwrap();
+        let layout = parsed.chunk_layout();
+        assert_eq!(layout.len(), 3);
+        assert_eq!(layout[0], (0..10, 4096));
+        assert_eq!(layout[1], (10..30, 4096));
+        assert_eq!(layout[2], (30..35, 1808));
+        assert_eq!(&stream[offset..offset + 10], &[1u8; 10]);
+    }
+
+    #[test]
+    fn assemble_rejects_wrong_chunk_count() {
+        let bodies = vec![vec![0u8; 4]];
+        assert!(assemble(&cfg(), 4096, 10_000, &bodies).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_corruptions() {
+        let mut c = Container::new(&cfg(), 4096, 4096);
+        c.chunk_comp_sizes = vec![4];
+        let good: Vec<u8> =
+            c.serialize_header().into_iter().chain([9, 9, 9, 9]).collect();
+        Container::parse(&good).unwrap();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(Container::parse(&bad).is_err());
+
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert!(Container::parse(&bad).is_err());
+
+        // Truncated payload.
+        assert!(Container::parse(&good[..good.len() - 1]).is_err());
+
+        // Extra payload.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(Container::parse(&bad).is_err());
+
+        // Zero chunk size.
+        let mut bad = good.clone();
+        bad[16..20].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Container::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn config_check() {
+        let mut c = Container::new(&cfg(), 4096, 0);
+        c.check_config(&cfg()).unwrap();
+        assert!(c.check_config(&LzssConfig::dipperstein()).is_err());
+        c.max_match += 1;
+        assert!(c.check_config(&cfg()).is_err());
+    }
+
+    #[test]
+    fn empty_stream_roundtrip() {
+        let stream = assemble(&cfg(), 4096, 0, &[]).unwrap();
+        let (parsed, offset) = Container::parse(&stream).unwrap();
+        assert_eq!(parsed.expected_chunks(), 0);
+        assert_eq!(offset, stream.len());
+    }
+}

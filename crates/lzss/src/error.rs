@@ -1,0 +1,120 @@
+//! Error types shared by every LZSS codec in this workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while encoding or decoding LZSS streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The compressed stream ended in the middle of a token or header.
+    UnexpectedEof {
+        /// What the decoder was trying to read when the input ran out.
+        context: &'static str,
+    },
+    /// A match token referenced data before the start of the output.
+    InvalidDistance {
+        /// Distance encoded in the stream.
+        distance: usize,
+        /// Number of bytes decoded so far (the largest legal distance).
+        available: usize,
+    },
+    /// A token carried a match length outside the configured bounds.
+    InvalidLength {
+        /// Length encoded in the stream.
+        length: usize,
+        /// Inclusive upper bound allowed by the configuration.
+        max: usize,
+    },
+    /// A configuration parameter is out of range or inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// The container header is malformed (bad magic, version, or table).
+    InvalidContainer {
+        /// Human-readable description of the malformation.
+        reason: String,
+    },
+    /// Decoded output did not match the size promised by the container.
+    SizeMismatch {
+        /// Size promised by the header.
+        expected: usize,
+        /// Size actually produced.
+        actual: usize,
+    },
+    /// An underlying I/O operation failed (only from the [`crate::stream`]
+    /// adapters; in-memory codecs never produce this).
+    Io {
+        /// Stringified `std::io::Error`, kept as text so `Error: Clone + Eq`.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { context } => {
+                write!(f, "compressed stream ended unexpectedly while reading {context}")
+            }
+            Error::InvalidDistance { distance, available } => write!(
+                f,
+                "match distance {distance} exceeds the {available} bytes decoded so far"
+            ),
+            Error::InvalidLength { length, max } => {
+                write!(f, "match length {length} exceeds configured maximum {max}")
+            }
+            Error::InvalidConfig { reason } => write!(f, "invalid LZSS configuration: {reason}"),
+            Error::InvalidContainer { reason } => write!(f, "invalid container: {reason}"),
+            Error::SizeMismatch { expected, actual } => {
+                write!(f, "decoded {actual} bytes but the header promised {expected}")
+            }
+            Error::Io { message } => write!(f, "I/O error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::UnexpectedEof { context: "match code" };
+        assert!(e.to_string().contains("match code"));
+
+        let e = Error::InvalidDistance { distance: 300, available: 12 };
+        assert!(e.to_string().contains("300"));
+        assert!(e.to_string().contains("12"));
+
+        let e = Error::InvalidLength { length: 99, max: 18 };
+        assert!(e.to_string().contains("99"));
+
+        let e = Error::SizeMismatch { expected: 10, actual: 7 };
+        assert!(e.to_string().contains("10") && e.to_string().contains("7"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io { .. }));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = Error::InvalidLength { length: 1, max: 2 };
+        let b = Error::InvalidLength { length: 1, max: 2 };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,626 @@
+//! Incremental encoder with bounded memory.
+//!
+//! The [`crate::stream`] helpers buffer the whole input; a gateway
+//! compressing a live flow cannot. [`IncrementalEncoder`] accepts bytes
+//! in arbitrarily sized pushes, keeps only the sliding window plus the
+//! unprocessed lookahead resident, and produces a stream **byte-identical
+//! to [`crate::serial::compress`]** of the concatenated input — verified
+//! by tests for every push pattern.
+//!
+//! The trick for exact equivalence: a greedy token at position `p` can
+//! depend on up to `max_match` bytes of lookahead, so the encoder only
+//! commits tokens whose full lookahead is buffered; the tail is deferred
+//! until more data arrives (or [`IncrementalEncoder::finish`]).
+
+use crate::bitio::BitWriter;
+use crate::config::LzssConfig;
+use crate::error::{Error, Result};
+use crate::format::TokenFormat;
+use crate::matchfind::{BruteForce, MatchFinder};
+use crate::serial::MAGIC;
+use crate::token::Token;
+
+/// Streaming LZSS encoder; output matches [`crate::serial::compress`].
+#[derive(Debug)]
+pub struct IncrementalEncoder {
+    config: LzssConfig,
+    /// Window + unprocessed bytes. `processed` marks the boundary: bytes
+    /// before it are pure history (≤ window_size of them retained).
+    buffer: Vec<u8>,
+    /// Index into `buffer` of the next unprocessed position.
+    processed: usize,
+    /// Bit-level output (FlagBit) accumulated so far.
+    bits: BitWriter,
+    /// Byte-level output (Fixed16) accumulated so far.
+    bytes: Vec<u8>,
+    /// Pending tokens for Fixed16 (grouped per 8 at flush time).
+    fixed16_pending: Vec<Token>,
+    total_in: u64,
+}
+
+impl IncrementalEncoder {
+    /// Creates an encoder for `config`.
+    pub fn new(config: LzssConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            buffer: Vec::new(),
+            processed: 0,
+            bits: BitWriter::new(),
+            bytes: Vec::new(),
+            fixed16_pending: Vec::new(),
+            total_in: 0,
+        })
+    }
+
+    /// Feeds more input bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buffer.extend_from_slice(data);
+        self.total_in += data.len() as u64;
+        self.drain(false);
+        self.compact();
+    }
+
+    /// Flushes everything and returns the standalone stream
+    /// (`MAGIC ‖ u32 length ‖ body`, as [`crate::serial::compress`]).
+    pub fn finish(mut self) -> Result<Vec<u8>> {
+        if self.total_in > u32::MAX as u64 {
+            return Err(Error::InvalidConfig {
+                reason: "standalone streams are limited to 4 GiB".into(),
+            });
+        }
+        self.drain(true);
+        // Flush any partial Fixed16 group.
+        self.flush_fixed16_groups(true);
+        let body = match self.config.format {
+            TokenFormat::FlagBit { .. } => self.bits.finish(),
+            TokenFormat::Fixed16 => self.bytes,
+        };
+        let mut out = Vec::with_capacity(8 + body.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(self.total_in as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        Ok(out)
+    }
+
+    /// Bytes currently held (window + unprocessed tail) — the bounded
+    /// memory claim, tested below.
+    pub fn resident_bytes(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Emits tokens for every position whose lookahead is complete (all
+    /// positions when `finishing`).
+    fn drain(&mut self, finishing: bool) {
+        let mut finder = BruteForce::new();
+        let mut pos = self.processed;
+        loop {
+            if pos >= self.buffer.len() {
+                break;
+            }
+            // Without full lookahead the greedy choice could change when
+            // more data arrives.
+            if !finishing && pos + self.config.max_match > self.buffer.len() {
+                break;
+            }
+            let token = match finder.find(&self.buffer, pos, &self.config) {
+                Some(m) if m.length >= self.config.min_match => {
+                    Token::Match { distance: m.distance as u16, length: m.length as u16 }
+                }
+                _ => Token::Literal(self.buffer[pos]),
+            };
+            pos += token.coverage();
+            self.emit(token);
+        }
+        self.processed = pos;
+    }
+
+    fn emit(&mut self, token: Token) {
+        match self.config.format {
+            TokenFormat::FlagBit { offset_bits, length_bits } => match token {
+                Token::Literal(b) => {
+                    self.bits.write_bit(false);
+                    self.bits.write_byte(b);
+                }
+                Token::Match { distance, length } => {
+                    self.bits.write_bit(true);
+                    self.bits.write_bits(u32::from(distance - 1), offset_bits);
+                    self.bits
+                        .write_bits(u32::from(length) - self.config.min_match as u32, length_bits);
+                }
+            },
+            TokenFormat::Fixed16 => {
+                self.fixed16_pending.push(token);
+                self.flush_fixed16_groups(false);
+            }
+        }
+    }
+
+    /// Writes complete 8-token Fixed16 groups (all pending ones when
+    /// `force`).
+    fn flush_fixed16_groups(&mut self, force: bool) {
+        while self.fixed16_pending.len() >= 8
+            || (force && !self.fixed16_pending.is_empty())
+        {
+            let take = self.fixed16_pending.len().min(8);
+            let group: Vec<Token> = self.fixed16_pending.drain(..take).collect();
+            let mut flags = 0u8;
+            for (i, t) in group.iter().enumerate() {
+                if t.is_match() {
+                    flags |= 0x80 >> i;
+                }
+            }
+            self.bytes.push(flags);
+            for t in group {
+                match t {
+                    Token::Literal(b) => self.bytes.push(b),
+                    Token::Match { distance, length } => {
+                        self.bytes.push((distance - 1) as u8);
+                        self.bytes.push((length as usize - self.config.min_match) as u8);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops history beyond the window so memory stays bounded.
+    fn compact(&mut self) {
+        if self.processed > self.config.window_size {
+            let cut = self.processed - self.config.window_size;
+            self.buffer.drain(..cut);
+            self.processed -= cut;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+
+    fn push_patterns(data: &[u8]) -> Vec<Vec<usize>> {
+        // Split points for several pathological push patterns.
+        vec![
+            vec![data.len()],                                // one shot
+            (0..data.len()).map(|_| 1).collect(),            // byte at a time
+            data.chunks(7).map(|c| c.len()).collect(),       // odd chunks
+            data.chunks(4096).map(|c| c.len()).collect(),    // window-sized
+        ]
+    }
+
+    fn run_incremental(data: &[u8], config: &LzssConfig, splits: &[usize]) -> Vec<u8> {
+        let mut enc = IncrementalEncoder::new(config.clone()).unwrap();
+        let mut off = 0usize;
+        for &n in splits {
+            enc.push(&data[off..off + n]);
+            off += n;
+        }
+        assert_eq!(off, data.len());
+        enc.finish().unwrap()
+    }
+
+    #[test]
+    fn matches_serial_compress_for_all_push_patterns() {
+        let config = LzssConfig::dipperstein();
+        let data = b"incremental encoders must be bit-identical to batch ones! ".repeat(150);
+        let reference = serial::compress(&data, &config).unwrap();
+        for splits in push_patterns(&data) {
+            let got = run_incremental(&data, &config, &splits);
+            assert_eq!(got, reference, "splits of size {}", splits.len());
+        }
+    }
+
+    #[test]
+    fn matches_serial_for_fixed16_config() {
+        let config = LzssConfig::culzss_v2();
+        let data = b"fixed sixteen grouped flags across batches ".repeat(120);
+        let reference = serial::compress(&data, &config).unwrap();
+        for splits in push_patterns(&data) {
+            assert_eq!(run_incremental(&data, &config, &splits), reference);
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let config = LzssConfig::dipperstein();
+        let mut enc = IncrementalEncoder::new(config.clone()).unwrap();
+        let chunk = vec![b'x'; 64 * 1024];
+        for _ in 0..64 {
+            enc.push(&chunk); // 4 MiB total
+            assert!(
+                enc.resident_bytes() <= config.window_size + config.max_match + chunk.len(),
+                "resident {}",
+                enc.resident_bytes()
+            );
+        }
+        let out = enc.finish().unwrap();
+        let restored = serial::decompress(&out, &config).unwrap();
+        assert_eq!(restored.len(), 4 << 20);
+        assert!(restored.iter().all(|&b| b == b'x'));
+    }
+
+    #[test]
+    fn empty_input() {
+        let config = LzssConfig::dipperstein();
+        let enc = IncrementalEncoder::new(config.clone()).unwrap();
+        let out = enc.finish().unwrap();
+        assert_eq!(serial::decompress(&out, &config).unwrap(), b"");
+    }
+
+    #[test]
+    fn random_data_roundtrips() {
+        let config = LzssConfig::dipperstein();
+        let mut state = 77u64;
+        let data: Vec<u8> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 40) as u8
+            })
+            .collect();
+        let out = run_incremental(&data, &config, &[5000, 5000, 5000, 5000]);
+        assert_eq!(serial::decompress(&out, &config).unwrap(), data);
+        assert_eq!(out, serial::compress(&data, &config).unwrap());
+    }
+}
+
+/// Streaming LZSS decoder: accepts compressed bytes in arbitrary pushes
+/// and yields decompressed bytes as soon as they are derivable, keeping
+/// only the sliding window resident.
+///
+/// Feed it the *body* of a stream (headerless, as stored in containers)
+/// plus the expected uncompressed length; or use
+/// [`IncrementalDecoder::new_standalone`] and feed a whole
+/// [`crate::serial::compress`] stream including its header.
+#[derive(Debug)]
+pub struct IncrementalDecoder {
+    config: LzssConfig,
+    /// Compressed bytes not yet fully consumed.
+    pending: Vec<u8>,
+    /// Bit offset already consumed within `pending[0]` (FlagBit only).
+    bit_offset: usize,
+    /// Recently produced bytes (≥ window_size retained).
+    window: Vec<u8>,
+    /// Uncompressed bytes produced so far.
+    produced: u64,
+    /// Target length; decoding past it is an error.
+    expected: Option<u64>,
+    /// Standalone-header parsing state.
+    header_needed: bool,
+    /// Set after any decode error; further pushes are rejected (the
+    /// window/produced state is no longer consistent).
+    poisoned: bool,
+}
+
+impl IncrementalDecoder {
+    /// Decoder for a headerless body with a known uncompressed length.
+    pub fn new_body(config: LzssConfig, uncompressed_len: u64) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            pending: Vec::new(),
+            bit_offset: 0,
+            window: Vec::new(),
+            produced: 0,
+            expected: Some(uncompressed_len),
+            header_needed: false,
+            poisoned: false,
+        })
+    }
+
+    /// Decoder for a standalone stream ([`crate::serial::compress`]
+    /// format); the length is read from the 8-byte header.
+    pub fn new_standalone(config: LzssConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            pending: Vec::new(),
+            bit_offset: 0,
+            window: Vec::new(),
+            produced: 0,
+            expected: None,
+            header_needed: true,
+            poisoned: false,
+        })
+    }
+
+    /// True once the expected number of bytes has been produced.
+    pub fn is_done(&self) -> bool {
+        matches!(self.expected, Some(e) if self.produced == e)
+    }
+
+    /// Bytes produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Feeds compressed bytes; appends whatever becomes decodable to
+    /// `out`.
+    pub fn push(&mut self, data: &[u8], out: &mut Vec<u8>) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::InvalidContainer {
+                reason: "decoder poisoned by an earlier error".into(),
+            });
+        }
+        self.pending.extend_from_slice(data);
+        if self.header_needed {
+            if self.pending.len() < 8 {
+                return Ok(());
+            }
+            if self.pending[..4] != MAGIC {
+                self.poisoned = true;
+                return Err(Error::InvalidContainer {
+                    reason: "bad magic in serial stream".into(),
+                });
+            }
+            let len =
+                u32::from_le_bytes(self.pending[4..8].try_into().expect("4 bytes"));
+            self.expected = Some(u64::from(len));
+            self.pending.drain(..8);
+            self.header_needed = false;
+        }
+        let result = self.decode_available(out);
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    /// Decodes as many whole tokens as the pending bytes allow.
+    fn decode_available(&mut self, out: &mut Vec<u8>) -> Result<()> {
+        let Some(expected) = self.expected else { return Ok(()) };
+        match self.config.format {
+            TokenFormat::Fixed16 => self.decode_fixed16(expected, out),
+            TokenFormat::FlagBit { offset_bits, length_bits } => {
+                self.decode_flagbit(expected, offset_bits, length_bits, out)
+            }
+        }
+    }
+
+    fn emit_literal(&mut self, byte: u8, out: &mut Vec<u8>) {
+        self.window.push(byte);
+        out.push(byte);
+        self.produced += 1;
+    }
+
+    fn emit_match(&mut self, distance: usize, length: usize, out: &mut Vec<u8>) -> Result<()> {
+        if length < self.config.min_match || length > self.config.max_match {
+            return Err(Error::InvalidLength { length, max: self.config.max_match });
+        }
+        if distance == 0
+            || distance > self.window.len()
+            || distance > self.config.window_size
+        {
+            return Err(Error::InvalidDistance {
+                distance,
+                available: self.window.len().min(self.config.window_size),
+            });
+        }
+        for _ in 0..length {
+            let byte = self.window[self.window.len() - distance];
+            self.window.push(byte);
+            out.push(byte);
+        }
+        self.produced += length as u64;
+        self.compact_window();
+        Ok(())
+    }
+
+    fn compact_window(&mut self) {
+        if self.window.len() > 2 * self.config.window_size {
+            let cut = self.window.len() - self.config.window_size;
+            self.window.drain(..cut);
+        }
+    }
+
+    fn overshoot(&self, expected: u64) -> Error {
+        Error::SizeMismatch { expected: expected as usize, actual: self.produced as usize }
+    }
+
+    fn decode_fixed16(&mut self, expected: u64, out: &mut Vec<u8>) -> Result<()> {
+        // Take the buffer locally so token emission can borrow `self`.
+        let pending = std::mem::take(&mut self.pending);
+        let result = self.decode_fixed16_inner(&pending, expected, out);
+        match result {
+            Ok(consumed) => {
+                self.pending = pending[consumed..].to_vec();
+                Ok(())
+            }
+            Err(e) => {
+                self.pending = pending;
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns the number of fully consumed bytes.
+    fn decode_fixed16_inner(
+        &mut self,
+        pending: &[u8],
+        expected: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<usize> {
+        let mut consumed = 0usize;
+        // Group-aligned: `pending[consumed]` is always a flag byte.
+        'groups: while self.produced < expected && consumed < pending.len() {
+            let flags = pending[consumed];
+            // Compute the group's byte span and whether it is complete.
+            let mut need = 1usize;
+            let mut tokens_in_group = 0usize;
+            let mut covered = 0u64;
+            for i in 0..8 {
+                if self.produced + covered >= expected {
+                    break;
+                }
+                if flags & (0x80 >> i) != 0 {
+                    if pending.len() < consumed + need + 2 {
+                        break 'groups; // incomplete group: wait for more
+                    }
+                    covered += (usize::from(pending[consumed + need + 1])
+                        + self.config.min_match) as u64;
+                    need += 2;
+                } else {
+                    if pending.len() < consumed + need + 1 {
+                        break 'groups;
+                    }
+                    covered += 1;
+                    need += 1;
+                }
+                tokens_in_group += 1;
+            }
+            // Execute the group.
+            let mut cursor = consumed + 1;
+            for i in 0..tokens_in_group {
+                if flags & (0x80 >> i) != 0 {
+                    let distance = usize::from(pending[cursor]) + 1;
+                    let length = usize::from(pending[cursor + 1]) + self.config.min_match;
+                    cursor += 2;
+                    if self.produced + length as u64 > expected {
+                        return Err(self.overshoot(expected));
+                    }
+                    self.emit_match(distance, length, out)?;
+                } else {
+                    self.emit_literal(pending[cursor], out);
+                    cursor += 1;
+                }
+            }
+            debug_assert_eq!(cursor, consumed + need);
+            consumed += need;
+        }
+        Ok(consumed)
+    }
+
+    fn decode_flagbit(
+        &mut self,
+        expected: u64,
+        offset_bits: u8,
+        length_bits: u8,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        use crate::bitio::BitReader;
+        let pending = std::mem::take(&mut self.pending);
+        let mut committed_bytes = 0usize;
+        let mut result = Ok(());
+        loop {
+            if self.produced >= expected {
+                break;
+            }
+            let mut r = BitReader::new(&pending[committed_bytes..]);
+            // Skip already-consumed bits of the current byte.
+            for _ in 0..self.bit_offset {
+                let _ = r.read_bit("resync");
+            }
+            let Ok(is_match) = r.read_bit("token flag") else { break };
+            let action = if is_match {
+                let Ok(offset) = r.read_bits(offset_bits, "match offset") else { break };
+                let Ok(biased) = r.read_bits(length_bits, "match length") else { break };
+                Some((offset as usize + 1, biased as usize + self.config.min_match))
+            } else {
+                let Ok(byte) = r.read_byte("literal byte") else { break };
+                self.emit_literal(byte, out);
+                None
+            };
+            if let Some((distance, length)) = action {
+                if self.produced + length as u64 > expected {
+                    result = Err(self.overshoot(expected));
+                    break;
+                }
+                if let Err(e) = self.emit_match(distance, length, out) {
+                    result = Err(e);
+                    break;
+                }
+            }
+            // Commit the consumed bits.
+            let consumed_bits = r.position();
+            committed_bytes += consumed_bits / 8;
+            self.bit_offset = consumed_bits % 8;
+        }
+        self.pending = pending[committed_bytes..].to_vec();
+        result
+    }
+}
+
+#[cfg(test)]
+mod decoder_tests {
+    use super::*;
+    use crate::serial;
+
+    fn drive(config: &LzssConfig, data: &[u8], push: usize) {
+        let compressed = serial::compress(data, config).unwrap();
+        let mut dec = IncrementalDecoder::new_standalone(config.clone()).unwrap();
+        let mut out = Vec::new();
+        for chunk in compressed.chunks(push.max(1)) {
+            dec.push(chunk, &mut out).unwrap();
+        }
+        assert!(dec.is_done(), "produced {} of {}", dec.produced(), data.len());
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn flagbit_streaming_decode_all_push_sizes() {
+        let config = LzssConfig::dipperstein();
+        let data = b"stream me back out again, bit by bit by bit ".repeat(60);
+        for push in [1usize, 2, 3, 7, 64, 100_000] {
+            drive(&config, &data, push);
+        }
+    }
+
+    #[test]
+    fn fixed16_streaming_decode_all_push_sizes() {
+        let config = LzssConfig::culzss_v2();
+        let data = b"group aligned flag bytes with torn groups ".repeat(70);
+        for push in [1usize, 2, 5, 13, 4096] {
+            drive(&config, &data, push);
+        }
+    }
+
+    #[test]
+    fn decoder_window_stays_bounded() {
+        let config = LzssConfig::dipperstein();
+        let data = vec![b'q'; 1 << 20];
+        let compressed = serial::compress(&data, &config).unwrap();
+        let mut dec = IncrementalDecoder::new_standalone(config.clone()).unwrap();
+        let mut out = Vec::new();
+        let mut max_window = 0usize;
+        for chunk in compressed.chunks(512) {
+            dec.push(chunk, &mut out).unwrap();
+            max_window = max_window.max(dec.window.len());
+            out.clear(); // consumer drains as it goes
+        }
+        assert!(dec.is_done());
+        assert!(max_window <= 2 * config.window_size + config.max_match);
+    }
+
+    #[test]
+    fn corrupt_magic_detected() {
+        let config = LzssConfig::dipperstein();
+        let mut dec = IncrementalDecoder::new_standalone(config).unwrap();
+        let mut out = Vec::new();
+        assert!(dec.push(b"XXXXXXXXXX", &mut out).is_err());
+    }
+
+    #[test]
+    fn body_mode_matches_format_decode() {
+        let config = LzssConfig::culzss_v1();
+        let data = b"body mode decodes container chunks incrementally".repeat(20);
+        let tokens = serial::tokenize(&data, &config);
+        let body = crate::format::encode(&tokens, &config);
+        let mut dec = IncrementalDecoder::new_body(config, data.len() as u64).unwrap();
+        let mut out = Vec::new();
+        for chunk in body.chunks(3) {
+            dec.push(chunk, &mut out).unwrap();
+        }
+        assert!(dec.is_done());
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn empty_stream_decodes_to_empty() {
+        let config = LzssConfig::dipperstein();
+        let compressed = serial::compress(b"", &config).unwrap();
+        let mut dec = IncrementalDecoder::new_standalone(config).unwrap();
+        let mut out = Vec::new();
+        dec.push(&compressed, &mut out).unwrap();
+        assert!(dec.is_done());
+        assert!(out.is_empty());
+    }
+}

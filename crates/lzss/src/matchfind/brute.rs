@@ -1,0 +1,94 @@
+//! The linear window scan — Dipperstein's "sequential search".
+
+use super::{common_prefix, FoundMatch, MatchFinder};
+use crate::config::LzssConfig;
+
+/// Dipperstein-style linear window scan. O(window × match-length) per
+/// position; this is the cost profile the paper's GPU kernels parallelize.
+#[derive(Debug, Default, Clone)]
+pub struct BruteForce;
+
+impl BruteForce {
+    /// Creates a brute-force finder.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl MatchFinder for BruteForce {
+    fn find(&mut self, data: &[u8], pos: usize, config: &LzssConfig) -> Option<FoundMatch> {
+        let window_start = pos.saturating_sub(config.window_size);
+        let mut best: Option<FoundMatch> = None;
+        // Scan nearest-first so that equal-length ties keep the smallest
+        // distance without an explicit comparison on distance.
+        let mut candidate = pos;
+        while candidate > window_start {
+            candidate -= 1;
+            let length = common_prefix(data, candidate, pos, config.max_match);
+            if length >= config.min_match && best.is_none_or(|b| length > b.length) {
+                best = Some(FoundMatch { distance: pos - candidate, length });
+                if length == config.max_match {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    fn insert(&mut self, _data: &[u8], _pos: usize) {}
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LzssConfig {
+        LzssConfig::dipperstein()
+    }
+
+    #[test]
+    fn finds_longest() {
+        let data = b"abcab abcabc";
+        let mut bf = BruteForce::new();
+        let m = bf.find(data, 6, &cfg()).unwrap();
+        assert_eq!(m.length, 5); // "abcab" at distance 6
+        assert_eq!(m.distance, 6);
+    }
+
+    #[test]
+    fn prefers_nearest_on_ties() {
+        let data = b"abc_abc_abc";
+        let mut bf = BruteForce::new();
+        let m = bf.find(data, 8, &cfg()).unwrap();
+        assert_eq!(m.length, 3);
+        assert_eq!(m.distance, 4); // nearest occurrence, not 8
+    }
+
+    #[test]
+    fn respects_min_match() {
+        let data = b"ab__ab";
+        let mut bf = BruteForce::new();
+        assert_eq!(bf.find(data, 4, &cfg()), None); // only 2 bytes match
+    }
+
+    #[test]
+    fn overlapping_run_is_capped_at_max_match() {
+        let data = b"aaaaaaaaaaaaaaaaaaaaaaaa"; // 24 a's
+        let mut bf = BruteForce::new();
+        let m = bf.find(data, 1, &cfg()).unwrap();
+        assert_eq!(m.distance, 1);
+        assert_eq!(m.length, 18);
+    }
+
+    #[test]
+    fn window_limit_is_enforced() {
+        let mut config = cfg();
+        config.window_size = 4;
+        let data = b"abcde____abcde";
+        let mut bf = BruteForce::new();
+        // "abcde" repeats at distance 9, outside the 4-byte window.
+        assert_eq!(bf.find(data, 9, &config), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Hash-chain candidate index — Dipperstein's `lzhash` family, in the
+//! zlib style.
+
+use super::{common_prefix, FoundMatch, MatchFinder};
+use crate::config::LzssConfig;
+
+const HASH_BITS: usize = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+const NO_POS: u32 = u32::MAX;
+
+/// Positions sharing a 3-byte prefix hash are chained; the search walks
+/// the chain newest-first and therefore visits only plausible candidates.
+/// Exhaustive within the window (no depth limit), so it finds the same
+/// match lengths as [`super::BruteForce`], with the same
+/// smallest-distance tie-break.
+#[derive(Debug, Clone)]
+pub struct HashChain {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+}
+
+impl HashChain {
+    /// Creates a hash-chain finder sized for windows up to `window_size`.
+    pub fn new(window_size: usize) -> Self {
+        Self { head: vec![NO_POS; HASH_SIZE], prev: vec![NO_POS; window_size.max(1)] }
+    }
+
+    #[inline]
+    fn hash(data: &[u8], pos: usize) -> usize {
+        let h = (u32::from(data[pos]) << 10)
+            ^ (u32::from(data[pos + 1]) << 5)
+            ^ u32::from(data[pos + 2]);
+        (h as usize) & (HASH_SIZE - 1)
+    }
+}
+
+impl MatchFinder for HashChain {
+    fn find(&mut self, data: &[u8], pos: usize, config: &LzssConfig) -> Option<FoundMatch> {
+        debug_assert!(config.min_match >= 3, "HashChain indexes 3-byte prefixes");
+        if pos + config.min_match.max(3) > data.len() {
+            // Too close to the end for any encodable match.
+            return None;
+        }
+        let window_start = pos.saturating_sub(config.window_size);
+        let mut candidate = self.head[Self::hash(data, pos)];
+        let mut best: Option<FoundMatch> = None;
+        while candidate != NO_POS && (candidate as usize) >= window_start {
+            let cand = candidate as usize;
+            if cand >= pos {
+                // Stale entry from a previous `reset`-less reuse; ignore.
+                candidate = self.prev[cand % self.prev.len()];
+                continue;
+            }
+            let length = common_prefix(data, cand, pos, config.max_match);
+            if length >= config.min_match
+                && best.is_none_or(|b| {
+                    length > b.length || (length == b.length && pos - cand < b.distance)
+                })
+            {
+                best = Some(FoundMatch { distance: pos - cand, length });
+                if length == config.max_match {
+                    break;
+                }
+            }
+            candidate = self.prev[cand % self.prev.len()];
+        }
+        best
+    }
+
+    fn insert(&mut self, data: &[u8], pos: usize) {
+        if pos + 3 > data.len() {
+            return;
+        }
+        let h = Self::hash(data, pos);
+        let slot = pos % self.prev.len();
+        self.prev[slot] = self.head[h];
+        self.head[h] = pos as u32;
+    }
+
+    fn reset(&mut self) {
+        self.head.fill(NO_POS);
+        self.prev.fill(NO_POS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{BruteForce, MatchFinder as _};
+    use super::*;
+
+    fn cfg() -> LzssConfig {
+        LzssConfig::dipperstein()
+    }
+
+    #[test]
+    fn agrees_with_brute_force_including_distances() {
+        let config = cfg();
+        let data: Vec<u8> = (0..2000u32).map(|i| ((i * 31 + i / 7) % 11) as u8 + b'a').collect();
+        let mut bf = BruteForce::new();
+        let mut hc = HashChain::new(config.window_size);
+        for pos in 0..data.len() {
+            assert_eq!(
+                bf.find(&data, pos, &config),
+                hc.find(&data, pos, &config),
+                "mismatch at pos {pos}"
+            );
+            bf.insert(&data, pos);
+            hc.insert(&data, pos);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let config = cfg();
+        let data = b"hello hello hello";
+        let mut hc = HashChain::new(config.window_size);
+        for p in 0..data.len() {
+            hc.insert(data, p);
+        }
+        hc.reset();
+        assert_eq!(hc.find(data, 6, &config), None);
+    }
+
+    #[test]
+    fn near_end_of_data_returns_none() {
+        let config = cfg();
+        let data = b"xyxy";
+        let mut hc = HashChain::new(config.window_size);
+        hc.insert(data, 0);
+        hc.insert(data, 1);
+        // Only 2 bytes remain at pos 2: below min_match.
+        assert_eq!(hc.find(data, 2, &config), None);
+    }
+}

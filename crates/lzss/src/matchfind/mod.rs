@@ -1,0 +1,198 @@
+//! Longest-match searchers for the sliding window.
+//!
+//! Dipperstein's LZSS page — the paper's stated basis — ships several
+//! interchangeable search implementations; this module reproduces that
+//! family behind one trait:
+//!
+//! * [`BruteForce`] — the linear window scan ("sequential search"); the
+//!   cost profile the paper's GPU kernels parallelize.
+//! * [`HashChain`] — hash-indexed candidate chains (his `lzhash`).
+//! * [`KmpFinder`] — Knuth–Morris–Pratt assisted scan (his `lzkmp`).
+//! * [`TreeFinder`] — binary-search-tree over window positions (his
+//!   `lztree`).
+//!
+//! All finders share one contract, checked by unit and property tests:
+//! for every position they either return `None` (no match of at least
+//! `min_match` bytes exists inside the window) or the *longest*
+//! `(distance, length)` pair; [`BruteForce`] and [`HashChain`] break
+//! ties towards the smallest distance, and every finder agrees with
+//! brute force on the match *length* (which is what determines the
+//! compressed size).
+
+mod brute;
+mod hashchain;
+mod kmp;
+mod tree;
+
+pub use brute::BruteForce;
+pub use hashchain::HashChain;
+pub use kmp::KmpFinder;
+pub use tree::TreeFinder;
+
+use crate::config::LzssConfig;
+
+/// A candidate match found in the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoundMatch {
+    /// Distance back from the current position (1 = previous byte).
+    pub distance: usize,
+    /// Match length in bytes.
+    pub length: usize,
+}
+
+/// Strategy interface for window searching.
+pub trait MatchFinder {
+    /// Returns the best match for `data[pos..]` against the window
+    /// `data[pos.saturating_sub(window)..pos]`, or `None` when no match of
+    /// at least `min_match` bytes exists. Implementations must already have
+    /// been fed every position `< pos` via [`MatchFinder::insert`].
+    fn find(&mut self, data: &[u8], pos: usize, config: &LzssConfig) -> Option<FoundMatch>;
+
+    /// Records that `pos` is now part of the window.
+    fn insert(&mut self, data: &[u8], pos: usize);
+
+    /// Removes `pos` from the index when it slides out of the window.
+    /// Only finders with per-position bookkeeping need this; the default
+    /// is a no-op (chain/scan finders bound their walks by position).
+    fn evict(&mut self, _data: &[u8], _pos: usize) {}
+
+    /// Resets internal state so the finder can be reused on new data.
+    fn reset(&mut self);
+}
+
+/// Computes the match length between `data[a..]` and `data[b..]`, capped at
+/// `limit`. `a < b` is required (the match source precedes the position);
+/// overlapping matches (`b - a < limit`) work naturally because the
+/// comparison only ever reads already-valid positions.
+#[inline]
+pub fn common_prefix(data: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    debug_assert!(a < b);
+    let mut len = 0;
+    let max = limit.min(data.len() - b);
+    while len < max && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+/// Which finder the serial codec should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FinderKind {
+    /// Linear window scan (the paper's algorithm).
+    #[default]
+    BruteForce,
+    /// Hash-chain accelerated scan.
+    HashChain,
+    /// KMP-assisted scan.
+    Kmp,
+    /// Binary-search-tree index.
+    Tree,
+}
+
+impl FinderKind {
+    /// All finder kinds, for cross-checking tests and benches.
+    pub const ALL: [FinderKind; 4] =
+        [FinderKind::BruteForce, FinderKind::HashChain, FinderKind::Kmp, FinderKind::Tree];
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FinderKind::BruteForce => "brute-force",
+            FinderKind::HashChain => "hash-chain",
+            FinderKind::Kmp => "kmp",
+            FinderKind::Tree => "tree",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LzssConfig {
+        LzssConfig::dipperstein()
+    }
+
+    #[test]
+    fn common_prefix_basic() {
+        let data = b"abcabcx";
+        assert_eq!(common_prefix(data, 0, 3, 18), 3);
+        assert_eq!(common_prefix(data, 0, 6, 18), 0);
+    }
+
+    #[test]
+    fn common_prefix_respects_limit_and_end() {
+        let data = b"aaaaaaaa";
+        assert_eq!(common_prefix(data, 0, 1, 4), 4);
+        assert_eq!(common_prefix(data, 0, 6, 18), 2); // clipped by data end
+    }
+
+    /// Drives any finder over the whole input, comparing against brute
+    /// force at every position.
+    fn assert_lengths_match_brute(data: &[u8], finder: &mut dyn MatchFinder, config: &LzssConfig) {
+        let mut brute = BruteForce::new();
+        for pos in 0..data.len() {
+            let want = brute.find(data, pos, config).map(|m| m.length);
+            let got = finder.find(data, pos, config).map(|m| m.length);
+            assert_eq!(want, got, "length mismatch at pos {pos}");
+            brute.insert(data, pos);
+            finder.insert(data, pos);
+            // Same ordering as the serial tokenizer: once `pos` is in,
+            // `pos − window` can never be a source again.
+            if pos >= config.window_size {
+                finder.evict(data, pos - config.window_size);
+            }
+        }
+    }
+
+    fn corpus() -> Vec<Vec<u8>> {
+        let mut state = 0xFEED_5EEDu64;
+        let mut rand_bytes = |n: usize, alphabet: u8| -> Vec<u8> {
+            (0..n)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    b'a' + ((state >> 33) % u64::from(alphabet)) as u8
+                })
+                .collect()
+        };
+        vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"abcabcabcabc".to_vec(),
+            b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".to_vec(),
+            b"the quick brown fox jumps over the lazy dog and the quick cat".to_vec(),
+            rand_bytes(3000, 3),
+            rand_bytes(2000, 26),
+        ]
+    }
+
+    #[test]
+    fn all_finders_agree_with_brute_force() {
+        let config = cfg();
+        for data in corpus() {
+            assert_lengths_match_brute(&data, &mut HashChain::new(config.window_size), &config);
+            assert_lengths_match_brute(&data, &mut KmpFinder::new(), &config);
+            assert_lengths_match_brute(&data, &mut TreeFinder::new(), &config);
+        }
+    }
+
+    #[test]
+    fn all_finders_agree_with_small_windows() {
+        let mut config = cfg();
+        config.window_size = 32;
+        for data in corpus() {
+            assert_lengths_match_brute(&data, &mut HashChain::new(config.window_size), &config);
+            assert_lengths_match_brute(&data, &mut KmpFinder::new(), &config);
+            assert_lengths_match_brute(&data, &mut TreeFinder::new(), &config);
+        }
+    }
+
+    #[test]
+    fn finder_kind_metadata() {
+        assert_eq!(FinderKind::ALL.len(), 4);
+        let names: std::collections::BTreeSet<&str> =
+            FinderKind::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 4);
+        assert_eq!(FinderKind::default(), FinderKind::BruteForce);
+    }
+}

@@ -1,0 +1,259 @@
+//! Binary-search-tree window index — Dipperstein's `lztree` variant.
+//!
+//! Every window position is a node keyed by the `max_match`-byte string
+//! starting there (ties broken by position, making keys unique). The
+//! longest match for a query is always found on the root-to-leaf search
+//! path: any off-path node shares at most the prefix of the node where
+//! the path diverged. Positions sliding out of the window are removed
+//! with standard BST deletion (the tree is unbalanced, as in the
+//! original; repetitive data degenerates it to a list, which is exactly
+//! the behaviour the original exhibits too).
+
+use std::cmp::Ordering;
+
+use super::{common_prefix, FoundMatch, MatchFinder};
+use crate::config::LzssConfig;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    pos: u32,
+    left: u32,
+    right: u32,
+    parent: u32,
+}
+
+/// BST-indexed finder.
+#[derive(Debug, Default, Clone)]
+pub struct TreeFinder {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    /// Maps a window position to its node slot (+1; 0 = absent).
+    slots: std::collections::HashMap<usize, u32>,
+    /// `max_match` the index was built with (keys depend on it).
+    key_len: usize,
+}
+
+impl TreeFinder {
+    /// Creates an empty tree finder.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new(), free: Vec::new(), root: NIL, slots: Default::default(), key_len: 0 }
+    }
+
+    /// Compares the strings at positions `a` and `b` (up to `key_len`
+    /// bytes, then by position so keys are total).
+    fn cmp_keys(&self, data: &[u8], a: usize, b: usize) -> Ordering {
+        let ka = &data[a..(a + self.key_len).min(data.len())];
+        let kb = &data[b..(b + self.key_len).min(data.len())];
+        ka.cmp(kb).then(a.cmp(&b))
+    }
+
+    fn alloc(&mut self, pos: usize) -> u32 {
+        let node = Node { pos: pos as u32, left: NIL, right: NIL, parent: NIL };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn replace_child(&mut self, parent: u32, old: u32, new: u32) {
+        if parent == NIL {
+            self.root = new;
+        } else if self.nodes[parent as usize].left == old {
+            self.nodes[parent as usize].left = new;
+        } else {
+            debug_assert_eq!(self.nodes[parent as usize].right, old);
+            self.nodes[parent as usize].right = new;
+        }
+        if new != NIL {
+            self.nodes[new as usize].parent = parent;
+        }
+    }
+
+    fn delete_node(&mut self, idx: u32) {
+        let node = self.nodes[idx as usize];
+        let (left, right, parent) = (node.left, node.right, node.parent);
+        if left == NIL {
+            self.replace_child(parent, idx, right);
+        } else if right == NIL {
+            self.replace_child(parent, idx, left);
+        } else {
+            // Successor = leftmost node of the right subtree.
+            let mut succ = right;
+            while self.nodes[succ as usize].left != NIL {
+                succ = self.nodes[succ as usize].left;
+            }
+            let succ_right = self.nodes[succ as usize].right;
+            let succ_parent = self.nodes[succ as usize].parent;
+            if succ_parent != idx {
+                self.replace_child(succ_parent, succ, succ_right);
+                self.nodes[succ as usize].right = right;
+                self.nodes[right as usize].parent = succ;
+            }
+            self.nodes[succ as usize].left = left;
+            self.nodes[left as usize].parent = succ;
+            self.replace_child(parent, idx, succ);
+        }
+        self.free.push(idx);
+    }
+}
+
+impl MatchFinder for TreeFinder {
+    fn find(&mut self, data: &[u8], pos: usize, config: &LzssConfig) -> Option<FoundMatch> {
+        self.key_len = config.max_match;
+        let limit = config.max_match.min(data.len() - pos);
+        if limit < config.min_match {
+            return None;
+        }
+        let window_start = pos.saturating_sub(config.window_size);
+        let mut best: Option<FoundMatch> = None;
+        let mut cursor = self.root;
+        while cursor != NIL {
+            let cand = self.nodes[cursor as usize].pos as usize;
+            debug_assert!(cand >= window_start && cand < pos, "stale node {cand}");
+            let length = common_prefix(data, cand, pos, limit);
+            if length >= config.min_match
+                && best.is_none_or(|b| {
+                    length > b.length || (length == b.length && pos - cand < b.distance)
+                })
+            {
+                best = Some(FoundMatch { distance: pos - cand, length });
+                if length == limit {
+                    break;
+                }
+            }
+            cursor = match self.cmp_keys(data, pos, cand) {
+                Ordering::Less => self.nodes[cursor as usize].left,
+                _ => self.nodes[cursor as usize].right,
+            };
+        }
+        best
+    }
+
+    fn insert(&mut self, data: &[u8], pos: usize) {
+        self.key_len = self.key_len.max(1);
+        let idx = self.alloc(pos);
+        if self.root == NIL {
+            self.root = idx;
+            self.slots.insert(pos, idx + 1);
+            return;
+        }
+        let mut cursor = self.root;
+        loop {
+            let cand = self.nodes[cursor as usize].pos as usize;
+            let next = match self.cmp_keys(data, pos, cand) {
+                Ordering::Less => &mut self.nodes[cursor as usize].left,
+                _ => &mut self.nodes[cursor as usize].right,
+            };
+            if *next == NIL {
+                *next = idx;
+                self.nodes[idx as usize].parent = cursor;
+                break;
+            }
+            cursor = *next;
+        }
+        self.slots.insert(pos, idx + 1);
+    }
+
+    fn evict(&mut self, _data: &[u8], pos: usize) {
+        if let Some(slot) = self.slots.remove(&pos) {
+            self.delete_node(slot - 1);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.slots.clear();
+        self.root = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{BruteForce, MatchFinder as _};
+    use super::*;
+
+    fn cfg() -> LzssConfig {
+        LzssConfig::dipperstein()
+    }
+
+    fn drive(data: &[u8], config: &LzssConfig) {
+        let mut tree = TreeFinder::new();
+        let mut brute = BruteForce::new();
+        // Prime key_len before the first insert.
+        tree.key_len = config.max_match;
+        for pos in 0..data.len() {
+            assert_eq!(
+                tree.find(data, pos, config).map(|m| m.length),
+                brute.find(data, pos, config).map(|m| m.length),
+                "pos {pos}"
+            );
+            tree.insert(data, pos);
+            brute.insert(data, pos);
+            // Same ordering as the serial tokenizer: once `pos` is in,
+            // `pos − window` can never be a source again.
+            if pos >= config.window_size {
+                tree.evict(data, pos - config.window_size);
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_on_text() {
+        drive(b"she sells sea shells by the sea shore, surely", &cfg());
+    }
+
+    #[test]
+    fn agrees_with_brute_on_degenerate_runs() {
+        drive(&[7u8; 300], &cfg());
+    }
+
+    #[test]
+    fn agrees_with_brute_with_eviction() {
+        let mut config = cfg();
+        config.window_size = 16;
+        let data: Vec<u8> =
+            (0..400u32).map(|i| ((i * 13 + i / 5) % 5) as u8 + b'a').collect();
+        drive(&data, &config);
+    }
+
+    #[test]
+    fn deletion_keeps_bst_invariants() {
+        let config = cfg();
+        let data = b"abcdefgabcdefgabcdefg";
+        let mut tree = TreeFinder::new();
+        tree.key_len = config.max_match;
+        // Respect the finder contract: only positions < the query
+        // position may be resident.
+        for pos in 0..15 {
+            tree.insert(data, pos);
+        }
+        // Delete in a scrambled order, verifying searches still work.
+        for &pos in &[3usize, 0, 7, 14, 1, 10] {
+            tree.evict(data, pos);
+        }
+        // Remaining nodes still findable: pos 15 = "bcdefg…" matches the
+        // surviving occurrence at pos 8 (distance 7).
+        let found = tree.find(data, 15, &config).expect("match survives deletions");
+        assert_eq!(found.distance % 7, 0);
+    }
+
+    #[test]
+    fn reset_empties_the_tree() {
+        let config = cfg();
+        let data = b"xyzxyzxyz";
+        let mut tree = TreeFinder::new();
+        tree.key_len = config.max_match;
+        for pos in 0..6 {
+            tree.insert(data, pos);
+        }
+        tree.reset();
+        assert_eq!(tree.find(data, 6, &config), None);
+    }
+}

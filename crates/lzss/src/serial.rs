@@ -1,0 +1,438 @@
+//! The reference serial LZSS compressor and decompressor.
+//!
+//! This is the Rust port of the algorithm the paper attributes to
+//! Dipperstein's implementation: greedy longest-match parsing against a
+//! sliding window. [`tokenize`] produces the token sequence for a buffer
+//! (used headerless by the chunked parallel implementations), and
+//! [`compress`]/[`decompress`] wrap it in a minimal 8-byte header carrying
+//! the uncompressed length so that standalone buffers are self-describing.
+
+use crate::config::LzssConfig;
+use crate::error::{Error, Result};
+use crate::format::{self, TokenFormat};
+use crate::matchfind::{BruteForce, FinderKind, HashChain, KmpFinder, MatchFinder, TreeFinder};
+use crate::token::Token;
+
+/// Magic prefix of standalone serial streams (`"LZSS"`).
+pub const MAGIC: [u8; 4] = *b"LZSS";
+
+/// Greedily tokenizes `input`: at each position the longest window match of
+/// at least `min_match` bytes is taken, otherwise a literal is emitted. The
+/// positions covered by a match are *skipped* — the serial time saving on
+/// compressible data that CULZSS V2 famously cannot exploit (paper §V).
+pub fn tokenize(input: &[u8], config: &LzssConfig) -> Vec<Token> {
+    tokenize_with(input, config, FinderKind::BruteForce)
+}
+
+/// [`tokenize`] with an explicit match-finder strategy.
+pub fn tokenize_with(input: &[u8], config: &LzssConfig, finder: FinderKind) -> Vec<Token> {
+    match finder {
+        FinderKind::BruteForce => tokenize_impl(input, config, &mut BruteForce::new()),
+        FinderKind::HashChain => {
+            tokenize_impl(input, config, &mut HashChain::new(config.window_size))
+        }
+        FinderKind::Kmp => tokenize_impl(input, config, &mut KmpFinder::new()),
+        FinderKind::Tree => tokenize_impl(input, config, &mut TreeFinder::new()),
+    }
+}
+
+fn tokenize_impl(input: &[u8], config: &LzssConfig, finder: &mut dyn MatchFinder) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(input.len() / 2);
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let candidate = finder.find(input, pos, config);
+        let token = match candidate {
+            Some(m) if m.length >= config.min_match => {
+                Token::Match { distance: m.distance as u16, length: m.length as u16 }
+            }
+            _ => Token::Literal(input[pos]),
+        };
+        let step = token.coverage();
+        for p in pos..pos + step {
+            finder.insert(input, p);
+            // Retire positions sliding out of the window (finders with
+            // per-position bookkeeping need this; others no-op). After
+            // inserting p, the next search runs at p+1 or later, whose
+            // window starts at p+1−window — so p−window can go now.
+            if p >= config.window_size {
+                finder.evict(input, p - config.window_size);
+            }
+        }
+        pos += step;
+        tokens.push(token);
+    }
+    tokens
+}
+
+/// Compresses `input` into a standalone self-describing buffer:
+/// `MAGIC ‖ u32-LE uncompressed length ‖ encoded tokens`.
+pub fn compress(input: &[u8], config: &LzssConfig) -> Result<Vec<u8>> {
+    compress_with(input, config, FinderKind::BruteForce)
+}
+
+/// [`compress`] with an explicit match-finder strategy.
+pub fn compress_with(input: &[u8], config: &LzssConfig, finder: FinderKind) -> Result<Vec<u8>> {
+    config.validate()?;
+    if input.len() > u32::MAX as usize {
+        return Err(Error::InvalidConfig {
+            reason: "standalone streams are limited to 4 GiB".into(),
+        });
+    }
+    let tokens = tokenize_with(input, config, finder);
+    let body = format::encode(&tokens, config);
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Decompresses a standalone buffer produced by [`compress`].
+pub fn decompress(bytes: &[u8], config: &LzssConfig) -> Result<Vec<u8>> {
+    config.validate()?;
+    if bytes.len() < 8 {
+        return Err(Error::UnexpectedEof { context: "stream header" });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(Error::InvalidContainer { reason: "bad magic in serial stream".into() });
+    }
+    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    decode_body(&bytes[8..], config, len)
+}
+
+/// Decodes a headerless token body directly into bytes (fused decode +
+/// expand; this is the hot path measured in Table III).
+pub fn decode_body(body: &[u8], config: &LzssConfig, uncompressed_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(uncompressed_len);
+    decode_body_into(body, config, uncompressed_len, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_body`] appending into an existing buffer.
+pub fn decode_body_into(
+    body: &[u8],
+    config: &LzssConfig,
+    uncompressed_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    let base = out.len();
+    match config.format {
+        TokenFormat::FlagBit { offset_bits, length_bits } => {
+            decode_flagbit_into(body, config, uncompressed_len, offset_bits, length_bits, out, base)
+        }
+        TokenFormat::Fixed16 => decode_fixed16_into(body, config, uncompressed_len, out, base),
+    }
+}
+
+fn copy_match(
+    out: &mut Vec<u8>,
+    base: usize,
+    distance: usize,
+    length: usize,
+    config: &LzssConfig,
+) -> Result<()> {
+    let produced = out.len() - base;
+    if length < config.min_match || length > config.max_match {
+        return Err(Error::InvalidLength { length, max: config.max_match });
+    }
+    if distance == 0 || distance > produced || distance > config.window_size {
+        return Err(Error::InvalidDistance {
+            distance,
+            available: produced.min(config.window_size),
+        });
+    }
+    let start = out.len() - distance;
+    for i in 0..length {
+        let byte = out[start + i];
+        out.push(byte);
+    }
+    Ok(())
+}
+
+fn decode_flagbit_into(
+    body: &[u8],
+    config: &LzssConfig,
+    uncompressed_len: usize,
+    offset_bits: u8,
+    length_bits: u8,
+    out: &mut Vec<u8>,
+    base: usize,
+) -> Result<()> {
+    let mut r = crate::bitio::BitReader::new(body);
+    while out.len() - base < uncompressed_len {
+        if r.read_bit("token flag")? {
+            let offset = r.read_bits(offset_bits, "match offset")? as usize;
+            let length =
+                r.read_bits(length_bits, "match length")? as usize + config.min_match;
+            copy_match(out, base, offset + 1, length, config)?;
+        } else {
+            out.push(r.read_byte("literal byte")?);
+        }
+    }
+    check_exact(out.len() - base, uncompressed_len)
+}
+
+fn decode_fixed16_into(
+    body: &[u8],
+    config: &LzssConfig,
+    uncompressed_len: usize,
+    out: &mut Vec<u8>,
+    base: usize,
+) -> Result<()> {
+    let mut pos = 0usize;
+    'groups: while out.len() - base < uncompressed_len {
+        let flags = *body.get(pos).ok_or(Error::UnexpectedEof { context: "flag byte" })?;
+        pos += 1;
+        for i in 0..8 {
+            if out.len() - base >= uncompressed_len {
+                break 'groups;
+            }
+            if flags & (0x80 >> i) != 0 {
+                let offset =
+                    *body.get(pos).ok_or(Error::UnexpectedEof { context: "match offset" })?;
+                let biased =
+                    *body.get(pos + 1).ok_or(Error::UnexpectedEof { context: "match length" })?;
+                pos += 2;
+                copy_match(
+                    out,
+                    base,
+                    usize::from(offset) + 1,
+                    usize::from(biased) + config.min_match,
+                    config,
+                )?;
+            } else {
+                let byte =
+                    *body.get(pos).ok_or(Error::UnexpectedEof { context: "literal byte" })?;
+                pos += 1;
+                out.push(byte);
+            }
+        }
+    }
+    check_exact(out.len() - base, uncompressed_len)
+}
+
+fn check_exact(actual: usize, expected: usize) -> Result<()> {
+    if actual != expected {
+        Err(Error::SizeMismatch { expected, actual })
+    } else {
+        Ok(())
+    }
+}
+
+/// Compression ratio as the paper reports it: compressed size divided by
+/// uncompressed size (Table II, "smaller is better").
+pub fn ratio(compressed_len: usize, uncompressed_len: usize) -> f64 {
+    if uncompressed_len == 0 {
+        return 1.0;
+    }
+    compressed_len as f64 / uncompressed_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{expand, TokenStats};
+
+    #[test]
+    fn empty_input_roundtrips() {
+        let config = LzssConfig::dipperstein();
+        let c = compress(b"", &config).unwrap();
+        assert_eq!(c.len(), 8);
+        assert_eq!(decompress(&c, &config).unwrap(), b"");
+    }
+
+    #[test]
+    fn short_literals_roundtrip() {
+        let config = LzssConfig::dipperstein();
+        let c = compress(b"ab", &config).unwrap();
+        assert_eq!(decompress(&c, &config).unwrap(), b"ab");
+    }
+
+    #[test]
+    fn repetitive_text_compresses() {
+        let config = LzssConfig::dipperstein();
+        let input = b"I meant what I said and I said what I meant. ".repeat(50);
+        let c = compress(&input, &config).unwrap();
+        assert!(c.len() < input.len() / 2, "{} vs {}", c.len(), input.len());
+        assert_eq!(decompress(&c, &config).unwrap(), input);
+    }
+
+    #[test]
+    fn incompressible_data_grows_boundedly() {
+        let config = LzssConfig::dipperstein();
+        // A de Bruijn-ish byte sequence with no 3-byte repeats in-window.
+        let input: Vec<u8> = (0..4096u32)
+            .flat_map(|i| [(i >> 8) as u8, (i & 0xFF) as u8, (i * 7 % 251) as u8])
+            .collect();
+        let c = compress(&input, &config).unwrap();
+        assert!(c.len() <= config.worst_case_compressed_len(input.len()));
+        assert_eq!(decompress(&c, &config).unwrap(), input);
+    }
+
+    #[test]
+    fn all_zero_input_hits_max_match() {
+        let config = LzssConfig::dipperstein();
+        let input = vec![0u8; 10_000];
+        let tokens = tokenize(&input, &config);
+        let stats = TokenStats::of(&tokens);
+        assert_eq!(stats.longest_match, config.max_match);
+        assert_eq!(stats.coverage(), input.len());
+        let c = compress(&input, &config).unwrap();
+        assert!(c.len() < input.len() / 7);
+        assert_eq!(decompress(&c, &config).unwrap(), input);
+    }
+
+    #[test]
+    fn tokenize_matches_expand_inverse() {
+        let config = LzssConfig::culzss_v2();
+        let input = b"the quick brown fox jumps over the lazy dog. the quick brown fox!";
+        let tokens = tokenize(input, &config);
+        assert_eq!(expand(&tokens, &config).unwrap(), input);
+    }
+
+    #[test]
+    fn hash_chain_output_decompresses_identically() {
+        let config = LzssConfig::dipperstein();
+        let input = b"abcabcabc hello hello world world world abcabc".repeat(20);
+        let brute = compress_with(&input, &config, FinderKind::BruteForce).unwrap();
+        let hashed = compress_with(&input, &config, FinderKind::HashChain).unwrap();
+        // Same greedy choices -> identical streams.
+        assert_eq!(brute, hashed);
+        assert_eq!(decompress(&hashed, &config).unwrap(), input);
+    }
+
+    #[test]
+    fn v1_and_v2_configs_roundtrip() {
+        for config in [LzssConfig::culzss_v1(), LzssConfig::culzss_v2()] {
+            let input = b"mississippi riverbank mississippi".repeat(17);
+            let c = compress(&input, &config).unwrap();
+            assert_eq!(decompress(&c, &config).unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let config = LzssConfig::dipperstein();
+        let mut c = compress(b"hello", &config).unwrap();
+        c[0] ^= 0xFF;
+        assert!(matches!(
+            decompress(&c, &config).unwrap_err(),
+            Error::InvalidContainer { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let config = LzssConfig::dipperstein();
+        let c = compress(b"hello hello hello hello", &config).unwrap();
+        for cut in 0..c.len().min(12) {
+            assert!(decompress(&c[..cut], &config).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_distance_is_rejected_not_panicking() {
+        let config = LzssConfig::culzss_v2();
+        // Hand-craft: flag byte says match, offset 200 with nothing decoded.
+        let body = [0b1000_0000u8, 200, 0];
+        let err = decode_body(&body, &config, 3).unwrap_err();
+        assert!(matches!(err, Error::InvalidDistance { .. }));
+    }
+
+    #[test]
+    fn decode_body_into_appends() {
+        let config = LzssConfig::dipperstein();
+        let a = tokenize(b"first chunk ", &config);
+        let b = tokenize(b"second chunk", &config);
+        let mut out = Vec::new();
+        decode_body_into(&format::encode(&a, &config), &config, 12, &mut out).unwrap();
+        decode_body_into(&format::encode(&b, &config), &config, 12, &mut out).unwrap();
+        assert_eq!(out, b"first chunk second chunk");
+    }
+
+    #[test]
+    fn ratio_helper() {
+        assert!((ratio(50, 100) - 0.5).abs() < 1e-12);
+        assert_eq!(ratio(10, 0), 1.0);
+    }
+
+    #[test]
+    fn window_never_crosses_buffer_start() {
+        // Chunked callers rely on tokenize never referencing before the
+        // slice: distances are validated against produced bytes.
+        let config = LzssConfig::culzss_v1();
+        let input = b"zzzzzz";
+        let tokens = tokenize(input, &config);
+        let mut produced = 0usize;
+        for t in &tokens {
+            t.validate(&config, produced).unwrap();
+            produced += t.coverage();
+        }
+    }
+
+    #[test]
+    fn figure1_style_example_shrinks() {
+        // The paper's Figure 1 example: 102 characters down to 56 with its
+        // absolute-position encoding. Our distance encoding differs in
+        // layout but the same redundancy is captured.
+        let config = LzssConfig::dipperstein();
+        let text = b"I meant what I said and I said what I meant \
+                     From there to here from here to there I said what I meant";
+        let tokens = tokenize(text, &config);
+        let stats = TokenStats::of(&tokens);
+        assert!(stats.matches >= 4, "expected several matches, got {stats:?}");
+        let c = compress(text, &config).unwrap();
+        assert!(c.len() < text.len());
+    }
+}
+
+#[cfg(test)]
+mod finder_equivalence_tests {
+    use super::*;
+    use crate::matchfind::FinderKind;
+
+    /// Every finder must produce a stream that decompresses to the input,
+    /// and (because all finders are longest-match) the same *compressed
+    /// size* — offsets may differ, lengths may not.
+    #[test]
+    fn all_finders_compress_equivalently() {
+        let config = LzssConfig::dipperstein();
+        let inputs: Vec<Vec<u8>> = vec![
+            b"the cat sat on the mat and the cat sat on the hat".repeat(20),
+            vec![42u8; 5000],
+            (0..4000u32).map(|i| ((i * 37 + i / 11) % 7) as u8 + b'0').collect(),
+        ];
+        for input in inputs {
+            let reference = compress(&input, &config).unwrap();
+            for finder in FinderKind::ALL {
+                let stream = compress_with(&input, &config, finder).unwrap();
+                assert_eq!(
+                    stream.len(),
+                    reference.len(),
+                    "{} produced a different size",
+                    finder.name()
+                );
+                assert_eq!(
+                    decompress(&stream, &config).unwrap(),
+                    input,
+                    "{} roundtrip failed",
+                    finder.name()
+                );
+            }
+        }
+    }
+
+    /// Same check under the narrow GPU window, where eviction paths in
+    /// the tree finder are exercised heavily.
+    #[test]
+    fn all_finders_compress_equivalently_narrow_window() {
+        let config = LzssConfig::culzss_v2();
+        let input = b"narrow windows stress eviction logic in indexed finders! ".repeat(60);
+        let reference = compress(&input, &config).unwrap();
+        for finder in FinderKind::ALL {
+            let stream = compress_with(&input, &config, finder).unwrap();
+            assert_eq!(stream.len(), reference.len(), "{}", finder.name());
+            assert_eq!(decompress(&stream, &config).unwrap(), input, "{}", finder.name());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! `std::io` adapters — the paper's "version involving I/O".
+//!
+//! CULZSS ships both an in-memory API and a standalone file compressor.
+//! These helpers are the file side: they read a whole stream, compress or
+//! decompress it in memory with the serial codec, and write the result.
+//! (Large inputs are the domain of the chunked container codecs in the
+//! `culzss-pthread` and `culzss` crates, which also accept readers.)
+
+use std::io::{Read, Write};
+
+use crate::config::LzssConfig;
+use crate::error::Result;
+use crate::serial;
+
+/// Reads all of `input`, compresses it, writes the standalone stream to
+/// `output`, and returns `(uncompressed_len, compressed_len)`.
+pub fn compress_stream<R: Read, W: Write>(
+    input: &mut R,
+    output: &mut W,
+    config: &LzssConfig,
+) -> Result<(usize, usize)> {
+    let mut data = Vec::new();
+    input.read_to_end(&mut data)?;
+    let compressed = serial::compress(&data, config)?;
+    output.write_all(&compressed)?;
+    Ok((data.len(), compressed.len()))
+}
+
+/// Reads a standalone compressed stream from `input`, decompresses it, and
+/// writes the original bytes to `output`; returns the decompressed length.
+pub fn decompress_stream<R: Read, W: Write>(
+    input: &mut R,
+    output: &mut W,
+    config: &LzssConfig,
+) -> Result<usize> {
+    let mut data = Vec::new();
+    input.read_to_end(&mut data)?;
+    let plain = serial::decompress(&data, config)?;
+    output.write_all(&plain)?;
+    Ok(plain.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn stream_roundtrip() {
+        let config = LzssConfig::dipperstein();
+        let original = b"stream me, compress me, stream me again ".repeat(40);
+
+        let mut compressed = Vec::new();
+        let (unc, comp) =
+            compress_stream(&mut Cursor::new(&original), &mut compressed, &config).unwrap();
+        assert_eq!(unc, original.len());
+        assert_eq!(comp, compressed.len());
+        assert!(comp < unc);
+
+        let mut restored = Vec::new();
+        let n =
+            decompress_stream(&mut Cursor::new(&compressed), &mut restored, &config).unwrap();
+        assert_eq!(n, original.len());
+        assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn empty_stream_roundtrip() {
+        let config = LzssConfig::dipperstein();
+        let mut compressed = Vec::new();
+        compress_stream(&mut Cursor::new(b""), &mut compressed, &config).unwrap();
+        let mut restored = Vec::new();
+        decompress_stream(&mut Cursor::new(&compressed), &mut restored, &config).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn corrupt_stream_errors_cleanly() {
+        let config = LzssConfig::dipperstein();
+        let mut restored = Vec::new();
+        let err = decompress_stream(&mut Cursor::new(b"nonsense"), &mut restored, &config);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! # culzss-pthread — the paper's POSIX-threads LZSS baseline
+//!
+//! "To be fair to the CPU implementation and give the opportunity to use
+//! parallelism, we also implemented a CPU threaded version of the LZSS
+//! algorithm using the POSIX threads. Each thread is given with some chunk
+//! of the file and the chunks are compressed concurrently. After each
+//! thread compresses the given data, individual compressed chunks are
+//! reassembled to form the final output."
+//!
+//! This crate reproduces that design with OS threads (crossbeam's scoped
+//! threads over `std::thread`): the input is split into chunks, worker
+//! threads own static contiguous ranges of chunks (exactly the paper's
+//! one-chunk-per-thread scheme when `chunks == threads`), each chunk is
+//! compressed independently with the serial LZSS codec, and the pieces are
+//! reassembled into the shared [`culzss_lzss::container`] format — which is
+//! also what enables parallel decompression.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use culzss_lzss::config::LzssConfig;
+use culzss_lzss::container::{assemble, Container};
+use culzss_lzss::error::{Error, Result};
+use culzss_lzss::matchfind::FinderKind;
+use culzss_lzss::{format, serial};
+
+/// Number of worker threads matching the paper's testbed spirit: all
+/// hardware threads of the host.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Splits `input` into `threads` nearly equal chunks (the paper's
+/// per-thread partitioning) and compresses them concurrently.
+pub fn compress(input: &[u8], config: &LzssConfig, threads: usize) -> Result<Vec<u8>> {
+    let threads = threads.max(1);
+    let chunk_size = input.len().div_ceil(threads).max(1);
+    compress_chunked(input, config, chunk_size, threads)
+}
+
+/// Chunked compression with an explicit chunk size: `input` is cut into
+/// `chunk_size`-byte pieces, `threads` workers compress static contiguous
+/// ranges of them, and the bodies are assembled into a container. Matches
+/// never cross chunk boundaries, exactly as in the paper (each piece is
+/// independent).
+pub fn compress_chunked(
+    input: &[u8],
+    config: &LzssConfig,
+    chunk_size: usize,
+    threads: usize,
+) -> Result<Vec<u8>> {
+    compress_chunked_with(input, config, chunk_size, threads, FinderKind::BruteForce)
+}
+
+/// [`compress_chunked`] with an explicit match-finder strategy.
+pub fn compress_chunked_with(
+    input: &[u8],
+    config: &LzssConfig,
+    chunk_size: usize,
+    threads: usize,
+    finder: FinderKind,
+) -> Result<Vec<u8>> {
+    config.validate()?;
+    if chunk_size == 0 {
+        return Err(Error::InvalidConfig { reason: "chunk_size must be positive".into() });
+    }
+    if chunk_size > u32::MAX as usize {
+        return Err(Error::InvalidConfig { reason: "chunk_size must fit in u32".into() });
+    }
+    let chunks: Vec<&[u8]> = input.chunks(chunk_size).collect();
+    let mut bodies: Vec<Vec<u8>> = vec![Vec::new(); chunks.len()];
+
+    if !chunks.is_empty() {
+        let threads = threads.clamp(1, chunks.len());
+        let per_worker = chunks.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (chunk_range, body_range) in
+                chunks.chunks(per_worker).zip(bodies.chunks_mut(per_worker))
+            {
+                scope.spawn(move |_| {
+                    for (chunk, body) in chunk_range.iter().zip(body_range.iter_mut()) {
+                        let tokens = serial::tokenize_with(chunk, config, finder);
+                        *body = format::encode(&tokens, config);
+                    }
+                });
+            }
+        })
+        .expect("compression worker panicked");
+    }
+    assemble(config, chunk_size as u32, input.len() as u64, &bodies)
+}
+
+/// Decompresses a container stream, decoding chunks concurrently.
+pub fn decompress(bytes: &[u8], config: &LzssConfig, threads: usize) -> Result<Vec<u8>> {
+    config.validate()?;
+    let (container, payload_offset) = Container::parse(bytes)?;
+    container.check_config(config)?;
+    let payload = &bytes[payload_offset..];
+    let layout = container.chunk_layout();
+
+    let mut pieces: Vec<Result<Vec<u8>>> = Vec::new();
+    pieces.resize_with(layout.len(), || Ok(Vec::new()));
+    if !layout.is_empty() {
+        let threads = threads.clamp(1, layout.len());
+        let per_worker = layout.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (jobs, outs) in layout.chunks(per_worker).zip(pieces.chunks_mut(per_worker)) {
+                scope.spawn(move |_| {
+                    for ((range, unc_len), out) in jobs.iter().zip(outs.iter_mut()) {
+                        *out = serial::decode_body(&payload[range.clone()], config, *unc_len);
+                    }
+                });
+            }
+        })
+        .expect("decompression worker panicked");
+    }
+
+    let mut out = Vec::with_capacity(container.total_len as usize);
+    for piece in pieces {
+        out.extend_from_slice(&piece?);
+    }
+    if out.len() as u64 != container.total_len {
+        return Err(Error::SizeMismatch {
+            expected: container.total_len as usize,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        b"a man a plan a canal panama ".repeat(300)
+    }
+
+    #[test]
+    fn roundtrip_single_thread() {
+        let config = LzssConfig::dipperstein();
+        let input = sample();
+        let c = compress(&input, &config, 1).unwrap();
+        assert_eq!(decompress(&c, &config, 1).unwrap(), input);
+    }
+
+    #[test]
+    fn roundtrip_many_threads() {
+        let config = LzssConfig::dipperstein();
+        let input = sample();
+        for threads in [2, 3, 8, 64] {
+            let c = compress(&input, &config, threads).unwrap();
+            assert_eq!(decompress(&c, &config, threads).unwrap(), input, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn output_is_deterministic_across_thread_counts() {
+        let config = LzssConfig::dipperstein();
+        let input = sample();
+        // Same chunk size -> byte-identical output regardless of pool size.
+        let a = compress_chunked(&input, &config, 1024, 1).unwrap();
+        let b = compress_chunked(&input, &config, 1024, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let config = LzssConfig::dipperstein();
+        let c = compress(b"", &config, 4).unwrap();
+        assert_eq!(decompress(&c, &config, 4).unwrap(), b"");
+    }
+
+    #[test]
+    fn input_smaller_than_thread_count() {
+        let config = LzssConfig::dipperstein();
+        let input = b"tiny";
+        let c = compress(input, &config, 16).unwrap();
+        assert_eq!(decompress(&c, &config, 16).unwrap(), input);
+    }
+
+    #[test]
+    fn chunking_reduces_ratio_only_slightly() {
+        let config = LzssConfig::dipperstein();
+        let input = sample();
+        let whole = serial::compress(&input, &config).unwrap().len();
+        let chunked = compress_chunked(&input, &config, 2048, 4).unwrap().len();
+        // Chunked is worse (no cross-chunk matches + size table) but stays
+        // in the same band — the effect the paper reports in Table II.
+        assert!(chunked >= whole);
+        assert!((chunked as f64) < (whole as f64) * 1.6, "{chunked} vs {whole}");
+    }
+
+    #[test]
+    fn zero_chunk_size_is_rejected() {
+        let config = LzssConfig::dipperstein();
+        assert!(compress_chunked(b"abc", &config, 0, 2).is_err());
+    }
+
+    #[test]
+    fn cross_config_decode_is_rejected() {
+        let input = sample();
+        let c = compress(&input, &LzssConfig::dipperstein(), 2).unwrap();
+        assert!(decompress(&c, &LzssConfig::culzss_v1(), 2).is_err());
+    }
+
+    #[test]
+    fn truncated_container_is_rejected() {
+        let config = LzssConfig::dipperstein();
+        let c = compress(&sample(), &config, 2).unwrap();
+        assert!(decompress(&c[..c.len() - 1], &config, 2).is_err());
+    }
+
+    #[test]
+    fn hash_chain_variant_roundtrips() {
+        let config = LzssConfig::dipperstein();
+        let input = sample();
+        let c =
+            compress_chunked_with(&input, &config, 2048, 4, FinderKind::HashChain).unwrap();
+        assert_eq!(decompress(&c, &config, 4).unwrap(), input);
+    }
+}
+
+/// Dynamically scheduled variant: workers pull chunks from a shared
+/// queue (the PBZIP2-style producer/consumer arrangement the paper's
+/// related-work section cites) instead of owning static ranges. Output
+/// is byte-identical to [`compress_chunked`]; only load balance differs,
+/// which matters when chunk costs vary wildly (e.g. mixed traffic).
+pub fn compress_chunked_dynamic(
+    input: &[u8],
+    config: &LzssConfig,
+    chunk_size: usize,
+    threads: usize,
+) -> Result<Vec<u8>> {
+    config.validate()?;
+    if chunk_size == 0 {
+        return Err(Error::InvalidConfig { reason: "chunk_size must be positive".into() });
+    }
+    if chunk_size > u32::MAX as usize {
+        return Err(Error::InvalidConfig { reason: "chunk_size must fit in u32".into() });
+    }
+    let chunks: Vec<&[u8]> = input.chunks(chunk_size).collect();
+    let slots: Vec<std::sync::Mutex<Vec<u8>>> =
+        (0..chunks.len()).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+
+    if !chunks.is_empty() {
+        let threads = threads.clamp(1, chunks.len());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= chunks.len() {
+                        break;
+                    }
+                    let tokens = serial::tokenize(chunks[idx], config);
+                    *slots[idx].lock().expect("slot lock") = format::encode(&tokens, config);
+                });
+            }
+        })
+        .expect("compression worker panicked");
+    }
+    let bodies: Vec<Vec<u8>> =
+        slots.into_iter().map(|m| m.into_inner().expect("slot lock")).collect();
+    assemble(config, chunk_size as u32, input.len() as u64, &bodies)
+}
+
+#[cfg(test)]
+mod dynamic_tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_equals_static_output() {
+        let config = LzssConfig::dipperstein();
+        let input = b"dynamic scheduling must not change bytes ".repeat(400);
+        let stat = compress_chunked(&input, &config, 2048, 3).unwrap();
+        let dyn_ = compress_chunked_dynamic(&input, &config, 2048, 3).unwrap();
+        assert_eq!(stat, dyn_);
+        assert_eq!(decompress(&dyn_, &config, 3).unwrap(), input);
+    }
+
+    #[test]
+    fn dynamic_handles_edge_inputs() {
+        let config = LzssConfig::dipperstein();
+        for input in [&b""[..], b"x", b"tiny chunked input"] {
+            let c = compress_chunked_dynamic(input, &config, 7, 5).unwrap();
+            assert_eq!(decompress(&c, &config, 5).unwrap(), input);
+        }
+        assert!(compress_chunked_dynamic(b"abc", &config, 0, 2).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Adaptive version selection over heterogeneous traffic.
+//!
+//! §V: "The two versions give us the opportunity to satisfy any data
+//! types, highly compressible or not. Users of our library can specify
+//! the version on the API call and the compression will be done by the
+//! specified implementation."
+//!
+//! This example streams a mixed datacenter-like workload in batches,
+//! probes each batch's compressibility, picks V1 or V2 per batch, and
+//! compares the adaptive policy against always-V1 / always-V2.
+
+use culzss::{Culzss, Version};
+use culzss_bench::scaled_culzss_seconds;
+use culzss_datasets::mixer::Mixer;
+use culzss_datasets::stats;
+
+const BATCH: usize = 512 * 1024;
+const BATCHES: usize = 8;
+
+fn main() {
+    let traffic = Mixer::datacenter()
+        .with_segment_bytes(64 * 1024)
+        .generate(BATCH * BATCHES, 0xFEED);
+    println!(
+        "traffic: {} MiB mixed (entropy {:.2} bits/byte)\n",
+        traffic.len() >> 20,
+        stats::entropy_bits_per_byte(&traffic)
+    );
+
+    let v1 = Culzss::new(Version::V1);
+    let v2 = Culzss::new(Version::V2);
+    let device = v1.device().clone();
+
+    let mut totals = [0.0f64; 3]; // [always-V1, always-V2, adaptive]
+    let mut sizes = [0u64; 3];
+    for (i, batch) in traffic.chunks(BATCH).enumerate() {
+        let (c1, s1) = v1.compress(batch).expect("v1");
+        let (c2, s2) = v2.compress(batch).expect("v2");
+        let t1 = scaled_culzss_seconds(&s1, &device, 1.0);
+        let t2 = scaled_culzss_seconds(&s2, &device, 1.0);
+
+        // The paper's guidance: V2 for ~50 %-or-worse compressible data,
+        // V1 for highly compressible data. Probe with a small prefix.
+        let probe = &batch[..batch.len().min(32 * 1024)];
+        let (probe_c, _) = v1.compress(probe).expect("probe");
+        let pick_v1 = (probe_c.len() as f64) < probe.len() as f64 * 0.30;
+        let (ta, ca) = if pick_v1 { (t1, c1.len()) } else { (t2, c2.len()) };
+
+        println!(
+            "batch {i}: v1 {:>7.3} ms / {:>5.1}%   v2 {:>7.3} ms / {:>5.1}%   -> {}",
+            t1 * 1e3,
+            100.0 * c1.len() as f64 / batch.len() as f64,
+            t2 * 1e3,
+            100.0 * c2.len() as f64 / batch.len() as f64,
+            if pick_v1 { "V1" } else { "V2" }
+        );
+        totals[0] += t1;
+        totals[1] += t2;
+        totals[2] += ta;
+        sizes[0] += c1.len() as u64;
+        sizes[1] += c2.len() as u64;
+        sizes[2] += ca as u64;
+    }
+
+    println!("\npolicy totals (modelled GPU time / compressed size):");
+    for (name, idx) in [("always V1", 0), ("always V2", 1), ("adaptive", 2)] {
+        println!(
+            "  {name:<10} {:>8.2} ms   {:>9} bytes",
+            totals[idx] * 1e3,
+            sizes[idx]
+        );
+    }
+    assert!(totals[2] <= totals[0].max(totals[1]) + 1e-9);
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the CULZSS reproduction workspace.
+//!
+//! Re-exports every subsystem so that examples and cross-crate integration
+//! tests can depend on a single crate. See the individual crates for the
+//! real APIs:
+//!
+//! * [`culzss`] — the paper's contribution (simulated-GPU LZSS).
+//! * [`culzss_lzss`] — LZSS core (formats, match finders, serial codec).
+//! * [`culzss_gpusim`] — the CUDA-like execution-model simulator.
+//! * [`culzss_pthread`] — POSIX-threads style chunked baseline.
+//! * [`culzss_bzip2`] — from-scratch block-sorting baseline.
+//! * [`culzss_datasets`] — the five evaluation corpus generators.
+
+pub use culzss;
+pub use culzss_bzip2;
+pub use culzss_datasets;
+pub use culzss_gpusim;
+pub use culzss_lzss;
+pub use culzss_pthread;

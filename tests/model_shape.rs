@@ -1,0 +1,106 @@
+//! Shape tests for the performance model: the orderings the paper's
+//! evaluation section reports must emerge from the cost model at test
+//! scale (using total modelled work, which is scale-invariant).
+
+use culzss::{Culzss, CulzssParams, Version};
+use culzss_datasets::Dataset;
+use culzss_gpusim::DeviceSpec;
+
+const SIZE: usize = 192 * 1024;
+const SEED: u64 = 0x5AFE;
+
+/// Total modelled machine work of the compression launch, in cycles.
+fn kernel_work(version: Version, data: &[u8]) -> f64 {
+    let culzss = Culzss::new(version).with_workers(2);
+    let (_, stats) = culzss.compress(data).unwrap();
+    stats.launch.unwrap().cost.work_cycles
+}
+
+#[test]
+fn v2_beats_v1_on_low_compressibility_text() {
+    // Paper §V: V2 "gives best performance gain mainly on files that are
+    // around 50% compressible data or less".
+    for dataset in [Dataset::CFiles, Dataset::KernelTarball] {
+        let data = dataset.generate(SIZE, SEED);
+        let v1 = kernel_work(Version::V1, &data);
+        let v2 = kernel_work(Version::V2, &data);
+        assert!(v2 < v1, "{}: V2 {v2} should beat V1 {v1}", dataset.slug());
+    }
+}
+
+#[test]
+fn v1_beats_v2_on_highly_compressible_data() {
+    // Paper Table I: DE map and the highly compressible set invert.
+    for (dataset, factor) in
+        [(Dataset::HighlyCompressible, 2.0), (Dataset::DeMap, 1.2)]
+    {
+        let data = dataset.generate(SIZE, SEED);
+        let v1 = kernel_work(Version::V1, &data);
+        let v2 = kernel_work(Version::V2, &data);
+        assert!(
+            v2 > v1 * factor,
+            "{}: V2 {v2} should lose to V1 {v1} by ≥{factor}x",
+            dataset.slug()
+        );
+    }
+}
+
+#[test]
+fn v1_on_highly_compressible_is_its_fastest_dataset() {
+    // Table I: 0.49 s versus 7.x s — match skipping pays off massively.
+    let text = Dataset::CFiles.generate(SIZE, SEED);
+    let highly = Dataset::HighlyCompressible.generate(SIZE, SEED);
+    let slow = kernel_work(Version::V1, &text);
+    let fast = kernel_work(Version::V1, &highly);
+    assert!(slow > fast * 4.0, "text {slow} vs highly {fast}");
+}
+
+#[test]
+fn gpu_decompression_speedup_is_modest() {
+    // Table III: 2.5–3.5×, not 18× — decompression is serial per chunk
+    // and only block-parallel. The model must show single-lane divergence.
+    let data = Dataset::CFiles.generate(SIZE, SEED);
+    let culzss = Culzss::new(Version::V1).with_workers(2);
+    let (stream, cstats) = culzss.compress(&data).unwrap();
+    let (_, dstats) = culzss.decompress(&stream).unwrap();
+    let comp = cstats.launch.unwrap();
+    let dec = dstats.launch.unwrap();
+    // Decompression warps waste most lanes.
+    assert!(dec.metrics.divergence_factor(32) > 16.0);
+    // And decompression is much lighter than compression overall.
+    assert!(dec.cost.work_cycles < comp.cost.work_cycles);
+}
+
+#[test]
+fn occupancy_limits_reproduce_the_papers_shared_memory_wall() {
+    // §V: "In the first version the limited space limits us … in
+    // configurations where 256 to 512 threads are used per block".
+    let device = DeviceSpec::gtx480();
+    for threads in [256usize, 512] {
+        let mut params = CulzssParams::v1();
+        params.threads_per_block = threads;
+        assert!(params.validate(&device).is_err(), "{threads} threads should not fit");
+    }
+    CulzssParams::v1().validate(&device).unwrap();
+}
+
+#[test]
+fn window_128_is_the_paper_sweet_spot_under_fixed16() {
+    // §III-D: 128 B windows are "just enough number of bits to encode in
+    // a 16 bit encoding space"; 512 B windows are unencodable.
+    let device = DeviceSpec::gtx480();
+    let mut params = CulzssParams::v2();
+    params.window_size = 512;
+    assert!(params.validate(&device).is_err());
+    params.window_size = 256;
+    params.validate(&device).unwrap();
+}
+
+#[test]
+fn transfers_are_minor_against_kernel_time_at_paper_scale() {
+    // The paper never reports PCIe as a bottleneck; the model agrees:
+    // copying costs milliseconds, kernels cost seconds at 128 MB.
+    let device = DeviceSpec::gtx480();
+    let h2d = culzss_gpusim::transfer::transfer_seconds(&device, 128 << 20);
+    assert!(h2d < 0.05, "{h2d}");
+}

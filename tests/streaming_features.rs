@@ -1,0 +1,136 @@
+//! Integration tests for the extension features: batched streaming,
+//! heterogeneous CPU+GPU compression, incremental codecs, and the traffic
+//! mixer — all composed across crates.
+
+use std::io::Cursor;
+
+use culzss::hetero::HeteroCompressor;
+use culzss::stream::StreamingCompressor;
+use culzss::{Culzss, Version};
+use culzss_datasets::mixer::Mixer;
+use culzss_datasets::Dataset;
+use culzss_lzss::incremental::{IncrementalDecoder, IncrementalEncoder};
+use culzss_lzss::LzssConfig;
+
+#[test]
+fn streaming_compressor_over_mixed_traffic() {
+    let traffic = Mixer::datacenter().with_segment_bytes(8 * 1024).generate(400 * 1024, 31);
+    let sc = StreamingCompressor::new(Culzss::new(Version::V2).with_workers(2))
+        .with_batch_bytes(64 * 1024);
+    let mut compressed = Vec::new();
+    let report = sc.compress_stream(&mut Cursor::new(&traffic), &mut compressed).unwrap();
+    assert_eq!(report.bytes_in, traffic.len() as u64);
+    assert!(report.batches >= 6);
+    assert!(report.overlap_speedup() >= 1.0);
+
+    let mut restored = Vec::new();
+    sc.decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap();
+    assert_eq!(restored, traffic);
+}
+
+#[test]
+fn hetero_streams_interoperate_with_every_decompressor() {
+    let data = Dataset::KernelTarball.generate(128 * 1024, 33);
+    let hetero = HeteroCompressor::new(Culzss::new(Version::V1).with_workers(2), 0.5, 2);
+    let (stream, stats) = hetero.compress(&data).unwrap();
+    assert!(stats.cpu_chunks > 0 && stats.gpu_chunks > 0);
+
+    // GPU decompressor.
+    let gpu = Culzss::new(Version::V1).with_workers(2);
+    assert_eq!(gpu.decompress(&stream).unwrap().0, data);
+    // Auto decompressor.
+    assert_eq!(gpu.decompress_auto(&stream).unwrap().0, data);
+    // CPU chunked decompressor (same container, same config).
+    let config = gpu.params().lzss_config();
+    assert_eq!(culzss_pthread::decompress(&stream, &config, 3).unwrap(), data);
+}
+
+#[test]
+fn incremental_pair_handles_gateway_flow() {
+    // Encoder on the ingress, decoder on the egress, tiny packets both
+    // ways, across corpora.
+    let config = LzssConfig::dipperstein();
+    for dataset in [Dataset::CFiles, Dataset::HighlyCompressible] {
+        let data = dataset.generate(64 * 1024, 35);
+        let mut enc = IncrementalEncoder::new(config.clone()).unwrap();
+        for packet in data.chunks(1500) {
+            enc.push(packet);
+        }
+        let wire = enc.finish().unwrap();
+
+        let mut dec = IncrementalDecoder::new_standalone(config.clone()).unwrap();
+        let mut restored = Vec::new();
+        for packet in wire.chunks(1500) {
+            dec.push(packet, &mut restored).unwrap();
+        }
+        assert!(dec.is_done());
+        assert_eq!(restored, data, "{}", dataset.slug());
+    }
+}
+
+#[test]
+fn incremental_decoder_reads_container_chunks() {
+    // Container bodies are headerless token streams; the incremental
+    // decoder handles each chunk in body mode.
+    let params = culzss::CulzssParams::v1();
+    let config = params.lzss_config();
+    let data = Dataset::DeMap.generate(96 * 1024, 37);
+    let gpu = Culzss::new(Version::V1).with_workers(2);
+    let (stream, _) = gpu.compress(&data).unwrap();
+
+    let (container, payload_offset) =
+        culzss_lzss::container::Container::parse(&stream).unwrap();
+    let payload = &stream[payload_offset..];
+    let mut restored = Vec::new();
+    for (range, unc_len) in container.chunk_layout() {
+        let mut dec =
+            IncrementalDecoder::new_body(config.clone(), unc_len as u64).unwrap();
+        let mut out = Vec::new();
+        for piece in payload[range].chunks(17) {
+            dec.push(piece, &mut out).unwrap();
+        }
+        assert!(dec.is_done());
+        restored.extend_from_slice(&out);
+    }
+    assert_eq!(restored, data);
+}
+
+#[test]
+fn bzip2_streaming_io_on_generated_corpora() {
+    for dataset in [Dataset::Dictionary, Dataset::HighlyCompressible] {
+        let data = dataset.generate(200 * 1024, 39);
+        let mut compressed = Vec::new();
+        culzss_bzip2::io::compress_stream(
+            &mut Cursor::new(&data),
+            &mut compressed,
+            64 * 1024,
+            culzss_bzip2::bwt::Backend::SaIs,
+        )
+        .unwrap();
+        let mut restored = Vec::new();
+        culzss_bzip2::io::decompress_stream(&mut Cursor::new(&compressed), &mut restored)
+            .unwrap();
+        assert_eq!(restored, data, "{}", dataset.slug());
+    }
+}
+
+#[test]
+fn lazy_parse_improves_or_matches_every_corpus() {
+    use culzss_lzss::matchfind::FinderKind;
+    use culzss_lzss::parse::{tokenize, ParseStrategy};
+    let config = LzssConfig::dipperstein();
+    for dataset in Dataset::ALL {
+        let data = dataset.generate(64 * 1024, 41);
+        let greedy = tokenize(&data, &config, FinderKind::HashChain, ParseStrategy::Greedy);
+        let lazy = tokenize(&data, &config, FinderKind::HashChain, ParseStrategy::Lazy);
+        let g = culzss_lzss::format::encoded_len(&greedy, &config);
+        let l = culzss_lzss::format::encoded_len(&lazy, &config);
+        assert!(
+            l as f64 <= g as f64 * 1.01,
+            "{}: lazy {} vs greedy {}",
+            dataset.slug(),
+            l,
+            g
+        );
+    }
+}
