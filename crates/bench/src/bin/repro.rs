@@ -116,16 +116,12 @@ fn table1(rows: &[Table1Measured]) {
 
 fn table2(cfg: MeasureCfg) {
     println!("## Table II — compression ratios (smaller is better; paper → measured)\n");
-    println!(
-        "{:<16}{:>18}{:>18}{:>18}{:>18}",
-        "dataset", "Serial", "BZIP2", "V1", "V2"
-    );
+    println!("{:<16}{:>18}{:>18}{:>18}{:>18}", "dataset", "Serial", "BZIP2", "V1", "V2");
     for dataset in Dataset::ALL {
         let m = measure_table2_row(dataset, cfg);
         let p = paper::table2(dataset);
-        let cell = |paper: f64, ours: f64| {
-            format!("{:>6.1}% → {:>5.1}%", paper * 100.0, ours * 100.0)
-        };
+        let cell =
+            |paper: f64, ours: f64| format!("{:>6.1}% → {:>5.1}%", paper * 100.0, ours * 100.0);
         println!(
             "{:<16}{:>18}{:>18}{:>18}{:>18}",
             dataset.paper_label(),
@@ -172,8 +168,7 @@ fn figure4(rows: &[Table1Measured]) {
         let dataset = m.dataset;
         let fig = Figure4Row::from_table1(m);
         let p = paper::table1(dataset);
-        let cell =
-            |paper: f64, ours: f64| format!("{paper:>5.1}x → {ours:>5.1}x");
+        let cell = |paper: f64, ours: f64| format!("{paper:>5.1}x → {ours:>5.1}x");
         println!(
             "{:<16}{:>16}{:>16}{:>16}{:>16}",
             dataset.paper_label(),
@@ -189,12 +184,9 @@ fn figure4(rows: &[Table1Measured]) {
     for m in rows {
         let fig = Figure4Row::from_table1(m);
         println!("  {:<16}", m.dataset.paper_label());
-        for (name, v) in [
-            ("pthread", fig.pthread),
-            ("bzip2", fig.bzip2),
-            ("v1", fig.v1),
-            ("v2", fig.v2),
-        ] {
+        for (name, v) in
+            [("pthread", fig.pthread), ("bzip2", fig.bzip2), ("v1", fig.v1), ("v2", fig.v2)]
+        {
             println!("    {name:<8}{:>8.1}x |{}", v, bar(v, 1.0));
         }
     }
@@ -228,8 +220,7 @@ fn sweep_threads(cfg: MeasureCfg) {
     let device = DeviceSpec::gtx480();
     for version in [Version::V1, Version::V2] {
         println!("{}:", version.name());
-        let points =
-            tuning::sweep_threads(&device, version, &data, &[32, 64, 128, 256, 512]);
+        let points = tuning::sweep_threads(&device, version, &data, &[32, 64, 128, 256, 512]);
         for p in points {
             match p.gpu_seconds {
                 Some(s) => println!("  {:>4} threads/block: {:>9.4} s (gpu, unscaled)", p.value, s),
@@ -302,8 +293,8 @@ fn selfcheck(cfg: MeasureCfg) {
     for dataset in Dataset::ALL {
         let data = dataset.generate(cfg.bytes.min(1 << 20), cfg.seed);
         let profile = culzss_datasets::stats::profile(&data);
-        let ratio = culzss_lzss::serial::compress(&data, &config).unwrap().len() as f64
-            / data.len() as f64;
+        let ratio =
+            culzss_lzss::serial::compress(&data, &config).unwrap().len() as f64 / data.len() as f64;
         let paper = paper::table2(dataset).serial;
         // Generous band: within 0.15 absolute of the paper's serial ratio.
         let ok = (ratio - paper).abs() < 0.15;
@@ -312,10 +303,7 @@ fn selfcheck(cfg: MeasureCfg) {
             dataset.slug(),
             profile.entropy,
             profile.alphabet,
-            profile
-                .period
-                .map(|(lag, s)| format!("{lag}@{s:.2}"))
-                .unwrap_or_else(|| "-".into()),
+            profile.period.map(|(lag, s)| format!("{lag}@{s:.2}")).unwrap_or_else(|| "-".into()),
             ratio * 100.0,
             paper * 100.0,
             if ok { "PASS" } else { "DRIFT" },

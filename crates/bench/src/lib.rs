@@ -149,10 +149,8 @@ pub fn scaled_culzss_seconds(
     // recompute from scaled bytes so the fixed per-copy latency is not
     // multiplied by the scale factor.
     let d2h_bytes = stats.d2h_seconds.max(0.0) - device.pcie_latency;
-    let d2h = transfer_seconds(
-        device,
-        ((d2h_bytes * device.pcie_bandwidth).max(0.0) * scale) as usize,
-    );
+    let d2h =
+        transfer_seconds(device, ((d2h_bytes * device.pcie_bandwidth).max(0.0) * scale) as usize);
     kernel + h2d + d2h + stats.cpu_seconds * scale
 }
 
@@ -185,13 +183,9 @@ pub fn measure_table1_row(dataset: Dataset, cfg: MeasureCfg) -> Table1Measured {
         );
     }) * scale;
 
-    let pthread = modeled_pthread_seconds(
-        &data,
-        &serial_cfg,
-        PAPER_PTHREAD_WORKERS,
-        cfg.reps,
-        cfg.finder,
-    ) * scale;
+    let pthread =
+        modeled_pthread_seconds(&data, &serial_cfg, PAPER_PTHREAD_WORKERS, cfg.reps, cfg.finder)
+            * scale;
 
     let bzip2 = time_min(cfg.reps, || {
         std::hint::black_box(
@@ -206,14 +200,7 @@ pub fn measure_table1_row(dataset: Dataset, cfg: MeasureCfg) -> Table1Measured {
         scaled_culzss_seconds(&stats, &device, scale)
     };
 
-    Table1Measured {
-        dataset,
-        serial,
-        pthread,
-        bzip2,
-        v1: gpu(Version::V1),
-        v2: gpu(Version::V2),
-    }
+    Table1Measured { dataset, serial, pthread, bzip2, v1: gpu(Version::V1), v2: gpu(Version::V2) }
 }
 
 /// One measured row of Table II (ratios; exact, not scaled).
@@ -236,8 +223,7 @@ pub fn measure_table2_row(dataset: Dataset, cfg: MeasureCfg) -> Table2Measured {
     let data = dataset.generate(cfg.bytes, cfg.seed);
     let n = data.len() as f64;
     let serial =
-        culzss_lzss::serial::compress(&data, &LzssConfig::dipperstein()).unwrap().len() as f64
-            / n;
+        culzss_lzss::serial::compress(&data, &LzssConfig::dipperstein()).unwrap().len() as f64 / n;
     let bzip2 = culzss_bzip2::compress(&data).unwrap().len() as f64 / n;
     let (v1_bytes, _) = culzss::api::gpu_compress(&data, Version::V1).unwrap();
     let (v2_bytes, _) = culzss::api::gpu_compress(&data, Version::V2).unwrap();
@@ -269,9 +255,7 @@ pub fn measure_table3_row(dataset: Dataset, cfg: MeasureCfg) -> Table3Measured {
 
     let compressed = culzss_lzss::serial::compress(&data, &serial_cfg).unwrap();
     let serial = time_min(cfg.reps, || {
-        std::hint::black_box(
-            culzss_lzss::serial::decompress(&compressed, &serial_cfg).unwrap(),
-        );
+        std::hint::black_box(culzss_lzss::serial::decompress(&compressed, &serial_cfg).unwrap());
     }) * scale;
 
     let culzss = Culzss::new(Version::V1);

@@ -80,8 +80,8 @@ impl BlockCodec {
         let last_column = mtf::decode(&mtf_stream);
         let rle = bwt::inverse(&Bwt { data: last_column, primary })
             .ok_or_else(|| BzError::Corrupt("primary index out of range".into()))?;
-        let block = rle1::decode(&rle)
-            .ok_or_else(|| BzError::Corrupt("truncated RLE1 run".into()))?;
+        let block =
+            rle1::decode(&rle).ok_or_else(|| BzError::Corrupt("truncated RLE1 run".into()))?;
         if block.len() != expected_len {
             return Err(BzError::Corrupt(format!(
                 "block decoded to {} bytes, expected {}",

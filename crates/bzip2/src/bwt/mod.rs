@@ -101,11 +101,8 @@ pub fn inverse(bwt: &Bwt) -> Option<Vec<u8>> {
         if row == bwt.primary {
             return None;
         }
-        let idx = if (row as usize) < bwt.primary as usize {
-            row as usize
-        } else {
-            row as usize - 1
-        };
+        let idx =
+            if (row as usize) < bwt.primary as usize { row as usize } else { row as usize - 1 };
         out[i] = bwt.data[idx];
         row = lf[row as usize];
     }
@@ -156,7 +153,8 @@ mod tests {
         for len in [1usize, 7, 64, 513, 5000] {
             let data: Vec<u8> = (0..len)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     (state >> 56) as u8
                 })
                 .collect();

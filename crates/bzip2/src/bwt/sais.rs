@@ -148,16 +148,14 @@ fn sais(text: &[u32], alphabet: usize, sa: &mut [u32]) {
     let unique = (current as usize + 1) == lms_count;
 
     // LMS positions in text order, and their names.
-    let lms_in_order: Vec<u32> =
-        (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
+    let lms_in_order: Vec<u32> = (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
 
     // 4. Order the LMS suffixes: directly if names are unique, otherwise
     //    recurse on the reduced text.
     let lms_sorted_final: Vec<u32> = if unique {
         sorted_lms
     } else {
-        let reduced: Vec<u32> =
-            lms_in_order.iter().map(|&p| names[p as usize]).collect();
+        let reduced: Vec<u32> = lms_in_order.iter().map(|&p| names[p as usize]).collect();
         let mut sub_sa = vec![0u32; reduced.len()];
         sais(&reduced, current as usize + 1, &mut sub_sa);
         sub_sa.iter().map(|&r| lms_in_order[r as usize]).collect()

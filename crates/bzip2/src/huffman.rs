@@ -149,8 +149,7 @@ pub fn build_lengths(freqs: &[u64]) -> Vec<u8> {
 /// Assigns canonical codes: symbols sorted by (length, index) receive
 /// consecutive codes, shifted when the length increases.
 pub fn canonical_codes(lengths: &[u8]) -> Vec<u64> {
-    let mut order: Vec<usize> =
-        (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+    let mut order: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
     order.sort_by_key(|&i| (lengths[i], i));
     let mut codes = vec![0u64; lengths.len()];
     let mut code = 0u64;
@@ -178,8 +177,7 @@ impl Decoder {
     /// Builds a decoder from the codebook's lengths.
     pub fn new(book: &CodeBook) -> Decoder {
         let lengths = &book.lengths;
-        let mut order: Vec<usize> =
-            (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+        let mut order: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
         order.sort_by_key(|&i| (lengths[i], i));
         let symbols: Vec<u16> = order.iter().map(|&i| i as u16).collect();
 
@@ -295,10 +293,7 @@ mod tests {
                 }
                 if lengths[i] <= lengths[j] {
                     let prefix = codes[j] >> (lengths[j] - lengths[i]);
-                    assert!(
-                        prefix != codes[i] || i == j,
-                        "code {i} is a prefix of {j}"
-                    );
+                    assert!(prefix != codes[i] || i == j, "code {i} is a prefix of {j}");
                 }
             }
         }
@@ -306,8 +301,7 @@ mod tests {
 
     #[test]
     fn stream_roundtrip() {
-        let symbols: Vec<u16> =
-            (0..5000u32).map(|i| ((i * i + i / 3) % 97) as u16).collect();
+        let symbols: Vec<u16> = (0..5000u32).map(|i| ((i * i + i / 3) % 97) as u16).collect();
         let mut with_eob = symbols.clone();
         with_eob.push(crate::zrle::EOB);
         let freqs = frequencies(&with_eob);
@@ -322,8 +316,7 @@ mod tests {
         let book2 = CodeBook::read_table(&mut r, ALPHABET).unwrap();
         assert_eq!(book2.lengths, book.lengths);
         let decoder = Decoder::new(&book2);
-        let decoded =
-            decode_until(&decoder, &mut r, crate::zrle::EOB, with_eob.len()).unwrap();
+        let decoded = decode_until(&decoder, &mut r, crate::zrle::EOB, with_eob.len()).unwrap();
         assert_eq!(decoded, with_eob);
     }
 
@@ -411,8 +404,7 @@ impl MultiTable {
         // Initial partition: split groups round-robin so every table
         // starts with a spread of content.
         let groups: Vec<&[u16]> = symbols.chunks(GROUP_SIZE).collect();
-        let mut selectors: Vec<u8> =
-            (0..groups.len()).map(|g| (g % n_tables) as u8).collect();
+        let mut selectors: Vec<u8> = (0..groups.len()).map(|g| (g % n_tables) as u8).collect();
         let mut tables: Vec<CodeBook> = Vec::new();
 
         for _ in 0..REFINE_ITERS {
@@ -467,9 +459,8 @@ impl MultiTable {
 
     /// Deserializes what [`MultiTable::write`] produced.
     pub fn read(r: &mut BitReader<'_>) -> BzResult<MultiTable> {
-        let n_tables = r
-            .read_bits(3, "table count")
-            .map_err(|_| BzError::Truncated("table count"))? as usize;
+        let n_tables =
+            r.read_bits(3, "table count").map_err(|_| BzError::Truncated("table count"))? as usize;
         if n_tables == 0 || n_tables > MAX_TABLES {
             return Err(BzError::Corrupt(format!("table count {n_tables} out of range")));
         }
@@ -483,9 +474,7 @@ impl MultiTable {
         }
         let mut selectors = Vec::with_capacity(n_selectors);
         for _ in 0..n_selectors {
-            let s = r
-                .read_bits(3, "selector")
-                .map_err(|_| BzError::Truncated("selector"))? as u8;
+            let s = r.read_bits(3, "selector").map_err(|_| BzError::Truncated("selector"))? as u8;
             if usize::from(s) >= n_tables {
                 return Err(BzError::Corrupt(format!("selector {s} out of range")));
             }
@@ -592,12 +581,7 @@ mod multitable_tests {
         let mut ws = BitWriter::new();
         encode_stream(&single, &symbols, &mut ws);
         // Payload only (table overhead excluded): regime switching wins.
-        assert!(
-            wm.bit_len() < ws.bit_len(),
-            "multi {} vs single {}",
-            wm.bit_len(),
-            ws.bit_len()
-        );
+        assert!(wm.bit_len() < ws.bit_len(), "multi {} vs single {}", wm.bit_len(), ws.bit_len());
     }
 
     #[test]
@@ -606,8 +590,7 @@ mod multitable_tests {
         let mt = MultiTable::build(&symbols);
         // Adjacent groups alternate regimes, so selectors should not be
         // constant.
-        let distinct: std::collections::BTreeSet<u8> =
-            mt.selectors.iter().copied().collect();
+        let distinct: std::collections::BTreeSet<u8> = mt.selectors.iter().copied().collect();
         assert!(distinct.len() >= 2, "{:?}", mt.selectors);
     }
 

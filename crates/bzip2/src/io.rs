@@ -11,9 +11,9 @@ use crate::block::BlockCodec;
 use crate::bwt::Backend;
 use crate::crc;
 use crate::error::{BzError, BzResult};
-use crate::MAGIC;
 #[cfg(test)]
 use crate::BZ_BLOCK_SIZE;
+use crate::MAGIC;
 
 /// Streaming compressor: reads `input` to EOF in block-sized pieces,
 /// writing the container incrementally. Returns `(bytes_in, bytes_out)`.
@@ -101,20 +101,13 @@ mod tests {
     fn stream_roundtrip_matches_in_memory() {
         let data = b"streaming io adapters for the block sorter ".repeat(400);
         let mut compressed = Vec::new();
-        let (bytes_in, bytes_out) = compress_stream(
-            &mut Cursor::new(&data),
-            &mut compressed,
-            8 * 1024,
-            Backend::SaIs,
-        )
-        .unwrap();
+        let (bytes_in, bytes_out) =
+            compress_stream(&mut Cursor::new(&data), &mut compressed, 8 * 1024, Backend::SaIs)
+                .unwrap();
         assert_eq!(bytes_in, data.len() as u64);
         assert_eq!(bytes_out, compressed.len() as u64);
         // Identical to the in-memory API.
-        assert_eq!(
-            compressed,
-            crate::compress_with(&data, 8 * 1024, Backend::SaIs).unwrap()
-        );
+        assert_eq!(compressed, crate::compress_with(&data, 8 * 1024, Backend::SaIs).unwrap());
 
         let mut restored = Vec::new();
         let n = decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap();
@@ -127,10 +120,7 @@ mod tests {
         let mut compressed = Vec::new();
         compress_stream(&mut Cursor::new(b""), &mut compressed, 1024, Backend::SaIs).unwrap();
         let mut restored = Vec::new();
-        assert_eq!(
-            decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap(),
-            0
-        );
+        assert_eq!(decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap(), 0);
     }
 
     #[test]
@@ -143,8 +133,7 @@ mod tests {
     fn exact_multiple_of_block_size() {
         let data = vec![42u8; 4 * 1024];
         let mut compressed = Vec::new();
-        compress_stream(&mut Cursor::new(&data), &mut compressed, 1024, Backend::SaIs)
-            .unwrap();
+        compress_stream(&mut Cursor::new(&data), &mut compressed, 1024, Backend::SaIs).unwrap();
         let mut restored = Vec::new();
         decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap();
         assert_eq!(restored, data);

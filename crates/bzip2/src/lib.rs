@@ -122,8 +122,7 @@ pub fn decompress(bytes: &[u8]) -> BzResult<Vec<u8>> {
     if pos + 4 > bytes.len() {
         return Err(BzError::Truncated("stream CRC"));
     }
-    let stored_stream =
-        u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+    let stored_stream = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
     if stored_stream != stream_crc {
         return Err(BzError::Corrupt("stream CRC mismatch".into()));
     }
@@ -172,8 +171,7 @@ mod tests {
     fn beats_lzss_class_ratios_on_text() {
         // The whole point of the baseline: block sorting compresses text
         // 2-3× harder than LZSS (Table II).
-        let input = b"compression ratio comparison corpus with words repeating words "
-            .repeat(400);
+        let input = b"compression ratio comparison corpus with words repeating words ".repeat(400);
         let c = compress(&input).unwrap();
         assert!(c.len() * 5 < input.len(), "{} vs {}", c.len(), input.len());
     }

@@ -89,7 +89,7 @@ mod tests {
         roundtrip(b"mixed aaaa bbbbbbb c dddddddddddddddddddddddddd end");
         let mut data = Vec::new();
         for i in 0..50u8 {
-            data.extend(std::iter::repeat(i).take(usize::from(i) * 7 % 300 + 1));
+            data.extend(std::iter::repeat_n(i, usize::from(i) * 7 % 300 + 1));
         }
         roundtrip(&data);
     }

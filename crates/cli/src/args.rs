@@ -7,12 +7,18 @@ usage:
   culzss decompress <input> <output> [--codec auto|v1|v2|lzss|pthread|bzip2]
   culzss info       <file>
   culzss gen        <dataset> <bytes> <output> [--seed N]
+  culzss serve      [--devices N] [--cpu-workers N] [--tenants N] [--jobs N]
+                    [--payload BYTES] [--queue-depth N] [--batch-jobs N]
+                    [--fail-first N] [--seed N]
+  culzss bench-serve [--jobs N] [--payload BYTES] [--seed N]
   culzss selftest
 
 codecs: v1/v2 = CULZSS on the simulated GTX 480 (default v2);
         lzss = serial CPU; pthread = threaded CPU; bzip2 = block sorting;
         auto (decompress) = detect from the stream header.
-datasets: c-files de-map dictionary kernel-tarball highly-compressible mixed";
+datasets: c-files de-map dictionary kernel-tarball highly-compressible mixed
+serve: runs the multi-tenant service against a closed-loop load generator
+       and prints the service stats; bench-serve sweeps pool shapes.";
 
 /// Which compressor/decompressor to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +90,36 @@ pub enum Command {
         /// Generator seed.
         seed: u64,
     },
+    /// Run the multi-tenant compression service under generated load.
+    Serve {
+        /// Simulated GPU devices in the pool.
+        devices: usize,
+        /// Dedicated CPU fallback workers.
+        cpu_workers: usize,
+        /// Concurrent load-generator tenants.
+        tenants: usize,
+        /// Jobs per tenant.
+        jobs: usize,
+        /// Payload bytes per job.
+        payload: usize,
+        /// Admission queue bound.
+        queue_depth: usize,
+        /// Max jobs coalesced per batch window.
+        batch_jobs: usize,
+        /// Inject failures into the first N GPU attempts.
+        fail_first: u64,
+        /// Load-generator seed.
+        seed: u64,
+    },
+    /// Sweep service pool shapes under identical load.
+    BenchServe {
+        /// Jobs per tenant.
+        jobs: usize,
+        /// Payload bytes per job.
+        payload: usize,
+        /// Load-generator seed.
+        seed: u64,
+    },
     /// Round-trip every codec on generated data.
     Selftest,
 }
@@ -137,11 +173,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 Some(v) => Codec::parse(v)?,
                 None => Codec::Auto,
             };
-            Ok(Command::Decompress {
-                input: pos[0].clone(),
-                output: pos[1].clone(),
-                codec,
-            })
+            Ok(Command::Decompress { input: pos[0].clone(), output: pos[1].clone(), codec })
         }
         "info" => {
             let pos = positional(1)?;
@@ -155,11 +187,38 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 Some(v) => v.parse().map_err(|_| format!("bad seed `{v}`"))?,
                 None => 2011,
             };
-            Ok(Command::Gen {
-                dataset: pos[0].clone(),
-                bytes,
-                output: pos[2].clone(),
-                seed,
+            Ok(Command::Gen { dataset: pos[0].clone(), bytes, output: pos[2].clone(), seed })
+        }
+        "serve" => {
+            let num = |name: &str, default: usize| -> Result<usize, String> {
+                match flag_value(name)? {
+                    Some(v) => v.parse().map_err(|_| format!("bad value for {name}: `{v}`")),
+                    None => Ok(default),
+                }
+            };
+            Ok(Command::Serve {
+                devices: num("--devices", 1)?.max(1),
+                cpu_workers: num("--cpu-workers", 1)?,
+                tenants: num("--tenants", 4)?.max(1),
+                jobs: num("--jobs", 16)?,
+                payload: num("--payload", 64 * 1024)?,
+                queue_depth: num("--queue-depth", 128)?,
+                batch_jobs: num("--batch-jobs", 8)?,
+                fail_first: num("--fail-first", 0)? as u64,
+                seed: num("--seed", 2011)? as u64,
+            })
+        }
+        "bench-serve" => {
+            let num = |name: &str, default: usize| -> Result<usize, String> {
+                match flag_value(name)? {
+                    Some(v) => v.parse().map_err(|_| format!("bad value for {name}: `{v}`")),
+                    None => Ok(default),
+                }
+            };
+            Ok(Command::BenchServe {
+                jobs: num("--jobs", 12)?,
+                payload: num("--payload", 64 * 1024)?,
+                seed: num("--seed", 2011)? as u64,
             })
         }
         "selftest" => Ok(Command::Selftest),
@@ -217,7 +276,12 @@ mod tests {
         let cmd = parse(&argv("gen de-map 1024 out.bin --seed 7")).unwrap();
         assert_eq!(
             cmd,
-            Command::Gen { dataset: "de-map".into(), bytes: 1024, output: "out.bin".into(), seed: 7 }
+            Command::Gen {
+                dataset: "de-map".into(),
+                bytes: 1024,
+                output: "out.bin".into(),
+                seed: 7
+            }
         );
     }
 
@@ -235,5 +299,44 @@ mod tests {
     #[test]
     fn selftest_parses() {
         assert_eq!(parse(&argv("selftest")).unwrap(), Command::Selftest);
+    }
+
+    #[test]
+    fn serve_defaults() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                devices: 1,
+                cpu_workers: 1,
+                tenants: 4,
+                jobs: 16,
+                payload: 64 * 1024,
+                queue_depth: 128,
+                batch_jobs: 8,
+                fail_first: 0,
+                seed: 2011,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        match parse(&argv("serve --devices 2 --cpu-workers 0 --fail-first 3 --queue-depth 16"))
+            .unwrap()
+        {
+            Command::Serve {
+                devices: 2, cpu_workers: 0, fail_first: 3, queue_depth: 16, ..
+            } => {}
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse(&argv("serve --devices nope")).is_err());
+    }
+
+    #[test]
+    fn bench_serve_parses() {
+        assert_eq!(
+            parse(&argv("bench-serve --jobs 6 --payload 4096")).unwrap(),
+            Command::BenchServe { jobs: 6, payload: 4096, seed: 2011 }
+        );
     }
 }

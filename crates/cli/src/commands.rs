@@ -17,6 +17,28 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Decompress { input, output, codec } => decompress(&input, &output, codec),
         Command::Info { path } => info(&path),
         Command::Gen { dataset, bytes, output, seed } => gen(&dataset, bytes, &output, seed),
+        Command::Serve {
+            devices,
+            cpu_workers,
+            tenants,
+            jobs,
+            payload,
+            queue_depth,
+            batch_jobs,
+            fail_first,
+            seed,
+        } => serve(
+            devices,
+            cpu_workers,
+            tenants,
+            jobs,
+            payload,
+            queue_depth,
+            batch_jobs,
+            fail_first,
+            seed,
+        ),
+        Command::BenchServe { jobs, payload, seed } => bench_serve(jobs, payload, seed),
         Command::Selftest => selftest(),
     }
 }
@@ -105,8 +127,8 @@ fn detect(data: &[u8]) -> Result<Codec, String> {
         b"CLZC" => {
             // Distinguish the CULZSS (Fixed16) container from the Pthread
             // (FlagBit) one via the format id byte.
-            let (container, _) = culzss_lzss::container::Container::parse(data)
-                .map_err(|e| e.to_string())?;
+            let (container, _) =
+                culzss_lzss::container::Container::parse(data).map_err(|e| e.to_string())?;
             if container.format_id == culzss_lzss::format::TokenFormat::Fixed16.id() {
                 Ok(Codec::V2)
             } else {
@@ -126,10 +148,13 @@ fn info(path: &str) -> Result<(), String> {
     }
     match &data[..4] {
         b"CLZC" => {
-            let (c, payload) = culzss_lzss::container::Container::parse(&data)
-                .map_err(|e| e.to_string())?;
+            let (c, payload) =
+                culzss_lzss::container::Container::parse(&data).map_err(|e| e.to_string())?;
             println!("chunked LZSS container (CLZC)");
-            println!("  format        : {}", if c.format_id == 2 { "Fixed16 (CULZSS)" } else { "FlagBit (CPU)" });
+            println!(
+                "  format        : {}",
+                if c.format_id == 2 { "Fixed16 (CULZSS)" } else { "FlagBit (CPU)" }
+            );
             println!("  window        : {} B", c.window_size);
             println!("  match lengths : {}..={}", c.min_match, c.max_match);
             println!("  chunk size    : {} B", c.chunk_size);
@@ -180,6 +205,108 @@ fn gen(dataset: &str, bytes: usize, output: &str, seed: u64) -> Result<(), Strin
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    devices: usize,
+    cpu_workers: usize,
+    tenants: usize,
+    jobs: usize,
+    payload: usize,
+    queue_depth: usize,
+    batch_jobs: usize,
+    fail_first: u64,
+    seed: u64,
+) -> Result<(), String> {
+    use culzss_server::{FaultPlan, LoadGenConfig, ServerConfig, Service};
+
+    let config = ServerConfig {
+        devices: (0..devices).map(|_| culzss_gpusim::DeviceSpec::gtx480()).collect(),
+        cpu_workers,
+        queue_depth,
+        batch_jobs,
+        fault: if fail_first > 0 { FaultPlan::fail_first(fail_first) } else { FaultPlan::none() },
+        ..ServerConfig::default()
+    };
+    println!(
+        "service: {devices} simulated GTX 480 device(s) + {cpu_workers} CPU worker(s), \
+         queue depth {queue_depth}, batch window {batch_jobs} jobs"
+    );
+    let service = Service::start(config);
+
+    let load = LoadGenConfig {
+        tenants,
+        jobs_per_tenant: jobs,
+        payload_bytes: payload,
+        seed,
+        ..LoadGenConfig::default()
+    };
+    println!(
+        "load: {tenants} tenant(s) x {jobs} jobs x {payload} B (closed loop, window {})",
+        load.window
+    );
+    let report = culzss_server::loadgen::run(&service, &load);
+    println!("\nclient view:\n{report}");
+
+    let recent = service.recent_batches();
+    println!("\nlast batch windows (of {}):", recent.len());
+    for batch in recent.iter().rev().take(8).rev() {
+        println!("  {batch}");
+    }
+
+    let stats = service.shutdown();
+    println!("\nservice stats:\n{stats}");
+    println!("counters reconcile: {}", stats.reconciles());
+    Ok(())
+}
+
+fn bench_serve(jobs: usize, payload: usize, seed: u64) -> Result<(), String> {
+    use culzss_server::{FaultPlan, LoadGenConfig, ServerConfig, Service};
+
+    let shapes: [(&str, usize, usize, FaultPlan); 4] = [
+        ("1 gpu + 0 cpu", 1, 0, FaultPlan::none()),
+        ("1 gpu + 1 cpu", 1, 1, FaultPlan::none()),
+        ("2 gpu + 1 cpu", 2, 1, FaultPlan::none()),
+        ("2 gpu + 1 cpu, flaky", 2, 1, FaultPlan::every_nth(4)),
+    ];
+    println!("bench-serve: 4 tenants x {jobs} jobs x {payload} B per pool shape (seed {seed})\n");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>12} {:>10} {:>10}",
+        "pool", "completed", "rejected", "fallback", "mean lat ms", "wall s", "coalesce"
+    );
+    for (label, devices, cpu_workers, fault) in shapes {
+        let config = ServerConfig {
+            devices: (0..devices).map(|_| culzss_gpusim::DeviceSpec::gtx480()).collect(),
+            cpu_workers,
+            fault,
+            ..ServerConfig::default()
+        };
+        let service = Service::start(config);
+        let load = LoadGenConfig {
+            tenants: 4,
+            jobs_per_tenant: jobs,
+            payload_bytes: payload,
+            seed,
+            ..LoadGenConfig::default()
+        };
+        let report = culzss_server::loadgen::run(&service, &load);
+        let stats = service.shutdown();
+        if !stats.reconciles() {
+            return Err(format!("{label}: counters do not reconcile: {stats:?}"));
+        }
+        println!(
+            "{:<22} {:>9} {:>9} {:>9} {:>12.2} {:>10.2} {:>9.2}x",
+            label,
+            stats.completed,
+            stats.rejected(),
+            stats.cpu_fallback_completions,
+            report.mean_latency_seconds() * 1e3,
+            report.wall_seconds,
+            stats.batching_speedup(),
+        );
+    }
+    Ok(())
+}
+
 fn selftest() -> Result<(), String> {
     let dir = std::env::temp_dir().join("culzss_cli_selftest");
     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
@@ -218,8 +345,7 @@ mod tests {
     #[test]
     fn detect_identifies_all_magics() {
         let data = culzss_datasets::Dataset::CFiles.generate(32 * 1024, 1);
-        let serial =
-            culzss_lzss::serial::compress(&data, &LzssConfig::dipperstein()).unwrap();
+        let serial = culzss_lzss::serial::compress(&data, &LzssConfig::dipperstein()).unwrap();
         assert_eq!(detect(&serial).unwrap(), Codec::Lzss);
 
         let bz = culzss_bzip2::compress(&data).unwrap();
@@ -228,8 +354,7 @@ mod tests {
         let gpu = Culzss::new(Version::V2).with_workers(1).compress(&data).unwrap().0;
         assert_eq!(detect(&gpu).unwrap(), Codec::V2);
 
-        let pthread =
-            culzss_pthread::compress(&data, &LzssConfig::dipperstein(), 2).unwrap();
+        let pthread = culzss_pthread::compress(&data, &LzssConfig::dipperstein(), 2).unwrap();
         assert_eq!(detect(&pthread).unwrap(), Codec::Pthread);
 
         assert!(detect(b"??").is_err());

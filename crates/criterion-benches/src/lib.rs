@@ -1,0 +1,10 @@
+//! Host crate for the criterion benches (see the `benches/` directory).
+//!
+//! This crate is deliberately **excluded** from the workspace: criterion
+//! is its only registry dependency, and keeping it out of the workspace
+//! graph means `cargo build` / `cargo test` at the repository root work
+//! with no network access. Run the benches from this directory:
+//!
+//! ```text
+//! cd crates/criterion-benches && cargo bench
+//! ```

@@ -144,8 +144,7 @@ impl Culzss {
         };
 
         let cpu_started = Instant::now();
-        let stream =
-            assemble(&config, self.params.chunk_size as u32, input.len() as u64, &bodies)?;
+        let stream = assemble(&config, self.params.chunk_size as u32, input.len() as u64, &bodies)?;
         let cpu_seconds = cpu_seconds + cpu_started.elapsed().as_secs_f64();
 
         let stats = PipelineStats {
@@ -205,13 +204,8 @@ impl Culzss {
         let mut ledger = TransferLedger::default();
         let h2d = ledger.copy(device, Direction::HostToDevice, bytes.len());
 
-        let (chunks, launch) = decompress::run(
-            &self.sim,
-            payload,
-            &layout,
-            &config,
-            self.params.threads_per_block,
-        )?;
+        let (chunks, launch) =
+            decompress::run(&self.sim, payload, &layout, &config, self.params.threads_per_block)?;
         let d2h = ledger.copy(device, Direction::DeviceToHost, container.total_len as usize);
 
         let started = Instant::now();
@@ -316,12 +310,7 @@ mod tests {
         let input = Dataset::HighlyCompressible.generate(128 * 1024, 4);
         let (c1, _) = gpu_compress(&input, Version::V1).unwrap();
         let (c2, _) = gpu_compress(&input, Version::V2).unwrap();
-        assert!(
-            (c2.len() as f64) < c1.len() as f64 * 0.7,
-            "V2 {} vs V1 {}",
-            c2.len(),
-            c1.len()
-        );
+        assert!((c2.len() as f64) < c1.len() as f64 * 0.7, "V2 {} vs V1 {}", c2.len(), c1.len());
     }
 
     #[test]
@@ -332,11 +321,8 @@ mod tests {
         // "Deviations") — so the reproduction asserts the same direction
         // with the honestly measured magnitude.
         let input = Dataset::CFiles.generate(192 * 1024, 5);
-        let serial = culzss_lzss::serial::compress(
-            &input,
-            &culzss_lzss::LzssConfig::dipperstein(),
-        )
-        .unwrap();
+        let serial =
+            culzss_lzss::serial::compress(&input, &culzss_lzss::LzssConfig::dipperstein()).unwrap();
         let (v1, _) = gpu_compress(&input, Version::V1).unwrap();
         let ratio = v1.len() as f64 / serial.len() as f64;
         assert!((1.0..2.0).contains(&ratio), "V1/serial size ratio {ratio}");
@@ -355,10 +341,7 @@ mod tests {
         let total = stats.modeled_total_seconds();
         assert!(
             total
-                >= stats.h2d_seconds
-                    + stats.kernel_seconds
-                    + stats.d2h_seconds
-                    + stats.cpu_seconds
+                >= stats.h2d_seconds + stats.kernel_seconds + stats.d2h_seconds + stats.cpu_seconds
                     - 1e-12
         );
         assert_eq!(stats.input_bytes, input.len());
@@ -398,14 +381,10 @@ mod auto_tests {
             let bodies: Vec<Vec<u8>> = input
                 .chunks(4096)
                 .map(|c| {
-                    culzss_lzss::format::encode(
-                        &culzss_lzss::serial::tokenize(c, config),
-                        config,
-                    )
+                    culzss_lzss::format::encode(&culzss_lzss::serial::tokenize(c, config), config)
                 })
                 .collect();
-            culzss_lzss::container::assemble(config, 4096, input.len() as u64, &bodies)
-                .unwrap()
+            culzss_lzss::container::assemble(config, 4096, input.len() as u64, &bodies).unwrap()
         }
     }
 

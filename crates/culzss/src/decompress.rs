@@ -41,11 +41,10 @@ impl BlockKernel for DecompressKernel<'_> {
         block.single_thread(|t| {
             // Decode into tokens first so token counts can be metered,
             // then expand — functionally identical to the fused path.
-            let decoded = format::decode(body, &self.config, *unc_len)
-                .and_then(|tokens| {
-                    t.charge_ops(tokens.len() as u64 * DEC_OPS_PER_TOKEN);
-                    token::expand(&tokens, &self.config)
-                });
+            let decoded = format::decode(body, &self.config, *unc_len).and_then(|tokens| {
+                t.charge_ops(tokens.len() as u64 * DEC_OPS_PER_TOKEN);
+                token::expand(&tokens, &self.config)
+            });
             // Compressed bytes stream through L1 (sequential single-lane
             // reads); output writes are sequential too.
             t.global_cached_bulk(body.len() as u64);

@@ -46,15 +46,11 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: CulzssError =
-            culzss_lzss::Error::UnexpectedEof { context: "x" }.into();
+        let e: CulzssError = culzss_lzss::Error::UnexpectedEof { context: "x" }.into();
         assert!(e.to_string().contains("codec"));
 
-        let e: CulzssError = culzss_gpusim::exec::LaunchError::BadBlockDim {
-            requested: 0,
-            max: 1024,
-        }
-        .into();
+        let e: CulzssError =
+            culzss_gpusim::exec::LaunchError::BadBlockDim { requested: 0, max: 1024 }.into();
         assert!(e.to_string().contains("launch"));
 
         let e = CulzssError::InvalidParams("nope".into());

@@ -13,13 +13,106 @@
 
 use std::time::Instant;
 
-use culzss_lzss::container::assemble;
+use culzss_lzss::container::{assemble, Container};
 use culzss_lzss::format;
 use culzss_lzss::serial;
 
 use crate::api::Culzss;
 use crate::error::CulzssResult;
 use crate::kernel_v1;
+use crate::params::CulzssParams;
+
+/// Compresses the per-chunk bodies of `input` on the host CPU with
+/// `threads` workers, using the identical per-chunk algorithm and token
+/// configuration as the V1 GPU kernel — each body is byte-identical to
+/// what the kernel would emit for that chunk. This is the CPU engine of
+/// [`HeteroCompressor`], exposed so fallback paths (e.g. a service
+/// degrading off a failed device) can produce wire-compatible streams.
+pub fn cpu_compress_bodies(input: &[u8], params: &CulzssParams, threads: usize) -> Vec<Vec<u8>> {
+    let config = params.lzss_config();
+    let chunks: Vec<&[u8]> = input.chunks(params.chunk_size).collect();
+    let mut bodies: Vec<Vec<u8>> = vec![Vec::new(); chunks.len()];
+    if !bodies.is_empty() {
+        let threads = threads.clamp(1, chunks.len());
+        let per_worker = chunks.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (chunk_range, body_range) in
+                chunks.chunks(per_worker).zip(bodies.chunks_mut(per_worker))
+            {
+                let config = &config;
+                scope.spawn(move |_| {
+                    for (chunk, body) in chunk_range.iter().zip(body_range.iter_mut()) {
+                        let tokens = serial::tokenize(chunk, config);
+                        *body = format::encode(&tokens, config);
+                    }
+                });
+            }
+        })
+        .expect("CPU compression worker panicked");
+    }
+    bodies
+}
+
+/// Pure-CPU compression into the standard container — byte-identical to
+/// a pure-GPU V1 run with the same `params`.
+pub fn cpu_compress(input: &[u8], params: &CulzssParams, threads: usize) -> CulzssResult<Vec<u8>> {
+    let config = params.lzss_config();
+    config.validate()?;
+    let bodies = cpu_compress_bodies(input, params, threads);
+    Ok(assemble(&config, params.chunk_size as u32, input.len() as u64, &bodies)?)
+}
+
+/// Pure-CPU decompression of any CULZSS (Fixed16) container, reading the
+/// token configuration from the header like
+/// [`Culzss::decompress_auto`](crate::Culzss::decompress_auto) — the
+/// host-side fallback when no device is available.
+pub fn cpu_decompress(bytes: &[u8], threads: usize) -> CulzssResult<Vec<u8>> {
+    let (container, payload_offset) = Container::parse(bytes)?;
+    if container.format_id != culzss_lzss::format::TokenFormat::Fixed16.id() {
+        return Err(culzss_lzss::Error::InvalidContainer {
+            reason: "not a CULZSS (Fixed16) stream".into(),
+        }
+        .into());
+    }
+    let config = culzss_lzss::LzssConfig {
+        window_size: container.window_size as usize,
+        min_match: usize::from(container.min_match),
+        max_match: container.max_match as usize,
+        format: culzss_lzss::format::TokenFormat::Fixed16,
+    };
+    config.validate()?;
+    let payload = &bytes[payload_offset..];
+    let layout = container.chunk_layout();
+    let mut pieces: Vec<culzss_lzss::error::Result<Vec<u8>>> = Vec::new();
+    pieces.resize_with(layout.len(), || Ok(Vec::new()));
+    if !layout.is_empty() {
+        let threads = threads.clamp(1, layout.len());
+        let per_worker = layout.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (jobs, outs) in layout.chunks(per_worker).zip(pieces.chunks_mut(per_worker)) {
+                let config = &config;
+                scope.spawn(move |_| {
+                    for ((range, unc_len), out) in jobs.iter().zip(outs.iter_mut()) {
+                        *out = serial::decode_body(&payload[range.clone()], config, *unc_len);
+                    }
+                });
+            }
+        })
+        .expect("CPU decompression worker panicked");
+    }
+    let mut out = Vec::with_capacity(container.total_len as usize);
+    for piece in pieces {
+        out.extend_from_slice(&piece?);
+    }
+    if out.len() as u64 != container.total_len {
+        return Err(culzss_lzss::Error::SizeMismatch {
+            expected: container.total_len as usize,
+            actual: out.len(),
+        }
+        .into());
+    }
+    Ok(out)
+}
 
 /// Timing summary of a heterogeneous run.
 #[derive(Debug, Clone, Copy)]
@@ -83,10 +176,8 @@ impl HeteroCompressor {
         let sim = culzss_gpusim::GpuSim::new(self.culzss.device().clone());
         let (_, launch) = kernel_v1::run(&sim, sample, self.culzss.params())?;
         let device = self.culzss.device();
-        let gpu_seconds = (launch.cost.work_cycles
-            / device.sm_count as f64
-            / device.clock_hz)
-            .max(1e-9);
+        let gpu_seconds =
+            (launch.cost.work_cycles / device.sm_count as f64 / device.clock_hz).max(1e-9);
         let cpu_tput = 1.0 / cpu_seconds;
         let gpu_tput = 1.0 / gpu_seconds;
         self.cpu_fraction = (cpu_tput / (cpu_tput + gpu_tput)).clamp(0.0, 1.0);
@@ -104,8 +195,8 @@ impl HeteroCompressor {
         params.validate(self.culzss.device())?;
 
         let total_chunks = params.chunk_count(input.len());
-        let cpu_chunks = ((total_chunks as f64 * self.cpu_fraction).round() as usize)
-            .min(total_chunks);
+        let cpu_chunks =
+            ((total_chunks as f64 * self.cpu_fraction).round() as usize).min(total_chunks);
         let split = cpu_chunks * params.chunk_size;
         let split = split.min(input.len());
         let (cpu_part, gpu_part) = input.split_at(split);
@@ -113,26 +204,7 @@ impl HeteroCompressor {
         // CPU side: identical per-chunk algorithm, measured, threaded
         // over static ranges like the Pthread baseline.
         let cpu_started = Instant::now();
-        let mut cpu_bodies: Vec<Vec<u8>> =
-            vec![Vec::new(); cpu_part.chunks(params.chunk_size).count()];
-        if !cpu_bodies.is_empty() {
-            let chunks: Vec<&[u8]> = cpu_part.chunks(params.chunk_size).collect();
-            let per_worker = chunks.len().div_ceil(self.cpu_threads);
-            crossbeam::thread::scope(|scope| {
-                for (chunk_range, body_range) in
-                    chunks.chunks(per_worker).zip(cpu_bodies.chunks_mut(per_worker))
-                {
-                    let config = &config;
-                    scope.spawn(move |_| {
-                        for (chunk, body) in chunk_range.iter().zip(body_range.iter_mut()) {
-                            let tokens = serial::tokenize(chunk, config);
-                            *body = format::encode(&tokens, config);
-                        }
-                    });
-                }
-            })
-            .expect("CPU compression worker panicked");
-        }
+        let cpu_bodies = cpu_compress_bodies(cpu_part, &params, self.cpu_threads);
         let cpu_seconds = cpu_started.elapsed().as_secs_f64();
 
         // GPU side: the V1 kernel over the remaining chunks.
@@ -235,5 +307,54 @@ mod tests {
         assert_eq!(stats.cpu_chunks + stats.gpu_chunks, 0);
         let (restored, _) = gpu().decompress(&stream).unwrap();
         assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn edge_fractions_match_the_pure_engine_outputs() {
+        let input = Dataset::KernelTarball.generate(96 * 1024, 29);
+        let (gpu_reference, _) = gpu().compress(&input).unwrap();
+        let cpu_reference = cpu_compress(&input, gpu().params(), 3).unwrap();
+        // The CPU engine is wire-identical to the V1 kernel by design…
+        assert_eq!(cpu_reference, gpu_reference);
+
+        // …so both edge fractions reproduce their engine exactly.
+        let (all_gpu, stats) = HeteroCompressor::new(gpu(), 0.0, 2).compress(&input).unwrap();
+        assert_eq!(stats.cpu_chunks, 0);
+        assert_eq!(all_gpu, gpu_reference);
+
+        let (all_cpu, stats) = HeteroCompressor::new(gpu(), 1.0, 2).compress(&input).unwrap();
+        assert_eq!(stats.gpu_chunks, 0);
+        assert_eq!(all_cpu, cpu_reference);
+    }
+
+    #[test]
+    fn mid_fraction_rounds_to_a_chunk_boundary() {
+        // 160 KiB / 4 KiB chunks = 40; 0.33 · 40 = 13.2 → 13 CPU chunks.
+        let input = Dataset::CFiles.generate(160 * 1024, 31);
+        let (stream, stats) = HeteroCompressor::new(gpu(), 0.33, 2).compress(&input).unwrap();
+        assert_eq!(stats.cpu_chunks, 13);
+        assert_eq!(stats.gpu_chunks, 27);
+        // The split lands on a chunk boundary, so the merged container
+        // is still byte-identical to a single-engine run.
+        let (reference, _) = gpu().compress(&input).unwrap();
+        assert_eq!(stream, reference);
+
+        // Rounding, not truncation: 0.99 · 40 = 39.6 → all 40 chunks.
+        let (_, stats) = HeteroCompressor::new(gpu(), 0.99, 2).compress(&input).unwrap();
+        assert_eq!(stats.cpu_chunks, 40);
+        assert_eq!(stats.gpu_chunks, 0);
+    }
+
+    #[test]
+    fn cpu_hooks_roundtrip_ragged_tails_and_match_the_device_path() {
+        // 70 000 B is not chunk-aligned: 17 full chunks + a 388 B tail.
+        let input = Dataset::DeMap.generate(70_000, 33);
+        let params = crate::params::CulzssParams::v1();
+        let stream = cpu_compress(&input, &params, 4).unwrap();
+        let (gpu_stream, _) = gpu().compress(&input).unwrap();
+        assert_eq!(stream, gpu_stream);
+        assert_eq!(cpu_decompress(&stream, 4).unwrap(), input);
+        // Cross-engine: the device decompressor accepts the CPU stream.
+        assert_eq!(gpu().decompress_auto(&stream).unwrap().0, input);
     }
 }

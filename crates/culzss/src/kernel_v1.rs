@@ -198,10 +198,7 @@ mod tests {
         // The paper reports ≈30 % speedup from the shared-memory move;
         // the model should agree on the direction with a sane magnitude.
         let speedup = g_stats.kernel_seconds / s_stats.kernel_seconds;
-        assert!(
-            (1.05..=2.5).contains(&speedup),
-            "shared-memory speedup {speedup} out of band"
-        );
+        assert!((1.05..=2.5).contains(&speedup), "shared-memory speedup {speedup} out of band");
     }
 
     #[test]

@@ -107,8 +107,10 @@ pub fn run(
     sim: &culzss_gpusim::GpuSim,
     input: &[u8],
     params: &CulzssParams,
-) -> Result<(Vec<Vec<MatchRecord>>, culzss_gpusim::exec::LaunchStats), culzss_gpusim::exec::LaunchError>
-{
+) -> Result<
+    (Vec<Vec<MatchRecord>>, culzss_gpusim::exec::LaunchStats),
+    culzss_gpusim::exec::LaunchError,
+> {
     let kernel = V2MatchKernel::new(input, params);
     let cfg = culzss_gpusim::LaunchConfig {
         grid_dim: params.grid_dim(input.len()),
@@ -149,11 +151,7 @@ mod tests {
         for (chunk, recs) in input.chunks(params.chunk_size).zip(&records) {
             let matches: Vec<PosMatch> = recs
                 .iter()
-                .map(|&(distance, length)| PosMatch {
-                    distance,
-                    length,
-                    work: Default::default(),
-                })
+                .map(|&(distance, length)| PosMatch { distance, length, work: Default::default() })
                 .collect();
             let selected = select_tokens(chunk, &matches, &config);
             let (greedy, _) = greedy_parse(chunk, &config);
@@ -174,8 +172,7 @@ mod tests {
     fn v2_is_faster_than_v1_on_text_but_slower_on_highly_compressible() {
         // The paper's central performance inversion (Table I / Figure 4).
         let text = culzss_datasets::Dataset::CFiles.generate(192 * 1024, 9);
-        let highly =
-            culzss_datasets::Dataset::HighlyCompressible.generate(192 * 1024, 9);
+        let highly = culzss_datasets::Dataset::HighlyCompressible.generate(192 * 1024, 9);
         let v1 = CulzssParams::v1();
         let v2 = CulzssParams::v2();
         let s = sim();

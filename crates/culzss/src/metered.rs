@@ -213,9 +213,8 @@ mod tests {
         let config = cfg();
         let data: Vec<u8> = b"ABCDEFGHIJKLMNOPQRST".repeat(200); // period 20
         let (_, greedy_work) = greedy_parse(&data, &config);
-        let full_work: u64 = (0..data.len())
-            .map(|p| search_position_v2(&data, p, &config).work.ops())
-            .sum();
+        let full_work: u64 =
+            (0..data.len()).map(|p| search_position_v2(&data, p, &config).work.ops()).sum();
         assert!(
             full_work > greedy_work.ops() * 5,
             "full {} vs greedy {}",

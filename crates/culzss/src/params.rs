@@ -140,9 +140,7 @@ impl CulzssParams {
         if self.chunk_size == 0 || self.chunk_size > u32::MAX as usize {
             return fail("chunk_size must be in 1..=u32::MAX".into());
         }
-        if self.threads_per_block == 0
-            || self.threads_per_block > device.max_threads_per_block
-        {
+        if self.threads_per_block == 0 || self.threads_per_block > device.max_threads_per_block {
             return fail(format!(
                 "threads_per_block {} outside 1..={}",
                 self.threads_per_block, device.max_threads_per_block

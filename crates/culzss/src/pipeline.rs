@@ -11,7 +11,7 @@
 use crate::api::PipelineStats;
 
 /// Per-slice stage durations of a pipelined run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StageTimes {
     /// Host→device copy.
     pub h2d: f64,

@@ -52,10 +52,86 @@ impl StreamReport {
             self.sequential_seconds / self.pipelined_seconds
         }
     }
+}
 
-    fn absorb(&mut self, stats: &PipelineStats) {
-        self.batches += 1;
-        self.sequential_seconds += stats.modeled_total_seconds();
+/// Accumulator for the per-batch stage times of a multi-launch run, and
+/// the scheduling models over them. This is the batching core of
+/// [`StreamingCompressor`], exposed so other multiplexers (notably the
+/// `culzss-server` batch scheduler) can report sequential vs. pipelined
+/// makespans for the launches they coalesce.
+#[derive(Debug, Clone, Default)]
+pub struct BatchTimeline {
+    per_batch: Vec<StageTimes>,
+    totals: StageTimes,
+}
+
+impl BatchTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one batch from a pipeline stats breakdown.
+    pub fn push(&mut self, stats: &PipelineStats) {
+        self.push_stages(StageTimes {
+            h2d: stats.h2d_seconds,
+            kernel: stats.kernel_seconds,
+            d2h: stats.d2h_seconds,
+            cpu: stats.cpu_seconds,
+        });
+    }
+
+    /// Records one batch from raw stage durations.
+    pub fn push_stages(&mut self, stages: StageTimes) {
+        self.totals.h2d += stages.h2d;
+        self.totals.kernel += stages.kernel;
+        self.totals.d2h += stages.d2h;
+        self.totals.cpu += stages.cpu;
+        self.per_batch.push(stages);
+    }
+
+    /// Number of batches recorded.
+    pub fn batches(&self) -> usize {
+        self.per_batch.len()
+    }
+
+    /// Σ of the per-batch sequential (back-to-back) totals.
+    pub fn sequential_seconds(&self) -> f64 {
+        self.totals.h2d + self.totals.kernel + self.totals.d2h + self.totals.cpu
+    }
+
+    /// Makespan of the ideal 4-stage pipeline over the recorded batches.
+    pub fn pipelined_seconds(&self) -> f64 {
+        if self.per_batch.is_empty() {
+            0.0
+        } else {
+            pipelined_makespan(self.totals, self.per_batch.len())
+        }
+    }
+
+    /// Makespan under the Fermi stream model with depth-first issue (the
+    /// head-of-line-blocked schedule a naive port gets).
+    pub fn fermi_depth_first_seconds(&self) -> f64 {
+        let mut sim = StreamSim::new();
+        for (i, b) in self.per_batch.iter().enumerate() {
+            sim.enqueue_batch(i, b.h2d, b.kernel, b.d2h, b.cpu);
+        }
+        sim.run().makespan
+    }
+
+    /// Makespan under the Fermi stream model with breadth-first issue
+    /// (the era-correct submission order).
+    pub fn fermi_breadth_first_seconds(&self) -> f64 {
+        let mut sim = StreamSim::new();
+        for (stage, pick) in
+            [(Engine::Copy, 0usize), (Engine::Compute, 1), (Engine::Copy, 2), (Engine::Host, 3)]
+        {
+            for (i, b) in self.per_batch.iter().enumerate() {
+                let dur = [b.h2d, b.kernel, b.d2h, b.cpu][pick];
+                sim.enqueue(i, stage, dur);
+            }
+        }
+        sim.run().makespan
     }
 }
 
@@ -86,8 +162,7 @@ impl StreamingCompressor {
         output: &mut W,
     ) -> CulzssResult<StreamReport> {
         let mut report = StreamReport::default();
-        let mut stage_totals = StageTimes { h2d: 0.0, kernel: 0.0, d2h: 0.0, cpu: 0.0 };
-        let mut per_batch: Vec<StageTimes> = Vec::new();
+        let mut timeline = BatchTimeline::new();
         output.write_all(&STREAM_MAGIC).map_err(io_err)?;
 
         let mut buffer = vec![0u8; self.batch_bytes];
@@ -103,18 +178,7 @@ impl StreamingCompressor {
                 .map_err(io_err)?;
             report.bytes_in += filled as u64;
             report.bytes_out += 4 + body.len() as u64;
-            report.absorb(&stats);
-            let stages = StageTimes {
-                h2d: stats.h2d_seconds,
-                kernel: stats.kernel_seconds,
-                d2h: stats.d2h_seconds,
-                cpu: stats.cpu_seconds,
-            };
-            stage_totals.h2d += stages.h2d;
-            stage_totals.kernel += stages.kernel;
-            stage_totals.d2h += stages.d2h;
-            stage_totals.cpu += stages.cpu;
-            per_batch.push(stages);
+            timeline.push(&stats);
             if filled < buffer.len() {
                 break;
             }
@@ -122,31 +186,11 @@ impl StreamingCompressor {
         // End-of-stream frame.
         output.write_all(&0u32.to_le_bytes()).map_err(io_err)?;
         report.bytes_out += 8; // magic + terminator
-        report.pipelined_seconds = if report.batches > 0 {
-            pipelined_makespan(stage_totals, report.batches)
-        } else {
-            0.0
-        };
-
-        // Fermi stream-model schedules over the per-batch stage times.
-        let mut depth_first = StreamSim::new();
-        for (i, b) in per_batch.iter().enumerate() {
-            depth_first.enqueue_batch(i, b.h2d, b.kernel, b.d2h, b.cpu);
-        }
-        report.fermi_depth_first_seconds = depth_first.run().makespan;
-        let mut breadth_first = StreamSim::new();
-        for (stage, pick) in [
-            (Engine::Copy, 0usize),
-            (Engine::Compute, 1),
-            (Engine::Copy, 2),
-            (Engine::Host, 3),
-        ] {
-            for (i, b) in per_batch.iter().enumerate() {
-                let dur = [b.h2d, b.kernel, b.d2h, b.cpu][pick];
-                breadth_first.enqueue(i, stage, dur);
-            }
-        }
-        report.fermi_breadth_first_seconds = breadth_first.run().makespan;
+        report.batches = timeline.batches();
+        report.sequential_seconds = timeline.sequential_seconds();
+        report.pipelined_seconds = timeline.pipelined_seconds();
+        report.fermi_depth_first_seconds = timeline.fermi_depth_first_seconds();
+        report.fermi_breadth_first_seconds = timeline.fermi_breadth_first_seconds();
         Ok(report)
     }
 
@@ -204,8 +248,7 @@ mod tests {
     use std::io::Cursor;
 
     fn compressor(batch: usize) -> StreamingCompressor {
-        StreamingCompressor::new(Culzss::new(Version::V1).with_workers(2))
-            .with_batch_bytes(batch)
+        StreamingCompressor::new(Culzss::new(Version::V1).with_workers(2)).with_batch_bytes(batch)
     }
 
     #[test]
@@ -213,24 +256,17 @@ mod tests {
         let data = culzss_datasets::Dataset::CFiles.generate(300 * 1024, 1);
         let sc = compressor(64 * 1024); // 5 batches
         let mut compressed = Vec::new();
-        let report =
-            sc.compress_stream(&mut Cursor::new(&data), &mut compressed).unwrap();
+        let report = sc.compress_stream(&mut Cursor::new(&data), &mut compressed).unwrap();
         assert_eq!(report.batches, 5);
         assert_eq!(report.bytes_in, data.len() as u64);
         assert_eq!(report.bytes_out, compressed.len() as u64);
         assert!(report.overlap_speedup() >= 1.0);
         // Fermi stream schedules: breadth-first never loses to
         // depth-first, and neither beats the idealized pipeline bound.
-        assert!(
-            report.fermi_breadth_first_seconds
-                <= report.fermi_depth_first_seconds + 1e-12
-        );
+        assert!(report.fermi_breadth_first_seconds <= report.fermi_depth_first_seconds + 1e-12);
         // (5% slack: the analytic pipeline assumes uniform batch sizes,
         // the stream model uses the actual, variable ones.)
-        assert!(
-            report.pipelined_seconds
-                <= report.fermi_breadth_first_seconds * 1.05 + 1e-9
-        );
+        assert!(report.pipelined_seconds <= report.fermi_breadth_first_seconds * 1.05 + 1e-9);
 
         let mut restored = Vec::new();
         let n = sc.decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap();
@@ -243,8 +279,7 @@ mod tests {
         let data = vec![7u8; 128 * 1024];
         let sc = compressor(64 * 1024);
         let mut compressed = Vec::new();
-        let report =
-            sc.compress_stream(&mut Cursor::new(&data), &mut compressed).unwrap();
+        let report = sc.compress_stream(&mut Cursor::new(&data), &mut compressed).unwrap();
         assert_eq!(report.batches, 2);
         let mut restored = Vec::new();
         sc.decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap();
@@ -255,8 +290,7 @@ mod tests {
     fn empty_stream() {
         let sc = compressor(64 * 1024);
         let mut compressed = Vec::new();
-        let report =
-            sc.compress_stream(&mut Cursor::new(b""), &mut compressed).unwrap();
+        let report = sc.compress_stream(&mut Cursor::new(b""), &mut compressed).unwrap();
         assert_eq!(report.batches, 0);
         let mut restored = Vec::new();
         let n = sc.decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap();
@@ -282,9 +316,7 @@ mod tests {
     fn bad_magic_rejected() {
         let sc = compressor(64 * 1024);
         let mut restored = Vec::new();
-        assert!(sc
-            .decompress_stream(&mut Cursor::new(b"XXXX\0\0\0\0"), &mut restored)
-            .is_err());
+        assert!(sc.decompress_stream(&mut Cursor::new(b"XXXX\0\0\0\0"), &mut restored).is_err());
     }
 
     #[test]
@@ -292,12 +324,8 @@ mod tests {
         let data = culzss_datasets::Dataset::DeMap.generate(512 * 1024, 2);
         let sc = compressor(32 * 1024); // 16 batches
         let mut compressed = Vec::new();
-        let report =
-            sc.compress_stream(&mut Cursor::new(&data), &mut compressed).unwrap();
+        let report = sc.compress_stream(&mut Cursor::new(&data), &mut compressed).unwrap();
         assert!(report.batches >= 16);
-        assert!(
-            report.pipelined_seconds < report.sequential_seconds,
-            "{report:?}"
-        );
+        assert!(report.pipelined_seconds < report.sequential_seconds, "{report:?}");
     }
 }

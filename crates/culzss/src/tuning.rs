@@ -47,9 +47,7 @@ fn run_point(device: &DeviceSpec, params: CulzssParams, input: &[u8]) -> TuningP
                 ratio: Some(stats.ratio()),
             }
         }
-        Err(_) => {
-            TuningPoint { value, modeled_seconds: None, gpu_seconds: None, ratio: None }
-        }
+        Err(_) => TuningPoint { value, modeled_seconds: None, gpu_seconds: None, ratio: None },
     }
 }
 

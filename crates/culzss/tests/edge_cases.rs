@@ -17,18 +17,9 @@ fn boundary_input_sizes() {
     let chunk = CulzssParams::v1().chunk_size;
     for version in [Version::V1, Version::V2] {
         let culzss = Culzss::new(version).with_workers(2);
-        for size in [
-            0usize,
-            1,
-            2,
-            3,
-            chunk - 1,
-            chunk,
-            chunk + 1,
-            2 * chunk - 1,
-            2 * chunk,
-            2 * chunk + 1,
-        ] {
+        for size in
+            [0usize, 1, 2, 3, chunk - 1, chunk, chunk + 1, 2 * chunk - 1, 2 * chunk, 2 * chunk + 1]
+        {
             let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
             roundtrip(&culzss, &input);
         }
@@ -43,11 +34,7 @@ fn pathological_contents() {
         (0..10_000).map(|i| (i % 2) as u8 * 255).collect(),
         (0..10_000).map(|i| (i % 256) as u8).collect(),
         // Exactly min_match-length repeats separated by unique bytes.
-        (0..2000)
-            .flat_map(|i: u32| {
-                vec![b'a', b'b', b'c', (i % 251) as u8]
-            })
-            .collect(),
+        (0..2000).flat_map(|i: u32| vec![b'a', b'b', b'c', (i % 251) as u8]).collect(),
         // A single repeated max-match-length pattern (32 for V2).
         b"ABCDEFGHIJKLMNOPQRSTUVWXYZ012345".repeat(300),
     ];
@@ -80,8 +67,7 @@ fn custom_parameter_matrix() {
                         continue;
                     }
                     tried += 1;
-                    let culzss =
-                        Culzss::with_device(device.clone(), params).with_workers(2);
+                    let culzss = Culzss::with_device(device.clone(), params).with_workers(2);
                     roundtrip(&culzss, &input);
                 }
             }

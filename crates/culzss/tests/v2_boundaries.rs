@@ -33,9 +33,7 @@ fn every_record_matches_the_reference_search() {
     let config = params.lzss_config();
     let input = record_input(3, 3 * params.chunk_size + 777);
     let (records, _) = kernel_v2::run(&sim(), &input, &params).unwrap();
-    for (chunk_idx, (chunk, recs)) in
-        input.chunks(params.chunk_size).zip(&records).enumerate()
-    {
+    for (chunk_idx, (chunk, recs)) in input.chunks(params.chunk_size).zip(&records).enumerate() {
         for (p, &(distance, length)) in recs.iter().enumerate() {
             let want = search_position_v2(chunk, p, &config);
             assert_eq!(
@@ -110,9 +108,7 @@ fn segment_boundaries_are_invisible_in_the_output() {
     let (stream, _) = culzss.compress(&input).unwrap();
     let bodies: Vec<Vec<u8>> = input
         .chunks(params.chunk_size)
-        .map(|c| {
-            culzss_lzss::format::encode(&culzss_lzss::serial::tokenize(c, &config), &config)
-        })
+        .map(|c| culzss_lzss::format::encode(&culzss_lzss::serial::tokenize(c, &config), &config))
         .collect();
     let reference = culzss_lzss::container::assemble(
         &config,

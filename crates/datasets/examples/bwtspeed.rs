@@ -9,7 +9,12 @@ fn main() {
         ] {
             let t = std::time::Instant::now();
             let c = culzss_bzip2::compress_with(&data, 900_000, b).unwrap();
-            println!("{:<22}{n:<10}{:>10.3}s -> {} bytes", d.slug(), t.elapsed().as_secs_f64(), c.len());
+            println!(
+                "{:<22}{n:<10}{:>10.3}s -> {} bytes",
+                d.slug(),
+                t.elapsed().as_secs_f64(),
+                c.len()
+            );
         }
     }
 }

@@ -13,15 +13,16 @@ use rand::{Rng, SeedableRng};
 use crate::words::WordGen;
 
 /// C type spellings sprinkled through the output.
-const TYPES: &[&str] = &["int", "char", "unsigned long", "size_t", "u32", "void *", "struct page *", "bool", "s64"];
+const TYPES: &[&str] =
+    &["int", "char", "unsigned long", "size_t", "u32", "void *", "struct page *", "bool", "s64"];
 const BINOPS: &[&str] = &["+", "-", "*", "&", "|", "^", "<<", ">>", "%"];
 const CMPOPS: &[&str] = &["==", "!=", "<", ">", "<=", ">="];
 /// Short identifiers, the bread and butter of real C: matches built from
 /// them stay 3-7 bytes long, which is why a 128-byte window compresses C
 /// almost as well as a 4096-byte one (Table II).
 const SHORT_IDENTS: &[&str] = &[
-    "i", "j", "k", "n", "ret", "err", "len", "buf", "idx", "ptr", "val", "tmp", "cnt",
-    "off", "pos", "sz", "dst", "src", "dev", "ctx", "req", "res", "p", "q", "s", "d",
+    "i", "j", "k", "n", "ret", "err", "len", "buf", "idx", "ptr", "val", "tmp", "cnt", "off",
+    "pos", "sz", "dst", "src", "dev", "ctx", "req", "res", "p", "q", "s", "d",
 ];
 
 /// Generates exactly `len` bytes of C-like source code.
@@ -54,15 +55,23 @@ fn emit_file(
     // reuses the same handful of locals within a few adjacent lines, so
     // most identifier matches sit well inside even a 128-byte window
     // (which is why Table II's V1 ratio tracks the serial one so closely).
-    let mut recent: std::collections::VecDeque<String> = (0..3)
-        .map(|_| words.natural_word())
-        .collect();
+    let mut recent: std::collections::VecDeque<String> =
+        (0..3).map(|_| words.natural_word()).collect();
     let funcs: Vec<String> = (0..rng.gen_range(6..14))
         .map(|_| format!("{}_{}", words.natural_word(), words.natural_word()))
         .collect();
 
     let header = words.natural_word();
-    push_line(out, 0, &format!("/* {} {} {} — unit {file_no} */", words.natural_word(), words.natural_word(), words.natural_word()));
+    push_line(
+        out,
+        0,
+        &format!(
+            "/* {} {} {} — unit {file_no} */",
+            words.natural_word(),
+            words.natural_word(),
+            words.natural_word()
+        ),
+    );
     push_line(out, 0, &format!("#include <linux/{header}.h>"));
     push_line(out, 0, "#include <linux/kernel.h>");
     push_line(out, 0, "");
@@ -76,11 +85,21 @@ fn emit_file(
             push_line(
                 out,
                 0,
-                &format!("/* {} the {} {} before {} */", words.natural_word(), words.natural_word(), words.natural_word(), words.natural_word()),
+                &format!(
+                    "/* {} the {} {} before {} */",
+                    words.natural_word(),
+                    words.natural_word(),
+                    words.natural_word(),
+                    words.natural_word()
+                ),
             );
         }
         let sig = match rng.gen_range(0..4) {
-            0 => format!("static {ret} {func}(struct {} *{}, int {arg})", words.natural_word(), words.natural_word()),
+            0 => format!(
+                "static {ret} {func}(struct {} *{}, int {arg})",
+                words.natural_word(),
+                words.natural_word()
+            ),
             1 => format!("static {ret} {func}(void)"),
             2 => format!("static {ret} {func}(u32 {arg}, const char *{})", words.natural_word()),
             _ => format!("{ret} {func}({} {arg})", TYPES[rng.gen_range(0..TYPES.len())]),
@@ -171,9 +190,21 @@ fn emit_statement(
         2 => push_line(
             out,
             depth,
-            &format!("for ({a} = {}; {a} < {b}; {a} += {}) {{", rng.gen_range(0..8), rng.gen_range(1..5)),
+            &format!(
+                "for ({a} = {}; {a} < {b}; {a} += {}) {{",
+                rng.gen_range(0..8),
+                rng.gen_range(1..5)
+            ),
         ),
-        3 => push_line(out, depth, &format!("{a}->{b} = {c}->{} {op} {};", words.natural_word(), rng.gen_range(0..100_000u32))),
+        3 => push_line(
+            out,
+            depth,
+            &format!(
+                "{a}->{b} = {c}->{} {op} {};",
+                words.natural_word(),
+                rng.gen_range(0..100_000u32)
+            ),
+        ),
         4 => push_line(out, depth, &format!("{a} = ({b} {op} 0x{:x}) {op} {c};", rng.gen::<u32>())),
         5 => push_line(
             out,
@@ -190,14 +221,22 @@ fn emit_statement(
         6 => push_line(
             out,
             depth,
-            &format!("{}(&{a}->{});", ["spin_lock", "mutex_lock", "spin_unlock", "up_read"][rng.gen_range(0..4)], words.natural_word()),
+            &format!(
+                "{}(&{a}->{});",
+                ["spin_lock", "mutex_lock", "spin_unlock", "up_read"][rng.gen_range(0..4)],
+                words.natural_word()
+            ),
         ),
         7 => push_line(out, depth, &format!("{a} = {b} & 0x{:04x};", rng.gen_range(0..0xFFFFu32))),
         8 => push_line(out, depth, &format!("WARN_ON({a} {cmp} {});", rng.gen_range(0..4096u32))),
         9 => push_line(
             out,
             depth,
-            &format!("memcpy({a}, {b} + {}, sizeof(*{c}) * {});", rng.gen_range(0..64u32), rng.gen_range(1..32u32)),
+            &format!(
+                "memcpy({a}, {b} + {}, sizeof(*{c}) * {});",
+                rng.gen_range(0..64u32),
+                rng.gen_range(1..32u32)
+            ),
         ),
         10 => push_line(out, depth, &format!("}} /* {} */", words.natural_word())),
         _ => push_line(out, depth, &format!("{a} = {b} {op} {c};")),

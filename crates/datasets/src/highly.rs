@@ -21,8 +21,7 @@ pub fn generate(len: usize, seed: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(len + PERIOD);
     while out.len() < len {
         // One printable 20-byte pattern...
-        let pattern: Vec<u8> =
-            (0..PERIOD).map(|_| rng.gen_range(b'A'..=b'Z')).collect();
+        let pattern: Vec<u8> = (0..PERIOD).map(|_| rng.gen_range(b'A'..=b'Z')).collect();
         // ...repeated for a few KB.
         let block = rng.gen_range(2048..8192);
         let take = block.min(len + PERIOD - out.len());
@@ -62,8 +61,8 @@ mod tests {
         // period costs ~2.1 B per 18 B plus refresh literals).
         let config = culzss_lzss::LzssConfig::dipperstein();
         let data = generate(256 * 1024, 35);
-        let ratio = culzss_lzss::serial::compress(&data, &config).unwrap().len() as f64
-            / data.len() as f64;
+        let ratio =
+            culzss_lzss::serial::compress(&data, &config).unwrap().len() as f64 / data.len() as f64;
         assert!((0.10..=0.18).contains(&ratio), "ratio {ratio}");
     }
 

@@ -97,10 +97,7 @@ mod tests {
 
     #[test]
     fn single_component_mix_is_segmented_corpus() {
-        let m = Mixer::new(vec![Component {
-            dataset: Dataset::HighlyCompressible,
-            weight: 1.0,
-        }]);
+        let m = Mixer::new(vec![Component { dataset: Dataset::HighlyCompressible, weight: 1.0 }]);
         let data = m.generate(50_000, 7);
         // Still highly compressible overall.
         let config = culzss_lzss::LzssConfig::dipperstein();
@@ -112,8 +109,7 @@ mod tests {
     fn mixed_traffic_sits_between_its_extremes() {
         let config = culzss_lzss::LzssConfig::dipperstein();
         let ratio = |data: &[u8]| {
-            culzss_lzss::serial::compress(data, &config).unwrap().len() as f64
-                / data.len() as f64
+            culzss_lzss::serial::compress(data, &config).unwrap().len() as f64 / data.len() as f64
         };
         let n = 256 * 1024;
         let mixed = ratio(&Mixer::datacenter().generate(n, 9));

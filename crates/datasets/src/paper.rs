@@ -25,11 +25,46 @@ pub struct Table1Row {
 
 /// Table I — compression benchmark average running times (seconds).
 pub const TABLE1: [Table1Row; 5] = [
-    Table1Row { dataset: Dataset::CFiles, serial: 50.58, pthread: 9.12, bzip2: 20.97, v1: 7.28, v2: 4.26 },
-    Table1Row { dataset: Dataset::DeMap, serial: 30.75, pthread: 6.25, bzip2: 9.14, v1: 4.69, v2: 15.00 },
-    Table1Row { dataset: Dataset::Dictionary, serial: 56.91, pthread: 9.35, bzip2: 20.18, v1: 7.13, v2: 3.22 },
-    Table1Row { dataset: Dataset::KernelTarball, serial: 50.49, pthread: 9.16, bzip2: 20.45, v1: 7.08, v2: 4.79 },
-    Table1Row { dataset: Dataset::HighlyCompressible, serial: 4.23, pthread: 1.2, bzip2: 77.82, v1: 0.49, v2: 3.40 },
+    Table1Row {
+        dataset: Dataset::CFiles,
+        serial: 50.58,
+        pthread: 9.12,
+        bzip2: 20.97,
+        v1: 7.28,
+        v2: 4.26,
+    },
+    Table1Row {
+        dataset: Dataset::DeMap,
+        serial: 30.75,
+        pthread: 6.25,
+        bzip2: 9.14,
+        v1: 4.69,
+        v2: 15.00,
+    },
+    Table1Row {
+        dataset: Dataset::Dictionary,
+        serial: 56.91,
+        pthread: 9.35,
+        bzip2: 20.18,
+        v1: 7.13,
+        v2: 3.22,
+    },
+    Table1Row {
+        dataset: Dataset::KernelTarball,
+        serial: 50.49,
+        pthread: 9.16,
+        bzip2: 20.45,
+        v1: 7.08,
+        v2: 4.79,
+    },
+    Table1Row {
+        dataset: Dataset::HighlyCompressible,
+        serial: 4.23,
+        pthread: 1.2,
+        bzip2: 77.82,
+        v1: 0.49,
+        v2: 3.40,
+    },
 ];
 
 /// One row of Table II (compression ratios, smaller is better).
@@ -51,9 +86,27 @@ pub struct Table2Row {
 pub const TABLE2: [Table2Row; 5] = [
     Table2Row { dataset: Dataset::CFiles, serial: 0.5480, bzip2: 0.1560, v1: 0.5570, v2: 0.6349 },
     Table2Row { dataset: Dataset::DeMap, serial: 0.3390, bzip2: 0.1180, v1: 0.3420, v2: 0.3335 },
-    Table2Row { dataset: Dataset::Dictionary, serial: 0.6140, bzip2: 0.3450, v1: 0.6180, v2: 0.6509 },
-    Table2Row { dataset: Dataset::KernelTarball, serial: 0.5510, bzip2: 0.1690, v1: 0.5650, v2: 0.6259 },
-    Table2Row { dataset: Dataset::HighlyCompressible, serial: 0.1350, bzip2: 0.0040, v1: 0.1390, v2: 0.0634 },
+    Table2Row {
+        dataset: Dataset::Dictionary,
+        serial: 0.6140,
+        bzip2: 0.3450,
+        v1: 0.6180,
+        v2: 0.6509,
+    },
+    Table2Row {
+        dataset: Dataset::KernelTarball,
+        serial: 0.5510,
+        bzip2: 0.1690,
+        v1: 0.5650,
+        v2: 0.6259,
+    },
+    Table2Row {
+        dataset: Dataset::HighlyCompressible,
+        serial: 0.1350,
+        bzip2: 0.0040,
+        v1: 0.1390,
+        v2: 0.0634,
+    },
 ];
 
 /// One row of Table III (decompression times, seconds, 128 MB).
@@ -110,15 +163,12 @@ mod tests {
     #[test]
     fn headline_speedups_match_the_abstract() {
         // "outperforms the serial CPU LZSS implementation by up to 18x".
-        let best_serial_speedup = TABLE1
-            .iter()
-            .map(|r| r.serial / r.v2.min(r.v1))
-            .fold(0.0f64, f64::max);
+        let best_serial_speedup =
+            TABLE1.iter().map(|r| r.serial / r.v2.min(r.v1)).fold(0.0f64, f64::max);
         assert!(best_serial_speedup > 15.0, "{best_serial_speedup}");
 
         // "the parallel threaded version up to 3x".
-        let best_pthread_speedup =
-            TABLE1.iter().map(|r| r.pthread / r.v2).fold(0.0f64, f64::max);
+        let best_pthread_speedup = TABLE1.iter().map(|r| r.pthread / r.v2).fold(0.0f64, f64::max);
         assert!((2.0..3.5).contains(&best_pthread_speedup), "{best_pthread_speedup}");
 
         // "the BZIP2 program by up to 6x ... on the general data sets".
@@ -131,10 +181,7 @@ mod tests {
         // §V: V2 beats Pthread everywhere except DE map & highly compr.
         for r in &TABLE1 {
             let v2_wins = r.v2 < r.pthread;
-            let expected = !matches!(
-                r.dataset,
-                Dataset::DeMap | Dataset::HighlyCompressible
-            );
+            let expected = !matches!(r.dataset, Dataset::DeMap | Dataset::HighlyCompressible);
             assert_eq!(v2_wins, expected, "{:?}", r.dataset);
         }
     }
@@ -147,7 +194,9 @@ mod tests {
             assert!((r.v1 - r.serial).abs() < 0.02, "{:?}", r.dataset);
         }
         assert!(table2(Dataset::CFiles).v2 > table2(Dataset::CFiles).serial);
-        assert!(table2(Dataset::HighlyCompressible).v2 < table2(Dataset::HighlyCompressible).serial);
+        assert!(
+            table2(Dataset::HighlyCompressible).v2 < table2(Dataset::HighlyCompressible).serial
+        );
         assert!(table2(Dataset::DeMap).v2 < table2(Dataset::DeMap).serial);
     }
 }

@@ -79,8 +79,7 @@ fn kernel_tarball(len: usize, seed: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(len + 4096);
     let mut file_no = 0usize;
     while out.len() < len {
-        let dir = ["drivers", "fs", "kernel", "mm", "net", "arch/x86"]
-            [rng.gen_range(0..6)];
+        let dir = ["drivers", "fs", "kernel", "mm", "net", "arch/x86"][rng.gen_range(0..6)];
         let base = names.natural_word();
         let kind = rng.gen_range(0..10);
         let (name, data) = match kind {
@@ -103,16 +102,13 @@ fn kernel_tarball(len: usize, seed: u64) -> Vec<u8> {
                 let mut kc = String::new();
                 for _ in 0..rng.gen_range(4..12) {
                     let opt = names.natural_word().to_uppercase();
-                    kc.push_str(&format!(
-                        "config {opt}\n\tbool \"Enable {opt}\"\n\tdefault y\n\n"
-                    ));
+                    kc.push_str(&format!("config {opt}\n\tbool \"Enable {opt}\"\n\tdefault y\n\n"));
                 }
                 (format!("linux/{dir}/Kconfig_{file_no}"), kc.into_bytes())
             }
             // 10 %: binary firmware blob (high entropy).
             _ => {
-                let blob: Vec<u8> =
-                    (0..rng.gen_range(1024..4096)).map(|_| rng.gen()).collect();
+                let blob: Vec<u8> = (0..rng.gen_range(1024..4096)).map(|_| rng.gen()).collect();
                 (format!("linux/firmware/{base}_{file_no}.bin"), blob)
             }
         };

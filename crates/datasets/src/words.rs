@@ -5,14 +5,13 @@ use rand::{Rng, SeedableRng};
 
 /// Consonant-ish onsets used to assemble syllables.
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n",
-    "p", "pl", "pr", "qu", "r", "s", "sc", "sh", "sl", "sp", "st", "str", "t", "th", "tr", "v",
-    "w", "wh", "z",
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
+    "pl", "pr", "qu", "r", "s", "sc", "sh", "sl", "sp", "st", "str", "t", "th", "tr", "v", "w",
+    "wh", "z",
 ];
 
 /// Vowel nuclei.
-const NUCLEI: &[&str] =
-    &["a", "ai", "au", "e", "ea", "ee", "i", "ie", "o", "oa", "oo", "ou", "u"];
+const NUCLEI: &[&str] = &["a", "ai", "au", "e", "ea", "ee", "i", "ie", "o", "oa", "oo", "ou", "u"];
 
 /// Codas.
 const CODAS: &[&str] = &[

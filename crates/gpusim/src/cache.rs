@@ -81,9 +81,7 @@ impl Cache {
         }
         // Miss: evict LRU way.
         self.misses += 1;
-        let victim = (0..self.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("ways > 0");
+        let victim = (0..self.ways).min_by_key(|&w| self.stamps[base + w]).expect("ways > 0");
         self.tags[base + victim] = tag;
         self.stamps[base + victim] = self.clock;
         false

@@ -233,9 +233,8 @@ mod tests {
         for &(threads, bytes, stride) in
             &[(32u64, 1u64, 1u64), (32, 4, 4), (32, 1, 128), (32, 4, 64), (17, 3, 40)]
         {
-            let accesses: Vec<Access> = (0..threads)
-                .map(|t| acc(1000 + t * stride, bytes as u32))
-                .collect();
+            let accesses: Vec<Access> =
+                (0..threads).map(|t| acc(1000 + t * stride, bytes as u32)).collect();
             let exact = transactions_for_warp(&accesses, 128);
             let closed = strided_transactions(1000, threads, bytes, stride, 128);
             assert_eq!(exact, closed, "threads={threads} bytes={bytes} stride={stride}");

@@ -128,13 +128,7 @@ mod tests {
     fn compute_scales_linearly_within_one_wave() {
         let d = DeviceSpec::gtx480();
         let one = cost_launch(&d, d.sm_count, 128, 0, &vec![block(1e6, 0.0); d.sm_count]);
-        let two = cost_launch(
-            &d,
-            d.sm_count * 2,
-            128,
-            0,
-            &vec![block(1e6, 0.0); d.sm_count * 2],
-        );
+        let two = cost_launch(&d, d.sm_count * 2, 128, 0, &vec![block(1e6, 0.0); d.sm_count * 2]);
         // Twice the blocks on the same SMs ≈ twice the cycles.
         assert!((two.cycles / one.cycles - 2.0).abs() < 1e-9);
     }

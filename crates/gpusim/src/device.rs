@@ -146,9 +146,7 @@ impl DeviceSpec {
         if self.clock_hz <= 0.0 || self.mem_bandwidth <= 0.0 || self.pcie_bandwidth <= 0.0 {
             return Err("clocks and bandwidths must be positive".into());
         }
-        if self.max_threads_per_block == 0
-            || self.max_threads_per_sm < self.max_threads_per_block
-        {
+        if self.max_threads_per_block == 0 || self.max_threads_per_sm < self.max_threads_per_block {
             return Err("thread limits are inconsistent".into());
         }
         if self.transaction_bytes == 0 || !self.transaction_bytes.is_power_of_two() {

@@ -403,11 +403,11 @@ mod tests {
             let mut shared = vec![0u8; n];
             block.par_threads(|t| {
                 shared[t.tid] = t.tid as u8;
-                t.shared_write((t.tid * 1) as u64, 1);
+                t.shared_write(t.tid as u64, 1);
             });
             let mut out = vec![0u8; n];
             block.par_threads(|t| {
-                t.shared_read(((n - 1 - t.tid) * 1) as u64, 1);
+                t.shared_read((n - 1 - t.tid) as u64, 1);
                 out[t.tid] = shared[n - 1 - t.tid];
             });
             out
@@ -435,9 +435,7 @@ mod tests {
         let err = sim.launch(LaunchConfig::new(1, 4096), &Reverser).unwrap_err();
         assert!(matches!(err, LaunchError::BadBlockDim { .. }));
 
-        let err = sim
-            .launch(LaunchConfig::new(1, 64).with_shared(1 << 20), &Reverser)
-            .unwrap_err();
+        let err = sim.launch(LaunchConfig::new(1, 64).with_shared(1 << 20), &Reverser).unwrap_err();
         assert!(matches!(err, LaunchError::SharedMemOverflow { .. }));
         assert!(err.to_string().contains("shared memory"));
     }

@@ -106,11 +106,7 @@ impl BlockMeter {
             phase_ops: vec![0; block_dim],
             phase_global: vec![Vec::new(); block_dim],
             phase_shared: vec![Vec::new(); block_dim],
-            metrics: BlockMetrics {
-                blocks: 1,
-                block_dim,
-                ..BlockMetrics::default()
-            },
+            metrics: BlockMetrics { blocks: 1, block_dim, ..BlockMetrics::default() },
             transaction_bytes: transaction_bytes as u64,
             shared_banks: shared_banks as u64,
         }
@@ -195,8 +191,7 @@ impl BlockMeter {
         for w in 0..warps {
             let lanes = w * self.warp_size..((w + 1) * self.warp_size).min(self.block_dim);
 
-            let max_global =
-                lanes.clone().map(|t| self.phase_global[t].len()).max().unwrap_or(0);
+            let max_global = lanes.clone().map(|t| self.phase_global[t].len()).max().unwrap_or(0);
             for k in 0..max_global {
                 instruction.clear();
                 for t in lanes.clone() {
@@ -208,8 +203,7 @@ impl BlockMeter {
                     transactions_for_warp(&instruction, self.transaction_bytes) as f64;
             }
 
-            let max_shared =
-                lanes.clone().map(|t| self.phase_shared[t].len()).max().unwrap_or(0);
+            let max_shared = lanes.clone().map(|t| self.phase_shared[t].len()).max().unwrap_or(0);
             for k in 0..max_shared {
                 instruction.clear();
                 for t in lanes.clone() {

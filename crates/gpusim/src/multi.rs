@@ -61,8 +61,7 @@ impl MultiGpu {
             let share = if i + 1 == throughput.len() {
                 total_blocks - start
             } else {
-                ((total_blocks as f64 * t / total).round() as usize)
-                    .min(total_blocks - start)
+                ((total_blocks as f64 * t / total).round() as usize).min(total_blocks - start)
             };
             ranges.push(start..start + share);
             start += share;
@@ -88,17 +87,10 @@ impl MultiGpu {
         let mut per_device = Vec::with_capacity(self.sims.len());
         for (sim, range) in self.sims.iter().zip(&assignments) {
             let kernel = make_kernel(range.clone());
-            let cfg = LaunchConfig {
-                grid_dim: range.len(),
-                block_dim,
-                shared_bytes,
-            };
+            let cfg = LaunchConfig { grid_dim: range.len(), block_dim, shared_bytes };
             per_device.push(sim.launch(cfg, &kernel)?);
         }
-        let kernel_seconds = per_device
-            .iter()
-            .map(|r| r.stats.kernel_seconds)
-            .fold(0.0, f64::max);
+        let kernel_seconds = per_device.iter().map(|r| r.stats.kernel_seconds).fold(0.0, f64::max);
         Ok(MultiLaunchResult { per_device, kernel_seconds, assignments })
     }
 }

@@ -47,8 +47,7 @@ pub fn occupancy(
     assert!(block_dim >= 1, "empty blocks are not a launch");
     let by_slots = device.max_blocks_per_sm;
     let by_threads = device.max_threads_per_sm / block_dim;
-    let by_shared =
-        device.shared_mem_per_block.checked_div(shared_bytes).unwrap_or(usize::MAX);
+    let by_shared = device.shared_mem_per_block.checked_div(shared_bytes).unwrap_or(usize::MAX);
     // Shared memory per *block* is the paper-era resource unit; an SM can
     // host as many blocks as fit in its shared memory arena. On Fermi the
     // arena equals the per-block maximum, so `by_shared` counts how many

@@ -122,15 +122,11 @@ mod tests {
 
     #[test]
     fn limiter_names_are_distinct() {
-        let names: std::collections::BTreeSet<&str> = [
-            Limiter::BlockSlots,
-            Limiter::Threads,
-            Limiter::SharedMemory,
-            Limiter::GridTooSmall,
-        ]
-        .into_iter()
-        .map(limiter_name)
-        .collect();
+        let names: std::collections::BTreeSet<&str> =
+            [Limiter::BlockSlots, Limiter::Threads, Limiter::SharedMemory, Limiter::GridTooSmall]
+                .into_iter()
+                .map(limiter_name)
+                .collect();
         assert_eq!(names.len(), 4);
     }
 

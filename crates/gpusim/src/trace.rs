@@ -72,8 +72,7 @@ impl Timeline {
                 memory_bound: memory > compute,
             });
         }
-        let total_seconds =
-            sm_clock.iter().cloned().fold(0.0, f64::max) / device.clock_hz;
+        let total_seconds = sm_clock.iter().cloned().fold(0.0, f64::max) / device.clock_hz;
         Timeline { spans, total_seconds, sm_count: device.sm_count }
     }
 
@@ -145,9 +144,7 @@ mod tests {
         let timeline = Timeline::from_launch(&device, 128, 0, &blocks);
         let cost = cost_launch(&device, blocks.len(), 128, 0, &blocks);
         // cost adds launch overhead on top of the cycle makespan.
-        assert!(
-            (timeline.total_seconds - (cost.seconds - device.launch_overhead)).abs() < 1e-12
-        );
+        assert!((timeline.total_seconds - (cost.seconds - device.launch_overhead)).abs() < 1e-12);
     }
 
     #[test]
@@ -172,8 +169,7 @@ mod tests {
         assert!((t.utilization() - 1.0 / device.sm_count as f64).abs() < 1e-9);
 
         // Perfectly balanced full wave: ~1.0.
-        let blocks: Vec<BlockMetrics> =
-            (0..device.sm_count).map(|_| metrics(1e6)).collect();
+        let blocks: Vec<BlockMetrics> = (0..device.sm_count).map(|_| metrics(1e6)).collect();
         let t = Timeline::from_launch(&device, 128, 0, &blocks);
         assert!((t.utilization() - 1.0).abs() < 1e-9);
     }

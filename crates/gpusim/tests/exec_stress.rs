@@ -126,7 +126,5 @@ fn max_block_dim_is_accepted_and_beyond_rejected() {
     let device = DeviceSpec::gtx480();
     let sim = GpuSim::new(device.clone()).with_workers(1);
     sim.launch(LaunchConfig::new(1, device.max_threads_per_block), &Nop).unwrap();
-    assert!(sim
-        .launch(LaunchConfig::new(1, device.max_threads_per_block + 1), &Nop)
-        .is_err());
+    assert!(sim.launch(LaunchConfig::new(1, device.max_threads_per_block + 1), &Nop).is_err());
 }

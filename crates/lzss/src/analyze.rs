@@ -49,8 +49,8 @@ impl Profile {
         if self.input_len == 0 {
             return 1.0;
         }
-        let bits = self.literals * config.literal_cost_bits()
-            + self.matches * config.match_cost_bits();
+        let bits =
+            self.literals * config.literal_cost_bits() + self.matches * config.match_cost_bits();
         bits as f64 / 8.0 / self.input_len as f64
     }
 }
@@ -138,8 +138,7 @@ mod tests {
         let config = LzssConfig::dipperstein();
         let input = b"the rain in spain stays mainly in the plain ".repeat(60);
         let p = profile(&input, &config);
-        let actual = serial::compress(&input, &config).unwrap().len() as f64
-            / input.len() as f64;
+        let actual = serial::compress(&input, &config).unwrap().len() as f64 / input.len() as f64;
         let predicted = p.predicted_ratio(&config);
         assert!(
             (actual - predicted).abs() < 0.02,

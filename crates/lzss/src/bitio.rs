@@ -215,14 +215,8 @@ mod tests {
         let bytes = [0xFFu8];
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.read_bits(8, "x").unwrap(), 0xFF);
-        assert_eq!(
-            r.read_bit("flag"),
-            Err(Error::UnexpectedEof { context: "flag" })
-        );
-        assert_eq!(
-            r.read_bits(4, "code"),
-            Err(Error::UnexpectedEof { context: "code" })
-        );
+        assert_eq!(r.read_bit("flag"), Err(Error::UnexpectedEof { context: "flag" }));
+        assert_eq!(r.read_bits(4, "code"), Err(Error::UnexpectedEof { context: "code" }));
     }
 
     #[test]

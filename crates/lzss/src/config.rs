@@ -45,23 +45,13 @@ impl LzssConfig {
     /// CULZSS Version 1 parameters: 128-byte shared-memory window per
     /// thread, serial-style 18-byte match cap, fixed 16-bit codes.
     pub fn culzss_v1() -> Self {
-        Self {
-            window_size: 128,
-            min_match: 3,
-            max_match: 18,
-            format: TokenFormat::Fixed16,
-        }
+        Self { window_size: 128, min_match: 3, max_match: 18, format: TokenFormat::Fixed16 }
     }
 
     /// CULZSS Version 2 parameters: 128-byte window, 32-byte cooperative
     /// lookahead (so matches reach 32 bytes), fixed 16-bit codes.
     pub fn culzss_v2() -> Self {
-        Self {
-            window_size: 128,
-            min_match: 3,
-            max_match: 32,
-            format: TokenFormat::Fixed16,
-        }
+        Self { window_size: 128, min_match: 3, max_match: 32, format: TokenFormat::Fixed16 }
     }
 
     /// A custom configuration; validated before use.

@@ -164,9 +164,7 @@ impl Container {
             });
         }
         let mut header = header;
-        header.chunk_comp_sizes = (0..n_chunks)
-            .map(|i| le32(Self::HEADER_LEN + 4 * i))
-            .collect();
+        header.chunk_comp_sizes = (0..n_chunks).map(|i| le32(Self::HEADER_LEN + 4 * i)).collect();
         let payload: u64 = header.chunk_comp_sizes.iter().map(|&s| u64::from(s)).sum();
         if (bytes.len() - table_end) as u64 != payload {
             return Err(Error::InvalidContainer {
@@ -309,8 +307,7 @@ mod tests {
     fn parse_rejects_corruptions() {
         let mut c = Container::new(&cfg(), 4096, 4096);
         c.chunk_comp_sizes = vec![4];
-        let good: Vec<u8> =
-            c.serialize_header().into_iter().chain([9, 9, 9, 9]).collect();
+        let good: Vec<u8> = c.serialize_header().into_iter().chain([9, 9, 9, 9]).collect();
         Container::parse(&good).unwrap();
 
         // Bad magic.

@@ -58,10 +58,9 @@ impl fmt::Display for Error {
             Error::UnexpectedEof { context } => {
                 write!(f, "compressed stream ended unexpectedly while reading {context}")
             }
-            Error::InvalidDistance { distance, available } => write!(
-                f,
-                "match distance {distance} exceeds the {available} bytes decoded so far"
-            ),
+            Error::InvalidDistance { distance, available } => {
+                write!(f, "match distance {distance} exceeds the {available} bytes decoded so far")
+            }
             Error::InvalidLength { length, max } => {
                 write!(f, "match length {length} exceeds configured maximum {max}")
             }
@@ -105,7 +104,7 @@ mod tests {
 
     #[test]
     fn io_errors_convert() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: Error = io.into();
         assert!(matches!(e, Error::Io { .. }));
         assert!(e.to_string().contains("boom"));

@@ -75,8 +75,7 @@ pub fn encoded_len(tokens: &[Token], config: &LzssConfig) -> usize {
     match config.format {
         TokenFormat::FlagBit { offset_bits, length_bits } => {
             let code = 1 + usize::from(offset_bits) + usize::from(length_bits);
-            let bits: usize =
-                tokens.iter().map(|t| if t.is_match() { code } else { 9 }).sum();
+            let bits: usize = tokens.iter().map(|t| if t.is_match() { code } else { 9 }).sum();
             bits.div_ceil(8)
         }
         TokenFormat::Fixed16 => {
@@ -309,8 +308,7 @@ mod tests {
     #[test]
     fn decode_detects_overshoot() {
         let config = LzssConfig::culzss_v2();
-        let tokens =
-            vec![Token::Literal(b'x'), Token::Match { distance: 1, length: 8 }];
+        let tokens = vec![Token::Literal(b'x'), Token::Match { distance: 1, length: 8 }];
         let bytes = encode(&tokens, &config);
         // Target of 5 bytes falls inside the match -> SizeMismatch.
         let err = decode(&bytes, &config, 5).unwrap_err();

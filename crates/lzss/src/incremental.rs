@@ -139,9 +139,7 @@ impl IncrementalEncoder {
     /// Writes complete 8-token Fixed16 groups (all pending ones when
     /// `force`).
     fn flush_fixed16_groups(&mut self, force: bool) {
-        while self.fixed16_pending.len() >= 8
-            || (force && !self.fixed16_pending.is_empty())
-        {
+        while self.fixed16_pending.len() >= 8 || (force && !self.fixed16_pending.is_empty()) {
             let take = self.fixed16_pending.len().min(8);
             let group: Vec<Token> = self.fixed16_pending.drain(..take).collect();
             let mut flags = 0u8;
@@ -181,10 +179,10 @@ mod tests {
     fn push_patterns(data: &[u8]) -> Vec<Vec<usize>> {
         // Split points for several pathological push patterns.
         vec![
-            vec![data.len()],                                // one shot
-            (0..data.len()).map(|_| 1).collect(),            // byte at a time
-            data.chunks(7).map(|c| c.len()).collect(),       // odd chunks
-            data.chunks(4096).map(|c| c.len()).collect(),    // window-sized
+            vec![data.len()],                             // one shot
+            (0..data.len()).map(|_| 1).collect(),         // byte at a time
+            data.chunks(7).map(|c| c.len()).collect(),    // odd chunks
+            data.chunks(4096).map(|c| c.len()).collect(), // window-sized
         ]
     }
 
@@ -352,8 +350,7 @@ impl IncrementalDecoder {
                     reason: "bad magic in serial stream".into(),
                 });
             }
-            let len =
-                u32::from_le_bytes(self.pending[4..8].try_into().expect("4 bytes"));
+            let len = u32::from_le_bytes(self.pending[4..8].try_into().expect("4 bytes"));
             self.expected = Some(u64::from(len));
             self.pending.drain(..8);
             self.header_needed = false;
@@ -386,10 +383,7 @@ impl IncrementalDecoder {
         if length < self.config.min_match || length > self.config.max_match {
             return Err(Error::InvalidLength { length, max: self.config.max_match });
         }
-        if distance == 0
-            || distance > self.window.len()
-            || distance > self.config.window_size
-        {
+        if distance == 0 || distance > self.window.len() || distance > self.config.window_size {
             return Err(Error::InvalidDistance {
                 distance,
                 available: self.window.len().min(self.config.window_size),
@@ -455,8 +449,8 @@ impl IncrementalDecoder {
                     if pending.len() < consumed + need + 2 {
                         break 'groups; // incomplete group: wait for more
                     }
-                    covered += (usize::from(pending[consumed + need + 1])
-                        + self.config.min_match) as u64;
+                    covered +=
+                        (usize::from(pending[consumed + need + 1]) + self.config.min_match) as u64;
                     need += 2;
                 } else {
                     if pending.len() < consumed + need + 1 {

@@ -70,10 +70,7 @@ impl MatchFinder for KmpFinder {
             // Alignment currently ending at `i` starts at `i + 1 - q`;
             // it is a legal window match iff it starts before `pos`.
             let start = i + 1 - q;
-            if start < pos
-                && q >= config.min_match
-                && best.is_none_or(|b| q > b.length)
-            {
+            if start < pos && q >= config.min_match && best.is_none_or(|b| q > b.length) {
                 best = Some(FoundMatch { distance: pos - start, length: q });
             }
             if q == limit {

@@ -39,7 +39,13 @@ pub struct TreeFinder {
 impl TreeFinder {
     /// Creates an empty tree finder.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), free: Vec::new(), root: NIL, slots: Default::default(), key_len: 0 }
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            slots: Default::default(),
+            key_len: 0,
+        }
     }
 
     /// Compares the strings at positions `a` and `b` (up to `key_len`
@@ -218,8 +224,7 @@ mod tests {
     fn agrees_with_brute_with_eviction() {
         let mut config = cfg();
         config.window_size = 16;
-        let data: Vec<u8> =
-            (0..400u32).map(|i| ((i * 13 + i / 5) % 5) as u8 + b'a').collect();
+        let data: Vec<u8> = (0..400u32).map(|i| ((i * 13 + i / 5) % 5) as u8 + b'a').collect();
         drive(&data, &config);
     }
 

@@ -200,8 +200,7 @@ mod tests {
         let data = b"bcd_cdef_abcdef";
         //           0123456789
         let lazy_tokens = tokenize(data, &config, FinderKind::BruteForce, ParseStrategy::Lazy);
-        let greedy_tokens =
-            tokenize(data, &config, FinderKind::BruteForce, ParseStrategy::Greedy);
+        let greedy_tokens = tokenize(data, &config, FinderKind::BruteForce, ParseStrategy::Greedy);
         // Greedy at pos 10 ('b') matches "bcd"; lazy emits literal 'b'
         // then matches "cdef".
         let lazy_max = lazy_tokens
@@ -362,8 +361,7 @@ mod optimal_tests {
         let tokens = tokenize_optimal(data, &config);
         assert_eq!(expand(&tokens, &config).unwrap(), data);
         let optimal_len = format::encoded_len(&tokens, &config);
-        let greedy =
-            tokenize(data, &config, FinderKind::HashChain, ParseStrategy::Greedy);
+        let greedy = tokenize(data, &config, FinderKind::HashChain, ParseStrategy::Greedy);
         assert!(optimal_len <= format::encoded_len(&greedy, &config));
     }
 }

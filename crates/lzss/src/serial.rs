@@ -162,8 +162,7 @@ fn decode_flagbit_into(
     while out.len() - base < uncompressed_len {
         if r.read_bit("token flag")? {
             let offset = r.read_bits(offset_bits, "match offset")? as usize;
-            let length =
-                r.read_bits(length_bits, "match length")? as usize + config.min_match;
+            let length = r.read_bits(length_bits, "match length")? as usize + config.min_match;
             copy_match(out, base, offset + 1, length, config)?;
         } else {
             out.push(r.read_byte("literal byte")?);
@@ -315,10 +314,7 @@ mod tests {
         let config = LzssConfig::dipperstein();
         let mut c = compress(b"hello", &config).unwrap();
         c[0] ^= 0xFF;
-        assert!(matches!(
-            decompress(&c, &config).unwrap_err(),
-            Error::InvalidContainer { .. }
-        ));
+        assert!(matches!(decompress(&c, &config).unwrap_err(), Error::InvalidContainer { .. }));
     }
 
     #[test]

@@ -58,8 +58,7 @@ mod tests {
         assert!(comp < unc);
 
         let mut restored = Vec::new();
-        let n =
-            decompress_stream(&mut Cursor::new(&compressed), &mut restored, &config).unwrap();
+        let n = decompress_stream(&mut Cursor::new(&compressed), &mut restored, &config).unwrap();
         assert_eq!(n, original.len());
         assert_eq!(restored, original);
     }

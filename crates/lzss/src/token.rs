@@ -49,7 +49,10 @@ impl Token {
                 return Err(Error::InvalidLength { length, max: config.max_match });
             }
             if distance == 0 || distance > produced || distance > config.window_size {
-                return Err(Error::InvalidDistance { distance, available: produced.min(config.window_size) });
+                return Err(Error::InvalidDistance {
+                    distance,
+                    available: produced.min(config.window_size),
+                });
             }
         }
         Ok(())

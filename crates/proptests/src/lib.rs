@@ -1,0 +1,10 @@
+//! Host crate for the property-based tests (see the `tests/` directory).
+//!
+//! This crate is deliberately **excluded** from the workspace: proptest
+//! is its only registry dependency, and keeping it out of the workspace
+//! graph means `cargo build` / `cargo test` at the repository root work
+//! with no network access. Run the property tests from this directory:
+//!
+//! ```text
+//! cd crates/proptests && cargo test
+//! ```

@@ -215,8 +215,7 @@ mod tests {
     fn hash_chain_variant_roundtrips() {
         let config = LzssConfig::dipperstein();
         let input = sample();
-        let c =
-            compress_chunked_with(&input, &config, 2048, 4, FinderKind::HashChain).unwrap();
+        let c = compress_chunked_with(&input, &config, 2048, 4, FinderKind::HashChain).unwrap();
         assert_eq!(decompress(&c, &config, 4).unwrap(), input);
     }
 }

@@ -1,0 +1,88 @@
+//! Deterministic device-failure injection for degradation testing.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// A deterministic plan for injecting simulated device failures into GPU
+/// job attempts. The workers consult the plan once per GPU attempt; an
+/// injected failure is handled exactly like a real launch failure and
+/// takes the bounded-retry → CPU-fallback path.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    mode: Mode,
+    consulted: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum Mode {
+    #[default]
+    None,
+    FirstN(u64),
+    EveryNth(u64),
+}
+
+impl FaultPlan {
+    /// Never injects a failure (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fails the first `n` GPU attempts, then behaves normally —
+    /// models a device that recovers (or is avoided) after a burst.
+    pub fn fail_first(n: u64) -> Self {
+        Self { mode: Mode::FirstN(n), consulted: AtomicU64::new(0) }
+    }
+
+    /// Fails every `n`-th GPU attempt (1-based; `n == 0` never fails) —
+    /// models a persistently flaky device.
+    pub fn every_nth(n: u64) -> Self {
+        Self { mode: Mode::EveryNth(n), consulted: AtomicU64::new(0) }
+    }
+
+    /// Consumes one GPU-attempt slot; `true` means inject a failure.
+    pub(crate) fn should_fail(&self) -> bool {
+        let i = self.consulted.fetch_add(1, Relaxed);
+        match self.mode {
+            Mode::None => false,
+            Mode::FirstN(n) => i < n,
+            Mode::EveryNth(n) => n != 0 && (i + 1).is_multiple_of(n),
+        }
+    }
+
+    /// GPU attempts consulted so far.
+    pub fn consulted(&self) -> u64 {
+        self.consulted.load(Relaxed)
+    }
+}
+
+impl Clone for FaultPlan {
+    fn clone(&self) -> Self {
+        Self { mode: self.mode, consulted: AtomicU64::new(self.consulted()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let plan = FaultPlan::none();
+        assert!((0..100).all(|_| !plan.should_fail()));
+        assert_eq!(plan.consulted(), 100);
+    }
+
+    #[test]
+    fn fail_first_fails_exactly_n() {
+        let plan = FaultPlan::fail_first(3);
+        let fails: Vec<bool> = (0..6).map(|_| plan.should_fail()).collect();
+        assert_eq!(fails, [true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn every_nth_is_periodic() {
+        let plan = FaultPlan::every_nth(3);
+        let fails: Vec<bool> = (0..7).map(|_| plan.should_fail()).collect();
+        assert_eq!(fails, [false, false, true, false, false, true, false]);
+        assert!((0..10).all(|_| !FaultPlan::every_nth(0).should_fail()));
+    }
+}

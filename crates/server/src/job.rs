@@ -1,0 +1,289 @@
+//! Job types of the compression service: what tenants submit, what they
+//! get back, and every way a submission or an accepted job can fail.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Unique identifier of an accepted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Direction of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// Plain bytes in, CULZSS container out.
+    Compress,
+    /// CULZSS container in, plain bytes out.
+    Decompress,
+}
+
+impl JobKind {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Compress => "compress",
+            JobKind::Decompress => "decompress",
+        }
+    }
+}
+
+/// Scheduling priority. Higher priorities dequeue first; within a
+/// priority, jobs run in submission order (FIFO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Dequeued before everything else.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Background traffic; runs when nothing else is queued.
+    Low,
+}
+
+impl Priority {
+    /// Heap rank: greater dequeues first.
+    pub(crate) fn rank(&self) -> u8 {
+        match self {
+            Priority::High => 2,
+            Priority::Normal => 1,
+            Priority::Low => 0,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// A job submission: tenant, direction, payload, and scheduling knobs.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Tenant the job is accounted to (in-flight caps, stats).
+    pub tenant: String,
+    /// Compress or decompress.
+    pub kind: JobKind,
+    /// Input bytes (plain data or a CULZSS container, per `kind`).
+    pub payload: Vec<u8>,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Relative deadline measured from admission; `None` uses the
+    /// service default (which may itself be "no deadline").
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A compression job with default priority and deadline.
+    pub fn compress(tenant: impl Into<String>, payload: Vec<u8>) -> Self {
+        Self {
+            tenant: tenant.into(),
+            kind: JobKind::Compress,
+            payload,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// A decompression job with default priority and deadline.
+    pub fn decompress(tenant: impl Into<String>, payload: Vec<u8>) -> Self {
+        Self { kind: JobKind::Decompress, ..Self::compress(tenant, payload) }
+    }
+
+    /// Overrides the priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a relative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Which engine ultimately served a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// A simulated GPU device (index into the service's device list).
+    Gpu {
+        /// Index of the device in [`crate::ServerConfig::devices`].
+        device: usize,
+    },
+    /// The host CPU path (`culzss::hetero`), either a dedicated CPU
+    /// worker or the fallback lane after a device failure.
+    Cpu,
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::Gpu { device } => write!(f, "gpu{device}"),
+            EngineKind::Cpu => write!(f, "cpu"),
+        }
+    }
+}
+
+/// The result of a completed job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The accepted job's identifier.
+    pub id: JobId,
+    /// Tenant the job was accounted to.
+    pub tenant: String,
+    /// Compress or decompress.
+    pub kind: JobKind,
+    /// Output bytes (container or plain data, per `kind`).
+    pub output: Vec<u8>,
+    /// Engine that produced the output.
+    pub engine: EngineKind,
+    /// Retries consumed (0 = first attempt succeeded).
+    pub retries: u32,
+    /// Batch window the final attempt ran in.
+    pub batch_id: u64,
+    /// Seconds spent queued before the final attempt started.
+    pub queued_seconds: f64,
+    /// Host wall-clock seconds of the final attempt.
+    pub service_seconds: f64,
+}
+
+/// Why an *accepted* job failed. (Refusals at the door are
+/// [`SubmitError`].)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The deadline expired before execution started.
+    DeadlineMissed {
+        /// How far past the deadline the job was picked up.
+        missed_by: Duration,
+    },
+    /// Device execution failed and the retry budget is exhausted.
+    DeviceFailed {
+        /// Attempts made (initial + retries).
+        attempts: u32,
+        /// Last failure message.
+        error: String,
+    },
+    /// Codec-level failure (corrupt container, size mismatch, …);
+    /// retrying elsewhere cannot help, so it fails immediately.
+    Codec {
+        /// The codec error message.
+        error: String,
+    },
+    /// The service stopped before resolving the job.
+    ServiceStopped,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::DeadlineMissed { missed_by } => {
+                write!(f, "deadline missed by {missed_by:?}")
+            }
+            JobError::DeviceFailed { attempts, error } => {
+                write!(f, "device failed after {attempts} attempt(s): {error}")
+            }
+            JobError::Codec { error } => write!(f, "codec error: {error}"),
+            JobError::ServiceStopped => write!(f, "service stopped"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Why a submission was refused by admission control. Refusals are
+/// immediate and typed — the service never blocks or silently drops a
+/// submitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The global queue is at capacity; retry later or shed load.
+    Overloaded {
+        /// Jobs currently queued.
+        depth: usize,
+        /// The configured queue bound.
+        limit: usize,
+    },
+    /// The tenant has too many jobs in flight.
+    TenantOverLimit {
+        /// The refusing tenant.
+        tenant: String,
+        /// The tenant's current in-flight count.
+        in_flight: usize,
+        /// The configured per-tenant cap.
+        cap: usize,
+    },
+    /// The service is shutting down and no longer admits jobs.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded { depth, limit } => {
+                write!(f, "queue overloaded ({depth}/{limit})")
+            }
+            SubmitError::TenantOverLimit { tenant, in_flight, cap } => {
+                write!(f, "tenant {tenant} over limit ({in_flight}/{cap} in flight)")
+            }
+            SubmitError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Result of a resolved job.
+pub type JobResult = Result<JobOutcome, JobError>;
+
+/// Handle used to await a submitted job.
+#[derive(Debug)]
+pub struct JobTicket {
+    pub(crate) id: JobId,
+    pub(crate) rx: mpsc::Receiver<JobResult>,
+}
+
+impl JobTicket {
+    /// The accepted job's identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Blocks until the job resolves.
+    pub fn wait(self) -> JobResult {
+        self.rx.recv().unwrap_or(Err(JobError::ServiceStopped))
+    }
+
+    /// Non-blocking poll; `None` while the job is still in flight.
+    pub fn try_wait(&self) -> Option<JobResult> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(JobError::ServiceStopped)),
+        }
+    }
+}
+
+/// An admitted job flowing through the queue and workers.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub id: JobId,
+    pub tenant: String,
+    pub kind: JobKind,
+    pub payload: Vec<u8>,
+    pub priority: Priority,
+    pub accepted_at: Instant,
+    pub deadline: Option<Instant>,
+    pub attempts: u32,
+    pub force_cpu: bool,
+    pub responder: mpsc::Sender<JobResult>,
+}

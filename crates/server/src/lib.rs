@@ -1,0 +1,48 @@
+//! # culzss-server — a multi-tenant compression service over CULZSS
+//!
+//! The paper positions CULZSS as infrastructure that lets systems
+//! "compress the data before sending over the network" without
+//! monopolizing the host CPUs (§I, §VII). This crate builds that
+//! deployment shape: a long-running service accepting compression and
+//! decompression jobs from many tenants, multiplexed over a pool of
+//! simulated GPU devices plus CPU fallback workers.
+//!
+//! The moving parts:
+//!
+//! - **Admission control & backpressure** — a bounded priority queue
+//!   with per-tenant in-flight caps; a full queue refuses immediately
+//!   with a typed [`SubmitError`] (never blocks, never silently drops).
+//! - **Scheduling** — priority + FIFO dequeue in same-kind batch
+//!   windows; each coalesced window reports its sequential vs.
+//!   pipelined makespan ([`BatchReport`], built on
+//!   `culzss::stream::BatchTimeline`).
+//! - **Graceful degradation** — simulated device failures (injected via
+//!   [`FaultPlan`] or real launch errors) consume a bounded retry budget
+//!   and reroute onto the wire-compatible CPU path (`culzss::hetero`).
+//! - **Lifecycle** — per-job deadlines, and a [`Service::shutdown`]
+//!   that drains every admitted job before the workers exit, leaving a
+//!   [`ServiceStats`] snapshot whose counters reconcile.
+//! - **Load** — a closed-loop multi-tenant generator ([`loadgen`])
+//!   driving mixed traffic from the `culzss-datasets` corpora.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod fault;
+pub mod job;
+pub mod loadgen;
+mod queue;
+pub mod service;
+pub mod stats;
+mod worker;
+
+pub use batch::BatchReport;
+pub use fault::FaultPlan;
+pub use job::{
+    EngineKind, JobError, JobId, JobKind, JobOutcome, JobResult, JobSpec, JobTicket, Priority,
+    SubmitError,
+};
+pub use loadgen::{LoadGenConfig, LoadReport};
+pub use service::{ServerConfig, Service};
+pub use stats::{HistogramSnapshot, ServiceStats};

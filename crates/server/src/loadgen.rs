@@ -1,0 +1,260 @@
+//! Closed-loop multi-tenant load generator.
+//!
+//! Each tenant runs its own thread keeping a bounded window of jobs in
+//! flight (closed loop: the next submission waits for capacity, not for
+//! a timer). Traffic is mixed — the five paper corpora plus the
+//! datacenter mix, compression and decompression, rotating priorities —
+//! so a single run exercises admission control, batching, and both
+//! engines.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use culzss::hetero;
+use culzss_datasets::mixer::Mixer;
+use culzss_datasets::Dataset;
+use parking_lot::Mutex;
+
+use crate::job::{JobResult, JobSpec, JobTicket, Priority, SubmitError};
+use crate::service::Service;
+
+/// Configuration of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent tenants (one thread each).
+    pub tenants: usize,
+    /// Jobs each tenant submits.
+    pub jobs_per_tenant: usize,
+    /// Payload size per job.
+    pub payload_bytes: usize,
+    /// Every `n`-th job per tenant is a decompression of a
+    /// pre-compressed payload (`0` = compression only).
+    pub decompress_every: usize,
+    /// Per-tenant in-flight window (closed loop).
+    pub window: usize,
+    /// Root seed for payload generation (deterministic).
+    pub seed: u64,
+    /// Optional per-job deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self {
+            tenants: 4,
+            jobs_per_tenant: 16,
+            payload_bytes: 64 * 1024,
+            decompress_every: 3,
+            window: 4,
+            seed: 0x5EED,
+            deadline: None,
+        }
+    }
+}
+
+/// Aggregated results of a load-generator run, from the client side of
+/// the service (the server side is [`crate::ServiceStats`]).
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Successful submissions.
+    pub submitted: u64,
+    /// Jobs that resolved successfully.
+    pub completed: u64,
+    /// Jobs that resolved with an error.
+    pub failed: u64,
+    /// Typed refusals observed (each retry that was refused counts).
+    pub rejected: u64,
+    /// Jobs abandoned after exhausting submission retries.
+    pub abandoned: u64,
+    /// Decompression outputs that did not match the original payload.
+    pub mismatched: u64,
+    /// Payload bytes submitted.
+    pub bytes_in: u64,
+    /// Output bytes received.
+    pub bytes_out: u64,
+    /// Σ of per-job latencies (queued + service), seconds.
+    pub latency_sum_seconds: f64,
+    /// Worst per-job latency, seconds.
+    pub latency_max_seconds: f64,
+    /// Wall-clock duration of the whole run.
+    pub wall_seconds: f64,
+}
+
+impl LoadReport {
+    fn merge(&mut self, other: &LoadReport) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.rejected += other.rejected;
+        self.abandoned += other.abandoned;
+        self.mismatched += other.mismatched;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.latency_sum_seconds += other.latency_sum_seconds;
+        self.latency_max_seconds = self.latency_max_seconds.max(other.latency_max_seconds);
+    }
+
+    /// Mean per-job latency, seconds.
+    pub fn mean_latency_seconds(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.latency_sum_seconds / self.completed as f64
+        }
+    }
+
+    /// Client-observed throughput over submitted payload bytes.
+    pub fn throughput_mib_s(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.bytes_in as f64 / (1 << 20) as f64 / self.wall_seconds
+        }
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "submitted {}  completed {}  failed {}  rejected {}  abandoned {}  mismatched {}",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.abandoned,
+            self.mismatched,
+        )?;
+        write!(
+            f,
+            "bytes in {}  out {}  mean latency {:.2} ms  max {:.2} ms  wall {:.2} s  ({:.2} MiB/s offered)",
+            self.bytes_in,
+            self.bytes_out,
+            self.mean_latency_seconds() * 1e3,
+            self.latency_max_seconds * 1e3,
+            self.wall_seconds,
+            self.throughput_mib_s(),
+        )
+    }
+}
+
+/// How many refused submissions a tenant retries before abandoning a
+/// job (each retry first drains one in-flight job to make room).
+const SUBMIT_RETRIES: u32 = 64;
+
+/// Drives `cfg` against `service` and blocks until every tenant is
+/// done. The service is left running (shut it down for final stats).
+pub fn run(service: &Service, cfg: &LoadGenConfig) -> LoadReport {
+    let aggregate = Mutex::new(LoadReport::default());
+    let started = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for tenant_index in 0..cfg.tenants {
+            let aggregate = &aggregate;
+            scope.spawn(move |_| {
+                let local = run_tenant(service, cfg, tenant_index);
+                aggregate.lock().merge(&local);
+            });
+        }
+    })
+    .expect("load-generator tenant panicked");
+    let mut report = aggregate.into_inner();
+    report.wall_seconds = started.elapsed().as_secs_f64();
+    report
+}
+
+fn run_tenant(service: &Service, cfg: &LoadGenConfig, tenant_index: usize) -> LoadReport {
+    let mut local = LoadReport::default();
+    let tenant = format!("tenant-{tenant_index}");
+    // (ticket, expected plain output for decompression jobs)
+    let mut outstanding: VecDeque<(JobTicket, Option<Vec<u8>>)> = VecDeque::new();
+    let window = cfg.window.max(1);
+
+    for job_index in 0..cfg.jobs_per_tenant {
+        let seed = cfg.seed ^ ((tenant_index as u64) << 32) ^ job_index as u64;
+        let plain = if (tenant_index + job_index).is_multiple_of(7) {
+            Mixer::datacenter().generate(cfg.payload_bytes, seed)
+        } else {
+            let dataset = Dataset::ALL[(tenant_index + job_index) % Dataset::ALL.len()];
+            dataset.generate(cfg.payload_bytes, seed)
+        };
+        let decompress = cfg.decompress_every > 0 && (job_index + 1) % cfg.decompress_every == 0;
+        let (mut spec, expected) = if decompress {
+            let stream = hetero::cpu_compress(&plain, service.params(), 1)
+                .expect("pre-compressing decompression payload");
+            (JobSpec::decompress(tenant.clone(), stream), Some(plain))
+        } else {
+            (JobSpec::compress(tenant.clone(), plain), None)
+        };
+        spec = spec.with_priority(match job_index % 3 {
+            0 => Priority::Normal,
+            1 => Priority::High,
+            _ => Priority::Low,
+        });
+        if let Some(deadline) = cfg.deadline {
+            spec = spec.with_deadline(deadline);
+        }
+
+        // Closed loop: wait out the window before submitting more.
+        while outstanding.len() >= window {
+            let (ticket, expected) = outstanding.pop_front().expect("non-empty window");
+            settle(&mut local, ticket.wait(), expected);
+        }
+
+        let payload_len = spec.payload.len() as u64;
+        let mut tries = 0u32;
+        loop {
+            match service.submit(spec.clone()) {
+                Ok(ticket) => {
+                    local.submitted += 1;
+                    local.bytes_in += payload_len;
+                    outstanding.push_back((ticket, expected));
+                    break;
+                }
+                Err(SubmitError::ShuttingDown) => {
+                    local.rejected += 1;
+                    local.abandoned += 1;
+                    break;
+                }
+                Err(_) => {
+                    local.rejected += 1;
+                    tries += 1;
+                    if tries > SUBMIT_RETRIES {
+                        local.abandoned += 1;
+                        break;
+                    }
+                    // Backpressure response: drain one in-flight job to
+                    // make room; with an empty window, briefly yield.
+                    if let Some((ticket, expected)) = outstanding.pop_front() {
+                        settle(&mut local, ticket.wait(), expected);
+                    } else {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+    }
+
+    while let Some((ticket, expected)) = outstanding.pop_front() {
+        settle(&mut local, ticket.wait(), expected);
+    }
+    local
+}
+
+fn settle(report: &mut LoadReport, result: JobResult, expected: Option<Vec<u8>>) {
+    match result {
+        Ok(outcome) => {
+            report.completed += 1;
+            report.bytes_out += outcome.output.len() as u64;
+            let latency = outcome.queued_seconds + outcome.service_seconds;
+            report.latency_sum_seconds += latency;
+            report.latency_max_seconds = report.latency_max_seconds.max(latency);
+            if let Some(expected) = expected {
+                if outcome.output != expected {
+                    report.mismatched += 1;
+                }
+            }
+        }
+        Err(_) => report.failed += 1,
+    }
+}

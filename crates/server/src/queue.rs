@@ -1,0 +1,366 @@
+//! Bounded, tenant-aware priority admission queue.
+//!
+//! Admission control is the service's backpressure contract: a full
+//! queue or an over-quota tenant is refused *immediately* with a typed
+//! [`SubmitError`] instead of blocking the submitter — callers decide
+//! whether to retry, shed, or spill. Admitted jobs dequeue by priority
+//! (FIFO within a priority) in same-kind batch windows; a second lane
+//! carries device-failure retries to the CPU fallback workers.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::job::{Job, SubmitError};
+
+/// Which engine a worker drives; decides which lanes it may serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerClass {
+    Gpu,
+    Cpu,
+}
+
+struct Entry {
+    rank: u8,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher rank first; older (smaller seq) first within.
+        self.rank.cmp(&other.rank).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct State {
+    heap: BinaryHeap<Entry>,
+    cpu_lane: VecDeque<Job>,
+    tenant_inflight: HashMap<String, usize>,
+    seq: u64,
+    accepting: bool,
+    /// Batches handed to workers whose jobs have not all resolved yet —
+    /// they may still requeue onto `cpu_lane`, so drain waits for them.
+    active_batches: usize,
+}
+
+pub(crate) struct AdmissionQueue {
+    depth_limit: usize,
+    tenant_cap: usize,
+    has_cpu_workers: bool,
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+impl AdmissionQueue {
+    pub fn new(depth_limit: usize, tenant_cap: usize, has_cpu_workers: bool) -> Self {
+        Self {
+            depth_limit: depth_limit.max(1),
+            tenant_cap: tenant_cap.max(1),
+            has_cpu_workers,
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                cpu_lane: VecDeque::new(),
+                tenant_inflight: HashMap::new(),
+                seq: 0,
+                accepting: true,
+                active_batches: 0,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Admits `job` or refuses with a typed error. On success the
+    /// tenant's in-flight count is incremented (released on final
+    /// resolution) and the post-admission queue depth is returned.
+    pub fn submit(&self, job: Job) -> Result<usize, SubmitError> {
+        let mut s = self.state.lock();
+        if !s.accepting {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let depth = s.heap.len() + s.cpu_lane.len();
+        if depth >= self.depth_limit {
+            return Err(SubmitError::Overloaded { depth, limit: self.depth_limit });
+        }
+        let in_flight = s.tenant_inflight.get(&job.tenant).copied().unwrap_or(0);
+        if in_flight >= self.tenant_cap {
+            return Err(SubmitError::TenantOverLimit {
+                tenant: job.tenant.clone(),
+                in_flight,
+                cap: self.tenant_cap,
+            });
+        }
+        *s.tenant_inflight.entry(job.tenant.clone()).or_insert(0) += 1;
+        let seq = s.seq;
+        s.seq += 1;
+        s.heap.push(Entry { rank: job.priority.rank(), seq, job });
+        drop(s);
+        self.available.notify_one();
+        Ok(depth + 1)
+    }
+
+    /// Re-enqueues an already-admitted job onto the CPU fallback lane.
+    /// No admission check: the job's capacity was claimed at submit time.
+    pub fn requeue_cpu(&self, job: Job) {
+        self.state.lock().cpu_lane.push_back(job);
+        self.available.notify_all();
+    }
+
+    /// Blocks for the next window of same-kind jobs this worker class
+    /// may serve; `None` once the service is shutting down and fully
+    /// drained (including potential fallback requeues from batches that
+    /// are still executing).
+    pub fn next_batch(
+        &self,
+        class: WorkerClass,
+        max_jobs: usize,
+        max_bytes: usize,
+    ) -> Option<Vec<Job>> {
+        let max_jobs = max_jobs.max(1);
+        let mut s = self.state.lock();
+        loop {
+            // The fallback lane is served by CPU workers; when the pool
+            // has none, GPU workers degrade to running it on the host.
+            let serves_lane = class == WorkerClass::Cpu || !self.has_cpu_workers;
+            if serves_lane && !s.cpu_lane.is_empty() {
+                let first = s.cpu_lane.pop_front().expect("non-empty lane");
+                let kind = first.kind;
+                let mut bytes = first.payload.len();
+                let mut jobs = vec![first];
+                while jobs.len() < max_jobs
+                    && bytes < max_bytes
+                    && s.cpu_lane.front().is_some_and(|j| j.kind == kind)
+                {
+                    let job = s.cpu_lane.pop_front().expect("peeked");
+                    bytes += job.payload.len();
+                    jobs.push(job);
+                }
+                s.active_batches += 1;
+                return Some(jobs);
+            }
+            if !s.heap.is_empty() {
+                let first = s.heap.pop().expect("non-empty heap").job;
+                let kind = first.kind;
+                let mut bytes = first.payload.len();
+                let mut jobs = vec![first];
+                while jobs.len() < max_jobs
+                    && bytes < max_bytes
+                    && s.heap.peek().is_some_and(|e| e.job.kind == kind)
+                {
+                    let job = s.heap.pop().expect("peeked").job;
+                    bytes += job.payload.len();
+                    jobs.push(job);
+                }
+                s.active_batches += 1;
+                return Some(jobs);
+            }
+            if !s.accepting && s.cpu_lane.is_empty() && s.active_batches == 0 {
+                return None;
+            }
+            self.available.wait(&mut s);
+        }
+    }
+
+    /// Marks a batch handed out by [`Self::next_batch`] fully resolved.
+    pub fn finish_batch(&self) {
+        let mut s = self.state.lock();
+        s.active_batches -= 1;
+        drop(s);
+        self.available.notify_all();
+    }
+
+    /// Releases one unit of `tenant`'s in-flight quota.
+    pub fn release_tenant(&self, tenant: &str) {
+        let mut s = self.state.lock();
+        if let Some(n) = s.tenant_inflight.get_mut(tenant) {
+            *n -= 1;
+            if *n == 0 {
+                s.tenant_inflight.remove(tenant);
+            }
+        }
+    }
+
+    /// Stops admitting new jobs; queued and in-flight jobs still drain.
+    pub fn begin_shutdown(&self) {
+        self.state.lock().accepting = false;
+        self.available.notify_all();
+    }
+
+    /// Jobs currently queued (not yet handed to a worker).
+    pub fn depth(&self) -> usize {
+        let s = self.state.lock();
+        s.heap.len() + s.cpu_lane.len()
+    }
+
+    /// `tenant`'s admitted-but-unresolved job count.
+    pub fn tenant_in_flight(&self, tenant: &str) -> usize {
+        self.state.lock().tenant_inflight.get(tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, JobKind, JobResult, Priority};
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    fn job(
+        id: u64,
+        tenant: &str,
+        kind: JobKind,
+        priority: Priority,
+    ) -> (Job, mpsc::Receiver<JobResult>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                id: JobId(id),
+                tenant: tenant.into(),
+                kind,
+                payload: vec![0u8; 16],
+                priority,
+                accepted_at: Instant::now(),
+                deadline: None,
+                attempts: 0,
+                force_cpu: false,
+                responder: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn priority_then_fifo_order() {
+        let q = AdmissionQueue::new(16, 16, false);
+        let mut keep = Vec::new();
+        for (id, p) in
+            [(0, Priority::Normal), (1, Priority::Low), (2, Priority::High), (3, Priority::Normal)]
+        {
+            let (j, rx) = job(id, "t", JobKind::Compress, p);
+            keep.push(rx);
+            q.submit(j).unwrap();
+        }
+        let order: Vec<u64> = (0..4)
+            .map(|_| {
+                let batch = q.next_batch(WorkerClass::Gpu, 1, usize::MAX).unwrap();
+                q.finish_batch();
+                batch[0].id.0
+            })
+            .collect();
+        assert_eq!(order, [2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn batches_coalesce_same_kind_only() {
+        let q = AdmissionQueue::new(16, 16, false);
+        let mut keep = Vec::new();
+        for (id, kind) in [
+            (0, JobKind::Compress),
+            (1, JobKind::Compress),
+            (2, JobKind::Decompress),
+            (3, JobKind::Compress),
+        ] {
+            let (j, rx) = job(id, "t", kind, Priority::Normal);
+            keep.push(rx);
+            q.submit(j).unwrap();
+        }
+        let ids = |batch: Vec<Job>| batch.iter().map(|j| j.id.0).collect::<Vec<_>>();
+        let b1 = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        q.finish_batch();
+        assert_eq!(ids(b1), [0, 1]);
+        let b2 = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        q.finish_batch();
+        assert_eq!(ids(b2), [2]);
+        let b3 = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        q.finish_batch();
+        assert_eq!(ids(b3), [3]);
+    }
+
+    #[test]
+    fn typed_rejections() {
+        let q = AdmissionQueue::new(2, 1, false);
+        let (j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
+        q.submit(j0).unwrap();
+        // Tenant cap before queue bound.
+        let (j1, _rx1) = job(1, "a", JobKind::Compress, Priority::Normal);
+        assert!(matches!(
+            q.submit(j1),
+            Err(SubmitError::TenantOverLimit { in_flight: 1, cap: 1, .. })
+        ));
+        let (j2, _rx2) = job(2, "b", JobKind::Compress, Priority::Normal);
+        q.submit(j2).unwrap();
+        let (j3, _rx3) = job(3, "c", JobKind::Compress, Priority::Normal);
+        assert!(matches!(q.submit(j3), Err(SubmitError::Overloaded { depth: 2, limit: 2 })));
+        q.begin_shutdown();
+        let (j4, _rx4) = job(4, "d", JobKind::Compress, Priority::Normal);
+        assert!(matches!(q.submit(j4), Err(SubmitError::ShuttingDown)));
+    }
+
+    #[test]
+    fn tenant_quota_releases_on_resolution() {
+        let q = AdmissionQueue::new(8, 1, false);
+        let (j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
+        q.submit(j0).unwrap();
+        assert_eq!(q.tenant_in_flight("a"), 1);
+        // Popping does NOT release the quota — resolution does.
+        let batch = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        assert_eq!(q.tenant_in_flight("a"), 1);
+        drop(batch);
+        q.release_tenant("a");
+        q.finish_batch();
+        assert_eq!(q.tenant_in_flight("a"), 0);
+        let (j1, _rx1) = job(1, "a", JobKind::Compress, Priority::Normal);
+        q.submit(j1).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_then_returns_none() {
+        let q = AdmissionQueue::new(8, 8, false);
+        let (j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
+        q.submit(j0).unwrap();
+        q.begin_shutdown();
+        let batch = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        assert_eq!(batch.len(), 1);
+        // A still-active batch may requeue onto the CPU lane, so drain
+        // is not complete until it is finished.
+        q.requeue_cpu(batch.into_iter().next().unwrap());
+        q.finish_batch();
+        let fallback = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        assert_eq!(fallback.len(), 1);
+        drop(fallback);
+        q.finish_batch();
+        assert!(q.next_batch(WorkerClass::Gpu, 8, usize::MAX).is_none());
+        assert!(q.next_batch(WorkerClass::Cpu, 8, usize::MAX).is_none());
+    }
+
+    #[test]
+    fn cpu_lane_reserved_for_cpu_workers_when_present() {
+        let q = AdmissionQueue::new(8, 8, true);
+        let (j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
+        q.requeue_cpu(j0);
+        let (j1, _rx1) = job(1, "a", JobKind::Compress, Priority::Normal);
+        q.submit(j1).unwrap();
+        // The GPU worker sees only the main heap job.
+        let batch = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        assert_eq!(batch[0].id.0, 1);
+        q.finish_batch();
+        // The CPU worker drains the fallback lane.
+        let batch = q.next_batch(WorkerClass::Cpu, 8, usize::MAX).unwrap();
+        assert_eq!(batch[0].id.0, 0);
+        q.finish_batch();
+    }
+}

@@ -1,0 +1,221 @@
+//! The service object: configuration, lifecycle, and the submission
+//! front door.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use culzss::{Culzss, CulzssParams};
+use culzss_gpusim::DeviceSpec;
+
+use crate::batch::BatchReport;
+use crate::fault::FaultPlan;
+use crate::job::{Job, JobId, JobSpec, JobTicket, SubmitError};
+use crate::queue::AdmissionQueue;
+use crate::stats::{ServiceStats, StatsCollector};
+use crate::worker::{self, WorkerEngine};
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Simulated GPU devices; one worker thread drives each.
+    pub devices: Vec<DeviceSpec>,
+    /// Host threads each device simulation uses to execute blocks.
+    pub gpu_sim_threads: usize,
+    /// Dedicated CPU workers (the hetero path). With zero, GPU workers
+    /// degrade to running fallback-lane jobs on the host themselves.
+    pub cpu_workers: usize,
+    /// Host threads each CPU worker (or inline fallback) uses.
+    pub cpu_threads: usize,
+    /// Compression parameters. V1 keeps the CPU fallback byte-identical
+    /// to the device path; V2 falls back to a valid (wire-compatible)
+    /// stream with V2 window/match settings.
+    pub params: CulzssParams,
+    /// Global queue bound; submissions beyond it are refused with
+    /// [`SubmitError::Overloaded`].
+    pub queue_depth: usize,
+    /// Per-tenant admitted-but-unresolved cap
+    /// ([`SubmitError::TenantOverLimit`]).
+    pub tenant_inflight_cap: usize,
+    /// Max jobs coalesced into one batch window.
+    pub batch_jobs: usize,
+    /// Max payload bytes coalesced into one batch window.
+    pub batch_bytes: usize,
+    /// Device-failure retries per job before it fails.
+    pub max_retries: u32,
+    /// Deadline applied to jobs that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Deterministic device-failure injection (degradation testing).
+    pub fault: FaultPlan,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            devices: vec![DeviceSpec::gtx480()],
+            gpu_sim_threads: 2,
+            cpu_workers: 1,
+            cpu_threads: 2,
+            params: CulzssParams::v1(),
+            queue_depth: 128,
+            tenant_inflight_cap: 32,
+            batch_jobs: 8,
+            batch_bytes: 8 << 20,
+            max_retries: 1,
+            default_deadline: None,
+            fault: FaultPlan::none(),
+        }
+    }
+}
+
+/// State shared between the front door and the worker threads.
+pub(crate) struct Shared {
+    pub queue: AdmissionQueue,
+    pub stats: StatsCollector,
+    pub fault: FaultPlan,
+    pub params: CulzssParams,
+    pub cpu_threads: usize,
+    pub max_retries: u32,
+    pub batch_jobs: usize,
+    pub batch_bytes: usize,
+    batch_seq: AtomicU64,
+    job_seq: AtomicU64,
+    default_deadline: Option<Duration>,
+}
+
+impl Shared {
+    pub fn next_batch_id(&self) -> u64 {
+        self.batch_seq.fetch_add(1, Relaxed)
+    }
+}
+
+/// A running multi-tenant compression service: a worker pool over
+/// simulated GPU devices plus CPU fallback workers, fed by a bounded
+/// priority queue.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the worker pool described by `config`.
+    pub fn start(config: ServerConfig) -> Self {
+        let has_cpu_workers = config.cpu_workers > 0;
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(
+                config.queue_depth,
+                config.tenant_inflight_cap,
+                has_cpu_workers,
+            ),
+            stats: StatsCollector::new(),
+            fault: config.fault,
+            params: config.params.clone(),
+            cpu_threads: config.cpu_threads.max(1),
+            max_retries: config.max_retries,
+            batch_jobs: config.batch_jobs.max(1),
+            batch_bytes: config.batch_bytes.max(1),
+            batch_seq: AtomicU64::new(0),
+            job_seq: AtomicU64::new(0),
+            default_deadline: config.default_deadline,
+        });
+
+        let mut workers = Vec::new();
+        for (device, spec) in config.devices.iter().enumerate() {
+            let culzss = Culzss::with_device(spec.clone(), config.params.clone())
+                .with_workers(config.gpu_sim_threads.max(1));
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("culzss-gpu{device}"))
+                .spawn(move || worker::run(&shared, WorkerEngine::Gpu { culzss, device }))
+                .expect("spawn GPU worker");
+            workers.push(handle);
+        }
+        for index in 0..config.cpu_workers {
+            let threads = config.cpu_threads.max(1);
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("culzss-cpu{index}"))
+                .spawn(move || worker::run(&shared, WorkerEngine::Cpu { threads }))
+                .expect("spawn CPU worker");
+            workers.push(handle);
+        }
+
+        Service { shared, workers }
+    }
+
+    /// Submits a job through admission control; returns a ticket to
+    /// await the result, or a typed refusal — never blocks.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, SubmitError> {
+        self.shared.stats.on_received();
+        let id = JobId(self.shared.job_seq.fetch_add(1, Relaxed));
+        let accepted_at = Instant::now();
+        let deadline = spec.deadline.or(self.shared.default_deadline).map(|d| accepted_at + d);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            id,
+            tenant: spec.tenant,
+            kind: spec.kind,
+            payload: spec.payload,
+            priority: spec.priority,
+            accepted_at,
+            deadline,
+            attempts: 0,
+            force_cpu: false,
+            responder: tx,
+        };
+        match self.shared.queue.submit(job) {
+            Ok(depth) => {
+                self.shared.stats.on_accepted(depth);
+                Ok(JobTicket { id, rx })
+            }
+            Err(e) => {
+                self.shared.stats.on_rejected(&e);
+                Err(e)
+            }
+        }
+    }
+
+    /// The compression parameters the service runs with.
+    pub fn params(&self) -> &CulzssParams {
+        &self.shared.params
+    }
+
+    /// Jobs currently queued (not yet handed to a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// `tenant`'s admitted-but-unresolved job count.
+    pub fn tenant_in_flight(&self, tenant: &str) -> usize {
+        self.shared.queue.tenant_in_flight(tenant)
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// The most recent coalesced batch windows (bounded ring).
+    pub fn recent_batches(&self) -> Vec<BatchReport> {
+        self.shared.stats.recent_batches()
+    }
+
+    /// Graceful shutdown: stops admitting, drains every queued and
+    /// in-flight job (their tickets resolve normally), joins the
+    /// workers, and returns the final — reconciling — stats snapshot.
+    pub fn shutdown(self) -> ServiceStats {
+        let shared = Arc::clone(&self.shared);
+        drop(self); // Drop drains and joins.
+        shared.stats.snapshot()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shared.queue.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Service counters, histograms, and the reconcilable stats snapshot.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use parking_lot::Mutex;
+
+use crate::batch::BatchReport;
+use crate::job::{EngineKind, JobError, SubmitError};
+
+/// How many recent batch reports the service keeps for inspection.
+const BATCH_RING: usize = 256;
+
+/// A fixed-bound histogram with atomic buckets. `counts[i]` collects
+/// samples `≤ bounds[i]`; the final bucket is overflow.
+#[derive(Debug)]
+pub(crate) struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<f64>) -> Self {
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self { bounds, counts }
+    }
+
+    /// Decades from 10 µs to 100 s — job latency.
+    fn latency() -> Self {
+        Self::new(vec![1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0])
+    }
+
+    /// Powers of two up to 1024 — queue depth observed at admission.
+    fn depth() -> Self {
+        Self::new(vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0])
+    }
+
+    pub fn record(&self, sample: f64) {
+        let i = self.bounds.iter().position(|b| sample <= *b).unwrap_or(self.bounds.len());
+        self.counts[i].fetch_add(1, Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.iter().map(|c| c.load(Relaxed)).collect(),
+        }
+    }
+}
+
+/// Immutable histogram snapshot: `counts[i]` is the number of samples
+/// `≤ bounds[i]`, with one extra overflow bucket at the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (`0.0..=1.0`);
+    /// `f64::INFINITY` when the quantile lands in the overflow bucket,
+    /// `0.0` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+#[derive(Debug, Default)]
+struct BatchAgg {
+    sequential_seconds: f64,
+    pipelined_seconds: f64,
+    reports: VecDeque<BatchReport>,
+}
+
+/// Live counters shared by the service front door and the workers.
+#[derive(Debug)]
+pub(crate) struct StatsCollector {
+    received: AtomicU64,
+    accepted: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_tenant_cap: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    retried: AtomicU64,
+    deadline_missed: AtomicU64,
+    device_failures: AtomicU64,
+    gpu_jobs: AtomicU64,
+    cpu_jobs: AtomicU64,
+    cpu_fallback_completions: AtomicU64,
+    batches: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    latency: Histogram,
+    queue_depth: Histogram,
+    batch_agg: Mutex<BatchAgg>,
+}
+
+impl StatsCollector {
+    pub fn new() -> Self {
+        Self {
+            received: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            rejected_tenant_cap: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            device_failures: AtomicU64::new(0),
+            gpu_jobs: AtomicU64::new(0),
+            cpu_jobs: AtomicU64::new(0),
+            cpu_fallback_completions: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            latency: Histogram::latency(),
+            queue_depth: Histogram::depth(),
+            batch_agg: Mutex::new(BatchAgg::default()),
+        }
+    }
+
+    pub fn on_received(&self) {
+        self.received.fetch_add(1, Relaxed);
+    }
+
+    pub fn on_accepted(&self, depth_after: usize) {
+        self.accepted.fetch_add(1, Relaxed);
+        self.queue_depth.record(depth_after as f64);
+    }
+
+    pub fn on_rejected(&self, error: &SubmitError) {
+        match error {
+            SubmitError::Overloaded { .. } => &self.rejected_overloaded,
+            SubmitError::TenantOverLimit { .. } => &self.rejected_tenant_cap,
+            SubmitError::ShuttingDown => &self.rejected_shutdown,
+        }
+        .fetch_add(1, Relaxed);
+    }
+
+    pub fn on_completed(
+        &self,
+        engine: EngineKind,
+        retries: u32,
+        bytes_in: u64,
+        bytes_out: u64,
+        latency_seconds: f64,
+    ) {
+        self.completed.fetch_add(1, Relaxed);
+        self.bytes_in.fetch_add(bytes_in, Relaxed);
+        self.bytes_out.fetch_add(bytes_out, Relaxed);
+        self.latency.record(latency_seconds);
+        match engine {
+            EngineKind::Gpu { .. } => {
+                self.gpu_jobs.fetch_add(1, Relaxed);
+            }
+            EngineKind::Cpu => {
+                self.cpu_jobs.fetch_add(1, Relaxed);
+                if retries > 0 {
+                    self.cpu_fallback_completions.fetch_add(1, Relaxed);
+                }
+            }
+        }
+    }
+
+    pub fn on_failed(&self, error: &JobError) {
+        self.failed.fetch_add(1, Relaxed);
+        if matches!(error, JobError::DeadlineMissed { .. }) {
+            self.deadline_missed.fetch_add(1, Relaxed);
+        }
+    }
+
+    pub fn on_retried(&self) {
+        self.retried.fetch_add(1, Relaxed);
+    }
+
+    pub fn on_device_failure(&self) {
+        self.device_failures.fetch_add(1, Relaxed);
+    }
+
+    pub fn on_batch(&self, report: BatchReport) {
+        self.batches.fetch_add(1, Relaxed);
+        let mut agg = self.batch_agg.lock();
+        agg.sequential_seconds += report.sequential_seconds;
+        agg.pipelined_seconds += report.pipelined_seconds;
+        if agg.reports.len() == BATCH_RING {
+            agg.reports.pop_front();
+        }
+        agg.reports.push_back(report);
+    }
+
+    pub fn recent_batches(&self) -> Vec<BatchReport> {
+        self.batch_agg.lock().reports.iter().cloned().collect()
+    }
+
+    pub fn snapshot(&self) -> ServiceStats {
+        let agg = self.batch_agg.lock();
+        ServiceStats {
+            received: self.received.load(Relaxed),
+            accepted: self.accepted.load(Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Relaxed),
+            rejected_tenant_cap: self.rejected_tenant_cap.load(Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Relaxed),
+            completed: self.completed.load(Relaxed),
+            failed: self.failed.load(Relaxed),
+            retried: self.retried.load(Relaxed),
+            deadline_missed: self.deadline_missed.load(Relaxed),
+            device_failures: self.device_failures.load(Relaxed),
+            gpu_jobs: self.gpu_jobs.load(Relaxed),
+            cpu_jobs: self.cpu_jobs.load(Relaxed),
+            cpu_fallback_completions: self.cpu_fallback_completions.load(Relaxed),
+            batches: self.batches.load(Relaxed),
+            bytes_in: self.bytes_in.load(Relaxed),
+            bytes_out: self.bytes_out.load(Relaxed),
+            batch_sequential_seconds: agg.sequential_seconds,
+            batch_pipelined_seconds: agg.pipelined_seconds,
+            latency: self.latency.snapshot(),
+            queue_depth: self.queue_depth.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service counters.
+///
+/// At quiescence (after [`crate::Service::shutdown`] drains) the
+/// counters [reconcile](Self::reconciles): every received job was either
+/// rejected at the door or accepted, and every accepted job either
+/// completed or failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Submissions seen (accepted + rejected).
+    pub received: u64,
+    /// Submissions admitted past admission control.
+    pub accepted: u64,
+    /// Refused: global queue at capacity.
+    pub rejected_overloaded: u64,
+    /// Refused: tenant over its in-flight cap.
+    pub rejected_tenant_cap: u64,
+    /// Refused: service shutting down.
+    pub rejected_shutdown: u64,
+    /// Accepted jobs that resolved successfully.
+    pub completed: u64,
+    /// Accepted jobs that resolved with an error.
+    pub failed: u64,
+    /// Retry attempts consumed (device failure → CPU fallback lane).
+    pub retried: u64,
+    /// Failures caused by an expired deadline (⊆ `failed`).
+    pub deadline_missed: u64,
+    /// Device failures observed (injected or real launch errors).
+    pub device_failures: u64,
+    /// Completions served by a simulated GPU device.
+    pub gpu_jobs: u64,
+    /// Completions served by the host CPU path.
+    pub cpu_jobs: u64,
+    /// CPU completions that were device-failure fallbacks (⊆ `cpu_jobs`).
+    pub cpu_fallback_completions: u64,
+    /// Coalesced batch windows executed.
+    pub batches: u64,
+    /// Payload bytes of completed jobs.
+    pub bytes_in: u64,
+    /// Output bytes of completed jobs.
+    pub bytes_out: u64,
+    /// Σ over batches of the back-to-back stage totals.
+    pub batch_sequential_seconds: f64,
+    /// Σ over batches of the overlapped makespans.
+    pub batch_pipelined_seconds: f64,
+    /// Job latency (admission → resolution), seconds.
+    pub latency: HistogramSnapshot,
+    /// Queue depth observed after each admission.
+    pub queue_depth: HistogramSnapshot,
+}
+
+impl ServiceStats {
+    /// Total submissions refused by admission control.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_overloaded + self.rejected_tenant_cap + self.rejected_shutdown
+    }
+
+    /// Whether the counters account for every job. Guaranteed to hold at
+    /// quiescence (after a drained shutdown); transiently false while
+    /// jobs are in flight.
+    pub fn reconciles(&self) -> bool {
+        self.received == self.accepted + self.rejected()
+            && self.accepted == self.completed + self.failed
+    }
+
+    /// Mean speedup of the overlapped batch schedule over back-to-back
+    /// execution of the same windows.
+    pub fn batching_speedup(&self) -> f64 {
+        if self.batch_pipelined_seconds <= 0.0 {
+            1.0
+        } else {
+            self.batch_sequential_seconds / self.batch_pipelined_seconds
+        }
+    }
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "received {:>6}   accepted {:>6}   rejected {:>6} (overloaded {}, tenant-cap {}, shutdown {})",
+            self.received,
+            self.accepted,
+            self.rejected(),
+            self.rejected_overloaded,
+            self.rejected_tenant_cap,
+            self.rejected_shutdown,
+        )?;
+        writeln!(
+            f,
+            "completed {:>5}   failed {:>8}   deadline-missed {}   retried {}   device-failures {}",
+            self.completed, self.failed, self.deadline_missed, self.retried, self.device_failures,
+        )?;
+        writeln!(
+            f,
+            "engines: gpu {} / cpu {} (fallback {})   batches {}   coalescing speedup x{:.2}",
+            self.gpu_jobs,
+            self.cpu_jobs,
+            self.cpu_fallback_completions,
+            self.batches,
+            self.batching_speedup(),
+        )?;
+        writeln!(f, "bytes: in {}  out {}", self.bytes_in, self.bytes_out)?;
+        write!(
+            f,
+            "latency p50 <= {:.2e} s, p99 <= {:.2e} s   queue depth p50 <= {:.0}, p99 <= {:.0}",
+            self.latency.quantile(0.50),
+            self.latency.quantile(0.99),
+            self.queue_depth.quantile(0.50),
+            self.queue_depth.quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::latency();
+        for v in [5e-6, 5e-4, 5e-4, 0.5, 2000.0] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.total(), 5);
+        assert_eq!(snap.counts[0], 1); // ≤ 10 µs
+        assert_eq!(snap.counts[2], 2); // ≤ 1 ms
+        assert_eq!(*snap.counts.last().unwrap(), 1); // overflow
+        assert_eq!(snap.quantile(0.5), 1e-3);
+        assert_eq!(snap.quantile(1.0), f64::INFINITY);
+        assert_eq!(HistogramSnapshot { bounds: vec![1.0], counts: vec![0, 0] }.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_reconciles_at_quiescence() {
+        let c = StatsCollector::new();
+        for _ in 0..5 {
+            c.on_received();
+        }
+        for depth in [1, 2, 1] {
+            c.on_accepted(depth);
+        }
+        c.on_rejected(&SubmitError::Overloaded { depth: 4, limit: 4 });
+        c.on_rejected(&SubmitError::ShuttingDown);
+        c.on_completed(EngineKind::Gpu { device: 0 }, 0, 100, 50, 1e-3);
+        c.on_completed(EngineKind::Cpu, 1, 100, 60, 2e-3);
+        c.on_failed(&JobError::DeadlineMissed { missed_by: std::time::Duration::ZERO });
+        let snap = c.snapshot();
+        assert!(snap.reconciles(), "{snap:?}");
+        assert_eq!(snap.rejected(), 2);
+        assert_eq!(snap.cpu_fallback_completions, 1);
+        assert_eq!(snap.deadline_missed, 1);
+    }
+}

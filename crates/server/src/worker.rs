@@ -1,0 +1,218 @@
+//! Worker loops: pull batch windows from the admission queue, execute
+//! them on a simulated device or the host CPU, route device failures
+//! through the bounded-retry → CPU-fallback lane, and resolve tickets.
+
+use std::time::Instant;
+
+use culzss::hetero;
+use culzss::pipeline::StageTimes;
+use culzss::stream::BatchTimeline;
+use culzss::{Culzss, CulzssError};
+
+use crate::batch::BatchReport;
+use crate::job::{EngineKind, Job, JobError, JobOutcome};
+use crate::queue::WorkerClass;
+use crate::service::Shared;
+
+/// The engine a worker thread drives.
+pub(crate) enum WorkerEngine {
+    Gpu { culzss: Culzss, device: usize },
+    Cpu { threads: usize },
+}
+
+impl WorkerEngine {
+    fn class(&self) -> WorkerClass {
+        match self {
+            WorkerEngine::Gpu { .. } => WorkerClass::Gpu,
+            WorkerEngine::Cpu { .. } => WorkerClass::Cpu,
+        }
+    }
+
+    fn kind(&self) -> EngineKind {
+        match self {
+            WorkerEngine::Gpu { device, .. } => EngineKind::Gpu { device: *device },
+            WorkerEngine::Cpu { .. } => EngineKind::Cpu,
+        }
+    }
+}
+
+/// Worker thread body: serve batch windows until shutdown drains.
+pub(crate) fn run(shared: &Shared, engine: WorkerEngine) {
+    let class = engine.class();
+    while let Some(jobs) = shared.queue.next_batch(class, shared.batch_jobs, shared.batch_bytes) {
+        execute_batch(shared, &engine, jobs);
+        shared.queue.finish_batch();
+    }
+}
+
+fn execute_batch(shared: &Shared, engine: &WorkerEngine, jobs: Vec<Job>) {
+    let batch_id = shared.next_batch_id();
+    let kind = jobs[0].kind;
+    let job_count = jobs.len();
+    let bytes_in: u64 = jobs.iter().map(|j| j.payload.len() as u64).sum();
+    let mut timeline = BatchTimeline::new();
+
+    for job in jobs {
+        if let Some(requeued) = run_job(shared, engine, job, batch_id, &mut timeline) {
+            shared.queue.requeue_cpu(requeued);
+        }
+    }
+
+    shared.stats.on_batch(BatchReport {
+        batch_id,
+        kind,
+        engine: engine.kind(),
+        jobs: job_count,
+        bytes_in,
+        sequential_seconds: timeline.sequential_seconds(),
+        pipelined_seconds: timeline.pipelined_seconds(),
+    });
+}
+
+/// Executes (or fails) one job; `Some(job)` means "requeue onto the CPU
+/// fallback lane".
+fn run_job(
+    shared: &Shared,
+    engine: &WorkerEngine,
+    mut job: Job,
+    batch_id: u64,
+    timeline: &mut BatchTimeline,
+) -> Option<Job> {
+    let now = Instant::now();
+    if let Some(deadline) = job.deadline {
+        if now >= deadline {
+            let missed_by = now.duration_since(deadline);
+            resolve_err(shared, job, JobError::DeadlineMissed { missed_by });
+            return None;
+        }
+    }
+    let queued_seconds = now.duration_since(job.accepted_at).as_secs_f64();
+
+    let cpu_threads = match engine {
+        WorkerEngine::Cpu { threads } => Some(*threads),
+        // A GPU worker degrades to the host path for fallback-lane jobs
+        // it picked up (pool without dedicated CPU workers).
+        WorkerEngine::Gpu { .. } if job.force_cpu => Some(shared.cpu_threads),
+        WorkerEngine::Gpu { .. } => None,
+    };
+
+    match cpu_threads {
+        Some(threads) => {
+            let started = Instant::now();
+            let result = match job.kind {
+                crate::job::JobKind::Compress => {
+                    hetero::cpu_compress(&job.payload, &shared.params, threads)
+                }
+                crate::job::JobKind::Decompress => hetero::cpu_decompress(&job.payload, threads),
+            };
+            let service_seconds = started.elapsed().as_secs_f64();
+            match result {
+                Ok(output) => {
+                    timeline.push_stages(StageTimes { cpu: service_seconds, ..Default::default() });
+                    resolve_ok(
+                        shared,
+                        job,
+                        output,
+                        EngineKind::Cpu,
+                        batch_id,
+                        queued_seconds,
+                        service_seconds,
+                    );
+                }
+                Err(e) => resolve_err(shared, job, JobError::Codec { error: e.to_string() }),
+            }
+            None
+        }
+        None => {
+            let WorkerEngine::Gpu { culzss, device } = engine else {
+                unreachable!("cpu_threads is None only for GPU engines");
+            };
+            let started = Instant::now();
+            let result = if shared.fault.should_fail() {
+                Err(CulzssError::InvalidParams(format!("injected device failure on gpu{device}")))
+            } else {
+                match job.kind {
+                    crate::job::JobKind::Compress => culzss.compress(&job.payload),
+                    crate::job::JobKind::Decompress => culzss.decompress_auto(&job.payload),
+                }
+            };
+            let service_seconds = started.elapsed().as_secs_f64();
+            match result {
+                Ok((output, stats)) => {
+                    timeline.push(&stats);
+                    resolve_ok(
+                        shared,
+                        job,
+                        output,
+                        EngineKind::Gpu { device: *device },
+                        batch_id,
+                        queued_seconds,
+                        service_seconds,
+                    );
+                    None
+                }
+                // Codec errors (corrupt container, …) are the payload's
+                // fault; retrying on another engine cannot help.
+                Err(CulzssError::Codec(e)) => {
+                    resolve_err(shared, job, JobError::Codec { error: e.to_string() });
+                    None
+                }
+                Err(e) => {
+                    shared.stats.on_device_failure();
+                    if job.attempts < shared.max_retries {
+                        job.attempts += 1;
+                        job.force_cpu = true;
+                        shared.stats.on_retried();
+                        Some(job)
+                    } else {
+                        let attempts = job.attempts + 1;
+                        resolve_err(
+                            shared,
+                            job,
+                            JobError::DeviceFailed { attempts, error: e.to_string() },
+                        );
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn resolve_ok(
+    shared: &Shared,
+    job: Job,
+    output: Vec<u8>,
+    engine: EngineKind,
+    batch_id: u64,
+    queued_seconds: f64,
+    service_seconds: f64,
+) {
+    let latency = job.accepted_at.elapsed().as_secs_f64();
+    shared.stats.on_completed(
+        engine,
+        job.attempts,
+        job.payload.len() as u64,
+        output.len() as u64,
+        latency,
+    );
+    shared.queue.release_tenant(&job.tenant);
+    let outcome = JobOutcome {
+        id: job.id,
+        tenant: job.tenant,
+        kind: job.kind,
+        output,
+        engine,
+        retries: job.attempts,
+        batch_id,
+        queued_seconds,
+        service_seconds,
+    };
+    let _ = job.responder.send(Ok(outcome));
+}
+
+fn resolve_err(shared: &Shared, job: Job, error: JobError) {
+    shared.stats.on_failed(&error);
+    shared.queue.release_tenant(&job.tenant);
+    let _ = job.responder.send(Err(error));
+}

@@ -1,0 +1,306 @@
+//! Integration tests for the multi-tenant service — the acceptance
+//! criteria of the server subsystem:
+//!
+//! 1. ≥64 concurrent mixed jobs from ≥4 tenants round-trip correctly,
+//! 2. overload yields typed `Overloaded` refusals, never a stall,
+//! 3. injected device failures retry onto the CPU fallback and still
+//!    round-trip,
+//! 4. `shutdown()` drains in-flight jobs and the final stats reconcile.
+
+use std::time::Duration;
+
+use culzss::hetero;
+use culzss_datasets::Dataset;
+use culzss_server::{
+    EngineKind, FaultPlan, JobError, JobSpec, Priority, ServerConfig, Service, SubmitError,
+};
+use parking_lot::Mutex;
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        gpu_sim_threads: 2,
+        cpu_workers: 1,
+        cpu_threads: 2,
+        queue_depth: 256,
+        tenant_inflight_cap: 32,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn concurrent_mixed_tenants_round_trip() {
+    const TENANTS: usize = 4;
+    const JOBS_PER_TENANT: usize = 16;
+    let service = Service::start(quick_config());
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    crossbeam::thread::scope(|scope| {
+        for tenant_index in 0..TENANTS {
+            let service = &service;
+            let failures = &failures;
+            scope.spawn(move |_| {
+                let tenant = format!("tenant-{tenant_index}");
+                let mut pending = Vec::new();
+                for job_index in 0..JOBS_PER_TENANT {
+                    let seed = (tenant_index * 100 + job_index) as u64;
+                    let dataset = Dataset::ALL[(tenant_index + job_index) % Dataset::ALL.len()];
+                    let plain = dataset.generate(24 * 1024, seed);
+                    // Every third job decompresses a pre-compressed stream.
+                    let (spec, expected) = if job_index % 3 == 2 {
+                        let stream = hetero::cpu_compress(&plain, service.params(), 1).unwrap();
+                        (JobSpec::decompress(tenant.clone(), stream), plain)
+                    } else {
+                        (JobSpec::compress(tenant.clone(), plain.clone()), plain)
+                    };
+                    let spec = spec.with_priority(match job_index % 3 {
+                        0 => Priority::High,
+                        1 => Priority::Normal,
+                        _ => Priority::Low,
+                    });
+                    let ticket = service.submit(spec).expect("no overload at this depth");
+                    pending.push((ticket, expected));
+                }
+                for (ticket, expected) in pending {
+                    match ticket.wait() {
+                        Ok(outcome) => {
+                            let plain = match outcome.kind {
+                                culzss_server::JobKind::Compress => {
+                                    hetero::cpu_decompress(&outcome.output, 1).unwrap()
+                                }
+                                culzss_server::JobKind::Decompress => outcome.output.clone(),
+                            };
+                            if plain != expected {
+                                failures.lock().push(format!("{} mismatch", outcome.id));
+                            }
+                        }
+                        Err(e) => failures.lock().push(format!("job failed: {e}")),
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let failures = failures.into_inner();
+    assert!(failures.is_empty(), "{failures:?}");
+    let stats = service.shutdown();
+    assert_eq!(stats.received, (TENANTS * JOBS_PER_TENANT) as u64);
+    assert_eq!(stats.completed, (TENANTS * JOBS_PER_TENANT) as u64);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.reconciles(), "{stats:?}");
+    // Both engine classes served traffic and batches were coalesced.
+    assert!(stats.batches > 0);
+    assert!(stats.batches <= stats.completed);
+}
+
+#[test]
+fn overload_yields_typed_rejections_without_admitting_past_the_bound() {
+    // A service with no workers holds every admitted job in the queue,
+    // making the admission bound exactly observable.
+    let config = ServerConfig {
+        devices: Vec::new(),
+        cpu_workers: 0,
+        queue_depth: 8,
+        tenant_inflight_cap: 4,
+        ..ServerConfig::default()
+    };
+    let service = Service::start(config);
+
+    let mut tickets = Vec::new();
+    for i in 0..8 {
+        let spec = JobSpec::compress(format!("t{}", i % 4), vec![i as u8; 1024]);
+        tickets.push(service.submit(spec).expect("under the bound"));
+    }
+    assert_eq!(service.queue_depth(), 8);
+
+    // The ninth submission is refused with the typed overload error.
+    match service.submit(JobSpec::compress("t9", vec![0u8; 1024])) {
+        Err(SubmitError::Overloaded { depth: 8, limit: 8 }) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.rejected_overloaded, 1);
+    assert_eq!(stats.accepted, 8);
+}
+
+#[test]
+fn per_tenant_cap_yields_typed_rejection() {
+    let config = ServerConfig {
+        devices: Vec::new(),
+        cpu_workers: 0,
+        queue_depth: 64,
+        tenant_inflight_cap: 2,
+        ..ServerConfig::default()
+    };
+    let service = Service::start(config);
+    let _t0 = service.submit(JobSpec::compress("greedy", vec![1u8; 512])).unwrap();
+    let _t1 = service.submit(JobSpec::compress("greedy", vec![2u8; 512])).unwrap();
+    match service.submit(JobSpec::compress("greedy", vec![3u8; 512])) {
+        Err(SubmitError::TenantOverLimit { in_flight: 2, cap: 2, ref tenant }) => {
+            assert_eq!(tenant, "greedy");
+        }
+        other => panic!("expected TenantOverLimit, got {other:?}"),
+    }
+    // Other tenants are unaffected.
+    assert!(service.submit(JobSpec::compress("modest", vec![4u8; 512])).is_ok());
+}
+
+#[test]
+fn overloaded_service_keeps_serving_and_reconciles() {
+    // A single slow worker behind a shallow queue: a burst of rapid
+    // submissions must produce typed refusals (not a stall), and every
+    // admitted job must still resolve.
+    let config = ServerConfig {
+        devices: vec![culzss_gpusim::DeviceSpec::gtx480()],
+        gpu_sim_threads: 1,
+        cpu_workers: 0,
+        queue_depth: 4,
+        tenant_inflight_cap: 64,
+        batch_jobs: 2,
+        ..ServerConfig::default()
+    };
+    let service = Service::start(config);
+    let payload = Dataset::CFiles.generate(128 * 1024, 7);
+
+    let mut tickets = Vec::new();
+    let mut overloaded = 0u64;
+    for i in 0..64 {
+        match service.submit(JobSpec::compress(format!("t{}", i % 4), payload.clone())) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(SubmitError::Overloaded { .. }) => overloaded += 1,
+            Err(other) => panic!("unexpected refusal: {other}"),
+        }
+    }
+    assert!(overloaded > 0, "64 rapid submissions never overloaded a depth-4 queue");
+
+    for ticket in tickets {
+        ticket.wait().expect("admitted job must resolve");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected_overloaded, overloaded);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.reconciles(), "{stats:?}");
+}
+
+#[test]
+fn injected_device_failure_retries_onto_cpu_and_round_trips() {
+    // No dedicated CPU workers: the GPU worker itself degrades to the
+    // host path for fallback-lane jobs, so the first three GPU attempts
+    // deterministically become CPU fallbacks.
+    let config = ServerConfig {
+        devices: vec![culzss_gpusim::DeviceSpec::gtx480()],
+        cpu_workers: 0,
+        fault: FaultPlan::fail_first(3),
+        max_retries: 1,
+        ..ServerConfig::default()
+    };
+    let service = Service::start(config);
+
+    let inputs: Vec<Vec<u8>> =
+        (0..6).map(|i| Dataset::ALL[i % 5].generate(16 * 1024, i as u64)).collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|input| service.submit(JobSpec::compress("t", input.clone())).unwrap())
+        .collect();
+
+    let mut fallbacks = 0;
+    for (ticket, input) in tickets.into_iter().zip(&inputs) {
+        let outcome = ticket.wait().expect("fallback must succeed");
+        assert_eq!(&hetero::cpu_decompress(&outcome.output, 1).unwrap(), input);
+        if outcome.engine == EngineKind::Cpu {
+            assert_eq!(outcome.retries, 1);
+            fallbacks += 1;
+        }
+    }
+    assert_eq!(fallbacks, 3);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.device_failures, 3);
+    assert_eq!(stats.retried, 3);
+    assert_eq!(stats.cpu_fallback_completions, 3);
+    assert_eq!(stats.completed, 6);
+    assert!(stats.reconciles(), "{stats:?}");
+}
+
+#[test]
+fn exhausted_retry_budget_fails_with_device_error() {
+    let config = ServerConfig {
+        devices: vec![culzss_gpusim::DeviceSpec::gtx480()],
+        cpu_workers: 0,
+        fault: FaultPlan::fail_first(1),
+        max_retries: 0,
+        ..ServerConfig::default()
+    };
+    let service = Service::start(config);
+    let ticket = service.submit(JobSpec::compress("t", vec![5u8; 8192])).unwrap();
+    match ticket.wait() {
+        Err(JobError::DeviceFailed { attempts: 1, .. }) => {}
+        other => panic!("expected DeviceFailed, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.retried, 0);
+    assert!(stats.reconciles(), "{stats:?}");
+}
+
+#[test]
+fn expired_deadline_is_a_typed_failure() {
+    let service = Service::start(quick_config());
+    let spec = JobSpec::compress("t", vec![1u8; 8192]).with_deadline(Duration::ZERO);
+    let ticket = service.submit(spec).unwrap();
+    match ticket.wait() {
+        Err(JobError::DeadlineMissed { .. }) => {}
+        other => panic!("expected DeadlineMissed, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.deadline_missed, 1);
+    assert!(stats.reconciles(), "{stats:?}");
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let service = Service::start(quick_config());
+    let input = Dataset::Dictionary.generate(32 * 1024, 9);
+    let tickets: Vec<_> = (0..16)
+        .map(|i| {
+            service
+                .submit(JobSpec::compress(format!("t{}", i % 4), input.clone()))
+                .expect("under the bound")
+        })
+        .collect();
+
+    // Shut down immediately: queued jobs must drain, not drop.
+    let stats = service.shutdown();
+    assert_eq!(stats.accepted, 16);
+    assert_eq!(stats.completed + stats.failed, 16);
+    assert!(stats.reconciles(), "{stats:?}");
+    for ticket in tickets {
+        let outcome = ticket.wait().expect("drained job resolves normally");
+        assert_eq!(hetero::cpu_decompress(&outcome.output, 1).unwrap(), input);
+    }
+}
+
+#[test]
+fn load_generator_drives_mixed_traffic_cleanly() {
+    let service = Service::start(quick_config());
+    let cfg = culzss_server::LoadGenConfig {
+        tenants: 4,
+        jobs_per_tenant: 8,
+        payload_bytes: 16 * 1024,
+        decompress_every: 3,
+        window: 4,
+        seed: 42,
+        deadline: None,
+    };
+    let report = culzss_server::loadgen::run(&service, &cfg);
+    assert_eq!(report.submitted, 32);
+    assert_eq!(report.completed, 32);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.mismatched, 0);
+    assert_eq!(report.abandoned, 0);
+
+    let stats = service.shutdown();
+    assert!(stats.reconciles(), "{stats:?}");
+    assert_eq!(stats.completed, 32);
+    assert!(stats.gpu_jobs + stats.cpu_jobs == 32);
+}

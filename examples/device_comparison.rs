@@ -22,8 +22,7 @@ fn main() {
 
     let mut chrome_trace: Option<String> = None;
     for device in [DeviceSpec::gtx280(), DeviceSpec::gtx480(), DeviceSpec::c2050()] {
-        let culzss =
-            Culzss::with_device(device.clone(), CulzssParams::v2()).with_workers(4);
+        let culzss = Culzss::with_device(device.clone(), CulzssParams::v2()).with_workers(4);
         let (compressed, stats) = culzss.compress(&input).expect("compress");
         let launch = stats.launch.as_ref().expect("launch stats");
         println!("{}", format_launch("culzss_v2_match", &device, launch));

@@ -16,12 +16,8 @@ use culzss_lzss::{stream, LzssConfig};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("compress") if args.len() >= 3 => {
-            run(&args[1], &args[2], codec(args.get(3)), true)
-        }
-        Some("decompress") if args.len() >= 3 => {
-            run(&args[1], &args[2], codec(args.get(3)), false)
-        }
+        Some("compress") if args.len() >= 3 => run(&args[1], &args[2], codec(args.get(3)), true),
+        Some("decompress") if args.len() >= 3 => run(&args[1], &args[2], codec(args.get(3)), false),
         Some("selftest") => selftest(),
         _ => {
             eprintln!(
@@ -113,10 +109,9 @@ fn selftest() -> ExitCode {
     std::fs::write(&original, &data).expect("write input");
 
     for codec in ["v1", "v2", "serial"] {
-        for (mode, from, to) in [
-            ("compress", &original, &packed),
-            ("decompress", &packed, &restored),
-        ] {
+        for (mode, from, to) in
+            [("compress", &original, &packed), ("decompress", &packed, &restored)]
+        {
             let status = run(
                 from.to_str().expect("utf8 path"),
                 to.to_str().expect("utf8 path"),

@@ -18,9 +18,8 @@ const BATCH: usize = 512 * 1024;
 const BATCHES: usize = 8;
 
 fn main() {
-    let traffic = Mixer::datacenter()
-        .with_segment_bytes(64 * 1024)
-        .generate(BATCH * BATCHES, 0xFEED);
+    let traffic =
+        Mixer::datacenter().with_segment_bytes(64 * 1024).generate(BATCH * BATCHES, 0xFEED);
     println!(
         "traffic: {} MiB mixed (entropy {:.2} bits/byte)\n",
         traffic.len() >> 20,
@@ -64,11 +63,7 @@ fn main() {
 
     println!("\npolicy totals (modelled GPU time / compressed size):");
     for (name, idx) in [("always V1", 0), ("always V2", 1), ("adaptive", 2)] {
-        println!(
-            "  {name:<10} {:>8.2} ms   {:>9} bytes",
-            totals[idx] * 1e3,
-            sizes[idx]
-        );
+        println!("  {name:<10} {:>8.2} ms   {:>9} bytes", totals[idx] * 1e3, sizes[idx]);
     }
     assert!(totals[2] <= totals[0].max(totals[1]) + 1e-9);
 }

@@ -1,91 +1,107 @@
 //! The paper's motivating application: transparent compression between
-//! two network gateways.
+//! two network gateways — now as two long-running service instances.
 //!
 //! "From an application perspective, such as in a network application,
 //! the input data resides in a memory buffer that needs to be compressed
 //! at one gateway of the network and decompressed at the egress gateway,
 //! so the data looks the same going in as coming out."
 //!
-//! This example pushes a stream of 4 KB "packets" (the paper's rationale
-//! for the chunk size) through an ingress gateway (GPU compress), a
-//! simulated link with limited bandwidth, and an egress gateway (GPU
-//! decompress), then reports the effective throughput with and without
-//! compression — the bandwidth-utilization argument of the paper's
-//! introduction.
+//! The ingress gateway runs a `culzss-server` [`Service`] that
+//! compresses packet payloads before they cross a bandwidth-limited
+//! link; the egress gateway runs a second instance that decompresses
+//! them. Each traffic class is a tenant, so the gateways' admission
+//! control, batching, and per-tenant accounting all apply. The egress
+//! device is deliberately flaky (every 6th GPU attempt fails) to show
+//! graceful degradation: those packets retry onto the CPU fallback and
+//! the stream still comes out byte-identical.
 //!
 //! ```text
 //! cargo run --release --example network_gateway
 //! ```
 
-use culzss::{Culzss, Version};
 use culzss_datasets::Dataset;
+use culzss_server::{FaultPlan, JobSpec, ServerConfig, Service, SubmitError};
 
 /// Simulated WAN link: 1 Gbit/s effective.
 const LINK_BYTES_PER_SEC: f64 = 125.0e6;
-/// Message size batched per gateway transaction.
-const MESSAGE_BYTES: usize = 4 << 20;
+/// Bytes each traffic class pushes through the gateways.
+const MESSAGE_BYTES: usize = 1 << 20;
+/// Gateway transaction size ("packet" batched per job).
+const PACKET_BYTES: usize = 64 << 10;
 
 fn main() {
-    println!("gateway pipeline: ingress GPU-compress → 1 Gbit/s link → egress GPU-decompress\n");
+    println!("gateway pipeline: ingress service (compress) -> 1 Gbit/s link -> egress service (decompress)\n");
+
+    let ingress = Service::start(ServerConfig { queue_depth: 64, ..ServerConfig::default() });
+    // The egress device drops every 6th GPU attempt; its jobs degrade to
+    // the CPU fallback lane instead of failing the stream.
+    let egress = Service::start(ServerConfig {
+        queue_depth: 64,
+        fault: FaultPlan::every_nth(6),
+        ..ServerConfig::default()
+    });
+
     println!(
-        "{:<22}{:>10}{:>12}{:>14}{:>14}{:>10}",
-        "traffic", "ratio", "raw link", "compressed", "+gpu time", "gain"
+        "{:<22}{:>10}{:>12}{:>14}{:>10}",
+        "traffic", "ratio", "raw link", "compressed", "gain"
     );
 
     for dataset in Dataset::ALL {
+        let tenant = dataset.slug();
         let message = dataset.generate(MESSAGE_BYTES, 7);
 
-        // Pick the better CULZSS version for this traffic class — the
-        // paper's §V: "Users of our library can specify the version on
-        // the API call … the best matching implementation."
-        let version = best_version_for(&message);
-        let ingress = Culzss::new(version);
-        let egress = Culzss::new(version);
+        // Ingress: one compression job per packet, all in flight at once.
+        let tickets: Vec<_> = message
+            .chunks(PACKET_BYTES)
+            .map(|packet| submit_insisting(&ingress, JobSpec::compress(tenant, packet.to_vec())))
+            .collect();
+        let compressed: Vec<Vec<u8>> =
+            tickets.into_iter().map(|t| t.wait().expect("ingress compress").output).collect();
+        let wire_bytes: usize = compressed.iter().map(Vec::len).sum();
 
-        let (compressed, cstats) = ingress.compress(&message).expect("compress");
-        let (restored, dstats) = egress.decompress(&compressed).expect("decompress");
-        assert_eq!(restored, message, "gateway corrupted the stream!");
+        // The link carries the compressed packets; egress restores them.
+        let tickets: Vec<_> = compressed
+            .into_iter()
+            .map(|packet| submit_insisting(&egress, JobSpec::decompress(tenant, packet)))
+            .collect();
+        let mut restored = Vec::with_capacity(message.len());
+        for ticket in tickets {
+            restored.extend_from_slice(&ticket.wait().expect("egress decompress").output);
+        }
+        assert_eq!(restored, message, "gateway corrupted the {tenant} stream!");
 
         let raw_seconds = message.len() as f64 / LINK_BYTES_PER_SEC;
-        let wire_seconds = compressed.len() as f64 / LINK_BYTES_PER_SEC;
-        let total_seconds = wire_seconds
-            + cstats.h2d_seconds
-            + cstats.kernel_seconds
-            + cstats.d2h_seconds
-            + cstats.cpu_seconds
-            + dstats.kernel_seconds
-            + dstats.d2h_seconds;
+        let wire_seconds = wire_bytes as f64 / LINK_BYTES_PER_SEC;
         println!(
-            "{:<22}{:>9.1}%{:>11.1}ms{:>13.1}ms{:>13.1}ms{:>9.2}x",
-            format!("{} ({})", dataset.slug(), short_name(version)),
-            cstats.ratio() * 100.0,
+            "{:<22}{:>9.1}%{:>11.2}ms{:>13.2}ms{:>9.2}x",
+            tenant,
+            100.0 * wire_bytes as f64 / message.len() as f64,
             raw_seconds * 1e3,
             wire_seconds * 1e3,
-            total_seconds * 1e3,
-            raw_seconds / total_seconds,
+            raw_seconds / wire_seconds.max(f64::MIN_POSITIVE),
         );
     }
 
-    println!("\ngain > 1 means compressing is worth it on this link even counting GPU time.");
+    let ingress_stats = ingress.shutdown();
+    let egress_stats = egress.shutdown();
+    println!("\ningress gateway:\n{ingress_stats}");
+    println!("\negress gateway (flaky device):\n{egress_stats}");
+    println!(
+        "\negress degradation: {} device failure(s), {} packet(s) completed on the CPU fallback",
+        egress_stats.device_failures, egress_stats.cpu_fallback_completions
+    );
+    assert!(ingress_stats.reconciles() && egress_stats.reconciles());
+    println!("both gateways' counters reconcile; gain > 1 means the link is the winner.");
 }
 
-/// The paper's guidance: V2 wins on ~50 %-or-worse compressible data,
-/// V1 on highly compressible data. A cheap proxy: sample-compress 64 KB
-/// with V1 and pick by ratio.
-fn best_version_for(message: &[u8]) -> Version {
-    let sample = &message[..message.len().min(64 << 10)];
-    let probe = Culzss::new(Version::V1);
-    let (compressed, _) = probe.compress(sample).expect("probe");
-    if (compressed.len() as f64) < sample.len() as f64 * 0.30 {
-        Version::V1
-    } else {
-        Version::V2
-    }
-}
-
-fn short_name(version: Version) -> &'static str {
-    match version {
-        Version::V1 => "V1",
-        Version::V2 => "V2",
+/// Submits with closed-loop patience: on backpressure, briefly yield and
+/// retry — a gateway cannot drop packets, only slow its intake.
+fn submit_insisting(service: &Service, spec: JobSpec) -> culzss_server::JobTicket {
+    loop {
+        match service.submit(spec.clone()) {
+            Ok(ticket) => return ticket,
+            Err(SubmitError::ShuttingDown) => panic!("gateway shut down mid-stream"),
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
+        }
     }
 }

@@ -23,7 +23,11 @@ fn main() {
         println!("{} on {}:", version.name(), culzss.device().name);
 
         let (compressed, stats) = culzss.compress(&input).expect("compression succeeds");
-        println!("  compressed      : {} bytes (ratio {:.1}%)", compressed.len(), stats.ratio() * 100.0);
+        println!(
+            "  compressed      : {} bytes (ratio {:.1}%)",
+            compressed.len(),
+            stats.ratio() * 100.0
+        );
         println!("  H2D copy        : {:>9.3} ms (modelled)", stats.h2d_seconds * 1e3);
         println!("  kernel          : {:>9.3} ms (modelled)", stats.kernel_seconds * 1e3);
         println!("  D2H copy        : {:>9.3} ms (modelled)", stats.d2h_seconds * 1e3);

@@ -1,0 +1,96 @@
+//! Offline shim for the `crossbeam` facade crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate stands in for `crossbeam 0.8`, implementing exactly the surface
+//! the workspace uses — [`thread::scope`] with crossbeam's
+//! `Result`-returning, closure-receives-the-scope calling convention —
+//! on top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Semantics match crossbeam where the workspace relies on them:
+//! `scope` joins every spawned thread before returning, and a panic in
+//! any spawned thread surfaces as `Err` from `scope` rather than a panic
+//! at the call site.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped-thread API compatible with `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a [`scope`] call: `Err` carries the payload of the first
+    /// panicking spawned thread (or of the closure itself).
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure (crossbeam's nested-spawn convention).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to `'scope`; the closure receives the
+        /// scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing the environment can be
+    /// spawned; joins them all before returning. A panic in any spawned
+    /// thread is returned as `Err`, matching crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u32, 2, 3, 4];
+        let mut sums = vec![0u32; 2];
+        thread::scope(|scope| {
+            for (half, out) in data.chunks(2).zip(sums.iter_mut()) {
+                scope.spawn(move |_| {
+                    *out = half.iter().sum();
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("no panics");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = thread::scope(|scope| {
+            scope.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+}

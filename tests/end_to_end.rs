@@ -97,9 +97,7 @@ fn v1_output_equals_per_chunk_serial_compression() {
 
     let bodies: Vec<Vec<u8>> = data
         .chunks(params.chunk_size)
-        .map(|chunk| {
-            culzss_lzss::format::encode(&serial::tokenize(chunk, &config), &config)
-        })
+        .map(|chunk| culzss_lzss::format::encode(&serial::tokenize(chunk, &config), &config))
         .collect();
     let reference = culzss_lzss::container::assemble(
         &config,

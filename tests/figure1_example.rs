@@ -58,9 +58,7 @@ fn encoding_finds_the_papers_matches() {
             .collect()
     };
     assert!(
-        tail_tokens
-            .iter()
-            .any(|t| matches!(t, Token::Match { length, .. } if *length == 18)),
+        tail_tokens.iter().any(|t| matches!(t, Token::Match { length, .. } if *length == 18)),
         "the repeated closing sentence should be captured by a maximal match: {tail_tokens:?}"
     );
     // 19 repeated chars = one 18-byte match plus at most one leftover

@@ -31,9 +31,7 @@ fn v2_beats_v1_on_low_compressibility_text() {
 #[test]
 fn v1_beats_v2_on_highly_compressible_data() {
     // Paper Table I: DE map and the highly compressible set invert.
-    for (dataset, factor) in
-        [(Dataset::HighlyCompressible, 2.0), (Dataset::DeMap, 1.2)]
-    {
+    for (dataset, factor) in [(Dataset::HighlyCompressible, 2.0), (Dataset::DeMap, 1.2)] {
         let data = dataset.generate(SIZE, SEED);
         let v1 = kernel_work(Version::V1, &data);
         let v2 = kernel_work(Version::V2, &data);

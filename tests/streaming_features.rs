@@ -78,13 +78,11 @@ fn incremental_decoder_reads_container_chunks() {
     let gpu = Culzss::new(Version::V1).with_workers(2);
     let (stream, _) = gpu.compress(&data).unwrap();
 
-    let (container, payload_offset) =
-        culzss_lzss::container::Container::parse(&stream).unwrap();
+    let (container, payload_offset) = culzss_lzss::container::Container::parse(&stream).unwrap();
     let payload = &stream[payload_offset..];
     let mut restored = Vec::new();
     for (range, unc_len) in container.chunk_layout() {
-        let mut dec =
-            IncrementalDecoder::new_body(config.clone(), unc_len as u64).unwrap();
+        let mut dec = IncrementalDecoder::new_body(config.clone(), unc_len as u64).unwrap();
         let mut out = Vec::new();
         for piece in payload[range].chunks(17) {
             dec.push(piece, &mut out).unwrap();
@@ -108,8 +106,7 @@ fn bzip2_streaming_io_on_generated_corpora() {
         )
         .unwrap();
         let mut restored = Vec::new();
-        culzss_bzip2::io::decompress_stream(&mut Cursor::new(&compressed), &mut restored)
-            .unwrap();
+        culzss_bzip2::io::decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap();
         assert_eq!(restored, data, "{}", dataset.slug());
     }
 }
@@ -125,12 +122,6 @@ fn lazy_parse_improves_or_matches_every_corpus() {
         let lazy = tokenize(&data, &config, FinderKind::HashChain, ParseStrategy::Lazy);
         let g = culzss_lzss::format::encoded_len(&greedy, &config);
         let l = culzss_lzss::format::encoded_len(&lazy, &config);
-        assert!(
-            l as f64 <= g as f64 * 1.01,
-            "{}: lazy {} vs greedy {}",
-            dataset.slug(),
-            l,
-            g
-        );
+        assert!(l as f64 <= g as f64 * 1.01, "{}: lazy {} vs greedy {}", dataset.slug(), l, g);
     }
 }
