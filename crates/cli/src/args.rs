@@ -11,6 +11,7 @@ usage:
                     [--payload BYTES] [--queue-depth N] [--batch-jobs N]
                     [--fail-first N] [--seed N]
   culzss bench-serve [--jobs N] [--payload BYTES] [--seed N]
+  culzss sancheck   [--dataset SLUG|all] [--bytes N] [--seed N]
   culzss selftest
 
 codecs: v1/v2 = CULZSS on the simulated GTX 480 (default v2);
@@ -18,7 +19,10 @@ codecs: v1/v2 = CULZSS on the simulated GTX 480 (default v2);
         auto (decompress) = detect from the stream header.
 datasets: c-files de-map dictionary kernel-tarball highly-compressible mixed
 serve: runs the multi-tenant service against a closed-loop load generator
-       and prints the service stats; bench-serve sweeps pool shapes.";
+       and prints the service stats; bench-serve sweeps pool shapes.
+sancheck: runs both CULZSS kernels over corpus samples under the
+       shared-memory sanitizer (racecheck) and prints the reports;
+       exits nonzero on any conflict or barrier divergence.";
 
 /// Which compressor/decompressor to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +124,15 @@ pub enum Command {
         /// Load-generator seed.
         seed: u64,
     },
+    /// Run both CULZSS kernels under the shared-memory sanitizer.
+    Sancheck {
+        /// Dataset slug, or "all" for the five evaluation corpora.
+        dataset: String,
+        /// Sample bytes per corpus.
+        bytes: usize,
+        /// Generator seed.
+        seed: u64,
+    },
     /// Round-trip every codec on generated data.
     Selftest,
 }
@@ -218,6 +231,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             Ok(Command::BenchServe {
                 jobs: num("--jobs", 12)?,
                 payload: num("--payload", 64 * 1024)?,
+                seed: num("--seed", 2011)? as u64,
+            })
+        }
+        "sancheck" => {
+            let num = |name: &str, default: usize| -> Result<usize, String> {
+                match flag_value(name)? {
+                    Some(v) => v.parse().map_err(|_| format!("bad value for {name}: `{v}`")),
+                    None => Ok(default),
+                }
+            };
+            Ok(Command::Sancheck {
+                dataset: flag_value("--dataset")?.cloned().unwrap_or_else(|| "all".into()),
+                bytes: num("--bytes", 64 * 1024)?.max(1),
                 seed: num("--seed", 2011)? as u64,
             })
         }
@@ -330,6 +356,19 @@ mod tests {
             other => panic!("unexpected parse: {other:?}"),
         }
         assert!(parse(&argv("serve --devices nope")).is_err());
+    }
+
+    #[test]
+    fn sancheck_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("sancheck")).unwrap(),
+            Command::Sancheck { dataset: "all".into(), bytes: 64 * 1024, seed: 2011 }
+        );
+        assert_eq!(
+            parse(&argv("sancheck --dataset de-map --bytes 4096 --seed 9")).unwrap(),
+            Command::Sancheck { dataset: "de-map".into(), bytes: 4096, seed: 9 }
+        );
+        assert!(parse(&argv("sancheck --bytes nope")).is_err());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             seed,
         ),
         Command::BenchServe { jobs, payload, seed } => bench_serve(jobs, payload, seed),
+        Command::Sancheck { dataset, bytes, seed } => sancheck(&dataset, bytes, seed),
         Command::Selftest => selftest(),
     }
 }
@@ -307,6 +308,40 @@ fn bench_serve(jobs: usize, payload: usize, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs both CULZSS kernels over corpus samples under the shared-memory
+/// sanitizer; errors (nonzero exit) on any conflict or divergence.
+fn sancheck(dataset: &str, bytes: usize, seed: u64) -> Result<(), String> {
+    let corpora: Vec<culzss_datasets::Dataset> = if dataset == "all" {
+        culzss_datasets::Dataset::ALL.to_vec()
+    } else {
+        vec![culzss_datasets::Dataset::from_slug(dataset)
+            .ok_or(format!("unknown dataset `{dataset}`"))?]
+    };
+    let sim = culzss_gpusim::GpuSim::new(culzss_gpusim::DeviceSpec::gtx480());
+    println!(
+        "sancheck: {} corpus sample(s) x {bytes} B (seed {seed}) on simulated GTX 480",
+        corpora.len()
+    );
+    let mut dirty = 0usize;
+    for corpus in corpora {
+        let input = corpus.generate(bytes, seed);
+        let checks = culzss::sancheck::check_both(&sim, &input).map_err(|e| e.to_string())?;
+        for check in checks {
+            let verdict = if check.is_clean() { "clean" } else { "FINDINGS" };
+            println!("\n[{}] {:?} kernel: {verdict}", corpus.slug(), check.version);
+            println!("{}", check.report);
+            if !check.is_clean() {
+                dirty += 1;
+            }
+        }
+    }
+    if dirty > 0 {
+        return Err(format!("sancheck: {dirty} kernel run(s) with findings"));
+    }
+    println!("\nsancheck passed: all kernels race- and divergence-free");
+    Ok(())
+}
+
 fn selftest() -> Result<(), String> {
     let dir = std::env::temp_dir().join("culzss_cli_selftest");
     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
@@ -385,6 +420,12 @@ mod tests {
         gen("mixed", 5_000, &out, 5).unwrap();
         assert_eq!(std::fs::read(&out).unwrap().len(), 5_000);
         assert!(gen("nonsense", 10, &out, 5).is_err());
+    }
+
+    #[test]
+    fn sancheck_passes_on_a_small_sample() {
+        sancheck("de-map", 16 * 1024, 7).unwrap();
+        assert!(sancheck("nonsense", 1024, 7).is_err());
     }
 
     #[test]

@@ -97,6 +97,15 @@ impl BlockKernel for V1Kernel<'_> {
             let (tokens, work) = greedy_parse(chunk, &self.config);
             t.charge_ops(work.ops() + tokens.len() as u64 * OPS_PER_TOKEN);
             if self.params.use_shared_memory {
+                // Stage this thread's private window region with one exact
+                // ranged write: it hands the sanitizer the byte-range
+                // ownership map (per-thread windows must be disjoint)
+                // while the search loop's byte traffic stays on the
+                // closed-form bulk path below.
+                t.shared_write(
+                    (t.tid * self.params.window_size) as u64,
+                    self.params.window_size as u32,
+                );
                 t.shared_bulk(work.accesses(), ways);
             } else {
                 // Pre-optimization variant: the window lives in (L1
@@ -123,15 +132,40 @@ pub fn run(
 ) -> Result<(Vec<Vec<u8>>, culzss_gpusim::exec::LaunchStats), culzss_gpusim::exec::LaunchError> {
     let device = sim.device();
     let kernel = V1Kernel::new(input, params, device.warp_size, device.shared_banks);
-    let cfg = culzss_gpusim::LaunchConfig {
+    let result = sim.launch(launch_config(input, params), &kernel)?;
+    let bodies = collect_bodies(result.outputs, params.chunk_count(input.len()));
+    Ok((bodies, result.stats))
+}
+
+/// [`run`] under the shared-memory sanitizer
+/// ([`culzss_gpusim::GpuSim::launch_checked`]): same bodies and stats,
+/// plus the racecheck report.
+pub fn run_checked(
+    sim: &culzss_gpusim::GpuSim,
+    input: &[u8],
+    params: &CulzssParams,
+) -> Result<
+    (Vec<Vec<u8>>, culzss_gpusim::exec::LaunchStats, culzss_gpusim::SanitizerReport),
+    culzss_gpusim::exec::LaunchError,
+> {
+    let device = sim.device();
+    let kernel = V1Kernel::new(input, params, device.warp_size, device.shared_banks);
+    let result = sim.launch_checked(launch_config(input, params), &kernel)?;
+    let bodies = collect_bodies(result.outputs, params.chunk_count(input.len()));
+    Ok((bodies, result.stats, result.sanitizer))
+}
+
+fn launch_config(input: &[u8], params: &CulzssParams) -> culzss_gpusim::LaunchConfig {
+    culzss_gpusim::LaunchConfig {
         grid_dim: params.grid_dim(input.len()),
         block_dim: params.threads_per_block,
         shared_bytes: params.shared_bytes(),
-    };
-    let result = sim.launch(cfg, &kernel)?;
-    let chunk_count = params.chunk_count(input.len());
+    }
+}
+
+fn collect_bodies(outputs: Vec<Vec<Vec<u8>>>, chunk_count: usize) -> Vec<Vec<u8>> {
     let mut bodies = Vec::with_capacity(chunk_count);
-    for block in result.outputs {
+    for block in outputs {
         for bucket in block {
             if bodies.len() < chunk_count {
                 bodies.push(bucket);
@@ -139,7 +173,7 @@ pub fn run(
         }
     }
     debug_assert_eq!(bodies.len(), chunk_count);
-    Ok((bodies, result.stats))
+    bodies
 }
 
 #[cfg(test)]

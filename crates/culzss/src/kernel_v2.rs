@@ -74,6 +74,16 @@ impl BlockKernel for V2MatchKernel<'_> {
                     t.global_read((chunk_start + p) as u64, 1);
                     t.shared_write((self.params.window_size + t.tid) as u64, 1);
                 }
+                // The lookahead extension (up to max_match bytes past the
+                // block's span, so the last positions can match full
+                // length) is staged by the first max_match threads.
+                if t.tid < self.params.max_match {
+                    let p = seg_base + t_per_block + t.tid;
+                    if p < chunk.len() {
+                        t.global_read((chunk_start + p) as u64, 1);
+                        t.shared_write((self.params.window_size + t_per_block + t.tid) as u64, 1);
+                    }
+                }
             });
             // Phase 2: every thread matches its position against the
             // window. The staggered start offsets make the shared-memory
@@ -86,6 +96,13 @@ impl BlockKernel for V2MatchKernel<'_> {
                 let m = search_position_v2(chunk, p, &self.config);
                 t.charge_ops(m.work.ops());
                 if self.params.use_shared_memory {
+                    // Exact ranged reads hand the sanitizer this phase's
+                    // read set — the window scan (uniform across the warp,
+                    // a broadcast) and this thread's lookahead span — while
+                    // the inner-loop byte traffic stays on the bulk path.
+                    t.shared_read(0, self.params.window_size as u32);
+                    let span = self.params.max_match.min(chunk.len() - p).max(1);
+                    t.shared_read((self.params.window_size + t.tid) as u64, span as u32);
                     t.shared_bulk(m.work.accesses(), 1);
                 } else {
                     t.global_cached_bulk(m.work.accesses());
@@ -119,6 +136,27 @@ pub fn run(
     };
     let result = sim.launch(cfg, &kernel)?;
     Ok((result.outputs, result.stats))
+}
+
+/// [`run`] under the shared-memory sanitizer
+/// ([`culzss_gpusim::GpuSim::launch_checked`]): same records and stats,
+/// plus the racecheck report.
+pub fn run_checked(
+    sim: &culzss_gpusim::GpuSim,
+    input: &[u8],
+    params: &CulzssParams,
+) -> Result<
+    (Vec<Vec<MatchRecord>>, culzss_gpusim::exec::LaunchStats, culzss_gpusim::SanitizerReport),
+    culzss_gpusim::exec::LaunchError,
+> {
+    let kernel = V2MatchKernel::new(input, params);
+    let cfg = culzss_gpusim::LaunchConfig {
+        grid_dim: params.grid_dim(input.len()),
+        block_dim: params.threads_per_block,
+        shared_bytes: params.shared_bytes(),
+    };
+    let result = sim.launch_checked(cfg, &kernel)?;
+    Ok((result.outputs, result.stats, result.sanitizer))
 }
 
 #[cfg(test)]

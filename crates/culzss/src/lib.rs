@@ -50,6 +50,7 @@ pub mod kernel_v2;
 pub mod metered;
 pub mod params;
 pub mod pipeline;
+pub mod sancheck;
 pub mod stream;
 pub mod tuning;
 

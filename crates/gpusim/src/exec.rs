@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 use crate::cost::{cost_launch, KernelCost};
 use crate::device::DeviceSpec;
 use crate::meter::{BlockMeter, BlockMetrics};
+use crate::sanitizer::{AccessKind, BlockSanitizerReport, SanitizerReport};
 
 /// Launch geometry, the CUDA `<<<grid, block, shared>>>` triple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,38 +103,48 @@ pub struct BlockCtx {
     /// Threads per block.
     pub block_dim: usize,
     meter: BlockMeter,
+    /// Threads that called [`ThreadCtx::exit_thread`]; they skip every
+    /// later phase and stop arriving at barriers.
+    exited: Vec<bool>,
 }
 
 impl BlockCtx {
     /// Runs `f` once per thread (tid `0..block_dim`) and ends the phase
     /// with a barrier — the analogue of a code region between
-    /// `__syncthreads()` calls.
+    /// `__syncthreads()` calls. Threads that exited earlier are skipped.
     pub fn par_threads<F: FnMut(&mut ThreadCtx)>(&mut self, mut f: F) {
         for tid in 0..self.block_dim {
+            if self.exited[tid] {
+                continue;
+            }
             let mut ctx = ThreadCtx {
                 tid,
                 block_idx: self.block_idx,
                 block_dim: self.block_dim,
                 grid_dim: self.grid_dim,
                 meter: &mut self.meter,
+                exited: &mut self.exited[tid],
             };
             f(&mut ctx);
         }
-        self.meter.end_phase();
+        self.meter.end_phase_masked(&self.exited);
     }
 
     /// Runs `f` on thread 0 only (the common "if (threadIdx.x == 0)"
     /// pattern), still ending with a barrier.
     pub fn single_thread<F: FnOnce(&mut ThreadCtx)>(&mut self, f: F) {
-        let mut ctx = ThreadCtx {
-            tid: 0,
-            block_idx: self.block_idx,
-            block_dim: self.block_dim,
-            grid_dim: self.grid_dim,
-            meter: &mut self.meter,
-        };
-        f(&mut ctx);
-        self.meter.end_phase();
+        if !self.exited[0] {
+            let mut ctx = ThreadCtx {
+                tid: 0,
+                block_idx: self.block_idx,
+                block_dim: self.block_dim,
+                grid_dim: self.grid_dim,
+                meter: &mut self.meter,
+                exited: &mut self.exited[0],
+            };
+            f(&mut ctx);
+        }
+        self.meter.end_phase_masked(&self.exited);
     }
 }
 
@@ -148,6 +159,7 @@ pub struct ThreadCtx<'a> {
     /// Blocks in the grid (`gridDim.x`).
     pub grid_dim: usize,
     meter: &'a mut BlockMeter,
+    exited: &'a mut bool,
 }
 
 impl ThreadCtx<'_> {
@@ -174,12 +186,20 @@ impl ThreadCtx<'_> {
     /// Logs an exact shared-memory read of `bytes` at `addr` (addresses
     /// are relative to the block's shared arena).
     pub fn shared_read(&mut self, addr: u64, bytes: u32) {
-        self.meter.log_shared(self.tid, addr, bytes);
+        self.meter.log_shared(self.tid, AccessKind::Read, addr, bytes);
     }
 
     /// Logs an exact shared-memory write.
     pub fn shared_write(&mut self, addr: u64, bytes: u32) {
-        self.meter.log_shared(self.tid, addr, bytes);
+        self.meter.log_shared(self.tid, AccessKind::Write, addr, bytes);
+    }
+
+    /// Models a CUDA early `return`: this thread runs to the end of the
+    /// current phase closure and then skips every later phase. Reaching a
+    /// subsequent barrier with a mix of live and exited threads is barrier
+    /// divergence, which [`GpuSim::launch_checked`] reports.
+    pub fn exit_thread(&mut self) {
+        *self.exited = true;
     }
 
     /// Bulk shared-memory accounting for hot loops: this thread performed
@@ -209,6 +229,22 @@ pub struct LaunchResult<R> {
     /// Aggregated launch statistics.
     pub stats: LaunchStats,
 }
+
+/// Result of [`GpuSim::launch_checked`]: a normal launch plus the
+/// sanitizer's verdict.
+#[derive(Debug)]
+pub struct CheckedLaunchResult<R> {
+    /// Per-block outputs in block order.
+    pub outputs: Vec<R>,
+    /// Aggregated launch statistics (identical to an unchecked launch).
+    pub stats: LaunchStats,
+    /// Shared-memory race and barrier-divergence findings.
+    pub sanitizer: SanitizerReport,
+}
+
+/// What [`GpuSim::launch_inner`] hands back: the launch result plus one
+/// sanitizer report per block (`None` on unchecked launches).
+type InnerLaunch<R> = (LaunchResult<R>, Vec<Option<BlockSanitizerReport>>);
 
 /// Aggregated statistics for one launch.
 #[derive(Debug, Clone)]
@@ -262,6 +298,49 @@ impl GpuSim {
         cfg: LaunchConfig,
         kernel: &K,
     ) -> Result<LaunchResult<K::Output>, LaunchError> {
+        let (result, _) = self.launch_inner(cfg, kernel, false)?;
+        Ok(result)
+    }
+
+    /// [`Self::launch`] with the shared-memory sanitizer armed: every
+    /// exact shared access is recorded with its read/write kind and swept
+    /// at each barrier for intra-phase conflicts between threads; barriers
+    /// only part of a block arrives at (after [`ThreadCtx::exit_thread`])
+    /// are reported as divergence. Outputs and metrics are identical to an
+    /// unchecked launch — the sanitizer only observes.
+    pub fn launch_checked<K: BlockKernel>(
+        &self,
+        cfg: LaunchConfig,
+        kernel: &K,
+    ) -> Result<CheckedLaunchResult<K::Output>, LaunchError> {
+        let (result, findings) = self.launch_inner(cfg, kernel, true)?;
+        let mut sanitizer = SanitizerReport {
+            grid_dim: cfg.grid_dim,
+            block_dim: cfg.block_dim,
+            checked_accesses: 0,
+            phases: 0,
+            conflicts: 0,
+            divergent_blocks: 0,
+            findings: Vec::new(),
+        };
+        for block in findings.into_iter().flatten() {
+            sanitizer.checked_accesses += block.checked_accesses;
+            sanitizer.phases += block.phases;
+            sanitizer.conflicts += block.conflict_count();
+            sanitizer.divergent_blocks += u64::from(block.divergence.is_some());
+            if !block.is_clean() {
+                sanitizer.findings.push(block);
+            }
+        }
+        Ok(CheckedLaunchResult { outputs: result.outputs, stats: result.stats, sanitizer })
+    }
+
+    fn launch_inner<K: BlockKernel>(
+        &self,
+        cfg: LaunchConfig,
+        kernel: &K,
+        checked: bool,
+    ) -> Result<InnerLaunch<K::Output>, LaunchError> {
         if cfg.block_dim == 0 || cfg.block_dim > self.device.max_threads_per_block {
             return Err(LaunchError::BadBlockDim {
                 requested: cfg.block_dim,
@@ -275,8 +354,8 @@ impl GpuSim {
             });
         }
 
-        /// One finished block: its output plus its metrics.
-        type BlockSlot<R> = Option<(R, BlockMetrics)>;
+        /// One finished block: its output, metrics, and sanitizer findings.
+        type BlockSlot<R> = Option<(R, BlockMetrics, Option<BlockSanitizerReport>)>;
         let started = std::time::Instant::now();
         let slots: Mutex<Vec<BlockSlot<K::Output>>> =
             Mutex::new((0..cfg.grid_dim).map(|_| None).collect());
@@ -300,11 +379,15 @@ impl GpuSim {
                             self.device.transaction_bytes,
                             self.device.shared_banks,
                         ),
+                        exited: vec![false; cfg.block_dim],
                     };
                     block.meter.note_shared_alloc(cfg.shared_bytes);
+                    if checked {
+                        block.meter.enable_sanitizer(idx);
+                    }
                     let output = kernel.run_block(&mut block);
-                    let metrics = block.meter.finish();
-                    slots.lock()[idx] = Some((output, metrics));
+                    let (metrics, findings) = block.meter.finish_checked();
+                    slots.lock()[idx] = Some((output, metrics, findings));
                 });
             }
         })
@@ -312,28 +395,33 @@ impl GpuSim {
 
         let mut outputs = Vec::with_capacity(cfg.grid_dim);
         let mut per_block = Vec::with_capacity(cfg.grid_dim);
+        let mut sanitizer = Vec::with_capacity(cfg.grid_dim);
         let mut merged = BlockMetrics::default();
         for slot in slots.into_inner() {
-            let (output, metrics) = slot.expect("every block ran");
+            let (output, metrics, findings) = slot.expect("every block ran");
             merged.merge(&metrics);
             outputs.push(output);
             per_block.push(metrics);
+            sanitizer.push(findings);
         }
         let cost =
             cost_launch(&self.device, cfg.grid_dim, cfg.block_dim, cfg.shared_bytes, &per_block);
         // (per_block is moved into the stats below for trace reconstruction)
-        Ok(LaunchResult {
-            outputs,
-            stats: LaunchStats {
-                metrics: merged,
-                per_block,
-                kernel_seconds: cost.seconds,
-                cost,
-                wall_seconds: started.elapsed().as_secs_f64(),
-                grid_dim: cfg.grid_dim,
-                block_dim: cfg.block_dim,
+        Ok((
+            LaunchResult {
+                outputs,
+                stats: LaunchStats {
+                    metrics: merged,
+                    per_block,
+                    kernel_seconds: cost.seconds,
+                    cost,
+                    wall_seconds: started.elapsed().as_secs_f64(),
+                    grid_dim: cfg.grid_dim,
+                    block_dim: cfg.block_dim,
+                },
             },
-        })
+            sanitizer,
+        ))
     }
 }
 

@@ -78,10 +78,14 @@ pub mod meter;
 pub mod multi;
 pub mod occupancy;
 pub mod report;
+pub mod sanitizer;
 pub mod streams;
 pub mod trace;
 pub mod transfer;
 
 pub use device::DeviceSpec;
-pub use exec::{BlockCtx, BlockKernel, GpuSim, LaunchConfig, LaunchResult, ThreadCtx};
+pub use exec::{
+    BlockCtx, BlockKernel, CheckedLaunchResult, GpuSim, LaunchConfig, LaunchResult, ThreadCtx,
+};
 pub use meter::BlockMetrics;
+pub use sanitizer::SanitizerReport;

@@ -19,6 +19,7 @@
 //!   the real algorithm, not to the number of modelled accesses.
 
 use crate::coalesce::{shared_conflict_cycles, transactions_for_warp, Access};
+use crate::sanitizer::{AccessKind, BlockSanitizerReport, SanitizerState};
 
 /// Aggregated, cost-model-ready metrics for one block (or, after
 /// [`BlockMetrics::merge`], for many).
@@ -90,6 +91,8 @@ pub struct BlockMeter {
     metrics: BlockMetrics,
     transaction_bytes: u64,
     shared_banks: u64,
+    /// Racecheck state; present only under [`crate::exec::GpuSim::launch_checked`].
+    sanitizer: Option<Box<SanitizerState>>,
 }
 
 impl BlockMeter {
@@ -109,7 +112,13 @@ impl BlockMeter {
             metrics: BlockMetrics { blocks: 1, block_dim, ..BlockMetrics::default() },
             transaction_bytes: transaction_bytes as u64,
             shared_banks: shared_banks as u64,
+            sanitizer: None,
         }
+    }
+
+    /// Arms the shared-memory sanitizer for this block (checked launches).
+    pub fn enable_sanitizer(&mut self, block_idx: usize) {
+        self.sanitizer = Some(Box::new(SanitizerState::new(block_idx)));
     }
 
     /// Records `n` arithmetic/control ops for thread `tid`.
@@ -126,10 +135,15 @@ impl BlockMeter {
         self.charge_ops(tid, 1);
     }
 
-    /// Logs an exact shared access for thread `tid`.
-    pub fn log_shared(&mut self, tid: usize, addr: u64, bytes: u32) {
+    /// Logs an exact shared access for thread `tid`. The read/write
+    /// `kind` feeds the sanitizer (when armed); metering itself is
+    /// direction-agnostic.
+    pub fn log_shared(&mut self, tid: usize, kind: AccessKind, addr: u64, bytes: u32) {
         self.phase_shared[tid].push(Access { addr, bytes });
         self.metrics.shared_accesses += 1;
+        if let Some(san) = &mut self.sanitizer {
+            san.log(tid, kind, addr, bytes);
+        }
         self.charge_ops(tid, 1);
     }
 
@@ -177,6 +191,19 @@ impl BlockMeter {
     /// Ends a barrier-delimited phase: reduces the per-thread logs into
     /// warp-level metrics and clears them.
     pub fn end_phase(&mut self) {
+        self.end_phase_inner(None, true);
+    }
+
+    /// [`Self::end_phase`] with the block's exit mask, so the sanitizer
+    /// can flag barriers only part of the block arrived at.
+    pub fn end_phase_masked(&mut self, exited: &[bool]) {
+        self.end_phase_inner(Some(exited), true);
+    }
+
+    fn end_phase_inner(&mut self, exited: Option<&[bool]>, real_barrier: bool) {
+        if let Some(san) = &mut self.sanitizer {
+            san.end_phase(exited, real_barrier);
+        }
         self.metrics.barriers += 1;
         // Warp-serialized issue: each warp is as slow as its busiest lane.
         for warp in self.phase_ops.chunks(self.warp_size) {
@@ -225,14 +252,22 @@ impl BlockMeter {
 
     /// Finalizes the meter (flushing any un-barriered phase) and returns
     /// the metrics.
-    pub fn finish(mut self) -> BlockMetrics {
+    pub fn finish(self) -> BlockMetrics {
+        self.finish_checked().0
+    }
+
+    /// [`Self::finish`], additionally yielding the sanitizer's findings
+    /// when a checked launch armed it. The end-of-kernel flush is not a
+    /// barrier: it sweeps trailing accesses for conflicts but cannot be
+    /// divergent.
+    pub fn finish_checked(mut self) -> (BlockMetrics, Option<BlockSanitizerReport>) {
         let pending = self.phase_ops.iter().any(|&o| o > 0)
             || self.phase_global.iter().any(|v| !v.is_empty())
             || self.phase_shared.iter().any(|v| !v.is_empty());
         if pending {
-            self.end_phase();
+            self.end_phase_inner(None, false);
         }
-        self.metrics
+        (self.metrics, self.sanitizer.map(|s| s.into_report()))
     }
 
     /// Read-only view of the metrics accumulated so far (completed phases).
@@ -301,7 +336,7 @@ mod tests {
     fn shared_conflicts_serialize() {
         let mut m = meter();
         for t in 0..32 {
-            m.log_shared(t, (t * 128) as u64, 1); // all in bank 0
+            m.log_shared(t, AccessKind::Read, (t * 128) as u64, 1); // all in bank 0
         }
         m.end_phase();
         let metrics = m.finish();
@@ -315,7 +350,7 @@ mod tests {
         let mut exact = BlockMeter::new(32, 32, 128, 32);
         for _ in 0..10 {
             for t in 0..32 {
-                exact.log_shared(t, (t * 4) as u64, 1);
+                exact.log_shared(t, AccessKind::Read, (t * 4) as u64, 1);
             }
         }
         exact.end_phase();

@@ -1,10 +1,9 @@
 //! Host crate for the property-based tests (see the `tests/` directory).
 //!
-//! This crate is deliberately **excluded** from the workspace: proptest
-//! is its only registry dependency, and keeping it out of the workspace
-//! graph means `cargo build` / `cargo test` at the repository root work
-//! with no network access. Run the property tests from this directory:
-//!
-//! ```text
-//! cd crates/proptests && cargo test
-//! ```
+//! The tests run offline against the proptest API shim in
+//! `shims/proptest` (deterministic seeded generation with
+//! complexity-ladder shrinking), so this crate is an ordinary workspace
+//! member: `cargo test -p culzss-proptests` works with no network
+//! access, and the root package re-runs the same test files via
+//! `tests/proptests_root.rs` so a plain `cargo test` at the repository
+//! root covers them too.

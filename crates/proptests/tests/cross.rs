@@ -10,8 +10,12 @@ fn inputs() -> impl Strategy<Value = Vec<u8>> {
     prop_oneof![
         proptest::collection::vec(any::<u8>(), 0..6000),
         proptest::collection::vec(prop_oneof![Just(b'x'), Just(b'y'), Just(b' ')], 0..6000),
-        (proptest::collection::vec(any::<u8>(), 1..25), 1usize..300)
-            .prop_map(|(pat, reps)| pat.iter().cycle().take(pat.len() * reps).copied().collect()),
+        (proptest::collection::vec(any::<u8>(), 1..25), 1usize..300).prop_map(|(pat, reps)| pat
+            .iter()
+            .cycle()
+            .take(pat.len() * reps)
+            .copied()
+            .collect()),
     ]
 }
 

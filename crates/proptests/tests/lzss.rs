@@ -38,7 +38,7 @@ fn inputs() -> impl Strategy<Value = Vec<u8>> {
         ),
         // Runs of identical bytes.
         proptest::collection::vec((any::<u8>(), 1usize..80), 0..40).prop_map(|runs| {
-            runs.into_iter().flat_map(|(b, n)| std::iter::repeat(b).take(n)).collect()
+            runs.into_iter().flat_map(|(b, n)| std::iter::repeat_n(b, n)).collect()
         }),
     ]
 }

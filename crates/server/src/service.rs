@@ -120,6 +120,21 @@ impl Service {
             default_deadline: config.default_deadline,
         });
 
+        // Startup racecheck probe: run the configured kernel over a small
+        // deterministic corpus sample on each device under the sanitizer
+        // ([`culzss_gpusim::GpuSim::launch_checked`]), so [`ServiceStats`]
+        // can assert the service executes race- and divergence-free
+        // before any tenant traffic is admitted.
+        let probe =
+            culzss_datasets::Dataset::CFiles.generate(4 * config.params.chunk_size.max(1), 11);
+        for spec in &config.devices {
+            let sim = culzss_gpusim::GpuSim::new(spec.clone())
+                .with_workers(config.gpu_sim_threads.max(1));
+            if let Ok(check) = culzss::sancheck::check(&sim, &probe, &config.params) {
+                shared.stats.on_sancheck(&check.report);
+            }
+        }
+
         let mut workers = Vec::new();
         for (device, spec) in config.devices.iter().enumerate() {
             let culzss = Culzss::with_device(spec.clone(), config.params.clone())

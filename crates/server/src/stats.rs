@@ -111,6 +111,9 @@ pub(crate) struct StatsCollector {
     batches: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    sancheck_launches: AtomicU64,
+    sancheck_conflicts: AtomicU64,
+    sancheck_divergent_blocks: AtomicU64,
     latency: Histogram,
     queue_depth: Histogram,
     batch_agg: Mutex<BatchAgg>,
@@ -135,6 +138,9 @@ impl StatsCollector {
             batches: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            sancheck_launches: AtomicU64::new(0),
+            sancheck_conflicts: AtomicU64::new(0),
+            sancheck_divergent_blocks: AtomicU64::new(0),
             latency: Histogram::latency(),
             queue_depth: Histogram::depth(),
             batch_agg: Mutex::new(BatchAgg::default()),
@@ -199,6 +205,13 @@ impl StatsCollector {
         self.device_failures.fetch_add(1, Relaxed);
     }
 
+    /// Folds a startup-probe racecheck verdict into the counters.
+    pub fn on_sancheck(&self, report: &culzss_gpusim::SanitizerReport) {
+        self.sancheck_launches.fetch_add(1, Relaxed);
+        self.sancheck_conflicts.fetch_add(report.conflicts, Relaxed);
+        self.sancheck_divergent_blocks.fetch_add(report.divergent_blocks, Relaxed);
+    }
+
     pub fn on_batch(&self, report: BatchReport) {
         self.batches.fetch_add(1, Relaxed);
         let mut agg = self.batch_agg.lock();
@@ -233,6 +246,9 @@ impl StatsCollector {
             batches: self.batches.load(Relaxed),
             bytes_in: self.bytes_in.load(Relaxed),
             bytes_out: self.bytes_out.load(Relaxed),
+            sancheck_launches: self.sancheck_launches.load(Relaxed),
+            sancheck_conflicts: self.sancheck_conflicts.load(Relaxed),
+            sancheck_divergent_blocks: self.sancheck_divergent_blocks.load(Relaxed),
             batch_sequential_seconds: agg.sequential_seconds,
             batch_pipelined_seconds: agg.pipelined_seconds,
             latency: self.latency.snapshot(),
@@ -281,6 +297,13 @@ pub struct ServiceStats {
     pub bytes_in: u64,
     /// Output bytes of completed jobs.
     pub bytes_out: u64,
+    /// Sanitized (racecheck) kernel launches — the startup probe runs the
+    /// configured kernel under [`culzss_gpusim::GpuSim::launch_checked`].
+    pub sancheck_launches: u64,
+    /// Shared-memory conflicts those launches reported (0 = race-free).
+    pub sancheck_conflicts: u64,
+    /// Blocks with barrier divergence in those launches.
+    pub sancheck_divergent_blocks: u64,
     /// Σ over batches of the back-to-back stage totals.
     pub batch_sequential_seconds: f64,
     /// Σ over batches of the overlapped makespans.
@@ -303,6 +326,15 @@ impl ServiceStats {
     pub fn reconciles(&self) -> bool {
         self.received == self.accepted + self.rejected()
             && self.accepted == self.completed + self.failed
+    }
+
+    /// Whether the startup racecheck probe ran and found the configured
+    /// kernel race- and divergence-free. False when the probe was skipped
+    /// (it never is in a started service) or reported findings.
+    pub fn race_free(&self) -> bool {
+        self.sancheck_launches > 0
+            && self.sancheck_conflicts == 0
+            && self.sancheck_divergent_blocks == 0
     }
 
     /// Mean speedup of the overlapped batch schedule over back-to-back
@@ -343,6 +375,14 @@ impl fmt::Display for ServiceStats {
             self.batching_speedup(),
         )?;
         writeln!(f, "bytes: in {}  out {}", self.bytes_in, self.bytes_out)?;
+        writeln!(
+            f,
+            "sanitizer: {} probe launch(es), {} conflict(s), {} divergent block(s) — {}",
+            self.sancheck_launches,
+            self.sancheck_conflicts,
+            self.sancheck_divergent_blocks,
+            if self.race_free() { "race-free" } else { "NOT verified race-free" },
+        )?;
         write!(
             f,
             "latency p50 <= {:.2e} s, p99 <= {:.2e} s   queue depth p50 <= {:.0}, p99 <= {:.0}",

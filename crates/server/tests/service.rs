@@ -304,3 +304,23 @@ fn load_generator_drives_mixed_traffic_cleanly() {
     assert_eq!(stats.completed, 32);
     assert!(stats.gpu_jobs + stats.cpu_jobs == 32);
 }
+
+#[test]
+fn startup_probe_asserts_race_free_execution() {
+    // V1 (the default) and V2 both run their startup racecheck probe;
+    // the stats must report race- and divergence-free execution with at
+    // least one sanitized launch per configured device.
+    for params in [culzss::CulzssParams::v1(), culzss::CulzssParams::v2()] {
+        let service = Service::start(ServerConfig { params, ..quick_config() });
+        let ticket = service
+            .submit(JobSpec::compress("probe-tenant", Dataset::DeMap.generate(8 * 1024, 3)))
+            .expect("admitted");
+        ticket.wait().expect("job completes");
+        let stats = service.shutdown();
+        assert!(stats.sancheck_launches >= 1, "{stats:?}");
+        assert_eq!(stats.sancheck_conflicts, 0, "{stats:?}");
+        assert_eq!(stats.sancheck_divergent_blocks, 0, "{stats:?}");
+        assert!(stats.race_free(), "{stats:?}");
+        assert!(stats.to_string().contains("race-free"), "{stats}");
+    }
+}

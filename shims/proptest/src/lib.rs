@@ -1,0 +1,698 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of proptest 1.x that `crates/proptests` uses, so
+//! the property tests build and run with **no registry access** (the same
+//! arrangement as the `rand`/`crossbeam`/`parking_lot` shims). The model
+//! is deliberately simpler than real proptest, but keeps the properties
+//! that matter for these tests:
+//!
+//! * **Strategies** are deterministic generators: [`strategy::Strategy`]
+//!   produces a value from a seeded [`test_runner::TestRng`] and a
+//!   *complexity* knob in `(0, 1]` that scales sizes and magnitudes.
+//!   Ranges, tuples, [`strategy::Just`], `prop_map`,
+//!   [`collection::vec`], [`arbitrary::any`], and `prop_oneof!` are
+//!   provided.
+//! * **Running**: the [`proptest!`] macro expands each `fn name(arg in
+//!   strategy, ...)` item into an ordinary `#[test]` that drives
+//!   [`test_runner::run`]. Case seeds derive from the test name, so runs
+//!   are reproducible; complexity ramps up across cases so early cases
+//!   are small.
+//! * **Shrinking**: on failure the runner regenerates the case at a
+//!   descending complexity ladder with the *same* seed and reports the
+//!   smallest still-failing input. Cruder than proptest's tree
+//!   shrinking, but deterministic and dependency-free.
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` expand to
+//!   expression-position blocks returning
+//!   [`test_runner::TestCaseError::Fail`]; `prop_assume!` rejects the
+//!   case (retried with a fresh seed). Panics inside the test body
+//!   (e.g. `.unwrap()`) are caught and shrunk the same way.
+
+/// Random generation and the test-case runner.
+pub mod test_runner {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Deterministic splitmix64 generator; the only entropy source.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator whose whole stream is determined by `seed`.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform value in `[0, n)` for wide ranges; 0 when `n == 0`.
+        pub fn below_u128(&mut self, n: u128) -> u128 {
+            if n == 0 {
+                0
+            } else {
+                let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+                wide % n
+            }
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property is false for this input (or the body panicked).
+        Fail(String),
+        /// `prop_assume!` rejected the input; the case is retried.
+        Reject(String),
+    }
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Passing cases required per test.
+        pub cases: u32,
+        /// `prop_assume!` rejections tolerated before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Default configuration with `cases` passing cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..ProptestConfig::default() }
+        }
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    fn run_one<V, F>(test: &F, value: &V) -> Result<(), TestCaseError>
+    where
+        F: Fn(&V) -> Result<(), TestCaseError>,
+    {
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "test body panicked".to_string()
+                };
+                Err(TestCaseError::Fail(format!("panic: {msg}")))
+            }
+        }
+    }
+
+    /// Drives one property: generates `config.cases` inputs from
+    /// `strategy` (complexity ramping up across cases), runs `test` on
+    /// each, and on failure shrinks by regenerating the failing seed at
+    /// a descending complexity ladder before panicking with the
+    /// smallest still-failing input.
+    pub fn run<S, F>(name: &str, config: &ProptestConfig, strategy: &S, test: F)
+    where
+        S: crate::strategy::Strategy,
+        F: Fn(&S::Value) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        let cases = config.cases.max(1);
+        let mut rejects = 0u32;
+        let mut attempt = 0u64;
+        let mut passed = 0u32;
+        while passed < cases {
+            attempt += 1;
+            let seed = base ^ attempt.wrapping_mul(0xA076_1D64_78BD_642F);
+            // Small inputs first; the final case exercises full size.
+            let complexity = (f64::from(passed + 1) / f64::from(cases)).sqrt();
+            let value = strategy.generate(&mut TestRng::new(seed), complexity);
+            match run_one(&test, &value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "proptest `{name}`: too many prop_assume! rejections ({rejects}); \
+                         last: {why}"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    let (min_value, min_msg, steps) =
+                        shrink(strategy, seed, complexity, &test, value, msg);
+                    panic!(
+                        "proptest `{name}` failed after {passed} passing case(s): {min_msg}\n\
+                         minimal failing input ({steps} shrink step(s), seed {seed:#018x}):\n\
+                         {min_value:#?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Regenerates the failing seed at ever-lower complexity; keeps the
+    /// lowest-complexity input that still fails.
+    fn shrink<S, F>(
+        strategy: &S,
+        seed: u64,
+        complexity: f64,
+        test: &F,
+        value: S::Value,
+        msg: String,
+    ) -> (S::Value, String, u32)
+    where
+        S: crate::strategy::Strategy,
+        F: Fn(&S::Value) -> Result<(), TestCaseError>,
+    {
+        const LADDER: [f64; 12] =
+            [0.7, 0.5, 0.35, 0.25, 0.18, 0.12, 0.08, 0.05, 0.03, 0.02, 0.01, 0.005];
+        let mut best = (value, msg, 0u32);
+        for factor in LADDER {
+            let candidate = strategy.generate(&mut TestRng::new(seed), complexity * factor);
+            if let Err(TestCaseError::Fail(m)) = run_one(test, &candidate) {
+                best = (candidate, m, best.2 + 1);
+            }
+        }
+        best
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+
+    /// A deterministic value generator. `complexity` in `(0, 1]` scales
+    /// sizes/magnitudes: 1.0 is the full declared range, lower values
+    /// bias toward the small end (which is also how shrinking works).
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Clone + Debug;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng, complexity: f64) -> Self::Value;
+
+        /// Applies `map` to every generated value.
+        fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: Clone + Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, map }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng, _complexity: f64) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: Clone + Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng, complexity: f64) -> U {
+            (self.map)(self.source.generate(rng, complexity))
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn dyn_generate(&self, rng: &mut TestRng, complexity: f64) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng, complexity: f64) -> S::Value {
+            self.generate(rng, complexity)
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<V: Clone + Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng, complexity: f64) -> V {
+            self.0.dyn_generate(rng, complexity)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives; the engine
+    /// behind `prop_oneof!`.
+    pub struct OneOf<V>(Vec<BoxedStrategy<V>>);
+
+    /// Builds a [`OneOf`] from the (non-empty) arm list.
+    pub fn one_of<V: Clone + Debug>(arms: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf(arms)
+    }
+
+    impl<V: Clone + Debug> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng, complexity: f64) -> V {
+            let arm = rng.below(self.0.len() as u64) as usize;
+            self.0[arm].generate(rng, complexity)
+        }
+    }
+
+    /// `lo + uniform([0, ceil(span · complexity)))` — the shared scaling
+    /// rule for every integer strategy.
+    pub(crate) fn scaled_uint(rng: &mut TestRng, lo: u128, span: u128, complexity: f64) -> u128 {
+        debug_assert!(span >= 1);
+        let effective = ((span as f64) * complexity.clamp(0.0, 1.0)).ceil() as u128;
+        lo + rng.below_u128(effective.clamp(1, span))
+    }
+
+    macro_rules! uint_range_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng, complexity: f64) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let lo = self.start as u128;
+                    let span = self.end as u128 - lo;
+                    scaled_uint(rng, lo, span, complexity) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng, complexity: f64) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let lo = *self.start() as u128;
+                    let span = *self.end() as u128 - lo + 1;
+                    scaled_uint(rng, lo, span, complexity) as $t
+                }
+            }
+        )+};
+    }
+    uint_range_strategies!(u8, u16, u32, u64, usize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng, complexity: f64) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start) * complexity.clamp(0.0, 1.0)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng, complexity: f64) -> Self::Value {
+                    ($(self.$idx.generate(rng, complexity),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategies! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+/// `any::<T>()` — canonical full-range strategies per type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use std::fmt::Debug;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Clone + Debug + Sized {
+        /// The strategy `any::<Self>()` returns.
+        type Strategy: Strategy<Value = Self>;
+        /// Builds that strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                type Strategy = ::std::ops::RangeInclusive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )+};
+    }
+    arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! arbitrary_tuple {
+        ($(($($a:ident),+))+) => {$(
+            impl<$($a: Arbitrary),+> Arbitrary for ($($a,)+) {
+                type Strategy = ($($a::Strategy,)+);
+                fn arbitrary() -> Self::Strategy {
+                    ($($a::arbitrary(),)+)
+                }
+            }
+        )+};
+    }
+    arbitrary_tuple! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+}
+
+/// Strategies for collections ([`vec`]).
+pub mod collection {
+    use crate::strategy::{scaled_uint, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// A half-open element-count range (what `0..4000` literals become).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_exclusive: r.end().saturating_add(1) }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    /// Result of [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec`s of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng, complexity: f64) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min).max(1) as u128;
+            let len = scaled_uint(rng, self.size.min as u128, span, complexity) as usize;
+            (0..len).map(|_| self.element.generate(rng, complexity)).collect()
+        }
+    }
+}
+
+/// The glob import the property tests start from.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Expands `fn name(arg in strategy, ...) { body }` items into ordinary
+/// `#[test]` functions driven by [`test_runner::run`]. Supports an
+/// optional leading `#![proptest_config(...)]` and per-test attributes
+/// (including doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strategy:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ($($strategy,)+);
+            $crate::test_runner::run(
+                stringify!($name),
+                &config,
+                &strategy,
+                |__proptest_case| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__proptest_case);
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)` —
+/// expression-position assertion returning
+/// [`test_runner::TestCaseError::Fail`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {{
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Equality assertion with the semantics of `assert_eq!`, reported as a
+/// test-case failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                            __left, __right
+                        ),
+                    ));
+                }
+            }
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        ::std::format!($($fmt)+),
+                    ));
+                }
+            }
+        }
+    }};
+}
+
+/// Inequality assertion, reported as a test-case failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if *__left == *__right {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        ::std::format!("assertion failed: `left != right`\n  both: `{:?}`", __left),
+                    ));
+                }
+            }
+        }
+    }};
+}
+
+/// Rejects the current case (retried with a fresh seed) when `cond` is
+/// false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {{
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::ToString::to_string(stringify!($cond)),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::one_of(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let (mut a, mut b) = (TestRng::new(7), TestRng::new(7));
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(TestRng::new(1).next_u64(), TestRng::new(2).next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds_at_every_complexity() {
+        let mut rng = TestRng::new(3);
+        for complexity in [0.01, 0.1, 0.5, 1.0] {
+            for _ in 0..200 {
+                let v = (5u16..128).generate(&mut rng, complexity);
+                assert!((5..128).contains(&v));
+                let f = (1.0f64..1e6).generate(&mut rng, complexity);
+                assert!((1.0..1e6).contains(&f));
+                let n = crate::collection::vec(any::<u8>(), 3..9).generate(&mut rng, complexity);
+                assert!((3..9).contains(&n.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn low_complexity_shrinks_sizes() {
+        let strat = crate::collection::vec(any::<u8>(), 0..4000);
+        let small = strat.generate(&mut TestRng::new(11), 0.01);
+        let large = strat.generate(&mut TestRng::new(11), 1.0);
+        assert!(small.len() <= 40, "len {}", small.len());
+        assert!(large.len() > 40, "len {}", large.len());
+    }
+
+    #[test]
+    fn oneof_map_and_tuples_compose() {
+        let strat = crate::collection::vec(
+            (prop_oneof![Just(1u8), Just(2)], 1usize..4, 0u64..10).prop_map(|(b, n, _)| (b, n)),
+            1..8,
+        );
+        let v = strat.generate(&mut TestRng::new(5), 1.0);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|(b, n)| (*b == 1 || *b == 2) && (1..4).contains(n)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro path itself: attributes, multiple args, assume,
+        /// and every assertion form.
+        #[test]
+        fn macro_smoke(data in crate::collection::vec(any::<u8>(), 0..64), k in 1usize..5) {
+            prop_assume!(k != 4);
+            let doubled: Vec<u8> = data.iter().map(|b| b.wrapping_mul(2)).collect();
+            prop_assert_eq!(doubled.len(), data.len());
+            prop_assert_ne!(k, 4);
+            prop_assert!((1..5).contains(&k), "k out of range: {k}");
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_minimal_input() {
+        let outcome = std::panic::catch_unwind(|| {
+            crate::test_runner::run(
+                "shim_internal_failing",
+                &ProptestConfig::with_cases(64),
+                &crate::collection::vec(any::<u8>(), 0..512),
+                |v: &Vec<u8>| {
+                    prop_assert!(v.len() < 30, "too long: {}", v.len());
+                    Ok(())
+                },
+            );
+        });
+        let msg = *outcome.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("too long"), "{msg}");
+        assert!(msg.contains("shrink step"), "{msg}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Differential tests across the compression engines, driven by the
+//! paper's five evaluation corpora ([`Dataset::ALL`]).
+//!
+//! The anchor property is the V1 equivalence the heterogeneous path
+//! relies on: the V1 GPU kernel's per-chunk bodies — and the assembled
+//! container — must be **byte-identical** to the CPU reference
+//! (`hetero::cpu_compress`). Around it, every engine (V1, V2, serial
+//! LZSS, pthread) must round-trip every corpus, including the chunk
+//! boundary edge cases (empty, one byte, exactly one chunk, one chunk
+//! plus one byte).
+
+use culzss::hetero;
+use culzss::{Culzss, CulzssParams, Version};
+use culzss_datasets::Dataset;
+use culzss_gpusim::{DeviceSpec, GpuSim};
+use culzss_lzss::config::LzssConfig;
+use culzss_lzss::serial;
+
+const SAMPLE_BYTES: usize = 24 * 1024; // six 4 KB chunks
+const SEED: u64 = 2011;
+
+fn corpora() -> Vec<(&'static str, Vec<u8>)> {
+    Dataset::ALL.iter().map(|d| (d.slug(), d.generate(SAMPLE_BYTES, SEED))).collect()
+}
+
+/// The V1 kernel's buckets, compacted, equal the CPU reference bodies
+/// chunk for chunk — the invariant that makes GPU→CPU degradation
+/// wire-invisible.
+#[test]
+fn v1_gpu_bodies_match_cpu_reference_bodies() {
+    let sim = GpuSim::new(DeviceSpec::gtx480()).with_workers(2);
+    let params = CulzssParams::v1();
+    for (slug, input) in corpora() {
+        let (gpu_bodies, _) = culzss::kernel_v1::run(&sim, &input, &params).unwrap();
+        let cpu_bodies = hetero::cpu_compress_bodies(&input, &params, 2);
+        assert_eq!(gpu_bodies.len(), cpu_bodies.len(), "[{slug}] chunk count");
+        for (i, (gpu, cpu)) in gpu_bodies.iter().zip(&cpu_bodies).enumerate() {
+            assert_eq!(gpu, cpu, "[{slug}] body of chunk {i} differs");
+        }
+    }
+}
+
+/// Full containers agree too: header, size table, and payload.
+#[test]
+fn v1_gpu_stream_matches_cpu_reference_stream() {
+    let culzss = Culzss::new(Version::V1).with_workers(2);
+    for (slug, input) in corpora() {
+        let (gpu_stream, _) = culzss.compress(&input).unwrap();
+        let cpu_stream = hetero::cpu_compress(&input, culzss.params(), 2).unwrap();
+        assert_eq!(gpu_stream, cpu_stream, "[{slug}] container streams differ");
+    }
+}
+
+#[test]
+fn v1_roundtrips_every_corpus() {
+    let culzss = Culzss::new(Version::V1).with_workers(2);
+    for (slug, input) in corpora() {
+        let (stream, _) = culzss.compress(&input).unwrap();
+        let (restored, _) = culzss.decompress(&stream).unwrap();
+        assert_eq!(restored, input, "[{slug}] V1 roundtrip");
+    }
+}
+
+#[test]
+fn v2_roundtrips_every_corpus() {
+    let culzss = Culzss::new(Version::V2).with_workers(2);
+    for (slug, input) in corpora() {
+        let (stream, _) = culzss.compress(&input).unwrap();
+        let (restored, _) = culzss.decompress(&stream).unwrap();
+        assert_eq!(restored, input, "[{slug}] V2 roundtrip");
+    }
+}
+
+#[test]
+fn serial_and_pthread_roundtrip_every_corpus() {
+    let config = LzssConfig::dipperstein();
+    for (slug, input) in corpora() {
+        let stream = serial::compress(&input, &config).unwrap();
+        assert_eq!(
+            serial::decompress(&stream, &config).unwrap(),
+            input,
+            "[{slug}] serial roundtrip"
+        );
+        let stream = culzss_pthread::compress(&input, &config, 3).unwrap();
+        assert_eq!(
+            culzss_pthread::decompress(&stream, &config, 3).unwrap(),
+            input,
+            "[{slug}] pthread roundtrip"
+        );
+    }
+}
+
+/// Chunking edge cases: empty input, a single byte, exactly one chunk,
+/// and one chunk plus one byte — through every engine.
+#[test]
+fn edge_sizes_roundtrip_through_every_engine() {
+    let chunk = CulzssParams::v1().chunk_size;
+    assert_eq!(chunk, 4096, "paper's chunk size");
+    let v1 = Culzss::new(Version::V1).with_workers(2);
+    let v2 = Culzss::new(Version::V2).with_workers(2);
+    let config = LzssConfig::dipperstein();
+    for size in [0usize, 1, chunk, chunk + 1] {
+        let input = Dataset::CFiles.generate(size, 5);
+        assert_eq!(input.len(), size, "generator honours the requested size");
+
+        let (stream, _) = v1.compress(&input).unwrap();
+        let (restored, _) = v1.decompress(&stream).unwrap();
+        assert_eq!(restored, input, "V1 at size {size}");
+        let cpu = hetero::cpu_compress(&input, v1.params(), 2).unwrap();
+        assert_eq!(stream, cpu, "V1 vs CPU reference at size {size}");
+
+        let (stream, _) = v2.compress(&input).unwrap();
+        let (restored, _) = v2.decompress(&stream).unwrap();
+        assert_eq!(restored, input, "V2 at size {size}");
+
+        let stream = serial::compress(&input, &config).unwrap();
+        assert_eq!(serial::decompress(&stream, &config).unwrap(), input, "serial at size {size}");
+
+        let stream = culzss_pthread::compress(&input, &config, 2).unwrap();
+        assert_eq!(
+            culzss_pthread::decompress(&stream, &config, 2).unwrap(),
+            input,
+            "pthread at size {size}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Golden wire-format regression tests.
+//!
+//! `tests/golden/<engine>.bin` holds the compressed stream each engine
+//! produced for one fixed, deterministic input
+//! (`Dataset::CFiles.generate(8192, 2011)`). The tests pin the formats
+//! in both directions:
+//!
+//! * **decode**: today's decoder must restore the checked-in stream to
+//!   the fixture input (old streams stay readable);
+//! * **encode**: today's encoder must reproduce the checked-in stream
+//!   byte for byte (the wire format — header layout, token packing,
+//!   size tables — has not drifted).
+//!
+//! An intentional format change must regenerate the fixtures — run
+//! `cargo test --test golden -- --ignored regenerate` — and call out the
+//! compatibility break in the change description.
+
+use std::path::PathBuf;
+
+use culzss::{Culzss, Version};
+use culzss_datasets::Dataset;
+use culzss_lzss::config::LzssConfig;
+use culzss_lzss::serial;
+
+const INPUT_BYTES: usize = 8192;
+const SEED: u64 = 2011;
+
+fn fixture_input() -> Vec<u8> {
+    Dataset::CFiles.generate(INPUT_BYTES, SEED)
+}
+
+fn fixture_path(engine: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{engine}.bin"))
+}
+
+fn read_fixture(engine: &str) -> Vec<u8> {
+    let path = fixture_path(engine);
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {} — regenerate with the ignored test: {e}", path.display())
+    })
+}
+
+/// `(engine name, encode, decode)` for every wire format in the repo.
+#[allow(clippy::type_complexity)]
+fn engines() -> Vec<(&'static str, Box<dyn Fn(&[u8]) -> Vec<u8>>, Box<dyn Fn(&[u8]) -> Vec<u8>>)> {
+    let config = LzssConfig::dipperstein();
+    let decode_config = config.clone();
+    vec![
+        (
+            "v1",
+            Box::new(|input: &[u8]| {
+                Culzss::new(Version::V1).with_workers(2).compress(input).unwrap().0
+            }) as Box<dyn Fn(&[u8]) -> Vec<u8>>,
+            Box::new(|bytes: &[u8]| {
+                Culzss::new(Version::V1).with_workers(2).decompress(bytes).unwrap().0
+            }) as Box<dyn Fn(&[u8]) -> Vec<u8>>,
+        ),
+        (
+            "v2",
+            Box::new(|input: &[u8]| {
+                Culzss::new(Version::V2).with_workers(2).compress(input).unwrap().0
+            }),
+            Box::new(|bytes: &[u8]| {
+                Culzss::new(Version::V2).with_workers(2).decompress(bytes).unwrap().0
+            }),
+        ),
+        (
+            "lzss",
+            Box::new(move |input: &[u8]| serial::compress(input, &config).unwrap()),
+            Box::new(move |bytes: &[u8]| serial::decompress(bytes, &decode_config).unwrap()),
+        ),
+        (
+            "pthread",
+            Box::new(|input: &[u8]| {
+                culzss_pthread::compress(input, &LzssConfig::dipperstein(), 3).unwrap()
+            }),
+            Box::new(|bytes: &[u8]| {
+                culzss_pthread::decompress(bytes, &LzssConfig::dipperstein(), 3).unwrap()
+            }),
+        ),
+        (
+            "bzip2",
+            Box::new(|input: &[u8]| culzss_bzip2::compress(input).unwrap()),
+            Box::new(|bytes: &[u8]| culzss_bzip2::decompress(bytes).unwrap()),
+        ),
+    ]
+}
+
+#[test]
+fn golden_streams_decode_to_the_fixture_input() {
+    let input = fixture_input();
+    for (engine, _, decode) in engines() {
+        let stream = read_fixture(engine);
+        assert_eq!(decode(&stream), input, "[{engine}] golden stream no longer decodes");
+    }
+}
+
+#[test]
+fn encoders_reproduce_the_golden_streams() {
+    let input = fixture_input();
+    for (engine, encode, _) in engines() {
+        let golden = read_fixture(engine);
+        let fresh = encode(&input);
+        assert_eq!(
+            fresh,
+            golden,
+            "[{engine}] wire format drifted from tests/golden/{engine}.bin \
+             (fresh {} bytes vs golden {} bytes); if intentional, regenerate the fixture",
+            fresh.len(),
+            golden.len()
+        );
+    }
+}
+
+/// Rewrites every fixture from the current encoders. Ignored by default;
+/// run explicitly after an intentional format change:
+/// `cargo test --test golden -- --ignored regenerate`.
+#[test]
+#[ignore = "rewrites the golden fixtures; run only after an intentional format change"]
+fn regenerate_golden_fixtures() {
+    let input = fixture_input();
+    std::fs::create_dir_all(fixture_path("v1").parent().unwrap()).unwrap();
+    for (engine, encode, decode) in engines() {
+        let stream = encode(&input);
+        assert_eq!(decode(&stream), input, "[{engine}] refusing to write a broken fixture");
+        std::fs::write(fixture_path(engine), &stream).unwrap();
+    }
+}

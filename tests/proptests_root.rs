@@ -1,0 +1,18 @@
+//! Runs the workspace property suites (crates/proptests/tests/) as part
+//! of the root package's `cargo test`, so a plain `cargo test -q` at the
+//! repository root exercises them without a `-p culzss-proptests` or a
+//! directory change. The files are included verbatim; they compile here
+//! because the root package depends on every crate they test and on the
+//! offline proptest shim.
+
+#[path = "../crates/proptests/tests/lzss.rs"]
+mod lzss;
+
+#[path = "../crates/proptests/tests/gpusim.rs"]
+mod gpusim;
+
+#[path = "../crates/proptests/tests/bzip2.rs"]
+mod bzip2;
+
+#[path = "../crates/proptests/tests/cross.rs"]
+mod cross;
