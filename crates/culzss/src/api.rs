@@ -18,7 +18,8 @@ use std::time::Instant;
 
 use culzss_gpusim::transfer::{Direction, TransferLedger};
 use culzss_gpusim::{DeviceSpec, GpuSim};
-use culzss_lzss::container::{assemble, Container};
+use culzss_lzss::container::{assemble_with, Container};
+use culzss_lzss::crc::crc32;
 use culzss_lzss::format;
 
 use crate::error::CulzssResult;
@@ -144,7 +145,14 @@ impl Culzss {
         };
 
         let cpu_started = Instant::now();
-        let stream = assemble(&config, self.params.chunk_size as u32, input.len() as u64, &bodies)?;
+        let stream = assemble_with(
+            &config,
+            self.params.chunk_size as u32,
+            input.len() as u64,
+            crc32(input),
+            &bodies,
+            self.params.container_version,
+        )?;
         let cpu_seconds = cpu_seconds + cpu_started.elapsed().as_secs_f64();
 
         let stats = PipelineStats {
@@ -190,6 +198,17 @@ impl Culzss {
         self.decompress_parsed(bytes, container, payload_offset, config)
     }
 
+    /// Salvage-decodes a (possibly corrupted) container: every intact
+    /// chunk is recovered, damaged chunks become zero-filled holes, and
+    /// the report lists each hole. See [`crate::salvage`] for semantics;
+    /// only unusable metadata makes this fail.
+    pub fn decompress_salvage(
+        &self,
+        bytes: &[u8],
+    ) -> CulzssResult<(Vec<u8>, crate::salvage::SalvageReport)> {
+        Ok(crate::salvage::salvage(bytes)?)
+    }
+
     fn decompress_parsed(
         &self,
         bytes: &[u8],
@@ -198,6 +217,9 @@ impl Culzss {
         config: culzss_lzss::LzssConfig,
     ) -> CulzssResult<(Vec<u8>, PipelineStats)> {
         let payload = &bytes[payload_offset..];
+        // v2 streams: reject damaged bodies before spending kernel time on
+        // them (v1 has no CRCs; structural decode errors still surface).
+        container.verify_chunk_crcs(payload)?;
         let layout = container.chunk_layout();
 
         let device = self.sim.device();
@@ -221,6 +243,9 @@ impl Culzss {
             }
             .into());
         }
+        // End-to-end check: the decoded bytes must match the CRC recorded
+        // over the original input (v2 only).
+        container.verify_stream_crc(&out)?;
 
         let stats = PipelineStats {
             h2d_seconds: h2d,

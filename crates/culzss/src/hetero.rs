@@ -13,7 +13,8 @@
 
 use std::time::Instant;
 
-use culzss_lzss::container::{assemble, Container};
+use culzss_lzss::container::{assemble_with, Container};
+use culzss_lzss::crc::crc32;
 use culzss_lzss::format;
 use culzss_lzss::serial;
 
@@ -59,7 +60,14 @@ pub fn cpu_compress(input: &[u8], params: &CulzssParams, threads: usize) -> Culz
     let config = params.lzss_config();
     config.validate()?;
     let bodies = cpu_compress_bodies(input, params, threads);
-    Ok(assemble(&config, params.chunk_size as u32, input.len() as u64, &bodies)?)
+    Ok(assemble_with(
+        &config,
+        params.chunk_size as u32,
+        input.len() as u64,
+        crc32(input),
+        &bodies,
+        params.container_version,
+    )?)
 }
 
 /// Pure-CPU decompression of any CULZSS (Fixed16) container, reading the
@@ -82,6 +90,7 @@ pub fn cpu_decompress(bytes: &[u8], threads: usize) -> CulzssResult<Vec<u8>> {
     };
     config.validate()?;
     let payload = &bytes[payload_offset..];
+    container.verify_chunk_crcs(payload)?;
     let layout = container.chunk_layout();
     let mut pieces: Vec<culzss_lzss::error::Result<Vec<u8>>> = Vec::new();
     pieces.resize_with(layout.len(), || Ok(Vec::new()));
@@ -111,6 +120,7 @@ pub fn cpu_decompress(bytes: &[u8], threads: usize) -> CulzssResult<Vec<u8>> {
         }
         .into());
     }
+    container.verify_stream_crc(&out)?;
     Ok(out)
 }
 
@@ -227,7 +237,14 @@ impl HeteroCompressor {
         let mut bodies = cpu_bodies;
         let gpu_count = gpu_bodies.len();
         bodies.extend(gpu_bodies);
-        let stream = assemble(&config, params.chunk_size as u32, input.len() as u64, &bodies)?;
+        let stream = assemble_with(
+            &config,
+            params.chunk_size as u32,
+            input.len() as u64,
+            crc32(input),
+            &bodies,
+            params.container_version,
+        )?;
         let merge_seconds = merge_started.elapsed().as_secs_f64();
 
         Ok((

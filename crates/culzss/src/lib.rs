@@ -50,6 +50,7 @@ pub mod kernel_v2;
 pub mod metered;
 pub mod params;
 pub mod pipeline;
+pub mod salvage;
 pub mod sancheck;
 pub mod stream;
 pub mod tuning;
@@ -57,3 +58,4 @@ pub mod tuning;
 pub use api::{Culzss, PipelineStats};
 pub use error::{CulzssError, CulzssResult};
 pub use params::{CulzssParams, Version};
+pub use salvage::{DamageKind, DamagedChunk, SalvageReport};

@@ -10,6 +10,7 @@
 
 use culzss_gpusim::device::DeviceSpec;
 use culzss_lzss::config::LzssConfig;
+use culzss_lzss::container::ContainerVersion;
 use culzss_lzss::format::TokenFormat;
 
 use crate::error::{CulzssError, CulzssResult};
@@ -54,6 +55,10 @@ pub struct CulzssParams {
     /// pre-optimization global-memory variant; the paper reports ~30 %
     /// V1 speedup from turning this on).
     pub use_shared_memory: bool,
+    /// Which container layout to emit: checksummed v2 (default) or the
+    /// paper-faithful checksum-free v1 for byte-compatibility with
+    /// pre-checksum streams. Decoders accept both regardless.
+    pub container_version: ContainerVersion,
 }
 
 impl CulzssParams {
@@ -67,6 +72,7 @@ impl CulzssParams {
             min_match: 3,
             max_match: 18,
             use_shared_memory: true,
+            container_version: ContainerVersion::default(),
         }
     }
 
@@ -80,6 +86,7 @@ impl CulzssParams {
             min_match: 3,
             max_match: 32,
             use_shared_memory: true,
+            container_version: ContainerVersion::default(),
         }
     }
 

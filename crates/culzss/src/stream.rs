@@ -215,8 +215,17 @@ impl StreamingCompressor {
             if len == 0 {
                 return Ok(total);
             }
-            let mut body = vec![0u8; len];
-            input.read_exact(&mut body).map_err(io_err)?;
+            // The frame length is untrusted: read up to `len` bytes and
+            // check the count, instead of allocating `len` up front (a
+            // 4-byte field can demand 4 GiB).
+            let mut body = Vec::new();
+            input.take(len as u64).read_to_end(&mut body).map_err(io_err)?;
+            if body.len() != len {
+                return Err(CulzssError::Codec(culzss_lzss::Error::Truncated {
+                    needed: len,
+                    got: body.len(),
+                }));
+            }
             let (plain, _) = self.culzss.decompress(&body)?;
             output.write_all(&plain).map_err(io_err)?;
             total += plain.len() as u64;
@@ -310,6 +319,18 @@ mod tests {
             &mut restored,
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn absurd_frame_length_is_a_typed_truncation_not_an_allocation() {
+        // Frame header claims 4 GiB; only a few bytes follow.
+        let mut stream = STREAM_MAGIC.to_vec();
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        stream.extend_from_slice(b"tiny");
+        let sc = compressor(64 * 1024);
+        let mut restored = Vec::new();
+        let err = sc.decompress_stream(&mut Cursor::new(&stream), &mut restored).unwrap_err();
+        assert!(matches!(err, CulzssError::Codec(culzss_lzss::Error::Truncated { .. })), "{err:?}");
     }
 
     #[test]

@@ -110,10 +110,11 @@ fn segment_boundaries_are_invisible_in_the_output() {
         .chunks(params.chunk_size)
         .map(|c| culzss_lzss::format::encode(&culzss_lzss::serial::tokenize(c, &config), &config))
         .collect();
-    let reference = culzss_lzss::container::assemble(
+    let reference = culzss_lzss::container::assemble_v2(
         &config,
         params.chunk_size as u32,
         input.len() as u64,
+        culzss_lzss::crc::crc32(&input),
         &bodies,
     )
     .unwrap();

@@ -7,40 +7,86 @@
 //! self-describing. The same container is used by the Pthread baseline so
 //! that all parallel codecs interoperate.
 //!
-//! Like the paper's format, the container carries **no payload checksum**:
-//! a corrupted token that still decodes structurally yields wrong bytes
-//! silently (truncations and most structural corruptions are caught).
-//! Wrap the stream in an integrity layer — or use the `culzss-bzip2`
-//! codec, whose format includes bzip2-style CRC-32s — where flips matter.
+//! The paper's format carries **no payload checksum**; container **v1**
+//! reproduces that faithfully, so a corrupted token that still decodes
+//! structurally yields wrong bytes silently. Container **v2** closes the
+//! gap with three CRC-32s (the bzip2 variant from [`crate::crc`]):
 //!
-//! Layout (all integers little-endian):
+//! * one CRC per compressed chunk body, stored next to the size table the
+//!   paper already keeps per chunk — the natural integrity granule for
+//!   block-parallel decoders, and what makes salvage decoding possible;
+//! * one CRC over the whole *uncompressed* stream, catching anything the
+//!   per-chunk checks cannot see (reordered bodies, decoder bugs);
+//! * one CRC over all metadata bytes, so a tampered size table or header
+//!   field is rejected before it can misdirect the decoder.
+//!
+//! Layout (all integers little-endian). v1 ends after `table`; v2 inserts
+//! the three checksum fields between the table and the payload:
 //!
 //! ```text
-//! magic      4 B   "CLZC"
-//! version    1 B   currently 1
-//! format_id  1 B   TokenFormat::id()
-//! min_match  1 B
-//! reserved   1 B   zero
-//! window     4 B
-//! max_match  4 B
-//! chunk_size 4 B   nominal uncompressed bytes per chunk
-//! total_len  8 B   uncompressed bytes overall
-//! n_chunks   4 B
-//! table      4 B × n_chunks   compressed size of each chunk
-//! payload    concatenated chunk bodies, in order
+//! magic       4 B   "CLZC"
+//! version     1 B   1 or 2
+//! format_id   1 B   TokenFormat::id()
+//! min_match   1 B
+//! reserved    1 B   zero
+//! window      4 B
+//! max_match   4 B
+//! chunk_size  4 B   nominal uncompressed bytes per chunk
+//! total_len   8 B   uncompressed bytes overall
+//! n_chunks    4 B
+//! table       4 B × n_chunks   compressed size of each chunk
+//! chunk_crcs  4 B × n_chunks   CRC-32 of each compressed body   (v2 only)
+//! stream_crc  4 B              CRC-32 of the uncompressed input (v2 only)
+//! meta_crc    4 B              CRC-32 of every byte above       (v2 only)
+//! payload     concatenated chunk bodies, in order
 //! ```
+//!
+//! Every byte of a v2 stream is therefore covered by some checksum: the
+//! header and both tables by `meta_crc`, each payload byte by its chunk's
+//! CRC, and the decoded result end-to-end by `stream_crc`.
 
 use crate::config::LzssConfig;
+use crate::crc::crc32;
 use crate::error::{Error, Result};
 
 /// Container magic: `"CLZC"`.
 pub const MAGIC: [u8; 4] = *b"CLZC";
-/// Current container version.
-pub const VERSION: u8 = 1;
+/// The checksum-free container version (paper-faithful).
+pub const VERSION_V1: u8 = 1;
+/// The checksummed container version.
+pub const VERSION_V2: u8 = 2;
+/// Current default container version.
+pub const VERSION: u8 = VERSION_V2;
+
+/// Which container version to emit when assembling a stream.
+///
+/// Decoders accept both; this only selects the writer. [`ContainerVersion::V1`]
+/// exists for byte-compatibility with pre-checksum streams (e.g. the pinned
+/// golden fixtures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContainerVersion {
+    /// Checksum-free layout, byte-identical to pre-v2 streams.
+    V1,
+    /// Checksummed layout (per-chunk + stream + metadata CRC-32).
+    #[default]
+    V2,
+}
+
+impl ContainerVersion {
+    /// The version byte written into the header.
+    pub fn byte(self) -> u8 {
+        match self {
+            ContainerVersion::V1 => VERSION_V1,
+            ContainerVersion::V2 => VERSION_V2,
+        }
+    }
+}
 
 /// Parsed container header plus the chunk size table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Container {
+    /// Container version byte ([`VERSION_V1`] or [`VERSION_V2`]).
+    pub version: u8,
     /// Token format identifier (see [`crate::format::TokenFormat::id`]).
     pub format_id: u8,
     /// Window size the chunks were compressed with.
@@ -56,15 +102,59 @@ pub struct Container {
     pub total_len: u64,
     /// Compressed size of each chunk, in order.
     pub chunk_comp_sizes: Vec<u32>,
+    /// CRC-32 of each compressed chunk body (empty for v1).
+    pub chunk_crcs: Vec<u32>,
+    /// CRC-32 of the whole uncompressed stream (`None` for v1).
+    pub stream_crc: Option<u32>,
+}
+
+/// Per-chunk verdict from [`Container::check_payload`], granular enough for
+/// `culzss verify` to print one line per chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkCheck {
+    /// Chunk index.
+    pub index: usize,
+    /// Byte range of the compressed body, relative to the payload start.
+    pub comp_range: std::ops::Range<usize>,
+    /// Uncompressed length this chunk should decode to.
+    pub uncompressed_len: usize,
+    /// CRC recorded in the container (`None` for v1 streams).
+    pub stored_crc: Option<u32>,
+    /// CRC computed over the received body (`None` if the body is missing
+    /// or truncated).
+    pub computed_crc: Option<u32>,
+}
+
+impl ChunkCheck {
+    /// Whether this chunk's body is present and (when CRCs exist) matches.
+    pub fn ok(&self) -> bool {
+        match (self.stored_crc, self.computed_crc) {
+            (_, None) => false,
+            (Some(stored), Some(computed)) => stored == computed,
+            (None, Some(_)) => true,
+        }
+    }
 }
 
 impl Container {
     /// Fixed header size before the chunk table.
     pub const HEADER_LEN: usize = 32;
 
-    /// Builds a container descriptor from a configuration.
+    /// Builds a container descriptor from a configuration. The descriptor
+    /// starts empty; assembly fills in the size and CRC tables.
     pub fn new(config: &LzssConfig, chunk_size: u32, total_len: u64) -> Self {
+        Self::new_versioned(config, chunk_size, total_len, ContainerVersion::default())
+    }
+
+    /// [`Container::new`] with an explicit emission version.
+    pub fn new_versioned(
+        config: &LzssConfig,
+        chunk_size: u32,
+        total_len: u64,
+        version: ContainerVersion,
+    ) -> Self {
         Self {
+            version: version.byte(),
             format_id: config.format.id(),
             window_size: config.window_size as u32,
             min_match: config.min_match as u8,
@@ -72,7 +162,14 @@ impl Container {
             chunk_size,
             total_len,
             chunk_comp_sizes: Vec::new(),
+            chunk_crcs: Vec::new(),
+            stream_crc: None,
         }
+    }
+
+    /// Whether this container carries v2 checksums.
+    pub fn is_checksummed(&self) -> bool {
+        self.version >= VERSION_V2
     }
 
     /// Number of chunks implied by `total_len` and `chunk_size`.
@@ -100,12 +197,13 @@ impl Container {
         }
     }
 
-    /// Serializes the header + table, followed by nothing; callers append
-    /// the payload chunks in order.
+    /// Serializes the header + tables (+ v2 checksum trailer), followed by
+    /// nothing; callers append the payload chunks in order.
     pub fn serialize_header(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(Self::HEADER_LEN + 4 * self.chunk_comp_sizes.len());
+        let n = self.chunk_comp_sizes.len();
+        let mut out = Vec::with_capacity(Self::HEADER_LEN + 8 * n + 8);
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(self.version);
         out.push(self.format_id);
         out.push(self.min_match);
         out.push(0);
@@ -113,47 +211,103 @@ impl Container {
         out.extend_from_slice(&self.max_match.to_le_bytes());
         out.extend_from_slice(&self.chunk_size.to_le_bytes());
         out.extend_from_slice(&self.total_len.to_le_bytes());
-        out.extend_from_slice(&(self.chunk_comp_sizes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(n as u32).to_le_bytes());
         for size in &self.chunk_comp_sizes {
             out.extend_from_slice(&size.to_le_bytes());
+        }
+        if self.is_checksummed() {
+            debug_assert_eq!(self.chunk_crcs.len(), n, "v2 needs one CRC per chunk");
+            for crc in &self.chunk_crcs {
+                out.extend_from_slice(&crc.to_le_bytes());
+            }
+            out.extend_from_slice(&self.stream_crc.unwrap_or(0).to_le_bytes());
+            out.extend_from_slice(&crc32(&out).to_le_bytes());
         }
         out
     }
 
     /// Parses a container, returning the header and the payload offset.
+    ///
+    /// The payload must be exactly the length the size table declares;
+    /// shorter input yields [`Error::Truncated`] *before* anything is
+    /// allocated from header-declared sizes, and a v2 metadata-CRC mismatch
+    /// yields [`Error::HeaderCorrupt`].
     pub fn parse(bytes: &[u8]) -> Result<(Self, usize)> {
-        let need = |n: usize, what: &'static str| {
+        let (header, payload_offset) = Self::parse_prefix(bytes)?;
+        let payload: u64 = header.chunk_comp_sizes.iter().map(|&s| u64::from(s)).sum();
+        let got = (bytes.len() - payload_offset) as u64;
+        if got < payload {
+            return Err(Error::Truncated {
+                needed: payload_offset + payload as usize,
+                got: bytes.len(),
+            });
+        }
+        if got > payload {
+            return Err(Error::InvalidContainer {
+                reason: format!("payload is {got} bytes but the table sums to {payload}"),
+            });
+        }
+        Ok((header, payload_offset))
+    }
+
+    /// [`Container::parse`] without the payload-length check: the metadata
+    /// (header, tables, v2 checksum trailer) must still be fully present and
+    /// valid, but the payload may be truncated or carry trailing garbage.
+    ///
+    /// This is the entry point for salvage decoding, where a truncated tail
+    /// should damage only the chunks it physically removed.
+    pub fn parse_lenient(bytes: &[u8]) -> Result<(Self, usize)> {
+        Self::parse_prefix(bytes)
+    }
+
+    /// Shared header/table/trailer parsing; does not look at the payload.
+    fn parse_prefix(bytes: &[u8]) -> Result<(Self, usize)> {
+        let need = |n: usize| {
             if bytes.len() < n {
-                Err(Error::UnexpectedEof { context: what })
+                Err(Error::Truncated { needed: n, got: bytes.len() })
             } else {
                 Ok(())
             }
         };
-        need(Self::HEADER_LEN, "container header")?;
+        need(Self::HEADER_LEN)?;
         if bytes[..4] != MAGIC {
             return Err(Error::InvalidContainer { reason: "bad magic".into() });
         }
-        if bytes[4] != VERSION {
+        let version = bytes[4];
+        if version != VERSION_V1 && version != VERSION_V2 {
             return Err(Error::InvalidContainer {
-                reason: format!("unsupported version {}", bytes[4]),
+                reason: format!("unsupported version {version}"),
             });
         }
-        let le32 = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
-        let header = Self {
+        let le32 = |o: usize| {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&bytes[o..o + 4]);
+            u32::from_le_bytes(w)
+        };
+        let mut w8 = [0u8; 8];
+        w8.copy_from_slice(&bytes[20..28]);
+        let mut header = Self {
+            version,
             format_id: bytes[5],
             min_match: bytes[6],
             window_size: le32(8),
             max_match: le32(12),
             chunk_size: le32(16),
-            total_len: u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes")),
+            total_len: u64::from_le_bytes(w8),
             chunk_comp_sizes: Vec::new(),
+            chunk_crcs: Vec::new(),
+            stream_crc: None,
         };
         if header.chunk_size == 0 {
             return Err(Error::InvalidContainer { reason: "chunk_size is zero".into() });
         }
         let n_chunks = le32(28) as usize;
-        let table_end = Self::HEADER_LEN + 4 * n_chunks;
-        need(table_end, "chunk table")?;
+        // Bound the table length by the input before trusting n_chunks:
+        // a 4-byte field can demand a 16 GiB table.
+        let per_chunk = if version >= VERSION_V2 { 8 } else { 4 };
+        let trailer = if version >= VERSION_V2 { 8 } else { 0 };
+        let meta_end = Self::HEADER_LEN + per_chunk * n_chunks + trailer;
+        need(meta_end)?;
         if n_chunks != header.expected_chunks() {
             return Err(Error::InvalidContainer {
                 reason: format!(
@@ -163,19 +317,37 @@ impl Container {
                 ),
             });
         }
-        let mut header = header;
-        header.chunk_comp_sizes = (0..n_chunks).map(|i| le32(Self::HEADER_LEN + 4 * i)).collect();
-        let payload: u64 = header.chunk_comp_sizes.iter().map(|&s| u64::from(s)).sum();
-        if (bytes.len() - table_end) as u64 != payload {
-            return Err(Error::InvalidContainer {
-                reason: format!(
-                    "payload is {} bytes but the table sums to {}",
-                    bytes.len() - table_end,
-                    payload
-                ),
-            });
+        if version >= VERSION_V2 {
+            let stored = le32(meta_end - 4);
+            let computed = crc32(&bytes[..meta_end - 4]);
+            if stored != computed {
+                return Err(Error::HeaderCorrupt { expected_crc: stored, got_crc: computed });
+            }
         }
-        Ok((header, table_end))
+        header.chunk_comp_sizes = (0..n_chunks).map(|i| le32(Self::HEADER_LEN + 4 * i)).collect();
+        if version >= VERSION_V2 {
+            let crc_base = Self::HEADER_LEN + 4 * n_chunks;
+            header.chunk_crcs = (0..n_chunks).map(|i| le32(crc_base + 4 * i)).collect();
+            header.stream_crc = Some(le32(meta_end - 8));
+        }
+        // Reject absurd size claims before any caller allocates from them:
+        // one compressed byte can expand to at most max_match output bytes
+        // (both token formats spend well over a byte per match), so a chunk
+        // declaring more output than `comp_size × max_match` is corrupt no
+        // matter what the payload holds.
+        let expand = u64::from(header.max_match.max(1));
+        for (i, &comp) in header.chunk_comp_sizes.iter().enumerate() {
+            let unc = header.chunk_uncompressed_len(i) as u64;
+            if unc > u64::from(comp).saturating_mul(expand) {
+                return Err(Error::InvalidContainer {
+                    reason: format!(
+                        "chunk {i} declares {unc} uncompressed bytes from {comp} \
+                         compressed bytes (over the {expand}x expansion bound)"
+                    ),
+                });
+            }
+        }
+        Ok((header, meta_end))
     }
 
     /// Checks that a decoding configuration matches this container.
@@ -217,16 +389,87 @@ impl Container {
             })
             .collect()
     }
+
+    /// Verifies every chunk body against its stored CRC. No-op for v1
+    /// streams (they carry no CRCs); the first mismatch is returned as
+    /// [`Error::Corrupt`].
+    pub fn verify_chunk_crcs(&self, payload: &[u8]) -> Result<()> {
+        for check in self.check_payload(payload) {
+            if !check.ok() {
+                return Err(match (check.stored_crc, check.computed_crc) {
+                    (Some(expected), Some(got)) => {
+                        Error::Corrupt { chunk: check.index, expected_crc: expected, got_crc: got }
+                    }
+                    _ => Error::Truncated { needed: check.comp_range.end, got: payload.len() },
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies decoded output against the whole-stream CRC. No-op for v1.
+    pub fn verify_stream_crc(&self, decoded: &[u8]) -> Result<()> {
+        if let Some(expected) = self.stream_crc {
+            let got = crc32(decoded);
+            if got != expected {
+                return Err(Error::StreamCorrupt { expected_crc: expected, got_crc: got });
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-chunk integrity report over a (possibly truncated) payload.
+    /// Bodies that extend past the end of `payload` get `computed_crc:
+    /// None`; v1 streams get `stored_crc: None` everywhere.
+    pub fn check_payload(&self, payload: &[u8]) -> Vec<ChunkCheck> {
+        self.chunk_layout()
+            .into_iter()
+            .enumerate()
+            .map(|(index, (comp_range, uncompressed_len))| ChunkCheck {
+                index,
+                stored_crc: self.chunk_crcs.get(index).copied(),
+                computed_crc: payload.get(comp_range.clone()).map(crc32),
+                comp_range,
+                uncompressed_len,
+            })
+            .collect()
+    }
 }
 
-/// Assembles a full container stream from per-chunk compressed bodies.
+/// Assembles a checksum-free (v1) container stream from per-chunk
+/// compressed bodies, byte-identical to pre-v2 output.
 pub fn assemble(
     config: &LzssConfig,
     chunk_size: u32,
     total_len: u64,
     chunk_bodies: &[Vec<u8>],
 ) -> Result<Vec<u8>> {
-    let mut container = Container::new(config, chunk_size, total_len);
+    assemble_with(config, chunk_size, total_len, 0, chunk_bodies, ContainerVersion::V1)
+}
+
+/// Assembles a checksummed (v2) container stream. `stream_crc` must be the
+/// CRC-32 (see [`crate::crc::crc32`]) of the *uncompressed* input the
+/// bodies encode.
+pub fn assemble_v2(
+    config: &LzssConfig,
+    chunk_size: u32,
+    total_len: u64,
+    stream_crc: u32,
+    chunk_bodies: &[Vec<u8>],
+) -> Result<Vec<u8>> {
+    assemble_with(config, chunk_size, total_len, stream_crc, chunk_bodies, ContainerVersion::V2)
+}
+
+/// Version-dispatching assembler; `stream_crc` is ignored for v1.
+pub fn assemble_with(
+    config: &LzssConfig,
+    chunk_size: u32,
+    total_len: u64,
+    stream_crc: u32,
+    chunk_bodies: &[Vec<u8>],
+    version: ContainerVersion,
+) -> Result<Vec<u8>> {
+    let mut container = Container::new_versioned(config, chunk_size, total_len, version);
     if chunk_bodies.len() != container.expected_chunks() {
         return Err(Error::InvalidContainer {
             reason: format!(
@@ -241,6 +484,12 @@ pub fn assemble(
             return Err(Error::InvalidContainer { reason: "chunk body over 4 GiB".into() });
         }
         container.chunk_comp_sizes.push(body.len() as u32);
+        if version == ContainerVersion::V2 {
+            container.chunk_crcs.push(crc32(body));
+        }
+    }
+    if version == ContainerVersion::V2 {
+        container.stream_crc = Some(stream_crc);
     }
     let mut out = container.serialize_header();
     for body in chunk_bodies {
@@ -257,15 +506,33 @@ mod tests {
         LzssConfig::culzss_v1()
     }
 
+    fn v1_container(chunk_size: u32, total_len: u64) -> Container {
+        Container::new_versioned(&cfg(), chunk_size, total_len, ContainerVersion::V1)
+    }
+
     #[test]
-    fn header_roundtrip() {
-        let mut c = Container::new(&cfg(), 4096, 10_000);
-        c.chunk_comp_sizes = vec![100, 200, 50];
+    fn header_roundtrip_v1() {
+        let mut c = v1_container(4096, 10_000);
+        c.chunk_comp_sizes = vec![3000, 3000, 1000];
         let mut bytes = c.serialize_header();
-        bytes.extend_from_slice(&vec![0u8; 350]);
+        bytes.extend_from_slice(&vec![0u8; 7000]);
         let (parsed, offset) = Container::parse(&bytes).unwrap();
         assert_eq!(parsed, c);
         assert_eq!(offset, Container::HEADER_LEN + 12);
+    }
+
+    #[test]
+    fn header_roundtrip_v2() {
+        let mut c = Container::new(&cfg(), 4096, 10_000);
+        assert!(c.is_checksummed());
+        c.chunk_comp_sizes = vec![3000, 3000, 1000];
+        c.chunk_crcs = vec![crc32(&[0u8; 3000]), crc32(&[0u8; 3000]), crc32(&[0u8; 1000])];
+        c.stream_crc = Some(0xABCD_1234);
+        let mut bytes = c.serialize_header();
+        bytes.extend_from_slice(&vec![0u8; 7000]);
+        let (parsed, offset) = Container::parse(&bytes).unwrap();
+        assert_eq!(parsed, c);
+        assert_eq!(offset, Container::HEADER_LEN + 3 * 8 + 8);
     }
 
     #[test]
@@ -286,28 +553,44 @@ mod tests {
 
     #[test]
     fn assemble_and_layout() {
-        let bodies = vec![vec![1u8; 10], vec![2u8; 20], vec![3u8; 5]];
-        let stream = assemble(&cfg(), 4096, 10_000, &bodies).unwrap();
-        let (parsed, offset) = Container::parse(&stream).unwrap();
-        let layout = parsed.chunk_layout();
-        assert_eq!(layout.len(), 3);
-        assert_eq!(layout[0], (0..10, 4096));
-        assert_eq!(layout[1], (10..30, 4096));
-        assert_eq!(layout[2], (30..35, 1808));
-        assert_eq!(&stream[offset..offset + 10], &[1u8; 10]);
+        let bodies = vec![vec![1u8; 1000], vec![2u8; 2000], vec![3u8; 500]];
+        for version in [ContainerVersion::V1, ContainerVersion::V2] {
+            let stream = assemble_with(&cfg(), 4096, 10_000, 7, &bodies, version).unwrap();
+            let (parsed, offset) = Container::parse(&stream).unwrap();
+            let layout = parsed.chunk_layout();
+            assert_eq!(layout.len(), 3);
+            assert_eq!(layout[0], (0..1000, 4096));
+            assert_eq!(layout[1], (1000..3000, 4096));
+            assert_eq!(layout[2], (3000..3500, 1808));
+            assert_eq!(&stream[offset..offset + 1000], &[1u8; 1000][..]);
+            assert_eq!(parsed.stream_crc, (version == ContainerVersion::V2).then_some(7));
+        }
+    }
+
+    #[test]
+    fn v1_assembly_is_byte_identical_to_the_legacy_layout() {
+        // The legacy writer had no version knob; its exact bytes are pinned
+        // here so the golden fixtures stay valid.
+        let bodies = vec![vec![9u8, 9, 9, 9]];
+        let stream = assemble(&cfg(), 4096, 4096, &bodies).unwrap();
+        assert_eq!(stream.len(), Container::HEADER_LEN + 4 + 4);
+        assert_eq!(stream[4], VERSION_V1);
+        assert_eq!(&stream[Container::HEADER_LEN + 4..], &[9, 9, 9, 9]);
     }
 
     #[test]
     fn assemble_rejects_wrong_chunk_count() {
         let bodies = vec![vec![0u8; 4]];
         assert!(assemble(&cfg(), 4096, 10_000, &bodies).is_err());
+        assert!(assemble_v2(&cfg(), 4096, 10_000, 0, &bodies).is_err());
     }
 
     #[test]
-    fn parse_rejects_corruptions() {
-        let mut c = Container::new(&cfg(), 4096, 4096);
-        c.chunk_comp_sizes = vec![4];
-        let good: Vec<u8> = c.serialize_header().into_iter().chain([9, 9, 9, 9]).collect();
+    fn parse_rejects_corruptions_v1() {
+        let mut c = v1_container(4096, 4096);
+        c.chunk_comp_sizes = vec![1000];
+        let good: Vec<u8> =
+            c.serialize_header().into_iter().chain(std::iter::repeat_n(9u8, 1000)).collect();
         Container::parse(&good).unwrap();
 
         // Bad magic.
@@ -320,8 +603,11 @@ mod tests {
         bad[4] = 9;
         assert!(Container::parse(&bad).is_err());
 
-        // Truncated payload.
-        assert!(Container::parse(&good[..good.len() - 1]).is_err());
+        // Truncated payload → typed Truncated with the full need.
+        assert_eq!(
+            Container::parse(&good[..good.len() - 1]).unwrap_err(),
+            Error::Truncated { needed: good.len(), got: good.len() - 1 }
+        );
 
         // Extra payload.
         let mut bad = good.clone();
@@ -335,6 +621,114 @@ mod tests {
     }
 
     #[test]
+    fn v2_metadata_tampering_is_rejected_by_the_meta_crc() {
+        let bodies = vec![vec![5u8; 1000], vec![6u8; 900]];
+        let stream = assemble_v2(&cfg(), 1024, 2048, 77, &bodies).unwrap();
+        Container::parse(&stream).unwrap();
+
+        // Flip one byte in the size table: caught by meta CRC, not by the
+        // downstream payload-sum heuristic.
+        let mut bad = stream.clone();
+        bad[Container::HEADER_LEN] ^= 0x01;
+        assert!(matches!(Container::parse(&bad).unwrap_err(), Error::HeaderCorrupt { .. }));
+
+        // Flip a byte in the chunk-CRC table.
+        let mut bad = stream.clone();
+        bad[Container::HEADER_LEN + 8] ^= 0x80;
+        assert!(matches!(Container::parse(&bad).unwrap_err(), Error::HeaderCorrupt { .. }));
+
+        // Flip a reserved header byte — covered too.
+        let mut bad = stream.clone();
+        bad[7] ^= 0xFF;
+        assert!(matches!(Container::parse(&bad).unwrap_err(), Error::HeaderCorrupt { .. }));
+    }
+
+    #[test]
+    fn payload_flips_are_caught_by_chunk_crcs() {
+        let bodies = vec![vec![5u8; 100], vec![6u8; 90]];
+        let stream = assemble_v2(&cfg(), 1024, 2048, 77, &bodies).unwrap();
+        let (container, offset) = Container::parse(&stream).unwrap();
+        container.verify_chunk_crcs(&stream[offset..]).unwrap();
+
+        let mut bad = stream.clone();
+        bad[offset + 120] ^= 0x10; // inside chunk 1
+        let (container, offset) = Container::parse(&bad).unwrap();
+        let err = container.verify_chunk_crcs(&bad[offset..]).unwrap_err();
+        assert!(matches!(err, Error::Corrupt { chunk: 1, .. }), "{err:?}");
+
+        let checks = container.check_payload(&bad[offset..]);
+        assert!(checks[0].ok());
+        assert!(!checks[1].ok());
+    }
+
+    #[test]
+    fn stream_crc_check() {
+        let input = b"whole stream check".to_vec();
+        let bodies = vec![input.clone()];
+        let stream = assemble_v2(&cfg(), 4096, input.len() as u64, crc32(&input), &bodies).unwrap();
+        let (container, _) = Container::parse(&stream).unwrap();
+        container.verify_stream_crc(&input).unwrap();
+        assert!(matches!(
+            container.verify_stream_crc(b"whole stream chEck").unwrap_err(),
+            Error::StreamCorrupt { .. }
+        ));
+        // v1 containers have nothing to check against.
+        let v1 = v1_container(4096, 0);
+        v1.verify_stream_crc(b"anything").unwrap();
+    }
+
+    #[test]
+    fn absurd_size_claims_are_rejected_before_allocation() {
+        // A tiny payload claiming a huge uncompressed size must die in
+        // parse, not in a caller's with_capacity.
+        let mut c = v1_container(u32::MAX, u64::from(u32::MAX));
+        c.chunk_comp_sizes = vec![4];
+        let bytes: Vec<u8> = c.serialize_header().into_iter().chain([9, 9, 9, 9]).collect();
+        let err = Container::parse(&bytes).unwrap_err();
+        assert!(matches!(err, Error::InvalidContainer { .. }), "{err:?}");
+        assert!(err.to_string().contains("expansion bound"), "{err}");
+    }
+
+    #[test]
+    fn truncated_tables_are_typed_truncated() {
+        let bodies = vec![vec![1u8; 10]];
+        for version in [ContainerVersion::V1, ContainerVersion::V2] {
+            let stream = assemble_with(&cfg(), 4096, 4096, 0, &bodies, version).unwrap();
+            // Cut inside the fixed header and inside the table/trailer.
+            for cut in [10, Container::HEADER_LEN + 2] {
+                assert!(
+                    matches!(
+                        Container::parse(&stream[..cut]).unwrap_err(),
+                        Error::Truncated { .. }
+                    ),
+                    "cut {cut} {version:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_lenient_tolerates_payload_truncation_only() {
+        let bodies = vec![vec![1u8; 100], vec![2u8; 100]];
+        let stream = assemble_v2(&cfg(), 1024, 2048, 0, &bodies).unwrap();
+        let meta_end = stream.len() - 200;
+
+        // Strict parse refuses a truncated payload; lenient accepts and
+        // reports the damage through check_payload.
+        let cut = &stream[..stream.len() - 50];
+        assert!(Container::parse(cut).is_err());
+        let (container, offset) = Container::parse_lenient(cut).unwrap();
+        assert_eq!(offset, meta_end);
+        let checks = container.check_payload(&cut[offset..]);
+        assert!(checks[0].ok());
+        assert!(!checks[1].ok());
+        assert_eq!(checks[1].computed_crc, None);
+
+        // Metadata truncation is still fatal even for lenient parsing.
+        assert!(Container::parse_lenient(&stream[..meta_end - 2]).is_err());
+    }
+
+    #[test]
     fn config_check() {
         let mut c = Container::new(&cfg(), 4096, 0);
         c.check_config(&cfg()).unwrap();
@@ -345,9 +739,13 @@ mod tests {
 
     #[test]
     fn empty_stream_roundtrip() {
-        let stream = assemble(&cfg(), 4096, 0, &[]).unwrap();
-        let (parsed, offset) = Container::parse(&stream).unwrap();
-        assert_eq!(parsed.expected_chunks(), 0);
-        assert_eq!(offset, stream.len());
+        for version in [ContainerVersion::V1, ContainerVersion::V2] {
+            let stream = assemble_with(&cfg(), 4096, 0, crc32(b""), &[], version).unwrap();
+            let (parsed, offset) = Container::parse(&stream).unwrap();
+            assert_eq!(parsed.expected_chunks(), 0);
+            assert_eq!(offset, stream.len());
+            parsed.verify_chunk_crcs(&[]).unwrap();
+            parsed.verify_stream_crc(b"").unwrap();
+        }
     }
 }

@@ -44,6 +44,39 @@ pub enum Error {
         /// Size actually produced.
         actual: usize,
     },
+    /// A chunk body failed its CRC-32 check (container v2).
+    Corrupt {
+        /// Index of the damaged chunk.
+        chunk: usize,
+        /// CRC recorded in the chunk table.
+        expected_crc: u32,
+        /// CRC computed over the received bytes.
+        got_crc: u32,
+    },
+    /// The container metadata (header + tables) failed its CRC-32 check
+    /// (container v2) — nothing after the fixed header can be trusted.
+    HeaderCorrupt {
+        /// CRC recorded in the metadata trailer.
+        expected_crc: u32,
+        /// CRC computed over the received metadata bytes.
+        got_crc: u32,
+    },
+    /// The fully decoded stream failed the whole-stream CRC-32 check
+    /// (container v2) even though every chunk passed — e.g. chunk bodies
+    /// reordered, or a collision slipped past a per-chunk check.
+    StreamCorrupt {
+        /// CRC recorded in the metadata.
+        expected_crc: u32,
+        /// CRC computed over the decoded output.
+        got_crc: u32,
+    },
+    /// The input ended before the declared structure was complete.
+    Truncated {
+        /// Bytes the structure required at minimum.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
     /// An underlying I/O operation failed (only from the [`crate::stream`]
     /// adapters; in-memory codecs never produce this).
     Io {
@@ -68,6 +101,30 @@ impl fmt::Display for Error {
             Error::InvalidContainer { reason } => write!(f, "invalid container: {reason}"),
             Error::SizeMismatch { expected, actual } => {
                 write!(f, "decoded {actual} bytes but the header promised {expected}")
+            }
+            Error::Corrupt { chunk, expected_crc, got_crc } => {
+                write!(
+                    f,
+                    "chunk {chunk} is corrupt: stored CRC {expected_crc:08x}, \
+                     computed {got_crc:08x}"
+                )
+            }
+            Error::HeaderCorrupt { expected_crc, got_crc } => {
+                write!(
+                    f,
+                    "container metadata is corrupt: stored CRC {expected_crc:08x}, \
+                     computed {got_crc:08x}"
+                )
+            }
+            Error::StreamCorrupt { expected_crc, got_crc } => {
+                write!(
+                    f,
+                    "decoded stream failed the whole-stream CRC: stored {expected_crc:08x}, \
+                     computed {got_crc:08x}"
+                )
+            }
+            Error::Truncated { needed, got } => {
+                write!(f, "input truncated: needed at least {needed} bytes, got {got}")
             }
             Error::Io { message } => write!(f, "I/O error: {message}"),
         }
@@ -108,6 +165,21 @@ mod tests {
         let e: Error = io.into();
         assert!(matches!(e, Error::Io { .. }));
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn integrity_messages_carry_both_crcs() {
+        let e = Error::Corrupt { chunk: 3, expected_crc: 0xDEAD_BEEF, got_crc: 0x0BAD_F00D };
+        assert!(e.to_string().contains("deadbeef") && e.to_string().contains("0badf00d"));
+
+        let e = Error::HeaderCorrupt { expected_crc: 1, got_crc: 2 };
+        assert!(e.to_string().contains("metadata"));
+
+        let e = Error::StreamCorrupt { expected_crc: 1, got_crc: 2 };
+        assert!(e.to_string().contains("whole-stream"));
+
+        let e = Error::Truncated { needed: 40, got: 12 };
+        assert!(e.to_string().contains("40") && e.to_string().contains("12"));
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //!   latter implements part of the paper's algorithmic future work).
 //! * [`serial`] — the reference serial compressor/decompressor.
 //! * [`container`] — the chunked container format with the per-chunk
-//!   compressed-size table the paper records for parallel decompression.
+//!   compressed-size table the paper records for parallel decompression;
+//!   container v2 adds per-chunk, whole-stream and metadata CRC-32s.
+//! * [`crc`] — the bzip2-variant CRC-32 shared by the container v2
+//!   integrity layer and the `culzss-bzip2` codec.
 //! * [`stream`] — `std::io` adapters for whole-stream compression.
 //! * [`analyze`] — match statistics used by tests, docs and benches.
 //!
@@ -49,6 +52,7 @@ pub mod analyze;
 pub mod bitio;
 pub mod config;
 pub mod container;
+pub mod crc;
 pub mod error;
 pub mod format;
 pub mod incremental;

@@ -96,8 +96,19 @@ pub fn decompress(bytes: &[u8], config: &LzssConfig) -> Result<Vec<u8>> {
     if bytes[..4] != MAGIC {
         return Err(Error::InvalidContainer { reason: "bad magic in serial stream".into() });
     }
-    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
-    decode_body(&bytes[8..], config, len)
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&bytes[4..8]);
+    let len = u32::from_le_bytes(word) as usize;
+    let body = &bytes[8..];
+    // One body byte can produce at most max_match output bytes, so reject
+    // absurd declared lengths before decode_body allocates for them.
+    if len as u64 > (body.len() as u64).saturating_mul(config.max_match.max(1) as u64) {
+        return Err(Error::Truncated {
+            needed: len.div_ceil(config.max_match.max(1)),
+            got: body.len(),
+        });
+    }
+    decode_body(body, config, len)
 }
 
 /// Decodes a headerless token body directly into bytes (fused decode +
@@ -324,6 +335,16 @@ mod tests {
         for cut in 0..c.len().min(12) {
             assert!(decompress(&c[..cut], &config).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn absurd_declared_length_is_rejected_before_allocation() {
+        let config = LzssConfig::dipperstein();
+        // Header claims 4 GiB-ish output from a 1-byte body.
+        let mut c: Vec<u8> = MAGIC.to_vec();
+        c.extend_from_slice(&u32::MAX.to_le_bytes());
+        c.push(0);
+        assert!(matches!(decompress(&c, &config).unwrap_err(), Error::Truncated { .. }));
     }
 
     #[test]

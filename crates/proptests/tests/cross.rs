@@ -55,10 +55,11 @@ proptest! {
             .chunks(params.chunk_size)
             .map(|c| culzss_lzss::format::encode(&serial::tokenize(c, &config), &config))
             .collect();
-        let reference = culzss_lzss::container::assemble(
+        let reference = culzss_lzss::container::assemble_v2(
             &config,
             params.chunk_size as u32,
             data.len() as u64,
+            culzss_lzss::crc::crc32(&data),
             &bodies,
         )
         .unwrap();
@@ -78,10 +79,11 @@ proptest! {
             .chunks(params.chunk_size)
             .map(|c| culzss_lzss::format::encode(&serial::tokenize(c, &config), &config))
             .collect();
-        let reference = culzss_lzss::container::assemble(
+        let reference = culzss_lzss::container::assemble_v2(
             &config,
             params.chunk_size as u32,
             data.len() as u64,
+            culzss_lzss::crc::crc32(&data),
             &bodies,
         )
         .unwrap();

@@ -19,7 +19,8 @@
 #![warn(missing_docs)]
 
 use culzss_lzss::config::LzssConfig;
-use culzss_lzss::container::{assemble, Container};
+use culzss_lzss::container::{assemble_with, Container, ContainerVersion};
+use culzss_lzss::crc::crc32;
 use culzss_lzss::error::{Error, Result};
 use culzss_lzss::matchfind::FinderKind;
 use culzss_lzss::{format, serial};
@@ -60,6 +61,20 @@ pub fn compress_chunked_with(
     threads: usize,
     finder: FinderKind,
 ) -> Result<Vec<u8>> {
+    compress_chunked_versioned(input, config, chunk_size, threads, finder, Default::default())
+}
+
+/// [`compress_chunked_with`] with an explicit container version — the
+/// full-control entry point. [`ContainerVersion::V1`] emits the
+/// checksum-free legacy layout byte-for-byte.
+pub fn compress_chunked_versioned(
+    input: &[u8],
+    config: &LzssConfig,
+    chunk_size: usize,
+    threads: usize,
+    finder: FinderKind,
+    version: ContainerVersion,
+) -> Result<Vec<u8>> {
     config.validate()?;
     if chunk_size == 0 {
         return Err(Error::InvalidConfig { reason: "chunk_size must be positive".into() });
@@ -87,7 +102,7 @@ pub fn compress_chunked_with(
         })
         .expect("compression worker panicked");
     }
-    assemble(config, chunk_size as u32, input.len() as u64, &bodies)
+    assemble_with(config, chunk_size as u32, input.len() as u64, crc32(input), &bodies, version)
 }
 
 /// Decompresses a container stream, decoding chunks concurrently.
@@ -96,6 +111,7 @@ pub fn decompress(bytes: &[u8], config: &LzssConfig, threads: usize) -> Result<V
     let (container, payload_offset) = Container::parse(bytes)?;
     container.check_config(config)?;
     let payload = &bytes[payload_offset..];
+    container.verify_chunk_crcs(payload)?;
     let layout = container.chunk_layout();
 
     let mut pieces: Vec<Result<Vec<u8>>> = Vec::new();
@@ -125,6 +141,7 @@ pub fn decompress(bytes: &[u8], config: &LzssConfig, threads: usize) -> Result<V
             actual: out.len(),
         });
     }
+    container.verify_stream_crc(&out)?;
     Ok(out)
 }
 
@@ -212,6 +229,32 @@ mod tests {
     }
 
     #[test]
+    fn both_container_versions_roundtrip_and_v2_detects_flips() {
+        let config = LzssConfig::dipperstein();
+        let input = sample();
+        for version in [ContainerVersion::V1, ContainerVersion::V2] {
+            let c = compress_chunked_versioned(
+                &input,
+                &config,
+                2048,
+                4,
+                FinderKind::BruteForce,
+                version,
+            )
+            .unwrap();
+            assert_eq!(decompress(&c, &config, 4).unwrap(), input, "{version:?}");
+        }
+        // Default emission carries CRCs: a payload flip is a typed error.
+        let mut c = compress_chunked(&input, &config, 2048, 4).unwrap();
+        let at = c.len() - 10;
+        c[at] ^= 0x04;
+        assert!(matches!(
+            decompress(&c, &config, 4).unwrap_err(),
+            Error::Corrupt { .. } | Error::HeaderCorrupt { .. }
+        ));
+    }
+
+    #[test]
     fn hash_chain_variant_roundtrips() {
         let config = LzssConfig::dipperstein();
         let input = sample();
@@ -261,7 +304,14 @@ pub fn compress_chunked_dynamic(
     }
     let bodies: Vec<Vec<u8>> =
         slots.into_iter().map(|m| m.into_inner().expect("slot lock")).collect();
-    assemble(config, chunk_size as u32, input.len() as u64, &bodies)
+    assemble_with(
+        config,
+        chunk_size as u32,
+        input.len() as u64,
+        crc32(input),
+        &bodies,
+        Default::default(),
+    )
 }
 
 #[cfg(test)]

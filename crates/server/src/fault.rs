@@ -1,15 +1,28 @@
-//! Deterministic device-failure injection for degradation testing.
+//! Deterministic fault injection for degradation testing: device
+//! failures (launch errors) and payload corruption (bad bytes coming
+//! back from a "device").
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
-/// A deterministic plan for injecting simulated device failures into GPU
-/// job attempts. The workers consult the plan once per GPU attempt; an
-/// injected failure is handled exactly like a real launch failure and
-/// takes the bounded-retry → CPU-fallback path.
+/// A deterministic plan for injecting simulated faults into job
+/// attempts. Two independent fault classes share one plan:
+///
+/// * **Device failures** — the workers consult the plan once per GPU
+///   attempt; an injected failure is handled exactly like a real launch
+///   failure and takes the bounded-retry → CPU-fallback path.
+/// * **Payload corruption** — the workers consult the plan once per
+///   compressed output; an injected corruption damages the bytes the
+///   engine produced (bit flip, tail truncation, or chunk-table
+///   tampering), modelling DMA/ECC faults on the result path. The
+///   verify-on-decompress gate must catch every one.
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     mode: Mode,
     consulted: AtomicU64,
+    corruption: Corruption,
+    corrupt_every: u64,
+    corruption_consulted: AtomicU64,
+    injected: AtomicU64,
 }
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -20,8 +33,21 @@ enum Mode {
     EveryNth(u64),
 }
 
+/// How an injected corruption damages a compressed output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum Corruption {
+    #[default]
+    None,
+    /// XOR one bit at `offset % output.len()`.
+    BitFlip { offset: usize },
+    /// Drop the last `bytes` bytes of the output.
+    TruncateTail { bytes: usize },
+    /// Flip a byte at the start of the container's chunk-size table.
+    TamperTable,
+}
+
 impl FaultPlan {
-    /// Never injects a failure (the default).
+    /// Never injects a fault (the default).
     pub fn none() -> Self {
         Self::default()
     }
@@ -29,13 +55,37 @@ impl FaultPlan {
     /// Fails the first `n` GPU attempts, then behaves normally —
     /// models a device that recovers (or is avoided) after a burst.
     pub fn fail_first(n: u64) -> Self {
-        Self { mode: Mode::FirstN(n), consulted: AtomicU64::new(0) }
+        Self { mode: Mode::FirstN(n), ..Self::default() }
     }
 
     /// Fails every `n`-th GPU attempt (1-based; `n == 0` never fails) —
     /// models a persistently flaky device.
     pub fn every_nth(n: u64) -> Self {
-        Self { mode: Mode::EveryNth(n), consulted: AtomicU64::new(0) }
+        Self { mode: Mode::EveryNth(n), ..Self::default() }
+    }
+
+    /// Flips one bit (at `offset`, wrapped to the output length) in
+    /// every `n`-th compressed output (1-based; `n == 0` never).
+    pub fn corrupt_bit_flip(mut self, every_nth: u64, offset: usize) -> Self {
+        self.corruption = Corruption::BitFlip { offset };
+        self.corrupt_every = every_nth;
+        self
+    }
+
+    /// Truncates `bytes` off the tail of every `n`-th compressed output.
+    pub fn corrupt_truncate_tail(mut self, every_nth: u64, bytes: usize) -> Self {
+        self.corruption = Corruption::TruncateTail { bytes };
+        self.corrupt_every = every_nth;
+        self
+    }
+
+    /// Flips a byte inside the container's chunk-size table in every
+    /// `n`-th compressed output — metadata damage rather than payload
+    /// damage.
+    pub fn corrupt_tamper_table(mut self, every_nth: u64) -> Self {
+        self.corruption = Corruption::TamperTable;
+        self.corrupt_every = every_nth;
+        self
     }
 
     /// Consumes one GPU-attempt slot; `true` means inject a failure.
@@ -48,15 +98,72 @@ impl FaultPlan {
         }
     }
 
+    /// Consumes one compressed-output slot and, when the cadence hits,
+    /// damages `output` in place. Returns `true` iff bytes actually
+    /// changed (counted by
+    /// [`injected_corruptions`](Self::injected_corruptions)).
+    pub(crate) fn corrupt_payload(&self, output: &mut Vec<u8>) -> bool {
+        let i = self.corruption_consulted.fetch_add(1, Relaxed);
+        if self.corrupt_every == 0 || !(i + 1).is_multiple_of(self.corrupt_every) {
+            return false;
+        }
+        let damaged = match self.corruption {
+            Corruption::None => false,
+            Corruption::BitFlip { offset } => {
+                if output.is_empty() {
+                    false
+                } else {
+                    let at = offset % output.len();
+                    output[at] ^= 0x10;
+                    true
+                }
+            }
+            Corruption::TruncateTail { bytes } => {
+                let cut = bytes.min(output.len());
+                output.truncate(output.len() - cut);
+                cut > 0
+            }
+            Corruption::TamperTable => {
+                // First byte of the comp-size table, right after the
+                // fixed container header.
+                let at = culzss_lzss::container::Container::HEADER_LEN;
+                if output.len() > at {
+                    output[at] ^= 0x01;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if damaged {
+            self.injected.fetch_add(1, Relaxed);
+        }
+        damaged
+    }
+
     /// GPU attempts consulted so far.
     pub fn consulted(&self) -> u64 {
         self.consulted.load(Relaxed)
+    }
+
+    /// Corruptions actually injected so far (bytes really changed) —
+    /// the number the service's `integrity_failures` counter must
+    /// reconcile against when verification is on.
+    pub fn injected_corruptions(&self) -> u64 {
+        self.injected.load(Relaxed)
     }
 }
 
 impl Clone for FaultPlan {
     fn clone(&self) -> Self {
-        Self { mode: self.mode, consulted: AtomicU64::new(self.consulted()) }
+        Self {
+            mode: self.mode,
+            consulted: AtomicU64::new(self.consulted()),
+            corruption: self.corruption,
+            corrupt_every: self.corrupt_every,
+            corruption_consulted: AtomicU64::new(self.corruption_consulted.load(Relaxed)),
+            injected: AtomicU64::new(self.injected_corruptions()),
+        }
     }
 }
 
@@ -69,6 +176,10 @@ mod tests {
         let plan = FaultPlan::none();
         assert!((0..100).all(|_| !plan.should_fail()));
         assert_eq!(plan.consulted(), 100);
+        let mut out = vec![1u8; 64];
+        assert!(!plan.corrupt_payload(&mut out));
+        assert_eq!(out, vec![1u8; 64]);
+        assert_eq!(plan.injected_corruptions(), 0);
     }
 
     #[test]
@@ -84,5 +195,53 @@ mod tests {
         let fails: Vec<bool> = (0..7).map(|_| plan.should_fail()).collect();
         assert_eq!(fails, [false, false, true, false, false, true, false]);
         assert!((0..10).all(|_| !FaultPlan::every_nth(0).should_fail()));
+    }
+
+    #[test]
+    fn bit_flip_hits_on_cadence_and_is_deterministic() {
+        let plan = FaultPlan::none().corrupt_bit_flip(2, 5);
+        let clean = vec![0u8; 16];
+        let mut a = clean.clone();
+        assert!(!plan.corrupt_payload(&mut a)); // 1st: clean
+        assert_eq!(a, clean);
+        assert!(plan.corrupt_payload(&mut a)); // 2nd: flipped
+        assert_eq!(a[5], 0x10);
+        assert_eq!(plan.injected_corruptions(), 1);
+    }
+
+    #[test]
+    fn truncate_and_tamper_damage_as_described() {
+        let plan = FaultPlan::none().corrupt_truncate_tail(1, 4);
+        let mut out = vec![7u8; 10];
+        assert!(plan.corrupt_payload(&mut out));
+        assert_eq!(out.len(), 6);
+
+        let plan = FaultPlan::none().corrupt_tamper_table(1);
+        let at = culzss_lzss::container::Container::HEADER_LEN;
+        let mut out = vec![0u8; at + 8];
+        assert!(plan.corrupt_payload(&mut out));
+        assert_eq!(out[at], 0x01);
+        // Too short to hold a table: nothing to damage, not counted.
+        let mut tiny = vec![0u8; 4];
+        assert!(!plan.corrupt_payload(&mut tiny));
+        assert_eq!(plan.injected_corruptions(), 1);
+    }
+
+    #[test]
+    fn empty_output_cannot_be_bit_flipped() {
+        let plan = FaultPlan::none().corrupt_bit_flip(1, 0);
+        let mut out = Vec::new();
+        assert!(!plan.corrupt_payload(&mut out));
+        assert_eq!(plan.injected_corruptions(), 0);
+    }
+
+    #[test]
+    fn clone_preserves_corruption_state() {
+        let plan = FaultPlan::none().corrupt_bit_flip(2, 0);
+        let mut out = vec![0u8; 8];
+        plan.corrupt_payload(&mut out); // consult #1
+        let cloned = plan.clone();
+        let mut out2 = vec![0u8; 8];
+        assert!(cloned.corrupt_payload(&mut out2)); // consult #2 hits
     }
 }

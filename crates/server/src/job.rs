@@ -180,6 +180,15 @@ pub enum JobError {
         /// The codec error message.
         error: String,
     },
+    /// Every attempt produced output that failed the post-compress
+    /// integrity check (the stream did not decode back to the input).
+    /// The corrupted bytes were discarded — they are never returned.
+    Quarantined {
+        /// Attempts made (initial + retries), all failing verification.
+        attempts: u32,
+        /// What the verifier observed on the last attempt.
+        detail: String,
+    },
     /// The service stopped before resolving the job.
     ServiceStopped,
 }
@@ -194,6 +203,9 @@ impl fmt::Display for JobError {
                 write!(f, "device failed after {attempts} attempt(s): {error}")
             }
             JobError::Codec { error } => write!(f, "codec error: {error}"),
+            JobError::Quarantined { attempts, detail } => {
+                write!(f, "output quarantined after {attempts} attempt(s): {detail}")
+            }
             JobError::ServiceStopped => write!(f, "service stopped"),
         }
     }

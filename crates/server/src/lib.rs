@@ -19,6 +19,14 @@
 //! - **Graceful degradation** — simulated device failures (injected via
 //!   [`FaultPlan`] or real launch errors) consume a bounded retry budget
 //!   and reroute onto the wire-compatible CPU path (`culzss::hetero`).
+//! - **End-to-end integrity** — every compressed output is proven by a
+//!   host decompress-and-compare before its ticket resolves
+//!   ([`ServerConfig::verify_outputs`]); [`FaultPlan`] can inject
+//!   payload corruption (bit flips, tail truncation, chunk-table
+//!   tampering) between compression and verification. Detected
+//!   corruption consumes the retry budget and then quarantines the job
+//!   ([`JobError::Quarantined`]) — corrupted bytes are never returned —
+//!   with global and per-tenant `integrity_failures` counters.
 //! - **Lifecycle** — per-job deadlines, and a [`Service::shutdown`]
 //!   that drains every admitted job before the workers exit, leaving a
 //!   [`ServiceStats`] snapshot whose counters reconcile.

@@ -46,8 +46,15 @@ pub struct ServerConfig {
     pub max_retries: u32,
     /// Deadline applied to jobs that do not carry their own.
     pub default_deadline: Option<Duration>,
-    /// Deterministic device-failure injection (degradation testing).
+    /// Deterministic fault injection — device failures and payload
+    /// corruption (degradation testing).
     pub fault: FaultPlan,
+    /// Verify every compressed output by decompressing it on the host
+    /// and comparing with the input before resolving the ticket. A
+    /// failed check consumes the retry budget; exhausting it resolves
+    /// the job as [`crate::JobError::Quarantined`] rather than ever
+    /// returning corrupted bytes. On by default.
+    pub verify_outputs: bool,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +72,7 @@ impl Default for ServerConfig {
             max_retries: 1,
             default_deadline: None,
             fault: FaultPlan::none(),
+            verify_outputs: true,
         }
     }
 }
@@ -77,6 +85,7 @@ pub(crate) struct Shared {
     pub params: CulzssParams,
     pub cpu_threads: usize,
     pub max_retries: u32,
+    pub verify_outputs: bool,
     pub batch_jobs: usize,
     pub batch_bytes: usize,
     batch_seq: AtomicU64,
@@ -113,6 +122,7 @@ impl Service {
             params: config.params.clone(),
             cpu_threads: config.cpu_threads.max(1),
             max_retries: config.max_retries,
+            verify_outputs: config.verify_outputs,
             batch_jobs: config.batch_jobs.max(1),
             batch_bytes: config.batch_bytes.max(1),
             batch_seq: AtomicU64::new(0),

@@ -1,6 +1,6 @@
 //! Service counters, histograms, and the reconcilable stats snapshot.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
@@ -105,6 +105,9 @@ pub(crate) struct StatsCollector {
     retried: AtomicU64,
     deadline_missed: AtomicU64,
     device_failures: AtomicU64,
+    integrity_failures: AtomicU64,
+    quarantined: AtomicU64,
+    tenant_integrity: Mutex<BTreeMap<String, u64>>,
     gpu_jobs: AtomicU64,
     cpu_jobs: AtomicU64,
     cpu_fallback_completions: AtomicU64,
@@ -132,6 +135,9 @@ impl StatsCollector {
             retried: AtomicU64::new(0),
             deadline_missed: AtomicU64::new(0),
             device_failures: AtomicU64::new(0),
+            integrity_failures: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            tenant_integrity: Mutex::new(BTreeMap::new()),
             gpu_jobs: AtomicU64::new(0),
             cpu_jobs: AtomicU64::new(0),
             cpu_fallback_completions: AtomicU64::new(0),
@@ -192,9 +198,22 @@ impl StatsCollector {
 
     pub fn on_failed(&self, error: &JobError) {
         self.failed.fetch_add(1, Relaxed);
-        if matches!(error, JobError::DeadlineMissed { .. }) {
-            self.deadline_missed.fetch_add(1, Relaxed);
+        match error {
+            JobError::DeadlineMissed { .. } => {
+                self.deadline_missed.fetch_add(1, Relaxed);
+            }
+            JobError::Quarantined { .. } => {
+                self.quarantined.fetch_add(1, Relaxed);
+            }
+            _ => {}
         }
+    }
+
+    /// One compress attempt produced output that failed verification
+    /// (injected or real corruption), accounted to `tenant`.
+    pub fn on_integrity_failure(&self, tenant: &str) {
+        self.integrity_failures.fetch_add(1, Relaxed);
+        *self.tenant_integrity.lock().entry(tenant.to_string()).or_insert(0) += 1;
     }
 
     pub fn on_retried(&self) {
@@ -240,6 +259,9 @@ impl StatsCollector {
             retried: self.retried.load(Relaxed),
             deadline_missed: self.deadline_missed.load(Relaxed),
             device_failures: self.device_failures.load(Relaxed),
+            integrity_failures: self.integrity_failures.load(Relaxed),
+            quarantined: self.quarantined.load(Relaxed),
+            tenant_integrity_failures: self.tenant_integrity.lock().clone(),
             gpu_jobs: self.gpu_jobs.load(Relaxed),
             cpu_jobs: self.cpu_jobs.load(Relaxed),
             cpu_fallback_completions: self.cpu_fallback_completions.load(Relaxed),
@@ -285,6 +307,16 @@ pub struct ServiceStats {
     pub deadline_missed: u64,
     /// Device failures observed (injected or real launch errors).
     pub device_failures: u64,
+    /// Compress attempts whose output failed the verify-on-decompress
+    /// gate (injected or real corruption). Each failed attempt counts
+    /// once, so at quiescence under an injection plan this equals the
+    /// plan's `injected_corruptions()`.
+    pub integrity_failures: u64,
+    /// Jobs that exhausted their retry budget with every attempt
+    /// failing verification (⊆ `failed`); their bytes were discarded.
+    pub quarantined: u64,
+    /// Per-tenant breakdown of `integrity_failures`.
+    pub tenant_integrity_failures: BTreeMap<String, u64>,
     /// Completions served by a simulated GPU device.
     pub gpu_jobs: u64,
     /// Completions served by the host CPU path.
@@ -375,6 +407,11 @@ impl fmt::Display for ServiceStats {
             self.batching_speedup(),
         )?;
         writeln!(f, "bytes: in {}  out {}", self.bytes_in, self.bytes_out)?;
+        writeln!(
+            f,
+            "integrity: {} failed verification, {} job(s) quarantined",
+            self.integrity_failures, self.quarantined,
+        )?;
         writeln!(
             f,
             "sanitizer: {} probe launch(es), {} conflict(s), {} divergent block(s) — {}",

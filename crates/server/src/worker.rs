@@ -109,7 +109,7 @@ fn run_job(
             match result {
                 Ok(output) => {
                     timeline.push_stages(StageTimes { cpu: service_seconds, ..Default::default() });
-                    resolve_ok(
+                    deliver(
                         shared,
                         job,
                         output,
@@ -117,11 +117,13 @@ fn run_job(
                         batch_id,
                         queued_seconds,
                         service_seconds,
-                    );
+                    )
                 }
-                Err(e) => resolve_err(shared, job, JobError::Codec { error: e.to_string() }),
+                Err(e) => {
+                    resolve_err(shared, job, JobError::Codec { error: e.to_string() });
+                    None
+                }
             }
-            None
         }
         None => {
             let WorkerEngine::Gpu { culzss, device } = engine else {
@@ -140,7 +142,7 @@ fn run_job(
             match result {
                 Ok((output, stats)) => {
                     timeline.push(&stats);
-                    resolve_ok(
+                    deliver(
                         shared,
                         job,
                         output,
@@ -148,8 +150,7 @@ fn run_job(
                         batch_id,
                         queued_seconds,
                         service_seconds,
-                    );
-                    None
+                    )
                 }
                 // Codec errors (corrupt container, …) are the payload's
                 // fault; retrying on another engine cannot help.
@@ -176,6 +177,57 @@ fn run_job(
                 }
             }
         }
+    }
+}
+
+/// Post-compress integrity gate, then resolution. Compressed outputs
+/// pass through the fault plan's corruption hook and (when enabled) a
+/// decompress-and-compare proof before the ticket resolves, so
+/// corrupted bytes are discarded — never returned. A failed proof
+/// consumes the retry budget like a device failure (`Some(job)` means
+/// "requeue onto the CPU lane"); exhausting it quarantines the job.
+/// Decompressed outputs are already proven by the container's checksums
+/// during decode and skip the gate.
+fn deliver(
+    shared: &Shared,
+    mut job: Job,
+    mut output: Vec<u8>,
+    engine: EngineKind,
+    batch_id: u64,
+    queued_seconds: f64,
+    service_seconds: f64,
+) -> Option<Job> {
+    if job.kind == crate::job::JobKind::Compress {
+        shared.fault.corrupt_payload(&mut output);
+        if shared.verify_outputs {
+            if let Err(detail) = roundtrip_check(shared, &job.payload, &output) {
+                shared.stats.on_integrity_failure(&job.tenant);
+                if job.attempts < shared.max_retries {
+                    job.attempts += 1;
+                    job.force_cpu = true;
+                    shared.stats.on_retried();
+                    return Some(job);
+                }
+                let attempts = job.attempts + 1;
+                resolve_err(shared, job, JobError::Quarantined { attempts, detail });
+                return None;
+            }
+        }
+    }
+    resolve_ok(shared, job, output, engine, batch_id, queued_seconds, service_seconds);
+    None
+}
+
+/// Proves `output` decodes back to `input` on the host.
+fn roundtrip_check(shared: &Shared, input: &[u8], output: &[u8]) -> Result<(), String> {
+    match hetero::cpu_decompress(output, shared.cpu_threads) {
+        Ok(back) if back == input => Ok(()),
+        Ok(back) => Err(format!(
+            "round-trip mismatch: decoded {} byte(s), expected {}",
+            back.len(),
+            input.len()
+        )),
+        Err(e) => Err(e.to_string()),
     }
 }
 

@@ -244,6 +244,112 @@ fn exhausted_retry_budget_fails_with_device_error() {
 }
 
 #[test]
+fn corrupted_outputs_are_quarantined_never_returned() {
+    // Every compressed output is damaged, in all three corruption
+    // shapes. Verification must detect 100% of the injections, the
+    // retry budget must be consumed, and every ticket must resolve as
+    // Quarantined — no caller ever sees bytes that fail to round-trip.
+    let plans = [
+        FaultPlan::none().corrupt_bit_flip(1, 1_000),
+        FaultPlan::none().corrupt_truncate_tail(1, 5),
+        FaultPlan::none().corrupt_tamper_table(1),
+    ];
+    for fault in plans {
+        let config = ServerConfig {
+            devices: vec![culzss_gpusim::DeviceSpec::gtx480()],
+            cpu_workers: 0,
+            fault,
+            max_retries: 1,
+            ..quick_config()
+        };
+        let service = Service::start(config);
+        let tickets: Vec<_> = (0..4)
+            .map(|i| {
+                let input = Dataset::ALL[i % Dataset::ALL.len()].generate(16 * 1024, i as u64);
+                service.submit(JobSpec::compress(format!("t{}", i % 2), input)).unwrap()
+            })
+            .collect();
+        for ticket in tickets {
+            match ticket.wait() {
+                Err(JobError::Quarantined { attempts: 2, .. }) => {}
+                other => panic!("expected Quarantined after 2 attempts, got {other:?}"),
+            }
+        }
+        let stats = service.shutdown();
+        // 4 jobs × 2 attempts, every output corrupted and every
+        // corruption detected.
+        assert_eq!(stats.integrity_failures, 8, "{stats:?}");
+        assert_eq!(stats.quarantined, 4);
+        assert_eq!(stats.failed, 4);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.retried, 4);
+        assert_eq!(stats.tenant_integrity_failures.get("t0"), Some(&4));
+        assert_eq!(stats.tenant_integrity_failures.get("t1"), Some(&4));
+        assert!(stats.reconciles(), "{stats:?}");
+        assert!(stats.to_string().contains("quarantined"), "{stats}");
+    }
+}
+
+#[test]
+fn intermittent_corruption_retries_and_still_serves_good_bytes() {
+    // Every second output is corrupted: the retry of each detected
+    // corruption lands on a clean cadence slot, so the service keeps
+    // serving correct bytes and nothing is quarantined.
+    let config = ServerConfig {
+        devices: vec![culzss_gpusim::DeviceSpec::gtx480()],
+        cpu_workers: 0,
+        fault: FaultPlan::none().corrupt_truncate_tail(2, 7),
+        max_retries: 1,
+        ..quick_config()
+    };
+    let service = Service::start(config);
+    // Submit one at a time so the attempt order (and thus the cadence)
+    // is deterministic.
+    let mut corrupted_first_attempts = 0;
+    for i in 0..6u64 {
+        let input = Dataset::ALL[(i as usize) % Dataset::ALL.len()].generate(12 * 1024, i);
+        let outcome = service
+            .submit(JobSpec::compress("t", input.clone()))
+            .unwrap()
+            .wait()
+            .expect("retry must recover from intermittent corruption");
+        assert_eq!(hetero::cpu_decompress(&outcome.output, 1).unwrap(), input);
+        if outcome.retries == 1 {
+            corrupted_first_attempts += 1;
+        }
+    }
+    // Attempt sequence: job 0 is clean (slot 1); every later job is
+    // corrupted once (even slot) and retried onto a clean odd slot.
+    assert_eq!(corrupted_first_attempts, 5);
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.integrity_failures, 5);
+    assert_eq!(stats.quarantined, 0);
+    assert_eq!(stats.retried, 5);
+    assert!(stats.reconciles(), "{stats:?}");
+}
+
+#[test]
+fn corrupt_decompress_input_fails_typed_without_verification() {
+    // A tenant submitting a damaged container gets a typed Codec error
+    // straight from the decoder's checksum verification — the gate is
+    // for outputs; inputs are covered by the container itself.
+    let service = Service::start(quick_config());
+    let plain = Dataset::CFiles.generate(24 * 1024, 3);
+    let mut stream = hetero::cpu_compress(&plain, service.params(), 1).unwrap();
+    let at = stream.len() - 9;
+    stream[at] ^= 0x08;
+    match service.submit(JobSpec::decompress("t", stream)).unwrap().wait() {
+        Err(JobError::Codec { .. }) => {}
+        other => panic!("expected Codec error, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, 1);
+    assert!(stats.reconciles(), "{stats:?}");
+}
+
+#[test]
 fn expired_deadline_is_a_typed_failure() {
     let service = Service::start(quick_config());
     let spec = JobSpec::compress("t", vec![1u8; 8192]).with_deadline(Duration::ZERO);

@@ -99,10 +99,11 @@ fn v1_output_equals_per_chunk_serial_compression() {
         .chunks(params.chunk_size)
         .map(|chunk| culzss_lzss::format::encode(&serial::tokenize(chunk, &config), &config))
         .collect();
-    let reference = culzss_lzss::container::assemble(
+    let reference = culzss_lzss::container::assemble_v2(
         &config,
         params.chunk_size as u32,
         data.len() as u64,
+        culzss_lzss::crc::crc32(&data),
         &bodies,
     )
     .unwrap();
@@ -153,10 +154,11 @@ fn multi_gpu_extension_compresses_consistently() {
             culzss_lzss::format::encode(&tokens, &config)
         })
         .collect();
-    let multi_stream = culzss_lzss::container::assemble(
+    let multi_stream = culzss_lzss::container::assemble_v2(
         &config,
         params.chunk_size as u32,
         data.len() as u64,
+        culzss_lzss::crc::crc32(&data),
         &bodies,
     )
     .unwrap();

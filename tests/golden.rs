@@ -11,15 +11,24 @@
 //!   byte for byte (the wire format — header layout, token packing,
 //!   size tables — has not drifted).
 //!
+//! Container engines are pinned twice: `<engine>.bin` holds the legacy
+//! v1 (checksum-free) container, emitted through the explicit
+//! [`ContainerVersion::V1`] knob, and `<engine>.c2.bin` holds the
+//! checksummed container v2 stream the same engine emits by default.
+//! Both generations must keep decoding, and both emitters must stay
+//! byte-exact.
+//!
 //! An intentional format change must regenerate the fixtures — run
 //! `cargo test --test golden -- --ignored regenerate` — and call out the
 //! compatibility break in the change description.
 
 use std::path::PathBuf;
 
-use culzss::{Culzss, Version};
+use culzss::{Culzss, CulzssParams, Version};
 use culzss_datasets::Dataset;
+use culzss_gpusim::DeviceSpec;
 use culzss_lzss::config::LzssConfig;
+use culzss_lzss::container::ContainerVersion;
 use culzss_lzss::serial;
 
 const INPUT_BYTES: usize = 8192;
@@ -40,29 +49,73 @@ fn read_fixture(engine: &str) -> Vec<u8> {
     })
 }
 
+/// A [`Culzss`] engine pinned to an explicit container version.
+fn culzss_versioned(version: Version, container: ContainerVersion) -> Culzss {
+    let mut params = CulzssParams::for_version(version);
+    params.container_version = container;
+    Culzss::with_device(DeviceSpec::gtx480(), params).with_workers(2)
+}
+
+/// The pthread wrapper's default chunking, with an explicit container
+/// version.
+fn pthread_versioned(input: &[u8], container: ContainerVersion) -> Vec<u8> {
+    let chunk_size = input.len().div_ceil(3).max(1);
+    culzss_pthread::compress_chunked_versioned(
+        input,
+        &LzssConfig::dipperstein(),
+        chunk_size,
+        3,
+        culzss_lzss::matchfind::FinderKind::BruteForce,
+        container,
+    )
+    .unwrap()
+}
+
 /// `(engine name, encode, decode)` for every wire format in the repo.
+/// `<engine>.c2` variants emit the checksummed container v2 through the
+/// same codec defaults tenants get.
 #[allow(clippy::type_complexity)]
 fn engines() -> Vec<(&'static str, Box<dyn Fn(&[u8]) -> Vec<u8>>, Box<dyn Fn(&[u8]) -> Vec<u8>>)> {
     let config = LzssConfig::dipperstein();
     let decode_config = config.clone();
+    let culzss_decode = |version: Version| {
+        Box::new(move |bytes: &[u8]| {
+            Culzss::new(version).with_workers(2).decompress(bytes).unwrap().0
+        }) as Box<dyn Fn(&[u8]) -> Vec<u8>>
+    };
+    let pthread_decode = || {
+        Box::new(|bytes: &[u8]| {
+            culzss_pthread::decompress(bytes, &LzssConfig::dipperstein(), 3).unwrap()
+        }) as Box<dyn Fn(&[u8]) -> Vec<u8>>
+    };
     vec![
         (
             "v1",
             Box::new(|input: &[u8]| {
+                culzss_versioned(Version::V1, ContainerVersion::V1).compress(input).unwrap().0
+            }) as Box<dyn Fn(&[u8]) -> Vec<u8>>,
+            culzss_decode(Version::V1),
+        ),
+        (
+            "v1.c2",
+            Box::new(|input: &[u8]| {
                 Culzss::new(Version::V1).with_workers(2).compress(input).unwrap().0
-            }) as Box<dyn Fn(&[u8]) -> Vec<u8>>,
-            Box::new(|bytes: &[u8]| {
-                Culzss::new(Version::V1).with_workers(2).decompress(bytes).unwrap().0
-            }) as Box<dyn Fn(&[u8]) -> Vec<u8>>,
+            }),
+            culzss_decode(Version::V1),
         ),
         (
             "v2",
             Box::new(|input: &[u8]| {
+                culzss_versioned(Version::V2, ContainerVersion::V1).compress(input).unwrap().0
+            }),
+            culzss_decode(Version::V2),
+        ),
+        (
+            "v2.c2",
+            Box::new(|input: &[u8]| {
                 Culzss::new(Version::V2).with_workers(2).compress(input).unwrap().0
             }),
-            Box::new(|bytes: &[u8]| {
-                Culzss::new(Version::V2).with_workers(2).decompress(bytes).unwrap().0
-            }),
+            culzss_decode(Version::V2),
         ),
         (
             "lzss",
@@ -71,12 +124,15 @@ fn engines() -> Vec<(&'static str, Box<dyn Fn(&[u8]) -> Vec<u8>>, Box<dyn Fn(&[u
         ),
         (
             "pthread",
+            Box::new(|input: &[u8]| pthread_versioned(input, ContainerVersion::V1)),
+            pthread_decode(),
+        ),
+        (
+            "pthread.c2",
             Box::new(|input: &[u8]| {
                 culzss_pthread::compress(input, &LzssConfig::dipperstein(), 3).unwrap()
             }),
-            Box::new(|bytes: &[u8]| {
-                culzss_pthread::decompress(bytes, &LzssConfig::dipperstein(), 3).unwrap()
-            }),
+            pthread_decode(),
         ),
         (
             "bzip2",
