@@ -1,0 +1,226 @@
+//! `bench` — machine-readable benchmark runs and the perf-regression gate.
+//!
+//! ```text
+//! # full run, report to BENCH_<timestamp>.json
+//! cargo run --release -p culzss-bench --bin bench
+//!
+//! # CI gate: smoke-sized run, compared against the checked-in baseline
+//! cargo run --release -p culzss-bench --bin bench -- --smoke --check \
+//!     --baseline BENCH_BASELINE.json
+//!
+//! # regenerate the baseline itself
+//! cargo run --release -p culzss-bench --bin bench -- --smoke \
+//!     --out BENCH_BASELINE.json
+//! ```
+//!
+//! Exit codes: 0 = ok, 1 = regression gate failed, 2 = usage/parse error.
+//!
+//! The report schema and tolerance policy are documented in
+//! `culzss_bench::report` and DESIGN.md §12.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use culzss_bench::report::{Report, Tolerances};
+use culzss_bench::suite::{run_checked, run_suite, AllocProbe, SuiteCfg};
+
+/// `System` allocator wrapper that counts every allocation. The bench
+/// *library* is `forbid(unsafe_code)`; the counting hooks live here in
+/// the binary and reach the library through the [`AllocProbe`] seam.
+struct CountingAlloc;
+
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        ALLOC_COUNT.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(new_size.saturating_sub(layout.size()) as u64, Relaxed);
+        ALLOC_COUNT.fetch_add(1, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const PROBE: AllocProbe = || (ALLOC_BYTES.load(Relaxed), ALLOC_COUNT.load(Relaxed));
+
+const USAGE: &str = "\
+usage: bench [--smoke] [--size-mb N] [--reps N] [--seed N] [--out PATH]
+             [--check --baseline PATH]
+
+  --smoke          CI sizing (256 KiB per corpus, 2 reps)
+  --size-mb N      corpus size in MiB (full runs; default 4 or $CULZSS_BENCH_MB)
+  --reps N         repetitions per cell, minimum kept
+  --seed N         corpus generator seed
+  --out PATH       report path (default BENCH_<timestamp>.json)
+  --baseline PATH  baseline report for --check
+  --check          gate this run against --baseline; exit 1 on regression";
+
+struct Args {
+    cfg: SuiteCfg,
+    out: Option<String>,
+    baseline: Option<String>,
+    check: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut smoke = false;
+    let mut size_mb = None;
+    let mut reps = None;
+    let mut seed = None;
+    let mut out = None;
+    let mut baseline = None;
+    let mut check = false;
+
+    fn value<'a>(argv: &'a [String], i: &mut usize, what: &str) -> Result<&'a str, String> {
+        *i += 1;
+        argv.get(*i).map(String::as_str).ok_or_else(|| format!("{what} needs a value"))
+    }
+
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = true,
+            "--size-mb" => {
+                size_mb = Some(
+                    value(argv, &mut i, "--size-mb")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--size-mb: {e}"))?,
+                )
+            }
+            "--reps" => {
+                reps = Some(
+                    value(argv, &mut i, "--reps")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--reps: {e}"))?,
+                )
+            }
+            "--seed" => {
+                seed = Some(
+                    value(argv, &mut i, "--seed")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--out" => out = Some(value(argv, &mut i, "--out")?.to_string()),
+            "--baseline" => baseline = Some(value(argv, &mut i, "--baseline")?.to_string()),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let mut cfg = if smoke { SuiteCfg::smoke() } else { SuiteCfg::full() };
+    if let Some(mb) = size_mb {
+        cfg.bytes = mb.max(1) << 20;
+        cfg.smoke = false;
+    }
+    if let Some(r) = reps {
+        cfg.reps = r.max(1);
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if check && baseline.is_none() {
+        return Err("--check needs --baseline PATH".into());
+    }
+    Ok(Args { cfg, out, baseline, check })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("bench: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let self_cmd = format!(
+        "cargo run --release -p culzss-bench --bin bench --{}{}",
+        if argv.is_empty() { "" } else { " " },
+        argv.join(" ")
+    );
+    let commands = vec![self_cmd];
+
+    let cfg = args.cfg;
+    eprintln!(
+        "bench: {} KiB per corpus, {} rep(s), seed {:#x}{}",
+        cfg.bytes / 1024,
+        cfg.reps,
+        cfg.seed,
+        if cfg.smoke { " (smoke)" } else { "" }
+    );
+
+    // Load the baseline up front so a bad path fails before the run.
+    let baseline = match &args.baseline {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Report::from_json(&text))
+        {
+            Ok(baseline) => Some(baseline),
+            Err(e) => {
+                eprintln!("bench: cannot load baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let tolerances = Tolerances::default();
+    let (report, failures) = match (&baseline, args.check) {
+        (Some(baseline), true) => run_checked(&cfg, PROBE, commands, baseline, &tolerances),
+        _ => (run_suite(&cfg, PROBE, commands), Vec::new()),
+    };
+
+    let out_path = args.out.unwrap_or_else(|| {
+        let stamp = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+        format!("BENCH_{stamp}.json")
+    });
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("bench: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("bench: wrote {out_path} ({} cells)", report.cells.len());
+
+    if !args.check {
+        return ExitCode::SUCCESS;
+    }
+    let baseline_path = args.baseline.expect("checked in parse_args");
+    let baseline = baseline.expect("loaded above when --check is set");
+    if failures.is_empty() {
+        eprintln!(
+            "bench: gate PASS against {baseline_path} ({} baseline cells, \
+             throughput −{:.0} %, ratio ±{}, cycles +{:.0} %)",
+            baseline.cells.len(),
+            tolerances.throughput_drop_frac * 100.0,
+            tolerances.ratio_abs,
+            tolerances.cycles_rise_frac * 100.0,
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench: gate FAIL against {baseline_path} (after one retry pass):");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        ExitCode::from(1)
+    }
+}

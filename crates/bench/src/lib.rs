@@ -21,6 +21,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+pub mod suite;
+
 use std::time::Instant;
 
 use culzss::{Culzss, Version};

@@ -1,0 +1,342 @@
+//! The engine × corpus measurement suite behind the `bench` binary.
+//!
+//! Seven engines run over the paper's five corpora
+//! ([`culzss_datasets::Dataset::ALL`]):
+//!
+//! | engine        | what it measures                                         |
+//! |---------------|----------------------------------------------------------|
+//! | `serial`      | serial LZSS, brute-force finder (the calibration cell)   |
+//! | `serial-hash` | serial LZSS, hash-chain finder (byte-identical output)   |
+//! | `pthread`     | the Pthread baseline, fixed 8-way chunking               |
+//! | `culzss-v1`   | CULZSS V1 on the simulated GPU (+ cost-model counters)   |
+//! | `culzss-v2`   | CULZSS V2, CPU selection pass (+ cost-model counters)    |
+//! | `bzip2`       | the bzip2-style baseline (SA-IS block sorter)            |
+//! | `server`      | culzss-server end-to-end: submit → compress → verify     |
+//!
+//! Wall times are best-of-reps host wall clock — *not* the scaled-to-128 MB
+//! paper methodology of the crate root; the JSON report exists to compare a
+//! run against a baseline from the same methodology, so no scaling is
+//! wanted. The GPU engines additionally export the deterministic
+//! cost-model counters, which are immune to host noise.
+//!
+//! Heap traffic is counted through an [`AllocProbe`] the *binary* installs
+//! (this library is `forbid(unsafe_code)`, so the counting `GlobalAlloc`
+//! cannot live here); [`NO_PROBE`] keeps every count at zero.
+
+use std::collections::BTreeMap;
+
+use culzss::{Culzss, Version};
+use culzss_datasets::Dataset;
+use culzss_lzss::matchfind::FinderKind;
+use culzss_lzss::LzssConfig;
+use culzss_server::{JobSpec, ServerConfig, Service};
+
+use crate::report::{compare, merge_best, Cell, Regression, Report, Tolerances, SCHEMA_VERSION};
+
+/// Engine ids in suite order. The first entry is the calibration cell of
+/// the regression gate ([`crate::report::REFERENCE_ENGINE`]).
+pub const ENGINES: [&str; 7] =
+    ["serial", "serial-hash", "pthread", "culzss-v1", "culzss-v2", "bzip2", "server"];
+
+/// Chunk count of the measured Pthread baseline (the paper's i7 920
+/// exposes 8 hardware threads). The input is always cut into this many
+/// chunks — so the compressed container is host-independent — but the
+/// *thread* count is capped at the host's parallelism: oversubscribing
+/// a 2-core CI runner 4× just adds scheduler noise to the wall time.
+pub const PTHREAD_CHUNKS: usize = 8;
+
+fn pthread_workers() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1).min(PTHREAD_CHUNKS)
+}
+
+/// Returns cumulative heap traffic since process start as
+/// `(bytes_allocated, allocation_count)`. The `bench` binary wires this
+/// to its counting global allocator.
+pub type AllocProbe = fn() -> (u64, u64);
+
+/// Probe used when no counting allocator is installed; all allocation
+/// columns read zero.
+pub const NO_PROBE: AllocProbe = || (0, 0);
+
+/// Suite sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteCfg {
+    /// Bytes per generated corpus.
+    pub bytes: usize,
+    /// Corpus generator seed.
+    pub seed: u64,
+    /// Repetitions per cell; the minimum wall time is kept.
+    pub reps: usize,
+    /// Marks the report as smoke-sized.
+    pub smoke: bool,
+}
+
+impl SuiteCfg {
+    /// CI-sized run: 256 KiB per corpus, min-of-2 reps (cheap cells are
+    /// adaptively extended to [`MIN_MEASURE_SECONDS`]). Small enough for
+    /// a gate job, large enough that every engine does real work.
+    pub fn smoke() -> Self {
+        Self { bytes: 256 * 1024, seed: 0xC0DE_2011, reps: 2, smoke: true }
+    }
+
+    /// Full-sized run, honouring the `CULZSS_BENCH_MB` / `CULZSS_BENCH_REPS`
+    /// environment knobs shared with the `repro` binary.
+    pub fn full() -> Self {
+        let m = crate::MeasureCfg::default();
+        Self { bytes: m.bytes, seed: m.seed, reps: m.reps, smoke: false }
+    }
+}
+
+/// Runs the full engine × corpus grid and assembles the report.
+/// `commands` is recorded verbatim in the report header (the command
+/// lines that produced this run and any companion artifacts).
+pub fn run_suite(cfg: &SuiteCfg, probe: AllocProbe, commands: Vec<String>) -> Report {
+    let mut cells = Vec::with_capacity(ENGINES.len() * Dataset::ALL.len());
+    for dataset in Dataset::ALL {
+        let data = dataset.generate(cfg.bytes, cfg.seed);
+        for engine in ENGINES {
+            cells.push(run_cell(engine, dataset, &data, cfg, probe));
+        }
+    }
+    Report {
+        schema_version: SCHEMA_VERSION,
+        tool: "culzss-bench/bench".into(),
+        bytes: cfg.bytes as u64,
+        seed: cfg.seed,
+        reps: cfg.reps as u64,
+        smoke: cfg.smoke,
+        commands,
+        cells,
+    }
+}
+
+/// Runs the suite and gates it against `baseline`. A run that fails the
+/// gate is re-measured once and merged cell-wise with the first pass
+/// (fastest measurement wins, see [`merge_best`]) before the final
+/// verdict: a transient host load spike slows one run's cells, but a
+/// real regression is in the binary and fails both passes.
+pub fn run_checked(
+    cfg: &SuiteCfg,
+    probe: AllocProbe,
+    commands: Vec<String>,
+    baseline: &Report,
+    tol: &Tolerances,
+) -> (Report, Vec<Regression>) {
+    let report = run_suite(cfg, probe, commands.clone());
+    let failures = compare(&report, baseline, tol);
+    if failures.is_empty() {
+        return (report, failures);
+    }
+    let merged = merge_best(report, run_suite(cfg, probe, commands));
+    let failures = compare(&merged, baseline, tol);
+    (merged, failures)
+}
+
+/// Measures one engine on one corpus.
+pub fn run_cell(
+    engine: &str,
+    dataset: Dataset,
+    data: &[u8],
+    cfg: &SuiteCfg,
+    probe: AllocProbe,
+) -> Cell {
+    let serial_cfg = LzssConfig::dipperstein();
+    let chunk = data.len().div_ceil(PTHREAD_CHUNKS).max(1);
+    match engine {
+        "serial" => measure(engine, dataset, data, cfg, probe, || {
+            let out = culzss_lzss::serial::compress_with(data, &serial_cfg, FinderKind::BruteForce)
+                .expect("serial compress");
+            (out.len(), BTreeMap::new())
+        }),
+        "serial-hash" => measure(engine, dataset, data, cfg, probe, || {
+            let out = culzss_lzss::serial::compress_with(data, &serial_cfg, FinderKind::HashChain)
+                .expect("serial compress");
+            (out.len(), BTreeMap::new())
+        }),
+        "pthread" => {
+            let workers = pthread_workers();
+            measure(engine, dataset, data, cfg, probe, move || {
+                let out = culzss_pthread::compress_chunked(data, &serial_cfg, chunk, workers)
+                    .expect("pthread compress");
+                (out.len(), BTreeMap::new())
+            })
+        }
+        "culzss-v1" => gpu_cell(Version::V1, engine, dataset, data, cfg, probe),
+        "culzss-v2" => gpu_cell(Version::V2, engine, dataset, data, cfg, probe),
+        "bzip2" => measure(engine, dataset, data, cfg, probe, || {
+            // SA-IS keeps the block sort linear-time on the highly
+            // compressible corpus (the doubling sorter's 77.8 s pathology
+            // is a repro target, not a gate target).
+            let out = culzss_bzip2::compress_with(
+                data,
+                culzss_bzip2::BZ_BLOCK_SIZE,
+                culzss_bzip2::bwt::Backend::SaIs,
+            )
+            .expect("bzip2 compress");
+            (out.len(), BTreeMap::new())
+        }),
+        "server" => {
+            // End-to-end path: admission → batch window → simulated GPU →
+            // host verification (on by default) → ticket resolution.
+            let service = Service::start(ServerConfig::default());
+            let cell = measure(engine, dataset, data, cfg, probe, || {
+                let ticket = service
+                    .submit(JobSpec::compress("bench", data.to_vec()))
+                    .expect("bench job admitted");
+                let outcome = ticket.wait().expect("bench job completes");
+                (outcome.output.len(), BTreeMap::new())
+            });
+            service.shutdown();
+            cell
+        }
+        other => panic!("unknown engine {other:?}"),
+    }
+}
+
+/// One reused-instance GPU cell; the cost-model counters come from the
+/// final rep's launch stats. Reusing the `Culzss` object across reps is
+/// deliberate: it exercises the buffer-pool steady state the arena
+/// optimization targets.
+fn gpu_cell(
+    version: Version,
+    engine: &str,
+    dataset: Dataset,
+    data: &[u8],
+    cfg: &SuiteCfg,
+    probe: AllocProbe,
+) -> Cell {
+    let culzss = Culzss::new(version);
+    let mut cell = measure(engine, dataset, data, cfg, probe, || {
+        let (out, stats) = culzss.compress(data).expect("gpu compress");
+        let mut counters: BTreeMap<String, f64> = stats
+            .launch
+            .as_ref()
+            .map(|launch| launch.counters().into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+            .unwrap_or_default();
+        counters.insert("cpu_seconds".into(), stats.cpu_seconds);
+        counters.insert("h2d_seconds".into(), stats.h2d_seconds);
+        counters.insert("d2h_seconds".into(), stats.d2h_seconds);
+        (out.len(), counters)
+    });
+    let pool = culzss.pool_stats();
+    cell.counters.insert("pool_acquires".into(), pool.acquires as f64);
+    cell.counters.insert("pool_reuses".into(), pool.reuses as f64);
+    cell
+}
+
+/// Cheap cells keep re-running until this much total time is measured
+/// (or [`MAX_REPS`] is hit): the minimum of many short runs is far less
+/// noise-prone than the minimum of `cfg.reps` 2 ms runs.
+pub const MIN_MEASURE_SECONDS: f64 = 0.5;
+
+/// Upper bound on adaptive repetitions per cell.
+pub const MAX_REPS: usize = 25;
+
+/// Times `run` (best of `cfg.reps`, adaptively extended for sub-noise
+/// cells), counting heap traffic across the *final* rep — for pooled
+/// engines that is the steady state, which is the number the arena
+/// optimization moves.
+fn measure<F: FnMut() -> (usize, BTreeMap<String, f64>)>(
+    engine: &str,
+    dataset: Dataset,
+    data: &[u8],
+    cfg: &SuiteCfg,
+    probe: AllocProbe,
+    mut run: F,
+) -> Cell {
+    let reps = cfg.reps.max(1);
+    let mut output_bytes = 0usize;
+    let mut counters = BTreeMap::new();
+    let mut wall = f64::INFINITY;
+    let mut alloc = (0u64, 0u64);
+    let mut total = 0.0f64;
+    let mut rep = 0usize;
+    while rep < reps || (total < MIN_MEASURE_SECONDS && rep < MAX_REPS) {
+        let before = probe();
+        let started = std::time::Instant::now();
+        let (len, c) = run();
+        let elapsed = started.elapsed().as_secs_f64();
+        let after = probe();
+        wall = wall.min(elapsed);
+        total += elapsed;
+        alloc = (after.0.saturating_sub(before.0), after.1.saturating_sub(before.1));
+        output_bytes = len;
+        counters = c;
+        rep += 1;
+    }
+
+    let input_bytes = data.len() as u64;
+    Cell {
+        engine: engine.into(),
+        corpus: dataset.slug().into(),
+        input_bytes,
+        output_bytes: output_bytes as u64,
+        wall_seconds: wall,
+        throughput_mbps: if wall > 0.0 { input_bytes as f64 / 1e6 / wall } else { 0.0 },
+        ratio: if input_bytes > 0 { output_bytes as f64 / input_bytes as f64 } else { 0.0 },
+        alloc_bytes: alloc.0,
+        alloc_count: alloc.1,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SuiteCfg {
+        SuiteCfg { bytes: 8 * 1024, seed: 11, reps: 1, smoke: true }
+    }
+
+    #[test]
+    fn suite_covers_every_engine_and_corpus() {
+        let report = run_suite(&tiny(), NO_PROBE, vec!["test".into()]);
+        assert_eq!(report.cells.len(), ENGINES.len() * Dataset::ALL.len());
+        for dataset in Dataset::ALL {
+            for engine in ENGINES {
+                let cell = report
+                    .cell(engine, dataset.slug())
+                    .unwrap_or_else(|| panic!("missing {engine}/{}", dataset.slug()));
+                assert!(cell.wall_seconds > 0.0, "{engine}/{}", dataset.slug());
+                assert!(cell.throughput_mbps > 0.0, "{engine}/{}", dataset.slug());
+                assert!(
+                    cell.ratio > 0.0 && cell.ratio < 2.0,
+                    "{engine}/{}: ratio {}",
+                    dataset.slug(),
+                    cell.ratio
+                );
+                assert_eq!(cell.input_bytes, 8 * 1024);
+            }
+        }
+        // And the whole thing serializes and parses back.
+        let parsed = Report::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn gpu_cells_export_cost_model_counters() {
+        let cfg = tiny();
+        let data = Dataset::CFiles.generate(cfg.bytes, cfg.seed);
+        for engine in ["culzss-v1", "culzss-v2"] {
+            let cell = run_cell(engine, Dataset::CFiles, &data, &cfg, NO_PROBE);
+            for name in ["cycles", "work_cycles", "global_transactions", "pool_acquires"] {
+                let v = cell.counters.get(name).unwrap_or_else(|| panic!("{engine}: {name}"));
+                assert!(v.is_finite() && *v >= 0.0, "{engine}: {name} = {v}");
+            }
+        }
+        let serial = run_cell("serial", Dataset::CFiles, &data, &cfg, NO_PROBE);
+        assert!(serial.counters.is_empty());
+    }
+
+    #[test]
+    fn hash_chain_cell_is_byte_identical_to_brute() {
+        let cfg = tiny();
+        for dataset in Dataset::ALL {
+            let data = dataset.generate(cfg.bytes, cfg.seed);
+            let brute = run_cell("serial", dataset, &data, &cfg, NO_PROBE);
+            let hash = run_cell("serial-hash", dataset, &data, &cfg, NO_PROBE);
+            assert_eq!(brute.output_bytes, hash.output_bytes, "{}", dataset.slug());
+            assert_eq!(brute.ratio, hash.ratio, "{}", dataset.slug());
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Pins the buffer-pool arena's payoff: a reused [`Culzss`] instance
+//! allocates strictly less on its second compress than on its first,
+//! because the pipeline's device/host staging buffers come back from
+//! the arena instead of the allocator.
+//!
+//! The bench *library* is `forbid(unsafe_code)`, so the counting
+//! allocator lives here in the test crate (same seam as the `bench`
+//! binary). Run with `--nocapture` to see the measured cold/warm
+//! deltas — EXPERIMENTS.md quotes them.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use culzss::{Culzss, Version};
+use culzss_datasets::Dataset;
+
+struct CountingAlloc;
+
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        ALLOC_COUNT.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(new_size.saturating_sub(layout.size()) as u64, Relaxed);
+        ALLOC_COUNT.fetch_add(1, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn probe() -> (u64, u64) {
+    (ALLOC_BYTES.load(Relaxed), ALLOC_COUNT.load(Relaxed))
+}
+
+fn deltas(version: Version, data: &[u8]) -> [(u64, u64); 3] {
+    let engine = Culzss::new(version);
+    let mut out = [(0, 0); 3];
+    let mut reference = None;
+    for slot in &mut out {
+        let (bytes0, count0) = probe();
+        let (stream, _) = engine.compress(data).expect("compress");
+        let (bytes1, count1) = probe();
+        *slot = (bytes1 - bytes0, count1 - count0);
+        match &reference {
+            None => reference = Some(stream),
+            Some(first) => assert_eq!(first, &stream, "reuse changed the byte stream"),
+        }
+    }
+    out
+}
+
+#[test]
+fn reused_engine_allocates_less_than_cold_and_is_byte_identical() {
+    let data = Dataset::KernelTarball.generate(256 << 10, 0xC0DE_2011);
+    for version in [Version::V1, Version::V2] {
+        let [cold, warm1, warm2] = deltas(version, &data);
+        println!(
+            "{version:?}: cold {} B / {} allocs; warm {} B / {} allocs; steady {} B / {} allocs",
+            cold.0, cold.1, warm1.0, warm1.1, warm2.0, warm2.1
+        );
+        assert!(
+            warm1.0 < cold.0 && warm1.1 < cold.1,
+            "{version:?}: warm pass should allocate less than cold \
+             (cold {cold:?}, warm {warm1:?})"
+        );
+        assert!(
+            warm2.0 <= warm1.0,
+            "{version:?}: steady state should not regrow ({warm1:?} -> {warm2:?})"
+        );
+    }
+}

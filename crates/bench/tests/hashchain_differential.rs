@@ -1,0 +1,83 @@
+//! Differential pin: the hash-chain match finder must stay *byte-identical*
+//! to brute force — not just same-length matches, the same compressed
+//! stream — across every preset, every evaluation corpus, and the window
+//! boundary edges. This is the contract that lets `FinderKind::auto_exact`
+//! substitute the hash chain on CPU hot paths without changing any golden
+//! fixture.
+
+use culzss_datasets::Dataset;
+use culzss_lzss::matchfind::FinderKind;
+use culzss_lzss::serial::{compress_with, decompress, Tokenizer};
+use culzss_lzss::LzssConfig;
+
+fn presets() -> [LzssConfig; 3] {
+    [LzssConfig::dipperstein(), LzssConfig::culzss_v1(), LzssConfig::culzss_v2()]
+}
+
+fn assert_identical(data: &[u8], config: &LzssConfig, what: &str) {
+    let brute = compress_with(data, config, FinderKind::BruteForce).expect("brute");
+    let hash = compress_with(data, config, FinderKind::HashChain).expect("hash");
+    assert_eq!(brute, hash, "stream diverged: {what}");
+    assert_eq!(decompress(&hash, config).expect("decode"), data, "round trip: {what}");
+}
+
+#[test]
+fn hash_chain_is_byte_identical_on_every_corpus() {
+    for dataset in Dataset::ALL {
+        let data = dataset.generate(48 * 1024, 0xD1FF);
+        for config in presets() {
+            assert_identical(
+                &data,
+                &config,
+                &format!("{} window {}", dataset.slug(), config.window_size),
+            );
+        }
+    }
+}
+
+#[test]
+fn hash_chain_is_byte_identical_at_window_edges() {
+    // 0 and 1 byte: degenerate inputs; 4096 and 4097: exactly one
+    // dipperstein window, and one byte past it (first eviction).
+    let base = Dataset::Dictionary.generate(8 * 1024, 42);
+    for len in [0usize, 1, 4096, 4097] {
+        for config in presets() {
+            assert_identical(
+                &base[..len],
+                &config,
+                &format!("len {len} window {}", config.window_size),
+            );
+        }
+    }
+    // Same edges relative to the CULZSS 128-byte window.
+    for len in [127usize, 128, 129] {
+        for config in presets() {
+            assert_identical(
+                &base[..len],
+                &config,
+                &format!("len {len} window {}", config.window_size),
+            );
+        }
+    }
+}
+
+#[test]
+fn reused_tokenizer_matches_one_shot_across_corpora() {
+    // The pooled pipelines reuse one Tokenizer across many chunks; a
+    // stale hash chain would silently change the stream. Feed the same
+    // Tokenizer every corpus back-to-back and compare with fresh runs.
+    for config in presets() {
+        let mut tokenizer = Tokenizer::new(&config);
+        for dataset in Dataset::ALL {
+            let data = dataset.generate(16 * 1024, 7);
+            let mut body = Vec::new();
+            tokenizer.compress_chunk_into(&data, &config, &mut body);
+            // compress_chunk_into emits a bare body (no stream header):
+            // compare against a fresh tokenize + encode.
+            let tokens =
+                culzss_lzss::serial::tokenize_with(&data, &config, FinderKind::auto_exact(&config));
+            let fresh = culzss_lzss::format::encode(&tokens, &config);
+            assert_eq!(body, fresh, "{} window {}", dataset.slug(), config.window_size);
+        }
+    }
+}

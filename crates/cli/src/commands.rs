@@ -44,6 +44,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
             seed,
         ),
         Command::BenchServe { jobs, payload, seed } => bench_serve(jobs, payload, seed),
+        Command::Bench { smoke, size_mb, reps, seed, out, baseline, check } => {
+            bench(smoke, size_mb, reps, seed, out, baseline, check)
+        }
         Command::Sancheck { dataset, bytes, seed } => sancheck(&dataset, bytes, seed),
         Command::Selftest => selftest(),
     }
@@ -434,6 +437,92 @@ fn bench_serve(jobs: usize, payload: usize, seed: u64) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Runs the engine × corpus benchmark suite and (optionally) the
+/// regression gate. Thin front end over `culzss_bench::suite` /
+/// `::report`; unlike the `bench` binary this path installs no counting
+/// allocator, so the allocation columns read zero.
+#[allow(clippy::too_many_arguments)]
+fn bench(
+    smoke: bool,
+    size_mb: Option<usize>,
+    reps: Option<usize>,
+    seed: Option<u64>,
+    out: Option<String>,
+    baseline: Option<String>,
+    check: bool,
+) -> Result<(), String> {
+    use culzss_bench::report::{Report, Tolerances};
+    use culzss_bench::suite::{run_checked, run_suite, SuiteCfg, NO_PROBE};
+
+    let mut cfg = if smoke { SuiteCfg::smoke() } else { SuiteCfg::full() };
+    if let Some(mb) = size_mb {
+        cfg.bytes = mb.max(1) << 20;
+        cfg.smoke = false;
+    }
+    if let Some(r) = reps {
+        cfg.reps = r.max(1);
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+
+    let mut cmd = String::from("culzss bench");
+    if cfg.smoke {
+        cmd.push_str(" --smoke");
+    } else {
+        cmd.push_str(&format!(" --size-mb {}", cfg.bytes >> 20));
+    }
+    cmd.push_str(&format!(" --reps {} --seed {:#x}", cfg.reps, cfg.seed));
+
+    println!(
+        "bench: {} KiB per corpus, {} rep(s), seed {:#x}{}",
+        cfg.bytes / 1024,
+        cfg.reps,
+        cfg.seed,
+        if cfg.smoke { " (smoke)" } else { "" }
+    );
+    // Load the baseline up front so a bad path fails before the run.
+    let loaded = match &baseline {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(Report::from_json(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+    };
+
+    let tolerances = Tolerances::default();
+    let (report, failures) = match (&loaded, check) {
+        (Some(base), true) => run_checked(&cfg, NO_PROBE, vec![cmd], base, &tolerances),
+        _ => (run_suite(&cfg, NO_PROBE, vec![cmd]), Vec::new()),
+    };
+
+    let out_path = out.unwrap_or_else(|| {
+        let stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        format!("BENCH_{stamp}.json")
+    });
+    write(&out_path, report.to_json().as_bytes())?;
+    println!("bench: wrote {out_path} ({} cells)", report.cells.len());
+
+    if !check {
+        return Ok(());
+    }
+    let baseline_path = baseline.expect("checked at parse time");
+    let baseline = loaded.expect("loaded above when --check is set");
+    if failures.is_empty() {
+        println!("bench: gate PASS against {baseline_path} ({} cells)", baseline.cells.len());
+        Ok(())
+    } else {
+        let mut msg = format!("bench: gate FAIL against {baseline_path} (after one retry pass):");
+        for failure in &failures {
+            msg.push_str(&format!("\n  {failure}"));
+        }
+        Err(msg)
+    }
 }
 
 /// Runs both CULZSS kernels over corpus samples under the shared-memory

@@ -14,6 +14,7 @@
 //! selection + encoding for V2) — the quantities Table I and Table III
 //! are built from.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use culzss_gpusim::transfer::{Direction, TransferLedger};
@@ -23,8 +24,9 @@ use culzss_lzss::crc::crc32;
 use culzss_lzss::format;
 
 use crate::error::CulzssResult;
-use crate::metered::{select_tokens, PosMatch};
+use crate::metered::select_records_into;
 use crate::params::{CulzssParams, Version};
+use crate::pipeline::{BufferPool, PoolStats};
 use crate::{decompress, kernel_v1, kernel_v2};
 
 /// Timing breakdown of one compression or decompression call.
@@ -70,6 +72,10 @@ impl PipelineStats {
 pub struct Culzss {
     sim: GpuSim,
     params: CulzssParams,
+    /// Recycled per-chunk scratch, shared across clones so repeated calls
+    /// (and the streaming/server layers built on cloned instances) reuse
+    /// buffers instead of re-allocating per chunk.
+    pool: Arc<BufferPool>,
 }
 
 impl Culzss {
@@ -81,7 +87,7 @@ impl Culzss {
 
     /// Initializes on an explicit device with explicit parameters.
     pub fn with_device(device: DeviceSpec, params: CulzssParams) -> Self {
-        Self { sim: GpuSim::new(device), params }
+        Self { sim: GpuSim::new(device), params, pool: Arc::new(BufferPool::new()) }
     }
 
     /// Overrides the host worker pool used to execute simulated blocks.
@@ -100,6 +106,13 @@ impl Culzss {
         self.sim.device()
     }
 
+    /// Reuse counters of the shared scratch-buffer pool (see
+    /// [`BufferPool`]); steady-state calls should show `reuses` tracking
+    /// `acquires`.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Compresses `input`, returning the container stream and the timing
     /// breakdown.
     pub fn compress(&self, input: &[u8]) -> CulzssResult<(Vec<u8>, PipelineStats)> {
@@ -111,7 +124,8 @@ impl Culzss {
 
         let (bodies, launch, d2h, cpu_seconds) = match self.params.version {
             Version::V1 => {
-                let (bodies, launch) = kernel_v1::run(&self.sim, input, &self.params)?;
+                let (bodies, launch) =
+                    kernel_v1::run_pooled(&self.sim, input, &self.params, &self.pool)?;
                 // D2H: the partially-filled buckets come back whole; the
                 // CPU then compacts them ("a final separate process to
                 // concatenate only the compressed data").
@@ -125,21 +139,20 @@ impl Culzss {
                 let (records, launch) = kernel_v2::run(&self.sim, input, &self.params)?;
                 // D2H: two u16 arrays covering every input position.
                 let d2h = ledger.copy(device, Direction::DeviceToHost, input.len() * 4);
-                // CPU steps: selection + flag generation + encoding.
+                // CPU steps: selection + flag generation + encoding, all
+                // through recycled scratch (one token buffer for the whole
+                // batch, pooled body buffers).
                 let started = Instant::now();
                 let mut bodies = Vec::with_capacity(records.len());
+                let mut tokens = self.pool.acquire_tokens();
                 for (chunk, recs) in input.chunks(self.params.chunk_size).zip(&records) {
-                    let matches: Vec<PosMatch> = recs
-                        .iter()
-                        .map(|&(distance, length)| PosMatch {
-                            distance,
-                            length,
-                            work: Default::default(),
-                        })
-                        .collect();
-                    let tokens = select_tokens(chunk, &matches, &config);
-                    bodies.push(format::encode(&tokens, &config));
+                    tokens.clear();
+                    select_records_into(chunk, recs, &config, &mut tokens);
+                    let mut body = self.pool.acquire_bytes();
+                    format::encode_into(&tokens, &config, &mut body);
+                    bodies.push(body);
                 }
+                self.pool.release_tokens(tokens);
                 (bodies, launch, d2h, started.elapsed().as_secs_f64())
             }
         };
@@ -153,6 +166,7 @@ impl Culzss {
             &bodies,
             self.params.container_version,
         )?;
+        self.pool.release_all_bytes(bodies);
         let cpu_seconds = cpu_seconds + cpu_started.elapsed().as_secs_f64();
 
         let stats = PipelineStats {
@@ -232,9 +246,11 @@ impl Culzss {
 
         let started = Instant::now();
         let mut out = Vec::with_capacity(container.total_len as usize);
-        for chunk in chunks {
-            out.extend_from_slice(&chunk);
+        for chunk in &chunks {
+            out.extend_from_slice(chunk);
         }
+        // Recycle the per-chunk buffers for the next call's bodies.
+        self.pool.release_all_bytes(chunks);
         let cpu_seconds = started.elapsed().as_secs_f64();
         if out.len() as u64 != container.total_len {
             return Err(culzss_lzss::Error::SizeMismatch {
@@ -353,6 +369,29 @@ mod tests {
         assert!((1.0..2.0).contains(&ratio), "V1/serial size ratio {ratio}");
         // Both stay firmly on the "compresses" side.
         assert!(v1.len() < input.len());
+    }
+
+    #[test]
+    fn repeated_calls_reuse_pooled_buffers() {
+        for version in [Version::V1, Version::V2] {
+            let input = Dataset::CFiles.generate(64 * 1024, 8);
+            let culzss = Culzss::new(version).with_workers(2);
+            let (first, _) = culzss.compress(&input).unwrap();
+            let cold = culzss.pool_stats();
+            let (second, _) = culzss.compress(&input).unwrap();
+            let warm = culzss.pool_stats();
+            // Determinism: pooling must not change the stream.
+            assert_eq!(first, second, "{version:?}");
+            // The second call is served from recycled buffers.
+            let second_call_acquires = warm.acquires - cold.acquires;
+            let second_call_reuses = warm.reuses - cold.reuses;
+            assert!(second_call_acquires > 0, "{version:?}");
+            assert_eq!(second_call_reuses, second_call_acquires, "{version:?}: every acquire warm");
+            // Clones share the pool.
+            let clone = culzss.clone();
+            clone.compress(&input).unwrap();
+            assert!(clone.pool_stats().reuses > warm.reuses, "{version:?}");
+        }
     }
 
     #[test]

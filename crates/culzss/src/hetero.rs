@@ -15,7 +15,6 @@ use std::time::Instant;
 
 use culzss_lzss::container::{assemble_with, Container};
 use culzss_lzss::crc::crc32;
-use culzss_lzss::format;
 use culzss_lzss::serial;
 
 use crate::api::Culzss;
@@ -29,6 +28,12 @@ use crate::params::CulzssParams;
 /// what the kernel would emit for that chunk. This is the CPU engine of
 /// [`HeteroCompressor`], exposed so fallback paths (e.g. a service
 /// degrading off a failed device) can produce wire-compatible streams.
+///
+/// Each worker drives one reusable [`serial::Tokenizer`] with the
+/// fastest exact finder for the configuration (the hash chain for every
+/// CULZSS preset), so the per-chunk loop neither allocates nor
+/// brute-force-scans — output stays byte-identical by the finder's
+/// longest-match/smallest-distance contract.
 pub fn cpu_compress_bodies(input: &[u8], params: &CulzssParams, threads: usize) -> Vec<Vec<u8>> {
     let config = params.lzss_config();
     let chunks: Vec<&[u8]> = input.chunks(params.chunk_size).collect();
@@ -42,9 +47,9 @@ pub fn cpu_compress_bodies(input: &[u8], params: &CulzssParams, threads: usize) 
             {
                 let config = &config;
                 scope.spawn(move |_| {
+                    let mut tokenizer = serial::Tokenizer::new(config);
                     for (chunk, body) in chunk_range.iter().zip(body_range.iter_mut()) {
-                        let tokens = serial::tokenize(chunk, config);
-                        *body = format::encode(&tokens, config);
+                        tokenizer.compress_chunk_into(chunk, config, body);
                     }
                 });
             }
@@ -175,11 +180,12 @@ impl HeteroCompressor {
         if sample.is_empty() {
             return Ok(self);
         }
-        // Probe CPU throughput.
+        // Probe CPU throughput (same tokenizer the workers use).
         let started = Instant::now();
         let config = self.culzss.params().lzss_config();
+        let mut tokenizer = serial::Tokenizer::new(&config);
         for chunk in sample.chunks(self.culzss.params().chunk_size) {
-            std::hint::black_box(serial::tokenize(chunk, &config));
+            std::hint::black_box(tokenizer.tokenize(chunk, &config));
         }
         let cpu_seconds = started.elapsed().as_secs_f64().max(1e-9);
         // Probe GPU throughput (modelled, same bytes).

@@ -26,8 +26,9 @@ use culzss_gpusim::exec::{BlockCtx, BlockKernel};
 use culzss_lzss::config::LzssConfig;
 use culzss_lzss::format;
 
-use crate::metered::{greedy_parse, OPS_PER_TOKEN};
+use crate::metered::{greedy_parse_into, OPS_PER_TOKEN};
 use crate::params::CulzssParams;
+use crate::pipeline::BufferPool;
 
 /// The V1 compression kernel.
 pub struct V1Kernel<'a> {
@@ -41,6 +42,8 @@ pub struct V1Kernel<'a> {
     pub shared_banks: usize,
     /// Warp width of the device.
     pub warp_size: usize,
+    /// Optional recycled-buffer pool for token scratch and bucket bodies.
+    pub pool: Option<&'a BufferPool>,
 }
 
 impl<'a> V1Kernel<'a> {
@@ -52,7 +55,14 @@ impl<'a> V1Kernel<'a> {
         warp_size: usize,
         shared_banks: usize,
     ) -> Self {
-        Self { input, params, config: params.lzss_config(), shared_banks, warp_size }
+        Self { input, params, config: params.lzss_config(), shared_banks, warp_size, pool: None }
+    }
+
+    /// Draws token scratch and bucket bodies from `pool` instead of
+    /// allocating per chunk.
+    pub fn with_pool(mut self, pool: &'a BufferPool) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     fn chunk_of(&self, global_tid: usize) -> Option<&'a [u8]> {
@@ -94,7 +104,11 @@ impl BlockKernel for V1Kernel<'_> {
             t.global_bulk(chunk.len() as u64, 128, false);
             t.global_cached_bulk(chunk.len() as u64);
 
-            let (tokens, work) = greedy_parse(chunk, &self.config);
+            let mut tokens = match self.pool {
+                Some(pool) => pool.acquire_tokens(),
+                None => Vec::with_capacity(chunk.len() / 4),
+            };
+            let work = greedy_parse_into(chunk, &self.config, &mut tokens);
             t.charge_ops(work.ops() + tokens.len() as u64 * OPS_PER_TOKEN);
             if self.params.use_shared_memory {
                 // Stage this thread's private window region with one exact
@@ -113,7 +127,14 @@ impl BlockKernel for V1Kernel<'_> {
                 t.global_cached_bulk(work.accesses());
             }
 
-            let body = format::encode(&tokens, &self.config);
+            let mut body = match self.pool {
+                Some(pool) => pool.acquire_bytes(),
+                None => Vec::new(),
+            };
+            format::encode_into(&tokens, &self.config, &mut body);
+            if let Some(pool) = self.pool {
+                pool.release_tokens(tokens);
+            }
             // Bucket write-back: per-thread scattered but sequential, so
             // write-combined into line-sized transactions.
             t.global_bulk(body.len() as u64, 128, false);
@@ -132,6 +153,23 @@ pub fn run(
 ) -> Result<(Vec<Vec<u8>>, culzss_gpusim::exec::LaunchStats), culzss_gpusim::exec::LaunchError> {
     let device = sim.device();
     let kernel = V1Kernel::new(input, params, device.warp_size, device.shared_banks);
+    let result = sim.launch(launch_config(input, params), &kernel)?;
+    let bodies = collect_bodies(result.outputs, params.chunk_count(input.len()));
+    Ok((bodies, result.stats))
+}
+
+/// [`run`] drawing token scratch and bucket bodies from `pool`; the
+/// caller returns the bodies via
+/// [`BufferPool::release_all_bytes`] once the container is assembled.
+pub fn run_pooled(
+    sim: &culzss_gpusim::GpuSim,
+    input: &[u8],
+    params: &CulzssParams,
+    pool: &BufferPool,
+) -> Result<(Vec<Vec<u8>>, culzss_gpusim::exec::LaunchStats), culzss_gpusim::exec::LaunchError> {
+    let device = sim.device();
+    let kernel =
+        V1Kernel::new(input, params, device.warp_size, device.shared_banks).with_pool(pool);
     let result = sim.launch(launch_config(input, params), &kernel)?;
     let bodies = collect_bodies(result.outputs, params.chunk_count(input.len()));
     Ok((bodies, result.stats))

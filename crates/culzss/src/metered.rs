@@ -90,6 +90,13 @@ pub fn search_position(
 /// positions are not searched again.
 pub fn greedy_parse(chunk: &[u8], config: &LzssConfig) -> (Vec<Token>, Work) {
     let mut tokens = Vec::with_capacity(chunk.len() / 4);
+    let work = greedy_parse_into(chunk, config, &mut tokens);
+    (tokens, work)
+}
+
+/// [`greedy_parse`] appending into a reusable token buffer — the
+/// allocation-free path used by the pooled V1 kernel.
+pub fn greedy_parse_into(chunk: &[u8], config: &LzssConfig, tokens: &mut Vec<Token>) -> Work {
     let mut work = Work::default();
     let mut pos = 0usize;
     while pos < chunk.len() {
@@ -106,7 +113,7 @@ pub fn greedy_parse(chunk: &[u8], config: &LzssConfig) -> (Vec<Token>, Work) {
             }
         }
     }
-    (tokens, work)
+    work
 }
 
 /// Per-position match record produced by the V2 matching kernel.
@@ -137,18 +144,44 @@ pub fn search_position_v2(chunk: &[u8], pos: usize, config: &LzssConfig) -> PosM
 pub fn select_tokens(chunk: &[u8], matches: &[PosMatch], config: &LzssConfig) -> Vec<Token> {
     debug_assert_eq!(chunk.len(), matches.len());
     let mut tokens = Vec::with_capacity(chunk.len() / 4);
+    select_with(chunk, config, &mut tokens, |pos| {
+        let m = matches[pos];
+        (m.distance, m.length)
+    });
+    tokens
+}
+
+/// [`select_tokens`] directly over the raw `(distance, length)` records
+/// the V2 kernel ships back, appending into a reusable token buffer —
+/// the allocation-free selection path of the pipeline (no intermediate
+/// [`PosMatch`] array, no fresh token vector per chunk).
+pub fn select_records_into(
+    chunk: &[u8],
+    records: &[(u16, u16)],
+    config: &LzssConfig,
+    tokens: &mut Vec<Token>,
+) {
+    debug_assert_eq!(chunk.len(), records.len());
+    select_with(chunk, config, tokens, |pos| records[pos]);
+}
+
+fn select_with(
+    chunk: &[u8],
+    config: &LzssConfig,
+    tokens: &mut Vec<Token>,
+    record_at: impl Fn(usize) -> (u16, u16),
+) {
     let mut pos = 0usize;
     while pos < chunk.len() {
-        let m = matches[pos];
-        if m.length as usize >= config.min_match {
-            tokens.push(Token::Match { distance: m.distance, length: m.length });
-            pos += m.length as usize;
+        let (distance, length) = record_at(pos);
+        if length as usize >= config.min_match {
+            tokens.push(Token::Match { distance, length });
+            pos += length as usize;
         } else {
             tokens.push(Token::Literal(chunk[pos]));
             pos += 1;
         }
     }
-    tokens
 }
 
 #[cfg(test)]
@@ -204,6 +237,30 @@ mod tests {
         let selected = select_tokens(&data, &matches, &config);
         let (greedy, _) = greedy_parse(&data, &config);
         assert_eq!(selected, greedy);
+    }
+
+    #[test]
+    fn record_selection_matches_posmatch_selection() {
+        let config = cfg();
+        let data = b"raw records and PosMatch selection must agree, agree, agree".repeat(6);
+        let matches: Vec<PosMatch> =
+            (0..data.len()).map(|p| search_position_v2(&data, p, &config)).collect();
+        let records: Vec<(u16, u16)> = matches.iter().map(|m| (m.distance, m.length)).collect();
+        let mut tokens = vec![Token::Literal(99)]; // pre-existing content survives
+        select_records_into(&data, &records, &config, &mut tokens);
+        assert_eq!(tokens[0], Token::Literal(99));
+        assert_eq!(&tokens[1..], select_tokens(&data, &matches, &config));
+    }
+
+    #[test]
+    fn greedy_parse_into_appends() {
+        let config = cfg();
+        let data = b"append me, append me, append me".repeat(3);
+        let (expected, expected_work) = greedy_parse(&data, &config);
+        let mut tokens = Vec::new();
+        let work = greedy_parse_into(&data, &config, &mut tokens);
+        assert_eq!(tokens, expected);
+        assert_eq!(work, expected_work);
     }
 
     #[test]

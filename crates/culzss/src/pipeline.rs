@@ -8,7 +8,118 @@
 //! D2H → CPU stages, with different slices occupying different stages
 //! simultaneously.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use culzss_lzss::token::Token;
+
 use crate::api::PipelineStats;
+
+/// Upper bound on buffers retained per pool — enough for the largest
+/// batch the pipeline launches (thousands of chunk bodies), while
+/// bounding steady-state memory when batch sizes shrink.
+const MAX_POOLED: usize = 8192;
+
+/// Recycled scratch buffers for the compression pipeline.
+///
+/// The V1/V2 hot paths used to allocate and free a `Vec` per chunk —
+/// token scratch, encoded body, decoded chunk — thousands of times per
+/// launch. The pool keeps those buffers alive across chunks *and* across
+/// calls: [`crate::Culzss`] owns one behind an `Arc`, so clones of the
+/// library object share it and repeated calls run allocation-free in the
+/// steady state. Buffers come back cleared but with capacity intact.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    bytes: Mutex<Vec<Vec<u8>>>,
+    tokens: Mutex<Vec<Vec<Token>>>,
+    acquires: AtomicU64,
+    reuses: AtomicU64,
+}
+
+/// Reuse counters of a [`BufferPool`] (monotonic since creation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out (byte and token buffers combined).
+    pub acquires: u64,
+    /// Hand-outs served from the pool instead of a fresh allocation.
+    pub reuses: u64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an empty byte buffer, recycling a released one when possible.
+    pub fn acquire_bytes(&self) -> Vec<u8> {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        match self.bytes.lock().expect("buffer pool poisoned").pop() {
+            Some(buf) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a byte buffer to the pool (cleared, capacity kept).
+    pub fn release_bytes(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut pool = self.bytes.lock().expect("buffer pool poisoned");
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    }
+
+    /// Returns a whole batch of byte buffers (e.g. the per-chunk bodies
+    /// of a finished launch) to the pool.
+    pub fn release_all_bytes<I: IntoIterator<Item = Vec<u8>>>(&self, bufs: I) {
+        let mut pool = self.bytes.lock().expect("buffer pool poisoned");
+        for mut buf in bufs {
+            if buf.capacity() == 0 || pool.len() >= MAX_POOLED {
+                continue;
+            }
+            buf.clear();
+            pool.push(buf);
+        }
+    }
+
+    /// Takes an empty token buffer, recycling a released one when possible.
+    pub fn acquire_tokens(&self) -> Vec<Token> {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        match self.tokens.lock().expect("buffer pool poisoned").pop() {
+            Some(buf) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a token buffer to the pool (cleared, capacity kept).
+    pub fn release_tokens(&self, mut buf: Vec<Token>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut pool = self.tokens.lock().expect("buffer pool poisoned");
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    }
+
+    /// Current reuse counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            acquires: self.acquires.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Per-slice stage durations of a pipelined run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -118,6 +229,38 @@ mod tests {
         let m = pipelined_makespan(T, 64);
         let sequential = 10.0;
         assert!(sequential / m > 2.0, "{m}");
+    }
+
+    #[test]
+    fn buffer_pool_recycles_capacity() {
+        let pool = BufferPool::new();
+        let mut a = pool.acquire_bytes();
+        a.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = a.capacity();
+        pool.release_bytes(a);
+        let b = pool.acquire_bytes();
+        assert!(b.is_empty());
+        assert!(b.capacity() >= cap);
+        let stats = pool.stats();
+        assert_eq!(stats.acquires, 2);
+        assert_eq!(stats.reuses, 1);
+
+        let mut t = pool.acquire_tokens();
+        t.push(culzss_lzss::token::Token::Literal(7));
+        pool.release_tokens(t);
+        assert!(pool.acquire_tokens().is_empty());
+        assert_eq!(pool.stats().reuses, 2);
+    }
+
+    #[test]
+    fn buffer_pool_ignores_capacityless_buffers() {
+        let pool = BufferPool::new();
+        pool.release_bytes(Vec::new());
+        pool.release_all_bytes([Vec::new(), vec![9u8; 16]]);
+        // Only the buffer with capacity was retained.
+        assert!(pool.acquire_bytes().capacity() >= 16);
+        assert_eq!(pool.stats().reuses, 1);
+        assert_eq!(pool.acquire_bytes().capacity(), 0);
     }
 
     #[test]

@@ -208,6 +208,8 @@ impl StreamingCompressor {
             }));
         }
         let mut total = 0u64;
+        // One body buffer reused across frames (decompress churn fix).
+        let mut body = Vec::new();
         loop {
             let mut len_bytes = [0u8; 4];
             input.read_exact(&mut len_bytes).map_err(io_err)?;
@@ -218,7 +220,7 @@ impl StreamingCompressor {
             // The frame length is untrusted: read up to `len` bytes and
             // check the count, instead of allocating `len` up front (a
             // 4-byte field can demand 4 GiB).
-            let mut body = Vec::new();
+            body.clear();
             input.take(len as u64).read_to_end(&mut body).map_err(io_err)?;
             if body.len() != len {
                 return Err(CulzssError::Codec(culzss_lzss::Error::Truncated {

@@ -29,8 +29,11 @@ fn tiny_file_claims_huge_total_len() {
     }
     // No payload at all: 96-byte metadata, 64 GiB claim.
     let parsed = Container::parse_lenient(&bytes);
-    eprintln!("file is {} bytes; parse_lenient -> {:?}", bytes.len(),
-        parsed.as_ref().map(|(c, off)| (c.total_len, *off)));
+    eprintln!(
+        "file is {} bytes; parse_lenient -> {:?}",
+        bytes.len(),
+        parsed.as_ref().map(|(c, off)| (c.total_len, *off))
+    );
     let (c, _off) = parsed.expect("parse_lenient accepted the absurd claim");
     assert_eq!(c.total_len, total_len);
     eprintln!(

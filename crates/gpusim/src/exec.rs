@@ -266,6 +266,35 @@ pub struct LaunchStats {
     pub block_dim: usize,
 }
 
+impl LaunchStats {
+    /// Flattens the launch's meter and cost-model quantities into stable
+    /// `(name, value)` pairs — the machine-readable export consumed by
+    /// the benchmark report (`culzss-bench`'s `BENCH_*.json`). Names are
+    /// part of the report schema; add, don't rename.
+    pub fn counters(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("kernel_seconds", self.kernel_seconds),
+            ("cycles", self.cost.cycles),
+            ("compute_cycles", self.cost.compute_cycles),
+            ("memory_cycles", self.cost.memory_cycles),
+            ("work_cycles", self.cost.work_cycles),
+            ("occupancy", self.cost.occupancy.fraction),
+            ("memory_bound", f64::from(u8::from(self.cost.memory_bound))),
+            ("warp_issue_ops", self.metrics.warp_issue_ops),
+            ("thread_ops", self.metrics.thread_ops as f64),
+            ("global_transactions", self.metrics.global_transactions),
+            ("global_bytes", self.metrics.global_bytes as f64),
+            ("shared_cycles", self.metrics.shared_cycles),
+            ("shared_accesses", self.metrics.shared_accesses as f64),
+            ("cached_accesses", self.metrics.cached_accesses as f64),
+            ("barriers", self.metrics.barriers as f64),
+            ("blocks", self.metrics.blocks as f64),
+            ("grid_dim", self.grid_dim as f64),
+            ("block_dim", self.block_dim as f64),
+        ]
+    }
+}
+
 /// A simulated GPU: a device description plus a host worker pool size.
 #[derive(Debug, Clone)]
 pub struct GpuSim {
@@ -512,6 +541,24 @@ mod tests {
         }
         // Two phases per block → two barriers each.
         assert_eq!(result.stats.metrics.barriers, 4);
+    }
+
+    #[test]
+    fn counters_export_is_stable_and_finite() {
+        let sim = GpuSim::new(DeviceSpec::gtx480()).with_workers(2);
+        let result = sim.launch(LaunchConfig::new(2, 64), &Reverser).unwrap();
+        let counters = result.stats.counters();
+        let names: Vec<&str> = counters.iter().map(|(n, _)| *n).collect();
+        // Schema names the bench report depends on.
+        for required in ["kernel_seconds", "work_cycles", "global_transactions", "barriers"] {
+            assert!(names.contains(&required), "missing counter {required}");
+        }
+        let unique: std::collections::BTreeSet<&str> = names.iter().copied().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate counter names");
+        for (name, value) in &counters {
+            assert!(value.is_finite(), "{name} not finite");
+        }
+        assert_eq!(counters.iter().find(|(n, _)| *n == "barriers").unwrap().1, 4.0);
     }
 
     #[test]

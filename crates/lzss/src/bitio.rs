@@ -31,6 +31,13 @@ impl BitWriter {
         Self { bytes: Vec::with_capacity(bytes), current: 0, used: 0 }
     }
 
+    /// Creates a writer that appends (byte-aligned) to `bytes`, reusing
+    /// its capacity — the allocation-free path for encoders that recycle
+    /// output buffers across chunks.
+    pub fn resume(bytes: Vec<u8>) -> Self {
+        Self { bytes, current: 0, used: 0 }
+    }
+
     /// Appends a single bit (`true` = 1).
     pub fn write_bit(&mut self, bit: bool) {
         self.current = (self.current << 1) | u8::from(bit);

@@ -52,12 +52,25 @@ impl TokenFormat {
 /// The caller is responsible for having produced tokens that satisfy the
 /// configuration bounds (the encoder asserts them in debug builds).
 pub fn encode(tokens: &[Token], config: &LzssConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(tokens, config));
+    encode_into(tokens, config, &mut out);
+    out
+}
+
+/// [`encode`] appending into an existing buffer (reusing its capacity);
+/// returns the number of bytes written. This is the allocation-free path
+/// used by chunked compressors that recycle per-chunk output buffers.
+pub fn encode_into(tokens: &[Token], config: &LzssConfig, out: &mut Vec<u8>) -> usize {
+    let before = out.len();
+    out.reserve(encoded_len(tokens, config));
     match config.format {
         TokenFormat::FlagBit { offset_bits, length_bits } => {
-            encode_flagbit(tokens, config, offset_bits, length_bits)
+            let w = BitWriter::resume(std::mem::take(out));
+            *out = encode_flagbit_with(w, tokens, config, offset_bits, length_bits);
         }
-        TokenFormat::Fixed16 => encode_fixed16(tokens, config),
+        TokenFormat::Fixed16 => encode_fixed16_into(tokens, config, out),
     }
+    out.len() - before
 }
 
 /// Decodes tokens until exactly `uncompressed_len` bytes are covered.
@@ -88,13 +101,13 @@ pub fn encoded_len(tokens: &[Token], config: &LzssConfig) -> usize {
     }
 }
 
-fn encode_flagbit(
+fn encode_flagbit_with(
+    mut w: BitWriter,
     tokens: &[Token],
     config: &LzssConfig,
     offset_bits: u8,
     length_bits: u8,
 ) -> Vec<u8> {
-    let mut w = BitWriter::with_capacity(encoded_len(tokens, config));
     for token in tokens {
         match *token {
             Token::Literal(byte) => {
@@ -146,8 +159,7 @@ fn decode_flagbit(
     Ok(tokens)
 }
 
-fn encode_fixed16(tokens: &[Token], config: &LzssConfig) -> Vec<u8> {
-    let mut out = Vec::with_capacity(encoded_len(tokens, config));
+fn encode_fixed16_into(tokens: &[Token], config: &LzssConfig, out: &mut Vec<u8>) {
     for group in tokens.chunks(8) {
         let mut flags = 0u8;
         for (i, token) in group.iter().enumerate() {
@@ -171,7 +183,6 @@ fn encode_fixed16(tokens: &[Token], config: &LzssConfig) -> Vec<u8> {
             }
         }
     }
-    out
 }
 
 fn decode_fixed16(
@@ -321,6 +332,26 @@ mod tests {
             let bytes = encode(&[], &config);
             assert!(bytes.is_empty());
             assert_eq!(decode(&bytes, &config, 0).unwrap(), vec![]);
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_identically_in_both_formats() {
+        let tokens = sample_tokens();
+        for config in [LzssConfig::dipperstein(), LzssConfig::culzss_v2()] {
+            let fresh = encode(&tokens, &config);
+            let mut reused = Vec::with_capacity(1024);
+            reused.extend_from_slice(b"prefix");
+            let written = encode_into(&tokens, &config, &mut reused);
+            assert_eq!(written, fresh.len());
+            assert_eq!(&reused[..6], b"prefix");
+            assert_eq!(&reused[6..], &fresh[..]);
+            // Recycled buffer: clear + re-encode reuses capacity.
+            reused.clear();
+            let cap = reused.capacity();
+            encode_into(&tokens, &config, &mut reused);
+            assert_eq!(reused, fresh);
+            assert_eq!(reused.capacity(), cap);
         }
     }
 

@@ -14,7 +14,7 @@
 //!   [`token::Token`]s, either literals or `(distance, length)` matches.
 //! * [`config`] — tunable parameters (window size, match length bounds) with
 //!   presets matching the paper's serial, V1 and V2 configurations.
-//! * [`format`] — byte-level encodings of token streams. The serial CPU
+//! * [`mod@format`] — byte-level encodings of token streams. The serial CPU
 //!   implementation uses Dipperstein's 1-flag-bit + 12/4-bit code layout;
 //!   the GPU versions use a fixed 16-bit code with flag bytes grouped per 8
 //!   tokens (easier to produce from data-parallel kernels).

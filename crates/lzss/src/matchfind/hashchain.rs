@@ -13,16 +13,24 @@ const NO_POS: u32 = u32::MAX;
 /// Exhaustive within the window (no depth limit), so it finds the same
 /// match lengths as [`super::BruteForce`], with the same
 /// smallest-distance tie-break.
+///
+/// Head entries are generation-stamped so [`MatchFinder::reset`] is
+/// `O(window)` instead of `O(hash table)`: bumping the generation
+/// invalidates all 32 Ki head slots at once, which is what makes one
+/// finder instance cheap to reuse across thousands of small chunks (the
+/// per-chunk CPU paths of the parallel compressors).
 #[derive(Debug, Clone)]
 pub struct HashChain {
-    head: Vec<u32>,
+    /// `generation << 32 | position`; a stale generation means "empty".
+    head: Vec<u64>,
     prev: Vec<u32>,
+    generation: u32,
 }
 
 impl HashChain {
     /// Creates a hash-chain finder sized for windows up to `window_size`.
     pub fn new(window_size: usize) -> Self {
-        Self { head: vec![NO_POS; HASH_SIZE], prev: vec![NO_POS; window_size.max(1)] }
+        Self { head: vec![0; HASH_SIZE], prev: vec![NO_POS; window_size.max(1)], generation: 1 }
     }
 
     #[inline]
@@ -31,6 +39,18 @@ impl HashChain {
             ^ (u32::from(data[pos + 1]) << 5)
             ^ u32::from(data[pos + 2]);
         (h as usize) & (HASH_SIZE - 1)
+    }
+
+    /// The newest chained position for `slot`, or `NO_POS` if the entry
+    /// belongs to a previous generation (i.e. before the last `reset`).
+    #[inline]
+    fn head_pos(&self, slot: usize) -> u32 {
+        let entry = self.head[slot];
+        if (entry >> 32) as u32 == self.generation {
+            entry as u32
+        } else {
+            NO_POS
+        }
     }
 }
 
@@ -42,7 +62,7 @@ impl MatchFinder for HashChain {
             return None;
         }
         let window_start = pos.saturating_sub(config.window_size);
-        let mut candidate = self.head[Self::hash(data, pos)];
+        let mut candidate = self.head_pos(Self::hash(data, pos));
         let mut best: Option<FoundMatch> = None;
         while candidate != NO_POS && (candidate as usize) >= window_start {
             let cand = candidate as usize;
@@ -73,12 +93,18 @@ impl MatchFinder for HashChain {
         }
         let h = Self::hash(data, pos);
         let slot = pos % self.prev.len();
-        self.prev[slot] = self.head[h];
-        self.head[h] = pos as u32;
+        self.prev[slot] = self.head_pos(h);
+        self.head[h] = (u64::from(self.generation) << 32) | pos as u64;
     }
 
     fn reset(&mut self) {
-        self.head.fill(NO_POS);
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Once every 2^32 resets the stamp wraps onto values old
+            // entries may still carry; only then pay the full clear.
+            self.head.fill(0);
+            self.generation = 1;
+        }
         self.prev.fill(NO_POS);
     }
 }
@@ -119,6 +145,29 @@ mod tests {
         }
         hc.reset();
         assert_eq!(hc.find(data, 6, &config), None);
+    }
+
+    #[test]
+    fn reuse_across_chunks_matches_a_fresh_finder() {
+        // The recycled-finder contract behind `serial::Tokenizer`: after a
+        // reset, results on new data are identical to a fresh instance.
+        let config = cfg();
+        let chunks: [&[u8]; 3] =
+            [b"first chunk first chunk", b"zzzzzzzzzzzzzzzz", b"first chunk? different data!"];
+        let mut reused = HashChain::new(config.window_size);
+        for chunk in chunks {
+            reused.reset();
+            let mut fresh = HashChain::new(config.window_size);
+            for pos in 0..chunk.len() {
+                assert_eq!(
+                    reused.find(chunk, pos, &config),
+                    fresh.find(chunk, pos, &config),
+                    "pos {pos}"
+                );
+                reused.insert(chunk, pos);
+                fresh.insert(chunk, pos);
+            }
+        }
     }
 
     #[test]

@@ -103,6 +103,19 @@ impl FinderKind {
             FinderKind::Tree => "tree",
         }
     }
+
+    /// The fastest finder whose output is *byte-identical* to
+    /// [`FinderKind::BruteForce`] under `config` — [`HashChain`] shares the
+    /// longest-match/smallest-distance contract but needs 3-byte prefixes
+    /// to index, so configs with `min_match < 3` fall back to brute force.
+    /// Every preset in [`LzssConfig`] qualifies for the hash chain.
+    pub fn auto_exact(config: &LzssConfig) -> FinderKind {
+        if config.min_match >= 3 {
+            FinderKind::HashChain
+        } else {
+            FinderKind::BruteForce
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,5 +207,16 @@ mod tests {
             FinderKind::ALL.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), 4);
         assert_eq!(FinderKind::default(), FinderKind::BruteForce);
+    }
+
+    #[test]
+    fn auto_exact_picks_hash_chain_for_all_presets() {
+        for config in [LzssConfig::dipperstein(), LzssConfig::culzss_v1(), LzssConfig::culzss_v2()]
+        {
+            assert_eq!(FinderKind::auto_exact(&config), FinderKind::HashChain);
+        }
+        let mut tiny = cfg();
+        tiny.min_match = 2;
+        assert_eq!(FinderKind::auto_exact(&tiny), FinderKind::BruteForce);
     }
 }

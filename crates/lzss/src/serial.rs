@@ -38,6 +38,18 @@ pub fn tokenize_with(input: &[u8], config: &LzssConfig, finder: FinderKind) -> V
 
 fn tokenize_impl(input: &[u8], config: &LzssConfig, finder: &mut dyn MatchFinder) -> Vec<Token> {
     let mut tokens = Vec::with_capacity(input.len() / 2);
+    tokenize_into(input, config, finder, &mut tokens);
+    tokens
+}
+
+/// Core greedy parse appending into `tokens`; the finder must be freshly
+/// created or [`MatchFinder::reset`].
+fn tokenize_into(
+    input: &[u8],
+    config: &LzssConfig,
+    finder: &mut dyn MatchFinder,
+    tokens: &mut Vec<Token>,
+) {
     let mut pos = 0usize;
     while pos < input.len() {
         let candidate = finder.find(input, pos, config);
@@ -61,7 +73,106 @@ fn tokenize_impl(input: &[u8], config: &LzssConfig, finder: &mut dyn MatchFinder
         pos += step;
         tokens.push(token);
     }
-    tokens
+}
+
+/// A reusable tokenizer/encoder: owns its match finder and token buffer so
+/// chunked compressors can process thousands of chunks without re-allocating
+/// either per chunk. Using [`Tokenizer::new`] (which picks
+/// [`FinderKind::auto_exact`]) keeps output byte-identical to the default
+/// brute-force path while searching far fewer candidates.
+///
+/// ```
+/// use culzss_lzss::config::LzssConfig;
+/// use culzss_lzss::serial::{compress, Tokenizer};
+///
+/// let config = LzssConfig::dipperstein();
+/// let mut tok = Tokenizer::new(&config);
+/// let mut body = Vec::new();
+/// for chunk in [&b"one chunk of data"[..], b"another chunk, same buffers"] {
+///     body.clear();
+///     tok.compress_chunk_into(chunk, &config, &mut body);
+///     let tokens = culzss_lzss::serial::tokenize(chunk, &config);
+///     assert_eq!(body, culzss_lzss::format::encode(&tokens, &config));
+/// }
+/// # let _ = compress(b"x", &config).unwrap();
+/// ```
+pub struct Tokenizer {
+    kind: FinderKind,
+    finder: Box<dyn MatchFinder + Send>,
+    /// Window the finder was sized for (hash chains key their history
+    /// table off it; a larger window needs a rebuild).
+    window: usize,
+    tokens: Vec<Token>,
+}
+
+impl std::fmt::Debug for Tokenizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tokenizer")
+            .field("kind", &self.kind)
+            .field("window", &self.window)
+            .field("tokens", &self.tokens.len())
+            .finish()
+    }
+}
+
+impl Tokenizer {
+    /// A tokenizer using the fastest finder that stays byte-identical to
+    /// brute force under `config`.
+    pub fn new(config: &LzssConfig) -> Self {
+        Self::with_finder(config, FinderKind::auto_exact(config))
+    }
+
+    /// A tokenizer with an explicit finder strategy.
+    pub fn with_finder(config: &LzssConfig, kind: FinderKind) -> Self {
+        Self {
+            kind,
+            finder: Self::build(kind, config.window_size),
+            window: config.window_size,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn build(kind: FinderKind, window: usize) -> Box<dyn MatchFinder + Send> {
+        match kind {
+            FinderKind::BruteForce => Box::new(BruteForce::new()),
+            FinderKind::HashChain => Box::new(HashChain::new(window)),
+            FinderKind::Kmp => Box::new(KmpFinder::new()),
+            FinderKind::Tree => Box::new(TreeFinder::new()),
+        }
+    }
+
+    /// The finder strategy in use.
+    pub fn kind(&self) -> FinderKind {
+        self.kind
+    }
+
+    /// Tokenizes `input`, reusing the internal finder and token buffer.
+    /// The returned slice is valid until the next call.
+    pub fn tokenize(&mut self, input: &[u8], config: &LzssConfig) -> &[Token] {
+        if config.window_size > self.window {
+            self.finder = Self::build(self.kind, config.window_size);
+            self.window = config.window_size;
+        } else {
+            self.finder.reset();
+        }
+        self.tokens.clear();
+        tokenize_into(input, config, self.finder.as_mut(), &mut self.tokens);
+        &self.tokens
+    }
+
+    /// Tokenizes and encodes `chunk` as a headerless body appended to
+    /// `out`, returning the number of bytes written. Equivalent to
+    /// `format::encode(&tokenize(chunk, config), config)` with zero
+    /// steady-state allocation.
+    pub fn compress_chunk_into(
+        &mut self,
+        chunk: &[u8],
+        config: &LzssConfig,
+        out: &mut Vec<u8>,
+    ) -> usize {
+        self.tokenize(chunk, config);
+        format::encode_into(&self.tokens, config, out)
+    }
 }
 
 /// Compresses `input` into a standalone self-describing buffer:
@@ -365,6 +476,41 @@ mod tests {
         decode_body_into(&format::encode(&a, &config), &config, 12, &mut out).unwrap();
         decode_body_into(&format::encode(&b, &config), &config, 12, &mut out).unwrap();
         assert_eq!(out, b"first chunk second chunk");
+    }
+
+    #[test]
+    fn tokenizer_reuse_is_byte_identical_to_one_shot_paths() {
+        for config in [LzssConfig::dipperstein(), LzssConfig::culzss_v1(), LzssConfig::culzss_v2()]
+        {
+            let mut tok = Tokenizer::new(&config);
+            let chunks: Vec<Vec<u8>> = vec![
+                Vec::new(),
+                b"x".to_vec(),
+                b"repeat repeat repeat repeat".repeat(40),
+                (0..5000u32).map(|i| (i % 251) as u8).collect(),
+            ];
+            let mut out = Vec::new();
+            for chunk in &chunks {
+                assert_eq!(tok.tokenize(chunk, &config), tokenize(chunk, &config));
+                out.clear();
+                let n = tok.compress_chunk_into(chunk, &config, &mut out);
+                let expected = format::encode(&tokenize(chunk, &config), &config);
+                assert_eq!(out, expected);
+                assert_eq!(n, expected.len());
+            }
+        }
+    }
+
+    #[test]
+    fn tokenizer_rebuilds_for_larger_windows() {
+        let small = LzssConfig::culzss_v1(); // 128-byte window
+        let big = LzssConfig::dipperstein(); // 4096-byte window
+        let mut tok = Tokenizer::new(&small);
+        let data = b"windows grow: abcabcabc abcabcabc windows grow".repeat(30);
+        assert_eq!(tok.tokenize(&data, &small), tokenize(&data, &small));
+        assert_eq!(tok.tokenize(&data, &big), tokenize(&data, &big));
+        // And back down again without rebuilding.
+        assert_eq!(tok.tokenize(&data, &small), tokenize(&data, &small));
     }
 
     #[test]

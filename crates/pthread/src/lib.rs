@@ -23,7 +23,7 @@ use culzss_lzss::container::{assemble_with, Container, ContainerVersion};
 use culzss_lzss::crc::crc32;
 use culzss_lzss::error::{Error, Result};
 use culzss_lzss::matchfind::FinderKind;
-use culzss_lzss::{format, serial};
+use culzss_lzss::serial;
 
 /// Number of worker threads matching the paper's testbed spirit: all
 /// hardware threads of the host.
@@ -93,9 +93,11 @@ pub fn compress_chunked_versioned(
                 chunks.chunks(per_worker).zip(bodies.chunks_mut(per_worker))
             {
                 scope.spawn(move |_| {
+                    // One tokenizer per worker: finder state and token
+                    // buffer are recycled across the worker's chunk range.
+                    let mut tokenizer = serial::Tokenizer::with_finder(config, finder);
                     for (chunk, body) in chunk_range.iter().zip(body_range.iter_mut()) {
-                        let tokens = serial::tokenize_with(chunk, config, finder);
-                        *body = format::encode(&tokens, config);
+                        tokenizer.compress_chunk_into(chunk, config, body);
                     }
                 });
             }
@@ -290,13 +292,18 @@ pub fn compress_chunked_dynamic(
         let next = std::sync::atomic::AtomicUsize::new(0);
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= chunks.len() {
-                        break;
+                scope.spawn(|_| {
+                    let mut tokenizer =
+                        serial::Tokenizer::with_finder(config, FinderKind::BruteForce);
+                    let mut body = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if idx >= chunks.len() {
+                            break;
+                        }
+                        tokenizer.compress_chunk_into(chunks[idx], config, &mut body);
+                        *slots[idx].lock().expect("slot lock") = std::mem::take(&mut body);
                     }
-                    let tokens = serial::tokenize(chunks[idx], config);
-                    *slots[idx].lock().expect("slot lock") = format::encode(&tokens, config);
                 });
             }
         })

@@ -152,7 +152,9 @@ impl Service {
             let shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("culzss-gpu{device}"))
-                .spawn(move || worker::run(&shared, WorkerEngine::Gpu { culzss, device }))
+                .spawn(move || {
+                    worker::run(&shared, WorkerEngine::Gpu { culzss: Box::new(culzss), device })
+                })
                 .expect("spawn GPU worker");
             workers.push(handle);
         }

@@ -16,7 +16,7 @@ use crate::service::Shared;
 
 /// The engine a worker thread drives.
 pub(crate) enum WorkerEngine {
-    Gpu { culzss: Culzss, device: usize },
+    Gpu { culzss: Box<Culzss>, device: usize },
     Cpu { threads: usize },
 }
 
