@@ -179,14 +179,29 @@ pub fn run_cell(
             // End-to-end path: admission → batch window → simulated GPU →
             // host verification (on by default) → ticket resolution.
             let service = Service::start(ServerConfig::default());
-            let cell = measure(engine, dataset, data, cfg, probe, || {
+            let mut cell = measure(engine, dataset, data, cfg, probe, || {
                 let ticket = service
                     .submit(JobSpec::compress("bench", data.to_vec()))
                     .expect("bench job admitted");
                 let outcome = ticket.wait().expect("bench job completes");
                 (outcome.output.len(), BTreeMap::new())
             });
-            service.shutdown();
+            // Per-stage accumulated seconds across all reps, from the
+            // tracing subsystem's counters. Extra counters never fail the
+            // gate (the comparator only checks ratio/throughput/cycles),
+            // so older baselines stay valid.
+            let stats = service.shutdown();
+            for (name, value) in [
+                ("queue_wait_seconds", stats.queue_wait_seconds),
+                ("service_seconds", stats.service_seconds),
+                ("verify_seconds", stats.verify_seconds),
+                ("modeled_h2d_seconds", stats.modeled_h2d_seconds),
+                ("modeled_kernel_seconds", stats.modeled_kernel_seconds),
+                ("modeled_d2h_seconds", stats.modeled_d2h_seconds),
+                ("modeled_cpu_seconds", stats.modeled_cpu_seconds),
+            ] {
+                cell.counters.insert(name.into(), value);
+            }
             cell
         }
         other => panic!("unknown engine {other:?}"),
@@ -326,6 +341,43 @@ mod tests {
         }
         let serial = run_cell("serial", Dataset::CFiles, &data, &cfg, NO_PROBE);
         assert!(serial.counters.is_empty());
+    }
+
+    #[test]
+    fn server_cell_exports_stage_counters() {
+        let cfg = tiny();
+        let data = Dataset::CFiles.generate(cfg.bytes, cfg.seed);
+        let cell = run_cell("server", Dataset::CFiles, &data, &cfg, NO_PROBE);
+        for name in [
+            "queue_wait_seconds",
+            "service_seconds",
+            "verify_seconds",
+            "modeled_h2d_seconds",
+            "modeled_kernel_seconds",
+            "modeled_d2h_seconds",
+            "modeled_cpu_seconds",
+        ] {
+            let v = cell.counters.get(name).unwrap_or_else(|| panic!("server: {name}"));
+            assert!(v.is_finite() && *v >= 0.0, "server: {name} = {v}");
+        }
+        assert!(cell.counters["service_seconds"] > 0.0);
+        // The stage counters ride along as extras: a baseline without
+        // them still compares clean against this cell.
+        let mut bare = cell.clone();
+        bare.counters.clear();
+        let wrap = |cells: Vec<Cell>| Report {
+            schema_version: SCHEMA_VERSION,
+            tool: "test".into(),
+            bytes: cfg.bytes as u64,
+            seed: cfg.seed,
+            reps: cfg.reps as u64,
+            smoke: cfg.smoke,
+            commands: Vec::new(),
+            cells,
+        };
+        let (current, baseline) = (wrap(vec![cell]), wrap(vec![bare]));
+        let regressions = compare(&current, &baseline, &Tolerances::default());
+        assert!(regressions.is_empty(), "{regressions:?}");
     }
 
     #[test]

@@ -11,6 +11,8 @@ usage:
   culzss serve      [--devices N] [--cpu-workers N] [--tenants N] [--jobs N]
                     [--payload BYTES] [--queue-depth N] [--batch-jobs N]
                     [--fail-first N] [--corrupt-every N] [--seed N]
+                    [--trace-out PATH]
+  culzss profile    <input> [--codec v1|v2] [--out PATH]
   culzss bench-serve [--jobs N] [--payload BYTES] [--seed N]
   culzss bench      [--smoke] [--size-mb N] [--reps N] [--seed N] [--out PATH]
                     [--check --baseline PATH]
@@ -29,7 +31,11 @@ decompress --salvage: best-effort decode of a damaged CULZSS container —
 serve: runs the multi-tenant service against a closed-loop load generator
        and prints the service stats; bench-serve sweeps pool shapes.
        --corrupt-every N flips a bit in every N-th compressed output to
-       exercise the verify-and-quarantine path.
+       exercise the verify-and-quarantine path. --trace-out writes the
+       run's Chrome trace (host spans + modelled GPU block spans).
+profile: compresses <input> through the service once and writes the
+       request's Chrome trace (default <input>.trace.json) — load it in
+       Perfetto or chrome://tracing; prints the stage breakdown.
 sancheck: runs both CULZSS kernels over corpus samples under the
        shared-memory sanitizer (racecheck) and prints the reports;
        exits nonzero on any conflict or barrier divergence.
@@ -138,6 +144,17 @@ pub enum Command {
         corrupt_every: u64,
         /// Load-generator seed.
         seed: u64,
+        /// Write the run's Chrome trace here.
+        trace_out: Option<String>,
+    },
+    /// Trace one compression request end to end.
+    Profile {
+        /// Input path.
+        input: String,
+        /// Codec choice (GPU codecs only).
+        codec: Codec,
+        /// Trace output path (default `<input>.trace.json`).
+        out: Option<String>,
     },
     /// Sweep service pool shapes under identical load.
     BenchServe {
@@ -270,6 +287,22 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 fail_first: num("--fail-first", 0)? as u64,
                 corrupt_every: num("--corrupt-every", 0)? as u64,
                 seed: num("--seed", 2011)? as u64,
+                trace_out: flag_value("--trace-out")?.cloned(),
+            })
+        }
+        "profile" => {
+            let pos = positional(1)?;
+            let codec = match flag_value("--codec")? {
+                Some(v) => Codec::parse(v)?,
+                None => Codec::V2,
+            };
+            if !matches!(codec, Codec::V1 | Codec::V2) {
+                return Err("profile runs on the simulated device: --codec v1|v2".into());
+            }
+            Ok(Command::Profile {
+                input: pos[0].clone(),
+                codec,
+                out: flag_value("--out")?.cloned(),
             })
         }
         "bench-serve" => {
@@ -436,8 +469,35 @@ mod tests {
                 fail_first: 0,
                 corrupt_every: 0,
                 seed: 2011,
+                trace_out: None,
             }
         );
+    }
+
+    #[test]
+    fn serve_trace_out_parses() {
+        match parse(&argv("serve --trace-out run.trace.json")).unwrap() {
+            Command::Serve { trace_out: Some(path), .. } => assert_eq!(path, "run.trace.json"),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("profile data.bin")).unwrap(),
+            Command::Profile { input: "data.bin".into(), codec: Codec::V2, out: None }
+        );
+        assert_eq!(
+            parse(&argv("profile data.bin --codec v1 --out t.json")).unwrap(),
+            Command::Profile {
+                input: "data.bin".into(),
+                codec: Codec::V1,
+                out: Some("t.json".into())
+            }
+        );
+        assert!(parse(&argv("profile")).is_err());
+        assert!(parse(&argv("profile data.bin --codec bzip2")).is_err());
     }
 
     #[test]

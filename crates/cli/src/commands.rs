@@ -31,6 +31,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             fail_first,
             corrupt_every,
             seed,
+            trace_out,
         } => serve(
             devices,
             cpu_workers,
@@ -42,7 +43,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
             fail_first,
             corrupt_every,
             seed,
+            trace_out,
         ),
+        Command::Profile { input, codec, out } => profile(&input, codec, out),
         Command::BenchServe { jobs, payload, seed } => bench_serve(jobs, payload, seed),
         Command::Bench { smoke, size_mb, reps, seed, out, baseline, check } => {
             bench(smoke, size_mb, reps, seed, out, baseline, check)
@@ -343,6 +346,7 @@ fn serve(
     fail_first: u64,
     corrupt_every: u64,
     seed: u64,
+    trace_out: Option<String>,
 ) -> Result<(), String> {
     use culzss_server::{FaultPlan, LoadGenConfig, ServerConfig, Service};
 
@@ -385,9 +389,74 @@ fn serve(
         println!("  {batch}");
     }
 
-    let stats = service.shutdown();
+    let stats = match trace_out {
+        Some(path) => {
+            let (stats, json) = service.shutdown_with_trace();
+            culzss_server::validate_chrome_trace(&json)?;
+            write(&path, json.as_bytes())?;
+            println!("\ntrace: wrote {path} (open in Perfetto or chrome://tracing)");
+            stats
+        }
+        None => service.shutdown(),
+    };
     println!("\nservice stats:\n{stats}");
     println!("counters reconcile: {}", stats.reconciles());
+    Ok(())
+}
+
+/// Profiles one compression job through the service: runs it on a
+/// single simulated GTX 480, exports the combined host + modelled GPU
+/// Chrome trace, and prints the per-stage latency breakdown.
+fn profile(input: &str, codec: Codec, out: Option<String>) -> Result<(), String> {
+    use culzss::CulzssParams;
+    use culzss_server::{JobSpec, ServerConfig, Service};
+
+    let data = read(input)?;
+    let params = if codec == Codec::V1 { CulzssParams::v1() } else { CulzssParams::v2() };
+    // No CPU workers: the job must take the device path, so the trace
+    // always carries modelled kernel stages and GPU block spans.
+    let config = ServerConfig {
+        devices: vec![culzss_gpusim::DeviceSpec::gtx480()],
+        cpu_workers: 0,
+        params,
+        ..ServerConfig::default()
+    };
+    println!(
+        "profile: {} ({} B, codec {}) on 1 simulated GTX 480",
+        input,
+        data.len(),
+        if codec == Codec::V1 { "v1" } else { "v2" }
+    );
+    let bytes_in = data.len();
+    let service = Service::start(config);
+    let ticket = service.submit(JobSpec::compress("profile", data)).map_err(|e| e.to_string())?;
+    let outcome = ticket.wait().map_err(|e| format!("profile job failed: {e}"))?;
+    let bytes_out = outcome.output.len();
+
+    let (stats, json) = service.shutdown_with_trace();
+    // The export self-validates before it is written: balanced B/E pairs
+    // per lane, monotonic timestamps, non-negative X durations.
+    culzss_server::validate_chrome_trace(&json)?;
+    let out_path = out.unwrap_or_else(|| format!("{input}.trace.json"));
+    write(&out_path, json.as_bytes())?;
+
+    println!("{bytes_in} -> {bytes_out} bytes ({:.1}%)", {
+        100.0 * bytes_out as f64 / bytes_in.max(1) as f64
+    });
+    println!("\nstage breakdown (host wall unless noted):");
+    let stages = [
+        ("queue wait", stats.queue_wait_seconds),
+        ("service (device path)", stats.service_seconds),
+        ("verify (host decode)", stats.verify_seconds),
+        ("h2d (modelled)", stats.modeled_h2d_seconds),
+        ("kernel (modelled)", stats.modeled_kernel_seconds),
+        ("d2h (modelled)", stats.modeled_d2h_seconds),
+        ("cpu pack (modelled)", stats.modeled_cpu_seconds),
+    ];
+    for (label, seconds) in stages {
+        println!("  {label:<22} {:>10.3} ms", seconds * 1e3);
+    }
+    println!("\ntrace: wrote {out_path} (open in Perfetto or chrome://tracing)");
     Ok(())
 }
 
@@ -672,6 +741,20 @@ mod tests {
     fn sancheck_passes_on_a_small_sample() {
         sancheck("de-map", 16 * 1024, 7).unwrap();
         assert!(sancheck("nonsense", 1024, 7).is_err());
+    }
+
+    #[test]
+    fn profile_emits_a_validated_trace() {
+        let input = temp("unit_profile_in.bin");
+        let trace = temp("unit_profile.trace.json");
+        let data = culzss_datasets::Dataset::CFiles.generate(64 * 1024, 9);
+        std::fs::write(&input, &data).unwrap();
+
+        profile(&input, Codec::V2, Some(trace.clone())).unwrap();
+        let json = std::fs::read_to_string(&trace).unwrap();
+        culzss_server::validate_chrome_trace(&json).unwrap();
+        assert!(json.contains("\"request\""), "host spans missing");
+        assert!(json.contains("compress#b0"), "modelled block spans missing");
     }
 
     #[test]

@@ -328,6 +328,24 @@ mod tests {
     }
 
     #[test]
+    fn clones_survive_a_poisoned_buffer_pool() {
+        // A request that panics mid-acquire poisons the shared pool's
+        // mutexes; clones of the same Culzss must keep working (and
+        // keep producing identical bytes) instead of cascading panics.
+        let input = Dataset::CFiles.generate(48 * 1024, 9);
+        let culzss = Culzss::new(Version::V2).with_workers(2);
+        let clone = culzss.clone();
+        let (before, _) = clone.compress(&input).unwrap();
+
+        culzss.pool.poison_for_tests();
+
+        let (after, _) = clone.compress(&input).unwrap();
+        assert_eq!(after, before);
+        let (restored, _) = culzss.decompress(&after).unwrap();
+        assert_eq!(restored, input);
+    }
+
+    #[test]
     fn one_shot_helpers() {
         let input = b"one shot in-memory api ".repeat(700);
         let (compressed, _) = gpu_compress(&input, Version::V2).unwrap();

@@ -9,7 +9,7 @@
 //! simultaneously.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use culzss_lzss::token::Token;
 
@@ -45,6 +45,25 @@ pub struct PoolStats {
     pub reuses: u64,
 }
 
+/// Locks a pool free-list, recovering from poisoning. A worker that
+/// panics while holding the lock poisons it; the free-list only caches
+/// *empty* buffers, so the safe recovery is to discard the cache (a
+/// half-updated list may have lost or duplicated entries), clear the
+/// poison flag, and keep serving fresh allocations. Without this, one
+/// panicking request turns every later request on every clone of the
+/// same [`crate::Culzss`] into a panic too.
+fn lock_recovering<T>(mutex: &Mutex<Vec<T>>) -> MutexGuard<'_, Vec<T>> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            mutex.clear_poison();
+            guard
+        }
+    }
+}
+
 impl BufferPool {
     /// An empty pool.
     pub fn new() -> Self {
@@ -54,7 +73,7 @@ impl BufferPool {
     /// Takes an empty byte buffer, recycling a released one when possible.
     pub fn acquire_bytes(&self) -> Vec<u8> {
         self.acquires.fetch_add(1, Ordering::Relaxed);
-        match self.bytes.lock().expect("buffer pool poisoned").pop() {
+        match lock_recovering(&self.bytes).pop() {
             Some(buf) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
                 buf
@@ -69,7 +88,7 @@ impl BufferPool {
             return;
         }
         buf.clear();
-        let mut pool = self.bytes.lock().expect("buffer pool poisoned");
+        let mut pool = lock_recovering(&self.bytes);
         if pool.len() < MAX_POOLED {
             pool.push(buf);
         }
@@ -78,7 +97,7 @@ impl BufferPool {
     /// Returns a whole batch of byte buffers (e.g. the per-chunk bodies
     /// of a finished launch) to the pool.
     pub fn release_all_bytes<I: IntoIterator<Item = Vec<u8>>>(&self, bufs: I) {
-        let mut pool = self.bytes.lock().expect("buffer pool poisoned");
+        let mut pool = lock_recovering(&self.bytes);
         for mut buf in bufs {
             if buf.capacity() == 0 || pool.len() >= MAX_POOLED {
                 continue;
@@ -91,7 +110,7 @@ impl BufferPool {
     /// Takes an empty token buffer, recycling a released one when possible.
     pub fn acquire_tokens(&self) -> Vec<Token> {
         self.acquires.fetch_add(1, Ordering::Relaxed);
-        match self.tokens.lock().expect("buffer pool poisoned").pop() {
+        match lock_recovering(&self.tokens).pop() {
             Some(buf) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
                 buf
@@ -106,10 +125,26 @@ impl BufferPool {
             return;
         }
         buf.clear();
-        let mut pool = self.tokens.lock().expect("buffer pool poisoned");
+        let mut pool = lock_recovering(&self.tokens);
         if pool.len() < MAX_POOLED {
             pool.push(buf);
         }
+    }
+
+    /// Poisons both free-list mutexes by panicking while holding each
+    /// lock, simulating a worker that died mid-acquire (recovery tests).
+    #[cfg(test)]
+    pub(crate) fn poison_for_tests(&self) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = self.bytes.lock().unwrap();
+            panic!("poison bytes free-list");
+        }));
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = self.tokens.lock().unwrap();
+            panic!("poison tokens free-list");
+        }));
+        assert!(self.bytes.is_poisoned() && self.tokens.is_poisoned());
     }
 
     /// Current reuse counters.
@@ -261,6 +296,29 @@ mod tests {
         assert!(pool.acquire_bytes().capacity() >= 16);
         assert_eq!(pool.stats().reuses, 1);
         assert_eq!(pool.acquire_bytes().capacity(), 0);
+    }
+
+    #[test]
+    fn buffer_pool_recovers_from_poisoning() {
+        let pool = BufferPool::new();
+        pool.release_bytes(vec![1u8; 64]);
+        pool.release_tokens(vec![culzss_lzss::token::Token::Literal(1); 8]);
+
+        pool.poison_for_tests();
+
+        // Acquire keeps working; the poisoned free-lists were dropped,
+        // so these are fresh allocations, not reuses.
+        let stats_before = pool.stats();
+        let b = pool.acquire_bytes();
+        let t = pool.acquire_tokens();
+        assert_eq!(b.capacity(), 0);
+        assert_eq!(t.capacity(), 0);
+        assert_eq!(pool.stats().reuses, stats_before.reuses);
+
+        // Pooling resumes normally after recovery.
+        pool.release_bytes(vec![2u8; 32]);
+        assert!(pool.acquire_bytes().capacity() >= 32);
+        assert_eq!(pool.stats().reuses, stats_before.reuses + 1);
     }
 
     #[test]

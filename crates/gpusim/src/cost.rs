@@ -56,6 +56,32 @@ pub struct KernelCost {
     pub memory_bound: bool,
 }
 
+/// Cycle cost of one global-memory transaction at `occ_fraction`
+/// occupancy: the bandwidth share plus the latency left exposed below
+/// [`HIDE_AT`]. Shared by [`cost_launch`] and
+/// [`crate::trace::Timeline::from_launch`] so the two cannot drift.
+pub(crate) fn transaction_cycles(device: &DeviceSpec, occ_fraction: f64) -> f64 {
+    let bw_cost = device.transaction_bytes as f64 / device.mem_bytes_per_cycle_per_sm();
+    let exposed = device.mem_latency_cycles * (1.0 - (occ_fraction / HIDE_AT).min(1.0));
+    bw_cost + exposed
+}
+
+/// `(compute, memory)` cycles of one block under `per_transaction`
+/// memory pricing — the per-block core of the model, shared with the
+/// timeline reconstruction.
+pub(crate) fn block_cycles(
+    device: &DeviceSpec,
+    m: &BlockMetrics,
+    per_transaction: f64,
+) -> (f64, f64) {
+    let compute = m.warp_issue_ops * CPI
+        + m.shared_cycles
+        + m.cached_accesses as f64 * device.l1_hit_cycles / device.warp_size as f64
+        + m.barriers as f64 * BARRIER_CYCLES;
+    let memory = m.global_transactions * per_transaction;
+    (compute, memory)
+}
+
 /// Costs a launch whose blocks produced `per_block` metrics.
 ///
 /// Blocks are assigned to SMs round-robin in index order, mirroring the
@@ -71,21 +97,14 @@ pub fn cost_launch(
 ) -> KernelCost {
     assert_eq!(per_block.len(), grid_dim, "one metric set per block");
     let occ = occupancy(device, grid_dim, block_dim, shared_bytes);
-
-    let bw_cost = device.transaction_bytes as f64 / device.mem_bytes_per_cycle_per_sm();
-    let exposed = device.mem_latency_cycles * (1.0 - (occ.fraction / HIDE_AT).min(1.0));
-    let per_transaction = bw_cost + exposed;
+    let per_transaction = transaction_cycles(device, occ.fraction);
 
     let mut sm_cycles = vec![0.0f64; device.sm_count];
     let mut compute_total = 0.0;
     let mut memory_total = 0.0;
     let mut work_total = 0.0;
     for (i, m) in per_block.iter().enumerate() {
-        let compute = m.warp_issue_ops * CPI
-            + m.shared_cycles
-            + m.cached_accesses as f64 * device.l1_hit_cycles / device.warp_size as f64
-            + m.barriers as f64 * BARRIER_CYCLES;
-        let memory = m.global_transactions * per_transaction;
+        let (compute, memory) = block_cycles(device, m, per_transaction);
         compute_total += compute;
         memory_total += memory;
         work_total += compute.max(memory);

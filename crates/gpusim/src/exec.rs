@@ -264,6 +264,9 @@ pub struct LaunchStats {
     pub grid_dim: usize,
     /// Threads per block.
     pub block_dim: usize,
+    /// Dynamic shared memory per block, in bytes (feeds
+    /// [`crate::trace::Timeline::from_launch`]).
+    pub shared_bytes: usize,
 }
 
 impl LaunchStats {
@@ -447,6 +450,7 @@ impl GpuSim {
                     wall_seconds: started.elapsed().as_secs_f64(),
                     grid_dim: cfg.grid_dim,
                     block_dim: cfg.block_dim,
+                    shared_bytes: cfg.shared_bytes,
                 },
             },
             sanitizer,

@@ -3,9 +3,12 @@
 //! [`Timeline::from_launch`] reconstructs the cost model's view of a
 //! launch — which block ran on which SM, when — and serializes it in the
 //! Chrome tracing JSON format (`chrome://tracing`, Perfetto), giving the
-//! simulated GPU the observability a real one gets from profilers.
+//! simulated GPU the observability a real one gets from profilers. The
+//! event writer ([`ChromeEvent`], [`write_chrome_trace`]) is generic so
+//! higher layers (the server's request tracer) can merge their host
+//! spans with the modelled block spans into one trace file.
 
-use crate::cost::{BARRIER_CYCLES, CPI, HIDE_AT};
+use crate::cost::{block_cycles, transaction_cycles};
 use crate::device::DeviceSpec;
 use crate::meter::BlockMetrics;
 use crate::occupancy::occupancy;
@@ -36,10 +39,118 @@ pub struct Timeline {
     pub sm_count: usize,
 }
 
+/// One event in the Chrome tracing JSON array format.
+///
+/// Supported phases: `'B'`/`'E'` (duration begin/end, `dur_us` ignored),
+/// `'X'` (complete, `dur_us` required), `'M'` (metadata, e.g.
+/// `process_name`). Timestamps are microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Event (span) name.
+    pub name: String,
+    /// Category string (comma-separated tags in the UI).
+    pub cat: String,
+    /// Phase: `'B'`, `'E'`, `'X'`, or `'M'`.
+    pub ph: char,
+    /// Timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds (`'X'` events only).
+    pub dur_us: Option<f64>,
+    /// Process lane.
+    pub pid: u64,
+    /// Thread lane within the process.
+    pub tid: u64,
+    /// Free-form arguments rendered in the event detail pane.
+    pub args: Vec<(String, String)>,
+}
+
+impl ChromeEvent {
+    /// A metadata event naming process lane `pid` in the trace viewer.
+    pub fn process_name(pid: u64, name: &str) -> ChromeEvent {
+        ChromeEvent {
+            name: "process_name".into(),
+            cat: "__metadata".into(),
+            ph: 'M',
+            ts_us: 0.0,
+            dur_us: None,
+            pid,
+            tid: 0,
+            args: vec![("name".into(), name.into())],
+        }
+    }
+
+    /// A metadata event naming thread lane `(pid, tid)`.
+    pub fn thread_name(pid: u64, tid: u64, name: &str) -> ChromeEvent {
+        ChromeEvent {
+            name: "thread_name".into(),
+            cat: "__metadata".into(),
+            ph: 'M',
+            ts_us: 0.0,
+            dur_us: None,
+            pid,
+            tid,
+            args: vec![("name".into(), name.into())],
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serializes `events` as a Chrome tracing JSON array.
+pub fn write_chrome_trace(events: &[ChromeEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json(&e.name, &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape_json(&e.cat, &mut out);
+        out.push_str(&format!("\",\"ph\":\"{}\",\"ts\":{:.3}", e.ph, e.ts_us));
+        if let Some(dur) = e.dur_us {
+            out.push_str(&format!(",\"dur\":{dur:.3}"));
+        }
+        out.push_str(&format!(",\"pid\":{},\"tid\":{}", e.pid, e.tid));
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json(k, &mut out);
+                out.push_str("\":\"");
+                escape_json(v, &mut out);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
 impl Timeline {
     /// Reconstructs the cost model's schedule: blocks round-robin over
-    /// SMs, executing back-to-back per SM. Must mirror
-    /// [`crate::cost::cost_launch`]'s arithmetic.
+    /// SMs, executing back-to-back per SM. Shares the per-block and
+    /// per-transaction arithmetic with [`crate::cost::cost_launch`]
+    /// (see the differential test below), so
+    /// `total_seconds == cost.seconds - device.launch_overhead`.
     pub fn from_launch(
         device: &DeviceSpec,
         block_dim: usize,
@@ -47,18 +158,12 @@ impl Timeline {
         per_block: &[BlockMetrics],
     ) -> Timeline {
         let occ = occupancy(device, per_block.len(), block_dim, shared_bytes);
-        let bw_cost = device.transaction_bytes as f64 / device.mem_bytes_per_cycle_per_sm();
-        let exposed = device.mem_latency_cycles * (1.0 - (occ.fraction / HIDE_AT).min(1.0));
-        let per_transaction = bw_cost + exposed;
+        let per_transaction = transaction_cycles(device, occ.fraction);
 
         let mut sm_clock = vec![0.0f64; device.sm_count];
         let mut spans = Vec::with_capacity(per_block.len());
         for (i, m) in per_block.iter().enumerate() {
-            let compute = m.warp_issue_ops * CPI
-                + m.shared_cycles
-                + m.cached_accesses as f64 * device.l1_hit_cycles / device.warp_size as f64
-                + m.barriers as f64 * BARRIER_CYCLES;
-            let memory = m.global_transactions * per_transaction;
+            let (compute, memory) = block_cycles(device, m, per_transaction);
             let cycles = compute.max(memory);
             let sm = i % device.sm_count;
             let start = sm_clock[sm] / device.clock_hz;
@@ -76,29 +181,30 @@ impl Timeline {
         Timeline { spans, total_seconds, sm_count: device.sm_count }
     }
 
+    /// The per-SM block spans as `'X'` (complete) [`ChromeEvent`]s,
+    /// shifted by `offset_us` and placed on process lane `pid` with one
+    /// thread lane per SM. Higher layers use the offset to anchor the
+    /// kernel's blocks inside a host-side span.
+    pub fn block_events(&self, kernel_name: &str, pid: u64, offset_us: f64) -> Vec<ChromeEvent> {
+        self.spans
+            .iter()
+            .map(|span| ChromeEvent {
+                name: format!("{kernel_name}#b{}", span.block_idx),
+                cat: if span.memory_bound { "memory" } else { "compute" }.into(),
+                ph: 'X',
+                ts_us: offset_us + span.start * 1e6,
+                dur_us: Some(span.duration * 1e6),
+                pid,
+                tid: span.sm as u64,
+                args: Vec::new(),
+            })
+            .collect()
+    }
+
     /// Serializes the timeline as Chrome tracing JSON (array form).
     /// Timestamps are microseconds, one "thread" per SM.
     pub fn to_chrome_trace(&self, kernel_name: &str) -> String {
-        let mut out = String::from("[");
-        for (i, span) in self.spans.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                concat!(
-                    "{{\"name\":\"{}#b{}\",\"cat\":\"{}\",\"ph\":\"X\",",
-                    "\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}}}"
-                ),
-                kernel_name,
-                span.block_idx,
-                if span.memory_bound { "memory" } else { "compute" },
-                span.start * 1e6,
-                span.duration * 1e6,
-                span.sm,
-            ));
-        }
-        out.push(']');
-        out
+        write_chrome_trace(&self.block_events(kernel_name, 0, 0.0))
     }
 
     /// SM utilization: busy time over `sm_count × makespan`.
@@ -148,6 +254,47 @@ mod tests {
     }
 
     #[test]
+    fn total_matches_cost_model_across_configs() {
+        // Differential guard: the timeline reconstruction and the cost
+        // model price launches through the same shared helpers; this
+        // sweep (grids, block dims, shared allocations, memory-heavy
+        // and compute-heavy blocks) pins that they cannot drift apart.
+        use crate::cost::cost_launch;
+        for device in [DeviceSpec::gtx480(), DeviceSpec::gtx280()] {
+            for grid in [1usize, 7, 64, 200] {
+                for block_dim in [32usize, 128, 256] {
+                    for shared in [0usize, 4096, 16384] {
+                        if shared > device.shared_mem_per_block {
+                            continue;
+                        }
+                        let blocks: Vec<BlockMetrics> = (0..grid)
+                            .map(|i| BlockMetrics {
+                                warp_issue_ops: 100.0 * (1 + i % 7) as f64,
+                                global_transactions: (250 * (i % 3)) as f64,
+                                shared_cycles: (i % 2) as f64 * 64.0,
+                                cached_accesses: (i * 11 % 97) as u64,
+                                barriers: (i % 5) as u64,
+                                blocks: 1,
+                                block_dim,
+                                ..Default::default()
+                            })
+                            .collect();
+                        let timeline = Timeline::from_launch(&device, block_dim, shared, &blocks);
+                        let cost = cost_launch(&device, grid, block_dim, shared, &blocks);
+                        let expect = cost.seconds - device.launch_overhead;
+                        assert!(
+                            (timeline.total_seconds - expect).abs() <= 1e-12 * expect.max(1.0),
+                            "grid {grid} block {block_dim} shared {shared}: \
+                             timeline {} vs cost {expect}",
+                            timeline.total_seconds,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn chrome_trace_is_wellformed_json() {
         let device = DeviceSpec::gtx480();
         let blocks: Vec<BlockMetrics> = (0..4).map(|_| metrics(100.0)).collect();
@@ -158,6 +305,56 @@ mod tests {
         assert!(json.contains("lzss_v2#b0"));
         // Balanced braces (crude JSON sanity).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn chrome_writer_escapes_and_serializes_all_phases() {
+        let events = vec![
+            ChromeEvent::process_name(7, "service \"quoted\""),
+            ChromeEvent {
+                name: "span\nwith\tcontrol".into(),
+                cat: "host".into(),
+                ph: 'B',
+                ts_us: 1.5,
+                dur_us: None,
+                pid: 7,
+                tid: 3,
+                args: vec![("tenant".into(), "a\\b".into())],
+            },
+            ChromeEvent {
+                name: "span\nwith\tcontrol".into(),
+                cat: "host".into(),
+                ph: 'E',
+                ts_us: 2.5,
+                dur_us: None,
+                pid: 7,
+                tid: 3,
+                args: Vec::new(),
+            },
+        ];
+        let json = write_chrome_trace(&events);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("span\\nwith\\tcontrol"));
+        assert!(json.contains("a\\\\b"));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn block_events_offset_and_lane() {
+        let device = DeviceSpec::gtx480();
+        let blocks: Vec<BlockMetrics> = (0..3).map(|_| metrics(1000.0)).collect();
+        let timeline = Timeline::from_launch(&device, 64, 0, &blocks);
+        let events = timeline.block_events("k", 42, 500.0);
+        assert_eq!(events.len(), 3);
+        for (event, span) in events.iter().zip(&timeline.spans) {
+            assert_eq!(event.pid, 42);
+            assert_eq!(event.tid, span.sm as u64);
+            assert!((event.ts_us - (500.0 + span.start * 1e6)).abs() < 1e-9);
+            assert_eq!(event.ph, 'X');
+        }
     }
 
     #[test]

@@ -32,6 +32,9 @@
 //!   [`ServiceStats`] snapshot whose counters reconcile.
 //! - **Load** — a closed-loop multi-tenant generator ([`loadgen`])
 //!   driving mixed traffic from the `culzss-datasets` corpora.
+//! - **Tracing** — always-on span recording from admission to delivery,
+//!   merged with the modelled per-SM GPU timelines into one Chrome-trace
+//!   export ([`tracing`], [`Service::trace_chrome_json`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +46,7 @@ pub mod loadgen;
 mod queue;
 pub mod service;
 pub mod stats;
+pub mod tracing;
 mod worker;
 
 pub use batch::BatchReport;
@@ -54,3 +58,4 @@ pub use job::{
 pub use loadgen::{LoadGenConfig, LoadReport};
 pub use service::{ServerConfig, Service};
 pub use stats::{HistogramSnapshot, ServiceStats};
+pub use tracing::{chrome_trace, validate_chrome_trace, SpanRecord};

@@ -8,10 +8,21 @@
 //! carries device-failure retries to the CPU fallback workers.
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::job::{Job, SubmitError};
+
+/// A coalesced window of same-kind jobs handed to one worker, stamped
+/// with the instant it left the queue. Every job in the window stops
+/// waiting at that one instant — queue-wait measurement must use it, not
+/// each job's own service start (which would fold earlier jobs' service
+/// time into later jobs' reported wait).
+pub(crate) struct Batch {
+    pub jobs: Vec<Job>,
+    pub dequeued_at: Instant,
+}
 
 /// Which engine a worker drives; decides which lanes it may serve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,7 +140,7 @@ impl AdmissionQueue {
         class: WorkerClass,
         max_jobs: usize,
         max_bytes: usize,
-    ) -> Option<Vec<Job>> {
+    ) -> Option<Batch> {
         let max_jobs = max_jobs.max(1);
         let mut s = self.state.lock();
         loop {
@@ -150,7 +161,7 @@ impl AdmissionQueue {
                     jobs.push(job);
                 }
                 s.active_batches += 1;
-                return Some(jobs);
+                return Some(Batch { jobs, dequeued_at: Instant::now() });
             }
             if !s.heap.is_empty() {
                 let first = s.heap.pop().expect("non-empty heap").job;
@@ -166,7 +177,7 @@ impl AdmissionQueue {
                     jobs.push(job);
                 }
                 s.active_batches += 1;
-                return Some(jobs);
+                return Some(Batch { jobs, dequeued_at: Instant::now() });
             }
             if !s.accepting && s.cpu_lane.is_empty() && s.active_batches == 0 {
                 return None;
@@ -258,7 +269,7 @@ mod tests {
             .map(|_| {
                 let batch = q.next_batch(WorkerClass::Gpu, 1, usize::MAX).unwrap();
                 q.finish_batch();
-                batch[0].id.0
+                batch.jobs[0].id.0
             })
             .collect();
         assert_eq!(order, [2, 0, 3, 1]);
@@ -278,7 +289,7 @@ mod tests {
             keep.push(rx);
             q.submit(j).unwrap();
         }
-        let ids = |batch: Vec<Job>| batch.iter().map(|j| j.id.0).collect::<Vec<_>>();
+        let ids = |batch: Batch| batch.jobs.iter().map(|j| j.id.0).collect::<Vec<_>>();
         let b1 = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
         q.finish_batch();
         assert_eq!(ids(b1), [0, 1]);
@@ -334,13 +345,13 @@ mod tests {
         q.submit(j0).unwrap();
         q.begin_shutdown();
         let batch = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
-        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.jobs.len(), 1);
         // A still-active batch may requeue onto the CPU lane, so drain
         // is not complete until it is finished.
-        q.requeue_cpu(batch.into_iter().next().unwrap());
+        q.requeue_cpu(batch.jobs.into_iter().next().unwrap());
         q.finish_batch();
         let fallback = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
-        assert_eq!(fallback.len(), 1);
+        assert_eq!(fallback.jobs.len(), 1);
         drop(fallback);
         q.finish_batch();
         assert!(q.next_batch(WorkerClass::Gpu, 8, usize::MAX).is_none());
@@ -356,11 +367,11 @@ mod tests {
         q.submit(j1).unwrap();
         // The GPU worker sees only the main heap job.
         let batch = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
-        assert_eq!(batch[0].id.0, 1);
+        assert_eq!(batch.jobs[0].id.0, 1);
         q.finish_batch();
         // The CPU worker drains the fallback lane.
         let batch = q.next_batch(WorkerClass::Cpu, 8, usize::MAX).unwrap();
-        assert_eq!(batch[0].id.0, 0);
+        assert_eq!(batch.jobs[0].id.0, 0);
         q.finish_batch();
     }
 }

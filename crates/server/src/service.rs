@@ -14,6 +14,7 @@ use crate::fault::FaultPlan;
 use crate::job::{Job, JobId, JobSpec, JobTicket, SubmitError};
 use crate::queue::AdmissionQueue;
 use crate::stats::{ServiceStats, StatsCollector};
+use crate::tracing::{SpanRecord, TraceRecorder};
 use crate::worker::{self, WorkerEngine};
 
 /// Configuration of a [`Service`].
@@ -81,6 +82,7 @@ impl Default for ServerConfig {
 pub(crate) struct Shared {
     pub queue: AdmissionQueue,
     pub stats: StatsCollector,
+    pub trace: TraceRecorder,
     pub fault: FaultPlan,
     pub params: CulzssParams,
     pub cpu_threads: usize,
@@ -118,6 +120,7 @@ impl Service {
                 has_cpu_workers,
             ),
             stats: StatsCollector::new(),
+            trace: TraceRecorder::new(),
             fault: config.fault,
             params: config.params.clone(),
             cpu_threads: config.cpu_threads.max(1),
@@ -228,6 +231,24 @@ impl Service {
         self.shared.stats.recent_batches()
     }
 
+    /// Every span recorded since the service started (µs timestamps
+    /// relative to the service epoch).
+    pub fn trace_spans(&self) -> Vec<SpanRecord> {
+        self.shared.trace.spans()
+    }
+
+    /// The recorded spans — request lifecycle plus modelled GPU block
+    /// spans — as one Chrome tracing JSON document (load in Perfetto or
+    /// `chrome://tracing`).
+    pub fn trace_chrome_json(&self) -> String {
+        self.shared.trace.chrome_json()
+    }
+
+    /// Spans discarded because the bounded trace buffer was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.shared.trace.dropped()
+    }
+
     /// Graceful shutdown: stops admitting, drains every queued and
     /// in-flight job (their tickets resolve normally), joins the
     /// workers, and returns the final — reconciling — stats snapshot.
@@ -235,6 +256,15 @@ impl Service {
         let shared = Arc::clone(&self.shared);
         drop(self); // Drop drains and joins.
         shared.stats.snapshot()
+    }
+
+    /// [`Self::shutdown`], additionally returning the complete Chrome
+    /// trace. Exporting after the drain guarantees every span — including
+    /// the batch windows closing out during shutdown — is present.
+    pub fn shutdown_with_trace(self) -> (ServiceStats, String) {
+        let shared = Arc::clone(&self.shared);
+        drop(self); // Drop drains and joins.
+        (shared.stats.snapshot(), shared.trace.chrome_json())
     }
 }
 

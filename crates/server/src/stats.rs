@@ -18,12 +18,17 @@ const BATCH_RING: usize = 256;
 pub(crate) struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<AtomicU64>,
+    /// Largest sample seen, as f64 bits (samples are non-negative, so
+    /// the IEEE-754 bit pattern orders the same as the value). Used to
+    /// clamp overflow-bucket quantiles to an observed value instead of
+    /// reporting infinity.
+    max_sample: AtomicU64,
 }
 
 impl Histogram {
     fn new(bounds: Vec<f64>) -> Self {
         let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
-        Self { bounds, counts }
+        Self { bounds, counts, max_sample: AtomicU64::new(0) }
     }
 
     /// Decades from 10 µs to 100 s — job latency.
@@ -39,12 +44,21 @@ impl Histogram {
     pub fn record(&self, sample: f64) {
         let i = self.bounds.iter().position(|b| sample <= *b).unwrap_or(self.bounds.len());
         self.counts[i].fetch_add(1, Relaxed);
+        let bits = sample.max(0.0).to_bits();
+        let mut seen = self.max_sample.load(Relaxed);
+        while bits > seen {
+            match self.max_sample.compare_exchange_weak(seen, bits, Relaxed, Relaxed) {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             bounds: self.bounds.clone(),
             counts: self.counts.iter().map(|c| c.load(Relaxed)).collect(),
+            max_sample: f64::from_bits(self.max_sample.load(Relaxed)),
         }
     }
 }
@@ -57,6 +71,9 @@ pub struct HistogramSnapshot {
     pub bounds: Vec<f64>,
     /// Per-bucket sample counts (`bounds.len() + 1` entries).
     pub counts: Vec<u64>,
+    /// Largest sample observed (0.0 when empty). Caps the overflow
+    /// bucket so quantiles stay finite.
+    pub max_sample: f64,
 }
 
 impl HistogramSnapshot {
@@ -65,23 +82,45 @@ impl HistogramSnapshot {
         self.counts.iter().sum()
     }
 
-    /// Upper bound of the bucket containing quantile `q` (`0.0..=1.0`);
-    /// `f64::INFINITY` when the quantile lands in the overflow bucket,
+    /// Estimate of quantile `q` (`0.0..=1.0`), linearly interpolated
+    /// within the containing bucket. The overflow bucket is clamped to
+    /// the largest observed sample, so the result is always finite;
     /// `0.0` when the histogram is empty.
     pub fn quantile(&self, q: f64) -> f64 {
         let total = self.total();
         if total == 0 {
             return 0.0;
         }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= target {
-                return self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut before = 0u64;
+        let mut last = None;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
             }
+            if rank <= (before + count) as f64 {
+                return self.interpolate(i, before, count, rank);
+            }
+            last = Some((i, before, count));
+            before += count;
         }
-        f64::INFINITY
+        // Floating-point slack pushed `rank` past the cumulative total;
+        // clamp into the last non-empty bucket.
+        let (i, before, count) = last.expect("total > 0 implies a non-empty bucket");
+        self.interpolate(i, before, count, rank)
+    }
+
+    /// Linear interpolation of continuous rank `rank` within bucket
+    /// `bucket`, whose cumulative predecessors hold `before` samples.
+    fn interpolate(&self, bucket: usize, before: u64, count: u64, rank: f64) -> f64 {
+        let lo = if bucket == 0 { 0.0 } else { self.bounds[bucket - 1] };
+        let hi = match self.bounds.get(bucket) {
+            Some(&bound) => bound,
+            // Overflow bucket: the largest observed sample bounds it.
+            None => self.max_sample.max(lo),
+        };
+        let frac = ((rank - before as f64) / count as f64).clamp(0.0, 1.0);
+        lo + (hi - lo) * frac
     }
 }
 
@@ -120,6 +159,26 @@ pub(crate) struct StatsCollector {
     latency: Histogram,
     queue_depth: Histogram,
     batch_agg: Mutex<BatchAgg>,
+    queue_wait_nanos: AtomicU64,
+    service_nanos: AtomicU64,
+    verify_nanos: AtomicU64,
+    modeled_h2d_nanos: AtomicU64,
+    modeled_kernel_nanos: AtomicU64,
+    modeled_d2h_nanos: AtomicU64,
+    modeled_cpu_nanos: AtomicU64,
+}
+
+/// Accumulates a duration into an integer nanosecond counter (atomics
+/// hold no f64; nanoseconds keep summation exact enough for reports).
+fn add_nanos(counter: &AtomicU64, seconds: f64) {
+    if seconds > 0.0 {
+        counter.fetch_add((seconds * 1e9) as u64, Relaxed);
+    }
+}
+
+/// Reads an [`add_nanos`] accumulator back as seconds.
+fn load_seconds(counter: &AtomicU64) -> f64 {
+    counter.load(Relaxed) as f64 / 1e9
 }
 
 impl StatsCollector {
@@ -150,7 +209,32 @@ impl StatsCollector {
             latency: Histogram::latency(),
             queue_depth: Histogram::depth(),
             batch_agg: Mutex::new(BatchAgg::default()),
+            queue_wait_nanos: AtomicU64::new(0),
+            service_nanos: AtomicU64::new(0),
+            verify_nanos: AtomicU64::new(0),
+            modeled_h2d_nanos: AtomicU64::new(0),
+            modeled_kernel_nanos: AtomicU64::new(0),
+            modeled_d2h_nanos: AtomicU64::new(0),
+            modeled_cpu_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Accumulates one job's wall-clock stage durations (derived from
+    /// its trace spans): admission→dequeue wait, worker execution, and
+    /// the verify-on-deliver pass.
+    pub fn on_stage_seconds(&self, queue_wait: f64, service: f64, verify: f64) {
+        add_nanos(&self.queue_wait_nanos, queue_wait);
+        add_nanos(&self.service_nanos, service);
+        add_nanos(&self.verify_nanos, verify);
+    }
+
+    /// Accumulates the cost model's stage breakdown for one GPU job
+    /// (modelled seconds, not wall clock).
+    pub fn on_modeled_stages(&self, h2d: f64, kernel: f64, d2h: f64, cpu: f64) {
+        add_nanos(&self.modeled_h2d_nanos, h2d);
+        add_nanos(&self.modeled_kernel_nanos, kernel);
+        add_nanos(&self.modeled_d2h_nanos, d2h);
+        add_nanos(&self.modeled_cpu_nanos, cpu);
     }
 
     pub fn on_received(&self) {
@@ -273,6 +357,13 @@ impl StatsCollector {
             sancheck_divergent_blocks: self.sancheck_divergent_blocks.load(Relaxed),
             batch_sequential_seconds: agg.sequential_seconds,
             batch_pipelined_seconds: agg.pipelined_seconds,
+            queue_wait_seconds: load_seconds(&self.queue_wait_nanos),
+            service_seconds: load_seconds(&self.service_nanos),
+            verify_seconds: load_seconds(&self.verify_nanos),
+            modeled_h2d_seconds: load_seconds(&self.modeled_h2d_nanos),
+            modeled_kernel_seconds: load_seconds(&self.modeled_kernel_nanos),
+            modeled_d2h_seconds: load_seconds(&self.modeled_d2h_nanos),
+            modeled_cpu_seconds: load_seconds(&self.modeled_cpu_nanos),
             latency: self.latency.snapshot(),
             queue_depth: self.queue_depth.snapshot(),
         }
@@ -340,6 +431,21 @@ pub struct ServiceStats {
     pub batch_sequential_seconds: f64,
     /// Σ over batches of the overlapped makespans.
     pub batch_pipelined_seconds: f64,
+    /// Σ wall-clock seconds resolved jobs spent queued (admission →
+    /// batch dequeue).
+    pub queue_wait_seconds: f64,
+    /// Σ wall-clock seconds jobs spent executing inside a worker.
+    pub service_seconds: f64,
+    /// Σ wall-clock seconds spent verifying outputs before delivery.
+    pub verify_seconds: f64,
+    /// Σ modelled host→device transfer seconds (GPU jobs only).
+    pub modeled_h2d_seconds: f64,
+    /// Σ modelled kernel seconds (GPU jobs only).
+    pub modeled_kernel_seconds: f64,
+    /// Σ modelled device→host transfer seconds (GPU jobs only).
+    pub modeled_d2h_seconds: f64,
+    /// Σ host-side selection/encode seconds within GPU jobs.
+    pub modeled_cpu_seconds: f64,
     /// Job latency (admission → resolution), seconds.
     pub latency: HistogramSnapshot,
     /// Queue depth observed after each admission.
@@ -420,6 +526,17 @@ impl fmt::Display for ServiceStats {
             self.sancheck_divergent_blocks,
             if self.race_free() { "race-free" } else { "NOT verified race-free" },
         )?;
+        writeln!(
+            f,
+            "stages: queue {:.3}s  service {:.3}s  verify {:.3}s   modelled h2d {:.2e}s kernel {:.2e}s d2h {:.2e}s cpu {:.2e}s",
+            self.queue_wait_seconds,
+            self.service_seconds,
+            self.verify_seconds,
+            self.modeled_h2d_seconds,
+            self.modeled_kernel_seconds,
+            self.modeled_d2h_seconds,
+            self.modeled_cpu_seconds,
+        )?;
         write!(
             f,
             "latency p50 <= {:.2e} s, p99 <= {:.2e} s   queue depth p50 <= {:.0}, p99 <= {:.0}",
@@ -446,9 +563,57 @@ mod tests {
         assert_eq!(snap.counts[0], 1); // ≤ 10 µs
         assert_eq!(snap.counts[2], 2); // ≤ 1 ms
         assert_eq!(*snap.counts.last().unwrap(), 1); // overflow
-        assert_eq!(snap.quantile(0.5), 1e-3);
-        assert_eq!(snap.quantile(1.0), f64::INFINITY);
-        assert_eq!(HistogramSnapshot { bounds: vec![1.0], counts: vec![0, 0] }.quantile(0.5), 0.0);
+                                                     // rank 2.5 lands 0.75 into the (1e-4, 1e-3] bucket.
+        assert!((snap.quantile(0.5) - 7.75e-4).abs() < 1e-12);
+        // The overflow bucket is capped by the max observed sample.
+        assert_eq!(snap.max_sample, 2000.0);
+        assert_eq!(snap.quantile(1.0), 2000.0);
+        let empty = HistogramSnapshot { bounds: vec![1.0], counts: vec![0, 0], max_sample: 0.0 };
+        assert_eq!(empty.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_zero_is_the_lower_edge() {
+        let h = Histogram::latency();
+        h.record(5e-4); // (1e-4, 1e-3] bucket
+        h.record(0.5); // (1e-1, 1.0] bucket
+        let snap = h.snapshot();
+        // q=0 interpolates to the lower edge of the first non-empty bucket.
+        assert_eq!(snap.quantile(0.0), 1e-4);
+        // q=1 interpolates to the upper edge of the last non-empty bucket.
+        assert_eq!(snap.quantile(1.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_all_overflow_is_finite() {
+        let h = Histogram::latency();
+        for v in [150.0, 300.0, 450.0] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // Lower edge = last bound (100), upper edge = max sample (450).
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let v = snap.quantile(q);
+            assert!(v.is_finite(), "q={q} gave {v}");
+            assert!((100.0..=450.0).contains(&v), "q={q} gave {v}");
+        }
+        assert_eq!(snap.quantile(1.0), 450.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotonic_in_q() {
+        let h = Histogram::depth();
+        for v in [1.0, 3.0, 3.0, 20.0, 700.0, 5000.0] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let v = snap.quantile(i as f64 / 20.0);
+            assert!(v >= prev, "quantile regressed at q={}", i as f64 / 20.0);
+            assert!(v.is_finite());
+            prev = v;
+        }
     }
 
     #[test]

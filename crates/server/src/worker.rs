@@ -8,11 +8,13 @@ use culzss::hetero;
 use culzss::pipeline::StageTimes;
 use culzss::stream::BatchTimeline;
 use culzss::{Culzss, CulzssError};
+use culzss_gpusim::trace::Timeline;
 
 use crate::batch::BatchReport;
 use crate::job::{EngineKind, Job, JobError, JobOutcome};
-use crate::queue::WorkerClass;
+use crate::queue::{Batch, WorkerClass};
 use crate::service::Shared;
+use crate::tracing::{BATCH_PID, SERVICE_PID};
 
 /// The engine a worker thread drives.
 pub(crate) enum WorkerEngine {
@@ -39,13 +41,14 @@ impl WorkerEngine {
 /// Worker thread body: serve batch windows until shutdown drains.
 pub(crate) fn run(shared: &Shared, engine: WorkerEngine) {
     let class = engine.class();
-    while let Some(jobs) = shared.queue.next_batch(class, shared.batch_jobs, shared.batch_bytes) {
-        execute_batch(shared, &engine, jobs);
+    while let Some(batch) = shared.queue.next_batch(class, shared.batch_jobs, shared.batch_bytes) {
+        execute_batch(shared, &engine, batch);
         shared.queue.finish_batch();
     }
 }
 
-fn execute_batch(shared: &Shared, engine: &WorkerEngine, jobs: Vec<Job>) {
+fn execute_batch(shared: &Shared, engine: &WorkerEngine, batch: Batch) {
+    let Batch { jobs, dequeued_at } = batch;
     let batch_id = shared.next_batch_id();
     let kind = jobs[0].kind;
     let job_count = jobs.len();
@@ -53,11 +56,24 @@ fn execute_batch(shared: &Shared, engine: &WorkerEngine, jobs: Vec<Job>) {
     let mut timeline = BatchTimeline::new();
 
     for job in jobs {
-        if let Some(requeued) = run_job(shared, engine, job, batch_id, &mut timeline) {
+        if let Some(requeued) = run_job(shared, engine, job, batch_id, dequeued_at, &mut timeline) {
             shared.queue.requeue_cpu(requeued);
         }
     }
 
+    shared.trace.host_span(
+        "batch",
+        BATCH_PID,
+        batch_id,
+        dequeued_at,
+        Instant::now(),
+        vec![
+            ("kind".into(), format!("{kind:?}")),
+            ("engine".into(), format!("{:?}", engine.kind())),
+            ("jobs".into(), job_count.to_string()),
+            ("bytes_in".into(), bytes_in.to_string()),
+        ],
+    );
     shared.stats.on_batch(BatchReport {
         batch_id,
         kind,
@@ -76,8 +92,21 @@ fn run_job(
     engine: &WorkerEngine,
     mut job: Job,
     batch_id: u64,
+    dequeued_at: Instant,
     timeline: &mut BatchTimeline,
 ) -> Option<Job> {
+    // Queue wait ends when the batch left the queue — NOT at each job's
+    // own service start, which would fold earlier batch-mates' service
+    // time into later jobs' reported wait.
+    let queued_seconds = dequeued_at.duration_since(job.accepted_at).as_secs_f64();
+    shared.trace.host_span(
+        "queue_wait",
+        SERVICE_PID,
+        job.id.0,
+        job.accepted_at,
+        dequeued_at,
+        vec![("tenant".into(), job.tenant.clone())],
+    );
     let now = Instant::now();
     if let Some(deadline) = job.deadline {
         if now >= deadline {
@@ -86,7 +115,6 @@ fn run_job(
             return None;
         }
     }
-    let queued_seconds = now.duration_since(job.accepted_at).as_secs_f64();
 
     let cpu_threads = match engine {
         WorkerEngine::Cpu { threads } => Some(*threads),
@@ -106,6 +134,14 @@ fn run_job(
                 crate::job::JobKind::Decompress => hetero::cpu_decompress(&job.payload, threads),
             };
             let service_seconds = started.elapsed().as_secs_f64();
+            shared.trace.host_span(
+                "execute",
+                SERVICE_PID,
+                job.id.0,
+                started,
+                Instant::now(),
+                vec![("engine".into(), "cpu".into())],
+            );
             match result {
                 Ok(output) => {
                     timeline.push_stages(StageTimes { cpu: service_seconds, ..Default::default() });
@@ -139,8 +175,51 @@ fn run_job(
                 }
             };
             let service_seconds = started.elapsed().as_secs_f64();
+            shared.trace.host_span(
+                "execute",
+                SERVICE_PID,
+                job.id.0,
+                started,
+                Instant::now(),
+                vec![("engine".into(), format!("gpu{device}"))],
+            );
             match result {
                 Ok((output, stats)) => {
+                    // Nest the cost model's stage breakdown under the
+                    // execute span, and anchor the launch's per-SM block
+                    // spans at the kernel stage's start, linking this
+                    // job's host timeline to its device timeline.
+                    let kernel_name = match job.kind {
+                        crate::job::JobKind::Compress => "compress",
+                        crate::job::JobKind::Decompress => "decompress",
+                    };
+                    let mut at_us = shared.trace.instant_us(started);
+                    for (stage, seconds) in [
+                        ("h2d", stats.h2d_seconds),
+                        ("kernel", stats.kernel_seconds),
+                        ("d2h", stats.d2h_seconds),
+                        ("cpu", stats.cpu_seconds),
+                    ] {
+                        shared.trace.modelled_span(stage, job.id.0, at_us, seconds);
+                        if stage == "kernel" {
+                            if let Some(launch) = &stats.launch {
+                                let timeline = Timeline::from_launch(
+                                    culzss.device(),
+                                    launch.block_dim,
+                                    launch.shared_bytes,
+                                    &launch.per_block,
+                                );
+                                shared.trace.block_spans(*device, &timeline, kernel_name, at_us);
+                            }
+                        }
+                        at_us += seconds * 1e6;
+                    }
+                    shared.stats.on_modeled_stages(
+                        stats.h2d_seconds,
+                        stats.kernel_seconds,
+                        stats.d2h_seconds,
+                        stats.cpu_seconds,
+                    );
                     timeline.push(&stats);
                     deliver(
                         shared,
@@ -197,10 +276,22 @@ fn deliver(
     queued_seconds: f64,
     service_seconds: f64,
 ) -> Option<Job> {
+    let mut verify_seconds = 0.0;
     if job.kind == crate::job::JobKind::Compress {
         shared.fault.corrupt_payload(&mut output);
         if shared.verify_outputs {
-            if let Err(detail) = roundtrip_check(shared, &job.payload, &output) {
+            let started = Instant::now();
+            let checked = roundtrip_check(shared, &job.payload, &output);
+            verify_seconds = started.elapsed().as_secs_f64();
+            shared.trace.host_span(
+                "verify",
+                SERVICE_PID,
+                job.id.0,
+                started,
+                Instant::now(),
+                vec![("ok".into(), checked.is_ok().to_string())],
+            );
+            if let Err(detail) = checked {
                 shared.stats.on_integrity_failure(&job.tenant);
                 if job.attempts < shared.max_retries {
                     job.attempts += 1;
@@ -214,7 +305,16 @@ fn deliver(
             }
         }
     }
-    resolve_ok(shared, job, output, engine, batch_id, queued_seconds, service_seconds);
+    resolve_ok(
+        shared,
+        job,
+        output,
+        engine,
+        batch_id,
+        queued_seconds,
+        service_seconds,
+        verify_seconds,
+    );
     None
 }
 
@@ -231,6 +331,7 @@ fn roundtrip_check(shared: &Shared, input: &[u8], output: &[u8]) -> Result<(), S
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn resolve_ok(
     shared: &Shared,
     job: Job,
@@ -239,8 +340,24 @@ fn resolve_ok(
     batch_id: u64,
     queued_seconds: f64,
     service_seconds: f64,
+    verify_seconds: f64,
 ) {
     let latency = job.accepted_at.elapsed().as_secs_f64();
+    shared.trace.host_span(
+        "request",
+        SERVICE_PID,
+        job.id.0,
+        job.accepted_at,
+        Instant::now(),
+        vec![
+            ("tenant".into(), job.tenant.clone()),
+            ("kind".into(), format!("{:?}", job.kind)),
+            ("engine".into(), format!("{engine:?}")),
+            ("batch".into(), batch_id.to_string()),
+            ("retries".into(), job.attempts.to_string()),
+        ],
+    );
+    shared.stats.on_stage_seconds(queued_seconds, service_seconds, verify_seconds);
     shared.stats.on_completed(
         engine,
         job.attempts,
@@ -264,6 +381,14 @@ fn resolve_ok(
 }
 
 fn resolve_err(shared: &Shared, job: Job, error: JobError) {
+    shared.trace.host_span(
+        "request",
+        SERVICE_PID,
+        job.id.0,
+        job.accepted_at,
+        Instant::now(),
+        vec![("tenant".into(), job.tenant.clone()), ("error".into(), error.to_string())],
+    );
     shared.stats.on_failed(&error);
     shared.queue.release_tenant(&job.tenant);
     let _ = job.responder.send(Err(error));

@@ -1,0 +1,142 @@
+//! End-to-end tests of the tracing subsystem: one export contains both
+//! the server lifecycle spans and the linked modelled GPU block spans,
+//! the spans nest, stage durations account for the request latency, and
+//! queue wait is measured admission → dequeue (not → completion).
+
+use std::time::{Duration, Instant};
+
+use culzss_datasets::Dataset;
+use culzss_server::tracing::{DEVICE_PID_BASE, SERVICE_PID};
+use culzss_server::{validate_chrome_trace, JobSpec, ServerConfig, Service, SpanRecord};
+
+/// One simulated GPU, no CPU workers — every job takes the device path.
+fn gpu_only_config() -> ServerConfig {
+    ServerConfig { gpu_sim_threads: 2, cpu_workers: 0, ..ServerConfig::default() }
+}
+
+fn span_of<'a>(spans: &'a [SpanRecord], name: &str, tid: u64) -> &'a SpanRecord {
+    spans
+        .iter()
+        .find(|s| s.pid == SERVICE_PID && s.tid == tid && s.name == name)
+        .unwrap_or_else(|| panic!("no {name:?} span on job lane {tid}"))
+}
+
+#[test]
+fn export_links_host_spans_with_gpu_block_spans() {
+    let service = Service::start(gpu_only_config());
+    let payload = Dataset::CFiles.generate(96 * 1024, 5);
+    let ticket = service.submit(JobSpec::compress("trace-tenant", payload)).unwrap();
+    let job_id = ticket.id().0;
+    let outcome = ticket.wait().expect("job completes");
+    assert_eq!(outcome.id.0, job_id);
+
+    let spans = service.trace_spans();
+
+    // The request nests its lifecycle stages on the job's lane.
+    let request = span_of(&spans, "request", job_id);
+    let queue_wait = span_of(&spans, "queue_wait", job_id);
+    let execute = span_of(&spans, "execute", job_id);
+    let verify = span_of(&spans, "verify", job_id);
+    let eps = 1.0; // µs of slack for clock reads between span edges
+    for inner in [queue_wait, execute, verify] {
+        assert!(
+            inner.start_us >= request.start_us - eps && inner.end_us() <= request.end_us() + eps,
+            "{} [{}, {}] escapes request [{}, {}]",
+            inner.name,
+            inner.start_us,
+            inner.end_us(),
+            request.start_us,
+            request.end_us(),
+        );
+    }
+    assert!(queue_wait.end_us() <= execute.start_us + eps);
+    assert!(execute.end_us() <= verify.start_us + eps);
+
+    // Stage sum ≈ end-to-end latency: the lifecycle stages account for
+    // the request, up to the unspanned slivers between them.
+    let stage_sum = queue_wait.dur_us + execute.dur_us + verify.dur_us;
+    let slack = 0.1 * request.dur_us + 5_000.0;
+    assert!(
+        (stage_sum - request.dur_us).abs() <= slack,
+        "stage sum {stage_sum} µs vs request {} µs",
+        request.dur_us
+    );
+
+    // The kernel launch's modelled block spans sit on device 0's lane,
+    // anchored inside this job's modelled kernel stage span.
+    let kernel = span_of(&spans, "kernel", job_id);
+    let blocks: Vec<&SpanRecord> = spans.iter().filter(|s| s.pid == DEVICE_PID_BASE).collect();
+    assert!(!blocks.is_empty(), "no GPU block spans recorded");
+    for block in &blocks {
+        assert!(block.name.starts_with("compress#b"), "unexpected block span {}", block.name);
+        assert!(
+            block.start_us >= kernel.start_us - eps && block.end_us() <= kernel.end_us() + eps,
+            "block {} [{}, {}] escapes kernel stage [{}, {}]",
+            block.name,
+            block.start_us,
+            block.end_us(),
+            kernel.start_us,
+            kernel.end_us(),
+        );
+    }
+
+    // The single export is well-formed Chrome trace JSON containing both
+    // worlds, and survives the schema validator.
+    let (stats, json) = service.shutdown_with_trace();
+    validate_chrome_trace(&json).unwrap();
+    assert!(json.contains("\"request\""), "host spans missing from export");
+    assert!(json.contains("compress#b0"), "block spans missing from export");
+    assert!(stats.reconciles());
+    assert!(stats.modeled_kernel_seconds > 0.0);
+    assert!(stats.queue_wait_seconds >= 0.0 && stats.service_seconds > 0.0);
+}
+
+#[test]
+fn queue_wait_ends_at_dequeue_not_completion() {
+    // One GPU worker, no CPU workers: a large stall job occupies the
+    // worker while two small jobs queue behind it; both then coalesce
+    // into one batch. Their recorded waits must end at that batch's
+    // dequeue instant — under the old per-job measurement, the second
+    // job's wait would have included the first job's service time.
+    let config = ServerConfig { batch_jobs: 8, verify_outputs: false, ..gpu_only_config() };
+    let service = Service::start(config);
+
+    let stall = service
+        .submit(JobSpec::compress("stall", Dataset::KernelTarball.generate(2 << 20, 3)))
+        .unwrap();
+    // Wait until the worker has dequeued the stall job, so the two probe
+    // jobs stay queued together behind it.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.queue_depth() > 0 {
+        assert!(Instant::now() < deadline, "stall job never dequeued");
+        std::thread::yield_now();
+    }
+    let probe_payload = Dataset::CFiles.generate(16 * 1024, 7);
+    let a = service.submit(JobSpec::compress("probe", probe_payload.clone())).unwrap();
+    let b = service.submit(JobSpec::compress("probe", probe_payload)).unwrap();
+    let (a_id, b_id) = (a.id().0, b.id().0);
+
+    stall.wait().expect("stall job completes");
+    a.wait().expect("probe A completes");
+    b.wait().expect("probe B completes");
+
+    let spans = service.trace_spans();
+    let a_wait = span_of(&spans, "queue_wait", a_id);
+    let b_wait = span_of(&spans, "queue_wait", b_id);
+    let a_exec = span_of(&spans, "execute", a_id);
+    let b_exec = span_of(&spans, "execute", b_id);
+
+    // Both probes left the queue in the same batch window: identical
+    // dequeue instant, so identical wait end.
+    assert_eq!(a_wait.end_us(), b_wait.end_us(), "batch-mates share one dequeue instant");
+    // The wait ends before either job starts executing — it does NOT
+    // extend through batch-mates' service time to the job's own start.
+    let eps = 1.0;
+    assert!(a_wait.end_us() <= a_exec.start_us + eps);
+    assert!(b_wait.end_us() <= a_exec.start_us + eps, "B's wait leaked into A's service time");
+    // B executed strictly after A (same batch, same worker), so the
+    // distinction is observable.
+    assert!(b_exec.start_us >= a_exec.end_us() - eps);
+
+    service.shutdown();
+}
