@@ -24,7 +24,9 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use culzss_bench::report::{Report, Tolerances};
-use culzss_bench::suite::{run_checked, run_suite, AllocProbe, SuiteCfg};
+use culzss_bench::suite::{
+    run_checked_filtered, run_suite_filtered, AllocProbe, GridFilter, SuiteCfg,
+};
 
 /// `System` allocator wrapper that counts every allocation. The bench
 /// *library* is `forbid(unsafe_code)`; the counting hooks live here in
@@ -59,18 +61,22 @@ const PROBE: AllocProbe = || (ALLOC_BYTES.load(Relaxed), ALLOC_COUNT.load(Relaxe
 
 const USAGE: &str = "\
 usage: bench [--smoke] [--size-mb N] [--reps N] [--seed N] [--out PATH]
-             [--check --baseline PATH]
+             [--engines a,b] [--corpora x,y] [--check --baseline PATH]
 
   --smoke          CI sizing (256 KiB per corpus, 2 reps)
   --size-mb N      corpus size in MiB (full runs; default 4 or $CULZSS_BENCH_MB)
   --reps N         repetitions per cell, minimum kept
   --seed N         corpus generator seed
   --out PATH       report path (default BENCH_<timestamp>.json)
+  --engines a,b    run only these engines (comma-separated ids)
+  --corpora x,y    run only these corpora (comma-separated slugs)
   --baseline PATH  baseline report for --check
-  --check          gate this run against --baseline; exit 1 on regression";
+  --check          gate this run against --baseline; exit 1 on regression
+                   (baseline cells outside --engines/--corpora are skipped)";
 
 struct Args {
     cfg: SuiteCfg,
+    filter: GridFilter,
     out: Option<String>,
     baseline: Option<String>,
     check: bool,
@@ -84,6 +90,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut out = None;
     let mut baseline = None;
     let mut check = false;
+    let mut engines = None;
+    let mut corpora = None;
 
     fn value<'a>(argv: &'a [String], i: &mut usize, what: &str) -> Result<&'a str, String> {
         *i += 1;
@@ -117,6 +125,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 )
             }
             "--out" => out = Some(value(argv, &mut i, "--out")?.to_string()),
+            "--engines" => engines = Some(value(argv, &mut i, "--engines")?.to_string()),
+            "--corpora" => corpora = Some(value(argv, &mut i, "--corpora")?.to_string()),
             "--baseline" => baseline = Some(value(argv, &mut i, "--baseline")?.to_string()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
@@ -138,7 +148,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if check && baseline.is_none() {
         return Err("--check needs --baseline PATH".into());
     }
-    Ok(Args { cfg, out, baseline, check })
+    let filter = GridFilter::parse(engines.as_deref(), corpora.as_deref())?;
+    Ok(Args { cfg, filter, out, baseline, check })
 }
 
 fn main() -> ExitCode {
@@ -187,8 +198,10 @@ fn main() -> ExitCode {
 
     let tolerances = Tolerances::default();
     let (report, failures) = match (&baseline, args.check) {
-        (Some(baseline), true) => run_checked(&cfg, PROBE, commands, baseline, &tolerances),
-        _ => (run_suite(&cfg, PROBE, commands), Vec::new()),
+        (Some(baseline), true) => {
+            run_checked_filtered(&cfg, PROBE, commands, baseline, &tolerances, &args.filter)
+        }
+        _ => (run_suite_filtered(&cfg, PROBE, commands, &args.filter), Vec::new()),
     };
 
     let out_path = args.out.unwrap_or_else(|| {

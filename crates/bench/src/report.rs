@@ -82,6 +82,12 @@ pub struct Report {
     /// Command lines that produced this report (and any companion
     /// artifacts regenerated in the same run).
     pub commands: Vec<String>,
+    /// Engine ids this run was restricted to; empty means the full
+    /// grid. [`compare`] treats baseline cells outside the restriction
+    /// as skipped, not missing.
+    pub engines_filter: Vec<String>,
+    /// Corpus slugs this run was restricted to; empty means all.
+    pub corpora_filter: Vec<String>,
     /// Measurements, in suite order.
     pub cells: Vec<Cell>,
 }
@@ -102,14 +108,9 @@ impl Report {
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         let _ = writeln!(out, "  \"reps\": {},", self.reps);
         let _ = writeln!(out, "  \"smoke\": {},", self.smoke);
-        out.push_str("  \"commands\": [");
-        for (i, cmd) in self.commands.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "\n    {}", json_str(cmd));
-        }
-        out.push_str(if self.commands.is_empty() { "],\n" } else { "\n  ],\n" });
+        write_str_arr(&mut out, "commands", &self.commands);
+        write_str_arr(&mut out, "engines_filter", &self.engines_filter);
+        write_str_arr(&mut out, "corpora_filter", &self.corpora_filter);
         out.push_str("  \"cells\": [");
         for (i, cell) in self.cells.iter().enumerate() {
             if i > 0 {
@@ -182,9 +183,44 @@ impl Report {
             reps: obj.get_num("reps")? as u64,
             smoke: obj.get("smoke")?.as_bool("smoke")?,
             commands,
+            // Filters were added after v1 baselines were first written;
+            // absence means "full grid" so old reports keep parsing.
+            engines_filter: opt_str_arr(obj, "engines_filter")?,
+            corpora_filter: opt_str_arr(obj, "corpora_filter")?,
             cells,
         })
     }
+
+    /// Whether this run's subset filters admit the given engine × corpus
+    /// cell. An empty filter admits everything on that axis.
+    pub fn covers(&self, engine: &str, corpus: &str) -> bool {
+        (self.engines_filter.is_empty() || self.engines_filter.iter().any(|e| e == engine))
+            && (self.corpora_filter.is_empty() || self.corpora_filter.iter().any(|c| c == corpus))
+    }
+}
+
+fn write_str_arr(out: &mut String, key: &str, items: &[String]) {
+    let _ = write!(out, "  {}: [", json_str(key));
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}", json_str(item));
+    }
+    out.push_str(if items.is_empty() { "],\n" } else { "\n  ],\n" });
+}
+
+/// Parses an optional array-of-strings field; a missing key is an empty
+/// list (fields added after v1 must not break older reports).
+fn opt_str_arr(obj: &JsonObj, key: &str) -> Result<Vec<String>, String> {
+    let Some((_, value)) = obj.fields.iter().find(|(k, _)| k == key) else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    for (i, item) in value.as_arr(key)?.iter().enumerate() {
+        out.push(item.as_str(&format!("{key}[{i}]"))?.to_string());
+    }
+    Ok(out)
 }
 
 fn json_str(s: &str) -> String {
@@ -524,13 +560,18 @@ pub fn merge_best(mut a: Report, b: Report) -> Report {
     a
 }
 
-/// Gates `current` against `baseline`. Every baseline cell must exist in
-/// the current report; throughput is compared per corpus normalized to
+/// Gates `current` against `baseline`. Every baseline cell that the
+/// current run's `--engines`/`--corpora` filters admit must exist in the
+/// current report; baseline cells outside the filters are skipped, not
+/// failed. Throughput is compared per corpus normalized to
 /// [`REFERENCE_ENGINE`]; ratios are compared absolutely. Extra cells in
 /// `current` (new engines/corpora) never fail the gate.
 pub fn compare(current: &Report, baseline: &Report, tol: &Tolerances) -> Vec<Regression> {
     let mut failures = Vec::new();
     for base in &baseline.cells {
+        if !current.covers(&base.engine, &base.corpus) {
+            continue; // excluded by this run's subset filters: skipped
+        }
         let Some(cur) = current.cell(&base.engine, &base.corpus) else {
             failures.push(Regression {
                 engine: base.engine.clone(),
@@ -632,6 +673,8 @@ mod tests {
             reps: 1,
             smoke: true,
             commands: vec!["bench --smoke".into()],
+            engines_filter: Vec::new(),
+            corpora_filter: Vec::new(),
             cells,
         }
     }
@@ -652,7 +695,24 @@ mod tests {
         c.alloc_count = 67;
         let mut r = report(vec![c, cell("serial", "de-map", 2.5, 0.339)]);
         r.commands.push("quotes \" and\nnewlines \\ survive".into());
+        r.engines_filter = vec!["culzss-v1".into(), "serial".into()];
+        r.corpora_filter = vec!["de-map".into()];
         let parsed = Report::from_json(&r.to_json()).expect("parse");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn reports_without_filter_fields_still_parse() {
+        // Baselines written before the subset filters existed have no
+        // filter fields; they must parse as unfiltered full-grid runs.
+        let r = two_engine_report(2.0, 40.0);
+        let json: String = r
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("engines_filter") && !l.contains("corpora_filter"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = Report::from_json(&json).expect("parse");
         assert_eq!(parsed, r);
     }
 
@@ -745,6 +805,41 @@ mod tests {
         let mut extra = two_engine_report(2.0, 40.0);
         extra.cells.push(cell("new-engine", "c-files", 1.0, 0.9));
         assert!(compare(&extra, &baseline, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn filtered_runs_skip_excluded_baseline_cells_instead_of_failing() {
+        let baseline = two_engine_report(2.0, 40.0);
+
+        // An engine filter: the serial cell is absent but excluded, so
+        // skipped; the v1 cell is present and still gated (on ratio —
+        // throughput gating needs the filtered-out calibration cell).
+        let mut current = two_engine_report(2.0, 40.0);
+        current.cells.retain(|c| c.engine == "culzss-v1");
+        current.engines_filter = vec!["culzss-v1".into()];
+        assert!(compare(&current, &baseline, &Tolerances::default()).is_empty());
+
+        // A cell the filter admits but the run lacks still fails.
+        current.cells.clear();
+        let failures = compare(&current, &baseline, &Tolerances::default());
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert_eq!(failures[0].metric, "missing-cell");
+        assert_eq!(failures[0].engine, "culzss-v1");
+
+        // A corpus filter skips whole corpora the same way.
+        let mut by_corpus = two_engine_report(2.0, 40.0);
+        by_corpus.cells.clear();
+        by_corpus.corpora_filter = vec!["de-map".into()];
+        assert!(compare(&by_corpus, &baseline, &Tolerances::default()).is_empty());
+
+        // And ratio regressions inside the filter are still caught.
+        let mut bad = two_engine_report(2.0, 40.0);
+        bad.cells.retain(|c| c.engine == "culzss-v1");
+        bad.engines_filter = vec!["culzss-v1".into()];
+        bad.cells[0].ratio += 0.02;
+        let failures = compare(&bad, &baseline, &Tolerances::default());
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert_eq!(failures[0].metric, "ratio");
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! | `bzip2`       | the bzip2-style baseline (SA-IS block sorter)            |
 //! | `server`      | culzss-server end-to-end: submit → compress → verify     |
 //!
+//! Two further cells measure the dedup front end on the incremental-edits
+//! corpus only: `dedup-cold` (unseen content every rep) and `dedup-warm`
+//! (cache primed one edit generation earlier); see [`DEDUP_ENGINES`].
+//! [`GridFilter`] restricts a run to an engine/corpus subset — filtered
+//! runs record the restriction in the report so the comparator skips,
+//! rather than fails, the cells that were not asked for.
+//!
 //! Wall times are best-of-reps host wall clock — *not* the scaled-to-128 MB
 //! paper methodology of the crate root; the JSON report exists to compare a
 //! run against a baseline from the same methodology, so no scaling is
@@ -26,7 +33,7 @@
 use std::collections::BTreeMap;
 
 use culzss::{Culzss, Version};
-use culzss_datasets::Dataset;
+use culzss_datasets::{edits, Dataset};
 use culzss_lzss::matchfind::FinderKind;
 use culzss_lzss::LzssConfig;
 use culzss_server::{JobSpec, ServerConfig, Service};
@@ -37,6 +44,58 @@ use crate::report::{compare, merge_best, Cell, Regression, Report, Tolerances, S
 /// the regression gate ([`crate::report::REFERENCE_ENGINE`]).
 pub const ENGINES: [&str; 7] =
     ["serial", "serial-hash", "pthread", "culzss-v1", "culzss-v2", "bzip2", "server"];
+
+/// The dedup front-end cells, measured on the incremental-edits corpus
+/// only: `dedup-cold` feeds a cache-enabled service content it has never
+/// seen; `dedup-warm` re-submits content one edit generation after a
+/// priming pass, so most segments are served from the chunk cache.
+pub const DEDUP_ENGINES: [&str; 2] = ["dedup-cold", "dedup-warm"];
+
+/// Subset selection for a suite run (the `--engines` / `--corpora`
+/// flags). An empty axis admits everything on that axis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GridFilter {
+    /// Engine ids to run; empty = every engine.
+    pub engines: Vec<String>,
+    /// Corpus slugs to run; empty = every corpus.
+    pub corpora: Vec<String>,
+}
+
+impl GridFilter {
+    /// Parses comma-separated engine and corpus lists, rejecting names
+    /// the suite does not know (a typo must not silently skip a cell).
+    pub fn parse(engines: Option<&str>, corpora: Option<&str>) -> Result<GridFilter, String> {
+        let mut filter = GridFilter::default();
+        for name in split_list(engines) {
+            if !ENGINES.contains(&name) && !DEDUP_ENGINES.contains(&name) {
+                return Err(format!(
+                    "unknown engine {name:?} (known: {}, {})",
+                    ENGINES.join(", "),
+                    DEDUP_ENGINES.join(", ")
+                ));
+            }
+            filter.engines.push(name.to_string());
+        }
+        for name in split_list(corpora) {
+            if Dataset::from_slug(name).is_none() {
+                let known: Vec<&str> = Dataset::EVERY.iter().map(|d| d.slug()).collect();
+                return Err(format!("unknown corpus {name:?} (known: {})", known.join(", ")));
+            }
+            filter.corpora.push(name.to_string());
+        }
+        Ok(filter)
+    }
+
+    /// Whether the filter admits this engine × corpus cell.
+    pub fn admits(&self, engine: &str, corpus: &str) -> bool {
+        (self.engines.is_empty() || self.engines.iter().any(|e| e == engine))
+            && (self.corpora.is_empty() || self.corpora.iter().any(|c| c == corpus))
+    }
+}
+
+fn split_list(list: Option<&str>) -> impl Iterator<Item = &str> {
+    list.unwrap_or("").split(',').map(str::trim).filter(|s| !s.is_empty())
+}
 
 /// Chunk count of the measured Pthread baseline (the paper's i7 920
 /// exposes 8 hardware threads). The input is always cut into this many
@@ -91,13 +150,31 @@ impl SuiteCfg {
 /// `commands` is recorded verbatim in the report header (the command
 /// lines that produced this run and any companion artifacts).
 pub fn run_suite(cfg: &SuiteCfg, probe: AllocProbe, commands: Vec<String>) -> Report {
-    let mut cells = Vec::with_capacity(ENGINES.len() * Dataset::ALL.len());
+    run_suite_filtered(cfg, probe, commands, &GridFilter::default())
+}
+
+/// [`run_suite`] restricted to the cells `filter` admits. The filter is
+/// recorded in the report header so the comparator can tell a cell that
+/// was filtered out from one that went missing.
+pub fn run_suite_filtered(
+    cfg: &SuiteCfg,
+    probe: AllocProbe,
+    commands: Vec<String>,
+    filter: &GridFilter,
+) -> Report {
+    let mut cells = Vec::with_capacity(ENGINES.len() * Dataset::ALL.len() + DEDUP_ENGINES.len());
     for dataset in Dataset::ALL {
+        let engines: Vec<&str> =
+            ENGINES.iter().copied().filter(|e| filter.admits(e, dataset.slug())).collect();
+        if engines.is_empty() {
+            continue; // don't generate a corpus nothing will read
+        }
         let data = dataset.generate(cfg.bytes, cfg.seed);
-        for engine in ENGINES {
+        for engine in engines {
             cells.push(run_cell(engine, dataset, &data, cfg, probe));
         }
     }
+    cells.extend(dedup_cells(cfg, probe, filter));
     Report {
         schema_version: SCHEMA_VERSION,
         tool: "culzss-bench/bench".into(),
@@ -106,6 +183,8 @@ pub fn run_suite(cfg: &SuiteCfg, probe: AllocProbe, commands: Vec<String>) -> Re
         reps: cfg.reps as u64,
         smoke: cfg.smoke,
         commands,
+        engines_filter: filter.engines.clone(),
+        corpora_filter: filter.corpora.clone(),
         cells,
     }
 }
@@ -122,12 +201,25 @@ pub fn run_checked(
     baseline: &Report,
     tol: &Tolerances,
 ) -> (Report, Vec<Regression>) {
-    let report = run_suite(cfg, probe, commands.clone());
+    run_checked_filtered(cfg, probe, commands, baseline, tol, &GridFilter::default())
+}
+
+/// [`run_checked`] restricted to the cells `filter` admits; baseline
+/// cells outside the filter are skipped by the comparator, not failed.
+pub fn run_checked_filtered(
+    cfg: &SuiteCfg,
+    probe: AllocProbe,
+    commands: Vec<String>,
+    baseline: &Report,
+    tol: &Tolerances,
+    filter: &GridFilter,
+) -> (Report, Vec<Regression>) {
+    let report = run_suite_filtered(cfg, probe, commands.clone(), filter);
     let failures = compare(&report, baseline, tol);
     if failures.is_empty() {
         return (report, failures);
     }
-    let merged = merge_best(report, run_suite(cfg, probe, commands));
+    let merged = merge_best(report, run_suite_filtered(cfg, probe, commands, filter));
     let failures = compare(&merged, baseline, tol);
     (merged, failures)
 }
@@ -239,6 +331,127 @@ fn gpu_cell(
     cell
 }
 
+/// Measures the dedup front end through a cache-enabled service on the
+/// incremental-edits corpus ([`DEDUP_ENGINES`]):
+///
+/// * `dedup-cold` — every rep submits a base snapshot from a fresh seed,
+///   so no segment is ever in cache: the price of the full compression
+///   path plus chunking/hashing overhead.
+/// * `dedup-warm` — the service is primed with edit generation 1, then
+///   generation 2 is submitted repeatedly: the first rep pays for the
+///   edited segments, later reps are served almost entirely from cache.
+///   Best-of-reps therefore reports the warmed steady state, and the
+///   exported hit/miss counters cover the incremental first rep too.
+fn dedup_cells(cfg: &SuiteCfg, probe: AllocProbe, filter: &GridFilter) -> Vec<Cell> {
+    let corpus = Dataset::IncrementalEdits.slug();
+    let mut cells = Vec::new();
+    if filter.admits("dedup-cold", corpus) {
+        let service = dedup_service(cfg);
+        let cell = measure_dedup("dedup-cold", cfg, probe, &service, |rep| {
+            // A fresh base snapshot every rep: nothing is ever cached.
+            edits::snapshot(cfg.bytes, cfg.seed ^ ((rep as u64 + 1) << 32), 1)
+        });
+        cells.push(finish_dedup_cell(cell, service));
+    }
+    if filter.admits("dedup-warm", corpus) {
+        let service = dedup_service(cfg);
+        let prime = edits::snapshot(cfg.bytes, cfg.seed, 1);
+        let ticket =
+            service.submit(JobSpec::compress("bench-dedup", prime)).expect("prime admitted");
+        ticket.wait().expect("prime completes");
+        let cell = measure_dedup("dedup-warm", cfg, probe, &service, |_rep| {
+            edits::snapshot(cfg.bytes, cfg.seed, 2)
+        });
+        cells.push(finish_dedup_cell(cell, service));
+    }
+    // The headline number as a first-class counter on the warm cell.
+    if let [cold, warm] = &mut cells[..] {
+        if cold.throughput_mbps > 0.0 {
+            warm.counters
+                .insert("warm_over_cold".into(), warm.throughput_mbps / cold.throughput_mbps);
+        }
+    }
+    cells
+}
+
+fn dedup_service(cfg: &SuiteCfg) -> Service {
+    Service::start(ServerConfig {
+        // Generous byte budget: the warm cell must never evict the
+        // priming generation's segments mid-measurement.
+        cache: Some((4 * cfg.bytes).max(64 << 20)),
+        // Byte-identity of the cached path is pinned by the dedup
+        // differential tests; verifying here would time decompression,
+        // not the cache.
+        verify_outputs: false,
+        ..ServerConfig::default()
+    })
+}
+
+/// [`measure`] variant whose payload is rebuilt per rep *outside* the
+/// timed region (the cold cell needs unseen content each rep). Input and
+/// output sizes are recorded from rep 0, so the reported ratio does not
+/// depend on how many adaptive reps the host's speed allowed.
+fn measure_dedup<F: FnMut(usize) -> Vec<u8>>(
+    engine: &str,
+    cfg: &SuiteCfg,
+    probe: AllocProbe,
+    service: &Service,
+    mut payload: F,
+) -> Cell {
+    // At least two reps: the warm cell's rep 0 still compresses the
+    // edited segments, and best-of-reps must see a fully-warm pass.
+    let reps = cfg.reps.max(2);
+    let mut input_bytes = 0u64;
+    let mut output_bytes = 0u64;
+    let mut wall = f64::INFINITY;
+    let mut alloc = (0u64, 0u64);
+    let mut total = 0.0f64;
+    let mut rep = 0usize;
+    while rep < reps || (total < MIN_MEASURE_SECONDS && rep < MAX_REPS) {
+        let data = payload(rep);
+        let len = data.len() as u64;
+        let before = probe();
+        let started = std::time::Instant::now();
+        let ticket =
+            service.submit(JobSpec::compress("bench-dedup", data)).expect("dedup job admitted");
+        let outcome = ticket.wait().expect("dedup job completes");
+        let elapsed = started.elapsed().as_secs_f64();
+        let after = probe();
+        wall = wall.min(elapsed);
+        total += elapsed;
+        alloc = (after.0.saturating_sub(before.0), after.1.saturating_sub(before.1));
+        if rep == 0 {
+            input_bytes = len;
+            output_bytes = outcome.output.len() as u64;
+        }
+        rep += 1;
+    }
+    Cell {
+        engine: engine.into(),
+        corpus: Dataset::IncrementalEdits.slug().into(),
+        input_bytes,
+        output_bytes,
+        wall_seconds: wall,
+        throughput_mbps: if wall > 0.0 { input_bytes as f64 / 1e6 / wall } else { 0.0 },
+        ratio: if input_bytes > 0 { output_bytes as f64 / input_bytes as f64 } else { 0.0 },
+        alloc_bytes: alloc.0,
+        alloc_count: alloc.1,
+        counters: BTreeMap::new(),
+    }
+}
+
+/// Folds the service's cache counters into the finished cell. Extra
+/// counters never fail the gate, so baselines without them stay valid.
+fn finish_dedup_cell(mut cell: Cell, service: Service) -> Cell {
+    let stats = service.shutdown();
+    cell.counters.insert("cache_hits".into(), stats.cache_hits as f64);
+    cell.counters.insert("cache_misses".into(), stats.cache_misses as f64);
+    cell.counters.insert("cache_bytes_saved".into(), stats.cache_bytes_saved as f64);
+    cell.counters.insert("cache_evictions".into(), stats.cache_evictions as f64);
+    cell.counters.insert("cache_hit_rate".into(), stats.cache_hit_rate());
+    cell
+}
+
 /// Cheap cells keep re-running until this much total time is measured
 /// (or [`MAX_REPS`] is hit): the minimum of many short runs is far less
 /// noise-prone than the minimum of `cfg.reps` 2 ms runs.
@@ -306,7 +519,10 @@ mod tests {
     #[test]
     fn suite_covers_every_engine_and_corpus() {
         let report = run_suite(&tiny(), NO_PROBE, vec!["test".into()]);
-        assert_eq!(report.cells.len(), ENGINES.len() * Dataset::ALL.len());
+        assert_eq!(report.cells.len(), ENGINES.len() * Dataset::ALL.len() + DEDUP_ENGINES.len());
+        for engine in DEDUP_ENGINES {
+            assert!(report.cell(engine, "incremental-edits").is_some(), "{engine}");
+        }
         for dataset in Dataset::ALL {
             for engine in ENGINES {
                 let cell = report
@@ -373,11 +589,72 @@ mod tests {
             reps: cfg.reps as u64,
             smoke: cfg.smoke,
             commands: Vec::new(),
+            engines_filter: Vec::new(),
+            corpora_filter: Vec::new(),
             cells,
         };
         let (current, baseline) = (wrap(vec![cell]), wrap(vec![bare]));
         let regressions = compare(&current, &baseline, &Tolerances::default());
         assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    #[test]
+    fn grid_filter_parses_and_rejects() {
+        let f = GridFilter::parse(Some("serial, culzss-v1"), Some("c-files")).unwrap();
+        assert!(f.admits("serial", "c-files"));
+        assert!(!f.admits("serial", "de-map"));
+        assert!(!f.admits("bzip2", "c-files"));
+        assert!(GridFilter::parse(Some("dedup-warm"), None)
+            .unwrap()
+            .admits("dedup-warm", "de-map"));
+        assert!(GridFilter::default().admits("anything", "anywhere"));
+        assert!(GridFilter::parse(Some("warp-drive"), None)
+            .unwrap_err()
+            .contains("unknown engine"));
+        assert!(GridFilter::parse(None, Some("nope")).unwrap_err().contains("unknown corpus"));
+    }
+
+    #[test]
+    fn filtered_suite_runs_only_the_requested_cells() {
+        let filter = GridFilter::parse(Some("serial,serial-hash"), Some("de-map")).unwrap();
+        let report = run_suite_filtered(&tiny(), NO_PROBE, vec!["test".into()], &filter);
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.cell("serial", "de-map").is_some());
+        assert!(report.cell("serial-hash", "de-map").is_some());
+        assert_eq!(report.engines_filter, vec!["serial", "serial-hash"]);
+        assert_eq!(report.corpora_filter, vec!["de-map"]);
+        // A full-grid baseline gates clean against the filtered run: the
+        // missing cells are skipped, the present ones still compared.
+        let baseline = run_suite(&tiny(), NO_PROBE, vec!["test".into()]);
+        let failures = compare(
+            &report,
+            &baseline,
+            &Tolerances { throughput_drop_frac: 1e9, ..Tolerances::default() },
+        );
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn dedup_cells_measure_the_cache_path() {
+        let cfg = SuiteCfg { bytes: 192 * 1024, seed: 7, reps: 1, smoke: true };
+        let filter = GridFilter::parse(Some("dedup-cold,dedup-warm"), None).unwrap();
+        let report = run_suite_filtered(&cfg, NO_PROBE, vec!["test".into()], &filter);
+        assert_eq!(report.cells.len(), 2);
+        let cold = report.cell("dedup-cold", "incremental-edits").expect("cold cell");
+        let warm = report.cell("dedup-warm", "incremental-edits").expect("warm cell");
+        // Cold never reuses anything across reps; warm is primed, so its
+        // steady state is served from cache.
+        assert!(cold.counters["cache_misses"] > 0.0);
+        assert!(warm.counters["cache_hits"] > 0.0, "{:?}", warm.counters);
+        assert!(warm.counters["cache_hit_rate"] > 0.2, "{:?}", warm.counters);
+        assert!(warm.counters["cache_bytes_saved"] > 0.0);
+        let speedup = warm.counters["warm_over_cold"];
+        assert!(speedup.is_finite() && speedup > 0.0, "{speedup}");
+        // Both cells compressed the same corpus shape: sane ratios.
+        for cell in [cold, warm] {
+            assert!(cell.ratio > 0.0 && cell.ratio < 1.5, "{}: {}", cell.engine, cell.ratio);
+            assert_eq!(cell.input_bytes, 192 * 1024);
+        }
     }
 
     #[test]

@@ -11,11 +11,12 @@ usage:
   culzss serve      [--devices N] [--cpu-workers N] [--tenants N] [--jobs N]
                     [--payload BYTES] [--queue-depth N] [--batch-jobs N]
                     [--fail-first N] [--corrupt-every N] [--seed N]
-                    [--trace-out PATH]
+                    [--trace-out PATH] [--cache-mb N]
   culzss profile    <input> [--codec v1|v2] [--out PATH]
+  culzss dedup      <input> [--cache-mb N]
   culzss bench-serve [--jobs N] [--payload BYTES] [--seed N]
   culzss bench      [--smoke] [--size-mb N] [--reps N] [--seed N] [--out PATH]
-                    [--check --baseline PATH]
+                    [--engines a,b] [--corpora x,y] [--check --baseline PATH]
   culzss sancheck   [--dataset SLUG|all] [--bytes N] [--seed N]
   culzss selftest
 
@@ -33,9 +34,16 @@ serve: runs the multi-tenant service against a closed-loop load generator
        --corrupt-every N flips a bit in every N-th compressed output to
        exercise the verify-and-quarantine path. --trace-out writes the
        run's Chrome trace (host spans + modelled GPU block spans).
+       --cache-mb N fronts the compressors with an N-MiB content-
+       addressed chunk cache (dedup); repeated payloads are served from
+       cache and the stats gain hit/miss/bytes-saved counters.
 profile: compresses <input> through the service once and writes the
        request's Chrome trace (default <input>.trace.json) — load it in
        Perfetto or chrome://tracing; prints the stage breakdown.
+dedup: compresses <input> twice through a chunk-cache-backed compressor
+       and prints the chunking layout, cold/warm hit rates, and the
+       bytes served from cache; the output stays a byte-identical v2
+       container either way.
 sancheck: runs both CULZSS kernels over corpus samples under the
        shared-memory sanitizer (racecheck) and prints the reports;
        exits nonzero on any conflict or barrier divergence.
@@ -146,6 +154,8 @@ pub enum Command {
         seed: u64,
         /// Write the run's Chrome trace here.
         trace_out: Option<String>,
+        /// Chunk-cache byte budget in MiB (0 = no cache).
+        cache_mb: usize,
     },
     /// Trace one compression request end to end.
     Profile {
@@ -155,6 +165,13 @@ pub enum Command {
         codec: Codec,
         /// Trace output path (default `<input>.trace.json`).
         out: Option<String>,
+    },
+    /// Report chunking and cache behaviour for one input.
+    Dedup {
+        /// Input path.
+        input: String,
+        /// Chunk-cache byte budget in MiB.
+        cache_mb: usize,
     },
     /// Sweep service pool shapes under identical load.
     BenchServe {
@@ -190,6 +207,10 @@ pub enum Command {
         baseline: Option<String>,
         /// Gate against the baseline; exit nonzero on regression.
         check: bool,
+        /// Comma-separated engine subset (None = all).
+        engines: Option<String>,
+        /// Comma-separated corpus subset (None = all).
+        corpora: Option<String>,
     },
     /// Round-trip every codec on generated data.
     Selftest,
@@ -288,6 +309,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 corrupt_every: num("--corrupt-every", 0)? as u64,
                 seed: num("--seed", 2011)? as u64,
                 trace_out: flag_value("--trace-out")?.cloned(),
+                cache_mb: num("--cache-mb", 0)?,
             })
         }
         "profile" => {
@@ -304,6 +326,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 codec,
                 out: flag_value("--out")?.cloned(),
             })
+        }
+        "dedup" => {
+            let pos = positional(1)?;
+            let cache_mb = match flag_value("--cache-mb")? {
+                Some(v) => v.parse().map_err(|_| format!("bad value for --cache-mb: `{v}`"))?,
+                None => 64,
+            };
+            Ok(Command::Dedup { input: pos[0].clone(), cache_mb })
         }
         "bench-serve" => {
             let num = |name: &str, default: usize| -> Result<usize, String> {
@@ -353,6 +383,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 out: flag_value("--out")?.cloned(),
                 baseline,
                 check,
+                engines: flag_value("--engines")?.cloned(),
+                corpora: flag_value("--corpora")?.cloned(),
             })
         }
         "selftest" => Ok(Command::Selftest),
@@ -470,8 +502,32 @@ mod tests {
                 corrupt_every: 0,
                 seed: 2011,
                 trace_out: None,
+                cache_mb: 0,
             }
         );
+    }
+
+    #[test]
+    fn serve_cache_mb_parses() {
+        match parse(&argv("serve --cache-mb 128")).unwrap() {
+            Command::Serve { cache_mb: 128, .. } => {}
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse(&argv("serve --cache-mb nope")).is_err());
+    }
+
+    #[test]
+    fn dedup_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("dedup data.bin")).unwrap(),
+            Command::Dedup { input: "data.bin".into(), cache_mb: 64 }
+        );
+        assert_eq!(
+            parse(&argv("dedup data.bin --cache-mb 16")).unwrap(),
+            Command::Dedup { input: "data.bin".into(), cache_mb: 16 }
+        );
+        assert!(parse(&argv("dedup")).is_err());
+        assert!(parse(&argv("dedup data.bin --cache-mb nope")).is_err());
     }
 
     #[test]
@@ -545,6 +601,8 @@ mod tests {
                 out: None,
                 baseline: None,
                 check: false,
+                engines: None,
+                corpora: None,
             }
         );
         assert_eq!(
@@ -558,11 +616,28 @@ mod tests {
                 out: Some("r.json".into()),
                 baseline: Some("BENCH_BASELINE.json".into()),
                 check: true,
+                engines: None,
+                corpora: None,
             }
         );
         // --check without a baseline is a usage error.
         assert!(parse(&argv("bench --check")).is_err());
         assert!(parse(&argv("bench --size-mb nope")).is_err());
+    }
+
+    #[test]
+    fn bench_subset_filters_parse() {
+        match parse(&argv(
+            "bench --smoke --engines dedup-cold,dedup-warm --corpora incremental-edits",
+        ))
+        .unwrap()
+        {
+            Command::Bench { engines: Some(e), corpora: Some(c), .. } => {
+                assert_eq!(e, "dedup-cold,dedup-warm");
+                assert_eq!(c, "incremental-edits");
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
     }
 
     #[test]

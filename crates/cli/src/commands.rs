@@ -32,6 +32,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             corrupt_every,
             seed,
             trace_out,
+            cache_mb,
         } => serve(
             devices,
             cpu_workers,
@@ -44,11 +45,13 @@ pub fn run(cmd: Command) -> Result<(), String> {
             corrupt_every,
             seed,
             trace_out,
+            cache_mb,
         ),
         Command::Profile { input, codec, out } => profile(&input, codec, out),
+        Command::Dedup { input, cache_mb } => dedup(&input, cache_mb),
         Command::BenchServe { jobs, payload, seed } => bench_serve(jobs, payload, seed),
-        Command::Bench { smoke, size_mb, reps, seed, out, baseline, check } => {
-            bench(smoke, size_mb, reps, seed, out, baseline, check)
+        Command::Bench { smoke, size_mb, reps, seed, out, baseline, check, engines, corpora } => {
+            bench(smoke, size_mb, reps, seed, out, baseline, check, engines, corpora)
         }
         Command::Sancheck { dataset, bytes, seed } => sancheck(&dataset, bytes, seed),
         Command::Selftest => selftest(),
@@ -347,6 +350,7 @@ fn serve(
     corrupt_every: u64,
     seed: u64,
     trace_out: Option<String>,
+    cache_mb: usize,
 ) -> Result<(), String> {
     use culzss_server::{FaultPlan, LoadGenConfig, ServerConfig, Service};
 
@@ -361,11 +365,13 @@ fn serve(
         queue_depth,
         batch_jobs,
         fault,
+        cache: (cache_mb > 0).then_some(cache_mb << 20),
         ..ServerConfig::default()
     };
     println!(
         "service: {devices} simulated GTX 480 device(s) + {cpu_workers} CPU worker(s), \
-         queue depth {queue_depth}, batch window {batch_jobs} jobs"
+         queue depth {queue_depth}, batch window {batch_jobs} jobs{}",
+        if cache_mb > 0 { format!(", {cache_mb} MiB chunk cache") } else { String::new() }
     );
     let service = Service::start(config);
 
@@ -460,6 +466,79 @@ fn profile(input: &str, codec: Codec, out: Option<String>) -> Result<(), String>
     Ok(())
 }
 
+/// Compresses `input` twice through a chunk-cache-backed compressor and
+/// prints the chunking layout plus cold/warm cache behaviour. The second
+/// pass must be served entirely from cache and produce the identical
+/// container.
+fn dedup(input: &str, cache_mb: usize) -> Result<(), String> {
+    use std::sync::Arc;
+
+    use culzss::CulzssParams;
+    use culzss_dedup::{ChunkCache, Chunker, DedupCompressor};
+
+    let data = read(input)?;
+    let params = CulzssParams::v1();
+    let chunker = Chunker::for_align(params.chunk_size);
+    let segments = chunker.segments(&data);
+    println!("dedup: {} ({} B), {} MiB cache", input, data.len(), cache_mb.max(1));
+    if !segments.is_empty() {
+        let avg = data.len() / segments.len();
+        let min = segments.iter().map(|s| s.len()).min().unwrap_or(0);
+        let max = segments.iter().map(|s| s.len()).max().unwrap_or(0);
+        println!(
+            "chunking: {} segment(s) on the {} B grid — {} B min / {} B avg / {} B max",
+            segments.len(),
+            params.chunk_size,
+            min,
+            avg,
+            max
+        );
+    }
+
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let cache = Arc::new(ChunkCache::new(cache_mb.max(1) << 20));
+    let compressor = DedupCompressor::new(Arc::clone(&cache), params);
+
+    let started = Instant::now();
+    let (cold_out, cold) = compressor.compress_cpu(&data, threads).map_err(|e| e.to_string())?;
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+    let started = Instant::now();
+    let (warm_out, warm) = compressor.compress_cpu(&data, threads).map_err(|e| e.to_string())?;
+    let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    if cold_out != warm_out {
+        return Err("cached pass produced a different container".into());
+    }
+    println!(
+        "cold pass: {:>8.1} ms — {}/{} segment(s) from cache (hit rate {:.0}%)",
+        cold_ms,
+        cold.hit_segments,
+        cold.segments,
+        cold.hit_rate() * 100.0
+    );
+    println!(
+        "warm pass: {:>8.1} ms — {}/{} segment(s) from cache (hit rate {:.0}%), \
+         {} B served from cache",
+        warm_ms,
+        warm.hit_segments,
+        warm.segments,
+        warm.hit_rate() * 100.0,
+        warm.bytes_from_cache
+    );
+    let stats = cache.stats();
+    println!(
+        "cache: {} hit(s) / {} miss(es), {} entr(ies) holding {} B, {} eviction(s)",
+        stats.hits, stats.misses, stats.entries, stats.stored_bytes, stats.evictions
+    );
+    println!(
+        "container: {} -> {} bytes ({:.1}%), byte-identical across passes",
+        data.len(),
+        cold_out.len(),
+        100.0 * cold_out.len() as f64 / data.len().max(1) as f64
+    );
+    Ok(())
+}
+
 fn bench_serve(jobs: usize, payload: usize, seed: u64) -> Result<(), String> {
     use culzss_server::{FaultPlan, LoadGenConfig, ServerConfig, Service};
 
@@ -521,9 +600,13 @@ fn bench(
     out: Option<String>,
     baseline: Option<String>,
     check: bool,
+    engines: Option<String>,
+    corpora: Option<String>,
 ) -> Result<(), String> {
     use culzss_bench::report::{Report, Tolerances};
-    use culzss_bench::suite::{run_checked, run_suite, SuiteCfg, NO_PROBE};
+    use culzss_bench::suite::{
+        run_checked_filtered, run_suite_filtered, GridFilter, SuiteCfg, NO_PROBE,
+    };
 
     let mut cfg = if smoke { SuiteCfg::smoke() } else { SuiteCfg::full() };
     if let Some(mb) = size_mb {
@@ -536,6 +619,7 @@ fn bench(
     if let Some(s) = seed {
         cfg.seed = s;
     }
+    let filter = GridFilter::parse(engines.as_deref(), corpora.as_deref())?;
 
     let mut cmd = String::from("culzss bench");
     if cfg.smoke {
@@ -544,6 +628,12 @@ fn bench(
         cmd.push_str(&format!(" --size-mb {}", cfg.bytes >> 20));
     }
     cmd.push_str(&format!(" --reps {} --seed {:#x}", cfg.reps, cfg.seed));
+    if let Some(e) = &engines {
+        cmd.push_str(&format!(" --engines {e}"));
+    }
+    if let Some(c) = &corpora {
+        cmd.push_str(&format!(" --corpora {c}"));
+    }
 
     println!(
         "bench: {} KiB per corpus, {} rep(s), seed {:#x}{}",
@@ -563,8 +653,10 @@ fn bench(
 
     let tolerances = Tolerances::default();
     let (report, failures) = match (&loaded, check) {
-        (Some(base), true) => run_checked(&cfg, NO_PROBE, vec![cmd], base, &tolerances),
-        _ => (run_suite(&cfg, NO_PROBE, vec![cmd]), Vec::new()),
+        (Some(base), true) => {
+            run_checked_filtered(&cfg, NO_PROBE, vec![cmd], base, &tolerances, &filter)
+        }
+        _ => (run_suite_filtered(&cfg, NO_PROBE, vec![cmd], &filter), Vec::new()),
     };
 
     let out_path = out.unwrap_or_else(|| {
@@ -755,6 +847,15 @@ mod tests {
         culzss_server::validate_chrome_trace(&json).unwrap();
         assert!(json.contains("\"request\""), "host spans missing");
         assert!(json.contains("compress#b0"), "modelled block spans missing");
+    }
+
+    #[test]
+    fn dedup_round_trips_and_reports() {
+        let input = temp("unit_dedup_in.bin");
+        let data = culzss_datasets::Dataset::KernelTarball.generate(96 * 1024, 3);
+        std::fs::write(&input, &data).unwrap();
+        dedup(&input, 16).unwrap();
+        assert!(dedup("/definitely/missing", 16).is_err());
     }
 
     #[test]

@@ -19,8 +19,7 @@ use std::time::Instant;
 
 use culzss_gpusim::transfer::{Direction, TransferLedger};
 use culzss_gpusim::{DeviceSpec, GpuSim};
-use culzss_lzss::container::{assemble_with, Container};
-use culzss_lzss::crc::crc32;
+use culzss_lzss::container::{assemble_with, stream_crc_of, Container};
 use culzss_lzss::format;
 
 use crate::error::CulzssResult;
@@ -162,7 +161,7 @@ impl Culzss {
             &config,
             self.params.chunk_size as u32,
             input.len() as u64,
-            crc32(input),
+            stream_crc_of(input, self.params.chunk_size as u32),
             &bodies,
             self.params.container_version,
         )?;

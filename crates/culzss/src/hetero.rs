@@ -13,8 +13,7 @@
 
 use std::time::Instant;
 
-use culzss_lzss::container::{assemble_with, Container};
-use culzss_lzss::crc::crc32;
+use culzss_lzss::container::{assemble_with, stream_crc_of, Container};
 use culzss_lzss::serial;
 
 use crate::api::Culzss;
@@ -69,7 +68,7 @@ pub fn cpu_compress(input: &[u8], params: &CulzssParams, threads: usize) -> Culz
         &config,
         params.chunk_size as u32,
         input.len() as u64,
-        crc32(input),
+        stream_crc_of(input, params.chunk_size as u32),
         &bodies,
         params.container_version,
     )?)
@@ -247,7 +246,7 @@ impl HeteroCompressor {
             &config,
             params.chunk_size as u32,
             input.len() as u64,
-            crc32(input),
+            stream_crc_of(input, params.chunk_size as u32),
             &bodies,
             params.container_version,
         )?;

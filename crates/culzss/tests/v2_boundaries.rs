@@ -114,7 +114,7 @@ fn segment_boundaries_are_invisible_in_the_output() {
         &config,
         params.chunk_size as u32,
         input.len() as u64,
-        culzss_lzss::crc::crc32(&input),
+        culzss_lzss::container::stream_crc_of(&input, params.chunk_size as u32),
         &bodies,
     )
     .unwrap();

@@ -19,12 +19,17 @@
 //! reproducible: same `(seed, len)` ⇒ same bytes. The [`registry`] module
 //! exposes all five behind one enum, and [`paper`] records the numbers the
 //! paper reports for each, so benches can print paper-vs-measured tables.
+//!
+//! A sixth corpus of ours, [`edits`] (incremental edits: a base snapshot
+//! plus seeded generations of small changes), models the repeated-payload
+//! traffic the dedup cache front end targets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod c_source;
 pub mod dictionary;
+pub mod edits;
 pub mod highly;
 pub mod mixer;
 pub mod paper;

@@ -18,16 +18,34 @@ pub enum Dataset {
     KernelTarball,
     /// "Highly Compr." — repeating 20-character substrings.
     HighlyCompressible,
+    /// Incremental-edits corpus (ours, not the paper's): a base
+    /// snapshot plus seeded generations of point edits and
+    /// grid-aligned block inserts/deletes — the dedup cache's target
+    /// workload. See [`crate::edits`] for the generation-indexed API.
+    IncrementalEdits,
 }
 
 impl Dataset {
-    /// All five, in the paper's table order.
+    /// The paper's five, in the paper's table order. Excludes
+    /// [`Dataset::IncrementalEdits`], which is ours — paper-versus-
+    /// measured tables iterate this array and must keep its shape.
     pub const ALL: [Dataset; 5] = [
         Dataset::CFiles,
         Dataset::DeMap,
         Dataset::Dictionary,
         Dataset::KernelTarball,
         Dataset::HighlyCompressible,
+    ];
+
+    /// Every corpus this crate can generate: [`Dataset::ALL`] plus the
+    /// incremental-edits corpus.
+    pub const EVERY: [Dataset; 6] = [
+        Dataset::CFiles,
+        Dataset::DeMap,
+        Dataset::Dictionary,
+        Dataset::KernelTarball,
+        Dataset::HighlyCompressible,
+        Dataset::IncrementalEdits,
     ];
 
     /// Row label as printed in the paper's tables.
@@ -38,6 +56,7 @@ impl Dataset {
             Dataset::Dictionary => "Dictionary",
             Dataset::KernelTarball => "Kernel tarball",
             Dataset::HighlyCompressible => "Highly Compr.",
+            Dataset::IncrementalEdits => "Incremental edits",
         }
     }
 
@@ -49,12 +68,13 @@ impl Dataset {
             Dataset::Dictionary => "dictionary",
             Dataset::KernelTarball => "kernel-tarball",
             Dataset::HighlyCompressible => "highly-compressible",
+            Dataset::IncrementalEdits => "incremental-edits",
         }
     }
 
     /// Looks a dataset up by [`Dataset::slug`].
     pub fn from_slug(slug: &str) -> Option<Dataset> {
-        Dataset::ALL.iter().copied().find(|d| d.slug() == slug)
+        Dataset::EVERY.iter().copied().find(|d| d.slug() == slug)
     }
 
     /// Generates exactly `len` bytes of this corpus.
@@ -65,6 +85,7 @@ impl Dataset {
             Dataset::Dictionary => dictionary::generate(len, seed),
             Dataset::KernelTarball => kernel_tarball(len, seed),
             Dataset::HighlyCompressible => highly::generate(len, seed),
+            Dataset::IncrementalEdits => crate::edits::generate(len, seed),
         }
     }
 }
@@ -125,7 +146,7 @@ mod tests {
 
     #[test]
     fn all_datasets_generate_exact_lengths() {
-        for d in Dataset::ALL {
+        for d in Dataset::EVERY {
             let data = d.generate(12_345, 99);
             assert_eq!(data.len(), 12_345, "{}", d.slug());
             assert_eq!(data, d.generate(12_345, 99), "{} not deterministic", d.slug());
@@ -134,7 +155,7 @@ mod tests {
 
     #[test]
     fn slugs_roundtrip() {
-        for d in Dataset::ALL {
+        for d in Dataset::EVERY {
             assert_eq!(Dataset::from_slug(d.slug()), Some(d));
         }
         assert_eq!(Dataset::from_slug("nope"), None);

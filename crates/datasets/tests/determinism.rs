@@ -1,0 +1,57 @@
+//! Pins the generators' exact output: same seed ⇒ byte-identical
+//! corpus, across releases and machines. The checked-in CRC-32s fail
+//! loudly if a generator's byte stream ever drifts — which would
+//! silently invalidate bench baselines and dedup cache keys.
+
+use culzss_datasets::mixer::{Component, Mixer};
+use culzss_datasets::{edits, Dataset};
+use culzss_lzss::crc::crc32;
+
+/// `(slug, CRC-32 of 64 KiB at seed 2026)` for every corpus. These are
+/// content pins, not checksums-of-convenience: changing a generator's
+/// byte stream is a breaking change (bench baselines, golden container
+/// fixtures, and dedup cache keys all depend on it) and must be done
+/// deliberately, updating this table in the same commit.
+const CORPUS_PINS: [(&str, u32); 6] = [
+    ("c-files", 0xa988_0712),
+    ("de-map", 0xbf9a_d8b8),
+    ("dictionary", 0xea30_ddfa),
+    ("kernel-tarball", 0x008b_2ba1),
+    ("highly-compressible", 0x066a_f713),
+    ("incremental-edits", 0x0e1b_2fef),
+];
+
+#[test]
+fn every_corpus_matches_its_checked_in_content_hash() {
+    assert_eq!(Dataset::EVERY.len(), CORPUS_PINS.len(), "new corpus? add its pin");
+    for (dataset, (slug, pin)) in Dataset::EVERY.into_iter().zip(CORPUS_PINS) {
+        assert_eq!(dataset.slug(), slug, "pin table out of order");
+        let crc = crc32(&dataset.generate(64 * 1024, 2026));
+        assert_eq!(crc, pin, "{slug} drifted: generated {crc:#010x}, pinned {pin:#010x}");
+    }
+}
+
+#[test]
+fn mixer_output_matches_its_checked_in_content_hash() {
+    let mixed = Mixer::datacenter().generate(128 * 1024, 9);
+    assert_eq!(mixed.len(), 128 * 1024);
+    assert_eq!(crc32(&mixed), 0x4b97_bc75, "datacenter mix drifted");
+    // And the general determinism property, independent of the pin.
+    assert_eq!(mixed, Mixer::datacenter().generate(128 * 1024, 9));
+    let custom = Mixer::new(vec![
+        Component { dataset: Dataset::DeMap, weight: 1.0 },
+        Component { dataset: Dataset::Dictionary, weight: 2.0 },
+    ])
+    .with_segment_bytes(8 * 1024);
+    assert_eq!(custom.generate(64 * 1024, 5), custom.generate(64 * 1024, 5));
+}
+
+#[test]
+fn incremental_edit_generations_match_their_checked_in_content_hash() {
+    let g3 = edits::snapshot(128 * 1024, 11, 3);
+    assert_eq!(crc32(&g3), 0xcba0_2545, "edits generation chain drifted");
+    assert_eq!(g3, edits::snapshot(128 * 1024, 11, 3));
+    // Different seeds and different generations both change content.
+    assert_ne!(crc32(&edits::snapshot(128 * 1024, 12, 3)), 0xcba0_2545);
+    assert_ne!(crc32(&edits::snapshot(128 * 1024, 11, 2)), 0xcba0_2545);
+}

@@ -1,0 +1,356 @@
+//! The bounded, sharded, content-addressed cache of compressed segments.
+//!
+//! Keys are SHA-256 digests of raw (uncompressed) segment bytes; values
+//! carry everything the assembler needs to splice a hit into a
+//! container v2 stream without touching the compressor: the compressed
+//! body of every container chunk in the segment, the per-chunk CRCs of
+//! those bodies (the container's `chunk_crcs` entries), and the CRCs of
+//! the raw chunks (the inputs to the stream-CRC fold).
+//!
+//! Concurrency: the map is split into [`SHARDS`] shards, each behind
+//! its own `parking_lot::Mutex`, selected by the first key byte — the
+//! digest is uniformly distributed, so shards stay balanced and worker
+//! threads rarely contend. Values are `Arc`s, so a hit holds no lock
+//! while its bytes are in use.
+//!
+//! Eviction: each shard owns `budget / SHARDS` bytes (counting only
+//! compressed body bytes, the dominant term). Inserting past the budget
+//! evicts least-recently-used entries — recency is a global atomic tick
+//! stamped on every hit — until the new entry fits. An entry larger
+//! than a whole shard's budget is not admitted at all (it would only
+//! evict everything and then itself).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hash::Digest;
+
+/// Shard count; a power of two so the digest's first byte maps evenly.
+const SHARDS: usize = 16;
+
+/// A cached compressed segment: one entry per content-defined segment,
+/// covering a whole number of container chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedSegment {
+    /// Compressed body of each container chunk in the segment, in order.
+    pub bodies: Vec<Vec<u8>>,
+    /// `crc32(body)` for each body — the container v2 `chunk_crcs`
+    /// entries, stored so hits skip re-hashing.
+    pub body_crcs: Vec<u32>,
+    /// `crc32(raw chunk)` for each uncompressed chunk — the stream-CRC
+    /// fold inputs.
+    pub raw_crcs: Vec<u32>,
+    /// Uncompressed segment length.
+    pub raw_len: usize,
+}
+
+impl CachedSegment {
+    /// Compressed payload bytes this entry pins in memory.
+    pub fn compressed_len(&self) -> usize {
+        self.bodies.iter().map(Vec::len).sum()
+    }
+}
+
+struct Shard {
+    map: HashMap<Digest, Entry>,
+    /// Sum of `compressed_len` over the shard's entries.
+    bytes: usize,
+}
+
+struct Entry {
+    segment: Arc<CachedSegment>,
+    last_used: u64,
+}
+
+/// Point-in-time cache counters (monotonic except `stored_bytes` and
+/// `entries`, which are current occupancy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+    /// Entries evicted to make room (excludes oversized rejections).
+    pub evictions: u64,
+    /// Raw (uncompressed) bytes whose compression was skipped because
+    /// the segment was served from cache.
+    pub bytes_saved: u64,
+    /// Compressed bytes currently held.
+    pub stored_bytes: u64,
+    /// Entries currently held.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded, byte-bounded, content-addressed LRU of compressed segments.
+/// All methods take `&self`; safe to share across worker threads via
+/// `Arc`.
+pub struct ChunkCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    bytes_saved: AtomicU64,
+}
+
+impl std::fmt::Debug for ChunkCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkCache")
+            .field("budget_bytes", &(self.shard_budget * SHARDS))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ChunkCache {
+    /// A cache bounded to roughly `budget_bytes` of compressed payload
+    /// (rounded up to [`SHARDS`] bytes minimum so every shard can hold
+    /// something).
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), bytes: 0 }))
+                .collect(),
+            shard_budget: (budget_bytes / SHARDS).max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bytes_saved: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.shard_budget * SHARDS
+    }
+
+    fn shard(&self, key: &Digest) -> &Mutex<Shard> {
+        &self.shards[key[0] as usize % SHARDS]
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit and counting the
+    /// outcome either way.
+    pub fn lookup(&self, key: &Digest) -> Option<Arc<CachedSegment>> {
+        let mut shard = self.shard(key).lock();
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick.fetch_add(1, Relaxed);
+                let segment = Arc::clone(&entry.segment);
+                drop(shard);
+                self.hits.fetch_add(1, Relaxed);
+                self.bytes_saved.fetch_add(segment.raw_len as u64, Relaxed);
+                Some(segment)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Admits `segment` under `key`, evicting least-recently-used
+    /// entries in its shard until it fits. Oversized segments (larger
+    /// than one shard's budget) are not admitted. Re-inserting an
+    /// existing key refreshes the value.
+    pub fn insert(&self, key: Digest, segment: Arc<CachedSegment>) {
+        let cost = segment.compressed_len();
+        if cost > self.shard_budget {
+            return;
+        }
+        let mut shard = self.shard(&key).lock();
+        if let Some(old) = shard.map.remove(&key) {
+            shard.bytes -= old.segment.compressed_len();
+        }
+        while shard.bytes + cost > self.shard_budget {
+            // O(n) LRU scan; shards hold few enough entries that this
+            // beats maintaining an intrusive list under a shim Mutex.
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("over budget implies a resident entry");
+            let evicted = shard.map.remove(&victim).expect("victim resident");
+            shard.bytes -= evicted.segment.compressed_len();
+            self.evictions.fetch_add(1, Relaxed);
+        }
+        let last_used = self.tick.fetch_add(1, Relaxed);
+        shard.bytes += cost;
+        shard.map.insert(key, Entry { segment, last_used });
+        self.insertions.fetch_add(1, Relaxed);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut stored_bytes = 0u64;
+        let mut entries = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock();
+            stored_bytes += shard.bytes as u64;
+            entries += shard.map.len() as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            insertions: self.insertions.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            bytes_saved: self.bytes_saved.load(Relaxed),
+            stored_bytes,
+            entries,
+        }
+    }
+
+    /// Drops every entry (counters keep their history).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.map.clear();
+            shard.bytes = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256;
+
+    fn segment(fill: u8, body_len: usize) -> Arc<CachedSegment> {
+        Arc::new(CachedSegment {
+            bodies: vec![vec![fill; body_len]],
+            body_crcs: vec![0],
+            raw_crcs: vec![0],
+            raw_len: body_len * 2,
+        })
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let cache = ChunkCache::new(1 << 20);
+        let key = sha256(b"segment zero");
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(key, segment(1, 100));
+        let hit = cache.lookup(&key).expect("hit after insert");
+        assert_eq!(hit.bodies[0], vec![1u8; 100]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.bytes_saved, 200);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        // One shard's budget is budget/16; craft keys landing in the
+        // same shard so the LRU order is observable.
+        let cache = ChunkCache::new(16 * 1000);
+        let mut keys = Vec::new();
+        let mut n = 0u32;
+        while keys.len() < 3 {
+            let key = sha256(&n.to_le_bytes());
+            if (key[0] as usize).is_multiple_of(16) {
+                keys.push(key);
+            }
+            n += 1;
+        }
+        cache.insert(keys[0], segment(0, 400));
+        cache.insert(keys[1], segment(1, 400));
+        // Touch key 0 so key 1 is the LRU victim.
+        assert!(cache.lookup(&keys[0]).is_some());
+        cache.insert(keys[2], segment(2, 400));
+        assert!(cache.lookup(&keys[0]).is_some(), "recently used entry survived");
+        assert!(cache.lookup(&keys[1]).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&keys[2]).is_some(), "new entry resident");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.stored_bytes <= 1000);
+    }
+
+    #[test]
+    fn oversized_segments_are_not_admitted() {
+        let cache = ChunkCache::new(16 * 100);
+        let key = sha256(b"too big");
+        cache.insert(key, segment(9, 5000));
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!(cache.stats().insertions, 0);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let cache = ChunkCache::new(1 << 20);
+        let key = sha256(b"same key");
+        cache.insert(key, segment(1, 300));
+        cache.insert(key, segment(2, 500));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.stored_bytes, 500);
+        assert_eq!(cache.lookup(&key).unwrap().bodies[0][0], 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_history() {
+        let cache = ChunkCache::new(1 << 20);
+        let key = sha256(b"k");
+        cache.insert(key, segment(1, 10));
+        assert!(cache.lookup(&key).is_some());
+        cache.clear();
+        assert!(cache.lookup(&key).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.stored_bytes, 0);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn concurrent_workers_stay_consistent() {
+        let cache = Arc::new(ChunkCache::new(16 * 2000));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let key = sha256(&[t, (i % 8) as u8]);
+                    match cache.lookup(&key) {
+                        Some(seg) => assert_eq!(seg.raw_len, 100),
+                        None => cache.insert(
+                            key,
+                            Arc::new(CachedSegment {
+                                bodies: vec![vec![t; 50]],
+                                body_crcs: vec![0],
+                                raw_crcs: vec![0],
+                                raw_len: 100,
+                            }),
+                        ),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 800);
+        assert!(stats.stored_bytes <= cache.budget_bytes() as u64);
+    }
+}

@@ -1,0 +1,156 @@
+//! Content-addressed chunk cache and dedup front end for the CULZSS
+//! compression service.
+//!
+//! The paper's pipeline recompresses every byte of every request; real
+//! served traffic (the ROADMAP's incremental-backup scenario) is
+//! dominated by repeated or slightly-edited payloads. This crate puts a
+//! dedup layer in front of the engines:
+//!
+//! * [`chunker::Chunker`] — gear-hash content-defined chunking with
+//!   min/avg/max bounds, boundaries aligned to the container chunk grid
+//!   so cached output stays byte-valid;
+//! * [`cache::ChunkCache`] — a bounded, sharded, SHA-256-keyed LRU of
+//!   compressed segment bodies with byte-budget eviction;
+//! * [`compressor::DedupCompressor`] — chunks the input, serves hits
+//!   from cache, compresses misses through the existing engines, and
+//!   assembles a container v2 stream byte-identical to a cache-off run.
+//!
+//! The hot case — a payload whose segments are all cached — skips the
+//! (simulated) GPU entirely: it costs one SHA-256 pass, table
+//! rebuilding, and a payload memcpy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod chunker;
+pub mod compressor;
+pub mod hash;
+
+pub use cache::{CacheStats, CachedSegment, ChunkCache};
+pub use chunker::Chunker;
+pub use compressor::{
+    cpu_segment_encoder, gpu_segment_encoder, split_stream_bodies, DedupCompressor, DedupReport,
+};
+pub use hash::{sha256, Digest, Sha256};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+    use std::sync::Arc;
+
+    use culzss::{hetero, Culzss, CulzssParams, Version};
+    use culzss_datasets::Dataset;
+
+    use super::*;
+
+    fn front_end(params: &CulzssParams, budget: usize) -> DedupCompressor {
+        DedupCompressor::new(Arc::new(ChunkCache::new(budget)), params.clone())
+    }
+
+    #[test]
+    fn cache_on_output_is_byte_identical_to_the_engine() {
+        let params = CulzssParams::v1();
+        let input = Dataset::CFiles.generate(256 * 1024, 2011);
+        let engine = hetero::cpu_compress(&input, &params, 2).unwrap();
+
+        let dedup = front_end(&params, 64 << 20);
+        // Cold pass (all misses) and warm pass (all hits) both match.
+        let (cold, cold_report) = dedup.compress_cpu(&input, 2).unwrap();
+        assert_eq!(cold, engine, "cold dedup stream differs from the engine stream");
+        assert_eq!(cold_report.hit_segments, 0);
+        let (warm, warm_report) = dedup.compress_cpu(&input, 2).unwrap();
+        assert_eq!(warm, engine, "warm dedup stream differs from the engine stream");
+        assert_eq!(warm_report.miss_segments, 0);
+        assert_eq!(warm_report.hit_rate(), 1.0);
+        assert_eq!(warm_report.bytes_from_cache, input.len());
+    }
+
+    #[test]
+    fn gpu_encoders_match_too_for_both_versions() {
+        for version in [Version::V1, Version::V2] {
+            let culzss = Culzss::new(version).with_workers(2);
+            let input = Dataset::DeMap.generate(96 * 1024, 7);
+            let (engine_stream, _) = culzss.compress(&input).unwrap();
+            let dedup = front_end(culzss.params(), 64 << 20);
+            let (stream, _) = dedup.compress_gpu(&culzss, &input).unwrap();
+            assert_eq!(stream, engine_stream, "{version:?} dedup stream differs");
+            // And the cached (hit) path reproduces it again.
+            let (again, report) = dedup.compress_gpu(&culzss, &input).unwrap();
+            assert_eq!(again, engine_stream);
+            assert_eq!(report.miss_segments, 0);
+        }
+    }
+
+    #[test]
+    fn warm_runs_skip_the_encoder_for_unchanged_segments() {
+        let params = CulzssParams::v1();
+        // Several segments' worth of input (max segment is 32 grid
+        // chunks = 128 KiB), so an edit leaves most segments cached.
+        let input = Dataset::KernelTarball.generate(512 * 1024, 3);
+        let dedup = front_end(&params, 64 << 20);
+        let calls = AtomicUsize::new(0);
+        let encode = |seg: &[u8]| {
+            calls.fetch_add(1, Relaxed);
+            Ok(hetero::cpu_compress_bodies(seg, &params, 1))
+        };
+        let (first, _) = dedup.compress_with(&input, encode).unwrap();
+        let cold_calls = calls.load(Relaxed);
+        assert!(cold_calls > 0);
+
+        // Edit one byte: only the segment holding it (± a boundary
+        // neighbour) recompresses.
+        let mut edited = input.clone();
+        edited[256 * 1024] ^= 0x11;
+        let (second, report) = dedup
+            .compress_with(&edited, |seg: &[u8]| {
+                calls.fetch_add(1, Relaxed);
+                Ok(hetero::cpu_compress_bodies(seg, &params, 1))
+            })
+            .unwrap();
+        let warm_calls = calls.load(Relaxed) - cold_calls;
+        assert!(
+            warm_calls <= 3,
+            "one-byte edit recompressed {warm_calls} of {} segments",
+            report.segments
+        );
+        assert!(report.hit_segments > 0);
+
+        // Both outputs decode correctly through the plain engine.
+        assert_eq!(hetero::cpu_decompress(&first, 2).unwrap(), input);
+        assert_eq!(hetero::cpu_decompress(&second, 2).unwrap(), edited);
+    }
+
+    #[test]
+    fn edge_sizes_roundtrip() {
+        let params = CulzssParams::v1();
+        let chunk = params.chunk_size;
+        let dedup = front_end(&params, 1 << 20);
+        for size in [0usize, 1, chunk - 1, chunk, chunk + 1, 9 * chunk + 17] {
+            let input = Dataset::HighlyCompressible.generate(size, 5);
+            let (stream, report) = dedup.compress_cpu(&input, 1).unwrap();
+            let engine = hetero::cpu_compress(&input, &params, 1).unwrap();
+            assert_eq!(stream, engine, "size {size}");
+            assert_eq!(report.raw_bytes, size);
+            assert_eq!(hetero::cpu_decompress(&stream, 1).unwrap(), input, "size {size}");
+        }
+    }
+
+    #[test]
+    fn eviction_degrades_to_recompression_not_corruption() {
+        let params = CulzssParams::v1();
+        // A budget far below the corpus size: constant eviction churn.
+        let dedup = front_end(&params, 16 * 1024);
+        for seed in 0..4 {
+            let input = Dataset::CFiles.generate(64 * 1024, seed);
+            let engine = hetero::cpu_compress(&input, &params, 1).unwrap();
+            let (stream, _) = dedup.compress_cpu(&input, 1).unwrap();
+            assert_eq!(stream, engine, "seed {seed}");
+        }
+        let stats = dedup.cache().stats();
+        assert!(
+            stats.evictions > 0 || stats.insertions < stats.misses,
+            "tiny budget produced no eviction pressure: {stats:?}"
+        );
+    }
+}

@@ -15,8 +15,12 @@
 //! * one CRC per compressed chunk body, stored next to the size table the
 //!   paper already keeps per chunk — the natural integrity granule for
 //!   block-parallel decoders, and what makes salvage decoding possible;
-//! * one CRC over the whole *uncompressed* stream, catching anything the
-//!   per-chunk checks cannot see (reordered bodies, decoder bugs);
+//! * one stream CRC: the CRC-32 of each *uncompressed* chunk, folded in
+//!   chunk order through [`crate::crc::combine`] (see [`stream_crc_of`]),
+//!   catching anything the per-chunk checks cannot see (reordered bodies,
+//!   decoder bugs). The fold's rotate-left makes it order-sensitive, and
+//!   because it composes from per-chunk values an assembler that reuses
+//!   cached chunks can rebuild it without rescanning the whole input;
 //! * one CRC over all metadata bytes, so a tampered size table or header
 //!   field is rejected before it can misdirect the decoder.
 //!
@@ -36,7 +40,7 @@
 //! n_chunks    4 B
 //! table       4 B × n_chunks   compressed size of each chunk
 //! chunk_crcs  4 B × n_chunks   CRC-32 of each compressed body   (v2 only)
-//! stream_crc  4 B              CRC-32 of the uncompressed input (v2 only)
+//! stream_crc  4 B              fold of per-chunk uncompressed CRC-32s (v2 only)
 //! meta_crc    4 B              CRC-32 of every byte above       (v2 only)
 //! payload     concatenated chunk bodies, in order
 //! ```
@@ -104,7 +108,8 @@ pub struct Container {
     pub chunk_comp_sizes: Vec<u32>,
     /// CRC-32 of each compressed chunk body (empty for v1).
     pub chunk_crcs: Vec<u32>,
-    /// CRC-32 of the whole uncompressed stream (`None` for v1).
+    /// Stream CRC: per-chunk uncompressed CRC-32s folded in order through
+    /// [`crate::crc::combine`] (`None` for v1). See [`stream_crc_of`].
     pub stream_crc: Option<u32>,
 }
 
@@ -407,10 +412,12 @@ impl Container {
         Ok(())
     }
 
-    /// Verifies decoded output against the whole-stream CRC. No-op for v1.
+    /// Verifies decoded output against the whole-stream CRC (the
+    /// [`stream_crc_of`] fold over `decoded` at this container's chunk
+    /// size). No-op for v1.
     pub fn verify_stream_crc(&self, decoded: &[u8]) -> Result<()> {
         if let Some(expected) = self.stream_crc {
-            let got = crc32(decoded);
+            let got = stream_crc_of(decoded, self.chunk_size);
             if got != expected {
                 return Err(Error::StreamCorrupt { expected_crc: expected, got_crc: got });
             }
@@ -447,9 +454,28 @@ pub fn assemble(
     assemble_with(config, chunk_size, total_len, 0, chunk_bodies, ContainerVersion::V1)
 }
 
-/// Assembles a checksummed (v2) container stream. `stream_crc` must be the
-/// CRC-32 (see [`crate::crc::crc32`]) of the *uncompressed* input the
-/// bodies encode.
+/// The v2 stream CRC of `input` when chunked at `chunk_size`: the CRC-32
+/// of each uncompressed chunk, folded in chunk order through
+/// [`crate::crc::combine`] (`stream.rotate_left(1) ^ chunk_crc`).
+///
+/// The fold starts at zero, so an empty input yields 0 and a
+/// single-chunk input yields exactly `crc32(input)` — both identical to
+/// a whole-input CRC. Multi-chunk streams differ: the rotate-left makes
+/// the fold order-sensitive, and it lets an assembler that reuses
+/// per-chunk CRCs (e.g. a dedup cache) rebuild the stream CRC without
+/// rescanning the input.
+pub fn stream_crc_of(input: &[u8], chunk_size: u32) -> u32 {
+    let step = (chunk_size as usize).max(1);
+    let mut stream = 0u32;
+    for chunk in input.chunks(step) {
+        stream = crate::crc::combine(stream, crc32(chunk));
+    }
+    stream
+}
+
+/// Assembles a checksummed (v2) container stream. `stream_crc` must be
+/// the [`stream_crc_of`] fold of the *uncompressed* input the bodies
+/// encode, chunked at `chunk_size`.
 pub fn assemble_v2(
     config: &LzssConfig,
     chunk_size: u32,
@@ -491,6 +517,57 @@ pub fn assemble_with(
     if version == ContainerVersion::V2 {
         container.stream_crc = Some(stream_crc);
     }
+    let mut out = container.serialize_header();
+    for body in chunk_bodies {
+        out.extend_from_slice(body);
+    }
+    Ok(out)
+}
+
+/// Assembles a checksummed (v2) container stream from bodies whose
+/// per-chunk CRCs are already known — the dedup-cache path, which stores
+/// `crc32(body)` next to each compressed body and must not rescan it on
+/// a hit. `chunk_crcs[i]` must equal `crc32(chunk_bodies[i])` (debug
+/// builds assert it) and `stream_crc` must be the [`stream_crc_of`] fold
+/// of the uncompressed input. Output is byte-identical to
+/// [`assemble_v2`] over the same bodies.
+pub fn assemble_v2_precomputed(
+    config: &LzssConfig,
+    chunk_size: u32,
+    total_len: u64,
+    stream_crc: u32,
+    chunk_bodies: &[&[u8]],
+    chunk_crcs: &[u32],
+) -> Result<Vec<u8>> {
+    let mut container =
+        Container::new_versioned(config, chunk_size, total_len, ContainerVersion::V2);
+    if chunk_bodies.len() != container.expected_chunks() {
+        return Err(Error::InvalidContainer {
+            reason: format!(
+                "assemble got {} bodies for {} chunks",
+                chunk_bodies.len(),
+                container.expected_chunks()
+            ),
+        });
+    }
+    if chunk_crcs.len() != chunk_bodies.len() {
+        return Err(Error::InvalidContainer {
+            reason: format!(
+                "assemble got {} chunk crcs for {} bodies",
+                chunk_crcs.len(),
+                chunk_bodies.len()
+            ),
+        });
+    }
+    for (body, &crc) in chunk_bodies.iter().zip(chunk_crcs) {
+        if body.len() > u32::MAX as usize {
+            return Err(Error::InvalidContainer { reason: "chunk body over 4 GiB".into() });
+        }
+        debug_assert_eq!(crc, crc32(body), "precomputed chunk CRC does not match its body");
+        container.chunk_comp_sizes.push(body.len() as u32);
+        container.chunk_crcs.push(crc);
+    }
+    container.stream_crc = Some(stream_crc);
     let mut out = container.serialize_header();
     for body in chunk_bodies {
         out.extend_from_slice(body);
@@ -675,6 +752,43 @@ mod tests {
         // v1 containers have nothing to check against.
         let v1 = v1_container(4096, 0);
         v1.verify_stream_crc(b"anything").unwrap();
+    }
+
+    #[test]
+    fn stream_crc_fold_composes_from_per_chunk_crcs() {
+        let input: Vec<u8> = (0u32..2500).map(|i| (i * 7 + i / 3) as u8).collect();
+        let chunk_size = 1024u32;
+        // The helper is exactly the combine() fold over uncompressed
+        // chunks, in order.
+        let mut manual = 0u32;
+        for chunk in input.chunks(chunk_size as usize) {
+            manual = crate::crc::combine(manual, crc32(chunk));
+        }
+        assert_eq!(stream_crc_of(&input, chunk_size), manual);
+        // Multi-chunk: the fold is not the whole-input CRC, and it is
+        // order-sensitive (swapping two chunks changes it).
+        assert_ne!(stream_crc_of(&input, chunk_size), crc32(&input));
+        let mut swapped = input.clone();
+        let (a, b) = swapped.split_at_mut(1024);
+        a[..1024].swap_with_slice(&mut b[..1024]);
+        assert_ne!(stream_crc_of(&swapped, chunk_size), stream_crc_of(&input, chunk_size));
+        // Degenerate cases collapse to the plain CRC.
+        assert_eq!(stream_crc_of(&[], chunk_size), 0);
+        assert_eq!(stream_crc_of(&input[..100], chunk_size), crc32(&input[..100]));
+    }
+
+    #[test]
+    fn precomputed_assembly_matches_assemble_v2() {
+        let input: Vec<u8> = (0u32..2048).map(|i| (i % 251) as u8).collect();
+        let bodies = vec![vec![5u8; 700], vec![6u8; 650]];
+        let stream_crc = stream_crc_of(&input, 1024);
+        let plain = assemble_v2(&cfg(), 1024, 2048, stream_crc, &bodies).unwrap();
+        let refs: Vec<&[u8]> = bodies.iter().map(Vec::as_slice).collect();
+        let crcs: Vec<u32> = bodies.iter().map(|b| crc32(b)).collect();
+        let pre = assemble_v2_precomputed(&cfg(), 1024, 2048, stream_crc, &refs, &crcs).unwrap();
+        assert_eq!(pre, plain);
+        // CRC-count mismatch is a typed error.
+        assert!(assemble_v2_precomputed(&cfg(), 1024, 2048, stream_crc, &refs, &crcs[..1]).is_err());
     }
 
     #[test]

@@ -59,7 +59,7 @@ proptest! {
             &config,
             params.chunk_size as u32,
             data.len() as u64,
-            culzss_lzss::crc::crc32(&data),
+            culzss_lzss::container::stream_crc_of(&data, params.chunk_size as u32),
             &bodies,
         )
         .unwrap();
@@ -83,7 +83,7 @@ proptest! {
             &config,
             params.chunk_size as u32,
             data.len() as u64,
-            culzss_lzss::crc::crc32(&data),
+            culzss_lzss::container::stream_crc_of(&data, params.chunk_size as u32),
             &bodies,
         )
         .unwrap();

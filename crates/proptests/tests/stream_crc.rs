@@ -1,0 +1,66 @@
+//! Container-v2 stream-CRC semantics: the recorded stream CRC is the
+//! fold of the per-chunk uncompressed CRC-32s through
+//! [`culzss_lzss::crc::combine`], in chunk order. The dedup front end
+//! relies on exactly this to assemble streams from cached per-chunk
+//! state without rescanning the input twice.
+
+use culzss::{hetero, CulzssParams};
+use culzss_lzss::container::{stream_crc_of, Container};
+use culzss_lzss::crc::{combine, crc32};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every produced v2 container records exactly the fold of its raw
+    /// chunks' CRCs — including multi-chunk streams, where the
+    /// rotate-left fold makes chunk order significant.
+    #[test]
+    fn recorded_stream_crc_is_the_fold_of_per_chunk_crcs(
+        data in proptest::collection::vec(any::<u8>(), 0..40_000),
+    ) {
+        let params = CulzssParams::v1(); // 4096-byte chunks → up to 10
+        let stream = hetero::cpu_compress(&data, &params, 2).unwrap();
+        let (container, _) = Container::parse(&stream).unwrap();
+        let folded = data
+            .chunks(params.chunk_size)
+            .fold(0u32, |acc, chunk| combine(acc, crc32(chunk)));
+        prop_assert_eq!(container.stream_crc, Some(folded));
+        prop_assert_eq!(folded, stream_crc_of(&data, params.chunk_size as u32));
+    }
+
+    /// Swapping two adjacent chunks changes the fold (whenever their
+    /// CRCs are distinguishable under the rotate-left fold) — the
+    /// stream CRC binds chunk *order*, not just chunk *content*.
+    #[test]
+    fn the_fold_is_order_sensitive(
+        data in proptest::collection::vec(any::<u8>(), 8193..40_000),
+    ) {
+        let crcs: Vec<u32> = data.chunks(4096).map(crc32).collect();
+        // combine telescopes: fold = Σ rol^(n-1-i)(crc_i). Swapping
+        // adjacent i, i+1 preserves it only when
+        // rol1(a) ^ a == rol1(b) ^ b; skip those (vanishing) cases.
+        let swap_at = crcs
+            .windows(2)
+            .position(|w| w[0].rotate_left(1) ^ w[0] != w[1].rotate_left(1) ^ w[1]);
+        prop_assume!(swap_at.is_some());
+        let i = swap_at.unwrap();
+        let folded = crcs.iter().fold(0u32, |acc, &c| combine(acc, c));
+        let mut swapped = crcs;
+        swapped.swap(i, i + 1);
+        let refolded = swapped.iter().fold(0u32, |acc, &c| combine(acc, c));
+        prop_assert_ne!(folded, refolded);
+    }
+}
+
+/// The fold's fixed points, pinned exactly: an empty stream folds to 0
+/// and a single-chunk stream folds to the plain CRC-32 — so v2 streams
+/// of at most one chunk are bit-identical under either definition of
+/// the stream CRC.
+#[test]
+fn empty_and_single_chunk_edge_cases() {
+    assert_eq!(stream_crc_of(&[], 4096), 0);
+    let one = vec![0xabu8; 1000];
+    assert_eq!(stream_crc_of(&one, 4096), crc32(&one));
+    assert_eq!(stream_crc_of(&one, 4096), combine(0, crc32(&one)));
+}

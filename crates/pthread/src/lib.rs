@@ -19,8 +19,7 @@
 #![warn(missing_docs)]
 
 use culzss_lzss::config::LzssConfig;
-use culzss_lzss::container::{assemble_with, Container, ContainerVersion};
-use culzss_lzss::crc::crc32;
+use culzss_lzss::container::{assemble_with, stream_crc_of, Container, ContainerVersion};
 use culzss_lzss::error::{Error, Result};
 use culzss_lzss::matchfind::FinderKind;
 use culzss_lzss::serial;
@@ -104,7 +103,14 @@ pub fn compress_chunked_versioned(
         })
         .expect("compression worker panicked");
     }
-    assemble_with(config, chunk_size as u32, input.len() as u64, crc32(input), &bodies, version)
+    assemble_with(
+        config,
+        chunk_size as u32,
+        input.len() as u64,
+        stream_crc_of(input, chunk_size as u32),
+        &bodies,
+        version,
+    )
 }
 
 /// Decompresses a container stream, decoding chunks concurrently.
@@ -315,7 +321,7 @@ pub fn compress_chunked_dynamic(
         config,
         chunk_size as u32,
         input.len() as u64,
-        crc32(input),
+        stream_crc_of(input, chunk_size as u32),
         &bodies,
         Default::default(),
     )

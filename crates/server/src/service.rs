@@ -7,6 +7,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use culzss::{Culzss, CulzssParams};
+use culzss_dedup::{ChunkCache, DedupCompressor};
 use culzss_gpusim::DeviceSpec;
 
 use crate::batch::BatchReport;
@@ -56,6 +57,13 @@ pub struct ServerConfig {
     /// the job as [`crate::JobError::Quarantined`] rather than ever
     /// returning corrupted bytes. On by default.
     pub verify_outputs: bool,
+    /// Byte budget for the content-addressed chunk cache fronting the
+    /// compression path ([`culzss_dedup`]). `Some(bytes)` makes every
+    /// worker chunk compress payloads content-defined, serve repeated
+    /// segments from cache, and recompress only what changed — the
+    /// output stays byte-identical to a cache-off run. `None` (the
+    /// default) disables the dedup front end.
+    pub cache: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +82,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             fault: FaultPlan::none(),
             verify_outputs: true,
+            cache: None,
         }
     }
 }
@@ -90,6 +99,8 @@ pub(crate) struct Shared {
     pub verify_outputs: bool,
     pub batch_jobs: usize,
     pub batch_bytes: usize,
+    /// The dedup front end all compress workers share, when enabled.
+    pub dedup: Option<DedupCompressor>,
     batch_seq: AtomicU64,
     job_seq: AtomicU64,
     default_deadline: Option<Duration>,
@@ -98,6 +109,21 @@ pub(crate) struct Shared {
 impl Shared {
     pub fn next_batch_id(&self) -> u64 {
         self.batch_seq.fetch_add(1, Relaxed)
+    }
+
+    /// The counter snapshot, with the chunk cache's own counters folded
+    /// in (the cache tracks hits/misses/evictions internally; the
+    /// collector's atomics cover everything else).
+    pub fn stats_snapshot(&self) -> ServiceStats {
+        let mut snap = self.stats.snapshot();
+        if let Some(dedup) = &self.dedup {
+            let cache = dedup.cache().stats();
+            snap.cache_hits = cache.hits;
+            snap.cache_misses = cache.misses;
+            snap.cache_bytes_saved = cache.bytes_saved;
+            snap.cache_evictions = cache.evictions;
+        }
+        snap
     }
 }
 
@@ -128,6 +154,9 @@ impl Service {
             verify_outputs: config.verify_outputs,
             batch_jobs: config.batch_jobs.max(1),
             batch_bytes: config.batch_bytes.max(1),
+            dedup: config.cache.map(|bytes| {
+                DedupCompressor::new(Arc::new(ChunkCache::new(bytes)), config.params.clone())
+            }),
             batch_seq: AtomicU64::new(0),
             job_seq: AtomicU64::new(0),
             default_deadline: config.default_deadline,
@@ -223,7 +252,7 @@ impl Service {
 
     /// A point-in-time counter snapshot.
     pub fn stats(&self) -> ServiceStats {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 
     /// The most recent coalesced batch windows (bounded ring).
@@ -255,7 +284,7 @@ impl Service {
     pub fn shutdown(self) -> ServiceStats {
         let shared = Arc::clone(&self.shared);
         drop(self); // Drop drains and joins.
-        shared.stats.snapshot()
+        shared.stats_snapshot()
     }
 
     /// [`Self::shutdown`], additionally returning the complete Chrome
@@ -264,7 +293,7 @@ impl Service {
     pub fn shutdown_with_trace(self) -> (ServiceStats, String) {
         let shared = Arc::clone(&self.shared);
         drop(self); // Drop drains and joins.
-        (shared.stats.snapshot(), shared.trace.chrome_json())
+        (shared.stats_snapshot(), shared.trace.chrome_json())
     }
 }
 

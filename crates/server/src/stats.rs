@@ -364,6 +364,12 @@ impl StatsCollector {
             modeled_kernel_seconds: load_seconds(&self.modeled_kernel_nanos),
             modeled_d2h_seconds: load_seconds(&self.modeled_d2h_nanos),
             modeled_cpu_seconds: load_seconds(&self.modeled_cpu_nanos),
+            // The chunk cache owns its counters; the service folds them
+            // in ([`crate::service::Shared::stats_snapshot`]).
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_bytes_saved: 0,
+            cache_evictions: 0,
             latency: self.latency.snapshot(),
             queue_depth: self.queue_depth.snapshot(),
         }
@@ -446,6 +452,15 @@ pub struct ServiceStats {
     pub modeled_d2h_seconds: f64,
     /// Σ host-side selection/encode seconds within GPU jobs.
     pub modeled_cpu_seconds: f64,
+    /// Dedup cache: segment lookups that hit (0 with the cache off).
+    pub cache_hits: u64,
+    /// Dedup cache: segment lookups that missed (0 with the cache off).
+    pub cache_misses: u64,
+    /// Dedup cache: uncompressed payload bytes whose compression was
+    /// skipped because the segment was served from cache.
+    pub cache_bytes_saved: u64,
+    /// Dedup cache: entries evicted under byte-budget pressure.
+    pub cache_evictions: u64,
     /// Job latency (admission → resolution), seconds.
     pub latency: HistogramSnapshot,
     /// Queue depth observed after each admission.
@@ -473,6 +488,17 @@ impl ServiceStats {
         self.sancheck_launches > 0
             && self.sancheck_conflicts == 0
             && self.sancheck_divergent_blocks == 0
+    }
+
+    /// Fraction of dedup-cache segment lookups that hit (0 when the
+    /// cache is disabled or saw no traffic).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
     }
 
     /// Mean speedup of the overlapped batch schedule over back-to-back
@@ -517,6 +543,11 @@ impl fmt::Display for ServiceStats {
             f,
             "integrity: {} failed verification, {} job(s) quarantined",
             self.integrity_failures, self.quarantined,
+        )?;
+        writeln!(
+            f,
+            "cache: {} hit(s) / {} miss(es)   {} byte(s) saved   {} eviction(s)",
+            self.cache_hits, self.cache_misses, self.cache_bytes_saved, self.cache_evictions,
         )?;
         writeln!(
             f,

@@ -8,6 +8,7 @@ use culzss::hetero;
 use culzss::pipeline::StageTimes;
 use culzss::stream::BatchTimeline;
 use culzss::{Culzss, CulzssError};
+use culzss_dedup::DedupReport;
 use culzss_gpusim::trace::Timeline;
 
 use crate::batch::BatchReport;
@@ -128,9 +129,15 @@ fn run_job(
         Some(threads) => {
             let started = Instant::now();
             let result = match job.kind {
-                crate::job::JobKind::Compress => {
-                    hetero::cpu_compress(&job.payload, &shared.params, threads)
-                }
+                crate::job::JobKind::Compress => match &shared.dedup {
+                    Some(dedup) => {
+                        dedup.compress_cpu(&job.payload, threads).map(|(out, report)| {
+                            cache_span(shared, job.id.0, started, &report);
+                            out
+                        })
+                    }
+                    None => hetero::cpu_compress(&job.payload, &shared.params, threads),
+                },
                 crate::job::JobKind::Decompress => hetero::cpu_decompress(&job.payload, threads),
             };
             let service_seconds = started.elapsed().as_secs_f64();
@@ -170,8 +177,24 @@ fn run_job(
                 Err(CulzssError::InvalidParams(format!("injected device failure on gpu{device}")))
             } else {
                 match job.kind {
-                    crate::job::JobKind::Compress => culzss.compress(&job.payload),
-                    crate::job::JobKind::Decompress => culzss.decompress_auto(&job.payload),
+                    crate::job::JobKind::Compress => match &shared.dedup {
+                        // The dedup front end launches the kernel once
+                        // per miss segment (not at all on a full hit),
+                        // so there is no single launch breakdown to
+                        // trace; the cache span carries the story.
+                        Some(dedup) => {
+                            dedup.compress_gpu(culzss, &job.payload).map(|(out, report)| {
+                                cache_span(shared, job.id.0, started, &report);
+                                (out, None)
+                            })
+                        }
+                        None => {
+                            culzss.compress(&job.payload).map(|(out, stats)| (out, Some(stats)))
+                        }
+                    },
+                    crate::job::JobKind::Decompress => {
+                        culzss.decompress_auto(&job.payload).map(|(out, stats)| (out, Some(stats)))
+                    }
                 }
             };
             let service_seconds = started.elapsed().as_secs_f64();
@@ -189,38 +212,51 @@ fn run_job(
                     // execute span, and anchor the launch's per-SM block
                     // spans at the kernel stage's start, linking this
                     // job's host timeline to its device timeline.
-                    let kernel_name = match job.kind {
-                        crate::job::JobKind::Compress => "compress",
-                        crate::job::JobKind::Decompress => "decompress",
-                    };
-                    let mut at_us = shared.trace.instant_us(started);
-                    for (stage, seconds) in [
-                        ("h2d", stats.h2d_seconds),
-                        ("kernel", stats.kernel_seconds),
-                        ("d2h", stats.d2h_seconds),
-                        ("cpu", stats.cpu_seconds),
-                    ] {
-                        shared.trace.modelled_span(stage, job.id.0, at_us, seconds);
-                        if stage == "kernel" {
-                            if let Some(launch) = &stats.launch {
-                                let timeline = Timeline::from_launch(
-                                    culzss.device(),
-                                    launch.block_dim,
-                                    launch.shared_bytes,
-                                    &launch.per_block,
-                                );
-                                shared.trace.block_spans(*device, &timeline, kernel_name, at_us);
+                    if let Some(stats) = &stats {
+                        let kernel_name = match job.kind {
+                            crate::job::JobKind::Compress => "compress",
+                            crate::job::JobKind::Decompress => "decompress",
+                        };
+                        let mut at_us = shared.trace.instant_us(started);
+                        for (stage, seconds) in [
+                            ("h2d", stats.h2d_seconds),
+                            ("kernel", stats.kernel_seconds),
+                            ("d2h", stats.d2h_seconds),
+                            ("cpu", stats.cpu_seconds),
+                        ] {
+                            shared.trace.modelled_span(stage, job.id.0, at_us, seconds);
+                            if stage == "kernel" {
+                                if let Some(launch) = &stats.launch {
+                                    let block_timeline = Timeline::from_launch(
+                                        culzss.device(),
+                                        launch.block_dim,
+                                        launch.shared_bytes,
+                                        &launch.per_block,
+                                    );
+                                    shared.trace.block_spans(
+                                        *device,
+                                        &block_timeline,
+                                        kernel_name,
+                                        at_us,
+                                    );
+                                }
                             }
+                            at_us += seconds * 1e6;
                         }
-                        at_us += seconds * 1e6;
+                        shared.stats.on_modeled_stages(
+                            stats.h2d_seconds,
+                            stats.kernel_seconds,
+                            stats.d2h_seconds,
+                            stats.cpu_seconds,
+                        );
+                        timeline.push(stats);
+                    } else {
+                        // Dedup-path job: the work was host-side cache
+                        // serving plus per-segment launches, already in
+                        // the wall clock; account it as one CPU stage.
+                        timeline
+                            .push_stages(StageTimes { cpu: service_seconds, ..Default::default() });
                     }
-                    shared.stats.on_modeled_stages(
-                        stats.h2d_seconds,
-                        stats.kernel_seconds,
-                        stats.d2h_seconds,
-                        stats.cpu_seconds,
-                    );
-                    timeline.push(&stats);
                     deliver(
                         shared,
                         job,
@@ -316,6 +352,24 @@ fn deliver(
         verify_seconds,
     );
     None
+}
+
+/// Records the dedup front end's per-job outcome as a `cache` span in
+/// the job's service lane, next to its queue_wait/execute/verify spans.
+fn cache_span(shared: &Shared, job_id: u64, started: Instant, report: &DedupReport) {
+    shared.trace.host_span(
+        "cache",
+        SERVICE_PID,
+        job_id,
+        started,
+        Instant::now(),
+        vec![
+            ("segments".into(), report.segments.to_string()),
+            ("hits".into(), report.hit_segments.to_string()),
+            ("misses".into(), report.miss_segments.to_string()),
+            ("bytes_from_cache".into(), report.bytes_from_cache.to_string()),
+        ],
+    );
 }
 
 /// Proves `output` decodes back to `input` on the host.

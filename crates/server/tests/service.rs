@@ -430,3 +430,40 @@ fn startup_probe_asserts_race_free_execution() {
         assert!(stats.to_string().contains("race-free"), "{stats}");
     }
 }
+
+#[test]
+fn chunk_cache_serves_repeats_byte_identically_and_counts_them() {
+    let input = Dataset::CFiles.generate(192 * 1024, 77);
+
+    // Cache-off reference stream (GPU V1 and the CPU path are
+    // byte-identical, so worker placement does not matter).
+    let reference = {
+        let service = Service::start(quick_config());
+        let ticket = service.submit(JobSpec::compress("ref", input.clone())).unwrap();
+        let output = ticket.wait().unwrap().output;
+        service.shutdown();
+        output
+    };
+
+    let service = Service::start(ServerConfig { cache: Some(64 << 20), ..quick_config() });
+    let first_ticket = service.submit(JobSpec::compress("t", input.clone())).unwrap();
+    let first = first_ticket.wait().unwrap().output;
+    let second_ticket = service.submit(JobSpec::compress("t", input.clone())).unwrap();
+    let second = second_ticket.wait().unwrap().output;
+    assert_eq!(first, reference, "cache-on cold stream differs from cache-off");
+    assert_eq!(second, reference, "cache-on warm stream differs from cache-off");
+
+    let spans = service.trace_spans();
+    assert!(spans.iter().any(|s| s.name == "cache"), "dedup'd jobs must record a cache span");
+
+    let stats = service.shutdown();
+    assert!(stats.reconciles(), "{stats:?}");
+    assert!(stats.cache_misses > 0, "cold pass must miss: {stats:?}");
+    assert!(stats.cache_hits > 0, "warm pass must hit: {stats:?}");
+    assert!(
+        stats.cache_bytes_saved >= input.len() as u64,
+        "the warm payload should be served from cache: {stats:?}"
+    );
+    assert!(stats.cache_hit_rate() > 0.0);
+    assert!(stats.to_string().contains("cache:"), "{stats}");
+}

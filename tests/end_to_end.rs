@@ -103,7 +103,7 @@ fn v1_output_equals_per_chunk_serial_compression() {
         &config,
         params.chunk_size as u32,
         data.len() as u64,
-        culzss_lzss::crc::crc32(&data),
+        culzss_lzss::container::stream_crc_of(&data, params.chunk_size as u32),
         &bodies,
     )
     .unwrap();
@@ -158,7 +158,7 @@ fn multi_gpu_extension_compresses_consistently() {
         &config,
         params.chunk_size as u32,
         data.len() as u64,
-        culzss_lzss::crc::crc32(&data),
+        culzss_lzss::container::stream_crc_of(&data, params.chunk_size as u32),
         &bodies,
     )
     .unwrap();
