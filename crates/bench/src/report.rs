@@ -17,7 +17,12 @@
 //! that cell acts as a machine-speed calibration, so a uniformly slower
 //! CI host does not trip the gate, while a change that slows one engine
 //! relative to the others does. The calibration cell itself is gated on
-//! ratio and presence only.
+//! ratio and presence only. Decompression cells (`dec-*` engines) form
+//! their own family, normalized against the serial CPU decoder
+//! ([`DECODE_REFERENCE_ENGINE`]) — decode and encode throughputs scale
+//! differently with host speed, so each family calibrates against its
+//! own serial cell. The deterministic `cycles` gate applies to any cell
+//! that exports the counter, decode kernels included.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -28,6 +33,20 @@ pub const SCHEMA_VERSION: u64 = 1;
 
 /// The engine whose throughput calibrates all others in the same corpus.
 pub const REFERENCE_ENGINE: &str = "serial";
+
+/// The calibration cell of the decompression family: every `dec-*`
+/// cell's throughput is normalized against the serial CPU decoder of
+/// the same corpus before gating.
+pub const DECODE_REFERENCE_ENGINE: &str = "dec-serial";
+
+/// Which calibration cell gates this engine's throughput.
+fn reference_engine(engine: &str) -> &'static str {
+    if engine.starts_with("dec-") {
+        DECODE_REFERENCE_ENGINE
+    } else {
+        REFERENCE_ENGINE
+    }
+}
 
 /// One engine × corpus measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -564,8 +583,9 @@ pub fn merge_best(mut a: Report, b: Report) -> Report {
 /// current run's `--engines`/`--corpora` filters admit must exist in the
 /// current report; baseline cells outside the filters are skipped, not
 /// failed. Throughput is compared per corpus normalized to
-/// [`REFERENCE_ENGINE`]; ratios are compared absolutely. Extra cells in
-/// `current` (new engines/corpora) never fail the gate.
+/// [`REFERENCE_ENGINE`] ([`DECODE_REFERENCE_ENGINE`] for `dec-*` cells);
+/// ratios are compared absolutely. Extra cells in `current` (new
+/// engines/corpora) never fail the gate.
 pub fn compare(current: &Report, baseline: &Report, tol: &Tolerances) -> Vec<Regression> {
     let mut failures = Vec::new();
     for base in &baseline.cells {
@@ -611,13 +631,13 @@ pub fn compare(current: &Report, baseline: &Report, tol: &Tolerances) -> Vec<Reg
             }
         }
 
-        if base.engine == REFERENCE_ENGINE {
-            continue; // the calibration cell is not gated on throughput
+        let reference = reference_engine(&base.engine);
+        if base.engine == reference {
+            continue; // the calibration cells are not gated on throughput
         }
-        let (Some(cur_ref), Some(base_ref)) = (
-            current.cell(REFERENCE_ENGINE, &base.corpus),
-            baseline.cell(REFERENCE_ENGINE, &base.corpus),
-        ) else {
+        let (Some(cur_ref), Some(base_ref)) =
+            (current.cell(reference, &base.corpus), baseline.cell(reference, &base.corpus))
+        else {
             continue; // no calibration cell: missing-cell already reported
         };
         if cur_ref.throughput_mbps <= 0.0 || base_ref.throughput_mbps <= 0.0 {
@@ -631,7 +651,7 @@ pub fn compare(current: &Report, baseline: &Report, tol: &Tolerances) -> Vec<Reg
                 corpus: base.corpus.clone(),
                 metric: "throughput".into(),
                 detail: format!(
-                    "normalized throughput {:.3}× serial vs baseline {:.3}× \
+                    "normalized throughput {:.3}× {reference} vs baseline {:.3}× \
                      (tolerance −{:.0} %; raw {:.2} vs {:.2} MB/s)",
                     cur_rel,
                     base_rel,
@@ -840,6 +860,43 @@ mod tests {
         let failures = compare(&bad, &baseline, &Tolerances::default());
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert_eq!(failures[0].metric, "ratio");
+    }
+
+    #[test]
+    fn decode_cells_gate_against_their_own_calibration_cell() {
+        let decode_report = |ref_mbps: f64, warp_mbps: f64| {
+            report(vec![
+                cell("serial", "c-files", 2.0, 0.55),
+                cell("dec-serial", "c-files", ref_mbps, 0.55),
+                cell("dec-culzss-warp", "c-files", warp_mbps, 0.60),
+            ])
+        };
+        let baseline = decode_report(10.0, 80.0);
+
+        // A uniformly slower host slows both decode cells: pass.
+        assert!(compare(&decode_report(5.0, 40.0), &baseline, &Tolerances::default()).is_empty());
+
+        // The warp decoder regressing 15 % relative to dec-serial fails,
+        // even though the encode-side serial cell is unchanged.
+        let failures =
+            compare(&decode_report(10.0, 80.0 * 0.85), &baseline, &Tolerances::default());
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert_eq!(failures[0].metric, "throughput");
+        assert_eq!(failures[0].engine, "dec-culzss-warp");
+        assert!(failures[0].detail.contains("dec-serial"), "{}", failures[0].detail);
+
+        // The decode calibration cell itself is not throughput-gated.
+        assert!(compare(&decode_report(100.0, 800.0), &baseline, &Tolerances::default()).is_empty());
+
+        // And a decode kernel's modeled cycles are gated deterministically.
+        let mut base_cycles = decode_report(10.0, 80.0);
+        base_cycles.cells[2].counters.insert("cycles".into(), 1.0e9);
+        let mut cur_cycles = base_cycles.clone();
+        cur_cycles.cells[2].counters.insert("cycles".into(), 1.05e9);
+        let failures = compare(&cur_cycles, &base_cycles, &Tolerances::default());
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert_eq!(failures[0].metric, "cycles");
+        assert_eq!(failures[0].engine, "dec-culzss-warp");
     }
 
     #[test]

@@ -13,6 +13,17 @@
 //! | `bzip2`       | the bzip2-style baseline (SA-IS block sorter)            |
 //! | `server`      | culzss-server end-to-end: submit → compress → verify     |
 //!
+//! Decompression is a first-class workload: every compression engine has
+//! a `dec-*` twin that decodes a stream pre-built *outside* the timed
+//! region ([`DECODE_ENGINES`]), plus `dec-culzss-warp` for the two-pass
+//! warp-parallel GPU decoder. Decode cells flip the byte conventions —
+//! `input_bytes` is the compressed stream, `output_bytes` the decoded
+//! plaintext, `throughput_mbps` is *decoded* (uncompressed) MB/s (the
+//! CODAG reporting convention), and `ratio` stays compressed/uncompressed
+//! so the column remains comparable with the encode cells. The GPU decode
+//! cells export the deterministic cost-model counters, so `cycles` is
+//! gated exactly like compression.
+//!
 //! Two further cells measure the dedup front end on the incremental-edits
 //! corpus only: `dedup-cold` (unseen content every rep) and `dedup-warm`
 //! (cache primed one edit generation earlier); see [`DEDUP_ENGINES`].
@@ -32,7 +43,7 @@
 
 use std::collections::BTreeMap;
 
-use culzss::{Culzss, Version};
+use culzss::{Culzss, DecodeEngine, Version};
 use culzss_datasets::{edits, Dataset};
 use culzss_lzss::matchfind::FinderKind;
 use culzss_lzss::LzssConfig;
@@ -44,6 +55,25 @@ use crate::report::{compare, merge_best, Cell, Regression, Report, Tolerances, S
 /// the regression gate ([`crate::report::REFERENCE_ENGINE`]).
 pub const ENGINES: [&str; 7] =
     ["serial", "serial-hash", "pthread", "culzss-v1", "culzss-v2", "bzip2", "server"];
+
+/// Decompression engine ids in suite order. Each decodes a stream its
+/// compression twin produced before the clock started. `dec-serial` is
+/// the calibration cell decode throughputs are normalized against
+/// ([`crate::report::DECODE_REFERENCE_ENGINE`]); `dec-serial-hash`
+/// decodes the hash-chain finder's stream, pinning that the finder only
+/// affects encode; `dec-culzss-v1`/`dec-culzss-v2` run the paper-faithful
+/// serial block decoder and `dec-culzss-warp` the two-pass warp-parallel
+/// decoder on the same V1 stream.
+pub const DECODE_ENGINES: [&str; 8] = [
+    "dec-serial",
+    "dec-serial-hash",
+    "dec-pthread",
+    "dec-culzss-v1",
+    "dec-culzss-v2",
+    "dec-culzss-warp",
+    "dec-bzip2",
+    "dec-server",
+];
 
 /// The dedup front-end cells, measured on the incremental-edits corpus
 /// only: `dedup-cold` feeds a cache-enabled service content it has never
@@ -67,10 +97,14 @@ impl GridFilter {
     pub fn parse(engines: Option<&str>, corpora: Option<&str>) -> Result<GridFilter, String> {
         let mut filter = GridFilter::default();
         for name in split_list(engines) {
-            if !ENGINES.contains(&name) && !DEDUP_ENGINES.contains(&name) {
+            if !ENGINES.contains(&name)
+                && !DECODE_ENGINES.contains(&name)
+                && !DEDUP_ENGINES.contains(&name)
+            {
                 return Err(format!(
-                    "unknown engine {name:?} (known: {}, {})",
+                    "unknown engine {name:?} (known: {}, {}, {})",
                     ENGINES.join(", "),
+                    DECODE_ENGINES.join(", "),
                     DEDUP_ENGINES.join(", ")
                 ));
             }
@@ -162,16 +196,23 @@ pub fn run_suite_filtered(
     commands: Vec<String>,
     filter: &GridFilter,
 ) -> Report {
-    let mut cells = Vec::with_capacity(ENGINES.len() * Dataset::ALL.len() + DEDUP_ENGINES.len());
+    let mut cells = Vec::with_capacity(
+        (ENGINES.len() + DECODE_ENGINES.len()) * Dataset::ALL.len() + DEDUP_ENGINES.len(),
+    );
     for dataset in Dataset::ALL {
         let engines: Vec<&str> =
             ENGINES.iter().copied().filter(|e| filter.admits(e, dataset.slug())).collect();
-        if engines.is_empty() {
+        let decoders: Vec<&str> =
+            DECODE_ENGINES.iter().copied().filter(|e| filter.admits(e, dataset.slug())).collect();
+        if engines.is_empty() && decoders.is_empty() {
             continue; // don't generate a corpus nothing will read
         }
         let data = dataset.generate(cfg.bytes, cfg.seed);
         for engine in engines {
             cells.push(run_cell(engine, dataset, &data, cfg, probe));
+        }
+        for engine in decoders {
+            cells.push(decode_cell(engine, dataset, &data, cfg, probe));
         }
     }
     cells.extend(dedup_cells(cfg, probe, filter));
@@ -331,6 +372,184 @@ fn gpu_cell(
     cell
 }
 
+/// Measures one decompression engine on one corpus. The compressed
+/// stream is built by the engine's compression twin *before* the clock
+/// starts; the timed region is decode only.
+pub fn decode_cell(
+    engine: &str,
+    dataset: Dataset,
+    data: &[u8],
+    cfg: &SuiteCfg,
+    probe: AllocProbe,
+) -> Cell {
+    let serial_cfg = LzssConfig::dipperstein();
+    let chunk = data.len().div_ceil(PTHREAD_CHUNKS).max(1);
+    match engine {
+        "dec-serial" | "dec-serial-hash" => {
+            // The finder only affects encode; both streams are
+            // byte-identical and decode through the same path. The twin
+            // cells pin exactly that.
+            let finder =
+                if engine == "dec-serial" { FinderKind::BruteForce } else { FinderKind::HashChain };
+            let stream = culzss_lzss::serial::compress_with(data, &serial_cfg, finder)
+                .expect("serial compress");
+            decode_measure(engine, dataset, stream.len(), cfg, probe, || {
+                let out = culzss_lzss::serial::decompress(&stream, &serial_cfg)
+                    .expect("serial decompress");
+                (out.len(), BTreeMap::new())
+            })
+        }
+        "dec-pthread" => {
+            let workers = pthread_workers();
+            let stream = culzss_pthread::compress_chunked(data, &serial_cfg, chunk, workers)
+                .expect("pthread compress");
+            decode_measure(engine, dataset, stream.len(), cfg, probe, move || {
+                let out = culzss_pthread::decompress(&stream, &serial_cfg, workers)
+                    .expect("pthread decompress");
+                (out.len(), BTreeMap::new())
+            })
+        }
+        "dec-culzss-v1" => {
+            gpu_decode_cell(Version::V1, DecodeEngine::Serial, engine, dataset, data, cfg, probe)
+        }
+        "dec-culzss-v2" => {
+            gpu_decode_cell(Version::V2, DecodeEngine::Serial, engine, dataset, data, cfg, probe)
+        }
+        "dec-culzss-warp" => gpu_decode_cell(
+            Version::V1,
+            DecodeEngine::WarpParallel,
+            engine,
+            dataset,
+            data,
+            cfg,
+            probe,
+        ),
+        "dec-bzip2" => {
+            let stream = culzss_bzip2::compress_with(
+                data,
+                culzss_bzip2::BZ_BLOCK_SIZE,
+                culzss_bzip2::bwt::Backend::SaIs,
+            )
+            .expect("bzip2 compress");
+            decode_measure(engine, dataset, stream.len(), cfg, probe, || {
+                let out = culzss_bzip2::decompress(&stream).expect("bzip2 decompress");
+                (out.len(), BTreeMap::new())
+            })
+        }
+        "dec-server" => {
+            // End-to-end decode path: the service compresses the corpus
+            // once (untimed), then decompress jobs run through admission →
+            // batch window → simulated GPU → ticket resolution.
+            let service = Service::start(ServerConfig::default());
+            let ticket = service
+                .submit(JobSpec::compress("bench", data.to_vec()))
+                .expect("bench compress admitted");
+            let stream = ticket.wait().expect("bench compress completes").output;
+            let mut cell = decode_measure(engine, dataset, stream.len(), cfg, probe, || {
+                let ticket = service
+                    .submit(JobSpec::decompress("bench", stream.clone()))
+                    .expect("bench decompress admitted");
+                let outcome = ticket.wait().expect("bench decompress completes");
+                (outcome.output.len(), BTreeMap::new())
+            });
+            let stats = service.shutdown();
+            for (name, value) in [
+                ("queue_wait_seconds", stats.queue_wait_seconds),
+                ("service_seconds", stats.service_seconds),
+                ("verify_seconds", stats.verify_seconds),
+                ("modeled_h2d_seconds", stats.modeled_h2d_seconds),
+                ("modeled_kernel_seconds", stats.modeled_kernel_seconds),
+                ("modeled_d2h_seconds", stats.modeled_d2h_seconds),
+                ("modeled_cpu_seconds", stats.modeled_cpu_seconds),
+            ] {
+                cell.counters.insert(name.into(), value);
+            }
+            cell
+        }
+        other => panic!("unknown decode engine {other:?}"),
+    }
+}
+
+/// One reused-instance GPU decode cell: compress once untimed, then time
+/// `decompress` with the requested engine. The cost-model counters come
+/// from the final rep's decode launch, so `cycles` gates the decode
+/// kernel exactly like the compression cells gate theirs.
+fn gpu_decode_cell(
+    version: Version,
+    decode_engine: DecodeEngine,
+    engine: &str,
+    dataset: Dataset,
+    data: &[u8],
+    cfg: &SuiteCfg,
+    probe: AllocProbe,
+) -> Cell {
+    let culzss = Culzss::new(version).with_decode_engine(decode_engine);
+    let (stream, _) = culzss.compress(data).expect("gpu compress");
+    let mut cell = decode_measure(engine, dataset, stream.len(), cfg, probe, || {
+        let (out, stats) = culzss.decompress(&stream).expect("gpu decompress");
+        let mut counters: BTreeMap<String, f64> = stats
+            .launch
+            .as_ref()
+            .map(|launch| launch.counters().into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+            .unwrap_or_default();
+        counters.insert("cpu_seconds".into(), stats.cpu_seconds);
+        counters.insert("h2d_seconds".into(), stats.h2d_seconds);
+        counters.insert("d2h_seconds".into(), stats.d2h_seconds);
+        (out.len(), counters)
+    });
+    let pool = culzss.pool_stats();
+    cell.counters.insert("pool_acquires".into(), pool.acquires as f64);
+    cell.counters.insert("pool_reuses".into(), pool.reuses as f64);
+    cell
+}
+
+/// [`measure`] twin for decode cells: `input_bytes` is the compressed
+/// stream length, `output_bytes` the decoded plaintext, `throughput_mbps`
+/// is *decoded* MB/s (output-based — the number CODAG-style decode tables
+/// report), and `ratio` stays compressed/uncompressed so the column is
+/// directly comparable with the encode cells.
+fn decode_measure<F: FnMut() -> (usize, BTreeMap<String, f64>)>(
+    engine: &str,
+    dataset: Dataset,
+    stream_len: usize,
+    cfg: &SuiteCfg,
+    probe: AllocProbe,
+    mut run: F,
+) -> Cell {
+    let reps = cfg.reps.max(1);
+    let mut output_bytes = 0usize;
+    let mut counters = BTreeMap::new();
+    let mut wall = f64::INFINITY;
+    let mut alloc = (0u64, 0u64);
+    let mut total = 0.0f64;
+    let mut rep = 0usize;
+    while rep < reps || (total < MIN_MEASURE_SECONDS && rep < MAX_DECODE_REPS) {
+        let before = probe();
+        let started = std::time::Instant::now();
+        let (len, c) = run();
+        let elapsed = started.elapsed().as_secs_f64();
+        let after = probe();
+        wall = wall.min(elapsed);
+        total += elapsed;
+        alloc = (after.0.saturating_sub(before.0), after.1.saturating_sub(before.1));
+        output_bytes = len;
+        counters = c;
+        rep += 1;
+    }
+    Cell {
+        engine: engine.into(),
+        corpus: dataset.slug().into(),
+        input_bytes: stream_len as u64,
+        output_bytes: output_bytes as u64,
+        wall_seconds: wall,
+        throughput_mbps: if wall > 0.0 { output_bytes as f64 / 1e6 / wall } else { 0.0 },
+        ratio: if output_bytes > 0 { stream_len as f64 / output_bytes as f64 } else { 0.0 },
+        alloc_bytes: alloc.0,
+        alloc_count: alloc.1,
+        counters,
+    }
+}
+
 /// Measures the dedup front end through a cache-enabled service on the
 /// incremental-edits corpus ([`DEDUP_ENGINES`]):
 ///
@@ -460,6 +679,15 @@ pub const MIN_MEASURE_SECONDS: f64 = 0.5;
 /// Upper bound on adaptive repetitions per cell.
 pub const MAX_REPS: usize = 25;
 
+/// Upper bound on adaptive repetitions per *decode* cell. Decoding is
+/// 1–3 orders of magnitude faster than encoding, so at the encode cap
+/// of [`MAX_REPS`] a sub-millisecond decode cell can never reach the
+/// [`MIN_MEASURE_SECONDS`] floor and its minimum gates on scheduler
+/// jitter — which is fatal for `dec-serial`, the cell every other
+/// decode cell's throughput is normalized against. The higher cap
+/// still bounds a decode cell at roughly the floor itself.
+pub const MAX_DECODE_REPS: usize = 1000;
+
 /// Times `run` (best of `cfg.reps`, adaptively extended for sub-noise
 /// cells), counting heap traffic across the *final* rep — for pooled
 /// engines that is the steady state, which is the number the arena
@@ -519,7 +747,10 @@ mod tests {
     #[test]
     fn suite_covers_every_engine_and_corpus() {
         let report = run_suite(&tiny(), NO_PROBE, vec!["test".into()]);
-        assert_eq!(report.cells.len(), ENGINES.len() * Dataset::ALL.len() + DEDUP_ENGINES.len());
+        assert_eq!(
+            report.cells.len(),
+            (ENGINES.len() + DECODE_ENGINES.len()) * Dataset::ALL.len() + DEDUP_ENGINES.len()
+        );
         for engine in DEDUP_ENGINES {
             assert!(report.cell(engine, "incremental-edits").is_some(), "{engine}");
         }
@@ -537,6 +768,22 @@ mod tests {
                     cell.ratio
                 );
                 assert_eq!(cell.input_bytes, 8 * 1024);
+            }
+            for engine in DECODE_ENGINES {
+                let cell = report
+                    .cell(engine, dataset.slug())
+                    .unwrap_or_else(|| panic!("missing {engine}/{}", dataset.slug()));
+                assert!(cell.wall_seconds > 0.0, "{engine}/{}", dataset.slug());
+                assert!(cell.throughput_mbps > 0.0, "{engine}/{}", dataset.slug());
+                // Decode cells decode the whole corpus back and keep the
+                // stream's compression ratio in the ratio column.
+                assert_eq!(cell.output_bytes, 8 * 1024, "{engine}/{}", dataset.slug());
+                assert!(
+                    cell.ratio > 0.0 && cell.ratio < 2.0,
+                    "{engine}/{}: ratio {}",
+                    dataset.slug(),
+                    cell.ratio
+                );
             }
         }
         // And the whole thing serializes and parses back.
@@ -607,6 +854,9 @@ mod tests {
         assert!(GridFilter::parse(Some("dedup-warm"), None)
             .unwrap()
             .admits("dedup-warm", "de-map"));
+        assert!(GridFilter::parse(Some("dec-culzss-warp,dec-serial"), None)
+            .unwrap()
+            .admits("dec-culzss-warp", "c-files"));
         assert!(GridFilter::default().admits("anything", "anywhere"));
         assert!(GridFilter::parse(Some("warp-drive"), None)
             .unwrap_err()
@@ -655,6 +905,54 @@ mod tests {
             assert!(cell.ratio > 0.0 && cell.ratio < 1.5, "{}: {}", cell.engine, cell.ratio);
             assert_eq!(cell.input_bytes, 192 * 1024);
         }
+    }
+
+    #[test]
+    fn gpu_decode_cells_export_cost_model_counters() {
+        let cfg = tiny();
+        let data = Dataset::CFiles.generate(cfg.bytes, cfg.seed);
+        for engine in ["dec-culzss-v1", "dec-culzss-v2", "dec-culzss-warp"] {
+            let cell = decode_cell(engine, Dataset::CFiles, &data, &cfg, NO_PROBE);
+            for name in ["cycles", "work_cycles", "global_transactions", "pool_acquires"] {
+                let v = cell.counters.get(name).unwrap_or_else(|| panic!("{engine}: {name}"));
+                assert!(v.is_finite() && *v >= 0.0, "{engine}: {name} = {v}");
+            }
+            assert_eq!(cell.output_bytes, cfg.bytes as u64, "{engine}");
+        }
+        let serial = decode_cell("dec-serial", Dataset::CFiles, &data, &cfg, NO_PROBE);
+        assert!(serial.counters.is_empty());
+    }
+
+    #[test]
+    fn warp_decode_beats_serial_block_decode_on_cycles() {
+        // The tentpole claim, pinned at suite level: on at least 3 of the
+        // 5 corpora the warp-parallel decoder costs ≤ half the modelled
+        // cycles of the paper-faithful serial block decoder. (Cycle
+        // counters are deterministic, so this is noise-free.)
+        let cfg = tiny();
+        let mut wins = Vec::new();
+        for dataset in Dataset::ALL {
+            let data = dataset.generate(cfg.bytes, cfg.seed);
+            let serial = decode_cell("dec-culzss-v1", dataset, &data, &cfg, NO_PROBE);
+            let warp = decode_cell("dec-culzss-warp", dataset, &data, &cfg, NO_PROBE);
+            if warp.counters["cycles"] * 2.0 <= serial.counters["cycles"] {
+                wins.push(dataset.slug());
+            }
+        }
+        assert!(wins.len() >= 3, "warp decode won only on {wins:?}");
+    }
+
+    #[test]
+    fn decode_cells_flip_the_byte_conventions() {
+        let cfg = tiny();
+        let data = Dataset::CFiles.generate(cfg.bytes, cfg.seed);
+        let enc = run_cell("serial", Dataset::CFiles, &data, &cfg, NO_PROBE);
+        let dec = decode_cell("dec-serial", Dataset::CFiles, &data, &cfg, NO_PROBE);
+        // Same stream seen from both sides: the encode cell's output is
+        // the decode cell's input, and the ratio column agrees.
+        assert_eq!(dec.input_bytes, enc.output_bytes);
+        assert_eq!(dec.output_bytes, enc.input_bytes);
+        assert!((dec.ratio - enc.ratio).abs() < 1e-12);
     }
 
     #[test]

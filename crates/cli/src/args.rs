@@ -1,10 +1,13 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
+use culzss::DecodeEngine;
+
 /// Usage text printed on parse errors.
 pub const USAGE: &str = "\
 usage:
   culzss compress   <input> <output> [--codec v1|v2|lzss|pthread|bzip2] [--report]
-  culzss decompress <input> <output> [--codec auto|v1|v2|lzss|pthread|bzip2] [--salvage]
+  culzss decompress <input> <output> [--codec auto|v1|v2|lzss|pthread|bzip2]
+                    [--engine serial|warp] [--salvage]
   culzss verify     <file>
   culzss info       <file>
   culzss gen        <dataset> <bytes> <output> [--seed N]
@@ -12,7 +15,8 @@ usage:
                     [--payload BYTES] [--queue-depth N] [--batch-jobs N]
                     [--fail-first N] [--corrupt-every N] [--seed N]
                     [--trace-out PATH] [--cache-mb N]
-  culzss profile    <input> [--codec v1|v2] [--out PATH]
+  culzss profile    <input> [--codec v1|v2] [--decompress]
+                    [--engine serial|warp] [--out PATH]
   culzss dedup      <input> [--cache-mb N]
   culzss bench-serve [--jobs N] [--payload BYTES] [--seed N]
   culzss bench      [--smoke] [--size-mb N] [--reps N] [--seed N] [--out PATH]
@@ -29,6 +33,9 @@ verify: checks every checksum in a compressed file (per-chunk verdicts
 decompress --salvage: best-effort decode of a damaged CULZSS container —
        intact chunks are recovered, damaged ones become zero-filled
        holes, and the damage report is printed.
+decompress --engine: which simulated decode kernel CULZSS containers run
+       through — serial (paper-faithful block decoder, default) or warp
+       (two-pass warp-parallel decoder). Outputs are byte-identical.
 serve: runs the multi-tenant service against a closed-loop load generator
        and prints the service stats; bench-serve sweeps pool shapes.
        --corrupt-every N flips a bit in every N-th compressed output to
@@ -40,13 +47,18 @@ serve: runs the multi-tenant service against a closed-loop load generator
 profile: compresses <input> through the service once and writes the
        request's Chrome trace (default <input>.trace.json) — load it in
        Perfetto or chrome://tracing; prints the stage breakdown.
+       --decompress profiles the decode path instead: the input is
+       compressed untimed, then a decompress job runs through the
+       service with the selected --engine and the decode stages are
+       printed and traced.
 dedup: compresses <input> twice through a chunk-cache-backed compressor
        and prints the chunking layout, cold/warm hit rates, and the
        bytes served from cache; the output stays a byte-identical v2
        container either way.
-sancheck: runs both CULZSS kernels over corpus samples under the
-       shared-memory sanitizer (racecheck) and prints the reports;
-       exits nonzero on any conflict or barrier divergence.
+sancheck: runs both CULZSS kernels and both decode engines (serial and
+       warp-parallel, over streams from both kernels) on corpus samples
+       under the shared-memory sanitizer (racecheck) and prints the
+       reports; exits nonzero on any conflict or barrier divergence.
 bench: runs every engine over the five evaluation corpora and writes a
        machine-readable JSON report (default BENCH_<timestamp>.json);
        --check gates the run against a baseline report and exits
@@ -105,6 +117,8 @@ pub enum Command {
         output: String,
         /// Codec choice (or Auto).
         codec: Codec,
+        /// Decode kernel for CULZSS containers (serial or warp).
+        engine: DecodeEngine,
         /// Best-effort decode: zero-fill damaged chunks instead of
         /// failing (CULZSS containers only).
         salvage: bool,
@@ -157,12 +171,16 @@ pub enum Command {
         /// Chunk-cache byte budget in MiB (0 = no cache).
         cache_mb: usize,
     },
-    /// Trace one compression request end to end.
+    /// Trace one compression (or decompression) request end to end.
     Profile {
         /// Input path.
         input: String,
         /// Codec choice (GPU codecs only).
         codec: Codec,
+        /// Profile the decode path instead of the compress path.
+        decompress: bool,
+        /// Decode kernel when profiling the decode path.
+        engine: DecodeEngine,
         /// Trace output path (default `<input>.trace.json`).
         out: Option<String>,
     },
@@ -241,6 +259,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         Ok(out)
     };
     let has_flag = |name: &str| rest.iter().any(|a| a.as_str() == name);
+    let decode_engine = || -> Result<DecodeEngine, String> {
+        match flag_value("--engine")? {
+            Some(v) => DecodeEngine::parse(v)
+                .ok_or_else(|| format!("unknown decode engine `{v}` (serial|warp)")),
+            None => Ok(DecodeEngine::Serial),
+        }
+    };
 
     match sub.as_str() {
         "compress" => {
@@ -269,6 +294,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 input: pos[0].clone(),
                 output: pos[1].clone(),
                 codec,
+                engine: decode_engine()?,
                 salvage: has_flag("--salvage"),
             })
         }
@@ -324,6 +350,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             Ok(Command::Profile {
                 input: pos[0].clone(),
                 codec,
+                decompress: has_flag("--decompress"),
+                engine: decode_engine()?,
                 out: flag_value("--out")?.cloned(),
             })
         }
@@ -437,6 +465,7 @@ mod tests {
                 input: "x".into(),
                 output: "y".into(),
                 codec: Codec::Auto,
+                engine: DecodeEngine::Serial,
                 salvage: false
             }
         );
@@ -448,6 +477,21 @@ mod tests {
             Command::Decompress { salvage: true, .. } => {}
             other => panic!("unexpected parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn decompress_engine_flag_parses() {
+        for (flag, want) in [
+            ("serial", DecodeEngine::Serial),
+            ("warp", DecodeEngine::WarpParallel),
+            ("warp-parallel", DecodeEngine::WarpParallel),
+        ] {
+            match parse(&argv(&format!("decompress x y --engine {flag}"))).unwrap() {
+                Command::Decompress { engine, .. } => assert_eq!(engine, want, "{flag}"),
+                other => panic!("unexpected parse: {other:?}"),
+            }
+        }
+        assert!(parse(&argv("decompress x y --engine nope")).is_err());
     }
 
     #[test]
@@ -542,18 +586,35 @@ mod tests {
     fn profile_defaults_and_flags() {
         assert_eq!(
             parse(&argv("profile data.bin")).unwrap(),
-            Command::Profile { input: "data.bin".into(), codec: Codec::V2, out: None }
+            Command::Profile {
+                input: "data.bin".into(),
+                codec: Codec::V2,
+                decompress: false,
+                engine: DecodeEngine::Serial,
+                out: None
+            }
         );
         assert_eq!(
             parse(&argv("profile data.bin --codec v1 --out t.json")).unwrap(),
             Command::Profile {
                 input: "data.bin".into(),
                 codec: Codec::V1,
+                decompress: false,
+                engine: DecodeEngine::Serial,
                 out: Some("t.json".into())
             }
         );
         assert!(parse(&argv("profile")).is_err());
         assert!(parse(&argv("profile data.bin --codec bzip2")).is_err());
+    }
+
+    #[test]
+    fn profile_decompress_flags_parse() {
+        match parse(&argv("profile data.bin --decompress --engine warp")).unwrap() {
+            Command::Profile { decompress: true, engine: DecodeEngine::WarpParallel, .. } => {}
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse(&argv("profile data.bin --decompress --engine nope")).is_err());
     }
 
     #[test]

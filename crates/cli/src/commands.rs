@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use culzss::{Culzss, Version};
+use culzss::{Culzss, DecodeEngine, Version};
 use culzss_gpusim::report::format_launch;
 use culzss_lzss::LzssConfig;
 
@@ -14,8 +14,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Compress { input, output, codec, report } => {
             compress(&input, &output, codec, report)
         }
-        Command::Decompress { input, output, codec, salvage } => {
-            decompress(&input, &output, codec, salvage)
+        Command::Decompress { input, output, codec, engine, salvage } => {
+            decompress(&input, &output, codec, engine, salvage)
         }
         Command::Verify { path } => verify(&path),
         Command::Info { path } => info(&path),
@@ -47,7 +47,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
             trace_out,
             cache_mb,
         ),
-        Command::Profile { input, codec, out } => profile(&input, codec, out),
+        Command::Profile { input, codec, decompress, engine, out } => {
+            profile(&input, codec, decompress, engine, out)
+        }
         Command::Dedup { input, cache_mb } => dedup(&input, cache_mb),
         Command::BenchServe { jobs, payload, seed } => bench_serve(jobs, payload, seed),
         Command::Bench { smoke, size_mb, reps, seed, out, baseline, check, engines, corpora } => {
@@ -109,7 +111,13 @@ fn compress(input: &str, output: &str, codec: Codec, report: bool) -> Result<(),
     Ok(())
 }
 
-fn decompress(input: &str, output: &str, codec: Codec, salvage: bool) -> Result<(), String> {
+fn decompress(
+    input: &str,
+    output: &str,
+    codec: Codec,
+    engine: DecodeEngine,
+    salvage: bool,
+) -> Result<(), String> {
     let data = read(input)?;
     if salvage {
         return salvage_decompress(&data, input, output);
@@ -117,7 +125,7 @@ fn decompress(input: &str, output: &str, codec: Codec, salvage: bool) -> Result<
     let codec = if codec == Codec::Auto { detect(&data)? } else { codec };
     let bytes = match codec {
         Codec::V1 | Codec::V2 => {
-            let culzss = Culzss::new(Version::V1);
+            let culzss = Culzss::new(Version::V1).with_decode_engine(engine);
             culzss.decompress_auto(&data).map_err(|e| e.to_string())?.0
         }
         Codec::Lzss => culzss_lzss::serial::decompress(&data, &LzssConfig::dipperstein())
@@ -410,32 +418,55 @@ fn serve(
     Ok(())
 }
 
-/// Profiles one compression job through the service: runs it on a
-/// single simulated GTX 480, exports the combined host + modelled GPU
-/// Chrome trace, and prints the per-stage latency breakdown.
-fn profile(input: &str, codec: Codec, out: Option<String>) -> Result<(), String> {
+/// Profiles one compression — or, with `decompress`, one decompression —
+/// job through the service: runs it on a single simulated GTX 480,
+/// exports the combined host + modelled GPU Chrome trace, and prints the
+/// per-stage latency breakdown. In decompress mode the input is
+/// compressed *before* the service starts, so the trace and stages cover
+/// the decode path only.
+fn profile(
+    input: &str,
+    codec: Codec,
+    decompress: bool,
+    engine: DecodeEngine,
+    out: Option<String>,
+) -> Result<(), String> {
     use culzss::CulzssParams;
     use culzss_server::{JobSpec, ServerConfig, Service};
 
     let data = read(input)?;
-    let params = if codec == Codec::V1 { CulzssParams::v1() } else { CulzssParams::v2() };
+    let mut params = if codec == Codec::V1 { CulzssParams::v1() } else { CulzssParams::v2() };
+    params.decode_engine = engine;
     // No CPU workers: the job must take the device path, so the trace
     // always carries modelled kernel stages and GPU block spans.
     let config = ServerConfig {
         devices: vec![culzss_gpusim::DeviceSpec::gtx480()],
         cpu_workers: 0,
-        params,
+        params: params.clone(),
         ..ServerConfig::default()
     };
     println!(
-        "profile: {} ({} B, codec {}) on 1 simulated GTX 480",
+        "profile: {} ({} B, codec {}{}) on 1 simulated GTX 480",
         input,
         data.len(),
-        if codec == Codec::V1 { "v1" } else { "v2" }
+        if codec == Codec::V1 { "v1" } else { "v2" },
+        if decompress { format!(", decompress, engine {}", engine.name()) } else { String::new() }
     );
-    let bytes_in = data.len();
+    let payload = if decompress {
+        // Compress outside the service so only the decode job is traced.
+        let culzss = Culzss::with_device(culzss_gpusim::DeviceSpec::gtx480(), params);
+        culzss.compress(&data).map_err(|e| e.to_string())?.0
+    } else {
+        data
+    };
+    let bytes_in = payload.len();
     let service = Service::start(config);
-    let ticket = service.submit(JobSpec::compress("profile", data)).map_err(|e| e.to_string())?;
+    let spec = if decompress {
+        JobSpec::decompress("profile", payload)
+    } else {
+        JobSpec::compress("profile", payload)
+    };
+    let ticket = service.submit(spec).map_err(|e| e.to_string())?;
     let outcome = ticket.wait().map_err(|e| format!("profile job failed: {e}"))?;
     let bytes_out = outcome.output.len();
 
@@ -712,11 +743,27 @@ fn sancheck(dataset: &str, bytes: usize, seed: u64) -> Result<(), String> {
                 dirty += 1;
             }
         }
+        // Decode half of the sweep: both engines over streams from both
+        // compression kernels.
+        let checks = culzss::sancheck::check_decode_all(&sim, &input).map_err(|e| e.to_string())?;
+        for check in checks {
+            let verdict = if check.is_clean() { "clean" } else { "FINDINGS" };
+            println!(
+                "\n[{}] {:?} stream / {:?} decode: {verdict}",
+                corpus.slug(),
+                check.version,
+                check.engine
+            );
+            println!("{}", check.report);
+            if !check.is_clean() {
+                dirty += 1;
+            }
+        }
     }
     if dirty > 0 {
         return Err(format!("sancheck: {dirty} kernel run(s) with findings"));
     }
-    println!("\nsancheck passed: all kernels race- and divergence-free");
+    println!("\nsancheck passed: all kernels and decode engines race- and divergence-free");
     Ok(())
 }
 
@@ -733,12 +780,20 @@ fn selftest() -> Result<(), String> {
 
     for codec in [Codec::V1, Codec::V2, Codec::Lzss, Codec::Pthread, Codec::Bzip2] {
         compress(&as_str(&original), &as_str(&packed), codec, false)?;
-        // Exercise checksum verification and magic detection.
+        // Exercise checksum verification and magic detection; GPU
+        // containers additionally round-trip through both decode engines.
         verify(&as_str(&packed))?;
-        decompress(&as_str(&packed), &as_str(&restored), Codec::Auto, false)?;
-        let back = std::fs::read(&restored).map_err(|e| e.to_string())?;
-        if back != data {
-            return Err(format!("{codec:?} roundtrip mismatch"));
+        let engines: &[DecodeEngine] = if matches!(codec, Codec::V1 | Codec::V2) {
+            &[DecodeEngine::Serial, DecodeEngine::WarpParallel]
+        } else {
+            &[DecodeEngine::Serial]
+        };
+        for &engine in engines {
+            decompress(&as_str(&packed), &as_str(&restored), Codec::Auto, engine, false)?;
+            let back = std::fs::read(&restored).map_err(|e| e.to_string())?;
+            if back != data {
+                return Err(format!("{codec:?}/{engine:?} roundtrip mismatch"));
+            }
         }
         println!("{codec:?}: OK");
     }
@@ -784,7 +839,7 @@ mod tests {
         std::fs::write(&input, &data).unwrap();
 
         compress(&input, &packed, Codec::Lzss, false).unwrap();
-        decompress(&packed, &back, Codec::Auto, false).unwrap();
+        decompress(&packed, &back, Codec::Auto, DecodeEngine::Serial, false).unwrap();
         assert_eq!(std::fs::read(&back).unwrap(), data);
 
         // Info prints without error on each stream type.
@@ -802,7 +857,7 @@ mod tests {
 
         // Pristine: verify passes, salvage is an identity decode.
         verify(&packed).unwrap();
-        decompress(&packed, &back, Codec::Auto, true).unwrap();
+        decompress(&packed, &back, Codec::Auto, DecodeEngine::Serial, true).unwrap();
         assert_eq!(std::fs::read(&back).unwrap(), data);
 
         // Flip a payload byte: verify fails, salvage still produces a
@@ -812,8 +867,8 @@ mod tests {
         stream[at] ^= 0x20;
         std::fs::write(&packed, &stream).unwrap();
         assert!(verify(&packed).is_err());
-        assert!(decompress(&packed, &back, Codec::Auto, false).is_err());
-        decompress(&packed, &back, Codec::Auto, true).unwrap();
+        assert!(decompress(&packed, &back, Codec::Auto, DecodeEngine::Serial, false).is_err());
+        decompress(&packed, &back, Codec::Auto, DecodeEngine::Serial, true).unwrap();
         let salvaged = std::fs::read(&back).unwrap();
         assert_eq!(salvaged.len(), data.len());
         assert_ne!(salvaged, data);
@@ -842,11 +897,26 @@ mod tests {
         let data = culzss_datasets::Dataset::CFiles.generate(64 * 1024, 9);
         std::fs::write(&input, &data).unwrap();
 
-        profile(&input, Codec::V2, Some(trace.clone())).unwrap();
+        profile(&input, Codec::V2, false, DecodeEngine::Serial, Some(trace.clone())).unwrap();
         let json = std::fs::read_to_string(&trace).unwrap();
         culzss_server::validate_chrome_trace(&json).unwrap();
         assert!(json.contains("\"request\""), "host spans missing");
         assert!(json.contains("compress#b0"), "modelled block spans missing");
+    }
+
+    #[test]
+    fn profile_decompress_emits_a_validated_trace() {
+        let input = temp("unit_profile_dec_in.bin");
+        let trace = temp("unit_profile_dec.trace.json");
+        let data = culzss_datasets::Dataset::CFiles.generate(64 * 1024, 9);
+        std::fs::write(&input, &data).unwrap();
+
+        for engine in [DecodeEngine::Serial, DecodeEngine::WarpParallel] {
+            profile(&input, Codec::V1, true, engine, Some(trace.clone())).unwrap();
+            let json = std::fs::read_to_string(&trace).unwrap();
+            culzss_server::validate_chrome_trace(&json).unwrap();
+            assert!(json.contains("\"request\""), "host spans missing ({engine:?})");
+        }
     }
 
     #[test]

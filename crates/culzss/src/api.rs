@@ -95,6 +95,14 @@ impl Culzss {
         self
     }
 
+    /// Selects the decompression kernel for this instance (see
+    /// [`crate::decompress::DecodeEngine`]; the default stays the serial
+    /// block decoder).
+    pub fn with_decode_engine(mut self, engine: crate::decompress::DecodeEngine) -> Self {
+        self.params.decode_engine = engine;
+        self
+    }
+
     /// The active parameters.
     pub fn params(&self) -> &CulzssParams {
         &self.params
@@ -222,6 +230,32 @@ impl Culzss {
         Ok(crate::salvage::salvage(bytes)?)
     }
 
+    /// [`Culzss::decompress_auto`] under the shared-memory sanitizer:
+    /// identical output and stats, plus the racecheck verdict for the
+    /// decode kernel launch (see [`crate::sancheck`]).
+    pub fn decompress_auto_checked(
+        &self,
+        bytes: &[u8],
+    ) -> CulzssResult<(Vec<u8>, PipelineStats, culzss_gpusim::sanitizer::SanitizerReport)> {
+        let (container, payload_offset) = Container::parse(bytes)?;
+        if container.format_id != culzss_lzss::format::TokenFormat::Fixed16.id() {
+            return Err(culzss_lzss::Error::InvalidContainer {
+                reason: "not a CULZSS (Fixed16) stream".into(),
+            }
+            .into());
+        }
+        let config = culzss_lzss::LzssConfig {
+            window_size: container.window_size as usize,
+            min_match: usize::from(container.min_match),
+            max_match: container.max_match as usize,
+            format: culzss_lzss::format::TokenFormat::Fixed16,
+        };
+        config.validate()?;
+        let (out, stats, report) =
+            self.decompress_inner(bytes, container, payload_offset, config, true)?;
+        Ok((out, stats, report.expect("checked launch always yields a report")))
+    }
+
     fn decompress_parsed(
         &self,
         bytes: &[u8],
@@ -229,6 +263,20 @@ impl Culzss {
         payload_offset: usize,
         config: culzss_lzss::LzssConfig,
     ) -> CulzssResult<(Vec<u8>, PipelineStats)> {
+        let (out, stats, _) =
+            self.decompress_inner(bytes, container, payload_offset, config, false)?;
+        Ok((out, stats))
+    }
+
+    fn decompress_inner(
+        &self,
+        bytes: &[u8],
+        container: Container,
+        payload_offset: usize,
+        config: culzss_lzss::LzssConfig,
+        checked: bool,
+    ) -> CulzssResult<(Vec<u8>, PipelineStats, Option<culzss_gpusim::sanitizer::SanitizerReport>)>
+    {
         let payload = &bytes[payload_offset..];
         // v2 streams: reject damaged bodies before spending kernel time on
         // them (v1 has no CRCs; structural decode errors still surface).
@@ -239,8 +287,28 @@ impl Culzss {
         let mut ledger = TransferLedger::default();
         let h2d = ledger.copy(device, Direction::HostToDevice, bytes.len());
 
-        let (chunks, launch) =
-            decompress::run(&self.sim, payload, &layout, &config, self.params.threads_per_block)?;
+        let engine = self.params.decode_engine;
+        let (chunks, launch, sanitizer) = if checked {
+            let (chunks, launch, report) = decompress::run_checked_with_engine(
+                &self.sim,
+                payload,
+                &layout,
+                &config,
+                self.params.threads_per_block,
+                engine,
+            )?;
+            (chunks, launch, Some(report))
+        } else {
+            let (chunks, launch) = decompress::run_with_engine(
+                &self.sim,
+                payload,
+                &layout,
+                &config,
+                self.params.threads_per_block,
+                engine,
+            )?;
+            (chunks, launch, None)
+        };
         let d2h = ledger.copy(device, Direction::DeviceToHost, container.total_len as usize);
 
         let started = Instant::now();
@@ -271,7 +339,7 @@ impl Culzss {
             input_bytes: bytes.len(),
             output_bytes: out.len(),
         };
-        Ok((out, stats))
+        Ok((out, stats, sanitizer))
     }
 }
 

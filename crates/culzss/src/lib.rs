@@ -17,7 +17,9 @@
 //!   generation run on the CPU afterwards, which also creates the
 //!   CPU/GPU overlap opportunity modelled in [`pipeline`].
 //! * **Decompression** ([`decompress`]) — block-parallel decode driven by
-//!   the per-chunk compressed-size table recorded during compression.
+//!   the per-chunk compressed-size table recorded during compression,
+//!   with two engines: the paper-faithful serial block decoder and a
+//!   two-pass warp-parallel decoder ([`decompress::DecodeEngine`]).
 //!
 //! The in-memory API of the paper's Figure 2 lives in [`api`]
 //! ([`api::gpu_compress`] / [`api::gpu_decompress`]), and the tuning
@@ -56,6 +58,7 @@ pub mod stream;
 pub mod tuning;
 
 pub use api::{Culzss, PipelineStats};
+pub use decompress::DecodeEngine;
 pub use error::{CulzssError, CulzssResult};
 pub use params::{CulzssParams, Version};
 pub use salvage::{DamageKind, DamagedChunk, SalvageReport};

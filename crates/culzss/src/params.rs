@@ -13,6 +13,7 @@ use culzss_lzss::config::LzssConfig;
 use culzss_lzss::container::ContainerVersion;
 use culzss_lzss::format::TokenFormat;
 
+use crate::decompress::DecodeEngine;
 use crate::error::{CulzssError, CulzssResult};
 
 /// Which CULZSS design to run (the paper's API exposes this choice as a
@@ -59,6 +60,11 @@ pub struct CulzssParams {
     /// paper-faithful checksum-free v1 for byte-compatibility with
     /// pre-checksum streams. Decoders accept both regardless.
     pub container_version: ContainerVersion,
+    /// Which decompression kernel `decompress`/`decompress_auto` launch:
+    /// the paper-faithful serial block decoder (default) or the two-pass
+    /// warp-parallel decoder. Outputs and typed errors are identical;
+    /// only the modelled execution differs.
+    pub decode_engine: DecodeEngine,
 }
 
 impl CulzssParams {
@@ -73,6 +79,7 @@ impl CulzssParams {
             max_match: 18,
             use_shared_memory: true,
             container_version: ContainerVersion::default(),
+            decode_engine: DecodeEngine::default(),
         }
     }
 
@@ -87,6 +94,7 @@ impl CulzssParams {
             max_match: 32,
             use_shared_memory: true,
             container_version: ContainerVersion::default(),
+            decode_engine: DecodeEngine::default(),
         }
     }
 
@@ -186,6 +194,11 @@ mod tests {
         let v2 = CulzssParams::v2();
         assert_eq!(v2.max_match, 32);
         assert!(v2.shared_bytes() < 1024);
+
+        // The decode-engine knob defaults to the paper-faithful serial
+        // block decoder on both presets.
+        assert_eq!(v1.decode_engine, DecodeEngine::Serial);
+        assert_eq!(v2.decode_engine, DecodeEngine::Serial);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use culzss_gpusim::{GpuSim, SanitizerReport};
 
+use crate::decompress::DecodeEngine;
 use crate::error::CulzssResult;
 use crate::params::{CulzssParams, Version};
 use crate::{kernel_v1, kernel_v2};
@@ -50,6 +51,56 @@ pub fn check_both(sim: &GpuSim, input: &[u8]) -> CulzssResult<Vec<KernelCheck>> 
     Ok(vec![check(sim, input, &CulzssParams::v1())?, check(sim, input, &CulzssParams::v2())?])
 }
 
+/// Racecheck outcome for one decode engine over one input sample.
+#[derive(Debug)]
+pub struct DecodeCheck {
+    /// Which decode engine ran.
+    pub engine: DecodeEngine,
+    /// Which compression kernel produced the stream it decoded.
+    pub version: Version,
+    /// Uncompressed sample length in bytes.
+    pub input_bytes: usize,
+    /// The sanitizer's findings for the decode launch.
+    pub report: SanitizerReport,
+}
+
+impl DecodeCheck {
+    /// True when the decode kernel executed race- and divergence-free.
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean()
+    }
+}
+
+/// Compresses `input` with `params`, then decodes the stream with
+/// `engine` under the sanitizer, asserting byte identity on the side.
+/// This mirrors [`check`] for the decompression kernels.
+pub fn check_decode(
+    sim: &GpuSim,
+    input: &[u8],
+    params: &CulzssParams,
+    engine: DecodeEngine,
+) -> CulzssResult<DecodeCheck> {
+    let mut params = params.clone();
+    params.decode_engine = engine;
+    let culzss = crate::Culzss::with_device(sim.device().clone(), params.clone());
+    let (stream, _) = culzss.compress(input)?;
+    let (out, _, report) = culzss.decompress_auto_checked(&stream)?;
+    debug_assert_eq!(out, input, "checked decode changed bytes");
+    Ok(DecodeCheck { engine, version: params.version, input_bytes: input.len(), report })
+}
+
+/// Runs both decode engines over streams from both compression kernels —
+/// the decode half of the CLI's `sancheck` corpus sweep.
+pub fn check_decode_all(sim: &GpuSim, input: &[u8]) -> CulzssResult<Vec<DecodeCheck>> {
+    let mut checks = Vec::new();
+    for params in [CulzssParams::v1(), CulzssParams::v2()] {
+        for engine in [DecodeEngine::Serial, DecodeEngine::WarpParallel] {
+            checks.push(check_decode(sim, input, &params, engine)?);
+        }
+    }
+    Ok(checks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +130,24 @@ mod tests {
             assert!(check.is_clean());
             assert_eq!(check.report.grid_dim, 0);
         }
+    }
+
+    #[test]
+    fn decode_engines_are_race_free_on_mixed_data() {
+        let input = b"decode sweep sample with runs runs runs and text mixed in ".repeat(300);
+        for check in check_decode_all(&sim(), &input).unwrap() {
+            assert!(
+                check.is_clean(),
+                "{:?}/{:?} decode not race-free:\n{}",
+                check.version,
+                check.engine,
+                check.report
+            );
+        }
+        // The warp engine must actually exercise the sanitizer (the serial
+        // decoder has no shared staging to check).
+        let warp =
+            check_decode(&sim(), &input, &CulzssParams::v1(), DecodeEngine::WarpParallel).unwrap();
+        assert!(warp.report.checked_accesses > 0);
     }
 }

@@ -7,7 +7,7 @@
 //! those bodies (the container's `chunk_crcs` entries), and the CRCs of
 //! the raw chunks (the inputs to the stream-CRC fold).
 //!
-//! Concurrency: the map is split into [`SHARDS`] shards, each behind
+//! Concurrency: the map is split into `SHARDS` shards, each behind
 //! its own `parking_lot::Mutex`, selected by the first key byte — the
 //! digest is uniformly distributed, so shards stay balanced and worker
 //! threads rarely contend. Values are `Arc`s, so a hit holds no lock
@@ -123,7 +123,7 @@ impl std::fmt::Debug for ChunkCache {
 
 impl ChunkCache {
     /// A cache bounded to roughly `budget_bytes` of compressed payload
-    /// (rounded up to [`SHARDS`] bytes minimum so every shard can hold
+    /// (rounded up to `SHARDS` bytes minimum so every shard can hold
     /// something).
     pub fn new(budget_bytes: usize) -> Self {
         Self {

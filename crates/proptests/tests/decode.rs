@@ -1,0 +1,102 @@
+//! Property tests pinning the warp-parallel decoder's pass-1 offset
+//! table and the warp/serial decode equivalence.
+//!
+//! The offset table is the load-bearing piece of the two-pass decode
+//! kernel: pass 2 writes every token's expansion at the offset pass 1
+//! computed, so the table must be exactly the exclusive prefix sum of
+//! token coverage — a gapless, exhaustive partition of the serial
+//! decoder's output positions. Any mismatch shrinks to a minimal
+//! counterexample input.
+
+use culzss::decompress::offset_table;
+use culzss::{Culzss, CulzssParams, DecodeEngine, Version};
+use culzss_lzss::token::Token;
+use culzss_lzss::{serial, token};
+use proptest::prelude::*;
+
+fn inputs() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..6000),
+        proptest::collection::vec(prop_oneof![Just(b'x'), Just(b'y'), Just(b' ')], 0..6000),
+        (proptest::collection::vec(any::<u8>(), 1..25), 1usize..300).prop_map(|(pat, reps)| pat
+            .iter()
+            .cycle()
+            .take(pat.len() * reps)
+            .copied()
+            .collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pass 1's modelled prefix sum exactly partitions the serial
+    /// decoder's output: token `i` starts at the cumulative coverage of
+    /// tokens `0..i`, the partition has no gaps, and the final token
+    /// ends exactly at the output length.
+    #[test]
+    fn offset_table_partitions_the_serial_output(data in inputs()) {
+        let config = CulzssParams::v1().lzss_config();
+        let tokens = serial::tokenize(&data, &config);
+        let offsets = offset_table(&tokens);
+        prop_assert_eq!(offsets.len(), tokens.len());
+
+        let expanded = token::expand(&tokens, &config).unwrap();
+        prop_assert_eq!(&expanded, &data);
+
+        let mut pos = 0usize;
+        for (i, t) in tokens.iter().enumerate() {
+            prop_assert_eq!(offsets[i], pos, "token {} starts off the prefix sum", i);
+            pos += t.coverage();
+        }
+        prop_assert_eq!(pos, expanded.len());
+    }
+
+    /// Resolving each token independently at its pass-1 offset
+    /// reproduces the serial output — literals land verbatim, matches
+    /// copy from `offset - distance` — which is exactly what pass 2's
+    /// parallel lanes rely on.
+    #[test]
+    fn tokens_resolved_at_their_offsets_reproduce_the_serial_output(data in inputs()) {
+        let config = CulzssParams::v1().lzss_config();
+        let tokens = serial::tokenize(&data, &config);
+        let offsets = offset_table(&tokens);
+        let expanded = token::expand(&tokens, &config).unwrap();
+
+        for (i, t) in tokens.iter().enumerate() {
+            let start = offsets[i];
+            match t {
+                Token::Literal(b) => prop_assert_eq!(expanded[start], *b),
+                Token::Match { distance, length } => {
+                    let src = start - *distance as usize;
+                    for k in 0..*length as usize {
+                        prop_assert_eq!(
+                            expanded[start + k],
+                            expanded[src + k],
+                            "match {} byte {} breaks the overlapped copy",
+                            i,
+                            k
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Warp ≡ serial on arbitrary inputs: both engines restore exactly
+    /// the original bytes from both kernel versions' default streams.
+    #[test]
+    fn warp_and_serial_decodes_agree(data in inputs()) {
+        for version in [Version::V1, Version::V2] {
+            let stream = Culzss::new(version).with_workers(1).compress(&data).unwrap().0;
+            let serial_out = Culzss::new(Version::V1).decompress_auto(&stream).unwrap().0;
+            let warp_out = Culzss::new(Version::V1)
+                .with_decode_engine(DecodeEngine::WarpParallel)
+                .decompress_auto(&stream)
+                .unwrap()
+                .0;
+            prop_assert_eq!(&serial_out, &data);
+            prop_assert_eq!(warp_out, serial_out);
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //! Salvage decoding must recover exactly the undamaged chunks.
 
 use culzss::hetero;
-use culzss::{Culzss, CulzssParams, Version};
+use culzss::{Culzss, CulzssParams, DecodeEngine, Version};
 use culzss_datasets::Dataset;
 use culzss_lzss::config::LzssConfig;
 use culzss_lzss::container::{Container, ContainerVersion};
@@ -141,6 +141,70 @@ fn salvage_recovers_every_undamaged_chunk_end_to_end() {
     assert_eq!(out[8192..], input[8192..]);
     assert_eq!(report.hole_bytes, 4096);
     assert_eq!(report.recovered_bytes, input.len() - 4096);
+}
+
+/// Both GPU decode engines must see damage identically: sweep a bit
+/// flip across every byte and a cut across every prefix of a default
+/// (container v2) stream, and demand the warp decoder returns the
+/// **same typed error** the serial decoder does — never wrong bytes,
+/// never a panic, never a detection the other engine misses.
+#[test]
+fn warp_decoder_matches_serial_typed_errors_on_damage_sweeps() {
+    let input = fixture_input();
+    let serial = Culzss::new(Version::V1);
+    let warp = Culzss::new(Version::V1).with_decode_engine(DecodeEngine::WarpParallel);
+    let (stream, _) = serial.compress(&input).unwrap();
+
+    let check = |label: String, bad: &[u8]| match (
+        serial.decompress_auto(bad),
+        warp.decompress_auto(bad),
+    ) {
+        (Err(se), Err(we)) => {
+            assert_eq!(se.to_string(), we.to_string(), "{label}: engines return different errors")
+        }
+        (Ok(_), Ok(_)) => panic!("{label}: damage to a v2 container went undetected"),
+        (s, w) => panic!(
+            "{label}: engines disagree on detection (serial {:?}, warp {:?})",
+            s.map(|_| "ok"),
+            w.map(|_| "ok")
+        ),
+    };
+
+    for at in 0..stream.len() {
+        let mut bad = stream.clone();
+        bad[at] ^= 1 << (at % 8);
+        check(format!("flip at byte {at}"), &bad);
+    }
+    for cut in 0..stream.len() {
+        check(format!("truncation to {cut} bytes"), &stream[..cut]);
+    }
+}
+
+/// Salvage decoding is a CPU-side recovery path and must behave
+/// identically whichever decode engine the pipeline is configured
+/// with: same recovered bytes, same damage report.
+#[test]
+fn salvage_behaviour_is_identical_across_decode_engines() {
+    let input = fixture_input();
+    let serial = Culzss::new(Version::V1).with_workers(2);
+    let warp =
+        Culzss::new(Version::V1).with_workers(2).with_decode_engine(DecodeEngine::WarpParallel);
+    let (stream, _) = serial.compress(&input).unwrap();
+    let (container, offset) = Container::parse(&stream).unwrap();
+    let layout = container.chunk_layout();
+
+    let mut bad = stream.clone();
+    let target = offset + layout[1].0.start + layout[1].0.len() / 2;
+    bad[target] ^= 0x08;
+
+    let (serial_out, serial_report) = serial.decompress_salvage(&bad).unwrap();
+    let (warp_out, warp_report) = warp.decompress_salvage(&bad).unwrap();
+    assert_eq!(serial_out, warp_out, "salvage bytes differ between decode engines");
+    assert_eq!(
+        format!("{serial_report:?}"),
+        format!("{warp_report:?}"),
+        "salvage reports differ between decode engines"
+    );
 }
 
 mod proptests {

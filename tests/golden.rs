@@ -24,7 +24,7 @@
 
 use std::path::PathBuf;
 
-use culzss::{Culzss, CulzssParams, Version};
+use culzss::{Culzss, CulzssParams, DecodeEngine, Version};
 use culzss_datasets::Dataset;
 use culzss_gpusim::DeviceSpec;
 use culzss_lzss::config::LzssConfig;
@@ -165,6 +165,39 @@ fn encoders_reproduce_the_golden_streams() {
             fresh.len(),
             golden.len()
         );
+    }
+}
+
+/// Every golden fixture, through **both** GPU decode engines: the
+/// CULZSS container fixtures must decode to identical bytes (the
+/// fixture input) under the serial and the warp-parallel decoder, and
+/// the fixtures in foreign wire formats (raw LZSS, pthread flag-bit
+/// bodies, bzip2) must draw the **same typed rejection** from both.
+#[test]
+fn golden_streams_decode_identically_through_both_decode_engines() {
+    let input = fixture_input();
+    let serial = Culzss::new(Version::V1).with_workers(2);
+    let warp =
+        Culzss::new(Version::V1).with_workers(2).with_decode_engine(DecodeEngine::WarpParallel);
+    let culzss_fixtures = ["v1", "v1.c2", "v2", "v2.c2"];
+    for (engine, _, _) in engines() {
+        let stream = read_fixture(engine);
+        let s = serial.decompress_auto(&stream);
+        let w = warp.decompress_auto(&stream);
+        if culzss_fixtures.contains(&engine) {
+            let s = s.unwrap_or_else(|e| panic!("[{engine}] serial decode failed: {e}")).0;
+            let w = w.unwrap_or_else(|e| panic!("[{engine}] warp decode failed: {e}")).0;
+            assert_eq!(s, input, "[{engine}] serial decode diverges from the fixture input");
+            assert_eq!(w, s, "[{engine}] warp decode diverges from the serial decode");
+        } else {
+            let se = s.expect_err(&format!("[{engine}] serial engine accepted a foreign format"));
+            let we = w.expect_err(&format!("[{engine}] warp engine accepted a foreign format"));
+            assert_eq!(
+                se.to_string(),
+                we.to_string(),
+                "[{engine}] engines disagree on the rejection error"
+            );
+        }
     }
 }
 

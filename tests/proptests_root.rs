@@ -16,3 +16,6 @@ mod bzip2;
 
 #[path = "../crates/proptests/tests/cross.rs"]
 mod cross;
+
+#[path = "../crates/proptests/tests/decode.rs"]
+mod decode;
