@@ -15,6 +15,7 @@ usage:
                     [--payload BYTES] [--queue-depth N] [--batch-jobs N]
                     [--fail-first N] [--corrupt-every N] [--seed N]
                     [--trace-out PATH] [--cache-mb N]
+                    [--chaos-seed N] [--device-fail SPEC[,SPEC...]]
   culzss profile    <input> [--codec v1|v2] [--decompress]
                     [--engine serial|warp] [--out PATH]
   culzss dedup      <input> [--cache-mb N]
@@ -44,6 +45,15 @@ serve: runs the multi-tenant service against a closed-loop load generator
        --cache-mb N fronts the compressors with an N-MiB content-
        addressed chunk cache (dedup); repeated payloads are served from
        cache and the stats gain hit/miss/bytes-saved counters.
+       --device-fail installs a seeded chaos schedule on the named
+       devices (comma-separated specs, launch indices are 0-based):
+         D:dead@N      device D dies at its N-th launch (forever)
+         D:dead@N+M    ...and heals after M failing launches
+         D:flaky@P     each launch fails with probability P (0..1)
+         D:slow@X      kernel time multiplied by X
+         D:hang@N      launch N hangs until the watchdog kills it
+       --chaos-seed drives the schedule's coin flips; the same seed
+       replays the same faults and breaker transitions.
 profile: compresses <input> through the service once and writes the
        request's Chrome trace (default <input>.trace.json) — load it in
        Perfetto or chrome://tracing; prints the stage breakdown.
@@ -170,6 +180,11 @@ pub enum Command {
         trace_out: Option<String>,
         /// Chunk-cache byte budget in MiB (0 = no cache).
         cache_mb: usize,
+        /// Seed for the chaos fault schedule.
+        chaos_seed: u64,
+        /// Comma-separated per-device fault specs
+        /// (`D:dead@N[+M]`, `D:flaky@P`, `D:slow@X`, `D:hang@N`).
+        device_fail: Option<String>,
     },
     /// Trace one compression (or decompression) request end to end.
     Profile {
@@ -336,6 +351,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 seed: num("--seed", 2011)? as u64,
                 trace_out: flag_value("--trace-out")?.cloned(),
                 cache_mb: num("--cache-mb", 0)?,
+                chaos_seed: num("--chaos-seed", 0)? as u64,
+                device_fail: flag_value("--device-fail")?.cloned(),
             })
         }
         "profile" => {
@@ -547,8 +564,21 @@ mod tests {
                 seed: 2011,
                 trace_out: None,
                 cache_mb: 0,
+                chaos_seed: 0,
+                device_fail: None,
             }
         );
+    }
+
+    #[test]
+    fn serve_chaos_flags_parse() {
+        match parse(&argv("serve --chaos-seed 42 --device-fail 0:dead@5+10,1:flaky@0.2")).unwrap() {
+            Command::Serve { chaos_seed: 42, device_fail: Some(specs), .. } => {
+                assert_eq!(specs, "0:dead@5+10,1:flaky@0.2");
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse(&argv("serve --chaos-seed nope")).is_err());
     }
 
     #[test]

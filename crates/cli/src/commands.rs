@@ -33,6 +33,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             seed,
             trace_out,
             cache_mb,
+            chaos_seed,
+            device_fail,
         } => serve(
             devices,
             cpu_workers,
@@ -46,6 +48,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             seed,
             trace_out,
             cache_mb,
+            chaos_seed,
+            device_fail,
         ),
         Command::Profile { input, codec, decompress, engine, out } => {
             profile(&input, codec, decompress, engine, out)
@@ -345,6 +349,51 @@ fn gen(dataset: &str, bytes: usize, output: &str, seed: u64) -> Result<(), Strin
     Ok(())
 }
 
+/// Folds one `--device-fail` spec (`D:dead@N[+M]`, `D:flaky@P`,
+/// `D:slow@X`, `D:hang@N`) into the fault plan.
+fn apply_device_fail_spec(
+    plan: culzss_server::FaultPlan,
+    spec: &str,
+) -> Result<culzss_server::FaultPlan, String> {
+    let bad = |why: &str| format!("bad --device-fail spec `{spec}`: {why}");
+    let (device, rest) = spec.split_once(':').ok_or_else(|| bad("expected DEVICE:KIND@ARG"))?;
+    let device: usize = device.trim().parse().map_err(|_| bad("device is not a number"))?;
+    let (kind, arg) = rest.split_once('@').ok_or_else(|| bad("expected KIND@ARG"))?;
+    match kind.trim() {
+        "dead" => {
+            let (at, heal) = match arg.split_once('+') {
+                Some((at, heal)) => {
+                    let heal =
+                        heal.parse::<u64>().map_err(|_| bad("heal count is not a number"))?;
+                    (at, Some(heal))
+                }
+                None => (arg, None),
+            };
+            let at = at.parse::<u64>().map_err(|_| bad("launch index is not a number"))?;
+            Ok(plan.device_dead(device, at, heal))
+        }
+        "flaky" => {
+            let rate = arg.parse::<f64>().map_err(|_| bad("rate is not a number"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(bad("rate must be in 0..=1"));
+            }
+            Ok(plan.device_flaky(device, rate))
+        }
+        "slow" => {
+            let mult = arg.parse::<f64>().map_err(|_| bad("multiplier is not a number"))?;
+            if !mult.is_finite() || mult < 1.0 {
+                return Err(bad("multiplier must be >= 1"));
+            }
+            Ok(plan.device_slow(device, mult))
+        }
+        "hang" => {
+            let at = arg.parse::<u64>().map_err(|_| bad("launch index is not a number"))?;
+            Ok(plan.device_hang(device, at, 0.05))
+        }
+        other => Err(bad(&format!("unknown kind `{other}` (dead/flaky/slow/hang)"))),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn serve(
     devices: usize,
@@ -359,6 +408,8 @@ fn serve(
     seed: u64,
     trace_out: Option<String>,
     cache_mb: usize,
+    chaos_seed: u64,
+    device_fail: Option<String>,
 ) -> Result<(), String> {
     use culzss_server::{FaultPlan, LoadGenConfig, ServerConfig, Service};
 
@@ -366,6 +417,19 @@ fn serve(
         if fail_first > 0 { FaultPlan::fail_first(fail_first) } else { FaultPlan::none() };
     if corrupt_every > 0 {
         fault = fault.corrupt_bit_flip(corrupt_every, 997);
+    }
+    if let Some(specs) = &device_fail {
+        fault = fault.chaos(chaos_seed);
+        for spec in specs.split(',').filter(|s| !s.trim().is_empty()) {
+            fault = apply_device_fail_spec(fault, spec.trim())?;
+        }
+        for (device, _) in fault.device_faults() {
+            if *device >= devices {
+                return Err(format!(
+                    "--device-fail names gpu{device} but only {devices} device(s) are configured"
+                ));
+            }
+        }
     }
     let config = ServerConfig {
         devices: (0..devices).map(|_| culzss_gpusim::DeviceSpec::gtx480()).collect(),
@@ -381,6 +445,9 @@ fn serve(
          queue depth {queue_depth}, batch window {batch_jobs} jobs{}",
         if cache_mb > 0 { format!(", {cache_mb} MiB chunk cache") } else { String::new() }
     );
+    if let Some(specs) = &device_fail {
+        println!("chaos: seed {chaos_seed}, schedule {specs}");
+    }
     let service = Service::start(config);
 
     let load = LoadGenConfig {
@@ -414,6 +481,12 @@ fn serve(
         None => service.shutdown(),
     };
     println!("\nservice stats:\n{stats}");
+    if !stats.breaker_transitions.is_empty() {
+        println!("\nbreaker transitions:");
+        for t in &stats.breaker_transitions {
+            println!("  {t}");
+        }
+    }
     println!("counters reconcile: {}", stats.reconciles());
     Ok(())
 }

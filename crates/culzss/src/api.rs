@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use culzss_gpusim::transfer::{Direction, TransferLedger};
-use culzss_gpusim::{DeviceSpec, GpuSim};
+use culzss_gpusim::{DeviceFaultModel, DeviceSpec, GpuSim};
 use culzss_lzss::container::{assemble_with, stream_crc_of, Container};
 use culzss_lzss::format;
 
@@ -92,6 +92,15 @@ impl Culzss {
     /// Overrides the host worker pool used to execute simulated blocks.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.sim = self.sim.with_workers(workers);
+        self
+    }
+
+    /// Installs a [`DeviceFaultModel`] on the underlying simulator so
+    /// kernel launches fail/slow/hang per its seeded schedule. Failures
+    /// surface as [`crate::error::CulzssError::Launch`] from
+    /// [`Self::compress`]/[`Self::decompress`].
+    pub fn with_fault_model(mut self, model: DeviceFaultModel) -> Self {
+        self.sim = self.sim.with_fault_model(model);
         self
     }
 
@@ -378,6 +387,26 @@ mod tests {
         let (compressed, _) = culzss.compress(&input).unwrap();
         let (restored, _) = culzss.decompress(&compressed).unwrap();
         assert_eq!(restored, input);
+    }
+
+    #[test]
+    fn injected_device_fault_surfaces_as_launch_error() {
+        use culzss_gpusim::fault::DeviceFaultConfig;
+        use culzss_gpusim::{exec::LaunchError, FaultKind};
+        let input = Dataset::CFiles.generate(32 * 1024, 4);
+        let culzss = Culzss::new(Version::V1).with_workers(2).with_fault_model(
+            DeviceFaultModel::new(DeviceFaultConfig::new(11).dead_at(0, Some(1))),
+        );
+        match culzss.compress(&input) {
+            Err(crate::error::CulzssError::Launch(LaunchError::DeviceFault {
+                kind: FaultKind::Dead,
+                launch_index: 0,
+            })) => {}
+            other => panic!("expected a dead-device launch error, got {other:?}"),
+        }
+        // The dead window was one launch wide; the device works again.
+        let (compressed, _) = culzss.compress(&input).unwrap();
+        assert_eq!(culzss.decompress(&compressed).unwrap().0, input);
     }
 
     #[test]

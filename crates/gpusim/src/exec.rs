@@ -15,11 +15,13 @@
 //! with the [`crate::cost`] model.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::cost::{cost_launch, KernelCost};
 use crate::device::DeviceSpec;
+use crate::fault::{DeviceFaultModel, FaultKind, LaunchDisposition};
 use crate::meter::{BlockMeter, BlockMetrics};
 use crate::sanitizer::{AccessKind, BlockSanitizerReport, SanitizerReport};
 
@@ -65,6 +67,15 @@ pub enum LaunchError {
         /// Device maximum.
         max: usize,
     },
+    /// An injected device fault fired (see [`crate::fault`]): the launch
+    /// failed the way a real `cudaLaunchKernel`/sync would under a
+    /// transient error, a dead context, or a watchdog kill.
+    DeviceFault {
+        /// Which failure mode fired.
+        kind: FaultKind,
+        /// 0-based launch index on the device, for replay/debugging.
+        launch_index: u64,
+    },
 }
 
 impl std::fmt::Display for LaunchError {
@@ -75,6 +86,9 @@ impl std::fmt::Display for LaunchError {
             }
             LaunchError::SharedMemOverflow { requested, max } => {
                 write!(f, "shared memory request {requested} B exceeds {max} B per block")
+            }
+            LaunchError::DeviceFault { kind, launch_index } => {
+                write!(f, "injected {kind} device fault at launch {launch_index}")
             }
         }
     }
@@ -298,24 +312,40 @@ impl LaunchStats {
     }
 }
 
-/// A simulated GPU: a device description plus a host worker pool size.
+/// A simulated GPU: a device description plus a host worker pool size,
+/// and optionally a [`DeviceFaultModel`] injecting failures at the
+/// launch seam.
 #[derive(Debug, Clone)]
 pub struct GpuSim {
     device: DeviceSpec,
     workers: usize,
+    fault: Option<Arc<DeviceFaultModel>>,
 }
 
 impl GpuSim {
     /// Creates a simulator for `device` using all available host cores.
     pub fn new(device: DeviceSpec) -> Self {
         let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-        Self { device, workers }
+        Self { device, workers, fault: None }
     }
 
     /// Overrides the host worker-pool size (useful in tests).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
+    }
+
+    /// Installs a fault model consulted once per launch. Clones of this
+    /// simulator share the model (and its launch counter), the way
+    /// clones share one physical device.
+    pub fn with_fault_model(mut self, model: DeviceFaultModel) -> Self {
+        self.fault = Some(Arc::new(model));
+        self
+    }
+
+    /// The installed fault model, if any.
+    pub fn fault_model(&self) -> Option<&Arc<DeviceFaultModel>> {
+        self.fault.as_ref()
     }
 
     /// The simulated device.
@@ -385,6 +415,34 @@ impl GpuSim {
                 max: self.device.shared_mem_per_block,
             });
         }
+        // Fault injection happens after configuration validation (a bad
+        // config is the caller's bug, not the device's) and before any
+        // block executes, like a launch failure on real hardware.
+        let mut latency_multiplier = 1.0;
+        if let Some(fault) = &self.fault {
+            match fault.on_launch() {
+                LaunchDisposition::Run { slow } => {
+                    if let Some(m) = slow {
+                        latency_multiplier = m;
+                    }
+                }
+                LaunchDisposition::Fail { kind, index } => {
+                    return Err(LaunchError::DeviceFault { kind, launch_index: index });
+                }
+                LaunchDisposition::Hang { seconds, index } => {
+                    // Model "blocked until the driver watchdog resets
+                    // the device": hold the caller for real time, then
+                    // surface the kill as a typed fault.
+                    if seconds > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(seconds));
+                    }
+                    return Err(LaunchError::DeviceFault {
+                        kind: FaultKind::Hang,
+                        launch_index: index,
+                    });
+                }
+            }
+        }
 
         /// One finished block: its output, metrics, and sanitizer findings.
         type BlockSlot<R> = Option<(R, BlockMetrics, Option<BlockSanitizerReport>)>;
@@ -436,8 +494,13 @@ impl GpuSim {
             per_block.push(metrics);
             sanitizer.push(findings);
         }
-        let cost =
+        let mut cost =
             cost_launch(&self.device, cfg.grid_dim, cfg.block_dim, cfg.shared_bytes, &per_block);
+        if latency_multiplier != 1.0 {
+            // A slow device stretches the modelled time; cycle counters
+            // stay untouched (the work is the same, the clock is not).
+            cost.seconds *= latency_multiplier;
+        }
         // (per_block is moved into the stats below for trace reconstruction)
         Ok((
             LaunchResult {
@@ -604,6 +667,43 @@ mod tests {
         let sim = GpuSim::new(DeviceSpec::gtx480());
         let result = sim.launch(LaunchConfig::new(3, 256), &Once).unwrap();
         assert_eq!(result.outputs, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn fault_model_fails_launches_then_heals_and_shares_counter_across_clones() {
+        use crate::fault::DeviceFaultConfig;
+        let data: Vec<u32> = (0..256).collect();
+        let sim = GpuSim::new(DeviceSpec::gtx480())
+            .with_workers(2)
+            .with_fault_model(DeviceFaultModel::new(DeviceFaultConfig::new(5).dead_at(1, Some(2))));
+        let clone = sim.clone();
+        let cfg = LaunchConfig::new(2, 128);
+        assert!(sim.launch(cfg, &Doubler { data: &data }).is_ok());
+        // Launches 1 and 2 fall in the dead window — including one issued
+        // through a clone, which shares the launch counter.
+        let err = clone.launch(cfg, &Doubler { data: &data }).unwrap_err();
+        assert!(matches!(err, LaunchError::DeviceFault { kind: FaultKind::Dead, launch_index: 1 }));
+        assert!(!err.to_string().is_empty());
+        assert!(sim.launch(cfg, &Doubler { data: &data }).is_err());
+        // Healed: launch 3 runs again.
+        assert!(sim.launch(cfg, &Doubler { data: &data }).is_ok());
+        assert_eq!(sim.fault_model().unwrap().launches(), 4);
+    }
+
+    #[test]
+    fn slow_device_stretches_modelled_time_only() {
+        use crate::fault::DeviceFaultConfig;
+        let data: Vec<u32> = (0..1024).collect();
+        let cfg = LaunchConfig::new(8, 128);
+        let healthy =
+            GpuSim::new(DeviceSpec::gtx480()).launch(cfg, &Doubler { data: &data }).unwrap();
+        let slow = GpuSim::new(DeviceSpec::gtx480())
+            .with_fault_model(DeviceFaultModel::new(DeviceFaultConfig::new(0).slow(3.0)))
+            .launch(cfg, &Doubler { data: &data })
+            .unwrap();
+        assert!((slow.stats.kernel_seconds / healthy.stats.kernel_seconds - 3.0).abs() < 1e-9);
+        assert_eq!(slow.stats.cost.cycles, healthy.stats.cost.cycles);
+        assert_eq!(slow.outputs, healthy.outputs);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Seeded, deterministic device-fault injection.
+//!
+//! Real GPUs fail in a handful of characteristic ways that a service
+//! layer must survive: a launch returns a transient error
+//! (`cudaErrorLaunchFailure` that clears on retry), the device dies and
+//! every subsequent launch fails until a reset (sticky context errors),
+//! the device silently slows down (thermal throttling, ECC retirement),
+//! or a kernel hangs until the driver watchdog kills it. The
+//! [`DeviceFaultModel`] reproduces all four at the
+//! [`GpuSim::launch`](crate::GpuSim::launch) seam so every engine above
+//! it — and the whole server stack — sees realistic failures.
+//!
+//! Determinism is the point: faults are a pure function of the
+//! configured seed and a per-model launch counter, so a chaos run can be
+//! replayed exactly. Clones of a [`GpuSim`](crate::GpuSim) share the
+//! counter (it is behind an `Arc`), mirroring how clones share one
+//! physical device.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The kind of injected device fault, carried inside
+/// [`LaunchError::DeviceFault`](crate::exec::LaunchError::DeviceFault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A one-off launch failure; the next launch may succeed.
+    Transient,
+    /// The device is dead (sticky error): every launch in the dead
+    /// window fails.
+    Dead,
+    /// The launch hung and was killed by the driver watchdog.
+    Hang,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Transient => write!(f, "transient"),
+            FaultKind::Dead => write!(f, "dead"),
+            FaultKind::Hang => write!(f, "hang"),
+        }
+    }
+}
+
+/// Declarative fault schedule for one device, indexed by launch number
+/// (0-based, counted across every launch on the device).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceFaultConfig {
+    /// Seed for the transient-fault coin; two models with the same seed
+    /// and schedule inject identical fault sequences.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any given launch fails transiently.
+    pub transient_rate: f64,
+    /// Launch index at which the device dies (sticky failures).
+    pub dead_at: Option<u64>,
+    /// Number of failing launches after [`Self::dead_at`] before the
+    /// device heals (models a driver reset). `None` means dead forever.
+    pub heal_after: Option<u64>,
+    /// Multiplier applied to the modelled kernel time of successful
+    /// launches (a thermally throttled or ECC-degraded device).
+    pub slow_multiplier: Option<f64>,
+    /// Launch index that hangs for [`Self::hang_seconds`] of real time
+    /// before failing with [`FaultKind::Hang`].
+    pub hang_at: Option<u64>,
+    /// Real-time duration of the injected hang.
+    pub hang_seconds: f64,
+}
+
+impl Default for DeviceFaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            transient_rate: 0.0,
+            dead_at: None,
+            heal_after: None,
+            slow_multiplier: None,
+            hang_at: None,
+            hang_seconds: 0.05,
+        }
+    }
+}
+
+impl DeviceFaultConfig {
+    /// A healthy schedule with the given seed; combine with the builder
+    /// methods below.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Fails every launch from index `at` on; `heal_after` failing
+    /// launches later the device recovers (`None` = dead forever).
+    pub fn dead_at(mut self, at: u64, heal_after: Option<u64>) -> Self {
+        self.dead_at = Some(at);
+        self.heal_after = heal_after;
+        self
+    }
+
+    /// Makes each launch fail transiently with probability `rate`.
+    pub fn flaky(mut self, rate: f64) -> Self {
+        self.transient_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Multiplies the modelled kernel time of successful launches.
+    pub fn slow(mut self, multiplier: f64) -> Self {
+        self.slow_multiplier = Some(multiplier.max(0.0));
+        self
+    }
+
+    /// Hangs launch `at` for `seconds` of wall time, then fails it.
+    pub fn hang_at(mut self, at: u64, seconds: f64) -> Self {
+        self.hang_at = Some(at);
+        self.hang_seconds = seconds.max(0.0);
+        self
+    }
+}
+
+/// What the fault model decided for one launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LaunchDisposition {
+    /// Execute normally; `slow` scales the modelled kernel time.
+    Run {
+        /// Latency multiplier for this launch (`None` = full speed).
+        slow: Option<f64>,
+    },
+    /// Fail immediately with the given fault kind.
+    Fail {
+        /// Which failure mode fired.
+        kind: FaultKind,
+        /// The 0-based launch index that failed.
+        index: u64,
+    },
+    /// Sleep for `seconds` of real time, then fail as a watchdog kill.
+    Hang {
+        /// Real-time hang duration.
+        seconds: f64,
+        /// The 0-based launch index that hung.
+        index: u64,
+    },
+}
+
+/// SplitMix64 — tiny, high-quality seeded generator (same construction
+/// as `dedup::chunker`); keeps the fault coin deterministic without a
+/// `rand` dependency.
+const fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic fault injector for one device, consulted once per
+/// launch. Thread-safe; the launch counter is atomic so concurrent
+/// launches each draw a distinct index.
+#[derive(Debug)]
+pub struct DeviceFaultModel {
+    config: DeviceFaultConfig,
+    launches: AtomicU64,
+}
+
+impl DeviceFaultModel {
+    /// Builds a model from a schedule; the launch counter starts at 0.
+    pub fn new(config: DeviceFaultConfig) -> Self {
+        Self { config, launches: AtomicU64::new(0) }
+    }
+
+    /// The schedule this model injects.
+    pub fn config(&self) -> &DeviceFaultConfig {
+        &self.config
+    }
+
+    /// Number of launches consulted so far.
+    pub fn launches(&self) -> u64 {
+        self.launches.load(Ordering::Relaxed)
+    }
+
+    /// Draws the disposition for the next launch. Precedence: a dead
+    /// window beats a hang beats a transient coin; the slow multiplier
+    /// only applies to launches that run.
+    pub fn on_launch(&self) -> LaunchDisposition {
+        let index = self.launches.fetch_add(1, Ordering::Relaxed);
+        if let Some(at) = self.config.dead_at {
+            let healed = self.config.heal_after.is_some_and(|h| index >= at.saturating_add(h));
+            if index >= at && !healed {
+                return LaunchDisposition::Fail { kind: FaultKind::Dead, index };
+            }
+        }
+        if self.config.hang_at == Some(index) {
+            return LaunchDisposition::Hang { seconds: self.config.hang_seconds, index };
+        }
+        if self.config.transient_rate > 0.0 {
+            // Map a 64-bit draw onto [0, 1); compare against the rate.
+            let draw = splitmix64(self.config.seed ^ index) as f64 / (u64::MAX as f64 + 1.0);
+            if draw < self.config.transient_rate {
+                return LaunchDisposition::Fail { kind: FaultKind::Transient, index };
+            }
+        }
+        LaunchDisposition::Run { slow: self.config.slow_multiplier }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_model_always_runs() {
+        let model = DeviceFaultModel::new(DeviceFaultConfig::new(7));
+        for _ in 0..64 {
+            assert_eq!(model.on_launch(), LaunchDisposition::Run { slow: None });
+        }
+        assert_eq!(model.launches(), 64);
+    }
+
+    #[test]
+    fn dead_window_is_sticky_then_heals() {
+        let model = DeviceFaultModel::new(DeviceFaultConfig::new(1).dead_at(3, Some(2)));
+        let kinds: Vec<bool> = (0..8)
+            .map(|_| {
+                matches!(model.on_launch(), LaunchDisposition::Fail { kind: FaultKind::Dead, .. })
+            })
+            .collect();
+        assert_eq!(kinds, vec![false, false, false, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn dead_forever_never_heals() {
+        let model = DeviceFaultModel::new(DeviceFaultConfig::new(1).dead_at(0, None));
+        for _ in 0..16 {
+            assert!(matches!(
+                model.on_launch(),
+                LaunchDisposition::Fail { kind: FaultKind::Dead, .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_deterministic_and_roughly_at_rate() {
+        let draw = |seed| {
+            let model = DeviceFaultModel::new(DeviceFaultConfig::new(seed).flaky(0.25));
+            (0..400)
+                .map(|_| matches!(model.on_launch(), LaunchDisposition::Fail { .. }))
+                .collect::<Vec<bool>>()
+        };
+        let a = draw(42);
+        assert_eq!(a, draw(42), "same seed must replay identically");
+        assert_ne!(a, draw(43), "different seeds must differ");
+        let hits = a.iter().filter(|&&b| b).count();
+        assert!((50..150).contains(&hits), "0.25 rate out of range: {hits}/400");
+    }
+
+    #[test]
+    fn hang_fires_once_at_its_index() {
+        let model = DeviceFaultModel::new(DeviceFaultConfig::new(9).hang_at(1, 0.0));
+        assert!(matches!(model.on_launch(), LaunchDisposition::Run { .. }));
+        assert!(matches!(model.on_launch(), LaunchDisposition::Hang { index: 1, .. }));
+        assert!(matches!(model.on_launch(), LaunchDisposition::Run { .. }));
+    }
+
+    #[test]
+    fn slow_multiplier_rides_on_successful_launches() {
+        let model = DeviceFaultModel::new(DeviceFaultConfig::new(3).slow(4.0));
+        assert_eq!(model.on_launch(), LaunchDisposition::Run { slow: Some(4.0) });
+    }
+}

@@ -22,6 +22,12 @@
 //!   (SM/core counts, clocks, transaction size, bandwidth, latency) and an
 //!   occupancy-based latency-hiding factor, then into seconds. PCIe
 //!   transfers are billed by [`transfer`].
+//! * **Fault injection** ([`fault`]) — an optional seeded
+//!   [`fault::DeviceFaultModel`] installed via
+//!   [`exec::GpuSim::with_fault_model`] makes launches fail the way real
+//!   devices do (transient errors, sticky dead windows, watchdog-killed
+//!   hangs, thermal slowdowns), deterministically per seed, so failure
+//!   handling above the simulator can be chaos-tested and replayed.
 //!
 //! The model is *not* cycle-accurate; it is a transparent first-order model
 //! whose terms are the exact quantities the paper's optimization section
@@ -74,6 +80,7 @@ pub mod coalesce;
 pub mod cost;
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod meter;
 pub mod multi;
 pub mod occupancy;
@@ -87,5 +94,6 @@ pub use device::DeviceSpec;
 pub use exec::{
     BlockCtx, BlockKernel, CheckedLaunchResult, GpuSim, LaunchConfig, LaunchResult, ThreadCtx,
 };
+pub use fault::{DeviceFaultConfig, DeviceFaultModel, FaultKind};
 pub use meter::BlockMetrics;
 pub use sanitizer::SanitizerReport;

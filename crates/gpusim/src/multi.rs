@@ -33,6 +33,19 @@ impl MultiGpu {
         Self { sims: devices.into_iter().map(GpuSim::new).collect() }
     }
 
+    /// Builds an ensemble from pre-configured simulators — the way to
+    /// attach per-device [`crate::fault::DeviceFaultModel`]s or worker
+    /// pools. At least one simulator is required.
+    pub fn from_sims(sims: Vec<GpuSim>) -> Self {
+        assert!(!sims.is_empty(), "need at least one device");
+        Self { sims }
+    }
+
+    /// The simulators in device order.
+    pub fn sims(&self) -> &[GpuSim] {
+        &self.sims
+    }
+
     /// Number of devices.
     pub fn len(&self) -> usize {
         self.sims.len()
@@ -169,5 +182,18 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_ensemble_panics() {
         MultiGpu::new(vec![]);
+    }
+
+    #[test]
+    fn dead_device_fails_the_ensemble_with_a_typed_fault() {
+        use crate::fault::{DeviceFaultConfig, DeviceFaultModel, FaultKind};
+        let sick = GpuSim::new(DeviceSpec::gtx480())
+            .with_fault_model(DeviceFaultModel::new(DeviceFaultConfig::new(2).dead_at(0, None)));
+        let multi = MultiGpu::from_sims(vec![GpuSim::new(DeviceSpec::gtx480()), sick]);
+        assert_eq!(multi.len(), 2);
+        let err = multi
+            .launch_partitioned(64, 32, 0, |range| BlockIdKernel { offset: range.start })
+            .unwrap_err();
+        assert!(matches!(err, LaunchError::DeviceFault { kind: FaultKind::Dead, .. }));
     }
 }

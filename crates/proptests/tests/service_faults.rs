@@ -1,0 +1,126 @@
+//! Property tests for the service's failure domains.
+//!
+//! Invariant: over an *arbitrary* chaos schedule (flaky, dying,
+//! healing, slow, hanging devices in any combination), the service
+//! conserves tickets — every accepted submission resolves exactly once
+//! (completed or failed, never both, never lost), completed outputs
+//! decode back to the submitted payload, and the terminal counters
+//! reconcile.
+
+use culzss_server::{FaultPlan, HealthConfig, JobSpec, ServerConfig, Service};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// One entry of a chaos schedule: `(device, kind, a, b)` folded into a
+/// [`FaultPlan`] builder call by [`build_plan`].
+type FaultEntry = (usize, u8, u64, u64);
+
+fn fault_entries() -> impl Strategy<Value = Vec<FaultEntry>> {
+    proptest::collection::vec((0usize..2, 0u8..4, 0u64..6, 1u64..5), 0..4)
+}
+
+/// Folds generated entries into a plan. `a`/`b` are reinterpreted per
+/// kind so every generated tuple is a valid schedule.
+fn build_plan(seed: u64, entries: &[FaultEntry]) -> FaultPlan {
+    let mut plan = FaultPlan::none().chaos(seed);
+    for &(device, kind, a, b) in entries {
+        plan = match kind {
+            // Fail each launch with probability a/10 (0..=0.5).
+            0 => plan.device_flaky(device, a as f64 / 10.0),
+            // Dead from launch `a`, healing after `b` failing launches.
+            1 => plan.device_dead(device, a, Some(b)),
+            // Dead from launch `a`, never healing.
+            2 => plan.device_dead(device, a, None),
+            // Kernel time stretched 1x..=5x.
+            _ => plan.device_slow(device, 1.0 + b as f64),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation: submit-count == resolve-count, no duplicate or
+    /// lost resolutions, under any generated schedule.
+    #[test]
+    fn tickets_are_conserved_under_arbitrary_fault_schedules(
+        chaos_seed in 0u64..1000,
+        entries in fault_entries(),
+        jobs in 4usize..10,
+    ) {
+        let config = ServerConfig {
+            devices: (0..2).map(|_| culzss_gpusim::DeviceSpec::gtx480()).collect(),
+            cpu_workers: 1,
+            fault: build_plan(chaos_seed, &entries),
+            health: HealthConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(10),
+                backoff_base: Duration::from_micros(100),
+                backoff_max: Duration::from_millis(1),
+                ..HealthConfig::default()
+            },
+            // Enough budget to reach the forced-CPU attempt even after
+            // failing on both devices.
+            max_retries: 4,
+            ..ServerConfig::default()
+        };
+        let service = Service::start(config);
+
+        let inputs: Vec<Vec<u8>> = (0..jobs)
+            .map(|i| culzss_datasets::Dataset::CFiles.generate(2048 + 512 * (i % 4), i as u64))
+            .collect();
+        let tickets: Vec<_> = inputs
+            .iter()
+            .map(|data| service.submit(JobSpec::compress("prop", data.clone())))
+            .collect();
+
+        // Every accepted ticket resolves exactly once: `wait` consumes
+        // the ticket and must return (a lost job would hang here, a
+        // duplicate resolution would break the counters below).
+        let mut accepted = 0u64;
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        for (ticket, input) in tickets.into_iter().zip(&inputs) {
+            let Ok(ticket) = ticket else { continue };
+            accepted += 1;
+            match ticket.wait() {
+                Ok(outcome) => {
+                    completed += 1;
+                    let plain = culzss::Culzss::new(culzss::Version::V1)
+                        .decompress_auto(&outcome.output)
+                        .expect("delivered stream decodes")
+                        .0;
+                    prop_assert_eq!(&plain, input, "service delivered wrong bytes");
+                }
+                Err(_) => failed += 1,
+            }
+        }
+
+        let stats = service.shutdown();
+        prop_assert_eq!(accepted, stats.accepted, "accept counts agree");
+        prop_assert_eq!(completed, stats.completed, "completion counts agree");
+        prop_assert_eq!(failed, stats.failed, "failure counts agree");
+        prop_assert_eq!(
+            completed + failed, accepted,
+            "every accepted ticket resolved exactly once"
+        );
+        prop_assert!(stats.reconciles(), "terminal counters reconcile: {:?}", stats);
+    }
+
+    /// The chaos schedule itself is deterministic: the same seed and
+    /// entries always build models that replay identical fault streams.
+    #[test]
+    fn chaos_models_replay_identically(
+        chaos_seed in 0u64..1000,
+        entries in fault_entries(),
+    ) {
+        let a = build_plan(chaos_seed, &entries);
+        let b = build_plan(chaos_seed, &entries);
+        prop_assert_eq!(a.has_chaos(), b.has_chaos());
+        prop_assert_eq!(a.device_faults().len(), b.device_faults().len());
+        for (ea, eb) in a.device_faults().iter().zip(b.device_faults()) {
+            prop_assert_eq!(ea.0, eb.0);
+        }
+    }
+}

@@ -1,8 +1,12 @@
 //! Deterministic fault injection for degradation testing: device
-//! failures (launch errors) and payload corruption (bad bytes coming
-//! back from a "device").
+//! failures (launch errors), payload corruption (bad bytes coming back
+//! from a "device"), and seeded per-device chaos schedules
+//! ([`culzss_gpusim::fault::DeviceFaultModel`]) driving the simulator's
+//! own fault seam.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use culzss_gpusim::fault::{DeviceFaultConfig, DeviceFaultModel};
 
 /// A deterministic plan for injecting simulated faults into job
 /// attempts. Two independent fault classes share one plan:
@@ -15,6 +19,11 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 ///   engine produced (bit flip, tail truncation, or chunk-table
 ///   tampering), modelling DMA/ECC faults on the result path. The
 ///   verify-on-decompress gate must catch every one.
+/// * **Chaos schedules** — per-device
+///   [`DeviceFaultConfig`]s installed into each GPU worker's simulator
+///   at startup, injecting transient/dead/slow/hang faults at the
+///   launch seam itself. Deterministic per seed, so chaos runs replay
+///   exactly.
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     mode: Mode,
@@ -23,6 +32,8 @@ pub struct FaultPlan {
     corrupt_every: u64,
     corruption_consulted: AtomicU64,
     injected: AtomicU64,
+    chaos_seed: u64,
+    device_faults: Vec<(usize, DeviceFaultConfig)>,
 }
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -141,6 +152,87 @@ impl FaultPlan {
         damaged
     }
 
+    /// Sets the chaos seed that all per-device fault schedules derive
+    /// their randomness from. Two plans with the same seed and the same
+    /// schedule replay identically.
+    pub fn chaos(mut self, seed: u64) -> Self {
+        self.chaos_seed = seed;
+        self
+    }
+
+    /// Kills `device` at its `at`-th launch; `heal_after` launches
+    /// later it comes back (`None` = stays dead).
+    pub fn device_dead(mut self, device: usize, at: u64, heal_after: Option<u64>) -> Self {
+        self.device_faults.push((device, DeviceFaultConfig::default().dead_at(at, heal_after)));
+        self
+    }
+
+    /// Makes `device` fail each launch independently with probability
+    /// `rate` (seeded, deterministic).
+    pub fn device_flaky(mut self, device: usize, rate: f64) -> Self {
+        self.device_faults.push((device, DeviceFaultConfig::default().flaky(rate)));
+        self
+    }
+
+    /// Multiplies `device`'s simulated kernel latency by `multiplier`
+    /// (a brownout rather than an outage).
+    pub fn device_slow(mut self, device: usize, multiplier: f64) -> Self {
+        self.device_faults.push((device, DeviceFaultConfig::default().slow(multiplier)));
+        self
+    }
+
+    /// Hangs `device`'s `at`-th launch for `seconds` of host wall
+    /// clock before failing it — watchdog-reclassification fodder.
+    pub fn device_hang(mut self, device: usize, at: u64, seconds: f64) -> Self {
+        self.device_faults.push((device, DeviceFaultConfig::default().hang_at(at, seconds)));
+        self
+    }
+
+    /// Builds the merged fault model for `device`, or `None` when the
+    /// chaos schedule never mentions it. Each entry for the device is
+    /// folded into one config (later entries win per field); the model
+    /// seed mixes the plan-wide chaos seed with the device index so
+    /// sibling devices draw independent coins.
+    pub(crate) fn device_model(&self, device: usize) -> Option<DeviceFaultModel> {
+        let mut merged: Option<DeviceFaultConfig> = None;
+        for (d, cfg) in &self.device_faults {
+            if *d != device {
+                continue;
+            }
+            let base = merged.take().unwrap_or_default();
+            let mut next = base;
+            if cfg.transient_rate > 0.0 {
+                next.transient_rate = cfg.transient_rate;
+            }
+            if cfg.dead_at.is_some() {
+                next.dead_at = cfg.dead_at;
+                next.heal_after = cfg.heal_after;
+            }
+            if cfg.slow_multiplier.is_some() {
+                next.slow_multiplier = cfg.slow_multiplier;
+            }
+            if cfg.hang_at.is_some() {
+                next.hang_at = cfg.hang_at;
+                next.hang_seconds = cfg.hang_seconds;
+            }
+            merged = Some(next);
+        }
+        let mut cfg = merged?;
+        cfg.seed = self.chaos_seed ^ (device as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Some(DeviceFaultModel::new(cfg))
+    }
+
+    /// True when the plan carries a chaos schedule for any device.
+    pub fn has_chaos(&self) -> bool {
+        !self.device_faults.is_empty()
+    }
+
+    /// The raw chaos schedule: `(device, fault config)` entries in the
+    /// order they were added (later entries override per field group).
+    pub fn device_faults(&self) -> &[(usize, DeviceFaultConfig)] {
+        &self.device_faults
+    }
+
     /// GPU attempts consulted so far.
     pub fn consulted(&self) -> u64 {
         self.consulted.load(Relaxed)
@@ -163,6 +255,8 @@ impl Clone for FaultPlan {
             corrupt_every: self.corrupt_every,
             corruption_consulted: AtomicU64::new(self.corruption_consulted.load(Relaxed)),
             injected: AtomicU64::new(self.injected_corruptions()),
+            chaos_seed: self.chaos_seed,
+            device_faults: self.device_faults.clone(),
         }
     }
 }
@@ -233,6 +327,36 @@ mod tests {
         let mut out = Vec::new();
         assert!(!plan.corrupt_payload(&mut out));
         assert_eq!(plan.injected_corruptions(), 0);
+    }
+
+    #[test]
+    fn chaos_schedule_builds_models_only_for_named_devices() {
+        let plan = FaultPlan::none().chaos(42).device_dead(1, 3, Some(5)).device_flaky(1, 0.1);
+        assert!(plan.has_chaos());
+        assert!(plan.device_model(0).is_none());
+        let model = plan.device_model(1).expect("device 1 scheduled");
+        let cfg = model.config();
+        assert_eq!(cfg.dead_at, Some(3));
+        assert_eq!(cfg.heal_after, Some(5));
+        assert!((cfg.transient_rate - 0.1).abs() < 1e-12);
+        assert_ne!(cfg.seed, 42, "seed must mix in the device index");
+    }
+
+    #[test]
+    fn chaos_models_replay_identically_per_seed() {
+        let schedule =
+            |seed| FaultPlan::none().chaos(seed).device_flaky(0, 0.3).device_model(0).unwrap();
+        let run = |m: &DeviceFaultModel| (0..64).map(|_| m.on_launch()).collect::<Vec<_>>();
+        assert_eq!(run(&schedule(7)), run(&schedule(7)));
+        assert_ne!(run(&schedule(7)), run(&schedule(8)));
+    }
+
+    #[test]
+    fn clone_carries_the_chaos_schedule() {
+        let plan = FaultPlan::none().chaos(9).device_slow(2, 3.0);
+        let cloned = plan.clone();
+        let model = cloned.device_model(2).expect("schedule survives clone");
+        assert_eq!(model.config().slow_multiplier, Some(3.0));
     }
 
     #[test]

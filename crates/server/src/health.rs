@@ -1,0 +1,504 @@
+//! Per-device health tracking: circuit breakers, retry backoff, and the
+//! failure-domain bookkeeping behind failover routing and brownout
+//! shedding.
+//!
+//! Every GPU worker owns one device, and every device gets one circuit
+//! breaker following the classic three-state machine:
+//!
+//! * **Closed** — traffic flows; consecutive device failures are
+//!   counted and any success resets the count.
+//! * **Open** — entered after `failure_threshold` consecutive failures.
+//!   All work is denied (and rerouted by the caller) until the cooldown
+//!   elapses.
+//! * **Half-open** — after the cooldown, one probe job at a time is let
+//!   through. `probe_successes` consecutive probe successes close the
+//!   breaker; a single probe failure reopens it for another cooldown.
+//!
+//! Transitions are sequence-numbered in one global log so a chaos run
+//! can assert deterministic replay (same seed → same transition
+//! sequence) and so tests can prove isolation bounds (a dead device is
+//! cut off after exactly `failure_threshold` consecutive failures).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Tunables for the failure-domain machinery; one value serves every
+/// device. Part of [`crate::ServerConfig`].
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive device failures that open a breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker denies work before letting a half-open
+    /// probe through.
+    pub cooldown: Duration,
+    /// Consecutive successful probes needed to close a half-open
+    /// breaker.
+    pub probe_successes: u32,
+    /// Base delay before a failed job is retried (doubles per attempt).
+    pub backoff_base: Duration,
+    /// Upper bound on the retry backoff.
+    pub backoff_max: Duration,
+    /// Watchdog deadline around device execution: a device failure that
+    /// took at least this long is classified as a hang
+    /// ([`crate::JobError::DeviceTimeout`]). `None` disables the
+    /// classification.
+    pub watchdog: Option<Duration>,
+    /// Brownout trigger: when every breaker is open and the queue is at
+    /// least this fraction of its depth limit, new submissions are shed
+    /// with [`crate::SubmitError::Degraded`].
+    pub brownout_fraction: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(100),
+            probe_successes: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(50),
+            watchdog: Some(Duration::from_secs(2)),
+            brownout_fraction: 0.75,
+        }
+    }
+}
+
+/// Circuit-breaker state for one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows.
+    Closed,
+    /// Tripped: work is denied and rerouted until the cooldown elapses.
+    Open,
+    /// Probing: one job at a time tests whether the device recovered.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// One breaker state change, globally sequence-numbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// Global order of this transition across all devices.
+    pub seq: u64,
+    /// Device whose breaker moved.
+    pub device: usize,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+impl std::fmt::Display for BreakerTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{} gpu{}: {} -> {}", self.seq, self.device, self.from, self.to)
+    }
+}
+
+/// Point-in-time health of one device, exported in
+/// [`crate::ServiceStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceHealthSnapshot {
+    /// Device index.
+    pub device: usize,
+    /// Breaker state at snapshot time.
+    pub state: BreakerState,
+    /// Successful device executions.
+    pub successes: u64,
+    /// Failed device executions (including timeouts).
+    pub failures: u64,
+    /// Failures classified as watchdog timeouts.
+    pub timeouts: u64,
+    /// Jobs denied by the breaker and rerouted elsewhere.
+    pub denials: u64,
+    /// Times the breaker opened.
+    pub opens: u64,
+    /// Times the breaker moved to half-open.
+    pub half_opens: u64,
+    /// Times the breaker closed from half-open.
+    pub closes: u64,
+    /// Consecutive failures observed when the breaker first opened
+    /// (`None` if it never opened) — the isolation bound chaos tests
+    /// assert on.
+    pub failures_before_first_open: Option<u64>,
+}
+
+/// The caller's verdict from [`HealthRegistry::try_acquire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Run the job; `probe` marks a half-open trial whose outcome must
+    /// be reported with the same flag.
+    Execute {
+        /// True when this is a half-open probe.
+        probe: bool,
+    },
+    /// Breaker is open (or a probe is already in flight): reroute.
+    Deny,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_successes: u32,
+    probe_in_flight: bool,
+    open_until: Instant,
+    successes: u64,
+    failures: u64,
+    timeouts: u64,
+    denials: u64,
+    opens: u64,
+    half_opens: u64,
+    closes: u64,
+    failures_before_first_open: Option<u64>,
+}
+
+impl BreakerInner {
+    fn new(now: Instant) -> Self {
+        Self {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            half_open_successes: 0,
+            probe_in_flight: false,
+            open_until: now,
+            successes: 0,
+            failures: 0,
+            timeouts: 0,
+            denials: 0,
+            opens: 0,
+            half_opens: 0,
+            closes: 0,
+            failures_before_first_open: None,
+        }
+    }
+}
+
+/// One circuit breaker per device plus the global transition log.
+#[derive(Debug)]
+pub(crate) struct HealthRegistry {
+    config: HealthConfig,
+    devices: Vec<Mutex<BreakerInner>>,
+    transitions: Mutex<Vec<BreakerTransition>>,
+    seq: AtomicU64,
+}
+
+impl HealthRegistry {
+    pub(crate) fn new(config: HealthConfig, device_count: usize) -> Self {
+        let now = Instant::now();
+        Self {
+            config,
+            devices: (0..device_count).map(|_| Mutex::new(BreakerInner::new(now))).collect(),
+            transitions: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    pub(crate) fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn record(&self, device: usize, from: BreakerState, to: BreakerState) -> BreakerTransition {
+        let t =
+            BreakerTransition { seq: self.seq.fetch_add(1, Ordering::Relaxed), device, from, to };
+        self.transitions.lock().push(t);
+        t
+    }
+
+    /// Asks whether `device` may run a job right now.
+    pub(crate) fn try_acquire(
+        &self,
+        device: usize,
+        now: Instant,
+    ) -> (Admission, Option<BreakerTransition>) {
+        let mut b = self.devices[device].lock();
+        match b.state {
+            BreakerState::Closed => (Admission::Execute { probe: false }, None),
+            BreakerState::Open => {
+                if now >= b.open_until {
+                    b.state = BreakerState::HalfOpen;
+                    b.half_opens += 1;
+                    b.half_open_successes = 0;
+                    b.probe_in_flight = true;
+                    let t = self.record(device, BreakerState::Open, BreakerState::HalfOpen);
+                    (Admission::Execute { probe: true }, Some(t))
+                } else {
+                    b.denials += 1;
+                    (Admission::Deny, None)
+                }
+            }
+            BreakerState::HalfOpen => {
+                if b.probe_in_flight {
+                    b.denials += 1;
+                    (Admission::Deny, None)
+                } else {
+                    b.probe_in_flight = true;
+                    (Admission::Execute { probe: true }, None)
+                }
+            }
+        }
+    }
+
+    /// Reports a successful device execution.
+    pub(crate) fn on_success(&self, device: usize, probe: bool) -> Option<BreakerTransition> {
+        let mut b = self.devices[device].lock();
+        b.successes += 1;
+        b.consecutive_failures = 0;
+        if probe && b.state == BreakerState::HalfOpen {
+            b.probe_in_flight = false;
+            b.half_open_successes += 1;
+            if b.half_open_successes >= self.config.probe_successes.max(1) {
+                b.state = BreakerState::Closed;
+                b.closes += 1;
+                return Some(self.record(device, BreakerState::HalfOpen, BreakerState::Closed));
+            }
+        }
+        None
+    }
+
+    /// Reports a failed device execution (`timed_out` when the watchdog
+    /// classified it as a hang).
+    pub(crate) fn on_failure(
+        &self,
+        device: usize,
+        probe: bool,
+        timed_out: bool,
+        now: Instant,
+    ) -> Option<BreakerTransition> {
+        let mut b = self.devices[device].lock();
+        b.failures += 1;
+        if timed_out {
+            b.timeouts += 1;
+        }
+        match b.state {
+            BreakerState::Closed => {
+                b.consecutive_failures += 1;
+                if b.consecutive_failures >= self.config.failure_threshold.max(1) {
+                    b.state = BreakerState::Open;
+                    b.opens += 1;
+                    b.open_until = now + self.config.cooldown;
+                    if b.failures_before_first_open.is_none() {
+                        b.failures_before_first_open = Some(u64::from(b.consecutive_failures));
+                    }
+                    b.consecutive_failures = 0;
+                    return Some(self.record(device, BreakerState::Closed, BreakerState::Open));
+                }
+                None
+            }
+            BreakerState::HalfOpen if probe => {
+                b.probe_in_flight = false;
+                b.state = BreakerState::Open;
+                b.opens += 1;
+                b.open_until = now + self.config.cooldown;
+                Some(self.record(device, BreakerState::HalfOpen, BreakerState::Open))
+            }
+            // A straggler failure while open/half-open (e.g. a non-probe
+            // job already in flight when the breaker moved): counted
+            // above, no state change.
+            _ => None,
+        }
+    }
+
+    /// Current breaker state of `device` (test helper; production
+    /// callers read [`Self::snapshots`]).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn state(&self, device: usize) -> BreakerState {
+        self.devices[device].lock().state
+    }
+
+    /// True when the service has devices and every breaker is open —
+    /// the brownout precondition.
+    pub(crate) fn all_open(&self) -> bool {
+        !self.devices.is_empty()
+            && self.devices.iter().all(|b| b.lock().state == BreakerState::Open)
+    }
+
+    /// True when some device outside `avoid_mask` is not open — i.e. a
+    /// failed job still has a GPU worth retrying on.
+    pub(crate) fn healthy_device_besides(&self, avoid_mask: u64) -> bool {
+        self.devices.iter().enumerate().any(|(d, b)| {
+            (d >= 64 || avoid_mask & (1u64 << d) == 0) && b.lock().state != BreakerState::Open
+        })
+    }
+
+    pub(crate) fn snapshots(&self) -> Vec<DeviceHealthSnapshot> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(device, b)| {
+                let b = b.lock();
+                DeviceHealthSnapshot {
+                    device,
+                    state: b.state,
+                    successes: b.successes,
+                    failures: b.failures,
+                    timeouts: b.timeouts,
+                    denials: b.denials,
+                    opens: b.opens,
+                    half_opens: b.half_opens,
+                    closes: b.closes,
+                    failures_before_first_open: b.failures_before_first_open,
+                }
+            })
+            .collect()
+    }
+
+    /// The global transition log in order.
+    pub(crate) fn transitions(&self) -> Vec<BreakerTransition> {
+        self.transitions.lock().clone()
+    }
+}
+
+/// SplitMix64 (same construction as `dedup::chunker`) for deterministic
+/// backoff jitter without a `rand` dependency.
+const fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exponential backoff with deterministic jitter for retry `attempt`
+/// (1-based) of job `job_id`: `base × 2^(attempt-1)` capped at
+/// `backoff_max`, scaled into `[0.5, 1.0)` of itself by a jitter drawn
+/// from the job id and attempt number. Deterministic so chaos runs
+/// replay exactly; jittered so a flapping device does not see a retry
+/// storm arrive in phase.
+pub(crate) fn retry_backoff(config: &HealthConfig, job_id: u64, attempt: u32) -> Duration {
+    let exp = config
+        .backoff_base
+        .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
+        .min(config.backoff_max);
+    let jitter =
+        0.5 + 0.5 * (splitmix64(job_id ^ u64::from(attempt)) as f64 / (u64::MAX as f64 + 1.0));
+    exp.mul_f64(jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(threshold: u32, cooldown_ms: u64, probes: u32) -> HealthRegistry {
+        HealthRegistry::new(
+            HealthConfig {
+                failure_threshold: threshold,
+                cooldown: Duration::from_millis(cooldown_ms),
+                probe_successes: probes,
+                ..HealthConfig::default()
+            },
+            2,
+        )
+    }
+
+    #[test]
+    fn closed_opens_after_consecutive_failures_only() {
+        let reg = registry(3, 1000, 1);
+        let now = Instant::now();
+        assert!(reg.on_failure(0, false, false, now).is_none());
+        assert!(reg.on_success(0, false).is_none()); // resets the streak
+        assert!(reg.on_failure(0, false, false, now).is_none());
+        assert!(reg.on_failure(0, false, false, now).is_none());
+        let t = reg.on_failure(0, false, false, now).expect("third consecutive failure opens");
+        assert_eq!((t.from, t.to), (BreakerState::Closed, BreakerState::Open));
+        assert_eq!(reg.state(0), BreakerState::Open);
+        assert_eq!(reg.snapshots()[0].failures_before_first_open, Some(3));
+        // Device 1 is untouched.
+        assert_eq!(reg.state(1), BreakerState::Closed);
+    }
+
+    #[test]
+    fn open_denies_until_cooldown_then_probes_then_closes() {
+        let reg = registry(1, 50, 2);
+        let now = Instant::now();
+        reg.on_failure(0, false, false, now);
+        let (adm, _) = reg.try_acquire(0, now);
+        assert_eq!(adm, Admission::Deny);
+        // Cooldown elapsed: one probe allowed, a second is denied while
+        // the first is in flight.
+        let later = now + Duration::from_millis(60);
+        let (adm, t) = reg.try_acquire(0, later);
+        assert_eq!(adm, Admission::Execute { probe: true });
+        assert_eq!(t.unwrap().to, BreakerState::HalfOpen);
+        assert_eq!(reg.try_acquire(0, later).0, Admission::Deny);
+        assert!(reg.on_success(0, true).is_none(), "needs 2 probe successes");
+        let (adm, _) = reg.try_acquire(0, later);
+        assert_eq!(adm, Admission::Execute { probe: true });
+        let t = reg.on_success(0, true).expect("second probe success closes");
+        assert_eq!(t.to, BreakerState::Closed);
+        assert_eq!(reg.try_acquire(0, later).0, Admission::Execute { probe: false });
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let reg = registry(1, 50, 1);
+        let now = Instant::now();
+        reg.on_failure(0, false, false, now);
+        let later = now + Duration::from_millis(60);
+        assert_eq!(reg.try_acquire(0, later).0, Admission::Execute { probe: true });
+        let t = reg.on_failure(0, true, true, later).expect("probe failure reopens");
+        assert_eq!((t.from, t.to), (BreakerState::HalfOpen, BreakerState::Open));
+        assert_eq!(reg.try_acquire(0, later).0, Admission::Deny);
+        let snap = &reg.snapshots()[0];
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.opens, 2);
+    }
+
+    #[test]
+    fn routing_predicates_cover_masks_and_brownout() {
+        let reg = registry(1, 1000, 1);
+        let now = Instant::now();
+        assert!(!reg.all_open());
+        assert!(reg.healthy_device_besides(0));
+        assert!(reg.healthy_device_besides(1 << 0), "device 1 still healthy");
+        reg.on_failure(0, false, false, now);
+        assert!(!reg.all_open());
+        reg.on_failure(1, false, false, now);
+        assert!(reg.all_open());
+        assert!(!reg.healthy_device_besides(0), "every breaker open");
+        // Zero-device registries never report brownout.
+        assert!(!HealthRegistry::new(HealthConfig::default(), 0).all_open());
+    }
+
+    #[test]
+    fn transition_log_is_globally_ordered() {
+        let reg = registry(1, 50, 1);
+        let now = Instant::now();
+        reg.on_failure(1, false, false, now);
+        reg.on_failure(0, false, false, now);
+        let log = reg.transitions();
+        assert_eq!(log.len(), 2);
+        assert_eq!((log[0].seq, log[0].device), (0, 1));
+        assert_eq!((log[1].seq, log[1].device), (1, 0));
+        assert!(!log[0].to_string().is_empty());
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let cfg = HealthConfig {
+            backoff_base: Duration::from_millis(4),
+            backoff_max: Duration::from_millis(20),
+            ..HealthConfig::default()
+        };
+        let b1 = retry_backoff(&cfg, 7, 1);
+        let b2 = retry_backoff(&cfg, 7, 2);
+        let b5 = retry_backoff(&cfg, 7, 5);
+        assert!(b1 >= Duration::from_millis(2) && b1 < Duration::from_millis(4), "{b1:?}");
+        assert!(b2 >= Duration::from_millis(4) && b2 < Duration::from_millis(8), "{b2:?}");
+        assert!(b5 >= Duration::from_millis(10) && b5 < Duration::from_millis(20), "{b5:?}");
+        assert_eq!(retry_backoff(&cfg, 7, 2), b2, "same inputs, same backoff");
+        assert_ne!(retry_backoff(&cfg, 8, 1), b1, "different job, different jitter");
+    }
+}

@@ -174,6 +174,16 @@ pub enum JobError {
         /// Last failure message.
         error: String,
     },
+    /// The last attempt hung past the watchdog deadline (the device was
+    /// reset out from under it) and the retry budget is exhausted.
+    DeviceTimeout {
+        /// Attempts made (initial + retries).
+        attempts: u32,
+        /// How long the hung attempt ran before the watchdog fired.
+        elapsed: Duration,
+        /// The configured watchdog deadline.
+        watchdog: Duration,
+    },
     /// Codec-level failure (corrupt container, size mismatch, …);
     /// retrying elsewhere cannot help, so it fails immediately.
     Codec {
@@ -201,6 +211,12 @@ impl fmt::Display for JobError {
             }
             JobError::DeviceFailed { attempts, error } => {
                 write!(f, "device failed after {attempts} attempt(s): {error}")
+            }
+            JobError::DeviceTimeout { attempts, elapsed, watchdog } => {
+                write!(
+                    f,
+                    "device hung for {elapsed:?} (watchdog {watchdog:?}) after {attempts} attempt(s)"
+                )
             }
             JobError::Codec { error } => write!(f, "codec error: {error}"),
             JobError::Quarantined { attempts, detail } => {
@@ -234,6 +250,15 @@ pub enum SubmitError {
         /// The configured per-tenant cap.
         cap: usize,
     },
+    /// Brownout: every device breaker is open and the CPU lane is
+    /// saturated, so the service sheds new work rather than queueing it
+    /// behind a backlog it cannot drain in time.
+    Degraded {
+        /// Devices whose breakers are currently open (all of them).
+        open_devices: usize,
+        /// Jobs queued when the submission was shed.
+        depth: usize,
+    },
     /// The service is shutting down and no longer admits jobs.
     ShuttingDown,
 }
@@ -246,6 +271,9 @@ impl fmt::Display for SubmitError {
             }
             SubmitError::TenantOverLimit { tenant, in_flight, cap } => {
                 write!(f, "tenant {tenant} over limit ({in_flight}/{cap} in flight)")
+            }
+            SubmitError::Degraded { open_devices, depth } => {
+                write!(f, "degraded: all {open_devices} device breaker(s) open, {depth} queued")
             }
             SubmitError::ShuttingDown => write!(f, "service shutting down"),
         }
@@ -297,5 +325,31 @@ pub(crate) struct Job {
     pub deadline: Option<Instant>,
     pub attempts: u32,
     pub force_cpu: bool,
+    /// Earliest instant a requeued job may run again (retry backoff).
+    pub not_before: Option<Instant>,
+    /// Bitmask of device indices this job must no longer be routed to
+    /// (it failed there, or the device's breaker denied it). Devices
+    /// ≥ 64 are never masked — retrying there is merely wasteful, not
+    /// wrong.
+    pub avoid_devices: u64,
     pub responder: mpsc::Sender<JobResult>,
+}
+
+impl Job {
+    /// True when routing must skip `device`.
+    pub(crate) fn avoids(&self, device: usize) -> bool {
+        device < 64 && self.avoid_devices & (1u64 << device) != 0
+    }
+
+    /// Marks `device` as off-limits for this job.
+    pub(crate) fn mark_avoid(&mut self, device: usize) {
+        if device < 64 {
+            self.avoid_devices |= 1u64 << device;
+        }
+    }
+
+    /// True once [`Self::not_before`] has passed (or was never set).
+    pub(crate) fn ready_at(&self, now: Instant) -> bool {
+        self.not_before.is_none_or(|t| t <= now)
+    }
 }

@@ -18,7 +18,17 @@
 //!   `culzss::stream::BatchTimeline`).
 //! - **Graceful degradation** — simulated device failures (injected via
 //!   [`FaultPlan`] or real launch errors) consume a bounded retry budget
-//!   and reroute onto the wire-compatible CPU path (`culzss::hetero`).
+//!   and reroute onto another healthy GPU first, degrading to the
+//!   wire-compatible CPU path (`culzss::hetero`) only when no healthy
+//!   device remains.
+//! - **Failure domains** — per-device circuit breakers
+//!   (closed → open → half-open, [`health`]), deterministic jittered
+//!   retry backoff, a watchdog that converts hangs into typed
+//!   [`JobError::DeviceTimeout`] failures, and brownout load-shedding
+//!   ([`SubmitError::Degraded`]) when every breaker is open and the
+//!   queue saturates. Seeded per-device chaos schedules
+//!   ([`FaultPlan::chaos`]) drive the simulator's own fault seam for
+//!   replayable chaos tests.
 //! - **End-to-end integrity** — every compressed output is proven by a
 //!   host decompress-and-compare before its ticket resolves
 //!   ([`ServerConfig::verify_outputs`]); [`FaultPlan`] can inject
@@ -41,6 +51,7 @@
 
 pub mod batch;
 pub mod fault;
+pub mod health;
 pub mod job;
 pub mod loadgen;
 mod queue;
@@ -51,6 +62,7 @@ mod worker;
 
 pub use batch::BatchReport;
 pub use fault::FaultPlan;
+pub use health::{BreakerState, BreakerTransition, DeviceHealthSnapshot, HealthConfig};
 pub use job::{
     EngineKind, JobError, JobId, JobKind, JobOutcome, JobResult, JobSpec, JobTicket, Priority,
     SubmitError,

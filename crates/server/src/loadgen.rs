@@ -16,7 +16,7 @@ use culzss_datasets::mixer::Mixer;
 use culzss_datasets::Dataset;
 use parking_lot::Mutex;
 
-use crate::job::{JobResult, JobSpec, JobTicket, Priority, SubmitError};
+use crate::job::{JobError, JobResult, JobSpec, JobTicket, Priority, SubmitError};
 use crate::service::Service;
 
 /// Configuration of one load-generator run.
@@ -63,8 +63,28 @@ pub struct LoadReport {
     pub completed: u64,
     /// Jobs that resolved with an error.
     pub failed: u64,
+    /// Failures from a missed deadline (⊆ `failed`).
+    pub failed_deadline: u64,
+    /// Failures after the device retry budget ran out (⊆ `failed`).
+    pub failed_device: u64,
+    /// Failures the watchdog classified as device hangs (⊆ `failed`).
+    pub failed_timeout: u64,
+    /// Failures where every attempt's output was quarantined (⊆
+    /// `failed`).
+    pub failed_quarantined: u64,
+    /// Any other job failure — codec errors, service stop (⊆ `failed`).
+    pub failed_other: u64,
     /// Typed refusals observed (each retry that was refused counts).
     pub rejected: u64,
+    /// Refusals shed for queue capacity (⊆ `rejected`).
+    pub rejected_overloaded: u64,
+    /// Refusals for the tenant in-flight cap (⊆ `rejected`).
+    pub rejected_tenant_cap: u64,
+    /// Brownout refusals — every breaker open, queue saturated (⊆
+    /// `rejected`).
+    pub rejected_degraded: u64,
+    /// Refusals because the service was shutting down (⊆ `rejected`).
+    pub rejected_shutdown: u64,
     /// Jobs abandoned after exhausting submission retries.
     pub abandoned: u64,
     /// Decompression outputs that did not match the original payload.
@@ -86,7 +106,16 @@ impl LoadReport {
         self.submitted += other.submitted;
         self.completed += other.completed;
         self.failed += other.failed;
+        self.failed_deadline += other.failed_deadline;
+        self.failed_device += other.failed_device;
+        self.failed_timeout += other.failed_timeout;
+        self.failed_quarantined += other.failed_quarantined;
+        self.failed_other += other.failed_other;
         self.rejected += other.rejected;
+        self.rejected_overloaded += other.rejected_overloaded;
+        self.rejected_tenant_cap += other.rejected_tenant_cap;
+        self.rejected_degraded += other.rejected_degraded;
+        self.rejected_shutdown += other.rejected_shutdown;
         self.abandoned += other.abandoned;
         self.mismatched += other.mismatched;
         self.bytes_in += other.bytes_in;
@@ -125,6 +154,19 @@ impl fmt::Display for LoadReport {
             self.rejected,
             self.abandoned,
             self.mismatched,
+        )?;
+        writeln!(
+            f,
+            "refusals: overloaded {}  tenant-cap {}  degraded {}  shutdown {}   failures: deadline {}  device {}  timeout {}  quarantined {}  other {}",
+            self.rejected_overloaded,
+            self.rejected_tenant_cap,
+            self.rejected_degraded,
+            self.rejected_shutdown,
+            self.failed_deadline,
+            self.failed_device,
+            self.failed_timeout,
+            self.failed_quarantined,
+            self.failed_other,
         )?;
         write!(
             f,
@@ -213,11 +255,18 @@ fn run_tenant(service: &Service, cfg: &LoadGenConfig, tenant_index: usize) -> Lo
                 }
                 Err(SubmitError::ShuttingDown) => {
                     local.rejected += 1;
+                    local.rejected_shutdown += 1;
                     local.abandoned += 1;
                     break;
                 }
-                Err(_) => {
+                Err(refusal) => {
                     local.rejected += 1;
+                    match refusal {
+                        SubmitError::Overloaded { .. } => local.rejected_overloaded += 1,
+                        SubmitError::TenantOverLimit { .. } => local.rejected_tenant_cap += 1,
+                        SubmitError::Degraded { .. } => local.rejected_degraded += 1,
+                        SubmitError::ShuttingDown => unreachable!("handled above"),
+                    }
                     tries += 1;
                     if tries > SUBMIT_RETRIES {
                         local.abandoned += 1;
@@ -255,6 +304,15 @@ fn settle(report: &mut LoadReport, result: JobResult, expected: Option<Vec<u8>>)
                 }
             }
         }
-        Err(_) => report.failed += 1,
+        Err(error) => {
+            report.failed += 1;
+            match error {
+                JobError::DeadlineMissed { .. } => report.failed_deadline += 1,
+                JobError::DeviceFailed { .. } => report.failed_device += 1,
+                JobError::DeviceTimeout { .. } => report.failed_timeout += 1,
+                JobError::Quarantined { .. } => report.failed_quarantined += 1,
+                JobError::Codec { .. } | JobError::ServiceStopped => report.failed_other += 1,
+            }
+        }
     }
 }

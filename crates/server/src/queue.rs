@@ -5,7 +5,11 @@
 //! [`SubmitError`] instead of blocking the submitter — callers decide
 //! whether to retry, shed, or spill. Admitted jobs dequeue by priority
 //! (FIFO within a priority) in same-kind batch windows; a second lane
-//! carries device-failure retries to the CPU fallback workers.
+//! carries retries. A retried job may be delayed by backoff
+//! ([`Job::not_before`]), pinned to the CPU fallback ([`Job::force_cpu`])
+//! or steered away from devices that failed or denied it
+//! ([`Job::avoid_devices`]) — the lane honors all three when matching
+//! jobs to worker classes.
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::time::Instant;
@@ -24,10 +28,13 @@ pub(crate) struct Batch {
     pub dequeued_at: Instant,
 }
 
-/// Which engine a worker drives; decides which lanes it may serve.
+/// Which engine a worker drives; decides which lanes (and which retry
+/// jobs) it may serve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum WorkerClass {
-    Gpu,
+    /// A GPU worker owning one device index.
+    Gpu { device: usize },
+    /// A dedicated CPU worker.
     Cpu,
 }
 
@@ -60,12 +67,15 @@ impl Ord for Entry {
 
 struct State {
     heap: BinaryHeap<Entry>,
-    cpu_lane: VecDeque<Job>,
+    /// Retry lane: failed-elsewhere, rerouted, and CPU-fallback jobs,
+    /// each possibly delayed by backoff.
+    lane: VecDeque<Job>,
     tenant_inflight: HashMap<String, usize>,
     seq: u64,
     accepting: bool,
     /// Batches handed to workers whose jobs have not all resolved yet —
-    /// they may still requeue onto `cpu_lane`, so drain waits for them.
+    /// they may still requeue onto the retry lane, so drain waits for
+    /// them.
     active_batches: usize,
 }
 
@@ -85,7 +95,7 @@ impl AdmissionQueue {
             has_cpu_workers,
             state: Mutex::new(State {
                 heap: BinaryHeap::new(),
-                cpu_lane: VecDeque::new(),
+                lane: VecDeque::new(),
                 tenant_inflight: HashMap::new(),
                 seq: 0,
                 accepting: true,
@@ -103,7 +113,7 @@ impl AdmissionQueue {
         if !s.accepting {
             return Err(SubmitError::ShuttingDown);
         }
-        let depth = s.heap.len() + s.cpu_lane.len();
+        let depth = s.heap.len() + s.lane.len();
         if depth >= self.depth_limit {
             return Err(SubmitError::Overloaded { depth, limit: self.depth_limit });
         }
@@ -124,17 +134,39 @@ impl AdmissionQueue {
         Ok(depth + 1)
     }
 
-    /// Re-enqueues an already-admitted job onto the CPU fallback lane.
-    /// No admission check: the job's capacity was claimed at submit time.
-    pub fn requeue_cpu(&self, job: Job) {
-        self.state.lock().cpu_lane.push_back(job);
+    /// Re-enqueues an already-admitted job onto the retry lane. No
+    /// admission check: the job's capacity was claimed at submit time.
+    /// Routing (CPU pin, avoided devices, backoff delay) is read from
+    /// the job itself at dequeue time.
+    pub fn requeue(&self, job: Job) {
+        self.state.lock().lane.push_back(job);
         self.available.notify_all();
+    }
+
+    /// Whether `class` may run a retry-lane `job` (ignoring backoff
+    /// readiness). CPU workers own the CPU-pinned jobs; GPU workers take
+    /// the rest, skipping devices the job must avoid — and degrade to
+    /// hosting CPU-pinned jobs themselves only when the pool has no
+    /// dedicated CPU workers.
+    fn lane_serves(&self, class: WorkerClass, job: &Job) -> bool {
+        match class {
+            WorkerClass::Cpu => job.force_cpu,
+            WorkerClass::Gpu { device } => {
+                if job.force_cpu {
+                    !self.has_cpu_workers
+                } else {
+                    !job.avoids(device)
+                }
+            }
+        }
     }
 
     /// Blocks for the next window of same-kind jobs this worker class
     /// may serve; `None` once the service is shutting down and fully
-    /// drained (including potential fallback requeues from batches that
-    /// are still executing).
+    /// drained (including potential requeues from batches that are
+    /// still executing). Backoff-delayed retries are never handed out
+    /// early — a worker with nothing else to do sleeps until the
+    /// earliest one ripens.
     pub fn next_batch(
         &self,
         class: WorkerClass,
@@ -144,24 +176,31 @@ impl AdmissionQueue {
         let max_jobs = max_jobs.max(1);
         let mut s = self.state.lock();
         loop {
-            // The fallback lane is served by CPU workers; when the pool
-            // has none, GPU workers degrade to running it on the host.
-            let serves_lane = class == WorkerClass::Cpu || !self.has_cpu_workers;
-            if serves_lane && !s.cpu_lane.is_empty() {
-                let first = s.cpu_lane.pop_front().expect("non-empty lane");
-                let kind = first.kind;
-                let mut bytes = first.payload.len();
-                let mut jobs = vec![first];
-                while jobs.len() < max_jobs
-                    && bytes < max_bytes
-                    && s.cpu_lane.front().is_some_and(|j| j.kind == kind)
-                {
-                    let job = s.cpu_lane.pop_front().expect("peeked");
-                    bytes += job.payload.len();
-                    jobs.push(job);
+            let now = Instant::now();
+            if !s.lane.is_empty() {
+                let mut taken: Vec<Job> = Vec::new();
+                let mut rest = VecDeque::with_capacity(s.lane.len());
+                let mut kind = None;
+                let mut bytes = 0usize;
+                for job in std::mem::take(&mut s.lane) {
+                    let take = self.lane_serves(class, &job)
+                        && job.ready_at(now)
+                        && kind.is_none_or(|k| k == job.kind)
+                        && taken.len() < max_jobs
+                        && (taken.is_empty() || bytes < max_bytes);
+                    if take {
+                        bytes += job.payload.len();
+                        kind = Some(job.kind);
+                        taken.push(job);
+                    } else {
+                        rest.push_back(job);
+                    }
                 }
-                s.active_batches += 1;
-                return Some(Batch { jobs, dequeued_at: Instant::now() });
+                s.lane = rest;
+                if !taken.is_empty() {
+                    s.active_batches += 1;
+                    return Some(Batch { jobs: taken, dequeued_at: Instant::now() });
+                }
             }
             if !s.heap.is_empty() {
                 let first = s.heap.pop().expect("non-empty heap").job;
@@ -179,10 +218,28 @@ impl AdmissionQueue {
                 s.active_batches += 1;
                 return Some(Batch { jobs, dequeued_at: Instant::now() });
             }
-            if !s.accepting && s.cpu_lane.is_empty() && s.active_batches == 0 {
+            if !s.accepting && s.lane.is_empty() && s.active_batches == 0 {
                 return None;
             }
-            self.available.wait(&mut s);
+            // Nothing runnable. If this class has lane jobs still in
+            // backoff, sleep only until the earliest ripens; otherwise
+            // wait for a submit/requeue/shutdown notification.
+            let ripens = s
+                .lane
+                .iter()
+                .filter(|j| self.lane_serves(class, j))
+                .filter_map(|j| j.not_before)
+                .min();
+            match ripens {
+                Some(t) => {
+                    let timeout = t.saturating_duration_since(Instant::now());
+                    if timeout.is_zero() {
+                        continue;
+                    }
+                    let _ = self.available.wait_for(&mut s, timeout);
+                }
+                None => self.available.wait(&mut s),
+            }
         }
     }
 
@@ -214,7 +271,7 @@ impl AdmissionQueue {
     /// Jobs currently queued (not yet handed to a worker).
     pub fn depth(&self) -> usize {
         let s = self.state.lock();
-        s.heap.len() + s.cpu_lane.len()
+        s.heap.len() + s.lane.len()
     }
 
     /// `tenant`'s admitted-but-unresolved job count.
@@ -228,7 +285,9 @@ mod tests {
     use super::*;
     use crate::job::{JobId, JobKind, JobResult, Priority};
     use std::sync::mpsc;
-    use std::time::Instant;
+    use std::time::{Duration, Instant};
+
+    const GPU0: WorkerClass = WorkerClass::Gpu { device: 0 };
 
     fn job(
         id: u64,
@@ -248,6 +307,8 @@ mod tests {
                 deadline: None,
                 attempts: 0,
                 force_cpu: false,
+                not_before: None,
+                avoid_devices: 0,
                 responder: tx,
             },
             rx,
@@ -267,7 +328,7 @@ mod tests {
         }
         let order: Vec<u64> = (0..4)
             .map(|_| {
-                let batch = q.next_batch(WorkerClass::Gpu, 1, usize::MAX).unwrap();
+                let batch = q.next_batch(GPU0, 1, usize::MAX).unwrap();
                 q.finish_batch();
                 batch.jobs[0].id.0
             })
@@ -290,13 +351,13 @@ mod tests {
             q.submit(j).unwrap();
         }
         let ids = |batch: Batch| batch.jobs.iter().map(|j| j.id.0).collect::<Vec<_>>();
-        let b1 = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        let b1 = q.next_batch(GPU0, 8, usize::MAX).unwrap();
         q.finish_batch();
         assert_eq!(ids(b1), [0, 1]);
-        let b2 = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        let b2 = q.next_batch(GPU0, 8, usize::MAX).unwrap();
         q.finish_batch();
         assert_eq!(ids(b2), [2]);
-        let b3 = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        let b3 = q.next_batch(GPU0, 8, usize::MAX).unwrap();
         q.finish_batch();
         assert_eq!(ids(b3), [3]);
     }
@@ -328,7 +389,7 @@ mod tests {
         q.submit(j0).unwrap();
         assert_eq!(q.tenant_in_flight("a"), 1);
         // Popping does NOT release the quota — resolution does.
-        let batch = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        let batch = q.next_batch(GPU0, 8, usize::MAX).unwrap();
         assert_eq!(q.tenant_in_flight("a"), 1);
         drop(batch);
         q.release_tenant("a");
@@ -344,34 +405,72 @@ mod tests {
         let (j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
         q.submit(j0).unwrap();
         q.begin_shutdown();
-        let batch = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        let batch = q.next_batch(GPU0, 8, usize::MAX).unwrap();
         assert_eq!(batch.jobs.len(), 1);
-        // A still-active batch may requeue onto the CPU lane, so drain
+        // A still-active batch may requeue onto the retry lane, so drain
         // is not complete until it is finished.
-        q.requeue_cpu(batch.jobs.into_iter().next().unwrap());
+        q.requeue(batch.jobs.into_iter().next().unwrap());
         q.finish_batch();
-        let fallback = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        let fallback = q.next_batch(GPU0, 8, usize::MAX).unwrap();
         assert_eq!(fallback.jobs.len(), 1);
         drop(fallback);
         q.finish_batch();
-        assert!(q.next_batch(WorkerClass::Gpu, 8, usize::MAX).is_none());
+        assert!(q.next_batch(GPU0, 8, usize::MAX).is_none());
         assert!(q.next_batch(WorkerClass::Cpu, 8, usize::MAX).is_none());
     }
 
     #[test]
-    fn cpu_lane_reserved_for_cpu_workers_when_present() {
+    fn cpu_pinned_retries_reserved_for_cpu_workers_when_present() {
         let q = AdmissionQueue::new(8, 8, true);
-        let (j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
-        q.requeue_cpu(j0);
+        let (mut j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
+        j0.force_cpu = true;
+        q.requeue(j0);
         let (j1, _rx1) = job(1, "a", JobKind::Compress, Priority::Normal);
         q.submit(j1).unwrap();
         // The GPU worker sees only the main heap job.
-        let batch = q.next_batch(WorkerClass::Gpu, 8, usize::MAX).unwrap();
+        let batch = q.next_batch(GPU0, 8, usize::MAX).unwrap();
         assert_eq!(batch.jobs[0].id.0, 1);
         q.finish_batch();
-        // The CPU worker drains the fallback lane.
+        // The CPU worker drains the pinned retry.
         let batch = q.next_batch(WorkerClass::Cpu, 8, usize::MAX).unwrap();
         assert_eq!(batch.jobs[0].id.0, 0);
+        q.finish_batch();
+    }
+
+    #[test]
+    fn retry_lane_honors_avoided_devices() {
+        let q = AdmissionQueue::new(8, 8, false);
+        let (mut j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
+        j0.mark_avoid(0);
+        q.requeue(j0);
+        let (j1, _rx1) = job(1, "a", JobKind::Compress, Priority::Normal);
+        q.requeue(j1);
+        // gpu0 must skip the job that failed there and take the other,
+        // even though the avoided job is ahead of it in the lane.
+        let batch = q.next_batch(GPU0, 1, usize::MAX).unwrap();
+        assert_eq!(batch.jobs[0].id.0, 1);
+        q.finish_batch();
+        // gpu1 serves the job gpu0 could not.
+        let batch = q.next_batch(WorkerClass::Gpu { device: 1 }, 1, usize::MAX).unwrap();
+        assert_eq!(batch.jobs[0].id.0, 0);
+        q.finish_batch();
+    }
+
+    #[test]
+    fn backoff_delays_dequeue_until_ready() {
+        let q = AdmissionQueue::new(8, 8, false);
+        let (mut j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
+        let delay = Duration::from_millis(30);
+        j0.not_before = Some(Instant::now() + delay);
+        let started = Instant::now();
+        q.requeue(j0);
+        let batch = q.next_batch(GPU0, 8, usize::MAX).unwrap();
+        assert_eq!(batch.jobs[0].id.0, 0);
+        assert!(
+            started.elapsed() >= delay - Duration::from_millis(2),
+            "dequeued {:?} after requeue, before the {delay:?} backoff",
+            started.elapsed()
+        );
         q.finish_batch();
     }
 }

@@ -12,6 +12,7 @@ use culzss_gpusim::DeviceSpec;
 
 use crate::batch::BatchReport;
 use crate::fault::FaultPlan;
+use crate::health::{BreakerTransition, DeviceHealthSnapshot, HealthConfig, HealthRegistry};
 use crate::job::{Job, JobId, JobSpec, JobTicket, SubmitError};
 use crate::queue::AdmissionQueue;
 use crate::stats::{ServiceStats, StatsCollector};
@@ -64,6 +65,9 @@ pub struct ServerConfig {
     /// output stays byte-identical to a cache-off run. `None` (the
     /// default) disables the dedup front end.
     pub cache: Option<usize>,
+    /// Failure-domain tunables: per-device circuit breakers, retry
+    /// backoff, the execution watchdog, and the brownout threshold.
+    pub health: HealthConfig,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +87,7 @@ impl Default for ServerConfig {
             fault: FaultPlan::none(),
             verify_outputs: true,
             cache: None,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -93,6 +98,7 @@ pub(crate) struct Shared {
     pub stats: StatsCollector,
     pub trace: TraceRecorder,
     pub fault: FaultPlan,
+    pub health: HealthRegistry,
     pub params: CulzssParams,
     pub cpu_threads: usize,
     pub max_retries: u32,
@@ -104,6 +110,9 @@ pub(crate) struct Shared {
     batch_seq: AtomicU64,
     job_seq: AtomicU64,
     default_deadline: Option<Duration>,
+    /// Queue depth at or above which an all-breakers-open service sheds
+    /// new submissions ([`SubmitError::Degraded`]).
+    brownout_depth: usize,
 }
 
 impl Shared {
@@ -111,9 +120,18 @@ impl Shared {
         self.batch_seq.fetch_add(1, Relaxed)
     }
 
-    /// The counter snapshot, with the chunk cache's own counters folded
-    /// in (the cache tracks hits/misses/evictions internally; the
-    /// collector's atomics cover everything else).
+    /// Records a breaker transition in the trace's health lane (the
+    /// registry already logged it for replay assertions).
+    pub fn note_breaker(&self, transition: Option<BreakerTransition>) {
+        if let Some(t) = transition {
+            self.trace.breaker_transition(&t);
+        }
+    }
+
+    /// The counter snapshot, with the chunk cache's own counters and the
+    /// per-device health registry folded in (cache and breakers track
+    /// their state internally; the collector's atomics cover everything
+    /// else).
     pub fn stats_snapshot(&self) -> ServiceStats {
         let mut snap = self.stats.snapshot();
         if let Some(dedup) = &self.dedup {
@@ -122,6 +140,13 @@ impl Shared {
             snap.cache_misses = cache.misses;
             snap.cache_bytes_saved = cache.bytes_saved;
             snap.cache_evictions = cache.evictions;
+        }
+        snap.device_health = self.health.snapshots();
+        snap.breaker_transitions = self.health.transitions();
+        for h in &snap.device_health {
+            snap.breaker_opens += h.opens;
+            snap.breaker_half_opens += h.half_opens;
+            snap.breaker_closes += h.closes;
         }
         snap
     }
@@ -139,6 +164,10 @@ impl Service {
     /// Starts the worker pool described by `config`.
     pub fn start(config: ServerConfig) -> Self {
         let has_cpu_workers = config.cpu_workers > 0;
+        let brownout_depth = ((config.queue_depth.max(1) as f64
+            * config.health.brownout_fraction.clamp(0.0, 1.0))
+        .ceil() as usize)
+            .max(1);
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(
                 config.queue_depth,
@@ -147,6 +176,7 @@ impl Service {
             ),
             stats: StatsCollector::new(),
             trace: TraceRecorder::new(),
+            health: HealthRegistry::new(config.health.clone(), config.devices.len()),
             fault: config.fault,
             params: config.params.clone(),
             cpu_threads: config.cpu_threads.max(1),
@@ -160,6 +190,7 @@ impl Service {
             batch_seq: AtomicU64::new(0),
             job_seq: AtomicU64::new(0),
             default_deadline: config.default_deadline,
+            brownout_depth,
         });
 
         // Startup racecheck probe: run the configured kernel over a small
@@ -179,8 +210,13 @@ impl Service {
 
         let mut workers = Vec::new();
         for (device, spec) in config.devices.iter().enumerate() {
-            let culzss = Culzss::with_device(spec.clone(), config.params.clone())
+            let mut culzss = Culzss::with_device(spec.clone(), config.params.clone())
                 .with_workers(config.gpu_sim_threads.max(1));
+            // Chaos schedule: install this device's fault model so its
+            // kernel launches fail/slow/hang per the seeded plan.
+            if let Some(model) = shared.fault.device_model(device) {
+                culzss = culzss.with_fault_model(model);
+            }
             let shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("culzss-gpu{device}"))
@@ -207,6 +243,20 @@ impl Service {
     /// await the result, or a typed refusal — never blocks.
     pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, SubmitError> {
         self.shared.stats.on_received();
+        // Brownout load-shedding: with every device breaker open, the
+        // CPU lane is the only engine left. Once the queue backs up past
+        // the brownout threshold, admitting more work only grows a
+        // backlog it cannot drain in time — shed with a typed refusal
+        // instead.
+        if self.shared.health.all_open() && self.shared.queue.depth() >= self.shared.brownout_depth
+        {
+            let e = SubmitError::Degraded {
+                open_devices: self.shared.health.device_count(),
+                depth: self.shared.queue.depth(),
+            };
+            self.shared.stats.on_rejected(&e);
+            return Err(e);
+        }
         let id = JobId(self.shared.job_seq.fetch_add(1, Relaxed));
         let accepted_at = Instant::now();
         let deadline = spec.deadline.or(self.shared.default_deadline).map(|d| accepted_at + d);
@@ -221,6 +271,8 @@ impl Service {
             deadline,
             attempts: 0,
             force_cpu: false,
+            not_before: None,
+            avoid_devices: 0,
             responder: tx,
         };
         match self.shared.queue.submit(job) {
@@ -253,6 +305,18 @@ impl Service {
     /// A point-in-time counter snapshot.
     pub fn stats(&self) -> ServiceStats {
         self.shared.stats_snapshot()
+    }
+
+    /// Current per-device health (breaker state and counters).
+    pub fn device_health(&self) -> Vec<DeviceHealthSnapshot> {
+        self.shared.health.snapshots()
+    }
+
+    /// Every breaker state change so far, globally ordered. Two runs of
+    /// the same seeded chaos schedule produce the same sequence — the
+    /// deterministic-replay contract the chaos suite asserts.
+    pub fn breaker_transitions(&self) -> Vec<BreakerTransition> {
+        self.shared.health.transitions()
     }
 
     /// The most recent coalesced batch windows (bounded ring).

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use parking_lot::Mutex;
 
 use crate::batch::BatchReport;
+use crate::health::{BreakerTransition, DeviceHealthSnapshot};
 use crate::job::{EngineKind, JobError, SubmitError};
 
 /// How many recent batch reports the service keeps for inspection.
@@ -138,12 +139,16 @@ pub(crate) struct StatsCollector {
     accepted: AtomicU64,
     rejected_overloaded: AtomicU64,
     rejected_tenant_cap: AtomicU64,
+    rejected_degraded: AtomicU64,
     rejected_shutdown: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     retried: AtomicU64,
     deadline_missed: AtomicU64,
     device_failures: AtomicU64,
+    device_timeouts: AtomicU64,
+    breaker_denials: AtomicU64,
+    backoff_requeues: AtomicU64,
     integrity_failures: AtomicU64,
     quarantined: AtomicU64,
     tenant_integrity: Mutex<BTreeMap<String, u64>>,
@@ -188,12 +193,16 @@ impl StatsCollector {
             accepted: AtomicU64::new(0),
             rejected_overloaded: AtomicU64::new(0),
             rejected_tenant_cap: AtomicU64::new(0),
+            rejected_degraded: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             retried: AtomicU64::new(0),
             deadline_missed: AtomicU64::new(0),
             device_failures: AtomicU64::new(0),
+            device_timeouts: AtomicU64::new(0),
+            breaker_denials: AtomicU64::new(0),
+            backoff_requeues: AtomicU64::new(0),
             integrity_failures: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             tenant_integrity: Mutex::new(BTreeMap::new()),
@@ -250,6 +259,7 @@ impl StatsCollector {
         match error {
             SubmitError::Overloaded { .. } => &self.rejected_overloaded,
             SubmitError::TenantOverLimit { .. } => &self.rejected_tenant_cap,
+            SubmitError::Degraded { .. } => &self.rejected_degraded,
             SubmitError::ShuttingDown => &self.rejected_shutdown,
         }
         .fetch_add(1, Relaxed);
@@ -308,6 +318,21 @@ impl StatsCollector {
         self.device_failures.fetch_add(1, Relaxed);
     }
 
+    /// A device failure the watchdog classified as a hang (⊆ failures).
+    pub fn on_device_timeout(&self) {
+        self.device_timeouts.fetch_add(1, Relaxed);
+    }
+
+    /// A job was denied by an open breaker and rerouted.
+    pub fn on_breaker_denied(&self) {
+        self.breaker_denials.fetch_add(1, Relaxed);
+    }
+
+    /// A retried job was requeued with a backoff delay.
+    pub fn on_backoff(&self) {
+        self.backoff_requeues.fetch_add(1, Relaxed);
+    }
+
     /// Folds a startup-probe racecheck verdict into the counters.
     pub fn on_sancheck(&self, report: &culzss_gpusim::SanitizerReport) {
         self.sancheck_launches.fetch_add(1, Relaxed);
@@ -337,12 +362,16 @@ impl StatsCollector {
             accepted: self.accepted.load(Relaxed),
             rejected_overloaded: self.rejected_overloaded.load(Relaxed),
             rejected_tenant_cap: self.rejected_tenant_cap.load(Relaxed),
+            rejected_degraded: self.rejected_degraded.load(Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Relaxed),
             completed: self.completed.load(Relaxed),
             failed: self.failed.load(Relaxed),
             retried: self.retried.load(Relaxed),
             deadline_missed: self.deadline_missed.load(Relaxed),
             device_failures: self.device_failures.load(Relaxed),
+            device_timeouts: self.device_timeouts.load(Relaxed),
+            breaker_denials: self.breaker_denials.load(Relaxed),
+            backoff_requeues: self.backoff_requeues.load(Relaxed),
             integrity_failures: self.integrity_failures.load(Relaxed),
             quarantined: self.quarantined.load(Relaxed),
             tenant_integrity_failures: self.tenant_integrity.lock().clone(),
@@ -364,12 +393,18 @@ impl StatsCollector {
             modeled_kernel_seconds: load_seconds(&self.modeled_kernel_nanos),
             modeled_d2h_seconds: load_seconds(&self.modeled_d2h_nanos),
             modeled_cpu_seconds: load_seconds(&self.modeled_cpu_nanos),
-            // The chunk cache owns its counters; the service folds them
-            // in ([`crate::service::Shared::stats_snapshot`]).
+            // The chunk cache and health registry own their counters;
+            // the service folds them in
+            // ([`crate::service::Shared::stats_snapshot`]).
             cache_hits: 0,
             cache_misses: 0,
             cache_bytes_saved: 0,
             cache_evictions: 0,
+            breaker_opens: 0,
+            breaker_half_opens: 0,
+            breaker_closes: 0,
+            device_health: Vec::new(),
+            breaker_transitions: Vec::new(),
             latency: self.latency.snapshot(),
             queue_depth: self.queue_depth.snapshot(),
         }
@@ -392,6 +427,8 @@ pub struct ServiceStats {
     pub rejected_overloaded: u64,
     /// Refused: tenant over its in-flight cap.
     pub rejected_tenant_cap: u64,
+    /// Refused: brownout shed (every breaker open, queue saturated).
+    pub rejected_degraded: u64,
     /// Refused: service shutting down.
     pub rejected_shutdown: u64,
     /// Accepted jobs that resolved successfully.
@@ -404,6 +441,13 @@ pub struct ServiceStats {
     pub deadline_missed: u64,
     /// Device failures observed (injected or real launch errors).
     pub device_failures: u64,
+    /// Device failures the watchdog classified as hangs (⊆
+    /// `device_failures`).
+    pub device_timeouts: u64,
+    /// Jobs denied by an open circuit breaker and rerouted.
+    pub breaker_denials: u64,
+    /// Retried jobs requeued with a backoff delay.
+    pub backoff_requeues: u64,
     /// Compress attempts whose output failed the verify-on-decompress
     /// gate (injected or real corruption). Each failed attempt counts
     /// once, so at quiescence under an injection plan this equals the
@@ -461,6 +505,18 @@ pub struct ServiceStats {
     pub cache_bytes_saved: u64,
     /// Dedup cache: entries evicted under byte-budget pressure.
     pub cache_evictions: u64,
+    /// Σ over devices of breaker open transitions.
+    pub breaker_opens: u64,
+    /// Σ over devices of breaker half-open transitions.
+    pub breaker_half_opens: u64,
+    /// Σ over devices of breaker close transitions.
+    pub breaker_closes: u64,
+    /// Per-device breaker state and failure-domain counters.
+    pub device_health: Vec<DeviceHealthSnapshot>,
+    /// Globally ordered breaker transition log — readable after
+    /// shutdown (which consumes the service), so chaos runs can assert
+    /// deterministic replay from the final snapshot alone.
+    pub breaker_transitions: Vec<BreakerTransition>,
     /// Job latency (admission → resolution), seconds.
     pub latency: HistogramSnapshot,
     /// Queue depth observed after each admission.
@@ -470,7 +526,10 @@ pub struct ServiceStats {
 impl ServiceStats {
     /// Total submissions refused by admission control.
     pub fn rejected(&self) -> u64 {
-        self.rejected_overloaded + self.rejected_tenant_cap + self.rejected_shutdown
+        self.rejected_overloaded
+            + self.rejected_tenant_cap
+            + self.rejected_degraded
+            + self.rejected_shutdown
     }
 
     /// Whether the counters account for every job. Guaranteed to hold at
@@ -516,12 +575,13 @@ impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "received {:>6}   accepted {:>6}   rejected {:>6} (overloaded {}, tenant-cap {}, shutdown {})",
+            "received {:>6}   accepted {:>6}   rejected {:>6} (overloaded {}, tenant-cap {}, degraded {}, shutdown {})",
             self.received,
             self.accepted,
             self.rejected(),
             self.rejected_overloaded,
             self.rejected_tenant_cap,
+            self.rejected_degraded,
             self.rejected_shutdown,
         )?;
         writeln!(
@@ -529,6 +589,23 @@ impl fmt::Display for ServiceStats {
             "completed {:>5}   failed {:>8}   deadline-missed {}   retried {}   device-failures {}",
             self.completed, self.failed, self.deadline_missed, self.retried, self.device_failures,
         )?;
+        writeln!(
+            f,
+            "health: timeouts {}   breaker denials {}   backoff requeues {}   transitions open {} / half-open {} / close {}",
+            self.device_timeouts,
+            self.breaker_denials,
+            self.backoff_requeues,
+            self.breaker_opens,
+            self.breaker_half_opens,
+            self.breaker_closes,
+        )?;
+        for d in &self.device_health {
+            writeln!(
+                f,
+                "  gpu{}: {}   ok {} / fail {} (timeouts {})   denied {}   opened {}x",
+                d.device, d.state, d.successes, d.failures, d.timeouts, d.denials, d.opens,
+            )?;
+        }
         writeln!(
             f,
             "engines: gpu {} / cpu {} (fallback {})   batches {}   coalescing speedup x{:.2}",

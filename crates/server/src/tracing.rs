@@ -27,6 +27,9 @@ use parking_lot::Mutex;
 pub const SERVICE_PID: u64 = 1;
 /// Process lane of batch-window spans (`tid` = batch id).
 pub const BATCH_PID: u64 = 2;
+/// Process lane of device-health events (`tid` = device index):
+/// zero-duration spans marking circuit-breaker transitions.
+pub const HEALTH_PID: u64 = 3;
 /// Device `d`'s modelled block spans live on `DEVICE_PID_BASE + d`.
 pub const DEVICE_PID_BASE: u64 = 10;
 
@@ -100,13 +103,27 @@ impl TraceRecorder {
         args: Vec<(String, String)>,
     ) {
         let start_us = self.instant_us(start);
+        let end_us = self.instant_us(end).max(start_us);
+        // `end_us()` recomputes start + dur, and that double rounding
+        // can land one ulp off the timestamp measured here — spans that
+        // share an end instant (batch-mates' queue_wait ends at one
+        // dequeue) must reproduce it exactly, so nudge the duration
+        // until the sum round-trips. A representable duration always
+        // exists because ulp(dur) ≤ ulp(end) for dur ≤ end.
+        let mut dur_us = end_us - start_us;
+        while start_us + dur_us < end_us {
+            dur_us = dur_us.next_up();
+        }
+        while start_us + dur_us > end_us {
+            dur_us = dur_us.next_down();
+        }
         self.record(SpanRecord {
             name: name.into(),
             cat: "host".into(),
             pid,
             tid,
             start_us,
-            dur_us: (self.instant_us(end) - start_us).max(0.0),
+            dur_us,
             args,
         });
     }
@@ -140,6 +157,26 @@ impl TraceRecorder {
                 args: Vec::new(),
             });
         }
+    }
+
+    /// Records a circuit-breaker transition as a zero-duration span on
+    /// the health lane (`tid` = device), labelled with the states.
+    pub fn breaker_transition(&self, t: &crate::health::BreakerTransition) {
+        let now_us = self.instant_us(Instant::now());
+        self.record(SpanRecord {
+            name: format!("breaker:{}->{}", t.from, t.to),
+            cat: "host".into(),
+            pid: HEALTH_PID,
+            tid: t.device as u64,
+            start_us: now_us,
+            dur_us: 0.0,
+            args: vec![
+                ("seq".into(), t.seq.to_string()),
+                ("device".into(), t.device.to_string()),
+                ("from".into(), t.from.to_string()),
+                ("to".into(), t.to.to_string()),
+            ],
+        });
     }
 
     /// A copy of every span recorded so far.
@@ -177,6 +214,7 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
         let name = match pid {
             SERVICE_PID => "culzss-service (jobs)".to_string(),
             BATCH_PID => "culzss-service (batches)".to_string(),
+            HEALTH_PID => "culzss-service (device health)".to_string(),
             p if p >= DEVICE_PID_BASE => format!("gpu{} (modelled SMs)", p - DEVICE_PID_BASE),
             p => format!("pid {p}"),
         };
@@ -496,6 +534,24 @@ mod tests {
         assert!(validate_chrome_trace(&regressed).is_err());
 
         assert!(validate_chrome_trace("not json").is_err());
+    }
+
+    #[test]
+    fn host_spans_sharing_an_end_instant_agree_exactly() {
+        let recorder = TraceRecorder::new();
+        let end = Instant::now() + std::time::Duration::from_millis(1517);
+        // Many distinct starts, one end: every recorded span must
+        // reproduce the identical end timestamp through start + dur,
+        // despite the double rounding (batch-mates share one dequeue).
+        for i in 0..256 {
+            let start = Instant::now() + std::time::Duration::from_nanos(i * 7919);
+            recorder.host_span("queue_wait", SERVICE_PID, i, start, end, Vec::new());
+        }
+        let spans = recorder.spans();
+        let first = spans[0].end_us();
+        for s in &spans {
+            assert_eq!(s.end_us(), first, "span on lane {} drifted an ulp", s.tid);
+        }
     }
 
     #[test]

@@ -1,6 +1,24 @@
 //! Worker loops: pull batch windows from the admission queue, execute
 //! them on a simulated device or the host CPU, route device failures
-//! through the bounded-retry → CPU-fallback lane, and resolve tickets.
+//! through per-device circuit breakers, health-aware retries with
+//! exponential backoff, and the CPU-fallback lane, and resolve tickets.
+//!
+//! The failure-domain rules (see `DESIGN.md` §16):
+//!
+//! * Every GPU execution first asks the device's circuit breaker for
+//!   admission. An open breaker denies the job, which is rerouted —
+//!   *without* consuming retry budget — to another healthy device, or
+//!   to the CPU lane when none remains.
+//! * A device failure consumes one retry, marks the device as avoided
+//!   for that job, applies jittered exponential backoff, and prefers a
+//!   different healthy GPU over the CPU lane (failover before
+//!   degradation).
+//! * A failure whose attempt ran at least the watchdog deadline is
+//!   classified as a hang; exhausted budgets then resolve as
+//!   [`JobError::DeviceTimeout`] instead of [`JobError::DeviceFailed`].
+//! * Verify-on-deliver failures stay pinned to the trusted CPU lane
+//!   (`force_cpu`), as before — bad bytes are a reason to leave the
+//!   device class entirely, not to shop for another GPU.
 
 use std::time::Instant;
 
@@ -12,6 +30,7 @@ use culzss_dedup::DedupReport;
 use culzss_gpusim::trace::Timeline;
 
 use crate::batch::BatchReport;
+use crate::health::{retry_backoff, Admission};
 use crate::job::{EngineKind, Job, JobError, JobOutcome};
 use crate::queue::{Batch, WorkerClass};
 use crate::service::Shared;
@@ -26,7 +45,7 @@ pub(crate) enum WorkerEngine {
 impl WorkerEngine {
     fn class(&self) -> WorkerClass {
         match self {
-            WorkerEngine::Gpu { .. } => WorkerClass::Gpu,
+            WorkerEngine::Gpu { device, .. } => WorkerClass::Gpu { device: *device },
             WorkerEngine::Cpu { .. } => WorkerClass::Cpu,
         }
     }
@@ -58,7 +77,7 @@ fn execute_batch(shared: &Shared, engine: &WorkerEngine, batch: Batch) {
 
     for job in jobs {
         if let Some(requeued) = run_job(shared, engine, job, batch_id, dequeued_at, &mut timeline) {
-            shared.queue.requeue_cpu(requeued);
+            shared.queue.requeue(requeued);
         }
     }
 
@@ -86,8 +105,8 @@ fn execute_batch(shared: &Shared, engine: &WorkerEngine, batch: Batch) {
     });
 }
 
-/// Executes (or fails) one job; `Some(job)` means "requeue onto the CPU
-/// fallback lane".
+/// Executes (or fails) one job; `Some(job)` means "requeue onto the
+/// retry lane" (the job's routing fields say where it may run next).
 fn run_job(
     shared: &Shared,
     engine: &WorkerEngine,
@@ -172,6 +191,22 @@ fn run_job(
             let WorkerEngine::Gpu { culzss, device } = engine else {
                 unreachable!("cpu_threads is None only for GPU engines");
             };
+            // Circuit-breaker gate. A denial reroutes the job without
+            // consuming its retry budget: the breaker is protecting the
+            // job *from* a sick device, not blaming it.
+            let (admission, transition) = shared.health.try_acquire(*device, Instant::now());
+            shared.note_breaker(transition);
+            let probe = match admission {
+                Admission::Execute { probe } => probe,
+                Admission::Deny => {
+                    shared.stats.on_breaker_denied();
+                    job.mark_avoid(*device);
+                    if !shared.health.healthy_device_besides(job.avoid_devices) {
+                        job.force_cpu = true;
+                    }
+                    return Some(job);
+                }
+            };
             let started = Instant::now();
             let result = if shared.fault.should_fail() {
                 Err(CulzssError::InvalidParams(format!("injected device failure on gpu{device}")))
@@ -197,7 +232,8 @@ fn run_job(
                     }
                 }
             };
-            let service_seconds = started.elapsed().as_secs_f64();
+            let elapsed = started.elapsed();
+            let service_seconds = elapsed.as_secs_f64();
             shared.trace.host_span(
                 "execute",
                 SERVICE_PID,
@@ -208,6 +244,7 @@ fn run_job(
             );
             match result {
                 Ok((output, stats)) => {
+                    shared.note_breaker(shared.health.on_success(*device, probe));
                     // Nest the cost model's stage breakdown under the
                     // execute span, and anchor the launch's per-SM block
                     // spans at the kernel stage's start, linking this
@@ -268,25 +305,51 @@ fn run_job(
                     )
                 }
                 // Codec errors (corrupt container, …) are the payload's
-                // fault; retrying on another engine cannot help.
+                // fault; retrying on another engine cannot help. The
+                // device itself executed, so the breaker hears a
+                // success (and a probe slot, if held, is released).
                 Err(CulzssError::Codec(e)) => {
+                    shared.note_breaker(shared.health.on_success(*device, probe));
                     resolve_err(shared, job, JobError::Codec { error: e.to_string() });
                     None
                 }
                 Err(e) => {
+                    // Watchdog: an attempt that ran at least the
+                    // deadline before failing was a hang the driver had
+                    // to kill, not a fast launch error.
+                    let watchdog = shared.health.config().watchdog;
+                    let timed_out = watchdog.is_some_and(|w| elapsed >= w);
                     shared.stats.on_device_failure();
+                    if timed_out {
+                        shared.stats.on_device_timeout();
+                    }
+                    shared.note_breaker(shared.health.on_failure(
+                        *device,
+                        probe,
+                        timed_out,
+                        Instant::now(),
+                    ));
                     if job.attempts < shared.max_retries {
                         job.attempts += 1;
-                        job.force_cpu = true;
+                        job.mark_avoid(*device);
+                        // Failover routing: prefer a different healthy
+                        // GPU; degrade to the CPU lane only when none
+                        // remains.
+                        if !shared.health.healthy_device_besides(job.avoid_devices) {
+                            job.force_cpu = true;
+                        }
+                        apply_backoff(shared, &mut job);
                         shared.stats.on_retried();
                         Some(job)
                     } else {
                         let attempts = job.attempts + 1;
-                        resolve_err(
-                            shared,
-                            job,
-                            JobError::DeviceFailed { attempts, error: e.to_string() },
-                        );
+                        let error = match (timed_out, watchdog) {
+                            (true, Some(watchdog)) => {
+                                JobError::DeviceTimeout { attempts, elapsed, watchdog }
+                            }
+                            _ => JobError::DeviceFailed { attempts, error: e.to_string() },
+                        };
+                        resolve_err(shared, job, error);
                         None
                     }
                 }
@@ -295,12 +358,27 @@ fn run_job(
     }
 }
 
+/// Sets the retry's jittered exponential backoff. The wake-up is capped
+/// at the job's deadline: a retry that cannot run before its deadline
+/// ripens exactly then and resolves as [`JobError::DeadlineMissed`] at
+/// dequeue instead of executing arbitrarily late.
+fn apply_backoff(shared: &Shared, job: &mut Job) {
+    let delay = retry_backoff(shared.health.config(), job.id.0, job.attempts);
+    let mut at = Instant::now() + delay;
+    if let Some(deadline) = job.deadline {
+        at = at.min(deadline);
+    }
+    job.not_before = Some(at);
+    shared.stats.on_backoff();
+}
+
 /// Post-compress integrity gate, then resolution. Compressed outputs
 /// pass through the fault plan's corruption hook and (when enabled) a
 /// decompress-and-compare proof before the ticket resolves, so
 /// corrupted bytes are discarded — never returned. A failed proof
-/// consumes the retry budget like a device failure (`Some(job)` means
-/// "requeue onto the CPU lane"); exhausting it quarantines the job.
+/// consumes the retry budget like a device failure and pins the retry
+/// to the trusted CPU lane (`Some(job)` means "requeue"); exhausting
+/// the budget quarantines the job.
 /// Decompressed outputs are already proven by the container's checksums
 /// during decode and skip the gate.
 fn deliver(
@@ -332,6 +410,7 @@ fn deliver(
                 if job.attempts < shared.max_retries {
                     job.attempts += 1;
                     job.force_cpu = true;
+                    apply_backoff(shared, &mut job);
                     shared.stats.on_retried();
                     return Some(job);
                 }

@@ -19,3 +19,6 @@ mod cross;
 
 #[path = "../crates/proptests/tests/decode.rs"]
 mod decode;
+
+#[path = "../crates/proptests/tests/service_faults.rs"]
+mod service_faults;
