@@ -23,6 +23,13 @@
 //! differently with host speed, so each family calibrates against its
 //! own serial cell. The deterministic `cycles` gate applies to any cell
 //! that exports the counter, decode kernels included.
+//!
+//! One cross-engine check rides along: whenever a run measures both
+//! `culzss-v2` and `culzss-v3` with `pipeline_cycles` counters on at
+//! least [`V3_PIPELINE_WIN_MIN`] common corpora, V3 must cost fewer
+//! total modelled pipeline cycles (kernel + host pass) than V2 on at
+//! least that many of them — the V3 engine's paper-style acceptance
+//! criterion, gated on every CI run rather than pinned once.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -548,7 +555,8 @@ pub struct Regression {
     pub engine: String,
     /// Offending corpus.
     pub corpus: String,
-    /// Metric that breached (`missing-cell`, `throughput`, `ratio`).
+    /// Metric that breached (`missing-cell`, `throughput`, `ratio`,
+    /// `cycles`, `pipeline-cycles`).
     pub metric: String,
     /// Human-readable explanation with the numbers.
     pub detail: String,
@@ -597,7 +605,12 @@ pub fn compare(current: &Report, baseline: &Report, tol: &Tolerances) -> Vec<Reg
                 engine: base.engine.clone(),
                 corpus: base.corpus.clone(),
                 metric: "missing-cell".into(),
-                detail: "cell present in baseline but absent from this run".into(),
+                detail: format!(
+                    "cell present in baseline but absent from this run; if that is \
+                     intentional, regenerate the baseline, or restrict the run with \
+                     `{}` so the comparator skips it",
+                    engines_filter_hint(current)
+                ),
             });
             continue;
         };
@@ -662,7 +675,78 @@ pub fn compare(current: &Report, baseline: &Report, tol: &Tolerances) -> Vec<Reg
             });
         }
     }
+    if let Some(failure) = v3_pipeline_gate(current) {
+        failures.push(failure);
+    }
     failures
+}
+
+/// Minimum number of corpora on which `culzss-v3` must beat `culzss-v2`
+/// on total modelled pipeline cycles — the acceptance criterion the V3
+/// engine shipped with (fewer kernel + host-pass cycles on at least 3
+/// of the paper's 5 corpora).
+pub const V3_PIPELINE_WIN_MIN: usize = 3;
+
+/// The nearest `--engines` filter that matches what this run actually
+/// measured; suggested when a baseline cell goes missing from an
+/// unfiltered run (the usual cause: the run was narrowed by editing the
+/// suite instead of passing a filter, so the comparator cannot tell a
+/// skip from a loss).
+fn engines_filter_hint(current: &Report) -> String {
+    let mut engines: Vec<&str> = current.cells.iter().map(|c| c.engine.as_str()).collect();
+    engines.sort_unstable();
+    engines.dedup();
+    if engines.is_empty() {
+        "--engines <engine-list>".into()
+    } else {
+        format!("--engines {}", engines.join(","))
+    }
+}
+
+/// The cross-engine V3 acceptance gate (see [`compare`]): on runs that
+/// measure both `culzss-v2` and `culzss-v3` with `pipeline_cycles` on at
+/// least [`V3_PIPELINE_WIN_MIN`] common corpora, V3 must win that many.
+/// Runs with less common coverage (filtered runs, old baselines without
+/// the counter) skip the check rather than fail it.
+fn v3_pipeline_gate(current: &Report) -> Option<Regression> {
+    let pairs: Vec<(&str, f64, f64)> = current
+        .cells
+        .iter()
+        .filter(|c| c.engine == "culzss-v2")
+        .filter_map(|v2| {
+            let v3 = current.cell("culzss-v3", &v2.corpus)?;
+            Some((
+                v2.corpus.as_str(),
+                *v2.counters.get("pipeline_cycles")?,
+                *v3.counters.get("pipeline_cycles")?,
+            ))
+        })
+        .collect();
+    if pairs.len() < V3_PIPELINE_WIN_MIN {
+        return None;
+    }
+    let wins = pairs.iter().filter(|(_, v2, v3)| v3 < v2).count();
+    if wins >= V3_PIPELINE_WIN_MIN {
+        return None;
+    }
+    let mut detail = format!(
+        "culzss-v3 must beat culzss-v2 on total pipeline cycles on ≥{V3_PIPELINE_WIN_MIN} \
+         corpora, won {wins}/{}:",
+        pairs.len()
+    );
+    for (corpus, v2, v3) in &pairs {
+        let _ = write!(
+            detail,
+            " {corpus} v3={v3:.3e} vs v2={v2:.3e} ({})",
+            if v3 < v2 { "win" } else { "LOSS" }
+        );
+    }
+    Some(Regression {
+        engine: "culzss-v3".into(),
+        corpus: "*".into(),
+        metric: "pipeline-cycles".into(),
+        detail,
+    })
 }
 
 #[cfg(test)]
@@ -821,10 +905,64 @@ mod tests {
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].metric, "missing-cell");
         assert!(failures[0].to_string().contains("culzss-v1"));
+        // The failure names the filter that would make the comparator
+        // skip the missing cell instead of failing it.
+        assert!(
+            failures[0].detail.contains("--engines serial"),
+            "no filter hint in {:?}",
+            failures[0].detail
+        );
 
         let mut extra = two_engine_report(2.0, 40.0);
         extra.cells.push(cell("new-engine", "c-files", 1.0, 0.9));
         assert!(compare(&extra, &baseline, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn v3_pipeline_gate_requires_three_wins() {
+        let corpora = ["c-files", "de-map", "dictionary", "kernel-tarball", "highly-compressible"];
+        let with_cycles = |engine: &str, corpus: &str, pipeline: f64| {
+            let mut c = cell(engine, corpus, 10.0, 0.5);
+            c.counters.insert("pipeline_cycles".into(), pipeline);
+            c
+        };
+        let paired = |v3_cycles: [f64; 5]| {
+            let mut cells = Vec::new();
+            for (i, corpus) in corpora.iter().enumerate() {
+                cells.push(with_cycles("culzss-v2", corpus, 1.0e6));
+                cells.push(with_cycles("culzss-v3", corpus, v3_cycles[i]));
+            }
+            report(cells)
+        };
+        let empty = report(Vec::new());
+
+        // 5/5 and exactly 3/5 wins pass.
+        let all_wins = paired([0.5e6; 5]);
+        assert!(compare(&all_wins, &empty, &Tolerances::default()).is_empty());
+        let three = paired([0.5e6, 0.5e6, 0.5e6, 2.0e6, 2.0e6]);
+        assert!(compare(&three, &empty, &Tolerances::default()).is_empty());
+
+        // 2/5 wins fail with the per-corpus breakdown in the detail.
+        let two = paired([0.5e6, 0.5e6, 2.0e6, 2.0e6, 2.0e6]);
+        let failures = compare(&two, &empty, &Tolerances::default());
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert_eq!(failures[0].metric, "pipeline-cycles");
+        assert_eq!(failures[0].engine, "culzss-v3");
+        assert!(failures[0].detail.contains("won 2/5"), "{}", failures[0].detail);
+        assert!(failures[0].detail.contains("dictionary"), "{}", failures[0].detail);
+        assert!(failures[0].detail.contains("LOSS"), "{}", failures[0].detail);
+
+        // Fewer than three common corpora (a filtered run): skipped.
+        let mut narrow = paired([2.0e6; 5]);
+        narrow.cells.truncate(4); // two v2/v3 pairs
+        assert!(compare(&narrow, &empty, &Tolerances::default()).is_empty());
+
+        // Cells without the counter (an old run) are not paired.
+        let mut no_counters = paired([2.0e6; 5]);
+        for c in &mut no_counters.cells {
+            c.counters.clear();
+        }
+        assert!(compare(&no_counters, &empty, &Tolerances::default()).is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The engine × corpus measurement suite behind the `bench` binary.
 //!
-//! Seven engines run over the paper's five corpora
+//! Eight engines run over the paper's five corpora
 //! ([`culzss_datasets::Dataset::ALL`]):
 //!
 //! | engine        | what it measures                                         |
@@ -10,8 +10,15 @@
 //! | `pthread`     | the Pthread baseline, fixed 8-way chunking               |
 //! | `culzss-v1`   | CULZSS V1 on the simulated GPU (+ cost-model counters)   |
 //! | `culzss-v2`   | CULZSS V2, CPU selection pass (+ cost-model counters)    |
+//! | `culzss-v3`   | CULZSS V3, GPU selection + compaction (same counters)    |
 //! | `bzip2`       | the bzip2-style baseline (SA-IS block sorter)            |
 //! | `server`      | culzss-server end-to-end: submit → compress → verify     |
+//!
+//! The GPU cells additionally export `host_cycles` (the modelled serial
+//! host pass between kernel exit and container assembly — V1's
+//! compaction, V2's selection + encoding, zero for V3) and
+//! `pipeline_cycles` (= `cycles` + `host_cycles`), the number the V3
+//! acceptance gate in [`crate::report::compare`] reads.
 //!
 //! Decompression is a first-class workload: every compression engine has
 //! a `dec-*` twin that decodes a stream pre-built *outside* the timed
@@ -53,23 +60,26 @@ use crate::report::{compare, merge_best, Cell, Regression, Report, Tolerances, S
 
 /// Engine ids in suite order. The first entry is the calibration cell of
 /// the regression gate ([`crate::report::REFERENCE_ENGINE`]).
-pub const ENGINES: [&str; 7] =
-    ["serial", "serial-hash", "pthread", "culzss-v1", "culzss-v2", "bzip2", "server"];
+pub const ENGINES: [&str; 8] =
+    ["serial", "serial-hash", "pthread", "culzss-v1", "culzss-v2", "culzss-v3", "bzip2", "server"];
 
 /// Decompression engine ids in suite order. Each decodes a stream its
 /// compression twin produced before the clock started. `dec-serial` is
 /// the calibration cell decode throughputs are normalized against
 /// ([`crate::report::DECODE_REFERENCE_ENGINE`]); `dec-serial-hash`
 /// decodes the hash-chain finder's stream, pinning that the finder only
-/// affects encode; `dec-culzss-v1`/`dec-culzss-v2` run the paper-faithful
-/// serial block decoder and `dec-culzss-warp` the two-pass warp-parallel
-/// decoder on the same V1 stream.
-pub const DECODE_ENGINES: [&str; 8] = [
+/// affects encode; `dec-culzss-v1`/`dec-culzss-v2`/`dec-culzss-v3` run
+/// the paper-faithful serial block decoder (the V3 stream is container
+/// v2, so it decodes through the same path as V2's) and
+/// `dec-culzss-warp` the two-pass warp-parallel decoder on the same V1
+/// stream.
+pub const DECODE_ENGINES: [&str; 9] = [
     "dec-serial",
     "dec-serial-hash",
     "dec-pthread",
     "dec-culzss-v1",
     "dec-culzss-v2",
+    "dec-culzss-v3",
     "dec-culzss-warp",
     "dec-bzip2",
     "dec-server",
@@ -296,6 +306,7 @@ pub fn run_cell(
         }
         "culzss-v1" => gpu_cell(Version::V1, engine, dataset, data, cfg, probe),
         "culzss-v2" => gpu_cell(Version::V2, engine, dataset, data, cfg, probe),
+        "culzss-v3" => gpu_cell(Version::V3, engine, dataset, data, cfg, probe),
         "bzip2" => measure(engine, dataset, data, cfg, probe, || {
             // SA-IS keeps the block sort linear-time on the highly
             // compressible corpus (the doubling sorter's 77.8 s pathology
@@ -364,6 +375,12 @@ fn gpu_cell(
         counters.insert("cpu_seconds".into(), stats.cpu_seconds);
         counters.insert("h2d_seconds".into(), stats.h2d_seconds);
         counters.insert("d2h_seconds".into(), stats.d2h_seconds);
+        // The cross-engine acceptance gate compares kernel + host-pass
+        // totals, so the host pass is a first-class counter here.
+        counters.insert("host_cycles".into(), stats.host_cycles);
+        if let Some(cycles) = counters.get("cycles").copied() {
+            counters.insert("pipeline_cycles".into(), cycles + stats.host_cycles);
+        }
         (out.len(), counters)
     });
     let pool = culzss.pool_stats();
@@ -414,6 +431,9 @@ pub fn decode_cell(
         }
         "dec-culzss-v2" => {
             gpu_decode_cell(Version::V2, DecodeEngine::Serial, engine, dataset, data, cfg, probe)
+        }
+        "dec-culzss-v3" => {
+            gpu_decode_cell(Version::V3, DecodeEngine::Serial, engine, dataset, data, cfg, probe)
         }
         "dec-culzss-warp" => gpu_decode_cell(
             Version::V1,
@@ -495,6 +515,13 @@ fn gpu_decode_cell(
         counters.insert("cpu_seconds".into(), stats.cpu_seconds);
         counters.insert("h2d_seconds".into(), stats.h2d_seconds);
         counters.insert("d2h_seconds".into(), stats.d2h_seconds);
+        // Decode has no modelled host pass, so this is always zero and
+        // pipeline_cycles equals cycles; exported anyway so the decode
+        // and encode cells carry the same counter schema.
+        counters.insert("host_cycles".into(), stats.host_cycles);
+        if let Some(cycles) = counters.get("cycles").copied() {
+            counters.insert("pipeline_cycles".into(), cycles + stats.host_cycles);
+        }
         (out.len(), counters)
     });
     let pool = culzss.pool_stats();
@@ -795,15 +822,53 @@ mod tests {
     fn gpu_cells_export_cost_model_counters() {
         let cfg = tiny();
         let data = Dataset::CFiles.generate(cfg.bytes, cfg.seed);
-        for engine in ["culzss-v1", "culzss-v2"] {
+        for engine in ["culzss-v1", "culzss-v2", "culzss-v3"] {
             let cell = run_cell(engine, Dataset::CFiles, &data, &cfg, NO_PROBE);
-            for name in ["cycles", "work_cycles", "global_transactions", "pool_acquires"] {
+            for name in [
+                "cycles",
+                "work_cycles",
+                "global_transactions",
+                "pool_acquires",
+                "host_cycles",
+                "pipeline_cycles",
+            ] {
                 let v = cell.counters.get(name).unwrap_or_else(|| panic!("{engine}: {name}"));
                 assert!(v.is_finite() && *v >= 0.0, "{engine}: {name} = {v}");
+            }
+            // pipeline_cycles is exactly kernel + host pass.
+            let expect = cell.counters["cycles"] + cell.counters["host_cycles"];
+            assert_eq!(cell.counters["pipeline_cycles"], expect, "{engine}");
+            // V3 moves the selection pass onto the device; V1/V2 pay a
+            // modelled host pass.
+            if engine == "culzss-v3" {
+                assert_eq!(cell.counters["host_cycles"], 0.0);
+            } else {
+                assert!(cell.counters["host_cycles"] > 0.0, "{engine}");
             }
         }
         let serial = run_cell("serial", Dataset::CFiles, &data, &cfg, NO_PROBE);
         assert!(serial.counters.is_empty());
+    }
+
+    #[test]
+    fn v3_byte_identity_and_pipeline_cycle_win() {
+        // The V3 acceptance claim at suite level: byte-identical streams
+        // to V2 on every corpus, and fewer total modelled pipeline
+        // cycles (kernel + host pass) on at least 3 of the 5. The cycle
+        // counters are deterministic, so this is noise-free.
+        let cfg = tiny();
+        let mut wins = Vec::new();
+        for dataset in Dataset::ALL {
+            let data = dataset.generate(cfg.bytes, cfg.seed);
+            let v2 = run_cell("culzss-v2", dataset, &data, &cfg, NO_PROBE);
+            let v3 = run_cell("culzss-v3", dataset, &data, &cfg, NO_PROBE);
+            assert_eq!(v2.output_bytes, v3.output_bytes, "{}", dataset.slug());
+            assert_eq!(v2.ratio, v3.ratio, "{}", dataset.slug());
+            if v3.counters["pipeline_cycles"] < v2.counters["pipeline_cycles"] {
+                wins.push(dataset.slug());
+            }
+        }
+        assert!(wins.len() >= 3, "v3 won only on {wins:?}");
     }
 
     #[test]
@@ -911,7 +976,7 @@ mod tests {
     fn gpu_decode_cells_export_cost_model_counters() {
         let cfg = tiny();
         let data = Dataset::CFiles.generate(cfg.bytes, cfg.seed);
-        for engine in ["dec-culzss-v1", "dec-culzss-v2", "dec-culzss-warp"] {
+        for engine in ["dec-culzss-v1", "dec-culzss-v2", "dec-culzss-v3", "dec-culzss-warp"] {
             let cell = decode_cell(engine, Dataset::CFiles, &data, &cfg, NO_PROBE);
             for name in ["cycles", "work_cycles", "global_transactions", "pool_acquires"] {
                 let v = cell.counters.get(name).unwrap_or_else(|| panic!("{engine}: {name}"));

@@ -5,8 +5,8 @@ use culzss::DecodeEngine;
 /// Usage text printed on parse errors.
 pub const USAGE: &str = "\
 usage:
-  culzss compress   <input> <output> [--codec v1|v2|lzss|pthread|bzip2] [--report]
-  culzss decompress <input> <output> [--codec auto|v1|v2|lzss|pthread|bzip2]
+  culzss compress   <input> <output> [--codec v1|v2|v3|lzss|pthread|bzip2] [--report]
+  culzss decompress <input> <output> [--codec auto|v1|v2|v3|lzss|pthread|bzip2]
                     [--engine serial|warp] [--salvage]
   culzss verify     <file>
   culzss info       <file>
@@ -16,7 +16,7 @@ usage:
                     [--fail-first N] [--corrupt-every N] [--seed N]
                     [--trace-out PATH] [--cache-mb N]
                     [--chaos-seed N] [--device-fail SPEC[,SPEC...]]
-  culzss profile    <input> [--codec v1|v2] [--decompress]
+  culzss profile    <input> [--codec v1|v2|v3] [--decompress]
                     [--engine serial|warp] [--out PATH]
   culzss dedup      <input> [--cache-mb N]
   culzss bench-serve [--jobs N] [--payload BYTES] [--seed N]
@@ -25,7 +25,8 @@ usage:
   culzss sancheck   [--dataset SLUG|all] [--bytes N] [--seed N]
   culzss selftest
 
-codecs: v1/v2 = CULZSS on the simulated GTX 480 (default v2);
+codecs: v1/v2/v3 = CULZSS on the simulated GTX 480 (default v2; v3 is
+        the fused GPU-selection engine, byte-identical streams to v2);
         lzss = serial CPU; pthread = threaded CPU; bzip2 = block sorting;
         auto (decompress) = detect from the stream header.
 datasets: c-files de-map dictionary kernel-tarball highly-compressible mixed
@@ -65,8 +66,8 @@ dedup: compresses <input> twice through a chunk-cache-backed compressor
        and prints the chunking layout, cold/warm hit rates, and the
        bytes served from cache; the output stays a byte-identical v2
        container either way.
-sancheck: runs both CULZSS kernels and both decode engines (serial and
-       warp-parallel, over streams from both kernels) on corpus samples
+sancheck: runs all three CULZSS kernels and both decode engines (serial
+       and warp-parallel, over streams from every kernel) on corpus samples
        under the shared-memory sanitizer (racecheck) and prints the
        reports; exits nonzero on any conflict or barrier divergence.
 bench: runs every engine over the five evaluation corpora and writes a
@@ -81,6 +82,9 @@ pub enum Codec {
     V1,
     /// CULZSS V2 on the simulated device.
     V2,
+    /// CULZSS V3 (fused GPU selection + compaction) on the simulated
+    /// device.
+    V3,
     /// Serial CPU LZSS (Dipperstein configuration).
     Lzss,
     /// Threaded CPU LZSS.
@@ -96,6 +100,7 @@ impl Codec {
         match s {
             "v1" => Ok(Codec::V1),
             "v2" => Ok(Codec::V2),
+            "v3" => Ok(Codec::V3),
             "lzss" => Ok(Codec::Lzss),
             "pthread" => Ok(Codec::Pthread),
             "bzip2" => Ok(Codec::Bzip2),
@@ -361,8 +366,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 Some(v) => Codec::parse(v)?,
                 None => Codec::V2,
             };
-            if !matches!(codec, Codec::V1 | Codec::V2) {
-                return Err("profile runs on the simulated device: --codec v1|v2".into());
+            if !matches!(codec, Codec::V1 | Codec::V2 | Codec::V3) {
+                return Err("profile runs on the simulated device: --codec v1|v2|v3".into());
             }
             Ok(Command::Profile {
                 input: pos[0].clone(),
@@ -636,6 +641,22 @@ mod tests {
         );
         assert!(parse(&argv("profile")).is_err());
         assert!(parse(&argv("profile data.bin --codec bzip2")).is_err());
+    }
+
+    #[test]
+    fn v3_codec_parses_everywhere() {
+        match parse(&argv("compress a b --codec v3")).unwrap() {
+            Command::Compress { codec: Codec::V3, .. } => {}
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        match parse(&argv("decompress a b --codec v3")).unwrap() {
+            Command::Decompress { codec: Codec::V3, .. } => {}
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        match parse(&argv("profile data.bin --codec v3")).unwrap() {
+            Command::Profile { codec: Codec::V3, .. } => {}
+            other => panic!("unexpected parse: {other:?}"),
+        }
     }
 
     #[test]

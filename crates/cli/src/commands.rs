@@ -76,8 +76,12 @@ fn compress(input: &str, output: &str, codec: Codec, report: bool) -> Result<(),
     let data = read(input)?;
     let started = Instant::now();
     let bytes = match codec {
-        Codec::V1 | Codec::V2 => {
-            let version = if codec == Codec::V1 { Version::V1 } else { Version::V2 };
+        Codec::V1 | Codec::V2 | Codec::V3 => {
+            let version = match codec {
+                Codec::V1 => Version::V1,
+                Codec::V3 => Version::V3,
+                _ => Version::V2,
+            };
             let culzss = Culzss::new(version);
             let (bytes, stats) = culzss.compress(&data).map_err(|e| e.to_string())?;
             println!(
@@ -128,7 +132,7 @@ fn decompress(
     }
     let codec = if codec == Codec::Auto { detect(&data)? } else { codec };
     let bytes = match codec {
-        Codec::V1 | Codec::V2 => {
+        Codec::V1 | Codec::V2 | Codec::V3 => {
             let culzss = Culzss::new(Version::V1).with_decode_engine(engine);
             culzss.decompress_auto(&data).map_err(|e| e.to_string())?.0
         }
@@ -508,7 +512,11 @@ fn profile(
     use culzss_server::{JobSpec, ServerConfig, Service};
 
     let data = read(input)?;
-    let mut params = if codec == Codec::V1 { CulzssParams::v1() } else { CulzssParams::v2() };
+    let mut params = match codec {
+        Codec::V1 => CulzssParams::v1(),
+        Codec::V3 => CulzssParams::v3(),
+        _ => CulzssParams::v2(),
+    };
     params.decode_engine = engine;
     // No CPU workers: the job must take the device path, so the trace
     // always carries modelled kernel stages and GPU block spans.
@@ -522,7 +530,11 @@ fn profile(
         "profile: {} ({} B, codec {}{}) on 1 simulated GTX 480",
         input,
         data.len(),
-        if codec == Codec::V1 { "v1" } else { "v2" },
+        match codec {
+            Codec::V1 => "v1",
+            Codec::V3 => "v3",
+            _ => "v2",
+        },
         if decompress { format!(", decompress, engine {}", engine.name()) } else { String::new() }
     );
     let payload = if decompress {
@@ -807,7 +819,7 @@ fn sancheck(dataset: &str, bytes: usize, seed: u64) -> Result<(), String> {
     let mut dirty = 0usize;
     for corpus in corpora {
         let input = corpus.generate(bytes, seed);
-        let checks = culzss::sancheck::check_both(&sim, &input).map_err(|e| e.to_string())?;
+        let checks = culzss::sancheck::check_all(&sim, &input).map_err(|e| e.to_string())?;
         for check in checks {
             let verdict = if check.is_clean() { "clean" } else { "FINDINGS" };
             println!("\n[{}] {:?} kernel: {verdict}", corpus.slug(), check.version);
@@ -851,12 +863,12 @@ fn selftest() -> Result<(), String> {
     let data = culzss_datasets::Dataset::KernelTarball.generate(256 * 1024, 4242);
     std::fs::write(&original, &data).map_err(|e| e.to_string())?;
 
-    for codec in [Codec::V1, Codec::V2, Codec::Lzss, Codec::Pthread, Codec::Bzip2] {
+    for codec in [Codec::V1, Codec::V2, Codec::V3, Codec::Lzss, Codec::Pthread, Codec::Bzip2] {
         compress(&as_str(&original), &as_str(&packed), codec, false)?;
         // Exercise checksum verification and magic detection; GPU
         // containers additionally round-trip through both decode engines.
         verify(&as_str(&packed))?;
-        let engines: &[DecodeEngine] = if matches!(codec, Codec::V1 | Codec::V2) {
+        let engines: &[DecodeEngine] = if matches!(codec, Codec::V1 | Codec::V2 | Codec::V3) {
             &[DecodeEngine::Serial, DecodeEngine::WarpParallel]
         } else {
             &[DecodeEngine::Serial]

@@ -11,8 +11,11 @@
 //! are the one-shot conveniences. Every call returns [`PipelineStats`]
 //! breaking the modelled time into H2D copy, kernel, D2H copy and the
 //! measured CPU post-processing (bucket compaction for V1; match
-//! selection + encoding for V2) — the quantities Table I and Table III
-//! are built from.
+//! selection + encoding for V2; nothing but container assembly for the
+//! fused V3) — the quantities Table I and Table III are built from.
+//! The serial host pass is also *modelled* in device cycles
+//! ([`PipelineStats::host_cycles`]) so the engines compare on one axis:
+//! total modelled cycles, GPU + host.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -26,7 +29,20 @@ use crate::error::CulzssResult;
 use crate::metered::select_records_into;
 use crate::params::{CulzssParams, Version};
 use crate::pipeline::{BufferPool, PoolStats};
-use crate::{decompress, kernel_v1, kernel_v2};
+use crate::{decompress, kernel_v1, kernel_v2, v3};
+
+/// Modelled host ops per token of V2's serial selection walk (record
+/// compare, cursor advance, flag accumulation, token store). The host is
+/// modelled at one op per device cycle so GPU and CPU work land on a
+/// single comparable axis; see DESIGN.md §17.
+pub const HOST_SELECT_OPS_PER_TOKEN: u64 = 8;
+/// Modelled host ops per output byte of V2's serial Fixed16 encoding
+/// pass (group bookkeeping plus the byte moves).
+pub const HOST_ENCODE_OPS_PER_BYTE: u64 = 4;
+/// Modelled host ops per bucket byte of V1's compaction pass
+/// ("a final separate process to concatenate only the compressed
+/// data") — a straight copy, one op per byte.
+pub const HOST_COMPACT_OPS_PER_BYTE: u64 = 1;
 
 /// Timing breakdown of one compression or decompression call.
 #[derive(Debug, Clone)]
@@ -40,6 +56,13 @@ pub struct PipelineStats {
     /// *Measured* CPU post-processing time (compaction, selection,
     /// container assembly) on the host running the simulation.
     pub cpu_seconds: f64,
+    /// *Modelled* cycles of the serial host pass the engine still needs
+    /// between kernel and container assembly: bucket compaction for V1,
+    /// selection + encoding for V2, zero for the fused V3. Container
+    /// assembly itself is identical across engines and excluded. Summed
+    /// with the launch's modelled GPU cycles this gives the total
+    /// modelled pipeline cycles the bench gate compares.
+    pub host_cycles: f64,
     /// Launch statistics of the kernel (occupancy, transactions, …).
     pub launch: Option<culzss_gpusim::exec::LaunchStats>,
     /// Input bytes processed.
@@ -138,7 +161,7 @@ impl Culzss {
         let h2d = ledger.copy(device, Direction::HostToDevice, input.len());
         let config = self.params.lzss_config();
 
-        let (bodies, launch, d2h, cpu_seconds) = match self.params.version {
+        let (bodies, launch, d2h, cpu_seconds, host_cycles) = match self.params.version {
             Version::V1 => {
                 let (bodies, launch) =
                     kernel_v1::run_pooled(&self.sim, input, &self.params, &self.pool)?;
@@ -147,9 +170,10 @@ impl Culzss {
                 // concatenate only the compressed data").
                 let bucket_bytes: usize = bodies.iter().map(|b| b.len()).sum();
                 let d2h = ledger.copy(device, Direction::DeviceToHost, bucket_bytes);
+                let host_cycles = (bucket_bytes as u64 * HOST_COMPACT_OPS_PER_BYTE) as f64;
                 let started = Instant::now();
                 // Compaction = container assembly from the bodies.
-                (bodies, launch, d2h, started.elapsed().as_secs_f64())
+                (bodies, launch, d2h, started.elapsed().as_secs_f64(), host_cycles)
             }
             Version::V2 => {
                 let (records, launch) = kernel_v2::run(&self.sim, input, &self.params)?;
@@ -161,15 +185,27 @@ impl Culzss {
                 let started = Instant::now();
                 let mut bodies = Vec::with_capacity(records.len());
                 let mut tokens = self.pool.acquire_tokens();
+                let mut host_ops = 0u64;
                 for (chunk, recs) in input.chunks(self.params.chunk_size).zip(&records) {
                     tokens.clear();
                     select_records_into(chunk, recs, &config, &mut tokens);
                     let mut body = self.pool.acquire_bytes();
-                    format::encode_into(&tokens, &config, &mut body);
+                    let written = format::encode_into(&tokens, &config, &mut body);
+                    host_ops += tokens.len() as u64 * HOST_SELECT_OPS_PER_TOKEN
+                        + written as u64 * HOST_ENCODE_OPS_PER_BYTE;
                     bodies.push(body);
                 }
                 self.pool.release_tokens(tokens);
-                (bodies, launch, d2h, started.elapsed().as_secs_f64())
+                (bodies, launch, d2h, started.elapsed().as_secs_f64(), host_ops as f64)
+            }
+            Version::V3 => {
+                // The fused kernel already selected, sized, and compacted
+                // on-device: the bodies come back padding-free and the
+                // host has no serial pass left (host_cycles = 0).
+                let (bodies, launch) = v3::run_pooled(&self.sim, input, &self.params, &self.pool)?;
+                let body_bytes: usize = bodies.iter().map(|b| b.len()).sum();
+                let d2h = ledger.copy(device, Direction::DeviceToHost, body_bytes);
+                (bodies, launch, d2h, 0.0, 0.0)
             }
         };
 
@@ -190,6 +226,7 @@ impl Culzss {
             kernel_seconds: launch.kernel_seconds,
             d2h_seconds: d2h,
             cpu_seconds,
+            host_cycles,
             launch: Some(launch),
             input_bytes: input.len(),
             output_bytes: stream.len(),
@@ -344,6 +381,7 @@ impl Culzss {
             kernel_seconds: launch.kernel_seconds,
             d2h_seconds: d2h,
             cpu_seconds,
+            host_cycles: 0.0,
             launch: Some(launch),
             input_bytes: bytes.len(),
             output_bytes: out.len(),
@@ -387,6 +425,35 @@ mod tests {
         let (compressed, _) = culzss.compress(&input).unwrap();
         let (restored, _) = culzss.decompress(&compressed).unwrap();
         assert_eq!(restored, input);
+    }
+
+    #[test]
+    fn v3_roundtrip_and_byte_identity_with_v2() {
+        let input = Dataset::CFiles.generate(96 * 1024, 2);
+        let v2 = Culzss::new(Version::V2).with_workers(4);
+        let v3 = Culzss::new(Version::V3).with_workers(4);
+        let (c2, s2) = v2.compress(&input).unwrap();
+        let (c3, s3) = v3.compress(&input).unwrap();
+        // The fused engine emits the same container stream, byte for byte.
+        assert_eq!(c2, c3);
+        let (restored, _) = v3.decompress(&c3).unwrap();
+        assert_eq!(restored, input);
+        // The serial host pass exists for V2 and is gone for V3.
+        assert!(s2.host_cycles > 0.0);
+        assert_eq!(s3.host_cycles, 0.0);
+    }
+
+    #[test]
+    fn host_cycles_model_per_version() {
+        let input = Dataset::Dictionary.generate(64 * 1024, 3);
+        let (_, v1) = gpu_compress(&input, Version::V1).unwrap();
+        let (_, v2) = gpu_compress(&input, Version::V2).unwrap();
+        // V1's compaction is a per-byte copy of the compressed buckets.
+        assert!(v1.host_cycles > 0.0);
+        assert!(v1.host_cycles < input.len() as f64);
+        // V2's selection walks every token, so it models far more host
+        // work than V1's straight copy.
+        assert!(v2.host_cycles > v1.host_cycles);
     }
 
     #[test]
@@ -451,7 +518,7 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        for version in [Version::V1, Version::V2] {
+        for version in [Version::V1, Version::V2, Version::V3] {
             let (compressed, stats) = gpu_compress(b"", version).unwrap();
             assert_eq!(stats.input_bytes, 0);
             let (restored, _) = gpu_decompress(&compressed, version).unwrap();
@@ -487,7 +554,7 @@ mod tests {
 
     #[test]
     fn repeated_calls_reuse_pooled_buffers() {
-        for version in [Version::V1, Version::V2] {
+        for version in [Version::V1, Version::V2, Version::V3] {
             let input = Dataset::CFiles.generate(64 * 1024, 8);
             let culzss = Culzss::new(version).with_workers(2);
             let (first, _) = culzss.compress(&input).unwrap();
@@ -541,6 +608,12 @@ mod auto_tests {
         // One decompressor instance handles both streams.
         assert_eq!(v1.decompress_auto(&c2).unwrap().0, input);
         assert_eq!(v2.decompress_auto(&c1).unwrap().0, input);
+        // A V3 stream carries V2's token configuration, so either
+        // instance auto-decodes it too.
+        let v3 = Culzss::new(Version::V3).with_workers(2);
+        let (c3, _) = v3.compress(&input).unwrap();
+        assert_eq!(v1.decompress_auto(&c3).unwrap().0, input);
+        assert_eq!(v3.decompress_auto(&c1).unwrap().0, input);
     }
 
     #[test]

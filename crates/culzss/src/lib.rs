@@ -16,6 +16,11 @@
 //!   the already encoded data"). The serial match *selection* and flag
 //!   generation run on the CPU afterwards, which also creates the
 //!   CPU/GPU overlap opportunity modelled in [`pipeline`].
+//! * **Version 3** ([`v3`]) — the GPULZ-style fused engine: V2's match
+//!   phase feeds an on-device greedy selection walk, a Hillis–Steele
+//!   prefix sum sizes the output, and a compaction pass scatters a
+//!   padding-free body — the CPU keeps only container assembly. Streams
+//!   are byte-identical to V2's.
 //! * **Decompression** ([`decompress`]) — block-parallel decode driven by
 //!   the per-chunk compressed-size table recorded during compression,
 //!   with two engines: the paper-faithful serial block decoder and a
@@ -56,6 +61,7 @@ pub mod salvage;
 pub mod sancheck;
 pub mod stream;
 pub mod tuning;
+pub mod v3;
 
 pub use api::{Culzss, PipelineStats};
 pub use decompress::DecodeEngine;

@@ -24,6 +24,10 @@ pub enum Version {
     V1,
     /// Fine-grained SIMD: one chunk per *block*, one position per thread.
     V2,
+    /// Fused GPULZ-style engine: V2's match phase plus on-device greedy
+    /// selection, a Hillis–Steele size scan, and prefix-sum compaction —
+    /// the host keeps only container assembly (see [`crate::v3`]).
+    V3,
 }
 
 impl Version {
@@ -32,6 +36,7 @@ impl Version {
         match self {
             Version::V1 => "CULZSS V1",
             Version::V2 => "CULZSS V2",
+            Version::V3 => "CULZSS V3",
         }
     }
 }
@@ -98,11 +103,18 @@ impl CulzssParams {
         }
     }
 
+    /// The fused V3 configuration: V2's token parameters (identical
+    /// streams by construction), V3's fused kernel.
+    pub fn v3() -> Self {
+        Self { version: Version::V3, ..Self::v2() }
+    }
+
     /// Parameters for `version` with paper defaults.
     pub fn for_version(version: Version) -> Self {
         match version {
             Version::V1 => Self::v1(),
             Version::V2 => Self::v2(),
+            Version::V3 => Self::v3(),
         }
     }
 
@@ -123,8 +135,14 @@ impl CulzssParams {
     ///   `threads × window` (exactly 16 KB at the paper's 128 × 128).
     /// * V2: the block shares one window plus the cooperative lookahead
     ///   (window + threads + max_match, rounded up to the bank width).
+    /// * V3: V2's staging buffer plus the resident selection/scan/
+    ///   compaction arena — record ring, boundary bitmaps, dense match
+    ///   array, flag bytes, scan ping/pong pairs, and the staged body
+    ///   ([`crate::v3::shared_bytes_for`]). Disabling shared placement
+    ///   drops only the staging buffer; the pipeline arena always lives
+    ///   on-chip.
     pub fn shared_bytes(&self) -> usize {
-        if !self.use_shared_memory {
+        if !self.use_shared_memory && self.version != Version::V3 {
             return 0;
         }
         match self.version {
@@ -133,6 +151,7 @@ impl CulzssParams {
                 let raw = self.window_size + self.threads_per_block + self.max_match;
                 raw.div_ceil(4) * 4
             }
+            Version::V3 => crate::v3::shared_bytes_for(self),
         }
     }
 
@@ -145,7 +164,7 @@ impl CulzssParams {
     pub fn grid_dim(&self, input_len: usize) -> usize {
         match self.version {
             Version::V1 => self.chunk_count(input_len).div_ceil(self.threads_per_block),
-            Version::V2 => self.chunk_count(input_len),
+            Version::V2 | Version::V3 => self.chunk_count(input_len),
         }
     }
 
@@ -165,6 +184,17 @@ impl CulzssParams {
             return fail("window larger than a chunk is never used".into());
         }
         self.lzss_config().validate()?;
+        if self.version == Version::V3 && self.max_match > self.threads_per_block {
+            // The V3 selection walk resumes at most max_match − 1
+            // positions into the next segment's record ring; a longer
+            // match could skip a whole segment whose records were
+            // already overwritten.
+            return fail(format!(
+                "V3 requires max_match ({}) <= threads_per_block ({}): the selection \
+                 walk must never jump past the next segment's record ring",
+                self.max_match, self.threads_per_block
+            ));
+        }
         if self.shared_bytes() > device.shared_mem_per_block {
             return fail(format!(
                 "shared memory request {} B exceeds the device's {} B — the \
@@ -234,6 +264,35 @@ mod tests {
 
         let v2 = CulzssParams::v2();
         assert_eq!(v2.grid_dim(1 << 20), 256);
+    }
+
+    #[test]
+    fn v3_defaults_and_validation() {
+        let d = DeviceSpec::gtx480();
+        let v3 = CulzssParams::v3();
+        v3.validate(&d).unwrap();
+        // Token parameters are V2's — the stream must be byte-identical.
+        let v2 = CulzssParams::v2();
+        assert_eq!(v3.chunk_size, v2.chunk_size);
+        assert_eq!(v3.max_match, v2.max_match);
+        assert_eq!(v3.min_match, v2.min_match);
+        assert_eq!(v3.window_size, v2.window_size);
+        // The resident pipeline arena fits the GTX 480 with headroom.
+        assert!(v3.shared_bytes() > v2.shared_bytes());
+        assert!(v3.shared_bytes() <= d.shared_mem_per_block);
+        assert_eq!(v3.grid_dim(1 << 20), 256);
+
+        // Walk-resume invariant: max_match must not exceed the segment.
+        let mut bad = CulzssParams::v3();
+        bad.max_match = 200;
+        assert!(bad.validate(&d).is_err());
+
+        // Disabling shared staging still keeps the pipeline arena
+        // on-chip (only the match staging buffer is dropped).
+        let mut unshared = CulzssParams::v3();
+        unshared.use_shared_memory = false;
+        assert!(unshared.shared_bytes() > 0);
+        assert!(unshared.shared_bytes() < v3.shared_bytes());
     }
 
     #[test]

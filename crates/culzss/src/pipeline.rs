@@ -328,6 +328,7 @@ mod tests {
             kernel_seconds: 2.0,
             d2h_seconds: 0.5,
             cpu_seconds: 2.0,
+            host_cycles: 0.0,
             launch: None,
             input_bytes: 100,
             output_bytes: 50,

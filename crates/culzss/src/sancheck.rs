@@ -13,7 +13,7 @@ use culzss_gpusim::{GpuSim, SanitizerReport};
 use crate::decompress::DecodeEngine;
 use crate::error::CulzssResult;
 use crate::params::{CulzssParams, Version};
-use crate::{kernel_v1, kernel_v2};
+use crate::{kernel_v1, kernel_v2, v3};
 
 /// Racecheck outcome for one kernel over one input sample.
 #[derive(Debug)]
@@ -41,14 +41,27 @@ pub fn check(sim: &GpuSim, input: &[u8], params: &CulzssParams) -> CulzssResult<
     let report = match params.version {
         Version::V1 => kernel_v1::run_checked(sim, input, params)?.2,
         Version::V2 => kernel_v2::run_checked(sim, input, params)?.2,
+        Version::V3 => v3::run_checked(sim, input, params)?.2,
     };
     Ok(KernelCheck { version: params.version, input_bytes: input.len(), report })
 }
 
-/// Runs *both* kernel designs over `input` on `sim`'s device with their
-/// paper-default parameters (the CLI's corpus sweep).
+/// Runs *all three* kernel designs over `input` on `sim`'s device with
+/// their paper-default parameters (the CLI's corpus sweep). For V3 this
+/// covers the fused selection, scan, and compaction phases alongside the
+/// match phases.
+pub fn check_all(sim: &GpuSim, input: &[u8]) -> CulzssResult<Vec<KernelCheck>> {
+    Ok(vec![
+        check(sim, input, &CulzssParams::v1())?,
+        check(sim, input, &CulzssParams::v2())?,
+        check(sim, input, &CulzssParams::v3())?,
+    ])
+}
+
+/// Backwards-compatible alias for [`check_all`] from when there were
+/// only two kernel designs.
 pub fn check_both(sim: &GpuSim, input: &[u8]) -> CulzssResult<Vec<KernelCheck>> {
-    Ok(vec![check(sim, input, &CulzssParams::v1())?, check(sim, input, &CulzssParams::v2())?])
+    check_all(sim, input)
 }
 
 /// Racecheck outcome for one decode engine over one input sample.
@@ -93,7 +106,7 @@ pub fn check_decode(
 /// the decode half of the CLI's `sancheck` corpus sweep.
 pub fn check_decode_all(sim: &GpuSim, input: &[u8]) -> CulzssResult<Vec<DecodeCheck>> {
     let mut checks = Vec::new();
-    for params in [CulzssParams::v1(), CulzssParams::v2()] {
+    for params in [CulzssParams::v1(), CulzssParams::v2(), CulzssParams::v3()] {
         for engine in [DecodeEngine::Serial, DecodeEngine::WarpParallel] {
             checks.push(check_decode(sim, input, &params, engine)?);
         }

@@ -405,6 +405,61 @@ pub mod fixtures {
             });
         }
     }
+
+    /// A Hillis–Steele inclusive scan over a ping/pong pair of
+    /// `block_dim`-element 8-byte buffers, one step per phase — the
+    /// discipline the CULZSS V3 compaction kernel uses for its offset
+    /// scan. Every step reads only the source buffer and writes only
+    /// the destination buffer, with the phase barrier between steps,
+    /// so the sanitizer must report clean.
+    pub struct PrefixScanPingPong {
+        /// Scan steps to run (`log2(block_dim)` for a full scan).
+        pub steps: u32,
+    }
+
+    impl BlockKernel for PrefixScanPingPong {
+        type Output = ();
+        fn run_block(&self, block: &mut BlockCtx) {
+            let stride = 8 * block.block_dim as u64;
+            for step in 0..self.steps {
+                let (src, dst) = if step % 2 == 0 { (0, stride) } else { (stride, 0) };
+                let d = 1usize << step;
+                block.par_threads(|t| {
+                    t.shared_read(src + 8 * t.tid as u64, 8);
+                    if t.tid >= d {
+                        t.shared_read(src + 8 * (t.tid - d) as u64, 8);
+                    }
+                    t.shared_write(dst + 8 * t.tid as u64, 8);
+                    t.charge_ops(1);
+                });
+            }
+        }
+    }
+
+    /// [`PrefixScanPingPong`] with the buffer pair collapsed into one:
+    /// each step reads a neighbour's slot and overwrites its own in the
+    /// same phase — the read-write race the two-buffer discipline
+    /// exists to avoid.
+    pub struct PrefixScanInPlace {
+        /// Scan steps to run.
+        pub steps: u32,
+    }
+
+    impl BlockKernel for PrefixScanInPlace {
+        type Output = ();
+        fn run_block(&self, block: &mut BlockCtx) {
+            for step in 0..self.steps {
+                let d = 1usize << step;
+                block.par_threads(|t| {
+                    if t.tid >= d {
+                        t.shared_read(8 * (t.tid - d) as u64, 8);
+                    }
+                    t.shared_write(8 * t.tid as u64, 8);
+                    t.charge_ops(1);
+                });
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -480,6 +535,36 @@ mod tests {
         let plain =
             sim().launch(LaunchConfig::new(4, 64).with_shared(64), &StagedExchange).unwrap();
         assert_eq!(plain.stats.metrics, checked.stats.metrics);
+    }
+
+    #[test]
+    fn ping_pong_scan_is_clean_and_in_place_scan_races() {
+        // The V3 offset scan's shape: 6 steps over 64 lanes. The
+        // ping/pong discipline is race-free and its cost is phase-exact.
+        let clean = sim()
+            .launch_checked(
+                LaunchConfig::new(2, 64).with_shared(2 * 8 * 64),
+                &PrefixScanPingPong { steps: 6 },
+            )
+            .unwrap();
+        assert!(clean.sanitizer.is_clean(), "{}", clean.sanitizer);
+        assert_eq!(clean.sanitizer.phases, 2 * 6);
+
+        // Collapsing the buffers races every step on every overlapping
+        // (reader, writer-one-stride-down) pair.
+        let racy = sim()
+            .launch_checked(
+                LaunchConfig::new(1, 64).with_shared(8 * 64),
+                &PrefixScanInPlace { steps: 6 },
+            )
+            .unwrap();
+        let report = &racy.sanitizer;
+        assert!(!report.is_clean());
+        let block = &report.findings[0];
+        assert!(block.conflicts.iter().any(|c| c.kind == ConflictKind::ReadWrite), "{report}");
+        // Step 0 already conflicts: tid reads slot tid-1 while tid-1
+        // overwrites it in the same phase.
+        assert!(block.conflicts.iter().any(|c| c.phase == 0), "{report}");
     }
 
     #[test]

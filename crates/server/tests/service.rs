@@ -467,3 +467,40 @@ fn chunk_cache_serves_repeats_byte_identically_and_counts_them() {
     assert!(stats.cache_hit_rate() > 0.0);
     assert!(stats.to_string().contains("cache:"), "{stats}");
 }
+
+#[test]
+fn v3_engine_knob_flows_through_the_job_path() {
+    // The engine knob: a service configured with V3 params runs the
+    // fused kernel on its device workers and the streams stay
+    // byte-identical to the V2 service's (and to a direct V3 compress).
+    let input = Dataset::CFiles.generate(64 * 1024, 31);
+    let v3_config = ServerConfig {
+        params: culzss::CulzssParams::v3(),
+        cpu_workers: 0, // force the device path
+        ..quick_config()
+    };
+    let service = Service::start(v3_config);
+    let ticket = service.submit(JobSpec::compress("t", input.clone())).unwrap();
+    let outcome = ticket.wait().unwrap();
+    assert!(
+        matches!(outcome.engine, EngineKind::Gpu { .. }),
+        "V3 job must run on the device, not {:?}",
+        outcome.engine
+    );
+    let stats = service.shutdown();
+    assert!(stats.reconciles(), "{stats:?}");
+
+    let direct = culzss::Culzss::with_device(
+        culzss_gpusim::DeviceSpec::gtx480(),
+        culzss::CulzssParams::v3(),
+    );
+    assert_eq!(outcome.output, direct.compress(&input).unwrap().0);
+    assert_eq!(direct.decompress_auto(&outcome.output).unwrap().0, input);
+
+    // The decode half of the job path accepts the V3 stream too.
+    let decode_service =
+        Service::start(ServerConfig { params: culzss::CulzssParams::v3(), ..quick_config() });
+    let ticket = decode_service.submit(JobSpec::decompress("t", outcome.output)).unwrap();
+    assert_eq!(ticket.wait().unwrap().output, input);
+    assert!(decode_service.shutdown().reconciles());
+}

@@ -30,10 +30,19 @@ fn fixture_input() -> Vec<u8> {
 fn v2_container_engines(input: &[u8]) -> Vec<(&'static str, Vec<u8>, Box<dyn Fn(&[u8]) -> bool>)> {
     let v1 = hetero::cpu_compress(input, &CulzssParams::v1(), 2).unwrap();
     let v2 = hetero::cpu_compress(input, &CulzssParams::v2(), 2).unwrap();
+    // V3 has no CPU twin — the selection pass *is* the kernel — so its
+    // stream comes from the engine itself; the flip/truncation sweeps
+    // cover the container the on-device compaction actually emits.
+    let v3 = Culzss::new(Version::V3).with_workers(2).compress(input).unwrap().0;
     let pt = culzss_pthread::compress(input, &LzssConfig::dipperstein(), 3).unwrap();
     vec![
         ("culzss-v1", v1, Box::new(|b: &[u8]| hetero::cpu_decompress(b, 1).is_err())),
         ("culzss-v2", v2, Box::new(|b: &[u8]| hetero::cpu_decompress(b, 1).is_err())),
+        (
+            "culzss-v3",
+            v3,
+            Box::new(|b: &[u8]| Culzss::new(Version::V3).decompress_auto(b).is_err()),
+        ),
         (
             "pthread",
             pt,

@@ -160,7 +160,7 @@ fn decode_engines_are_race_free_on_every_corpus() {
     let sim = GpuSim::new(DeviceSpec::gtx480()).with_workers(2);
     for (slug, input) in corpora() {
         let checks = culzss::sancheck::check_decode_all(&sim, &input).unwrap();
-        assert_eq!(checks.len(), 4, "[{slug}] expected v1/v2 × serial/warp");
+        assert_eq!(checks.len(), 6, "[{slug}] expected v1/v2/v3 × serial/warp");
         for check in &checks {
             assert!(
                 check.is_clean(),

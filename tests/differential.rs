@@ -4,10 +4,12 @@
 //! The anchor property is the V1 equivalence the heterogeneous path
 //! relies on: the V1 GPU kernel's per-chunk bodies — and the assembled
 //! container — must be **byte-identical** to the CPU reference
-//! (`hetero::cpu_compress`). Around it, every engine (V1, V2, serial
-//! LZSS, pthread) must round-trip every corpus, including the chunk
-//! boundary edge cases (empty, one byte, exactly one chunk, one chunk
-//! plus one byte).
+//! (`hetero::cpu_compress`). The V3 engine carries the same obligation
+//! against V2: its on-device selection + prefix-sum compaction must
+//! reproduce V2's container streams byte for byte. Around those anchors,
+//! every engine (V1, V2, V3, serial LZSS, pthread) must round-trip every
+//! corpus, including the chunk boundary edge cases (empty, one byte,
+//! exactly one chunk, one chunk plus one byte).
 
 use culzss::hetero;
 use culzss::{Culzss, CulzssParams, Version};
@@ -71,6 +73,31 @@ fn v2_roundtrips_every_corpus() {
     }
 }
 
+/// The V3 acceptance anchor: GPU-resident selection + compaction emits
+/// the same container stream as V2's CPU selection pass, corpus for
+/// corpus — so any V3 kernel change that shifts a single byte fails
+/// loudly here before the bench gate ever runs.
+#[test]
+fn v3_streams_match_v2_byte_for_byte() {
+    let v2 = Culzss::new(Version::V2).with_workers(2);
+    let v3 = Culzss::new(Version::V3).with_workers(2);
+    for (slug, input) in corpora() {
+        let (s2, _) = v2.compress(&input).unwrap();
+        let (s3, _) = v3.compress(&input).unwrap();
+        assert_eq!(s2, s3, "[{slug}] V3 container differs from V2");
+    }
+}
+
+#[test]
+fn v3_roundtrips_every_corpus() {
+    let culzss = Culzss::new(Version::V3).with_workers(2);
+    for (slug, input) in corpora() {
+        let (stream, _) = culzss.compress(&input).unwrap();
+        let (restored, _) = culzss.decompress(&stream).unwrap();
+        assert_eq!(restored, input, "[{slug}] V3 roundtrip");
+    }
+}
+
 #[test]
 fn serial_and_pthread_roundtrip_every_corpus() {
     let config = LzssConfig::dipperstein();
@@ -98,6 +125,7 @@ fn edge_sizes_roundtrip_through_every_engine() {
     assert_eq!(chunk, 4096, "paper's chunk size");
     let v1 = Culzss::new(Version::V1).with_workers(2);
     let v2 = Culzss::new(Version::V2).with_workers(2);
+    let v3 = Culzss::new(Version::V3).with_workers(2);
     let config = LzssConfig::dipperstein();
     for size in [0usize, 1, chunk, chunk + 1] {
         let input = Dataset::CFiles.generate(size, 5);
@@ -112,6 +140,11 @@ fn edge_sizes_roundtrip_through_every_engine() {
         let (stream, _) = v2.compress(&input).unwrap();
         let (restored, _) = v2.decompress(&stream).unwrap();
         assert_eq!(restored, input, "V2 at size {size}");
+
+        let (v3_stream, _) = v3.compress(&input).unwrap();
+        let (restored, _) = v3.decompress(&v3_stream).unwrap();
+        assert_eq!(restored, input, "V3 at size {size}");
+        assert_eq!(v3_stream, stream, "V3 vs V2 stream at size {size}");
 
         let stream = serial::compress(&input, &config).unwrap();
         assert_eq!(serial::decompress(&stream, &config).unwrap(), input, "serial at size {size}");

@@ -117,6 +117,17 @@ fn engines() -> Vec<(&'static str, Box<dyn Fn(&[u8]) -> Vec<u8>>, Box<dyn Fn(&[u
             }),
             culzss_decode(Version::V2),
         ),
+        // V3 only emits container v2 (it post-dates the checksummed
+        // container); its fixture is byte-identical to v2.c2 by the V3
+        // byte-compat guarantee, and pinning it separately means a V3
+        // kernel regression cannot hide behind the V2 fixture.
+        (
+            "v3.c2",
+            Box::new(|input: &[u8]| {
+                Culzss::new(Version::V3).with_workers(2).compress(input).unwrap().0
+            }),
+            culzss_decode(Version::V3),
+        ),
         (
             "lzss",
             Box::new(move |input: &[u8]| serial::compress(input, &config).unwrap()),
@@ -179,7 +190,7 @@ fn golden_streams_decode_identically_through_both_decode_engines() {
     let serial = Culzss::new(Version::V1).with_workers(2);
     let warp =
         Culzss::new(Version::V1).with_workers(2).with_decode_engine(DecodeEngine::WarpParallel);
-    let culzss_fixtures = ["v1", "v1.c2", "v2", "v2.c2"];
+    let culzss_fixtures = ["v1", "v1.c2", "v2", "v2.c2", "v3.c2"];
     for (engine, _, _) in engines() {
         let stream = read_fixture(engine);
         let s = serial.decompress_auto(&stream);
