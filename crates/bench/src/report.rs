@@ -30,6 +30,13 @@
 //! total modelled pipeline cycles (kernel + host pass) than V2 on at
 //! least that many of them — the V3 engine's paper-style acceptance
 //! criterion, gated on every CI run rather than pinned once.
+//!
+//! The [`SLO_ENGINE`] cell is gated separately: its `p99_seconds`
+//! counter (client-observed tail latency of a skewed closed-loop load
+//! run) may not rise more than [`Tolerances::slo_p99_rise_frac`] over
+//! the baseline after machine-speed normalization, while its
+//! ratio/throughput columns — artifacts of the mixed job mix — are
+//! exempt from the standard per-corpus gates.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -54,6 +61,18 @@ fn reference_engine(engine: &str) -> &'static str {
         REFERENCE_ENGINE
     }
 }
+
+/// The service-level-objective cell's engine id: a closed-loop skewed
+/// multi-tenant load run whose client-observed latency quantiles ride
+/// as counters (`p50_seconds`, `p99_seconds`). The cell is exempt from
+/// the per-corpus ratio/throughput gates (its job mix makes both
+/// columns informational) and is gated on tail latency instead — see
+/// [`Tolerances::slo_p99_rise_frac`].
+pub const SLO_ENGINE: &str = "server-slo";
+
+/// The synthetic corpus label of the SLO cell (the load generator mixes
+/// every real corpus, so the cell does not belong to any one of them).
+pub const SLO_CORPUS: &str = "skewed-load";
 
 /// One engine × corpus measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -540,11 +559,24 @@ pub struct Tolerances {
     /// only absorbs intentional small cost-model recalibrations, not
     /// host noise. Getting cheaper never fails.
     pub cycles_rise_frac: f64,
+    /// Maximum allowed relative rise of the [`SLO_ENGINE`] cell's
+    /// `p99_seconds` counter versus the baseline, after machine-speed
+    /// normalization against the serial calibration cells. Tail latency
+    /// under a contended closed-loop run is far noisier than a
+    /// best-of-reps wall time, so the default is generous — the gate
+    /// exists to catch scheduling regressions that multiply the tail,
+    /// not single-digit-percent drift. Getting faster never fails.
+    pub slo_p99_rise_frac: f64,
 }
 
 impl Default for Tolerances {
     fn default() -> Self {
-        Self { throughput_drop_frac: 0.10, ratio_abs: 0.005, cycles_rise_frac: 0.02 }
+        Self {
+            throughput_drop_frac: 0.10,
+            ratio_abs: 0.005,
+            cycles_rise_frac: 0.02,
+            slo_p99_rise_frac: 0.50,
+        }
     }
 }
 
@@ -556,7 +588,7 @@ pub struct Regression {
     /// Offending corpus.
     pub corpus: String,
     /// Metric that breached (`missing-cell`, `throughput`, `ratio`,
-    /// `cycles`, `pipeline-cycles`).
+    /// `cycles`, `pipeline-cycles`, `slo-p99`).
     pub metric: String,
     /// Human-readable explanation with the numbers.
     pub detail: String,
@@ -614,6 +646,14 @@ pub fn compare(current: &Report, baseline: &Report, tol: &Tolerances) -> Vec<Reg
             });
             continue;
         };
+
+        if base.engine == SLO_ENGINE {
+            // The SLO cell's ratio mixes decompression outputs and its
+            // throughput covers a whole contended run; both are
+            // informational. Presence is checked above, tail latency by
+            // the dedicated gate below.
+            continue;
+        }
 
         if (cur.ratio - base.ratio).abs() > tol.ratio_abs {
             failures.push(Regression {
@@ -678,7 +718,68 @@ pub fn compare(current: &Report, baseline: &Report, tol: &Tolerances) -> Vec<Reg
     if let Some(failure) = v3_pipeline_gate(current) {
         failures.push(failure);
     }
+    if let Some(failure) = slo_gate(current, baseline, tol) {
+        failures.push(failure);
+    }
     failures
+}
+
+/// The tail-latency gate on the [`SLO_ENGINE`] cell: the current run's
+/// `p99_seconds` may not rise more than [`Tolerances::slo_p99_rise_frac`]
+/// over the baseline's, after each side is normalized by its own mean
+/// serial-calibration throughput (over the corpora both reports
+/// measured) — so a uniformly slower CI host does not trip the gate,
+/// while a scheduling change that multiplies the tail does. Runs or
+/// baselines without the cell (or without any common calibration cell,
+/// where the raw values are compared instead) skip gracefully.
+fn slo_gate(current: &Report, baseline: &Report, tol: &Tolerances) -> Option<Regression> {
+    if !current.covers(SLO_ENGINE, SLO_CORPUS) {
+        return None; // filtered out of this run: skipped, not failed
+    }
+    let base = baseline.cell(SLO_ENGINE, SLO_CORPUS)?;
+    let cur = current.cell(SLO_ENGINE, SLO_CORPUS)?; // absence already reported
+    let base_p99 = *base.counters.get("p99_seconds")?;
+    let cur_p99 = *cur.counters.get("p99_seconds")?;
+
+    // Machine-speed calibration: mean serial throughput over corpora
+    // present in both reports. p99 × machine speed is roughly
+    // host-invariant (a 2× slower host doubles latency and halves the
+    // calibration throughput).
+    let mut cur_speed = 0.0;
+    let mut base_speed = 0.0;
+    let mut common = 0usize;
+    for c in &current.cells {
+        if c.engine != REFERENCE_ENGINE || c.throughput_mbps <= 0.0 {
+            continue;
+        }
+        let Some(b) = baseline.cell(REFERENCE_ENGINE, &c.corpus) else { continue };
+        if b.throughput_mbps <= 0.0 {
+            continue;
+        }
+        cur_speed += c.throughput_mbps;
+        base_speed += b.throughput_mbps;
+        common += 1;
+    }
+    let (cur_norm, base_norm) = if common > 0 {
+        (cur_p99 * cur_speed / common as f64, base_p99 * base_speed / common as f64)
+    } else {
+        (cur_p99, base_p99)
+    };
+    if base_norm <= 0.0 || cur_norm <= base_norm * (1.0 + tol.slo_p99_rise_frac) {
+        return None;
+    }
+    Some(Regression {
+        engine: SLO_ENGINE.into(),
+        corpus: SLO_CORPUS.into(),
+        metric: "slo-p99".into(),
+        detail: format!(
+            "normalized p99 latency {cur_norm:.4} vs baseline {base_norm:.4} \
+             (tolerance +{:.0} %; raw {:.1} vs {:.1} ms)",
+            tol.slo_p99_rise_frac * 100.0,
+            cur_p99 * 1e3,
+            base_p99 * 1e3,
+        ),
+    })
 }
 
 /// Minimum number of corpora on which `culzss-v3` must beat `culzss-v2`
@@ -1035,6 +1136,60 @@ mod tests {
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert_eq!(failures[0].metric, "cycles");
         assert_eq!(failures[0].engine, "dec-culzss-warp");
+    }
+
+    #[test]
+    fn slo_cell_gates_on_normalized_p99_only() {
+        let slo = |p99: f64| {
+            let mut c = cell(SLO_ENGINE, SLO_CORPUS, 10.0, 1.2);
+            c.counters.insert("p50_seconds".into(), p99 / 4.0);
+            c.counters.insert("p99_seconds".into(), p99);
+            c
+        };
+        let with_serial = |serial_mbps: f64, p99: f64| {
+            report(vec![cell("serial", "c-files", serial_mbps, 0.55), slo(p99)])
+        };
+        let tol = Tolerances::default();
+        let baseline = with_serial(2.0, 0.100);
+
+        // Identical and mildly worse (within the 50 % tolerance) pass.
+        assert!(compare(&with_serial(2.0, 0.100), &baseline, &tol).is_empty());
+        assert!(compare(&with_serial(2.0, 0.140), &baseline, &tol).is_empty());
+
+        // A uniformly slower host doubles p99 but halves the serial
+        // calibration cell too: normalization keeps the gate green.
+        assert!(compare(&with_serial(1.0, 0.200), &baseline, &tol).is_empty());
+
+        // A real tail blow-up on the same-speed host fails.
+        let failures = compare(&with_serial(2.0, 0.200), &baseline, &tol);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert_eq!(failures[0].metric, "slo-p99");
+        assert_eq!(failures[0].engine, SLO_ENGINE);
+
+        // The SLO cell's ratio and throughput columns are exempt from
+        // the standard per-corpus gates.
+        let mut drift = with_serial(2.0, 0.100);
+        drift.cells[1].ratio = 0.3;
+        drift.cells[1].throughput_mbps = 0.5;
+        assert!(compare(&drift, &baseline, &tol).is_empty());
+
+        // But a missing SLO cell is still a missing cell.
+        let mut gone = with_serial(2.0, 0.100);
+        gone.cells.truncate(1);
+        let failures = compare(&gone, &baseline, &tol);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert_eq!(failures[0].metric, "missing-cell");
+        assert_eq!(failures[0].engine, SLO_ENGINE);
+
+        // A baseline without the cell (pre-SLO) skips the gate.
+        let old = report(vec![cell("serial", "c-files", 2.0, 0.55)]);
+        assert!(compare(&with_serial(2.0, 5.0), &old, &tol).is_empty());
+
+        // A run filtered away from the cell skips it too.
+        let mut narrow = with_serial(2.0, 0.100);
+        narrow.cells.truncate(1);
+        narrow.engines_filter = vec!["serial".into()];
+        assert!(compare(&narrow, &baseline, &tol).is_empty());
     }
 
     #[test]

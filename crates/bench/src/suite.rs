@@ -34,6 +34,10 @@
 //! Two further cells measure the dedup front end on the incremental-edits
 //! corpus only: `dedup-cold` (unseen content every rep) and `dedup-warm`
 //! (cache primed one edit generation earlier); see [`DEDUP_ENGINES`].
+//! One more cell, `server-slo` ([`SLO_ENGINES`]), drives the service
+//! with the production-skewed closed-loop load profile and exports
+//! client-observed p50/p99 latency counters that the comparator gates
+//! against the baseline.
 //! [`GridFilter`] restricts a run to an engine/corpus subset — filtered
 //! runs record the restriction in the report so the comparator skips,
 //! rather than fails, the cells that were not asked for.
@@ -54,9 +58,12 @@ use culzss::{Culzss, DecodeEngine, Version};
 use culzss_datasets::{edits, Dataset};
 use culzss_lzss::matchfind::FinderKind;
 use culzss_lzss::LzssConfig;
-use culzss_server::{JobSpec, ServerConfig, Service};
+use culzss_server::{loadgen, JobSpec, LoadGenConfig, LoadProfile, ServerConfig, Service};
 
-use crate::report::{compare, merge_best, Cell, Regression, Report, Tolerances, SCHEMA_VERSION};
+use crate::report::{
+    compare, merge_best, Cell, Regression, Report, Tolerances, SCHEMA_VERSION, SLO_CORPUS,
+    SLO_ENGINE,
+};
 
 /// Engine ids in suite order. The first entry is the calibration cell of
 /// the regression gate ([`crate::report::REFERENCE_ENGINE`]).
@@ -91,6 +98,14 @@ pub const DECODE_ENGINES: [&str; 9] = [
 /// priming pass, so most segments are served from the chunk cache.
 pub const DEDUP_ENGINES: [&str; 2] = ["dedup-cold", "dedup-warm"];
 
+/// The service-level-objective cell ([`SLO_ENGINE`], on the synthetic
+/// [`SLO_CORPUS`] "corpus"): the closed-loop load generator drives the
+/// service with the production-skewed profile (Zipf tenant skew,
+/// bounded-Pareto payload sizes, burst phases) and the cell exports the
+/// client-observed p50/p99 latency as counters, which the comparator
+/// gates against the baseline (see `Tolerances::slo_p99_rise_frac`).
+pub const SLO_ENGINES: [&str; 1] = [SLO_ENGINE];
+
 /// Subset selection for a suite run (the `--engines` / `--corpora`
 /// flags). An empty axis admits everything on that axis.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -110,12 +125,14 @@ impl GridFilter {
             if !ENGINES.contains(&name)
                 && !DECODE_ENGINES.contains(&name)
                 && !DEDUP_ENGINES.contains(&name)
+                && !SLO_ENGINES.contains(&name)
             {
                 return Err(format!(
-                    "unknown engine {name:?} (known: {}, {}, {})",
+                    "unknown engine {name:?} (known: {}, {}, {}, {})",
                     ENGINES.join(", "),
                     DECODE_ENGINES.join(", "),
-                    DEDUP_ENGINES.join(", ")
+                    DEDUP_ENGINES.join(", "),
+                    SLO_ENGINES.join(", ")
                 ));
             }
             filter.engines.push(name.to_string());
@@ -207,7 +224,9 @@ pub fn run_suite_filtered(
     filter: &GridFilter,
 ) -> Report {
     let mut cells = Vec::with_capacity(
-        (ENGINES.len() + DECODE_ENGINES.len()) * Dataset::ALL.len() + DEDUP_ENGINES.len(),
+        (ENGINES.len() + DECODE_ENGINES.len()) * Dataset::ALL.len()
+            + DEDUP_ENGINES.len()
+            + SLO_ENGINES.len(),
     );
     for dataset in Dataset::ALL {
         let engines: Vec<&str> =
@@ -226,6 +245,7 @@ pub fn run_suite_filtered(
         }
     }
     cells.extend(dedup_cells(cfg, probe, filter));
+    cells.extend(slo_cells(cfg, probe, filter));
     Report {
         schema_version: SCHEMA_VERSION,
         tool: "culzss-bench/bench".into(),
@@ -698,6 +718,76 @@ fn finish_dedup_cell(mut cell: Cell, service: Service) -> Cell {
     cell
 }
 
+/// Measures the service-level-objective cell ([`SLO_ENGINES`]): one
+/// closed-loop load-generator run against a default multi-device service
+/// using the production-skewed profile — Zipf job counts across tenants,
+/// bounded-Pareto payload sizes, burst/calm phases. The cell's wall time
+/// and throughput cover the whole run (it is a saturation measurement,
+/// not a single-pass one), and the latency SLOs ride as counters:
+/// `p50_seconds` / `p99_seconds` are exact client-observed quantiles
+/// over every completed job. The comparator gates `p99_seconds` against
+/// the baseline after machine-speed normalization (see
+/// [`crate::report::Tolerances::slo_p99_rise_frac`]); the wall-noisy
+/// ratio/throughput columns of this cell are exempt from the standard
+/// per-corpus gates.
+fn slo_cells(cfg: &SuiteCfg, probe: AllocProbe, filter: &GridFilter) -> Vec<Cell> {
+    if !filter.admits(SLO_ENGINE, SLO_CORPUS) {
+        return Vec::new();
+    }
+    let service = Service::start(ServerConfig::default());
+    let load_cfg = LoadGenConfig {
+        tenants: 6,
+        jobs_per_tenant: 24,
+        payload_bytes: (cfg.bytes / 16).clamp(4 * 1024, 256 * 1024),
+        decompress_every: 3,
+        window: 4,
+        seed: cfg.seed,
+        deadline: None,
+        profile: LoadProfile::Skewed,
+    };
+    let before = probe();
+    let load = loadgen::run(&service, &load_cfg);
+    let after = probe();
+    let stats = service.shutdown();
+    let mut counters = BTreeMap::new();
+    for (name, value) in [
+        ("p50_seconds", load.latency_quantile(0.50)),
+        ("p99_seconds", load.latency_quantile(0.99)),
+        ("mean_seconds", load.mean_latency_seconds()),
+        ("max_seconds", load.latency_max_seconds),
+        ("completed", load.completed as f64),
+        ("failed", load.failed as f64),
+        ("rejected", load.rejected as f64),
+        ("abandoned", load.abandoned as f64),
+        ("steals", stats.steals as f64),
+        ("stolen_jobs", stats.stolen_jobs as f64),
+        ("borrows", stats.borrows as f64),
+        ("queue_wait_seconds", stats.queue_wait_seconds),
+        ("service_seconds", stats.service_seconds),
+    ] {
+        counters.insert(name.to_string(), value);
+    }
+    vec![Cell {
+        engine: SLO_ENGINE.into(),
+        corpus: SLO_CORPUS.into(),
+        input_bytes: load.bytes_in,
+        output_bytes: load.bytes_out,
+        wall_seconds: load.wall_seconds,
+        throughput_mbps: if load.wall_seconds > 0.0 {
+            load.bytes_in as f64 / 1e6 / load.wall_seconds
+        } else {
+            0.0
+        },
+        // The job mix includes decompression, so bytes out can exceed
+        // bytes in; the column is informational for this cell (the
+        // comparator exempts it).
+        ratio: if load.bytes_in > 0 { load.bytes_out as f64 / load.bytes_in as f64 } else { 0.0 },
+        alloc_bytes: after.0.saturating_sub(before.0),
+        alloc_count: after.1.saturating_sub(before.1),
+        counters,
+    }]
+}
+
 /// Cheap cells keep re-running until this much total time is measured
 /// (or [`MAX_REPS`] is hit): the minimum of many short runs is far less
 /// noise-prone than the minimum of `cfg.reps` 2 ms runs.
@@ -776,11 +866,14 @@ mod tests {
         let report = run_suite(&tiny(), NO_PROBE, vec!["test".into()]);
         assert_eq!(
             report.cells.len(),
-            (ENGINES.len() + DECODE_ENGINES.len()) * Dataset::ALL.len() + DEDUP_ENGINES.len()
+            (ENGINES.len() + DECODE_ENGINES.len()) * Dataset::ALL.len()
+                + DEDUP_ENGINES.len()
+                + SLO_ENGINES.len()
         );
         for engine in DEDUP_ENGINES {
             assert!(report.cell(engine, "incremental-edits").is_some(), "{engine}");
         }
+        assert!(report.cell(SLO_ENGINE, SLO_CORPUS).is_some());
         for dataset in Dataset::ALL {
             for engine in ENGINES {
                 let cell = report
@@ -922,6 +1015,9 @@ mod tests {
         assert!(GridFilter::parse(Some("dec-culzss-warp,dec-serial"), None)
             .unwrap()
             .admits("dec-culzss-warp", "c-files"));
+        assert!(GridFilter::parse(Some("server-slo"), None)
+            .unwrap()
+            .admits(SLO_ENGINE, SLO_CORPUS));
         assert!(GridFilter::default().admits("anything", "anywhere"));
         assert!(GridFilter::parse(Some("warp-drive"), None)
             .unwrap_err()
@@ -970,6 +1066,42 @@ mod tests {
             assert!(cell.ratio > 0.0 && cell.ratio < 1.5, "{}: {}", cell.engine, cell.ratio);
             assert_eq!(cell.input_bytes, 192 * 1024);
         }
+    }
+
+    #[test]
+    fn slo_cell_measures_the_skewed_load_run() {
+        let filter = GridFilter::parse(Some("server-slo"), None).unwrap();
+        let report = run_suite_filtered(&tiny(), NO_PROBE, vec!["test".into()], &filter);
+        assert_eq!(report.cells.len(), 1);
+        let cell = report.cell(SLO_ENGINE, SLO_CORPUS).expect("slo cell");
+        assert!(cell.wall_seconds > 0.0);
+        assert!(cell.input_bytes > 0);
+        for name in [
+            "p50_seconds",
+            "p99_seconds",
+            "mean_seconds",
+            "max_seconds",
+            "completed",
+            "failed",
+            "rejected",
+            "abandoned",
+            "steals",
+            "borrows",
+            "queue_wait_seconds",
+            "service_seconds",
+        ] {
+            let v = cell.counters.get(name).unwrap_or_else(|| panic!("slo: {name}"));
+            assert!(v.is_finite() && *v >= 0.0, "slo: {name} = {v}");
+        }
+        // Every job finishes: no deadlines, no faults, unlimited tenant
+        // rate by default.
+        assert!(cell.counters["completed"] > 0.0);
+        assert_eq!(cell.counters["failed"], 0.0);
+        assert_eq!(cell.counters["abandoned"], 0.0);
+        // Quantiles are ordered and real observations.
+        assert!(cell.counters["p50_seconds"] <= cell.counters["p99_seconds"]);
+        assert!(cell.counters["p99_seconds"] <= cell.counters["max_seconds"]);
+        assert!(cell.counters["p50_seconds"] > 0.0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ usage:
   culzss gen        <dataset> <bytes> <output> [--seed N]
   culzss serve      [--devices N] [--cpu-workers N] [--tenants N] [--jobs N]
                     [--payload BYTES] [--queue-depth N] [--batch-jobs N]
+                    [--tenant-rate BYTES/S] [--tenant-burst BYTES]
                     [--fail-first N] [--corrupt-every N] [--seed N]
                     [--trace-out PATH] [--cache-mb N]
                     [--chaos-seed N] [--device-fail SPEC[,SPEC...]]
@@ -46,6 +47,11 @@ serve: runs the multi-tenant service against a closed-loop load generator
        --cache-mb N fronts the compressors with an N-MiB content-
        addressed chunk cache (dedup); repeated payloads are served from
        cache and the stats gain hit/miss/bytes-saved counters.
+       --tenant-rate N installs a per-tenant token bucket refilling at
+       N payload bytes per second (0 = unlimited, the default);
+       --tenant-burst sets its burst capacity in bytes. A tenant may
+       borrow up to one extra burst against future refill before
+       submissions are refused with a typed over-limit error.
        --device-fail installs a seeded chaos schedule on the named
        devices (comma-separated specs, launch indices are 0-based):
          D:dead@N      device D dies at its N-th launch (forever)
@@ -175,6 +181,10 @@ pub enum Command {
         queue_depth: usize,
         /// Max jobs coalesced per batch window.
         batch_jobs: usize,
+        /// Per-tenant token-bucket refill rate in bytes/s (0 = unlimited).
+        tenant_rate: u64,
+        /// Per-tenant token-bucket burst capacity in bytes.
+        tenant_burst: usize,
         /// Inject failures into the first N GPU attempts.
         fail_first: u64,
         /// Flip a bit in every N-th compressed output (0 = never).
@@ -351,6 +361,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 payload: num("--payload", 64 * 1024)?,
                 queue_depth: num("--queue-depth", 128)?,
                 batch_jobs: num("--batch-jobs", 8)?,
+                tenant_rate: num("--tenant-rate", 0)? as u64,
+                tenant_burst: num("--tenant-burst", 8 << 20)?,
                 fail_first: num("--fail-first", 0)? as u64,
                 corrupt_every: num("--corrupt-every", 0)? as u64,
                 seed: num("--seed", 2011)? as u64,
@@ -564,6 +576,8 @@ mod tests {
                 payload: 64 * 1024,
                 queue_depth: 128,
                 batch_jobs: 8,
+                tenant_rate: 0,
+                tenant_burst: 8 << 20,
                 fail_first: 0,
                 corrupt_every: 0,
                 seed: 2011,
@@ -686,6 +700,16 @@ mod tests {
             other => panic!("unexpected parse: {other:?}"),
         }
         assert!(parse(&argv("serve --devices nope")).is_err());
+    }
+
+    #[test]
+    fn serve_tenant_rate_flags_parse() {
+        match parse(&argv("serve --tenant-rate 65536 --tenant-burst 4096")).unwrap() {
+            Command::Serve { tenant_rate: 65536, tenant_burst: 4096, .. } => {}
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse(&argv("serve --tenant-rate nope")).is_err());
+        assert!(parse(&argv("serve --tenant-burst nope")).is_err());
     }
 
     #[test]

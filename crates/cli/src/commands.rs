@@ -28,6 +28,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             payload,
             queue_depth,
             batch_jobs,
+            tenant_rate,
+            tenant_burst,
             fail_first,
             corrupt_every,
             seed,
@@ -43,6 +45,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             payload,
             queue_depth,
             batch_jobs,
+            tenant_rate,
+            tenant_burst,
             fail_first,
             corrupt_every,
             seed,
@@ -407,6 +411,8 @@ fn serve(
     payload: usize,
     queue_depth: usize,
     batch_jobs: usize,
+    tenant_rate: u64,
+    tenant_burst: usize,
     fail_first: u64,
     corrupt_every: u64,
     seed: u64,
@@ -440,14 +446,21 @@ fn serve(
         cpu_workers,
         queue_depth,
         batch_jobs,
+        tenant_rate_bytes: (tenant_rate > 0).then_some(tenant_rate),
+        tenant_burst_bytes: tenant_burst,
         fault,
         cache: (cache_mb > 0).then_some(cache_mb << 20),
         ..ServerConfig::default()
     };
     println!(
         "service: {devices} simulated GTX 480 device(s) + {cpu_workers} CPU worker(s), \
-         queue depth {queue_depth}, batch window {batch_jobs} jobs{}",
-        if cache_mb > 0 { format!(", {cache_mb} MiB chunk cache") } else { String::new() }
+         queue depth {queue_depth}, batch window {batch_jobs} jobs{}{}",
+        if cache_mb > 0 { format!(", {cache_mb} MiB chunk cache") } else { String::new() },
+        if tenant_rate > 0 {
+            format!(", tenant rate {tenant_rate} B/s (burst {tenant_burst} B)")
+        } else {
+            String::new()
+        }
     );
     if let Some(specs) = &device_fail {
         println!("chaos: seed {chaos_seed}, schedule {specs}");

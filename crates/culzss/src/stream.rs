@@ -200,8 +200,17 @@ impl StreamingCompressor {
         input: &mut R,
         output: &mut W,
     ) -> CulzssResult<u64> {
+        // Header reads distinguish running out of bytes (a typed
+        // `Truncated`, like a cut inside a frame body) from a real I/O
+        // failure: `read_exact` would fold both into an io error.
         let mut magic = [0u8; 4];
-        input.read_exact(&mut magic).map_err(io_err)?;
+        let got = read_full(input, &mut magic).map_err(io_err)?;
+        if got != magic.len() {
+            return Err(CulzssError::Codec(culzss_lzss::Error::Truncated {
+                needed: magic.len(),
+                got,
+            }));
+        }
         if magic != STREAM_MAGIC {
             return Err(CulzssError::Codec(culzss_lzss::Error::InvalidContainer {
                 reason: "bad stream magic".into(),
@@ -212,7 +221,13 @@ impl StreamingCompressor {
         let mut body = Vec::new();
         loop {
             let mut len_bytes = [0u8; 4];
-            input.read_exact(&mut len_bytes).map_err(io_err)?;
+            let got = read_full(input, &mut len_bytes).map_err(io_err)?;
+            if got != len_bytes.len() {
+                return Err(CulzssError::Codec(culzss_lzss::Error::Truncated {
+                    needed: len_bytes.len(),
+                    got,
+                }));
+            }
             let len = u32::from_le_bytes(len_bytes) as usize;
             if len == 0 {
                 return Ok(total);
@@ -321,6 +336,51 @@ mod tests {
             &mut restored,
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn truncation_sweep_yields_typed_errors_at_every_cut() {
+        // Cut the stream at every possible byte: every proper prefix
+        // must fail with a typed codec error — never a raw io error —
+        // and a cut inside the magic or a frame-length header must be
+        // the typed `Truncated`, not `read_exact`'s UnexpectedEof.
+        let data = culzss_datasets::Dataset::CFiles.generate(12 * 1024, 5);
+        let sc = compressor(4 * 1024); // 3 frames
+        let mut compressed = Vec::new();
+        sc.compress_stream(&mut Cursor::new(&data), &mut compressed).unwrap();
+        for cut in 0..compressed.len() {
+            let mut restored = Vec::new();
+            let err = sc
+                .decompress_stream(&mut Cursor::new(&compressed[..cut]), &mut restored)
+                .expect_err("every proper prefix must fail");
+            assert!(
+                !matches!(&err, CulzssError::Codec(culzss_lzss::Error::Io { .. })),
+                "cut at {cut}: raw io error leaked: {err:?}"
+            );
+            if cut < 4 {
+                assert!(
+                    matches!(
+                        &err,
+                        CulzssError::Codec(culzss_lzss::Error::Truncated { needed: 4, got })
+                            if *got == cut
+                    ),
+                    "cut inside the magic at {cut}: {err:?}"
+                );
+            }
+        }
+        // A cut two bytes into the first frame-length header,
+        // spelled out.
+        let mut restored = Vec::new();
+        let err =
+            sc.decompress_stream(&mut Cursor::new(&compressed[..6]), &mut restored).unwrap_err();
+        assert!(
+            matches!(err, CulzssError::Codec(culzss_lzss::Error::Truncated { needed: 4, got: 2 })),
+            "{err:?}"
+        );
+        // And the untouched stream still round-trips.
+        let mut restored = Vec::new();
+        sc.decompress_stream(&mut Cursor::new(&compressed), &mut restored).unwrap();
+        assert_eq!(restored, data);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! decode back to the submitted payload, and the terminal counters
 //! reconcile.
 
-use culzss_server::{FaultPlan, HealthConfig, JobSpec, ServerConfig, Service};
+use culzss_server::{FaultPlan, HealthConfig, JobSpec, Priority, ServerConfig, Service};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -106,6 +106,66 @@ proptest! {
             "every accepted ticket resolved exactly once"
         );
         prop_assert!(stats.reconciles(), "terminal counters reconcile: {:?}", stats);
+        // Tenant-quota conservation rides along: every admission's
+        // in-flight slot was released exactly once by drain time.
+        prop_assert_eq!(stats.quota_admitted, stats.quota_released, "quota permits conserved");
+        prop_assert_eq!(stats.quota_outstanding, 0, "no leaked in-flight slots");
+    }
+
+    /// Tenant-quota conservation under rate limits, mixed priorities,
+    /// and (optionally) already-expired deadlines: every resolution
+    /// path — completion, deadline miss at batch-build time, failure —
+    /// must release the tenant's in-flight slot exactly once, so the
+    /// ledger balances at drain.
+    #[test]
+    fn tenant_quota_is_conserved_under_rate_limits_and_deadlines(
+        jobs in 8usize..24,
+        rate_kib in 1u64..64,
+        // < 5000 ⇒ a deadline of that many µs (0 = already expired);
+        // ≥ 5000 ⇒ no deadline.
+        deadline_us in 0u64..6000,
+    ) {
+        let config = ServerConfig {
+            devices: vec![culzss_gpusim::DeviceSpec::gtx480()],
+            cpu_workers: 1,
+            tenant_rate_bytes: Some(rate_kib * 1024),
+            tenant_burst_bytes: 8 * 1024,
+            ..ServerConfig::default()
+        };
+        let service = Service::start(config);
+        let mut tickets = Vec::new();
+        let mut admitted = 0u64;
+        let mut refused = 0u64;
+        for i in 0..jobs {
+            let payload = culzss_datasets::Dataset::CFiles
+                .generate(1024 + 512 * (i % 4), i as u64);
+            let mut spec = JobSpec::compress(format!("t{}", i % 3), payload)
+                .with_priority(match i % 3 {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Low,
+                });
+            if deadline_us < 5000 {
+                spec = spec.with_deadline(Duration::from_micros(deadline_us));
+            }
+            match service.submit(spec) {
+                Ok(ticket) => {
+                    admitted += 1;
+                    tickets.push(ticket);
+                }
+                Err(_) => refused += 1,
+            }
+        }
+        // Refusals never touch the ledger; every admission resolves.
+        for ticket in tickets {
+            let _ = ticket.wait();
+        }
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.quota_admitted, admitted);
+        prop_assert_eq!(stats.quota_released, admitted);
+        prop_assert_eq!(stats.quota_outstanding, 0);
+        prop_assert_eq!(stats.rejected(), refused);
+        prop_assert!(stats.reconciles(), "{:?}", stats);
     }
 
     /// The chaos schedule itself is deterministic: the same seed and

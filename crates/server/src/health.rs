@@ -312,9 +312,8 @@ impl HealthRegistry {
         }
     }
 
-    /// Current breaker state of `device` (test helper; production
-    /// callers read [`Self::snapshots`]).
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Current breaker state of `device`; steers shard assignment and
+    /// steal-target selection in the admission queue.
     pub(crate) fn state(&self, device: usize) -> BreakerState {
         self.devices[device].lock().state
     }

@@ -241,14 +241,18 @@ pub enum SubmitError {
         /// The configured queue bound.
         limit: usize,
     },
-    /// The tenant has too many jobs in flight.
+    /// The tenant has exhausted its data-permit token bucket (sustained
+    /// submission rate above its configured bytes-per-second allowance,
+    /// past the burst capacity and the borrowable headroom). Admitting
+    /// slows to the refill rate until the tenant backs off.
     TenantOverLimit {
         /// The refusing tenant.
         tenant: String,
-        /// The tenant's current in-flight count.
-        in_flight: usize,
-        /// The configured per-tenant cap.
-        cap: usize,
+        /// Permit bytes the submission needed (its payload size).
+        requested: u64,
+        /// Permit bytes the tenant could still spend, borrowing
+        /// included, when it was refused.
+        available: u64,
     },
     /// Brownout: every device breaker is open and the CPU lane is
     /// saturated, so the service sheds new work rather than queueing it
@@ -269,8 +273,11 @@ impl fmt::Display for SubmitError {
             SubmitError::Overloaded { depth, limit } => {
                 write!(f, "queue overloaded ({depth}/{limit})")
             }
-            SubmitError::TenantOverLimit { tenant, in_flight, cap } => {
-                write!(f, "tenant {tenant} over limit ({in_flight}/{cap} in flight)")
+            SubmitError::TenantOverLimit { tenant, requested, available } => {
+                write!(
+                    f,
+                    "tenant {tenant} over rate limit ({requested} B requested, {available} B of permits left)"
+                )
             }
             SubmitError::Degraded { open_devices, depth } => {
                 write!(f, "degraded: all {open_devices} device breaker(s) open, {depth} queued")

@@ -10,11 +10,14 @@
 //! The moving parts:
 //!
 //! - **Admission control & backpressure** — a bounded priority queue
-//!   with per-tenant in-flight caps; a full queue refuses immediately
-//!   with a typed [`SubmitError`] (never blocks, never silently drops).
-//! - **Scheduling** — priority + FIFO dequeue in same-kind batch
-//!   windows; each coalesced window reports its sequential vs.
-//!   pipelined makespan ([`BatchReport`], built on
+//!   with per-tenant token-bucket rate limits (borrowable burst
+//!   permits); a full queue refuses immediately with a typed
+//!   [`SubmitError`] (never blocks, never silently drops).
+//! - **Scheduling** — per-device shards with deficit-round-robin
+//!   weighted-fair dequeue across tenants inside each priority band;
+//!   idle devices steal from the deepest healthy peer's shard; batches
+//!   coalesce same-kind jobs and report sequential vs. pipelined
+//!   makespan ([`BatchReport`], built on
 //!   `culzss::stream::BatchTimeline`).
 //! - **Graceful degradation** — simulated device failures (injected via
 //!   [`FaultPlan`] or real launch errors) consume a bounded retry budget
@@ -67,7 +70,7 @@ pub use job::{
     EngineKind, JobError, JobId, JobKind, JobOutcome, JobResult, JobSpec, JobTicket, Priority,
     SubmitError,
 };
-pub use loadgen::{LoadGenConfig, LoadReport};
+pub use loadgen::{LoadGenConfig, LoadProfile, LoadReport};
 pub use service::{ServerConfig, Service};
 pub use stats::{HistogramSnapshot, ServiceStats};
 pub use tracing::{chrome_trace, validate_chrome_trace, SpanRecord};

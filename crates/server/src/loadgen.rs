@@ -6,6 +6,15 @@
 //! datacenter mix, compression and decompression, rotating priorities —
 //! so a single run exercises admission control, batching, and both
 //! engines.
+//!
+//! Two traffic shapes are available. [`LoadProfile::Uniform`] gives
+//! every tenant the same job count and payload size. [`LoadProfile::
+//! Skewed`] models the millions-of-users production shape: job counts
+//! follow a Zipf distribution across tenants (tenant 0 is hot), payload
+//! sizes draw from a bounded-Pareto heavy tail, and each tenant
+//! alternates burst phases (widened in-flight window) with calm phases
+//! (narrowed window). The per-job latency samples the report collects
+//! feed the p50/p99 SLO cells in the bench suite.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -18,6 +27,19 @@ use parking_lot::Mutex;
 
 use crate::job::{JobError, JobResult, JobSpec, JobTicket, Priority, SubmitError};
 use crate::service::Service;
+
+/// Traffic shape of a load-generator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadProfile {
+    /// Every tenant submits the same job count at the configured
+    /// payload size.
+    #[default]
+    Uniform,
+    /// Production-shaped skew: Zipf job counts across tenants (tenant 0
+    /// hottest), bounded-Pareto payload sizes around the configured
+    /// size, and alternating burst/calm submission phases.
+    Skewed,
+}
 
 /// Configuration of one load-generator run.
 #[derive(Debug, Clone)]
@@ -37,6 +59,8 @@ pub struct LoadGenConfig {
     pub seed: u64,
     /// Optional per-job deadline.
     pub deadline: Option<Duration>,
+    /// Traffic shape (uniform or production-skewed).
+    pub profile: LoadProfile,
 }
 
 impl Default for LoadGenConfig {
@@ -49,6 +73,7 @@ impl Default for LoadGenConfig {
             window: 4,
             seed: 0x5EED,
             deadline: None,
+            profile: LoadProfile::Uniform,
         }
     }
 }
@@ -97,6 +122,9 @@ pub struct LoadReport {
     pub latency_sum_seconds: f64,
     /// Worst per-job latency, seconds.
     pub latency_max_seconds: f64,
+    /// Every completed job's latency (queued + service), seconds,
+    /// unordered — exact client-side percentiles for the SLO cells.
+    pub latency_samples: Vec<f64>,
     /// Wall-clock duration of the whole run.
     pub wall_seconds: f64,
 }
@@ -122,6 +150,7 @@ impl LoadReport {
         self.bytes_out += other.bytes_out;
         self.latency_sum_seconds += other.latency_sum_seconds;
         self.latency_max_seconds = self.latency_max_seconds.max(other.latency_max_seconds);
+        self.latency_samples.extend_from_slice(&other.latency_samples);
     }
 
     /// Mean per-job latency, seconds.
@@ -131,6 +160,19 @@ impl LoadReport {
         } else {
             self.latency_sum_seconds / self.completed as f64
         }
+    }
+
+    /// Exact client-observed latency quantile `q` (`0.0..=1.0`) over
+    /// the completed-job samples; `0.0` when nothing completed. Nearest-
+    /// rank on the sorted samples, so p99 is a real observed latency.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        if self.latency_samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latency_samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
     }
 
     /// Client-observed throughput over submitted payload bytes.
@@ -170,10 +212,12 @@ impl fmt::Display for LoadReport {
         )?;
         write!(
             f,
-            "bytes in {}  out {}  mean latency {:.2} ms  max {:.2} ms  wall {:.2} s  ({:.2} MiB/s offered)",
+            "bytes in {}  out {}  latency mean {:.2} ms  p50 {:.2} ms  p99 {:.2} ms  max {:.2} ms  wall {:.2} s  ({:.2} MiB/s offered)",
             self.bytes_in,
             self.bytes_out,
             self.mean_latency_seconds() * 1e3,
+            self.latency_quantile(0.50) * 1e3,
+            self.latency_quantile(0.99) * 1e3,
             self.latency_max_seconds * 1e3,
             self.wall_seconds,
             self.throughput_mib_s(),
@@ -184,6 +228,64 @@ impl fmt::Display for LoadReport {
 /// How many refused submissions a tenant retries before abandoning a
 /// job (each retry first drains one in-flight job to make room).
 const SUBMIT_RETRIES: u32 = 64;
+
+/// Jobs per burst/calm phase under [`LoadProfile::Skewed`].
+const BURST_PHASE_JOBS: usize = 8;
+
+/// SplitMix64 (same construction as `health::retry_backoff`'s jitter)
+/// for deterministic traffic-shape draws without a `rand` dependency.
+const fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from a seed.
+fn unit_draw(seed: u64) -> f64 {
+    (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Zipf(1) job count for `tenant_index`: tenant i's share is
+/// proportional to 1/(i+1), normalized so the run's total job count
+/// stays ≈ `tenants × jobs_per_tenant`. Tenant 0 is the hot tenant.
+fn zipf_jobs(cfg: &LoadGenConfig, tenant_index: usize) -> usize {
+    let harmonic: f64 = (1..=cfg.tenants.max(1)).map(|k| 1.0 / k as f64).sum();
+    let total = (cfg.tenants * cfg.jobs_per_tenant) as f64;
+    ((total / (tenant_index + 1) as f64 / harmonic).round() as usize).max(1)
+}
+
+/// Bounded-Pareto payload size (heavy tail) around the configured size:
+/// support `[payload/8, payload×4]`, shape α = 1.3 — most requests are
+/// small, a fat tail is several times the nominal size.
+fn pareto_payload(cfg: &LoadGenConfig, seed: u64) -> usize {
+    let lo = (cfg.payload_bytes / 8).max(64) as f64;
+    let hi = (cfg.payload_bytes.saturating_mul(4)).max(cfg.payload_bytes.max(64)) as f64;
+    if lo >= hi {
+        return cfg.payload_bytes.max(1);
+    }
+    let alpha = 1.3;
+    let u = unit_draw(seed).min(1.0 - 1e-12);
+    let x = lo / (1.0 - u * (1.0 - (lo / hi).powf(alpha))).powf(1.0 / alpha);
+    (x as usize).clamp(lo as usize, hi as usize)
+}
+
+/// The closed-loop window for `job_index`: uniform runs keep it fixed;
+/// skewed runs alternate burst phases (double width) with calm phases
+/// (half width) every [`BURST_PHASE_JOBS`] jobs.
+fn effective_window(cfg: &LoadGenConfig, job_index: usize) -> usize {
+    let base = cfg.window.max(1);
+    match cfg.profile {
+        LoadProfile::Uniform => base,
+        LoadProfile::Skewed => {
+            if (job_index / BURST_PHASE_JOBS).is_multiple_of(2) {
+                base * 2
+            } else {
+                (base / 2).max(1)
+            }
+        }
+    }
+}
 
 /// Drives `cfg` against `service` and blocks until every tenant is
 /// done. The service is left running (shut it down for final stats).
@@ -210,15 +312,23 @@ fn run_tenant(service: &Service, cfg: &LoadGenConfig, tenant_index: usize) -> Lo
     let tenant = format!("tenant-{tenant_index}");
     // (ticket, expected plain output for decompression jobs)
     let mut outstanding: VecDeque<(JobTicket, Option<Vec<u8>>)> = VecDeque::new();
-    let window = cfg.window.max(1);
+    let jobs = match cfg.profile {
+        LoadProfile::Uniform => cfg.jobs_per_tenant,
+        LoadProfile::Skewed => zipf_jobs(cfg, tenant_index),
+    };
 
-    for job_index in 0..cfg.jobs_per_tenant {
+    for job_index in 0..jobs {
         let seed = cfg.seed ^ ((tenant_index as u64) << 32) ^ job_index as u64;
+        let payload_bytes = match cfg.profile {
+            LoadProfile::Uniform => cfg.payload_bytes,
+            LoadProfile::Skewed => pareto_payload(cfg, seed ^ 0xA5A5_A5A5),
+        };
+        let window = effective_window(cfg, job_index);
         let plain = if (tenant_index + job_index).is_multiple_of(7) {
-            Mixer::datacenter().generate(cfg.payload_bytes, seed)
+            Mixer::datacenter().generate(payload_bytes, seed)
         } else {
             let dataset = Dataset::ALL[(tenant_index + job_index) % Dataset::ALL.len()];
-            dataset.generate(cfg.payload_bytes, seed)
+            dataset.generate(payload_bytes, seed)
         };
         let decompress = cfg.decompress_every > 0 && (job_index + 1) % cfg.decompress_every == 0;
         let (mut spec, expected) = if decompress {
@@ -298,6 +408,7 @@ fn settle(report: &mut LoadReport, result: JobResult, expected: Option<Vec<u8>>)
             let latency = outcome.queued_seconds + outcome.service_seconds;
             report.latency_sum_seconds += latency;
             report.latency_max_seconds = report.latency_max_seconds.max(latency);
+            report.latency_samples.push(latency);
             if let Some(expected) = expected {
                 if outcome.output != expected {
                     report.mismatched += 1;

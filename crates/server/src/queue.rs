@@ -1,22 +1,55 @@
-//! Bounded, tenant-aware priority admission queue.
+//! Sharded, tenant-fair admission queue with work stealing and
+//! token-bucket rate limiting.
 //!
 //! Admission control is the service's backpressure contract: a full
-//! queue or an over-quota tenant is refused *immediately* with a typed
+//! queue or an over-rate tenant is refused *immediately* with a typed
 //! [`SubmitError`] instead of blocking the submitter — callers decide
-//! whether to retry, shed, or spill. Admitted jobs dequeue by priority
-//! (FIFO within a priority) in same-kind batch windows; a second lane
-//! carries retries. A retried job may be delayed by backoff
-//! ([`Job::not_before`]), pinned to the CPU fallback ([`Job::force_cpu`])
-//! or steered away from devices that failed or denied it
-//! ([`Job::avoid_devices`]) — the lane honors all three when matching
-//! jobs to worker classes.
+//! whether to retry, shed, or spill. The queue is organised in three
+//! layers (DESIGN.md §18):
+//!
+//! * **Token bucket per tenant.** Each tenant holds a bucket of
+//!   bytes-weighted data permits refilled at a configured rate up to a
+//!   burst capacity. A submission costs its payload size; a tenant may
+//!   *borrow* a bounded amount against future refill (the bucket level
+//!   goes negative down to the borrow limit), so a short burst rides
+//!   through while a sustained overrun is refused with
+//!   [`SubmitError::TenantOverLimit`]. With no rate configured the
+//!   bucket admits everything.
+//! * **Per-device run queues (shards).** Admitted jobs land on the
+//!   least-loaded shard whose circuit breaker is not open; each GPU
+//!   worker drains its own shard and, when idle, *steals* a window from
+//!   the deepest peer shard whose breaker is not open — open-breaker
+//!   devices are never steal targets, and a worker whose own breaker is
+//!   open does not steal (it only drains its own backlog into the
+//!   denial/fallback path). CPU workers have no home shard and pull
+//!   from the deepest shard regardless of breaker state.
+//! * **Weighted-fair ordering.** Within each shard, jobs dequeue by
+//!   priority band, and *within* a band by deficit round-robin across
+//!   tenants: each visit grants a tenant one quantum of bytes, a job is
+//!   served once the tenant's deficit covers its payload, so one hot
+//!   tenant can no longer monopolise a band the way FIFO-within-priority
+//!   allowed.
+//!
+//! A second lane carries retries. A retried job may be delayed by
+//! backoff ([`Job::not_before`]), pinned to the CPU fallback
+//! ([`Job::force_cpu`]) or steered away from devices that failed or
+//! denied it ([`Job::avoid_devices`]) — the lane honors all three when
+//! matching jobs to worker classes.
+//!
+//! Deadlines are evaluated per job at **batch-build time**: a job whose
+//! deadline passed while it waited (or while its batch window was being
+//! coalesced) is diverted into [`Batch::expired`] instead of occupying
+//! an execution slot, and the worker resolves it as
+//! [`crate::JobError::DeadlineMissed`] without running it.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::job::{Job, SubmitError};
+use crate::health::{BreakerState, HealthRegistry};
+use crate::job::{Job, JobKind, SubmitError};
 
 /// A coalesced window of same-kind jobs handed to one worker, stamped
 /// with the instant it left the queue. Every job in the window stops
@@ -24,7 +57,17 @@ use crate::job::{Job, SubmitError};
 /// each job's own service start (which would fold earlier jobs' service
 /// time into later jobs' reported wait).
 pub(crate) struct Batch {
+    /// Jobs to execute, all of one kind.
     pub jobs: Vec<Job>,
+    /// Jobs whose deadline had already passed when the window was
+    /// built; the worker resolves them as deadline misses without
+    /// executing them (they are exempt from the same-kind rule and do
+    /// not consume window slots).
+    pub expired: Vec<Job>,
+    /// The shard this window was stolen from, when the serving worker
+    /// was not its owner (`None` for home-shard and retry-lane windows,
+    /// and for CPU pulls — the CPU lane has no home to steal from).
+    pub stolen_from: Option<usize>,
     pub dequeued_at: Instant,
 }
 
@@ -38,40 +81,179 @@ pub(crate) enum WorkerClass {
     Cpu,
 }
 
-struct Entry {
-    rank: u8,
-    seq: u64,
-    job: Job,
+/// Per-tenant QoS tunables (token bucket + fairness quantum).
+#[derive(Debug, Clone)]
+pub(crate) struct QosConfig {
+    /// Data-permit refill rate in payload bytes per second per tenant;
+    /// `None` disables rate limiting (every submission is admitted as
+    /// far as the bucket is concerned).
+    pub rate_bytes_per_sec: Option<f64>,
+    /// Bucket capacity: the largest burst of payload bytes a tenant can
+    /// submit instantaneously from a full bucket.
+    pub burst_bytes: f64,
+    /// How many bytes a tenant may borrow against future refill (the
+    /// bucket floor is `-borrow_bytes`).
+    pub borrow_bytes: f64,
+    /// Deficit round-robin quantum: bytes of service granted per tenant
+    /// per rotation visit within a priority band.
+    pub quantum_bytes: u64,
 }
 
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.rank == other.rank && self.seq == other.seq
+impl Default for QosConfig {
+    fn default() -> Self {
+        Self {
+            rate_bytes_per_sec: None,
+            burst_bytes: (8 << 20) as f64,
+            borrow_bytes: (8 << 20) as f64,
+            quantum_bytes: 64 << 10,
+        }
     }
 }
 
-impl Eq for Entry {}
+/// Successful admission: the post-admission queue depth, the shard the
+/// job landed on, and how many permit bytes were borrowed against the
+/// tenant's future refill (0 when the bucket covered the cost).
+pub(crate) struct Admitted {
+    pub depth: usize,
+    pub shard: usize,
+    pub borrowed: u64,
+}
 
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+/// One tenant's token bucket. `level` is the spendable permit balance in
+/// payload bytes; negative means the tenant is in borrowed territory and
+/// refill pays the debt before permits accumulate again.
+struct TenantBucket {
+    level: f64,
+    refreshed: Instant,
+}
+
+/// One priority band of one shard: per-tenant FIFO queues served by
+/// deficit round-robin. Tenants enter the rotation when their first job
+/// arrives and leave it (deficit reset) when their queue drains — the
+/// classic DRR activation rule, so an idle tenant cannot bank credit.
+#[derive(Default)]
+struct Band {
+    queues: HashMap<String, VecDeque<Job>>,
+    rotation: VecDeque<String>,
+    deficit: HashMap<String, u64>,
+    /// Whether the tenant at the rotation front has already received its
+    /// quantum for the current turn. A turn spans multiple `pop` calls
+    /// (the tenant keeps serving while its deficit lasts), so without
+    /// this flag the front tenant would be re-credited on every call and
+    /// never yield the band.
+    credited: bool,
+}
+
+impl Band {
+    fn push(&mut self, job: Job) {
+        let tenant = job.tenant.clone();
+        let queue = self.queues.entry(tenant.clone()).or_default();
+        if queue.is_empty() && !self.rotation.contains(&tenant) {
+            self.rotation.push_back(tenant);
+        }
+        queue.push_back(job);
+    }
+
+    /// Ends the front tenant's turn: move it to the rotation tail.
+    fn rotate(&mut self) {
+        self.rotation.rotate_left(1);
+        self.credited = false;
+    }
+
+    /// Pops the next job by deficit round-robin, optionally restricted
+    /// to one [`JobKind`] (batch coalescing). Each turn grants the
+    /// visited tenant one quantum, so a head larger than the quantum is
+    /// reachable in a bounded number of rotation rounds and the band is
+    /// always work-conserving.
+    fn pop_matching(&mut self, kind: Option<JobKind>, quantum: u64) -> Option<Job> {
+        if self.rotation.is_empty() {
+            return None;
+        }
+        loop {
+            let mut any_eligible = false;
+            for _ in 0..self.rotation.len() {
+                let tenant = self.rotation.front().expect("non-empty rotation").clone();
+                let queue = self.queues.get_mut(&tenant).expect("rotation member has a queue");
+                let head = queue.front().expect("queued tenant has a head");
+                if kind.is_some_and(|k| k != head.kind) {
+                    self.rotate();
+                    continue;
+                }
+                any_eligible = true;
+                let cost = (head.payload.len() as u64).max(1);
+                let deficit = self.deficit.entry(tenant.clone()).or_insert(0);
+                if !self.credited {
+                    *deficit += quantum.max(1);
+                    self.credited = true;
+                }
+                if *deficit >= cost {
+                    *deficit -= cost;
+                    let job = queue.pop_front().expect("non-empty queue");
+                    if queue.is_empty() {
+                        self.queues.remove(&tenant);
+                        self.deficit.remove(&tenant);
+                        self.rotation.pop_front();
+                        self.credited = false;
+                    }
+                    // Otherwise the tenant stays at the front with its
+                    // remaining deficit: the turn continues on the next
+                    // call until the deficit no longer covers the head.
+                    return Some(job);
+                }
+                self.rotate();
+            }
+            if !any_eligible {
+                return None;
+            }
+        }
     }
 }
 
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap: higher rank first; older (smaller seq) first within.
-        self.rank.cmp(&other.rank).then_with(|| other.seq.cmp(&self.seq))
+/// One device's run queue: three priority bands plus depth accounting.
+#[derive(Default)]
+struct Shard {
+    /// Indexed by [`crate::Priority::rank`] (0 = Low … 2 = High).
+    bands: [Band; 3],
+    jobs: usize,
+    bytes: u64,
+}
+
+impl Shard {
+    fn push(&mut self, job: Job) {
+        self.jobs += 1;
+        self.bytes += job.payload.len() as u64;
+        self.bands[job.priority.rank() as usize].push(job);
+    }
+
+    /// Pops the next job in strict band order (High before Normal before
+    /// Low), DRR within the band, optionally kind-restricted.
+    fn pop_matching(&mut self, kind: Option<JobKind>, quantum: u64) -> Option<Job> {
+        for band in self.bands.iter_mut().rev() {
+            if let Some(job) = band.pop_matching(kind, quantum) {
+                self.jobs -= 1;
+                self.bytes -= job.payload.len() as u64;
+                return Some(job);
+            }
+        }
+        None
     }
 }
 
 struct State {
-    heap: BinaryHeap<Entry>,
+    shards: Vec<Shard>,
     /// Retry lane: failed-elsewhere, rerouted, and CPU-fallback jobs,
     /// each possibly delayed by backoff.
     lane: VecDeque<Job>,
+    buckets: HashMap<String, TenantBucket>,
     tenant_inflight: HashMap<String, usize>,
-    seq: u64,
+    /// Lifetime quota admissions / releases; at a drained quiescent
+    /// point the two must be equal (the conservation invariant the
+    /// proptests pin).
+    admitted: u64,
+    released: u64,
+    /// Round-robin cursor breaking least-loaded ties at shard
+    /// assignment.
+    next_shard: usize,
     accepting: bool,
     /// Batches handed to workers whose jobs have not all resolved yet —
     /// they may still requeue onto the retry lane, so drain waits for
@@ -81,23 +263,35 @@ struct State {
 
 pub(crate) struct AdmissionQueue {
     depth_limit: usize,
-    tenant_cap: usize,
+    qos: QosConfig,
     has_cpu_workers: bool,
+    health: Arc<HealthRegistry>,
     state: Mutex<State>,
     available: Condvar,
 }
 
 impl AdmissionQueue {
-    pub fn new(depth_limit: usize, tenant_cap: usize, has_cpu_workers: bool) -> Self {
+    pub fn new(
+        depth_limit: usize,
+        qos: QosConfig,
+        shard_count: usize,
+        has_cpu_workers: bool,
+        health: Arc<HealthRegistry>,
+    ) -> Self {
+        let shard_count = shard_count.max(1);
         Self {
             depth_limit: depth_limit.max(1),
-            tenant_cap: tenant_cap.max(1),
+            qos,
             has_cpu_workers,
+            health,
             state: Mutex::new(State {
-                heap: BinaryHeap::new(),
+                shards: (0..shard_count).map(|_| Shard::default()).collect(),
                 lane: VecDeque::new(),
+                buckets: HashMap::new(),
                 tenant_inflight: HashMap::new(),
-                seq: 0,
+                admitted: 0,
+                released: 0,
+                next_shard: 0,
                 accepting: true,
                 active_batches: 0,
             }),
@@ -105,33 +299,81 @@ impl AdmissionQueue {
         }
     }
 
-    /// Admits `job` or refuses with a typed error. On success the
-    /// tenant's in-flight count is incremented (released on final
-    /// resolution) and the post-admission queue depth is returned.
-    pub fn submit(&self, job: Job) -> Result<usize, SubmitError> {
+    /// Whether shard `index` maps to a device whose breaker is open
+    /// (indices past the device count — the synthetic shard of a
+    /// CPU-only pool — are never open).
+    fn shard_open(&self, index: usize) -> bool {
+        index < self.health.device_count() && self.health.state(index) == BreakerState::Open
+    }
+
+    /// Least-loaded shard by queued bytes, preferring shards whose
+    /// breaker is not open (an open device still drains its own queue,
+    /// but new work routes around it while a healthy alternative
+    /// exists). Ties break round-robin so equal-size streams spread.
+    fn pick_shard(&self, s: &mut State) -> usize {
+        let n = s.shards.len();
+        let cursor = s.next_shard;
+        let weight = |i: usize| {
+            let rotated = (i + n - cursor % n) % n;
+            (self.shard_open(i), s.shards[i].bytes, s.shards[i].jobs, rotated)
+        };
+        let chosen = (0..n).min_by_key(|&i| weight(i)).expect("at least one shard");
+        s.next_shard = (chosen + 1) % n;
+        chosen
+    }
+
+    /// Admits `job` or refuses with a typed error. Admission costs the
+    /// payload's size in the tenant's token bucket (checked before the
+    /// global bound, charged only on success) and increments the
+    /// tenant's in-flight count (released exactly once on final
+    /// resolution).
+    pub fn submit(&self, job: Job) -> Result<Admitted, SubmitError> {
+        let now = Instant::now();
+        let cost = (job.payload.len() as u64).max(1);
         let mut s = self.state.lock();
         if !s.accepting {
             return Err(SubmitError::ShuttingDown);
         }
-        let depth = s.heap.len() + s.lane.len();
+        // Tenant throttle first (the refusal a tenant can fix by slowing
+        // down), then the global bound.
+        if let Some(rate) = self.qos.rate_bytes_per_sec {
+            let burst = self.qos.burst_bytes;
+            let bucket = s
+                .buckets
+                .entry(job.tenant.clone())
+                .or_insert(TenantBucket { level: burst, refreshed: now });
+            let dt = now.duration_since(bucket.refreshed).as_secs_f64();
+            bucket.level = (bucket.level + rate * dt).min(burst);
+            bucket.refreshed = now;
+            let available = (bucket.level + self.qos.borrow_bytes).max(0.0);
+            if (cost as f64) > available {
+                return Err(SubmitError::TenantOverLimit {
+                    tenant: job.tenant.clone(),
+                    requested: cost,
+                    available: available as u64,
+                });
+            }
+        }
+        let depth = s.shards.iter().map(|sh| sh.jobs).sum::<usize>() + s.lane.len();
         if depth >= self.depth_limit {
             return Err(SubmitError::Overloaded { depth, limit: self.depth_limit });
         }
-        let in_flight = s.tenant_inflight.get(&job.tenant).copied().unwrap_or(0);
-        if in_flight >= self.tenant_cap {
-            return Err(SubmitError::TenantOverLimit {
-                tenant: job.tenant.clone(),
-                in_flight,
-                cap: self.tenant_cap,
-            });
+        // Charge the bucket only once every check has passed.
+        let mut borrowed = 0;
+        if self.qos.rate_bytes_per_sec.is_some() {
+            let bucket = s.buckets.get_mut(&job.tenant).expect("bucket created above");
+            let debt_before = (-bucket.level).max(0.0);
+            bucket.level -= cost as f64;
+            let debt_after = (-bucket.level).max(0.0);
+            borrowed = (debt_after - debt_before).max(0.0) as u64;
         }
         *s.tenant_inflight.entry(job.tenant.clone()).or_insert(0) += 1;
-        let seq = s.seq;
-        s.seq += 1;
-        s.heap.push(Entry { rank: job.priority.rank(), seq, job });
+        s.admitted += 1;
+        let shard = self.pick_shard(&mut s);
+        s.shards[shard].push(job);
         drop(s);
-        self.available.notify_one();
-        Ok(depth + 1)
+        self.available.notify_all();
+        Ok(Admitted { depth: depth + 1, shard, borrowed })
     }
 
     /// Re-enqueues an already-admitted job onto the retry lane. No
@@ -161,12 +403,70 @@ impl AdmissionQueue {
         }
     }
 
+    /// The shard `class` should pull from: its own when non-empty, else
+    /// the deepest peer it may steal from (`true` marks a steal). An
+    /// open-breaker device is never a steal target, and a worker whose
+    /// own breaker is open never steals — it only drains its own
+    /// backlog, which the denial path reroutes. CPU workers have no home
+    /// and pull from the deepest shard unconditionally (not a steal).
+    fn pick_source(&self, s: &State, class: WorkerClass) -> Option<(usize, bool)> {
+        let deepest = |exclude: Option<usize>, skip_open: bool| {
+            (0..s.shards.len())
+                .filter(|&i| Some(i) != exclude && s.shards[i].jobs > 0)
+                .filter(|&i| !skip_open || !self.shard_open(i))
+                .max_by_key(|&i| (s.shards[i].jobs, s.shards[i].bytes))
+        };
+        match class {
+            WorkerClass::Cpu => deepest(None, false).map(|i| (i, false)),
+            WorkerClass::Gpu { device } => {
+                let home = device.min(s.shards.len() - 1);
+                if s.shards[home].jobs > 0 {
+                    Some((home, false))
+                } else if self.shard_open(home) {
+                    None
+                } else {
+                    deepest(Some(home), true).map(|i| (i, true))
+                }
+            }
+        }
+    }
+
+    /// Builds one batch window from `shard`: same-kind jobs in band/DRR
+    /// order up to the job and byte caps, with already-expired jobs
+    /// diverted aside (they cost no window slots and don't pin the
+    /// window's kind).
+    fn take_window(
+        shard: &mut Shard,
+        quantum: u64,
+        max_jobs: usize,
+        max_bytes: usize,
+        now: Instant,
+    ) -> (Vec<Job>, Vec<Job>) {
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut expired = Vec::new();
+        let mut kind = None;
+        let mut bytes = 0usize;
+        while jobs.len() < max_jobs && (jobs.is_empty() || bytes < max_bytes) {
+            let Some(job) = shard.pop_matching(kind, quantum) else { break };
+            if job.deadline.is_some_and(|d| now >= d) {
+                expired.push(job);
+                continue;
+            }
+            bytes += job.payload.len();
+            kind = Some(job.kind);
+            jobs.push(job);
+        }
+        (jobs, expired)
+    }
+
     /// Blocks for the next window of same-kind jobs this worker class
     /// may serve; `None` once the service is shutting down and fully
     /// drained (including potential requeues from batches that are
     /// still executing). Backoff-delayed retries are never handed out
     /// early — a worker with nothing else to do sleeps until the
-    /// earliest one ripens.
+    /// earliest one ripens or the earliest lane deadline expires,
+    /// whichever comes first, so a stalled window cannot sit on an
+    /// expired job.
     pub fn next_batch(
         &self,
         class: WorkerClass,
@@ -179,10 +479,18 @@ impl AdmissionQueue {
             let now = Instant::now();
             if !s.lane.is_empty() {
                 let mut taken: Vec<Job> = Vec::new();
+                let mut expired: Vec<Job> = Vec::new();
                 let mut rest = VecDeque::with_capacity(s.lane.len());
                 let mut kind = None;
                 let mut bytes = 0usize;
                 for job in std::mem::take(&mut s.lane) {
+                    // Deadline-expired retries resolve as misses no
+                    // matter which class sees them first — even while
+                    // still inside their backoff delay.
+                    if job.deadline.is_some_and(|d| now >= d) {
+                        expired.push(job);
+                        continue;
+                    }
                     let take = self.lane_serves(class, &job)
                         && job.ready_at(now)
                         && kind.is_none_or(|k| k == job.kind)
@@ -197,38 +505,57 @@ impl AdmissionQueue {
                     }
                 }
                 s.lane = rest;
-                if !taken.is_empty() {
+                if !taken.is_empty() || !expired.is_empty() {
                     s.active_batches += 1;
-                    return Some(Batch { jobs: taken, dequeued_at: Instant::now() });
+                    return Some(Batch {
+                        jobs: taken,
+                        expired,
+                        stolen_from: None,
+                        dequeued_at: Instant::now(),
+                    });
                 }
             }
-            if !s.heap.is_empty() {
-                let first = s.heap.pop().expect("non-empty heap").job;
-                let kind = first.kind;
-                let mut bytes = first.payload.len();
-                let mut jobs = vec![first];
-                while jobs.len() < max_jobs
-                    && bytes < max_bytes
-                    && s.heap.peek().is_some_and(|e| e.job.kind == kind)
-                {
-                    let job = s.heap.pop().expect("peeked").job;
-                    bytes += job.payload.len();
-                    jobs.push(job);
+            if let Some((index, stolen)) = self.pick_source(&s, class) {
+                let (jobs, expired) = Self::take_window(
+                    &mut s.shards[index],
+                    self.qos.quantum_bytes,
+                    max_jobs,
+                    max_bytes,
+                    now,
+                );
+                if !jobs.is_empty() || !expired.is_empty() {
+                    s.active_batches += 1;
+                    return Some(Batch {
+                        jobs,
+                        expired,
+                        stolen_from: stolen.then_some(index),
+                        dequeued_at: Instant::now(),
+                    });
                 }
-                s.active_batches += 1;
-                return Some(Batch { jobs, dequeued_at: Instant::now() });
             }
-            if !s.accepting && s.lane.is_empty() && s.active_batches == 0 {
+            if !s.accepting
+                && s.lane.is_empty()
+                && s.shards.iter().all(|sh| sh.jobs == 0)
+                && s.active_batches == 0
+            {
                 return None;
             }
-            // Nothing runnable. If this class has lane jobs still in
-            // backoff, sleep only until the earliest ripens; otherwise
-            // wait for a submit/requeue/shutdown notification.
+            // Nothing runnable. Sleep until the earliest wake-worthy
+            // lane instant — a backoff ripening for this class, or any
+            // lane job's deadline expiring (expiry resolution is not
+            // class-restricted) — else wait for a notification.
             let ripens = s
                 .lane
                 .iter()
-                .filter(|j| self.lane_serves(class, j))
-                .filter_map(|j| j.not_before)
+                .filter_map(|j| {
+                    let backoff = j.not_before.filter(|_| self.lane_serves(class, j));
+                    match (backoff, j.deadline) {
+                        (Some(b), Some(d)) => Some(b.min(d)),
+                        (Some(b), None) => Some(b),
+                        (None, Some(d)) => Some(d),
+                        (None, None) => None,
+                    }
+                })
                 .min();
             match ripens {
                 Some(t) => {
@@ -251,7 +578,8 @@ impl AdmissionQueue {
         self.available.notify_all();
     }
 
-    /// Releases one unit of `tenant`'s in-flight quota.
+    /// Releases one unit of `tenant`'s in-flight quota. Must fire
+    /// exactly once per admitted job, on its final resolution path.
     pub fn release_tenant(&self, tenant: &str) {
         let mut s = self.state.lock();
         if let Some(n) = s.tenant_inflight.get_mut(tenant) {
@@ -259,6 +587,7 @@ impl AdmissionQueue {
             if *n == 0 {
                 s.tenant_inflight.remove(tenant);
             }
+            s.released += 1;
         }
     }
 
@@ -271,23 +600,69 @@ impl AdmissionQueue {
     /// Jobs currently queued (not yet handed to a worker).
     pub fn depth(&self) -> usize {
         let s = self.state.lock();
-        s.heap.len() + s.lane.len()
+        s.shards.iter().map(|sh| sh.jobs).sum::<usize>() + s.lane.len()
     }
 
     /// `tenant`'s admitted-but-unresolved job count.
     pub fn tenant_in_flight(&self, tenant: &str) -> usize {
         self.state.lock().tenant_inflight.get(tenant).copied().unwrap_or(0)
     }
+
+    /// Lifetime `(admissions, releases, outstanding)` of the tenant
+    /// quota — the conservation triple: at a drained quiescent point
+    /// admissions equal releases and nothing is outstanding.
+    pub fn quota_ledger(&self) -> (u64, u64, usize) {
+        let s = self.state.lock();
+        (s.admitted, s.released, s.tenant_inflight.values().sum())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::health::HealthConfig;
     use crate::job::{JobId, JobKind, JobResult, Priority};
     use std::sync::mpsc;
     use std::time::{Duration, Instant};
 
     const GPU0: WorkerClass = WorkerClass::Gpu { device: 0 };
+
+    fn queue(depth: usize, shards: usize, has_cpu: bool) -> AdmissionQueue {
+        AdmissionQueue::new(
+            depth,
+            QosConfig::default(),
+            shards,
+            has_cpu,
+            Arc::new(HealthRegistry::new(HealthConfig::default(), shards)),
+        )
+    }
+
+    /// Queue with a DRR quantum matching the 16-byte test payloads so
+    /// each tenant turn serves exactly one job.
+    fn fine_grained(depth: usize) -> AdmissionQueue {
+        AdmissionQueue::new(
+            depth,
+            QosConfig { quantum_bytes: 16, ..QosConfig::default() },
+            1,
+            false,
+            Arc::new(HealthRegistry::new(HealthConfig::default(), 1)),
+        )
+    }
+
+    fn limited(depth: usize, rate: f64, burst: f64, borrow: f64) -> AdmissionQueue {
+        AdmissionQueue::new(
+            depth,
+            QosConfig {
+                rate_bytes_per_sec: Some(rate),
+                burst_bytes: burst,
+                borrow_bytes: borrow,
+                quantum_bytes: 64,
+            },
+            1,
+            false,
+            Arc::new(HealthRegistry::new(HealthConfig::default(), 1)),
+        )
+    }
 
     fn job(
         id: u64,
@@ -317,7 +692,7 @@ mod tests {
 
     #[test]
     fn priority_then_fifo_order() {
-        let q = AdmissionQueue::new(16, 16, false);
+        let q = queue(16, 1, false);
         let mut keep = Vec::new();
         for (id, p) in
             [(0, Priority::Normal), (1, Priority::Low), (2, Priority::High), (3, Priority::Normal)]
@@ -338,7 +713,7 @@ mod tests {
 
     #[test]
     fn batches_coalesce_same_kind_only() {
-        let q = AdmissionQueue::new(16, 16, false);
+        let q = queue(16, 1, false);
         let mut keep = Vec::new();
         for (id, kind) in [
             (0, JobKind::Compress),
@@ -363,16 +738,50 @@ mod tests {
     }
 
     #[test]
+    fn drr_interleaves_tenants_within_a_band() {
+        // Tenant "hog" floods the band before "a" and "b" arrive; DRR
+        // must still serve all three round-robin instead of draining the
+        // hog's FIFO first.
+        let q = fine_grained(64);
+        let mut keep = Vec::new();
+        let mut id = 0;
+        for _ in 0..6 {
+            let (j, rx) = job(id, "hog", JobKind::Compress, Priority::Normal);
+            keep.push(rx);
+            q.submit(j).unwrap();
+            id += 1;
+        }
+        for tenant in ["a", "b"] {
+            for _ in 0..2 {
+                let (j, rx) = job(id, tenant, JobKind::Compress, Priority::Normal);
+                keep.push(rx);
+                q.submit(j).unwrap();
+                id += 1;
+            }
+        }
+        let mut tenants = Vec::new();
+        for _ in 0..10 {
+            let batch = q.next_batch(GPU0, 1, usize::MAX).unwrap();
+            q.finish_batch();
+            tenants.push(batch.jobs[0].tenant.clone());
+        }
+        // Both background tenants finish both jobs within the first six
+        // dequeues (one full rotation serves each tenant once).
+        let first_six = &tenants[..6];
+        assert_eq!(first_six.iter().filter(|t| *t == "a").count(), 2, "{tenants:?}");
+        assert_eq!(first_six.iter().filter(|t| *t == "b").count(), 2, "{tenants:?}");
+        assert_eq!(tenants.iter().filter(|t| *t == "hog").count(), 6, "{tenants:?}");
+    }
+
+    #[test]
     fn typed_rejections() {
-        let q = AdmissionQueue::new(2, 1, false);
+        let q = limited(2, 1.0, 16.0, 0.0);
         let (j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
         q.submit(j0).unwrap();
-        // Tenant cap before queue bound.
+        // Tenant throttle before queue bound: the 16-byte burst is
+        // spent, the next 16-byte job does not fit the empty bucket.
         let (j1, _rx1) = job(1, "a", JobKind::Compress, Priority::Normal);
-        assert!(matches!(
-            q.submit(j1),
-            Err(SubmitError::TenantOverLimit { in_flight: 1, cap: 1, .. })
-        ));
+        assert!(matches!(q.submit(j1), Err(SubmitError::TenantOverLimit { requested: 16, .. })));
         let (j2, _rx2) = job(2, "b", JobKind::Compress, Priority::Normal);
         q.submit(j2).unwrap();
         let (j3, _rx3) = job(3, "c", JobKind::Compress, Priority::Normal);
@@ -383,8 +792,29 @@ mod tests {
     }
 
     #[test]
+    fn token_bucket_borrows_then_throttles_then_refills() {
+        // Burst covers one job; borrowing covers one more; the third is
+        // refused until refill pays the debt down.
+        let q = limited(64, 1600.0, 16.0, 16.0);
+        let (j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
+        assert_eq!(q.submit(j0).unwrap().borrowed, 0);
+        let (j1, _rx1) = job(1, "a", JobKind::Compress, Priority::Normal);
+        let admitted = q.submit(j1).unwrap();
+        assert!(admitted.borrowed > 0, "second job should borrow against refill");
+        let (j2, _rx2) = job(2, "a", JobKind::Compress, Priority::Normal);
+        assert!(matches!(q.submit(j2), Err(SubmitError::TenantOverLimit { .. })));
+        // Another tenant is unaffected.
+        let (j3, _rx3) = job(3, "b", JobKind::Compress, Priority::Normal);
+        q.submit(j3).unwrap();
+        // At 1600 B/s the 32-byte debt clears in ~20 ms.
+        std::thread::sleep(Duration::from_millis(40));
+        let (j4, _rx4) = job(4, "a", JobKind::Compress, Priority::Normal);
+        q.submit(j4).unwrap();
+    }
+
+    #[test]
     fn tenant_quota_releases_on_resolution() {
-        let q = AdmissionQueue::new(8, 1, false);
+        let q = queue(8, 1, false);
         let (j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
         q.submit(j0).unwrap();
         assert_eq!(q.tenant_in_flight("a"), 1);
@@ -395,13 +825,14 @@ mod tests {
         q.release_tenant("a");
         q.finish_batch();
         assert_eq!(q.tenant_in_flight("a"), 0);
+        assert_eq!(q.quota_ledger(), (1, 1, 0));
         let (j1, _rx1) = job(1, "a", JobKind::Compress, Priority::Normal);
         q.submit(j1).unwrap();
     }
 
     #[test]
     fn shutdown_drains_then_returns_none() {
-        let q = AdmissionQueue::new(8, 8, false);
+        let q = queue(8, 1, false);
         let (j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
         q.submit(j0).unwrap();
         q.begin_shutdown();
@@ -421,13 +852,13 @@ mod tests {
 
     #[test]
     fn cpu_pinned_retries_reserved_for_cpu_workers_when_present() {
-        let q = AdmissionQueue::new(8, 8, true);
+        let q = queue(8, 1, true);
         let (mut j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
         j0.force_cpu = true;
         q.requeue(j0);
         let (j1, _rx1) = job(1, "a", JobKind::Compress, Priority::Normal);
         q.submit(j1).unwrap();
-        // The GPU worker sees only the main heap job.
+        // The GPU worker sees only the freshly submitted job.
         let batch = q.next_batch(GPU0, 8, usize::MAX).unwrap();
         assert_eq!(batch.jobs[0].id.0, 1);
         q.finish_batch();
@@ -439,7 +870,7 @@ mod tests {
 
     #[test]
     fn retry_lane_honors_avoided_devices() {
-        let q = AdmissionQueue::new(8, 8, false);
+        let q = queue(8, 2, false);
         let (mut j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
         j0.mark_avoid(0);
         q.requeue(j0);
@@ -458,7 +889,7 @@ mod tests {
 
     #[test]
     fn backoff_delays_dequeue_until_ready() {
-        let q = AdmissionQueue::new(8, 8, false);
+        let q = queue(8, 1, false);
         let (mut j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
         let delay = Duration::from_millis(30);
         j0.not_before = Some(Instant::now() + delay);
@@ -471,6 +902,90 @@ mod tests {
             "dequeued {:?} after requeue, before the {delay:?} backoff",
             started.elapsed()
         );
+        q.finish_batch();
+    }
+
+    #[test]
+    fn idle_worker_steals_from_the_deepest_peer() {
+        let q = queue(32, 2, false);
+        let mut keep = Vec::new();
+        // Load both shards (least-loaded assignment alternates), then
+        // drain shard 0 so gpu0 goes idle while shard 1 still has work.
+        for id in 0..6 {
+            let (j, rx) = job(id, "t", JobKind::Compress, Priority::Normal);
+            keep.push(rx);
+            q.submit(j).unwrap();
+        }
+        // gpu0 serves its home shard first (3 of the 6 jobs)...
+        let home = q.next_batch(GPU0, 8, usize::MAX).unwrap();
+        assert_eq!(home.stolen_from, None);
+        assert_eq!(home.jobs.len(), 3);
+        q.finish_batch();
+        // ...then steals the remaining window from shard 1.
+        let stolen = q.next_batch(GPU0, 8, usize::MAX).unwrap();
+        assert_eq!(stolen.stolen_from, Some(1));
+        assert_eq!(stolen.jobs.len(), 3);
+        q.finish_batch();
+    }
+
+    #[test]
+    fn open_breaker_shards_are_not_steal_targets() {
+        let health = Arc::new(HealthRegistry::new(
+            HealthConfig { failure_threshold: 1, ..HealthConfig::default() },
+            2,
+        ));
+        let q = AdmissionQueue::new(32, QosConfig::default(), 2, false, Arc::clone(&health));
+        // Trip device 1's breaker open.
+        health.on_failure(1, false, false, Instant::now());
+        assert_eq!(health.state(1), BreakerState::Open);
+        let mut keep = Vec::new();
+        for id in 0..4 {
+            let (j, rx) = job(id, "t", JobKind::Compress, Priority::Normal);
+            keep.push(rx);
+            q.submit(j).unwrap();
+        }
+        // With device 1 open, submissions all routed to shard 0; gpu0
+        // drains them as home work and gpu1 (open) must not steal.
+        let batch = q.next_batch(GPU0, 8, usize::MAX).unwrap();
+        assert_eq!(batch.stolen_from, None);
+        assert_eq!(batch.jobs.len(), 4);
+        q.finish_batch();
+    }
+
+    #[test]
+    fn expired_jobs_divert_at_batch_build_time() {
+        let q = queue(8, 1, false);
+        let (mut j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
+        j0.deadline = Some(Instant::now() - Duration::from_millis(1));
+        let (j1, _rx1) = job(1, "a", JobKind::Compress, Priority::Normal);
+        q.submit(j0).unwrap();
+        q.submit(j1).unwrap();
+        let batch = q.next_batch(GPU0, 8, usize::MAX).unwrap();
+        assert_eq!(batch.jobs.len(), 1);
+        assert_eq!(batch.jobs[0].id.0, 1);
+        assert_eq!(batch.expired.len(), 1);
+        assert_eq!(batch.expired[0].id.0, 0);
+        q.finish_batch();
+    }
+
+    #[test]
+    fn stalled_coalescer_surfaces_expired_retry_at_its_deadline() {
+        // A retry deep in backoff whose deadline expires first: the
+        // sleeping worker must wake at the deadline (not the backoff)
+        // and hand the job back as expired instead of executing it late.
+        let q = queue(8, 1, false);
+        let (mut j0, _rx0) = job(0, "a", JobKind::Compress, Priority::Normal);
+        j0.not_before = Some(Instant::now() + Duration::from_secs(10));
+        let deadline = Duration::from_millis(30);
+        j0.deadline = Some(Instant::now() + deadline);
+        let started = Instant::now();
+        q.requeue(j0);
+        let batch = q.next_batch(GPU0, 8, usize::MAX).unwrap();
+        assert!(batch.jobs.is_empty());
+        assert_eq!(batch.expired.len(), 1);
+        let waited = started.elapsed();
+        assert!(waited >= deadline - Duration::from_millis(2), "woke after {waited:?}");
+        assert!(waited < Duration::from_secs(5), "slept into the backoff: {waited:?}");
         q.finish_batch();
     }
 }

@@ -14,7 +14,7 @@ use crate::batch::BatchReport;
 use crate::fault::FaultPlan;
 use crate::health::{BreakerTransition, DeviceHealthSnapshot, HealthConfig, HealthRegistry};
 use crate::job::{Job, JobId, JobSpec, JobTicket, SubmitError};
-use crate::queue::AdmissionQueue;
+use crate::queue::{AdmissionQueue, QosConfig};
 use crate::stats::{ServiceStats, StatsCollector};
 use crate::tracing::{SpanRecord, TraceRecorder};
 use crate::worker::{self, WorkerEngine};
@@ -38,9 +38,20 @@ pub struct ServerConfig {
     /// Global queue bound; submissions beyond it are refused with
     /// [`SubmitError::Overloaded`].
     pub queue_depth: usize,
-    /// Per-tenant admitted-but-unresolved cap
-    /// ([`SubmitError::TenantOverLimit`]).
-    pub tenant_inflight_cap: usize,
+    /// Per-tenant token-bucket refill rate in payload bytes per second
+    /// ([`SubmitError::TenantOverLimit`] once exhausted). `None` (the
+    /// default) disables tenant rate limiting.
+    pub tenant_rate_bytes: Option<u64>,
+    /// Token-bucket burst capacity in payload bytes: how much a tenant
+    /// can submit instantaneously from a full bucket. A tenant may
+    /// additionally *borrow* up to one more burst against future refill,
+    /// so short spikes ride through while sustained overrun is refused.
+    pub tenant_burst_bytes: usize,
+    /// Deficit round-robin quantum in payload bytes: service granted per
+    /// tenant per rotation turn within a priority band. Smaller values
+    /// interleave tenants more finely; larger values favor batch
+    /// locality.
+    pub fair_quantum_bytes: usize,
     /// Max jobs coalesced into one batch window.
     pub batch_jobs: usize,
     /// Max payload bytes coalesced into one batch window.
@@ -79,7 +90,9 @@ impl Default for ServerConfig {
             cpu_threads: 2,
             params: CulzssParams::v1(),
             queue_depth: 128,
-            tenant_inflight_cap: 32,
+            tenant_rate_bytes: None,
+            tenant_burst_bytes: 8 << 20,
+            fair_quantum_bytes: 64 << 10,
             batch_jobs: 8,
             batch_bytes: 8 << 20,
             max_retries: 1,
@@ -98,7 +111,7 @@ pub(crate) struct Shared {
     pub stats: StatsCollector,
     pub trace: TraceRecorder,
     pub fault: FaultPlan,
-    pub health: HealthRegistry,
+    pub health: Arc<HealthRegistry>,
     pub params: CulzssParams,
     pub cpu_threads: usize,
     pub max_retries: u32,
@@ -148,6 +161,10 @@ impl Shared {
             snap.breaker_half_opens += h.half_opens;
             snap.breaker_closes += h.closes;
         }
+        let (admitted, released, outstanding) = self.queue.quota_ledger();
+        snap.quota_admitted = admitted;
+        snap.quota_released = released;
+        snap.quota_outstanding = outstanding as u64;
         snap
     }
 }
@@ -168,15 +185,23 @@ impl Service {
             * config.health.brownout_fraction.clamp(0.0, 1.0))
         .ceil() as usize)
             .max(1);
+        let health = Arc::new(HealthRegistry::new(config.health.clone(), config.devices.len()));
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(
                 config.queue_depth,
-                config.tenant_inflight_cap,
+                QosConfig {
+                    rate_bytes_per_sec: config.tenant_rate_bytes.map(|r| r as f64),
+                    burst_bytes: config.tenant_burst_bytes.max(1) as f64,
+                    borrow_bytes: config.tenant_burst_bytes.max(1) as f64,
+                    quantum_bytes: (config.fair_quantum_bytes.max(1)) as u64,
+                },
+                config.devices.len(),
                 has_cpu_workers,
+                Arc::clone(&health),
             ),
             stats: StatsCollector::new(),
             trace: TraceRecorder::new(),
-            health: HealthRegistry::new(config.health.clone(), config.devices.len()),
+            health,
             fault: config.fault,
             params: config.params.clone(),
             cpu_threads: config.cpu_threads.max(1),
@@ -261,6 +286,7 @@ impl Service {
         let accepted_at = Instant::now();
         let deadline = spec.deadline.or(self.shared.default_deadline).map(|d| accepted_at + d);
         let (tx, rx) = mpsc::channel();
+        let tenant = spec.tenant.clone();
         let job = Job {
             id,
             tenant: spec.tenant,
@@ -276,8 +302,19 @@ impl Service {
             responder: tx,
         };
         match self.shared.queue.submit(job) {
-            Ok(depth) => {
-                self.shared.stats.on_accepted(depth);
+            Ok(admitted) => {
+                self.shared.stats.on_accepted(admitted.depth);
+                if admitted.borrowed > 0 {
+                    self.shared.stats.on_borrowed(admitted.borrowed);
+                    self.shared.trace.qos_event(
+                        &format!("borrow:{tenant}"),
+                        admitted.shard,
+                        &[
+                            ("tenant", tenant.clone()),
+                            ("borrowed_bytes", admitted.borrowed.to_string()),
+                        ],
+                    );
+                }
                 Ok(JobTicket { id, rx })
             }
             Err(e) => {

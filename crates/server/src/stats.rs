@@ -151,7 +151,13 @@ pub(crate) struct StatsCollector {
     backoff_requeues: AtomicU64,
     integrity_failures: AtomicU64,
     quarantined: AtomicU64,
+    steals: AtomicU64,
+    stolen_jobs: AtomicU64,
+    stolen_bytes: AtomicU64,
+    borrows: AtomicU64,
+    borrowed_bytes: AtomicU64,
     tenant_integrity: Mutex<BTreeMap<String, u64>>,
+    tenant_completed: Mutex<BTreeMap<String, u64>>,
     gpu_jobs: AtomicU64,
     cpu_jobs: AtomicU64,
     cpu_fallback_completions: AtomicU64,
@@ -205,7 +211,13 @@ impl StatsCollector {
             backoff_requeues: AtomicU64::new(0),
             integrity_failures: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            stolen_jobs: AtomicU64::new(0),
+            stolen_bytes: AtomicU64::new(0),
+            borrows: AtomicU64::new(0),
+            borrowed_bytes: AtomicU64::new(0),
             tenant_integrity: Mutex::new(BTreeMap::new()),
+            tenant_completed: Mutex::new(BTreeMap::new()),
             gpu_jobs: AtomicU64::new(0),
             cpu_jobs: AtomicU64::new(0),
             cpu_fallback_completions: AtomicU64::new(0),
@@ -267,6 +279,7 @@ impl StatsCollector {
 
     pub fn on_completed(
         &self,
+        tenant: &str,
         engine: EngineKind,
         retries: u32,
         bytes_in: u64,
@@ -274,6 +287,7 @@ impl StatsCollector {
         latency_seconds: f64,
     ) {
         self.completed.fetch_add(1, Relaxed);
+        *self.tenant_completed.lock().entry(tenant.to_string()).or_insert(0) += 1;
         self.bytes_in.fetch_add(bytes_in, Relaxed);
         self.bytes_out.fetch_add(bytes_out, Relaxed);
         self.latency.record(latency_seconds);
@@ -333,6 +347,21 @@ impl StatsCollector {
         self.backoff_requeues.fetch_add(1, Relaxed);
     }
 
+    /// An idle worker stole a window of `jobs` jobs (`bytes` payload
+    /// bytes) from a peer device's shard.
+    pub fn on_steal(&self, jobs: u64, bytes: u64) {
+        self.steals.fetch_add(1, Relaxed);
+        self.stolen_jobs.fetch_add(jobs, Relaxed);
+        self.stolen_bytes.fetch_add(bytes, Relaxed);
+    }
+
+    /// An admission borrowed `bytes` data permits against the tenant's
+    /// future token-bucket refill.
+    pub fn on_borrowed(&self, bytes: u64) {
+        self.borrows.fetch_add(1, Relaxed);
+        self.borrowed_bytes.fetch_add(bytes, Relaxed);
+    }
+
     /// Folds a startup-probe racecheck verdict into the counters.
     pub fn on_sancheck(&self, report: &culzss_gpusim::SanitizerReport) {
         self.sancheck_launches.fetch_add(1, Relaxed);
@@ -374,7 +403,13 @@ impl StatsCollector {
             backoff_requeues: self.backoff_requeues.load(Relaxed),
             integrity_failures: self.integrity_failures.load(Relaxed),
             quarantined: self.quarantined.load(Relaxed),
+            steals: self.steals.load(Relaxed),
+            stolen_jobs: self.stolen_jobs.load(Relaxed),
+            stolen_bytes: self.stolen_bytes.load(Relaxed),
+            borrows: self.borrows.load(Relaxed),
+            borrowed_bytes: self.borrowed_bytes.load(Relaxed),
             tenant_integrity_failures: self.tenant_integrity.lock().clone(),
+            tenant_completed: self.tenant_completed.lock().clone(),
             gpu_jobs: self.gpu_jobs.load(Relaxed),
             cpu_jobs: self.cpu_jobs.load(Relaxed),
             cpu_fallback_completions: self.cpu_fallback_completions.load(Relaxed),
@@ -403,6 +438,9 @@ impl StatsCollector {
             breaker_opens: 0,
             breaker_half_opens: 0,
             breaker_closes: 0,
+            quota_admitted: 0,
+            quota_released: 0,
+            quota_outstanding: 0,
             device_health: Vec::new(),
             breaker_transitions: Vec::new(),
             latency: self.latency.snapshot(),
@@ -425,7 +463,8 @@ pub struct ServiceStats {
     pub accepted: u64,
     /// Refused: global queue at capacity.
     pub rejected_overloaded: u64,
-    /// Refused: tenant over its in-flight cap.
+    /// Refused: tenant's token bucket exhausted (over its sustained
+    /// data-permit rate, past burst and borrowable headroom).
     pub rejected_tenant_cap: u64,
     /// Refused: brownout shed (every breaker open, queue saturated).
     pub rejected_degraded: u64,
@@ -456,8 +495,21 @@ pub struct ServiceStats {
     /// Jobs that exhausted their retry budget with every attempt
     /// failing verification (⊆ `failed`); their bytes were discarded.
     pub quarantined: u64,
+    /// Batch windows an idle worker stole from a peer device's shard.
+    pub steals: u64,
+    /// Jobs that moved in those stolen windows (⊆ `completed + failed`).
+    pub stolen_jobs: u64,
+    /// Payload bytes that moved in stolen windows.
+    pub stolen_bytes: u64,
+    /// Admissions that borrowed data permits against future refill.
+    pub borrows: u64,
+    /// Total permit bytes borrowed across those admissions.
+    pub borrowed_bytes: u64,
     /// Per-tenant breakdown of `integrity_failures`.
     pub tenant_integrity_failures: BTreeMap<String, u64>,
+    /// Per-tenant completion counts — the fairness suite asserts
+    /// weighted shares on this map.
+    pub tenant_completed: BTreeMap<String, u64>,
     /// Completions served by a simulated GPU device.
     pub gpu_jobs: u64,
     /// Completions served by the host CPU path.
@@ -511,6 +563,13 @@ pub struct ServiceStats {
     pub breaker_half_opens: u64,
     /// Σ over devices of breaker close transitions.
     pub breaker_closes: u64,
+    /// Lifetime tenant-quota admissions (folded from the queue ledger).
+    pub quota_admitted: u64,
+    /// Lifetime tenant-quota releases; equals `quota_admitted` at a
+    /// drained quiescent point (the conservation invariant).
+    pub quota_released: u64,
+    /// Quota units currently admitted but unresolved (0 at quiescence).
+    pub quota_outstanding: u64,
     /// Per-device breaker state and failure-domain counters.
     pub device_health: Vec<DeviceHealthSnapshot>,
     /// Globally ordered breaker transition log — readable after
@@ -538,6 +597,8 @@ impl ServiceStats {
     pub fn reconciles(&self) -> bool {
         self.received == self.accepted + self.rejected()
             && self.accepted == self.completed + self.failed
+            && self.quota_admitted == self.quota_released
+            && self.quota_outstanding == 0
     }
 
     /// Whether the startup racecheck probe ran and found the configured
@@ -616,6 +677,18 @@ impl fmt::Display for ServiceStats {
             self.batching_speedup(),
         )?;
         writeln!(f, "bytes: in {}  out {}", self.bytes_in, self.bytes_out)?;
+        writeln!(
+            f,
+            "qos: {} steal(s) ({} job(s), {} byte(s))   {} borrow(s) ({} byte(s))   quota {}/{} released ({} outstanding)",
+            self.steals,
+            self.stolen_jobs,
+            self.stolen_bytes,
+            self.borrows,
+            self.borrowed_bytes,
+            self.quota_released,
+            self.quota_admitted,
+            self.quota_outstanding,
+        )?;
         writeln!(
             f,
             "integrity: {} failed verification, {} job(s) quarantined",
@@ -735,13 +808,14 @@ mod tests {
         }
         c.on_rejected(&SubmitError::Overloaded { depth: 4, limit: 4 });
         c.on_rejected(&SubmitError::ShuttingDown);
-        c.on_completed(EngineKind::Gpu { device: 0 }, 0, 100, 50, 1e-3);
-        c.on_completed(EngineKind::Cpu, 1, 100, 60, 2e-3);
+        c.on_completed("a", EngineKind::Gpu { device: 0 }, 0, 100, 50, 1e-3);
+        c.on_completed("a", EngineKind::Cpu, 1, 100, 60, 2e-3);
         c.on_failed(&JobError::DeadlineMissed { missed_by: std::time::Duration::ZERO });
         let snap = c.snapshot();
         assert!(snap.reconciles(), "{snap:?}");
         assert_eq!(snap.rejected(), 2);
         assert_eq!(snap.cpu_fallback_completions, 1);
         assert_eq!(snap.deadline_missed, 1);
+        assert_eq!(snap.tenant_completed.get("a"), Some(&2));
     }
 }

@@ -30,6 +30,10 @@ pub const BATCH_PID: u64 = 2;
 /// Process lane of device-health events (`tid` = device index):
 /// zero-duration spans marking circuit-breaker transitions.
 pub const HEALTH_PID: u64 = 3;
+/// Process lane of QoS events (`tid` = shard/device index):
+/// zero-duration spans marking work-steal windows and token-bucket
+/// permit borrows.
+pub const QOS_PID: u64 = 4;
 /// Device `d`'s modelled block spans live on `DEVICE_PID_BASE + d`.
 pub const DEVICE_PID_BASE: u64 = 10;
 
@@ -179,6 +183,21 @@ impl TraceRecorder {
         });
     }
 
+    /// Records a QoS event (work-steal window, permit borrow) as a
+    /// zero-duration span on the QoS lane (`tid` = shard index).
+    pub fn qos_event(&self, name: &str, shard: usize, args: &[(&str, String)]) {
+        let now_us = self.instant_us(Instant::now());
+        self.record(SpanRecord {
+            name: name.to_string(),
+            cat: "host".into(),
+            pid: QOS_PID,
+            tid: shard as u64,
+            start_us: now_us,
+            dur_us: 0.0,
+            args: args.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect(),
+        });
+    }
+
     /// A copy of every span recorded so far.
     pub fn spans(&self) -> Vec<SpanRecord> {
         self.spans.lock().clone()
@@ -215,6 +234,7 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
             SERVICE_PID => "culzss-service (jobs)".to_string(),
             BATCH_PID => "culzss-service (batches)".to_string(),
             HEALTH_PID => "culzss-service (device health)".to_string(),
+            QOS_PID => "culzss-service (qos)".to_string(),
             p if p >= DEVICE_PID_BASE => format!("gpu{} (modelled SMs)", p - DEVICE_PID_BASE),
             p => format!("pid {p}"),
         };

@@ -20,7 +20,7 @@
 //!   (`force_cpu`), as before — bad bytes are a reason to leave the
 //!   device class entirely, not to shop for another GPU.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use culzss::hetero;
 use culzss::pipeline::StageTimes;
@@ -68,11 +68,42 @@ pub(crate) fn run(shared: &Shared, engine: WorkerEngine) {
 }
 
 fn execute_batch(shared: &Shared, engine: &WorkerEngine, batch: Batch) {
-    let Batch { jobs, dequeued_at } = batch;
+    let Batch { jobs, expired, stolen_from, dequeued_at } = batch;
+    // Deadline misses detected at batch-build time resolve typed,
+    // without execution — a job that expired while its window was being
+    // coalesced must not run late.
+    for job in expired {
+        let now = Instant::now();
+        let missed_by = job.deadline.map_or(Duration::ZERO, |d| now.saturating_duration_since(d));
+        shared.trace.host_span(
+            "queue_wait",
+            SERVICE_PID,
+            job.id.0,
+            job.accepted_at,
+            dequeued_at,
+            vec![("tenant".into(), job.tenant.clone())],
+        );
+        resolve_err(shared, job, JobError::DeadlineMissed { missed_by });
+    }
+    if jobs.is_empty() {
+        return;
+    }
     let batch_id = shared.next_batch_id();
     let kind = jobs[0].kind;
     let job_count = jobs.len();
     let bytes_in: u64 = jobs.iter().map(|j| j.payload.len() as u64).sum();
+    if let Some(victim) = stolen_from {
+        shared.stats.on_steal(job_count as u64, bytes_in);
+        let thief = match engine {
+            WorkerEngine::Gpu { device, .. } => format!("gpu{device}"),
+            WorkerEngine::Cpu { .. } => "cpu".into(),
+        };
+        shared.trace.qos_event(
+            &format!("steal:gpu{victim}->{thief}"),
+            victim,
+            &[("jobs", job_count.to_string()), ("bytes", bytes_in.to_string())],
+        );
+    }
     let mut timeline = BatchTimeline::new();
 
     for job in jobs {
@@ -492,6 +523,7 @@ fn resolve_ok(
     );
     shared.stats.on_stage_seconds(queued_seconds, service_seconds, verify_seconds);
     shared.stats.on_completed(
+        &job.tenant,
         engine,
         job.attempts,
         job.payload.len() as u64,

@@ -22,7 +22,6 @@ fn quick_config() -> ServerConfig {
         cpu_workers: 1,
         cpu_threads: 2,
         queue_depth: 256,
-        tenant_inflight_cap: 32,
         ..ServerConfig::default()
     }
 }
@@ -101,7 +100,6 @@ fn overload_yields_typed_rejections_without_admitting_past_the_bound() {
         devices: Vec::new(),
         cpu_workers: 0,
         queue_depth: 8,
-        tenant_inflight_cap: 4,
         ..ServerConfig::default()
     };
     let service = Service::start(config);
@@ -124,25 +122,33 @@ fn overload_yields_typed_rejections_without_admitting_past_the_bound() {
 }
 
 #[test]
-fn per_tenant_cap_yields_typed_rejection() {
+fn tenant_rate_limit_yields_typed_rejection_and_borrows() {
+    // A near-zero refill rate with a 1 KiB burst: the burst covers two
+    // 512 B jobs, borrowing against future refill covers two more, and
+    // the fifth submission is refused with the typed rate-limit error.
     let config = ServerConfig {
         devices: Vec::new(),
         cpu_workers: 0,
         queue_depth: 64,
-        tenant_inflight_cap: 2,
+        tenant_rate_bytes: Some(1),
+        tenant_burst_bytes: 1024,
         ..ServerConfig::default()
     };
     let service = Service::start(config);
-    let _t0 = service.submit(JobSpec::compress("greedy", vec![1u8; 512])).unwrap();
-    let _t1 = service.submit(JobSpec::compress("greedy", vec![2u8; 512])).unwrap();
-    match service.submit(JobSpec::compress("greedy", vec![3u8; 512])) {
-        Err(SubmitError::TenantOverLimit { in_flight: 2, cap: 2, ref tenant }) => {
+    for i in 0..4u8 {
+        service.submit(JobSpec::compress("greedy", vec![i; 512])).unwrap();
+    }
+    match service.submit(JobSpec::compress("greedy", vec![9u8; 512])) {
+        Err(SubmitError::TenantOverLimit { requested: 512, available, ref tenant }) => {
             assert_eq!(tenant, "greedy");
+            assert!(available < 512, "no permits should remain, got {available}");
         }
         other => panic!("expected TenantOverLimit, got {other:?}"),
     }
-    // Other tenants are unaffected.
+    // Other tenants draw from their own bucket.
     assert!(service.submit(JobSpec::compress("modest", vec![4u8; 512])).is_ok());
+    // The third and fourth greedy jobs ran on borrowed permits.
+    assert!(service.stats().borrows >= 2, "{:?}", service.stats());
 }
 
 #[test]
@@ -155,7 +161,6 @@ fn overloaded_service_keeps_serving_and_reconciles() {
         gpu_sim_threads: 1,
         cpu_workers: 0,
         queue_depth: 4,
-        tenant_inflight_cap: 64,
         batch_jobs: 2,
         ..ServerConfig::default()
     };
@@ -397,6 +402,7 @@ fn load_generator_drives_mixed_traffic_cleanly() {
         window: 4,
         seed: 42,
         deadline: None,
+        profile: culzss_server::LoadProfile::Uniform,
     };
     let report = culzss_server::loadgen::run(&service, &cfg);
     assert_eq!(report.submitted, 32);
